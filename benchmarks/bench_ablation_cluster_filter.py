@@ -1,0 +1,81 @@
+"""ABL3 — Pal & Counts' optional cluster filter (the step §3 discards).
+
+The paper drops the Gaussian cluster-analysis filter because it is
+"computationally expensive, and it is contrary to our objective of
+improving recall".  This ablation measures exactly that trade on our
+corpus: with the filter on, fewer experts are returned per query
+(recall ↓) while impurity does not get worse (precision ~/↑).
+"""
+
+from repro.detector.clusterfilter import GaussianClusterFilter
+from repro.detector.palcounts import PalCountsDetector
+from repro.eval.reporting import render_table
+
+from conftest import write_artifact
+
+
+def test_ablation_cluster_filter(benchmark, ctx, results_dir):
+    system = ctx.system
+    plain = system.detector
+    filtered = PalCountsDetector(
+        system.platform,
+        ranking=plain.ranking,
+        normalization=plain.normalization,
+        cluster_filter=GaussianClusterFilter(),
+    )
+
+    queries = [q for s in ctx.query_sets for q in s.queries][:120]
+
+    def run_both():
+        plain_counts, filtered_counts = [], []
+        for query in queries:
+            plain_counts.append(len(plain.detect(query)))
+            filtered_counts.append(len(filtered.detect(query)))
+        return plain_counts, filtered_counts
+
+    plain_counts, filtered_counts = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    avg_plain = sum(plain_counts) / len(queries)
+    avg_filtered = sum(filtered_counts) / len(queries)
+    # the filter can only remove candidates
+    assert all(f <= p for p, f in zip(plain_counts, filtered_counts))
+    assert avg_filtered <= avg_plain
+
+    # impurity via ground truth (crowd noise would only blur the ablation)
+    def impurity_of(detector):
+        flagged = total = 0
+        for query in queries:
+            topic = system.offline.world.primary_topic_for(query)
+            for expert in detector.detect(query):
+                total += 1
+                user = system.platform.user(expert.user_id)
+                if topic is None or not (
+                    user.is_expert_on(topic.topic_id)
+                    or (
+                        user.persona == "broad_expert"
+                        and topic.domain
+                        in {
+                            system.offline.world.topic(t).domain
+                            for t in user.expert_topics
+                        }
+                    )
+                ):
+                    flagged += 1
+        return flagged / total if total else 0.0
+
+    impurity_plain = impurity_of(plain)
+    impurity_filtered = impurity_of(filtered)
+    assert impurity_filtered <= impurity_plain + 0.05
+
+    artifact = render_table(
+        ["Setting", "Avg experts/query", "True impurity"],
+        [
+            ("no filter (paper)", f"{avg_plain:.2f}", f"{impurity_plain:.3f}"),
+            ("gaussian filter", f"{avg_filtered:.2f}",
+             f"{impurity_filtered:.3f}"),
+        ],
+        title="ABL3 — effect of the discarded Pal & Counts cluster filter",
+    )
+    write_artifact(results_dir, "ablation_cluster_filter", artifact)

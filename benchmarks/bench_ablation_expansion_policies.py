@@ -1,0 +1,75 @@
+"""ABL5 — expansion breadth vs disambiguation risk (§6.2.3).
+
+The paper expands with the *entire* matched community and accepts the
+occasional disambiguation error.  This ablation compares that choice
+against two narrower policies (top-k most similar terms; shared-surface
+terms only) on coverage, experts per query, and ground-truth impurity.
+
+Expected shape: full expansion maximises recall; narrowing trims recall;
+impurity differences stay small — which is exactly why the paper could
+afford the simple policy.
+"""
+
+from repro.eval.reporting import render_table
+from repro.expansion.domainstore import DomainStore
+from repro.expansion.expander import QueryExpander
+from repro.expansion.policies import POLICIES
+
+from conftest import write_artifact
+
+
+def test_ablation_expansion_policies(benchmark, ctx, results_dir):
+    system = ctx.system
+    world = system.offline.world
+    store = DomainStore.from_partition(system.offline.partition)
+    weighted = system.offline.weighted_graph
+    queries = [q for s in ctx.query_sets for q in s.queries][:120]
+
+    def relevant(query: str, user_id: int) -> bool:
+        topic = world.primary_topic_for(query)
+        if topic is None:
+            return False
+        user = system.platform.user(user_id)
+        if user.is_expert_on(topic.topic_id):
+            return True
+        return user.persona == "broad_expert" and topic.domain in {
+            world.topic(t).domain for t in user.expert_topics
+        }
+
+    def evaluate():
+        results = {}
+        for name, policy in POLICIES.items():
+            expander = QueryExpander(
+                store, system.detector, policy=policy, graph=weighted
+            )
+            covered = experts_total = flagged = 0
+            for query in queries:
+                experts = expander.detect(query).experts
+                covered += bool(experts)
+                experts_total += len(experts)
+                flagged += sum(
+                    1 for e in experts if not relevant(query, e.user_id)
+                )
+            results[name] = (
+                covered / len(queries),
+                experts_total / len(queries),
+                flagged / experts_total if experts_total else 0.0,
+            )
+        return results
+
+    results = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    # full expansion is the recall frontier
+    assert results["full"][1] >= results["top-k"][1]
+    assert results["full"][1] >= results["shared-token"][1]
+    assert results["full"][0] >= results["shared-token"][0]
+
+    artifact = render_table(
+        ["Policy", "Coverage", "Avg experts/query", "True impurity"],
+        [
+            (name, f"{cov:.2f}", f"{avg:.2f}", f"{imp:.3f}")
+            for name, (cov, avg, imp) in results.items()
+        ],
+        title="ABL5 — expansion policies: breadth vs disambiguation risk",
+    )
+    write_artifact(results_dir, "ablation_expansion_policies", artifact)

@@ -1,0 +1,98 @@
+"""ABL6 — the §3 production simplification: 3 features vs the dozen.
+
+The paper keeps TS/MI/RI out of Pal & Counts' "dozen features" and runs
+that simplified ranker in production.  This ablation compares the
+production trio against the extended set (adding originality,
+conversation share, self-similarity penalty, hashtag ratio, graph
+influence) on ranking quality versus ground truth.
+
+Expected shape: the extended set buys a modest precision/ordering gain at
+higher per-query cost — consistent with the paper's judgment that the
+trio is the right production trade.
+"""
+
+import time
+
+from repro.detector.extended_features import ExtendedPalCountsDetector
+from repro.eval.metrics import mean_over_queries, ndcg, precision_at_k
+from repro.eval.reporting import render_table
+
+from conftest import write_artifact
+
+
+def test_ablation_feature_sets(benchmark, ctx, results_dir):
+    system = ctx.system
+    world = system.offline.world
+    queries = [
+        t.canonical.text
+        for t in sorted(
+            (t for t in world.topics if t.microblog_affinity > 0.5),
+            key=lambda t: t.popularity,
+            reverse=True,
+        )[:60]
+    ]
+
+    extended = ExtendedPalCountsDetector(
+        system.platform, ranking=system.detector.ranking
+    )
+    detectors = {"TS/MI/RI (paper)": system.detector, "extended": extended}
+
+    def relevant_for(query):
+        topic = world.primary_topic_for(query)
+
+        def check(user_id: int) -> bool:
+            if topic is None:
+                return False
+            user = system.platform.user(user_id)
+            if user.is_expert_on(topic.topic_id):
+                return True
+            return user.persona == "broad_expert" and topic.domain in {
+                world.topic(t).domain for t in user.expert_topics
+            }
+
+        return check
+
+    def evaluate():
+        rows = []
+        quality = {}
+        for name, detector in detectors.items():
+            p_at_3, ndcgs = [], []
+            started = time.perf_counter()
+            answered = 0
+            for query in queries:
+                experts = detector.detect(query)
+                if not experts:
+                    continue
+                answered += 1
+                relevant = relevant_for(query)
+                p_at_3.append(precision_at_k(experts, relevant, 3))
+                ndcgs.append(ndcg(experts, relevant, k=10))
+            elapsed = time.perf_counter() - started
+            quality[name] = (
+                mean_over_queries(p_at_3) if p_at_3 else 0.0,
+                mean_over_queries(ndcgs) if ndcgs else 0.0,
+            )
+            rows.append(
+                (
+                    name,
+                    answered,
+                    f"{quality[name][0]:.3f}",
+                    f"{quality[name][1]:.3f}",
+                    f"{elapsed * 1000 / max(len(queries), 1):.1f} ms",
+                )
+            )
+        return rows, quality
+
+    rows, quality = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    # both rankers must be far better than random on head queries
+    for name, (p3, ndcg10) in quality.items():
+        assert p3 > 0.5, f"{name}: precision@3 collapsed ({p3:.2f})"
+        assert ndcg10 > 0.5, f"{name}: ndcg@10 collapsed ({ndcg10:.2f})"
+
+    artifact = render_table(
+        ["Feature set", "Answered", "P@3", "nDCG@10", "Per-query time"],
+        rows,
+        title="ABL6 — production TS/MI/RI vs the extended feature set",
+    )
+    write_artifact(results_dir, "ablation_feature_sets", artifact)

@@ -1,0 +1,62 @@
+"""FIG10 — size vs quality trade-off (impurity).
+
+Paper: Figure 10 plots impurity (fraction of results the crowd flagged as
+non-experts) against the average number of experts per query; e#'s
+accuracy penalty is "minimal, if not negligible" — at equal recall the
+curves nearly coincide.  Expected shape here: compared at overlapping
+recall levels, e#'s impurity is at or below the baseline's.
+"""
+
+from repro.eval.experiments import run_fig10
+from repro.eval.reporting import render_table
+
+from conftest import write_artifact
+
+
+def test_fig10_impurity(benchmark, ctx, results_dir):
+    results = benchmark.pedantic(
+        run_fig10, args=(ctx,), rounds=1, iterations=1
+    )
+
+    assert len(results) == 6
+    blocks = []
+    for result in results:
+        for point in result.baseline + result.esharp:
+            assert 0.0 <= point.impurity <= 1.0
+        # equal-recall comparison: for each baseline point, find the e#
+        # point of closest avg_experts and compare impurity there
+        penalties = []
+        for b in result.baseline:
+            if b.avg_experts <= 0:
+                continue
+            closest = min(
+                result.esharp,
+                key=lambda e: abs(e.avg_experts - b.avg_experts),
+            )
+            if abs(closest.avg_experts - b.avg_experts) <= 2.0:
+                penalties.append(closest.impurity - b.impurity)
+        if penalties:
+            assert min(penalties) <= 0.12, (
+                f"{result.dataset}: e# impurity penalty at equal recall "
+                "is not minimal anywhere"
+            )
+
+        rows = [
+            (
+                f"{b.threshold:.1f}",
+                f"{b.avg_experts:.2f}",
+                f"{b.impurity:.3f}",
+                f"{e.avg_experts:.2f}",
+                f"{e.impurity:.3f}",
+            )
+            for b, e in zip(result.baseline, result.esharp)
+        ]
+        blocks.append(
+            render_table(
+                ["min z", "base avg n", "base impurity", "e# avg n",
+                 "e# impurity"],
+                rows,
+                title=f"Figure 10 — size vs quality: {result.dataset}",
+            )
+        )
+    write_artifact(results_dir, "fig10_impurity", "\n\n".join(blocks))

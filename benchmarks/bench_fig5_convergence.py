@@ -1,0 +1,32 @@
+"""FIG5 — convergence of the community detection algorithm.
+
+Paper: Figure 5 plots the community count per iteration over a month of
+query logs (≈2M communities at iteration 0, steep drop, convergence after
+≈6 iterations).  Expected shape here: same steep drop and a plateau within
+a handful of iterations.
+"""
+
+from repro.eval.experiments import run_fig5
+from repro.eval.reporting import render_series
+
+from conftest import write_artifact
+
+
+def test_fig5_convergence(benchmark, ctx, results_dir):
+    result = benchmark(run_fig5, ctx)
+
+    assert result.community_counts[0] == ctx.system.offline.multigraph.vertex_count
+    counts = result.community_counts
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    assert result.converged_after <= 12
+    # the steep first-iterations drop of Figure 5
+    assert counts[1] <= 0.65 * counts[0]
+
+    artifact = render_series(
+        "iteration",
+        {"communities": [float(c) for c in counts]},
+        result.iterations,
+        title="Figure 5 — community count per clustering iteration",
+        precision=0,
+    )
+    write_artifact(results_dir, "fig5_convergence", artifact)

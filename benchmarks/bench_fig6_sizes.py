@@ -1,0 +1,32 @@
+"""FIG6 — distribution of community sizes.
+
+Paper: Figure 6 buckets communities into 1 / 2–10 / 10–50 / >50 queries;
+≈60% of communities hold 2–10 queries, ≈20% are orphans, very few exceed
+50.  Expected shape here: modal bucket 2–10, a real orphan fraction, a
+negligible >50 tail.
+"""
+
+from repro.eval.experiments import run_fig6
+from repro.eval.reporting import render_histogram
+
+from conftest import write_artifact
+
+
+def test_fig6_size_distribution(benchmark, ctx, results_dir):
+    result = benchmark(run_fig6, ctx)
+
+    buckets = {b.label: b for b in result.buckets}
+    assert buckets["2 to 10"].fraction >= 0.3          # modal-ish bucket
+    assert buckets["1"].fraction >= 0.05               # orphans exist
+    assert buckets["More than 50"].fraction <= 0.05    # almost no giants
+    assert abs(sum(b.fraction for b in result.buckets) - 1.0) < 1e-9
+
+    artifact = render_histogram(
+        [b.label for b in result.buckets],
+        [b.count for b in result.buckets],
+        title=(
+            "Figure 6 — distribution of community sizes "
+            f"({result.total_communities} communities)"
+        ),
+    )
+    write_artifact(results_dir, "fig6_sizes", artifact)

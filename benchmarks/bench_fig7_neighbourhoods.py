@@ -1,0 +1,37 @@
+"""FIG7 — the community around the "49ers" analogue and its neighbours.
+
+Paper: Figure 7 plots the community containing "49ers" (variants,
+activities, players) plus its three closest communities (SF tourism,
+SF Gate, Colin Kaepernick).  Expected shape here: the seed community
+holds the topic's surface forms; neighbours are ranked by link weight.
+"""
+
+from repro.eval.experiments import run_fig7
+
+from conftest import write_artifact
+
+
+def test_fig7_neighbourhoods(benchmark, ctx, results_dir):
+    result = benchmark(run_fig7, ctx)
+
+    assert result.seed_term in result.community
+    assert len(result.community) >= 2          # variants were clustered in
+    assert 1 <= len(result.neighbours) <= 3
+    weights = [n.link_weight for n in result.neighbours]
+    assert weights == sorted(weights, reverse=True)
+
+    lines = [
+        f"Figure 7 — communities around the term {result.seed_term!r}",
+        "",
+        f"seed community ({len(result.community)} keywords):",
+        "  " + ", ".join(result.community),
+        "",
+        "closest communities:",
+    ]
+    for neighbour in result.neighbours:
+        members = ", ".join(neighbour.members[:8])
+        lines.append(
+            f"  [links={neighbour.link_weight}] {members}"
+            + (" ..." if len(neighbour.members) > 8 else "")
+        )
+    write_artifact(results_dir, "fig7_neighbourhoods", "\n".join(lines))

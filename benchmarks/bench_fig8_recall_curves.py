@@ -1,0 +1,43 @@
+"""FIG8 — queries with at least n experts, n = 0..14, per query set.
+
+Paper: Figure 8 shows, per set, the percentage of queries for which each
+algorithm returns ≥n experts; e#'s curve dominates the baseline's almost
+everywhere (avg ≈10% more experts, up to 30%).  Expected shape here:
+monotone non-increasing curves with e# above the baseline.
+"""
+
+from repro.eval.experiments import run_fig8
+from repro.eval.reporting import render_series
+
+from conftest import write_artifact
+
+
+def test_fig8_recall_curves(benchmark, ctx, results_dir):
+    results = benchmark(run_fig8, ctx)
+
+    assert len(results) == 6
+    dominated, total = 0, 0
+    for result in results:
+        for curve in (result.baseline_pct, result.esharp_pct):
+            assert all(a >= b for a, b in zip(curve, curve[1:]))
+            assert curve[0] == 100.0
+        for b, e in zip(result.baseline_pct, result.esharp_pct):
+            total += 1
+            dominated += e >= b
+    assert dominated / total > 0.9, "e# does not dominate the baseline"
+
+    blocks = []
+    for result in results:
+        blocks.append(
+            render_series(
+                "n",
+                {
+                    "baseline %": result.baseline_pct,
+                    "e# %": result.esharp_pct,
+                },
+                result.n_values,
+                title=f"Figure 8 — queries with ≥ n experts: {result.dataset}",
+                precision=1,
+            )
+        )
+    write_artifact(results_dir, "fig8_recall_curves", "\n\n".join(blocks))

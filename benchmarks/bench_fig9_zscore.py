@@ -1,0 +1,37 @@
+"""FIG9 — impact of the z-score threshold on experts per query (Top 250).
+
+Paper: Figure 9 sweeps the minimum z-score from 0 to ~8.75; the average
+number of experts per query decreases monotonically, and e# stays above
+the baseline over the whole sweep.  Expected shape here: identical.
+"""
+
+from repro.eval.experiments import run_fig9
+from repro.eval.reporting import render_series
+
+from conftest import write_artifact
+
+
+def test_fig9_zscore_sweep(benchmark, ctx, results_dir):
+    result = benchmark(run_fig9, ctx)
+
+    for curve in (result.baseline_avg, result.esharp_avg):
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+    assert all(
+        e >= b for e, b in zip(result.esharp_avg, result.baseline_avg)
+    )
+    # the sweep must actually bite: strictest ≪ loosest
+    assert result.esharp_avg[-1] < result.esharp_avg[0]
+
+    artifact = render_series(
+        "min z-score",
+        {
+            "baseline avg experts": result.baseline_avg,
+            "e# avg experts": result.esharp_avg,
+        },
+        result.thresholds,
+        title=(
+            "Figure 9 — impact of the z-score threshold on the number of "
+            "experts (set: top 250)"
+        ),
+    )
+    write_artifact(results_dir, "fig9_zscore", artifact)

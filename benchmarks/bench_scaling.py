@@ -1,0 +1,77 @@
+"""Scaling behaviour of the offline pipeline (§4.2.3's motivation).
+
+The paper parallelises the clustering because the production graph has
+60M edges.  This bench measures how one clustering iteration scales with
+graph size on our substrate: the per-iteration cost of the Figure 4
+algorithm is O(E + C), so doubling the edge count should roughly double
+the iteration time — the property that makes the map-reduce formulation
+worthwhile in the first place.
+"""
+
+import random
+import time
+
+from repro.community.parallel import ParallelCommunityDetector, ParallelConfig
+from repro.community.partition import singleton_partition
+from repro.eval.reporting import render_table
+from repro.simgraph.graph import MultiGraph
+
+from conftest import write_artifact
+
+
+def _planted_graph(blocks: int, block_size: int, seed: int) -> MultiGraph:
+    rng = random.Random(seed)
+    graph = MultiGraph()
+    for block in range(blocks):
+        vertices = [f"b{block}v{i}" for i in range(block_size)]
+        for i, u in enumerate(vertices):
+            for v in vertices[i + 1 :]:
+                if rng.random() < 0.4:
+                    graph.add_edge(u, v, rng.randint(1, 3))
+    for block in range(blocks - 1):
+        graph.add_edge(f"b{block}v0", f"b{block + 1}v0", 1)
+    return graph
+
+
+def _one_iteration_seconds(graph: MultiGraph) -> float:
+    detector = ParallelCommunityDetector(graph, ParallelConfig())
+    partition = singleton_partition(graph.vertices())
+    started = time.perf_counter()
+    targets = detector.choose_targets(partition)
+    detector.apply_targets(partition, targets)
+    return time.perf_counter() - started
+
+
+def test_clustering_iteration_scales_near_linearly(benchmark, results_dir):
+    sizes = (10, 20, 40, 80)
+    rows = []
+    timings: dict[int, float] = {}
+    for blocks in sizes:
+        graph = _planted_graph(blocks, block_size=14, seed=blocks)
+        # median of 3 to smooth scheduler noise
+        seconds = sorted(_one_iteration_seconds(graph) for _ in range(3))[1]
+        timings[blocks] = seconds
+        rows.append(
+            (
+                blocks,
+                graph.vertex_count,
+                graph.distinct_edge_count,
+                f"{seconds * 1000:.1f} ms",
+                f"{graph.distinct_edge_count / max(seconds, 1e-9) / 1e6:.2f} M edges/s",
+            )
+        )
+
+    benchmark(
+        _one_iteration_seconds, _planted_graph(40, block_size=14, seed=40)
+    )
+
+    # near-linear: 8x edges should cost < 24x time (3x headroom on linear)
+    ratio = timings[sizes[-1]] / max(timings[sizes[0]], 1e-9)
+    assert ratio < 24, f"iteration cost grew {ratio:.1f}x over an 8x graph"
+
+    artifact = render_table(
+        ["Blocks", "Vertices", "Edges", "Iteration time", "Throughput"],
+        rows,
+        title="Scaling — one Figure 4 iteration vs graph size",
+    )
+    write_artifact(results_dir, "scaling_clustering", artifact)

@@ -1,0 +1,39 @@
+"""TAB1 — the evaluation query sets.
+
+Paper: Table 1 lists six sets (Sports/Electronics/Finance/Health 100 each,
+Wikipedia 100, Top 250) = 750 queries with examples.  Expected shape here:
+six sets with the same names, drawn from the simulated log's popularity,
+with example queries per set.
+"""
+
+from repro.eval.querysets import build_query_sets, total_queries
+from repro.eval.reporting import render_table
+
+from conftest import write_artifact
+
+
+def test_table1_query_sets(benchmark, ctx, results_dir):
+    offline = ctx.system.offline
+    sets = benchmark(build_query_sets, offline.world, offline.store)
+
+    names = [s.name for s in sets]
+    assert names == [
+        "sports", "electronics", "finance", "health", "wikipedia", "top 250",
+    ]
+    assert all(len(s) > 0 for s in sets)
+    # the top set must be the largest, as in the paper
+    assert len(sets[-1]) == max(len(s) for s in sets)
+
+    rows = [
+        (s.name, len(s), ", ".join(s.examples(4)))
+        for s in sets
+    ]
+    artifact = render_table(
+        ["Set Name", "Count", "Examples"],
+        rows,
+        title=(
+            "Table 1 — queries used for the evaluation "
+            f"({total_queries(sets)} total)"
+        ),
+    )
+    write_artifact(results_dir, "table1_querysets", artifact)

@@ -1,0 +1,43 @@
+"""TAB8 — proportion of queries with at least one expert.
+
+Paper: Table 8 reports coverage before/after expansion per query set;
+baseline 0.64–0.94, e# 0.86–0.98, a "neat improvement" in all six cases
+(3.1%–35%), smallest where the baseline is already strong.  Expected
+shape here: e# ≥ baseline on every set, with relative gains in the same
+order of magnitude.
+"""
+
+from repro.eval.experiments import run_table8
+from repro.eval.reporting import render_table
+
+from conftest import write_artifact
+
+
+def test_table8_coverage(benchmark, ctx, results_dir):
+    rows = benchmark(run_table8, ctx)
+
+    assert len(rows) == 6
+    for row in rows:
+        assert row.esharp >= row.baseline, f"{row.dataset}: e# lost coverage"
+    gains = [row.improvement for row in rows if row.baseline > 0]
+    assert any(gain >= 0.02 for gain in gains), "no set improved by ≥2%"
+    assert all(gain <= 2.0 for gain in gains), "implausible >200% gain"
+
+    rendered = [
+        (
+            row.dataset,
+            f"{row.baseline:.2f}",
+            f"{row.esharp:.2f}",
+            f"{row.improvement * 100:.1f}%",
+        )
+        for row in rows
+    ]
+    artifact = render_table(
+        ["Data set", "Baseline", "e#", "Improvement"],
+        rendered,
+        title=(
+            "Table 8 — proportion of queries with at least one candidate "
+            "expert, before and after query expansion"
+        ),
+    )
+    write_artifact(results_dir, "table8_coverage", artifact)

@@ -1,0 +1,41 @@
+"""TAB9 — resource consumption per pipeline stage.
+
+Paper: Table 9 — Extraction (65 VMs, 38 min, 998 GB → 2.6 GB), Clustering
+(65 VMs, 2 h), Expansion (<100 ms), Detection (<1 s).  Absolute numbers
+are cluster-bound; the *profile* must hold: extraction reads orders of
+magnitude more than it writes, the offline stages dwarf the online ones,
+and the online path is interactive.
+"""
+
+from repro.eval.experiments import run_table9
+from repro.eval.reporting import render_table
+
+from conftest import write_artifact
+
+
+def test_table9_resources(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(
+        run_table9, args=(ctx,), kwargs={"sample_queries": 25},
+        rounds=1, iterations=1,
+    )
+
+    names = [row[0] for row in result.rows]
+    assert names == ["Extraction", "Clustering", "Expansion", "Detection"]
+    # online stages at interactive latencies
+    assert result.expansion_seconds < 0.1
+    assert result.detection_seconds < 1.0
+    # extraction is a massive reduction
+    extraction = ctx.system.offline.clock.reports[0]
+    assert extraction.bytes_read > 10 * extraction.bytes_written
+    # offline stages dwarf the online path
+    offline_seconds = ctx.system.offline.clock.total_seconds()
+    assert offline_seconds > 10 * (
+        result.expansion_seconds + result.detection_seconds
+    )
+
+    artifact = render_table(
+        ["Step", "Workers", "Runtime", "Read", "Write"],
+        result.rows,
+        title="Table 9 — resource consumption for one pipeline iteration",
+    )
+    write_artifact(results_dir, "table9_resources", artifact)

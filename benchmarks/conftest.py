@@ -1,0 +1,42 @@
+"""Benchmark fixtures.
+
+One standard-scale e# system is built per session and shared by every
+bench.  Each bench both *times* its driver (pytest-benchmark) and *renders*
+the paper artifact it reproduces into ``benchmarks/results/<name>.txt`` so
+the rows/series can be inspected after the run (EXPERIMENTS.md quotes
+them).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.config import ESharpConfig
+from repro.eval.experiments import ExperimentContext
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: one seed for the whole benchmark session — every artifact comes from
+#: the same simulated world, exactly as the paper's figures all come from
+#: the same May-2014 log and Twitter corpus
+BENCH_SEED = 2016
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext.build(ESharpConfig.standard(seed=BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_artifact(results_dir: pathlib.Path, name: str, content: str) -> None:
+    """Persist a rendered artifact and echo it for ``-s`` runs."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(content + "\n", encoding="utf-8")
+    print(f"\n{content}\n[written to {path}]")

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The crowdsourcing protocol of §6.2.1, observable end to end.
+
+Runs the full judging machinery for a handful of queries: gold-question
+screening, interleaving of both algorithms' results, ≤6-expert chunks,
+three judgments per account, majority voting — then compares the crowd's
+impurity estimate with the exact ground-truth impurity (which only a
+simulator can reveal).
+"""
+
+from repro import ESharp, ESharpConfig
+from repro.crowd.metrics import impurity, true_impurity
+from repro.crowd.study import CrowdStudy, StudyConfig
+
+
+def main() -> None:
+    system = ESharp(ESharpConfig.small(seed=42)).build()
+    world = system.offline.world
+    study = CrowdStudy(world, system.platform, StudyConfig(seed=7))
+
+    screened = study.pool.screened()
+    spammers_in = sum(1 for w in study.pool.workers if w.is_spammer)
+    spammers_out = sum(1 for w in screened if w.is_spammer)
+    print("worker pool")
+    print(f"  recruited: {len(study.pool)} "
+          f"(including {spammers_in} spammers)")
+    print(f"  passed the gold screen: {len(screened)} "
+          f"(spammers remaining: {spammers_out})")
+
+    queries = [
+        t.canonical.text
+        for t in sorted(
+            (t for t in world.topics if t.microblog_affinity > 0.5),
+            key=lambda t: t.popularity,
+            reverse=True,
+        )[:5]
+    ]
+
+    print(f"\n{'query':<24} {'judged':>6} {'crowd imp':>10} {'true imp':>9}")
+    for query in queries:
+        baseline = system.find_experts_baseline(query)
+        esharp = system.find_experts(query)
+        outcome = study.judge_results(query, baseline, esharp)
+        merged = {e.user_id: e for e in baseline + esharp}
+        experts = list(merged.values())
+        crowd = impurity(query, experts, outcome)
+        relevance = {
+            (query, e.user_id): study.truly_relevant(query, e.user_id)
+            for e in experts
+        }
+        exact = true_impurity(query, experts, relevance)
+        print(
+            f"{query:<24} {outcome.judged_count():>6} "
+            f"{crowd:>10.3f} {exact:>9.3f}"
+        )
+
+    print(
+        "\nthe crowd's majority vote tracks ground truth closely — the "
+        "noise\nintroduced by unreliable and unknowledgeable workers "
+        "largely cancels\nunder 3-way voting, which is what the paper's "
+        "protocol relies on."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Tuning the z-score threshold on health queries (Figures 9 & 10).
+
+The detector's one user-facing knob is the minimum z-score (§6.2.3): a
+low value returns many mediocre experts, a high value a few excellent
+ones.  This example sweeps the threshold over the health query set and
+prints, for baseline and e#:
+
+* average experts per query (Figure 9's y-axis), and
+* *true* impurity measured against the simulator's ground truth — the
+  quantity the paper could only estimate with crowdworkers.
+"""
+
+from repro import ESharp, ESharpConfig
+from repro.eval.querysets import QuerySetConfig, build_query_sets
+
+
+def main() -> None:
+    system = ESharp(ESharpConfig.small(seed=42)).build()
+    offline = system.offline
+    world = offline.world
+
+    sets = build_query_sets(
+        world, offline.store, QuerySetConfig(per_domain=15, top_set=30,
+                                             min_frequency=5)
+    )
+    health = next(s for s in sets if s.name == "health")
+    print(f"health queries ({len(health)}): {', '.join(health.examples(6))}\n")
+
+    def relevant(query: str, user_id: int) -> bool:
+        topic = world.primary_topic_for(query)
+        if topic is None:
+            return False
+        user = system.platform.user(user_id)
+        if user.is_expert_on(topic.topic_id):
+            return True
+        return user.persona == "broad_expert" and topic.domain in {
+            world.topic(t).domain for t in user.expert_topics
+        }
+
+    header = (
+        f"{'min z':>6} | {'base n/q':>8} {'base imp':>8} | "
+        f"{'e# n/q':>8} {'e# imp':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for threshold in (0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0):
+        stats = {}
+        for name, pools in (
+            ("base", [system.find_experts_baseline(q, threshold)
+                      for q in health.queries]),
+            ("e#", [system.find_experts(q, threshold)
+                    for q in health.queries]),
+        ):
+            total = sum(len(p) for p in pools)
+            bad = sum(
+                1
+                for query, pool in zip(health.queries, pools)
+                for expert in pool
+                if not relevant(query, expert.user_id)
+            )
+            stats[name] = (
+                total / len(health.queries),
+                bad / total if total else 0.0,
+            )
+        print(
+            f"{threshold:>6.1f} | {stats['base'][0]:>8.2f} "
+            f"{stats['base'][1]:>8.3f} | {stats['e#'][0]:>8.2f} "
+            f"{stats['e#'][1]:>8.3f}"
+        )
+
+    print(
+        "\nreading: e# sustains a much higher expert count at every "
+        "threshold;\ncompare impurities at equal n/q (different rows) to "
+        "see the paper's\n'minimal, if not negligible' precision penalty."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""§8 future work, realised: e# on a Quora-style Q&A platform.
+
+The paper argues its expansion layer "can work with any Expertise
+Retrieval system" and names Quora as the next target.  This example
+builds a Q&A platform (questions, long-form answers, ask-to-answer
+requests, shares) from the same world model, then runs the *unchanged*
+Pal & Counts detector and e# online path over it — the expansion
+collection still comes from the simulated web-search log.
+"""
+
+from repro.community.parallel import ParallelCommunityDetector
+from repro.core.config import ESharpConfig
+from repro.detector.palcounts import PalCountsDetector
+from repro.detector.ranking import RankingConfig
+from repro.expansion.domainstore import DomainStore
+from repro.expansion.expander import QueryExpander
+from repro.qa import QAConfig, generate_qa_platform
+from repro.querylog.generator import generate_query_log
+from repro.simgraph.extract import extract_similarity_graph
+from repro.worldmodel.builder import build_world
+
+
+def main() -> None:
+    config = ESharpConfig.small(seed=42)
+    world = build_world(config.world)
+
+    print("building the Q&A platform...")
+    qa = generate_qa_platform(world, QAConfig(seed=42, posts=20_000))
+    print(f"  {qa}")
+    sample = next(
+        p for p in qa.tweets() if qa.kind_of(p.tweet_id) == "answer"
+    )
+    print(f"  sample answer ({len(sample.text)} chars): {sample.text[:90]}...")
+
+    print("\nbuilding the expansion collection from the search log...")
+    store = generate_query_log(world, config.querylog)
+    graph = extract_similarity_graph(store, config.similarity).multigraph
+    partition = ParallelCommunityDetector(graph).run()
+    domains = DomainStore.from_partition(partition)
+    print(f"  {domains}")
+
+    detector = PalCountsDetector(qa, RankingConfig(min_zscore=1.0))
+    expander = QueryExpander(domains, detector)
+
+    queries = [
+        t.canonical.text
+        for t in sorted(
+            (t for t in world.topics if t.microblog_affinity > 0.5),
+            key=lambda t: t.popularity,
+            reverse=True,
+        )[:20]
+    ]
+    base_cov = esh_cov = base_n = esh_n = 0
+    for query in queries:
+        baseline = detector.detect(query)
+        esharp = expander.detect(query).experts
+        base_cov += bool(baseline)
+        esh_cov += bool(esharp)
+        base_n += len(baseline)
+        esh_n += len(esharp)
+
+    print(f"\nover {len(queries)} head queries on the Q&A platform:")
+    print(f"  baseline: coverage {base_cov}/{len(queries)}, "
+          f"{base_n} experts total")
+    print(f"  e#:       coverage {esh_cov}/{len(queries)}, "
+          f"{esh_n} experts total")
+
+    query = max(
+        queries,
+        key=lambda q: len(expander.detect(q).experts)
+        - len(detector.detect(q)),
+    )
+    print(f"\nbest showcase query: {query!r}")
+    for expert in expander.detect(query).experts[:5]:
+        user = qa.user(expert.user_id)
+        role = "top writer" if user.is_expert else user.persona
+        print(f"  {expert}   <- {role}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: build an e# system and find experts for a query.
+
+Runs the complete pipeline at small scale (≈15 s):
+
+1. build the synthetic world (topics, keywords, URLs),
+2. offline stage — simulate a search log, extract the term-similarity
+   graph, cluster it into expertise domains (§4),
+3. generate the microblog corpus,
+4. online stage — answer a query with and without expansion (§3, §5).
+
+Usage::
+
+    python examples/quickstart.py [query]
+"""
+
+import sys
+
+from repro import ESharp, ESharpConfig
+
+
+def main() -> None:
+    print("building e# (small scale)...")
+    system = ESharp(ESharpConfig.small(seed=42)).build()
+    offline = system.offline
+    print(
+        f"  world: {len(offline.world.topics)} topics, "
+        f"{len(offline.world.vocabulary())} keyword surface forms"
+    )
+    print(
+        f"  domains: {offline.domain_store.domain_count} communities over "
+        f"{offline.domain_store.keyword_count} logged keywords"
+    )
+    print(
+        f"  corpus: {system.platform.tweet_count} tweets by "
+        f"{system.platform.user_count} users"
+    )
+
+    if len(sys.argv) > 1:
+        query = " ".join(sys.argv[1:])
+    else:
+        # default: the head sports query where expansion helps most
+        candidates = sorted(
+            (t for t in offline.world.topics_in_domain("sports")
+             if t.microblog_affinity > 0.5),
+            key=lambda t: t.popularity,
+            reverse=True,
+        )[:12]
+        query = max(
+            (t.canonical.text for t in candidates),
+            key=lambda q: len(system.find_experts(q))
+            - len(system.find_experts_baseline(q)),
+        )
+
+    print(f"\nquery: {query!r}")
+    terms = system.expansion_terms(query)
+    print(f"expansion terms ({len(terms)}): {', '.join(terms[:8])}"
+          + (" ..." if len(terms) > 8 else ""))
+
+    baseline = system.find_experts_baseline(query)
+    esharp = system.find_experts(query)
+
+    print(f"\nbaseline (Pal & Counts) — {len(baseline)} experts:")
+    for expert in baseline[:5]:
+        print(f"  {expert}")
+    print(f"\ne# (with expansion) — {len(esharp)} experts:")
+    baseline_ids = {e.user_id for e in baseline}
+    for expert in esharp[:8]:
+        marker = " " if expert.user_id in baseline_ids else "*"
+        print(f" {marker} {expert}")
+    new = sum(1 for e in esharp if e.user_id not in baseline_ids)
+    print(f"\n* = {new} experts the baseline missed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The paper's "49ers" walkthrough (§1, §6.1, Table 2) on synthetic data.
+
+Picks the most popular sports topic (our "49ers"), then:
+
+* shows the expertise domain the offline stage built around it
+  (variants, activities, affiliated people — Figure 7's dark-blue set),
+* shows the three closest communities (Figure 7's neighbours),
+* compares baseline vs e# expert lists (Table 2),
+* reveals the ground truth behind each returned account — including the
+  *hidden experts*: accounts that are genuinely authoritative but never
+  type the query term inside 140 characters.
+"""
+
+from repro import ESharp, ESharpConfig
+from repro.community.neighbours import closest_communities
+
+
+def main() -> None:
+    system = ESharp(ESharpConfig.small(seed=42)).build()
+    offline = system.offline
+    world = offline.world
+
+    # pick the sports topic where expansion helps most (our "49ers"):
+    # scan head topics and keep the one with the widest e#-vs-baseline gap
+    candidates = sorted(
+        (t for t in world.topics_in_domain("sports")
+         if t.microblog_affinity > 0.5),
+        key=lambda t: t.popularity,
+        reverse=True,
+    )[:12]
+    def gap(t):
+        q = t.canonical.text
+        return len(system.find_experts(q)) - len(
+            system.find_experts_baseline(q)
+        )
+    topic = max(candidates, key=gap)
+    query = topic.canonical.text
+    print(f"our '49ers': {query!r}")
+    print(f"  true surface forms: {', '.join(topic.keyword_texts())}")
+
+    # ---- Figure 7: the community and its neighbours --------------------
+    if query in offline.partition.assignment:
+        community, neighbours = closest_communities(
+            offline.multigraph, offline.partition, query
+        )
+        print(f"\ndomain built offline ({len(community)} keywords):")
+        print("  " + ", ".join(community))
+        print("closest communities:")
+        for neighbour in neighbours:
+            print(
+                f"  [links={neighbour.link_weight}] "
+                + ", ".join(neighbour.members[:6])
+            )
+
+    # ---- Table 2: baseline vs e# ---------------------------------------
+    baseline = system.find_experts_baseline(query)
+    esharp = system.find_experts(query)
+    baseline_ids = {e.user_id for e in baseline}
+
+    def describe(expert) -> str:
+        user = system.platform.user(expert.user_id)
+        genuine = user.is_expert_on(topic.topic_id)
+        truth = "genuine expert" if genuine else f"({user.persona})"
+        return f"{expert}   <- {truth}"
+
+    print(f"\nBaseline — {len(baseline)} experts:")
+    for expert in baseline[:6]:
+        print("  " + describe(expert))
+
+    print(f"\ne# — {len(esharp)} experts (* = newly found):")
+    for expert in esharp[:10]:
+        marker = "*" if expert.user_id not in baseline_ids else " "
+        print(f" {marker} " + describe(expert))
+
+    # ---- the recall story -----------------------------------------------
+    hidden = [
+        e for e in esharp
+        if e.user_id not in baseline_ids
+        and system.platform.user(e.user_id).is_expert_on(topic.topic_id)
+    ]
+    print(
+        f"\nhidden experts recovered by expansion: {len(hidden)}"
+    )
+    for expert in hidden[:5]:
+        user = system.platform.user(expert.user_id)
+        preferred = user.preferred_keywords.get(topic.topic_id, ())
+        print(
+            f"  @{expert.screen_name} habitually writes "
+            f"{', '.join(repr(k) for k in preferred)} — never {query!r}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro — a reproduction of *e#: Sharper Expertise Detection from
+Microblogs* (Sellam, Hentschel, Kandylas, Alonso; EDBT 2016).
+
+The package implements the complete system described in the paper plus
+every substrate it depends on, simulated where the original inputs are
+proprietary (see DESIGN.md for the substitution table):
+
+* :mod:`repro.worldmodel` — ground-truth topic taxonomy (S1)
+* :mod:`repro.querylog` — search query-log simulator (S2)
+* :mod:`repro.simgraph` — term-similarity-graph extraction, §4.1 (S3)
+* :mod:`repro.relational` — SQL-capable relational engine, §4.2.2–4.2.3 (S4)
+* :mod:`repro.community` — modularity-based community detection, §4.2 (S5)
+* :mod:`repro.microblog` — microblog platform simulator (S6)
+* :mod:`repro.detector` — Pal & Counts expert detector, §3 (S7)
+* :mod:`repro.expansion` — domain store + query expansion, §5 (S8)
+* :mod:`repro.core` — the assembled e# system, §2 (S9)
+* :mod:`repro.crowd` — crowdsourcing-study simulator, §6.2 (S10)
+* :mod:`repro.eval` — experiment harness for every table/figure, §6 (S11)
+
+Quickstart::
+
+    from repro import ESharp, ESharpConfig
+
+    system = ESharp(ESharpConfig.small()).build()
+    for expert in system.find_experts("columbus bears"):
+        print(expert)
+"""
+
+from repro.core.config import ESharpConfig
+from repro.core.esharp import ESharp
+from repro.detector.ranking import RankedExpert
+
+__version__ = "1.0.0"
+
+__all__ = ["ESharp", "ESharpConfig", "RankedExpert", "__version__"]

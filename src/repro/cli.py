@@ -1,0 +1,219 @@
+"""Command-line interface.
+
+::
+
+    python -m repro build      [--scale small|standard] [--seed N] [--save-domains PATH]
+    python -m repro query Q    [--scale ...] [--seed N] [--baseline] [--min-zscore X]
+    python -m repro experiment {fig5,fig6,fig7,table8,fig8,fig9,table9} [--scale ...]
+    python -m repro sql "SELECT ..." --table name=path.tsv [--table ...]
+
+``build``/``query`` construct the full system from scratch (the small
+scale takes ~15 s); ``experiment`` runs one §6 driver and prints the
+rendered artifact; ``sql`` executes ad-hoc statements on TSV tables with
+the bundled engine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.config import ESharpConfig
+from repro.core.esharp import ESharp
+from repro.utils.timing import format_bytes
+
+
+def _config(scale: str, seed: int) -> ESharpConfig:
+    if scale == "small":
+        return ESharpConfig.small(seed=seed)
+    if scale == "standard":
+        return ESharpConfig.standard(seed=seed)
+    raise ValueError(f"unknown scale {scale!r}")
+
+
+def _build_system(args: argparse.Namespace) -> ESharp:
+    print(f"building e# ({args.scale}, seed={args.seed})...", file=sys.stderr)
+    return ESharp(_config(args.scale, args.seed)).build()
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    system = _build_system(args)
+    offline = system.offline
+    print(f"world:    {len(offline.world.topics)} topics, "
+          f"{len(offline.world.vocabulary())} keywords")
+    print(f"log:      {offline.store.impressions:,} impressions "
+          f"({format_bytes(offline.store.raw_bytes)})")
+    print(f"graph:    {offline.multigraph.vertex_count:,} vertices, "
+          f"{offline.multigraph.distinct_edge_count:,} edges")
+    print(f"domains:  {offline.domain_store.domain_count} communities "
+          f"({format_bytes(offline.domain_store.storage_bytes())})")
+    print(f"corpus:   {system.platform.tweet_count:,} tweets, "
+          f"{system.platform.user_count:,} users")
+    for report in offline.clock.reports:
+        name, workers, runtime, read, write = report.as_row()
+        print(f"stage:    {name:<11} workers={workers:<3} time={runtime:<9} "
+              f"read={read:<8} write={write}")
+    if args.save_domains:
+        written = offline.domain_store.save(args.save_domains)
+        print(f"domains written to {args.save_domains} "
+              f"({format_bytes(written)})")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    system = _build_system(args)
+    query = " ".join(args.query)
+    terms = system.expansion_terms(query)
+    print(f"query: {query!r}")
+    print(f"expansion ({len(terms)} terms): "
+          + ", ".join(terms[:10])
+          + (" ..." if len(terms) > 10 else ""))
+    if args.baseline:
+        experts = system.find_experts_baseline(query, args.min_zscore)
+        print(f"\nbaseline — {len(experts)} experts:")
+    else:
+        experts = system.find_experts(query, args.min_zscore)
+        print(f"\ne# — {len(experts)} experts:")
+    for expert in experts:
+        print(f"  {expert}")
+    if not experts:
+        print("  (none above the threshold)")
+    return 0
+
+
+_EXPERIMENTS = ("fig5", "fig6", "fig7", "table8", "fig8", "fig9", "table9")
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.eval import experiments as drivers
+    from repro.eval.reporting import render_histogram, render_series, render_table
+
+    ctx = drivers.ExperimentContext.build(_config(args.scale, args.seed))
+    name = args.name
+    if name == "fig5":
+        result = drivers.run_fig5(ctx)
+        print(render_series(
+            "iteration",
+            {"communities": [float(c) for c in result.community_counts]},
+            result.iterations,
+            title="Figure 5 — convergence",
+            precision=0,
+        ))
+    elif name == "fig6":
+        result = drivers.run_fig6(ctx)
+        print(render_histogram(
+            [b.label for b in result.buckets],
+            [b.count for b in result.buckets],
+            title="Figure 6 — community sizes",
+        ))
+    elif name == "fig7":
+        result = drivers.run_fig7(ctx)
+        print(f"Figure 7 — around {result.seed_term!r}")
+        print("community: " + ", ".join(result.community))
+        for neighbour in result.neighbours:
+            print(f"  [links={neighbour.link_weight}] "
+                  + ", ".join(neighbour.members[:6]))
+    elif name == "table8":
+        rows = drivers.run_table8(ctx)
+        print(render_table(
+            ["Data set", "Baseline", "e#", "Improvement"],
+            [(r.dataset, f"{r.baseline:.2f}", f"{r.esharp:.2f}",
+              f"{r.improvement * 100:.1f}%") for r in rows],
+            title="Table 8 — coverage",
+        ))
+    elif name == "fig8":
+        for result in drivers.run_fig8(ctx):
+            print(render_series(
+                "n",
+                {"baseline %": result.baseline_pct, "e# %": result.esharp_pct},
+                result.n_values,
+                title=f"Figure 8 — {result.dataset}",
+                precision=1,
+            ))
+            print()
+    elif name == "fig9":
+        result = drivers.run_fig9(ctx)
+        print(render_series(
+            "min z-score",
+            {"baseline": result.baseline_avg, "e#": result.esharp_avg},
+            result.thresholds,
+            title="Figure 9 — threshold sweep (top 250)",
+        ))
+    elif name == "table9":
+        result = drivers.run_table9(ctx)
+        print(render_table(
+            ["Step", "Workers", "Runtime", "Read", "Write"],
+            result.rows,
+            title="Table 9 — resources",
+        ))
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown experiment {name!r}")
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    from repro.relational.io import load_table
+    from repro.relational.sql import SqlSession
+
+    session = SqlSession()
+    for binding in args.table:
+        name, _, path = binding.partition("=")
+        if not name or not path:
+            print(f"--table expects name=path, got {binding!r}",
+                  file=sys.stderr)
+            return 2
+        session.register(name, load_table(path))
+    result = session.run(args.statement)
+    print(result.pretty(limit=args.limit))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="e# (EDBT 2016) reproduction — build, query, reproduce",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scale(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scale", choices=("small", "standard"),
+                       default="small")
+        p.add_argument("--seed", type=int, default=2016)
+
+    p_build = sub.add_parser("build", help="run the full pipeline, print stats")
+    add_scale(p_build)
+    p_build.add_argument("--save-domains", metavar="PATH",
+                         help="write the domain collection as TSV")
+    p_build.set_defaults(handler=cmd_build)
+
+    p_query = sub.add_parser("query", help="find experts for a query")
+    add_scale(p_query)
+    p_query.add_argument("query", nargs="+", help="the query keywords")
+    p_query.add_argument("--baseline", action="store_true",
+                         help="run Pal & Counts without expansion")
+    p_query.add_argument("--min-zscore", type=float, default=None)
+    p_query.set_defaults(handler=cmd_query)
+
+    p_exp = sub.add_parser("experiment", help="run one §6 driver")
+    add_scale(p_exp)
+    p_exp.add_argument("name", choices=_EXPERIMENTS)
+    p_exp.set_defaults(handler=cmd_experiment)
+
+    p_sql = sub.add_parser("sql", help="run SQL over TSV tables")
+    p_sql.add_argument("statement", help="the SQL text")
+    p_sql.add_argument("--table", action="append", default=[],
+                       metavar="NAME=PATH", help="bind a TSV file")
+    p_sql.add_argument("--limit", type=int, default=40)
+    p_sql.set_defaults(handler=cmd_sql)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

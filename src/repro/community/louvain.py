@@ -1,0 +1,139 @@
+"""Louvain community detection — §8's "different community detection
+paradigms" future work, used in the ablation bench ABL1.
+
+Standard two-phase algorithm (Blondel et al. 2008) on integer edge
+multiplicities: local moves to the best neighbouring community until no
+vertex improves modularity, then aggregation of communities into a
+super-graph (with self-loops), repeated until stable.  Deterministic:
+vertices are visited in sorted order and ties break on the smaller
+community label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.community.partition import Partition
+from repro.simgraph.graph import MultiGraph
+
+
+@dataclass(frozen=True)
+class LouvainConfig:
+    max_levels: int = 10
+    max_sweeps_per_level: int = 20
+
+    def __post_init__(self) -> None:
+        if self.max_levels < 1 or self.max_sweeps_per_level < 1:
+            raise ValueError("levels and sweeps must be >= 1")
+
+
+class LouvainDetector:
+    def __init__(self, graph: MultiGraph, config: LouvainConfig | None = None) -> None:
+        self.graph = graph
+        self.config = config or LouvainConfig()
+        self.levels: list[int] = []  # community count after each level
+
+    def run(self) -> Partition:
+        # internal adjacency (self-loops allowed at aggregated levels)
+        adjacency: dict[str, dict[str, int]] = {
+            v: {} for v in self.graph.vertices()
+        }
+        for u, v, multiplicity in self.graph.edges():
+            adjacency[u][v] = multiplicity
+            adjacency[v][u] = multiplicity
+
+        # mapping from original vertices to current-level nodes
+        membership = {vertex: vertex for vertex in adjacency}
+        self.levels = []
+
+        for _ in range(self.config.max_levels):
+            assignment, changed = self._one_level(adjacency)
+            self.levels.append(len(set(assignment.values())))
+            membership = {
+                vertex: assignment[node] for vertex, node in membership.items()
+            }
+            if not changed:
+                break
+            adjacency = _aggregate(adjacency, assignment)
+
+        return Partition(dict(membership))
+
+    def _one_level(
+        self, adjacency: dict[str, dict[str, int]]
+    ) -> tuple[dict[str, str], bool]:
+        """Local-move phase; returns (assignment, any_move_happened)."""
+        two_m = sum(
+            sum(weights.values()) for weights in adjacency.values()
+        )  # counts each edge twice, self-loops once
+        two_m += sum(weights.get(node, 0) for node, weights in adjacency.items())
+        if two_m == 0:
+            return {node: node for node in adjacency}, False
+
+        node_degree = {
+            node: sum(weights.values()) + weights.get(node, 0)
+            for node, weights in adjacency.items()
+        }
+        community = {node: node for node in adjacency}
+        community_degree = dict(node_degree)
+
+        moved_any = False
+        for _ in range(self.config.max_sweeps_per_level):
+            moved_this_sweep = False
+            for node in sorted(adjacency):
+                home = community[node]
+                degree = node_degree[node]
+                community_degree[home] -= degree
+                # links from node to each neighbouring community
+                links: dict[str, int] = {}
+                for neighbour, weight in adjacency[node].items():
+                    if neighbour == node:
+                        continue
+                    links[community[neighbour]] = (
+                        links.get(community[neighbour], 0) + weight
+                    )
+                best_community, best_gain = home, 0.0
+                for candidate, link_weight in sorted(links.items()):
+                    gain = link_weight - community_degree[candidate] * degree / two_m
+                    if gain > best_gain or (
+                        gain == best_gain
+                        and gain > 0
+                        and candidate < best_community
+                    ):
+                        best_community, best_gain = candidate, gain
+                community[node] = best_community
+                community_degree[best_community] = (
+                    community_degree.get(best_community, 0) + degree
+                )
+                if best_community != home:
+                    moved_this_sweep = True
+                    moved_any = True
+            if not moved_this_sweep:
+                break
+        return community, moved_any
+
+
+def _aggregate(
+    adjacency: dict[str, dict[str, int]], assignment: dict[str, str]
+) -> dict[str, dict[str, int]]:
+    """Build the super-graph: communities become nodes, intra-edges self-loops."""
+    aggregated: dict[str, dict[str, int]] = {
+        community: {} for community in set(assignment.values())
+    }
+    seen: set[tuple[str, str]] = set()
+    for node, weights in adjacency.items():
+        for neighbour, weight in weights.items():
+            if node == neighbour:
+                cu = assignment[node]
+                aggregated[cu][cu] = aggregated[cu].get(cu, 0) + weight
+                continue
+            key = (node, neighbour) if node < neighbour else (neighbour, node)
+            if key in seen:
+                continue
+            seen.add(key)
+            cu, cv = assignment[node], assignment[neighbour]
+            if cu == cv:
+                aggregated[cu][cu] = aggregated[cu].get(cu, 0) + weight
+            else:
+                aggregated[cu][cv] = aggregated[cu].get(cv, 0) + weight
+                aggregated[cv][cu] = aggregated[cv].get(cu, 0) + weight
+    return aggregated

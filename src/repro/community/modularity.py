@@ -1,0 +1,120 @@
+"""Modularity arithmetic, equations 1–9 of the paper.
+
+The paper works with the *unnormalised* modularity
+
+    Mod(C)   = m_C − m_G · (D_C / D_G)²                       (Eq. 6)
+
+and the pairwise merge gain with its computational shortcut
+
+    ΔMod     = m_{1↔2} − D_1 · D_2 / (2 m_G)                  (Eq. 8–9)
+
+where ``m_C`` counts unit edges inside C, ``D_C`` sums member degrees,
+``m_G`` is the graph's unit-edge total and ``D_G = 2 m_G``.  A hypothesis
+test asserts the shortcut equals the direct three-term form (Eq. 7) for
+random graphs and partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.community.partition import Partition
+from repro.simgraph.graph import MultiGraph
+
+
+@dataclass
+class CommunityStats:
+    """Per-community quantities the algorithms maintain between iterations."""
+
+    #: D_C — sum of member degrees
+    degree_sum: dict[str, int] = field(default_factory=dict)
+    #: m_C — unit edges with both endpoints inside the community
+    internal_edges: dict[str, int] = field(default_factory=dict)
+    #: m_{1↔2} — unit edges between two communities, keyed by sorted pair
+    between_edges: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: m_G
+    total_edges: int = 0
+
+    @classmethod
+    def from_partition(cls, graph: MultiGraph, partition: Partition) -> "CommunityStats":
+        """One O(V + E) pass computing every quantity."""
+        stats = cls(total_edges=graph.total_edges)
+        for vertex in graph.vertices():
+            community = partition.community_of(vertex)
+            stats.degree_sum[community] = (
+                stats.degree_sum.get(community, 0) + graph.degree(vertex)
+            )
+        for community in partition.communities():
+            stats.internal_edges.setdefault(community, 0)
+            stats.degree_sum.setdefault(community, 0)
+        for u, v, multiplicity in graph.edges():
+            cu, cv = partition.community_of(u), partition.community_of(v)
+            if cu == cv:
+                stats.internal_edges[cu] = (
+                    stats.internal_edges.get(cu, 0) + multiplicity
+                )
+            else:
+                key = (cu, cv) if cu < cv else (cv, cu)
+                stats.between_edges[key] = (
+                    stats.between_edges.get(key, 0) + multiplicity
+                )
+        return stats
+
+    def between(self, c1: str, c2: str) -> int:
+        key = (c1, c2) if c1 < c2 else (c2, c1)
+        return self.between_edges.get(key, 0)
+
+
+def community_modularity(
+    internal_edges: int, degree_sum: int, total_edges: int
+) -> float:
+    """Eq. 6: ``Mod(C) = m_C − m_G (D_C / D_G)²``; 0 for an empty graph."""
+    if total_edges == 0:
+        return 0.0
+    total_degree = 2 * total_edges
+    return internal_edges - total_edges * (degree_sum / total_degree) ** 2
+
+
+def total_modularity(graph: MultiGraph, partition: Partition) -> float:
+    """Eq. 2: the sum of community modularities."""
+    stats = CommunityStats.from_partition(graph, partition)
+    return sum(
+        community_modularity(
+            stats.internal_edges.get(community, 0),
+            stats.degree_sum.get(community, 0),
+            stats.total_edges,
+        )
+        for community in partition.communities()
+    )
+
+
+def delta_modularity(
+    between_edges: int, degree_sum_1: int, degree_sum_2: int, total_edges: int
+) -> float:
+    """Eq. 8–9 shortcut: ``ΔMod = m_{1↔2} − D_1 D_2 / (2 m_G)``."""
+    if total_edges == 0:
+        return 0.0
+    return between_edges - (degree_sum_1 * degree_sum_2) / (2 * total_edges)
+
+
+def delta_modularity_direct(
+    graph: MultiGraph, partition: Partition, c1: str, c2: str
+) -> float:
+    """Eq. 7 three-term form: ``Mod(C1 ∪ C2) − Mod(C1) − Mod(C2)``.
+
+    Exists for verification only; quadratic-ish and recomputes stats.
+    """
+    if c1 == c2:
+        raise ValueError("delta modularity requires two distinct communities")
+    stats = CommunityStats.from_partition(graph, partition)
+    m1 = stats.internal_edges.get(c1, 0)
+    m2 = stats.internal_edges.get(c2, 0)
+    d1 = stats.degree_sum.get(c1, 0)
+    d2 = stats.degree_sum.get(c2, 0)
+    between = stats.between(c1, c2)
+    merged = community_modularity(m1 + m2 + between, d1 + d2, stats.total_edges)
+    return (
+        merged
+        - community_modularity(m1, d1, stats.total_edges)
+        - community_modularity(m2, d2, stats.total_edges)
+    )

@@ -1,0 +1,55 @@
+"""Closest communities of a community — the Figure 7 view.
+
+Figure 7 plots the community containing "49ers" together with its three
+*closest* communities.  Closeness between two communities is their merge
+gain's link component relative to size — we rank by total inter-community
+edge weight, which is what the figure's layout visibly encodes (thick
+bundles of edges between the dark-blue and neighbouring groups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.community.modularity import CommunityStats
+from repro.community.partition import Partition
+from repro.simgraph.graph import MultiGraph
+
+
+@dataclass(frozen=True)
+class CommunityNeighbour:
+    """One nearby community and its connection strength."""
+
+    community: str
+    members: tuple[str, ...]
+    link_weight: int
+
+
+def closest_communities(
+    graph: MultiGraph,
+    partition: Partition,
+    seed_term: str,
+    count: int = 3,
+) -> tuple[tuple[str, ...], list[CommunityNeighbour]]:
+    """Return (members of seed community, its ``count`` closest communities).
+
+    Raises ``KeyError`` when ``seed_term`` is not a graph vertex.
+    """
+    home = partition.community_of(seed_term)
+    stats = CommunityStats.from_partition(graph, partition)
+    links: dict[str, int] = {}
+    for (c1, c2), weight in stats.between_edges.items():
+        if c1 == home:
+            links[c2] = links.get(c2, 0) + weight
+        elif c2 == home:
+            links[c1] = links.get(c1, 0) + weight
+    ranked = sorted(links.items(), key=lambda item: (-item[1], item[0]))
+    neighbours = [
+        CommunityNeighbour(
+            community=community,
+            members=tuple(sorted(partition.members(community))),
+            link_weight=weight,
+        )
+        for community, weight in ranked[:count]
+    ]
+    return tuple(sorted(partition.members(home))), neighbours

@@ -1,0 +1,120 @@
+"""Newman's sequential greedy heuristic (§4.2.1) — the CNM baseline.
+
+The seminal single-machine algorithm the paper builds on: start from
+singletons, repeatedly merge the *globally* best pair (largest ΔMod > 0),
+stop when no merge improves modularity or a target community count is
+reached.  Implemented with a lazy max-heap: stale entries are skipped by
+checking a per-community version counter.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.community.modularity import CommunityStats, delta_modularity
+from repro.community.partition import Partition, singleton_partition
+from repro.simgraph.graph import MultiGraph
+
+
+@dataclass(frozen=True)
+class NewmanConfig:
+    #: stop when this many communities remain (0 = only stop on no-gain)
+    target_communities: int = 0
+    max_merges: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.target_communities < 0:
+            raise ValueError("target_communities must be >= 0")
+
+
+class NewmanGreedyDetector:
+    """Greedy pairwise merging with a lazy priority queue."""
+
+    def __init__(self, graph: MultiGraph, config: NewmanConfig | None = None) -> None:
+        self.graph = graph
+        self.config = config or NewmanConfig()
+        self.merge_sequence: list[tuple[str, str, float]] = []
+
+    def run(self, initial: Partition | None = None) -> Partition:
+        partition = initial or singleton_partition(self.graph.vertices())
+        partition.validate_covers(self.graph)
+        stats = CommunityStats.from_partition(self.graph, partition)
+        total_edges = stats.total_edges
+        degree = dict(stats.degree_sum)
+        internal = dict(stats.internal_edges)
+        # neighbour maps: community -> {neighbour: between_edges}
+        neighbours: dict[str, dict[str, int]] = {c: {} for c in degree}
+        for (c1, c2), between in stats.between_edges.items():
+            neighbours[c1][c2] = between
+            neighbours[c2][c1] = between
+
+        version = {community: 0 for community in degree}
+        heap: list[tuple[float, str, str, int, int]] = []
+
+        def push(c1: str, c2: str) -> None:
+            gain = delta_modularity(
+                neighbours[c1].get(c2, 0), degree[c1], degree[c2], total_edges
+            )
+            if gain > 0:
+                heapq.heappush(
+                    heap, (-gain, c1, c2, version[c1], version[c2])
+                )
+
+        for (c1, c2) in stats.between_edges:
+            push(c1, c2)
+
+        assignment = dict(partition.assignment)
+        label_of: dict[str, str] = {c: c for c in degree}
+        community_count = len(degree)
+        merges_done = 0
+
+        while heap:
+            if (
+                self.config.target_communities
+                and community_count <= self.config.target_communities
+            ):
+                break
+            if (
+                self.config.max_merges is not None
+                and merges_done >= self.config.max_merges
+            ):
+                break
+            neg_gain, c1, c2, v1, v2 = heapq.heappop(heap)
+            if version.get(c1) != v1 or version.get(c2) != v2:
+                continue  # stale entry
+            # merge c2 into c1 (keep the smaller name for determinism)
+            keep, absorb = (c1, c2) if c1 < c2 else (c2, c1)
+            self.merge_sequence.append((keep, absorb, -neg_gain))
+            between = neighbours[keep].pop(absorb, 0)
+            neighbours[absorb].pop(keep, None)
+            internal[keep] = (
+                internal.get(keep, 0) + internal.get(absorb, 0) + between
+            )
+            degree[keep] += degree[absorb]
+            for other, edges in neighbours[absorb].items():
+                neighbours[other].pop(absorb, None)
+                neighbours[keep][other] = neighbours[keep].get(other, 0) + edges
+                neighbours[other][keep] = neighbours[keep][other]
+            del neighbours[absorb], degree[absorb], internal[absorb]
+            del version[absorb]
+            version[keep] += 1
+            label_of[absorb] = keep
+            community_count -= 1
+            merges_done += 1
+            for other in neighbours[keep]:
+                push(*((keep, other) if keep < other else (other, keep)))
+
+        # resolve label chains (absorb → keep may itself be absorbed later)
+        def resolve(label: str) -> str:
+            seen = []
+            while label_of[label] != label:
+                seen.append(label)
+                label = label_of[label]
+            for item in seen:
+                label_of[item] = label
+            return label
+
+        return Partition(
+            {vertex: resolve(community) for vertex, community in assignment.items()}
+        )

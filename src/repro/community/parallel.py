@@ -1,0 +1,229 @@
+"""The paper's parallel modularity-maximisation algorithm (§4.2.2, Fig. 3–4).
+
+Each iteration runs the three steps of §4.2.2:
+
+1. **Neighbourhood creation** — for every community, list the connected
+   communities whose union would increase total modularity (ΔMod > 0).
+2. **Neighbourhood separation** — every community keeps only its *closest*
+   neighbourhood: the candidate with the largest ΔMod (ties broken on the
+   smaller community name; the paper leaves ties unspecified).
+3. **Aggregation** — communities in the same neighbourhood merge.
+
+Step 3 admits three readings, all implemented (``ParallelConfig.merge_mode``):
+
+* ``"pointer"`` (default) — the literal Figure 4 semantics: every
+  community's members are relabelled to the chosen target in one jump.
+  Two communities that choose each other swap labels without structurally
+  changing, so convergence is detected on partition *structure*.
+* ``"matching"`` — pointer jumps, but a *mutual* choice (A picks B and B
+  picks A) merges the pair under the smaller name (the Figure 3 picture).
+* ``"components"`` — the whole functional graph of choices is collapsed
+  with union-find, so chains of choices merge in one iteration.  Fastest
+  convergence, coarsest output.
+
+``"pointer"`` is the default because it is both the literal reading of the
+published SQL *and* the one that reproduces the paper's observed behaviour:
+on our synthetic graphs it converges in 7–9 iterations with the Figure 5
+count profile and yields the Figure 6 size distribution (modal bucket 2–10
+queries, no giant communities), whereas running the merge process to
+ΔMod-exhaustion (``matching``/``components``) hits modularity's well-known
+resolution limit and collapses whole domains into giants — communities far
+too coarse for query expansion.  The mutual-choice stalemate of the pointer
+semantics acts as an implicit regulariser; see the ABL1 bench for numbers.
+
+Both modes are pure Python over dict-based community statistics; the
+relational execution of the same algorithm lives in
+:mod:`repro.community.sql_runner` and is cross-checked against
+``"pointer"`` mode in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.community.modularity import CommunityStats, delta_modularity
+from repro.community.partition import Partition, singleton_partition
+from repro.simgraph.graph import MultiGraph
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs of the parallel detector."""
+
+    max_iterations: int = 30
+    merge_mode: str = "pointer"  # "pointer" | "matching" | "components"
+    #: stop early when the community count reaches this floor (the paper's
+    #: "satisfying number of communities" criterion); 0 disables it
+    target_communities: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.merge_mode not in ("matching", "components", "pointer"):
+            raise ValueError(
+                f"merge_mode must be 'matching', 'components' or 'pointer', "
+                f"got {self.merge_mode!r}"
+            )
+        if self.target_communities < 0:
+            raise ValueError("target_communities must be >= 0")
+
+
+@dataclass
+class IterationTrace:
+    """Per-iteration record — the series plotted in Figure 5."""
+
+    iteration: int
+    communities: int
+    merges: int
+    modularity_gain: float
+
+
+class ParallelCommunityDetector:
+    """Runs the parallel algorithm to convergence."""
+
+    def __init__(
+        self, graph: MultiGraph, config: ParallelConfig | None = None
+    ) -> None:
+        self.graph = graph
+        self.config = config or ParallelConfig()
+        self.history: list[IterationTrace] = []
+
+    # -- single iteration ------------------------------------------------------
+
+    def choose_targets(self, partition: Partition) -> dict[str, str]:
+        """Steps 1–2: each community's best positive-gain neighbour."""
+        stats = CommunityStats.from_partition(self.graph, partition)
+        best: dict[str, tuple[float, str]] = {}
+        for (c1, c2), between in stats.between_edges.items():
+            gain = delta_modularity(
+                between,
+                stats.degree_sum.get(c1, 0),
+                stats.degree_sum.get(c2, 0),
+                stats.total_edges,
+            )
+            if gain <= 0:
+                continue
+            for source, target in ((c1, c2), (c2, c1)):
+                incumbent = best.get(source)
+                candidate = (gain, target)
+                if incumbent is None:
+                    best[source] = candidate
+                elif candidate[0] > incumbent[0] or (
+                    candidate[0] == incumbent[0] and candidate[1] < incumbent[1]
+                ):
+                    best[source] = candidate
+        return {source: target for source, (_, target) in best.items()}
+
+    def apply_targets(
+        self, partition: Partition, targets: dict[str, str]
+    ) -> Partition:
+        """Step 3 under the configured merge mode."""
+        if self.config.merge_mode == "pointer":
+            return partition.relabel(targets)
+        if self.config.merge_mode == "matching":
+            return partition.relabel(_resolve_mutual(targets))
+        return partition.relabel(_collapse_components(targets))
+
+    # -- full run ------------------------------------------------------------
+
+    def run(self, initial: Partition | None = None) -> Partition:
+        """Iterate to convergence; populates :attr:`history` (Figure 5)."""
+        partition = initial or singleton_partition(self.graph.vertices())
+        partition.validate_covers(self.graph)
+        self.history = [
+            IterationTrace(
+                iteration=0,
+                communities=partition.community_count(),
+                merges=0,
+                modularity_gain=0.0,
+            )
+        ]
+        for iteration in range(1, self.config.max_iterations + 1):
+            targets = self.choose_targets(partition)
+            if not targets:
+                break
+            next_partition = self.apply_targets(partition, targets)
+            gain = _applied_gain(self.graph, partition, next_partition)
+            merges = partition.community_count() - next_partition.community_count()
+            self.history.append(
+                IterationTrace(
+                    iteration=iteration,
+                    communities=next_partition.community_count(),
+                    merges=merges,
+                    modularity_gain=gain,
+                )
+            )
+            converged = partition.same_structure(next_partition)
+            partition = next_partition
+            if converged:
+                break
+            if (
+                self.config.target_communities
+                and partition.community_count() <= self.config.target_communities
+            ):
+                break
+        return partition
+
+    def community_counts(self) -> list[int]:
+        """Community count per iteration — the Figure 5 series."""
+        return [trace.communities for trace in self.history]
+
+
+def _resolve_mutual(targets: dict[str, str]) -> dict[str, str]:
+    """Pointer jumps, with mutual choices merged under the smaller name.
+
+    A pair that elects each other would swap labels forever under pure
+    pointer semantics; §4.2.2 step 3 clearly intends them to aggregate.
+    """
+    mapping: dict[str, str] = {}
+    for source, target in targets.items():
+        if targets.get(target) == source:
+            mapping[source] = min(source, target)
+        else:
+            mapping[source] = target
+    return mapping
+
+
+def _collapse_components(targets: dict[str, str]) -> dict[str, str]:
+    """Union-find over the functional graph of merge choices.
+
+    Every weakly connected component of ``{c → targets[c]}`` becomes one
+    community named after its lexicographically smallest member, which
+    keeps runs deterministic.
+    """
+    parent: dict[str, str] = {}
+
+    def find(node: str) -> str:
+        root = node
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(node, node) != node:  # path compression
+            parent[node], node = root, parent[node]
+        return root
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            # attach the larger name under the smaller for determinism
+            if ra < rb:
+                parent[rb] = ra
+            else:
+                parent[ra] = rb
+
+    for source, target in targets.items():
+        union(source, target)
+
+    mapping: dict[str, str] = {}
+    involved = set(targets) | set(targets.values())
+    for community in involved:
+        mapping[community] = find(community)
+    return mapping
+
+
+def _applied_gain(
+    graph: MultiGraph, before: Partition, after: Partition
+) -> float:
+    """Total-modularity difference realised by one iteration."""
+    from repro.community.modularity import total_modularity
+
+    return total_modularity(graph, after) - total_modularity(graph, before)

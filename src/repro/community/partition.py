@@ -1,0 +1,99 @@
+"""Partitions: vertex → community assignments with validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.simgraph.graph import MultiGraph
+
+
+@dataclass
+class Partition:
+    """A hard partition of a vertex set into named communities."""
+
+    assignment: dict[str, str]
+    _members: dict[str, set[str]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._members = {}
+        for vertex, community in self.assignment.items():
+            self._members.setdefault(community, set()).add(vertex)
+
+    # -- accessors -------------------------------------------------------
+
+    def community_of(self, vertex: str) -> str:
+        try:
+            return self.assignment[vertex]
+        except KeyError:
+            raise KeyError(f"vertex {vertex!r} is not assigned") from None
+
+    def members(self, community: str) -> set[str]:
+        try:
+            return set(self._members[community])
+        except KeyError:
+            raise KeyError(f"unknown community {community!r}") from None
+
+    def communities(self) -> list[str]:
+        return sorted(self._members)
+
+    def community_count(self) -> int:
+        return len(self._members)
+
+    def sizes(self) -> list[int]:
+        return sorted(len(members) for members in self._members.values())
+
+    def vertices(self) -> Iterator[str]:
+        return iter(self.assignment)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    # -- structure comparison ----------------------------------------------
+
+    def as_frozen(self) -> frozenset[frozenset[str]]:
+        """Label-independent structure: the set of member sets.
+
+        Pointer-style iterations can swap two community labels without
+        changing the partition; convergence checks therefore compare this
+        form, not the raw assignment (DESIGN.md §6 item 4).
+        """
+        return frozenset(
+            frozenset(members) for members in self._members.values()
+        )
+
+    def same_structure(self, other: "Partition") -> bool:
+        return self.as_frozen() == other.as_frozen()
+
+    # -- derived partitions ---------------------------------------------------
+
+    def relabel(self, mapping: dict[str, str]) -> "Partition":
+        """Map community names; unmapped communities keep their name."""
+        return Partition(
+            {
+                vertex: mapping.get(community, community)
+                for vertex, community in self.assignment.items()
+            }
+        )
+
+    def validate_covers(self, graph: MultiGraph) -> None:
+        """Raise unless this partition covers exactly the graph's vertices."""
+        graph_vertices = set(graph.vertices())
+        assigned = set(self.assignment)
+        if graph_vertices != assigned:
+            missing = sorted(graph_vertices - assigned)[:5]
+            extra = sorted(assigned - graph_vertices)[:5]
+            raise ValueError(
+                f"partition does not cover graph: missing={missing} extra={extra}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition(vertices={len(self.assignment)}, "
+            f"communities={len(self._members)})"
+        )
+
+
+def singleton_partition(vertices: Iterable[str]) -> Partition:
+    """Every vertex in its own community, named after itself (§4.2.2 init)."""
+    return Partition({vertex: vertex for vertex in vertices})

@@ -1,0 +1,76 @@
+"""Clustering quality against the world model's ground truth.
+
+The paper evaluates communities qualitatively (Figure 7) and through the
+end-task (expert retrieval).  Because our substrate has ground-truth topic
+labels, we can additionally quantify clustering quality — used by tests
+(sanity floors) and the ABL1 ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.community.partition import Partition
+
+
+def purity(partition: Partition, truth: Mapping[str, str]) -> float:
+    """Weighted purity: vertices in their community's majority gold class.
+
+    Vertices missing from ``truth`` are ignored.  Returns a value in
+    [0, 1]; 1.0 means every community is gold-homogeneous.
+    """
+    total = 0
+    agreeing = 0
+    for community in partition.communities():
+        tally: dict[str, int] = {}
+        for vertex in partition.members(community):
+            gold = truth.get(vertex)
+            if gold is None:
+                continue
+            tally[gold] = tally.get(gold, 0) + 1
+        if not tally:
+            continue
+        total += sum(tally.values())
+        agreeing += max(tally.values())
+    return agreeing / total if total else 0.0
+
+
+def normalized_mutual_information(
+    partition: Partition, truth: Mapping[str, str]
+) -> float:
+    """NMI between the found partition and gold labels (arithmetic norm).
+
+    Only vertices present in ``truth`` participate.  Returns 0.0 when
+    either side is a single class (no information).
+    """
+    vertices = [v for v in partition.vertices() if v in truth]
+    n = len(vertices)
+    if n == 0:
+        return 0.0
+    found_counts: dict[str, int] = {}
+    gold_counts: dict[str, int] = {}
+    joint: dict[tuple[str, str], int] = {}
+    for vertex in vertices:
+        f = partition.community_of(vertex)
+        g = truth[vertex]
+        found_counts[f] = found_counts.get(f, 0) + 1
+        gold_counts[g] = gold_counts.get(g, 0) + 1
+        joint[(f, g)] = joint.get((f, g), 0) + 1
+
+    def entropy(counts: dict[str, int]) -> float:
+        return -sum(
+            (c / n) * math.log(c / n) for c in counts.values() if c > 0
+        )
+
+    h_found = entropy(found_counts)
+    h_gold = entropy(gold_counts)
+    if h_found == 0.0 or h_gold == 0.0:
+        return 0.0
+    mutual = 0.0
+    for (f, g), c in joint.items():
+        p_joint = c / n
+        p_f = found_counts[f] / n
+        p_g = gold_counts[g] / n
+        mutual += p_joint * math.log(p_joint / (p_f * p_g))
+    return mutual / ((h_found + h_gold) / 2)

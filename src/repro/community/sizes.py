@@ -1,0 +1,53 @@
+"""Community-size distribution — the Figure 6 histogram.
+
+The paper buckets community sizes as 1 (orphans), 2–10, 10–50 and "more
+than 50" and reports ≈20% orphans, ≈60% of communities holding 2–10
+queries, and very few above 50.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.community.partition import Partition
+
+#: Figure 6's bucket boundaries: label, inclusive low, inclusive high.
+FIGURE6_BUCKETS: tuple[tuple[str, int, int], ...] = (
+    ("1", 1, 1),
+    ("2 to 10", 2, 10),
+    ("10 to 50", 11, 50),
+    ("More than 50", 51, 10**9),
+)
+
+
+@dataclass(frozen=True)
+class SizeBucket:
+    label: str
+    low: int
+    high: int
+    count: int
+    fraction: float
+
+
+def size_distribution(partition: Partition) -> list[SizeBucket]:
+    """Bucket the partition's community sizes Figure-6 style."""
+    sizes = partition.sizes()
+    total = len(sizes)
+    buckets: list[SizeBucket] = []
+    for label, low, high in FIGURE6_BUCKETS:
+        count = sum(1 for size in sizes if low <= size <= high)
+        fraction = count / total if total else 0.0
+        buckets.append(
+            SizeBucket(
+                label=label, low=low, high=high, count=count, fraction=fraction
+            )
+        )
+    return buckets
+
+
+def orphan_fraction(partition: Partition) -> float:
+    """Fraction of communities of size 1."""
+    sizes = partition.sizes()
+    if not sizes:
+        return 0.0
+    return sum(1 for size in sizes if size == 1) / len(sizes)

@@ -1,0 +1,20 @@
+"""S9 — The assembled e# system (§2, Figure 1).
+
+:class:`repro.core.ESharp` wires the offline stage (query log → similarity
+graph → communities → domain store) to the online stage (expansion + Pal &
+Counts detection) behind one facade, with the resource accounting that
+reproduces Table 9.
+"""
+
+from repro.core.config import ESharpConfig
+from repro.core.offline import OfflinePipeline, OfflineArtifacts
+from repro.core.online import OnlinePipeline
+from repro.core.esharp import ESharp
+
+__all__ = [
+    "ESharp",
+    "ESharpConfig",
+    "OfflineArtifacts",
+    "OfflinePipeline",
+    "OnlinePipeline",
+]

@@ -1,0 +1,65 @@
+"""Top-level configuration of an e# deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.community.parallel import ParallelConfig
+from repro.detector.normalize import NormalizationConfig
+from repro.detector.ranking import RankingConfig
+from repro.microblog.config import MicroblogConfig
+from repro.querylog.config import QueryLogConfig
+from repro.simgraph.similarity import SimilarityConfig
+from repro.worldmodel.config import WorldConfig
+
+
+@dataclass(frozen=True)
+class ESharpConfig:
+    """Every knob of the full reproduction, with coherent defaults.
+
+    The default sizes are the "standard experiment scale" used by the
+    benchmark harness: big enough for every shape statistic in §6, small
+    enough to run the complete offline + online evaluation in minutes on a
+    laptop.
+    """
+
+    seed: int = 2016
+    world: WorldConfig = field(default_factory=WorldConfig)
+    querylog: QueryLogConfig = field(default_factory=QueryLogConfig)
+    similarity: SimilarityConfig = field(default_factory=SimilarityConfig)
+    clustering: ParallelConfig = field(default_factory=ParallelConfig)
+    microblog: MicroblogConfig = field(default_factory=MicroblogConfig)
+    ranking: RankingConfig = field(default_factory=RankingConfig)
+    normalization: NormalizationConfig = field(default_factory=NormalizationConfig)
+    #: simulated cluster width for the offline stages (the paper used 65 VMs)
+    offline_workers: int = 65
+    #: use the SQL-on-relational-engine clustering instead of the fast path
+    use_sql_clustering: bool = False
+
+    @classmethod
+    def small(cls, seed: int = 2016) -> "ESharpConfig":
+        """A fast configuration for tests: seconds, not minutes."""
+        return cls(
+            seed=seed,
+            world=WorldConfig(seed=seed, topics_per_domain=8),
+            querylog=QueryLogConfig(seed=seed, impressions=40_000, min_support=20),
+            microblog=MicroblogConfig(
+                seed=seed,
+                tweets=20_000,
+                casual_users=200,
+                spammers=15,
+                celebrities=6,
+                broad_experts_per_domain=4,
+                news_bots_per_domain=2,
+            ),
+        )
+
+    @classmethod
+    def standard(cls, seed: int = 2016) -> "ESharpConfig":
+        """The benchmark scale used for every figure/table reproduction."""
+        return cls(
+            seed=seed,
+            world=WorldConfig(seed=seed),
+            querylog=QueryLogConfig(seed=seed, impressions=300_000),
+            microblog=MicroblogConfig(seed=seed, tweets=150_000),
+        )

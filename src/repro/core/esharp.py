@@ -1,0 +1,137 @@
+"""The e# facade — the library's main entry point.
+
+>>> from repro import ESharp, ESharpConfig
+>>> system = ESharp(ESharpConfig.small())   # doctest: +SKIP
+>>> system.build()                          # doctest: +SKIP
+>>> experts = system.find_experts("columbus bears")  # doctest: +SKIP
+
+``build()`` runs the offline stage (and generates the microblog corpus);
+``find_experts`` / ``find_experts_baseline`` answer queries with and
+without expansion, which is precisely the comparison of §6.2.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ESharpConfig
+from repro.core.offline import OfflineArtifacts, OfflinePipeline
+from repro.core.online import OnlinePipeline, TimedAnswer
+from repro.detector.palcounts import PalCountsDetector
+from repro.detector.ranking import RankedExpert
+from repro.microblog.generator import generate_platform
+from repro.microblog.platform import MicroblogPlatform
+
+
+class NotBuiltError(RuntimeError):
+    """Raised when the online API is used before :meth:`ESharp.build`."""
+
+
+class ESharp:
+    """End-to-end e# over simulated substrates."""
+
+    def __init__(self, config: ESharpConfig | None = None) -> None:
+        self.config = config or ESharpConfig()
+        self._offline: OfflineArtifacts | None = None
+        self._platform: MicroblogPlatform | None = None
+        self._online: OnlinePipeline | None = None
+        self._detector: PalCountsDetector | None = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def build(self) -> "ESharp":
+        """Run the offline stage and materialise the microblog corpus."""
+        offline = OfflinePipeline(self.config).run()
+        platform = generate_platform(offline.world, self.config.microblog)
+        detector = PalCountsDetector(
+            platform,
+            ranking=self.config.ranking,
+            normalization=self.config.normalization,
+        )
+        self._offline = offline
+        self._platform = platform
+        self._detector = detector
+        self._online = OnlinePipeline(offline.domain_store, detector)
+        return self
+
+    @property
+    def is_built(self) -> bool:
+        return self._online is not None
+
+    def _require_built(self) -> OnlinePipeline:
+        if self._online is None:
+            raise NotBuiltError(
+                "call ESharp.build() before querying; the offline stage has "
+                "not produced a domain collection yet"
+            )
+        return self._online
+
+    # -- artifacts -----------------------------------------------------------------
+
+    @property
+    def offline(self) -> OfflineArtifacts:
+        if self._offline is None:
+            raise NotBuiltError("offline artifacts exist only after build()")
+        return self._offline
+
+    @property
+    def platform(self) -> MicroblogPlatform:
+        if self._platform is None:
+            raise NotBuiltError("platform exists only after build()")
+        return self._platform
+
+    @property
+    def detector(self) -> PalCountsDetector:
+        if self._detector is None:
+            raise NotBuiltError("detector exists only after build()")
+        return self._detector
+
+    @property
+    def online(self) -> OnlinePipeline:
+        return self._require_built()
+
+    # -- the §6.2 comparison ----------------------------------------------------
+
+    def find_experts(
+        self, query: str, min_zscore: float | None = None
+    ) -> list[RankedExpert]:
+        """e#: expansion + detection (the paper's contribution)."""
+        return self._require_built().answer(query, min_zscore).experts
+
+    def find_experts_baseline(
+        self, query: str, min_zscore: float | None = None
+    ) -> list[RankedExpert]:
+        """Baseline: Pal & Counts on the raw query (no expansion)."""
+        detector = self.detector
+        return detector.detect(query, min_zscore)
+
+    def answer(self, query: str, min_zscore: float | None = None) -> TimedAnswer:
+        """Full timed online answer (used by the Table 9 bench)."""
+        return self._require_built().answer(query, min_zscore)
+
+    def expansion_terms(self, query: str) -> list[str]:
+        """The §5 expansion for ``query`` (query itself when unmatched)."""
+        terms, _ = self._require_built().expander.expand_terms(query)
+        return terms
+
+    # -- §6.3: "The offline part of our system runs weekly" -----------------
+
+    def refresh_domains(self, querylog_config=None) -> "ESharp":
+        """Re-run the offline stage against a fresh search log.
+
+        The production system rebuilds its domain collection weekly from
+        the latest month of logs while the online serving path keeps
+        running.  This re-executes extraction + clustering (optionally
+        under a new :class:`~repro.querylog.QueryLogConfig`, e.g. a new
+        seed standing in for a new week of traffic) and swaps the domain
+        store under the existing detector; the microblog corpus and
+        detector caches are untouched.
+        """
+        from dataclasses import replace
+
+        online = self._require_built()
+        config = self.config
+        if querylog_config is not None:
+            config = replace(config, querylog=querylog_config)
+        offline = OfflinePipeline(config).run(world=self.offline.world)
+        self._offline = offline
+        self._online = OnlinePipeline(offline.domain_store, online.detector)
+        return self

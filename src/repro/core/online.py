@@ -1,0 +1,67 @@
+"""The online stage of Figure 1: expansion + detection, with timing.
+
+Table 9 reports the online stages at interactive latencies (expansion
+< 100 ms, detection < 1 s); :class:`OnlinePipeline` measures both per
+query so the Table 9 bench can report our equivalents.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.detector.palcounts import PalCountsDetector
+from repro.detector.ranking import RankedExpert
+from repro.expansion.domainstore import DomainStore
+from repro.expansion.expander import ExpansionResult, QueryExpander
+from repro.microblog.platform import MicroblogPlatform
+
+
+@dataclass
+class TimedAnswer:
+    """One answered query with stage latencies."""
+
+    query: str
+    experts: list[RankedExpert]
+    terms: list[str]
+    expansion_seconds: float
+    detection_seconds: float
+
+
+class OnlinePipeline:
+    """Holds the two online components and answers queries."""
+
+    def __init__(
+        self,
+        domain_store: DomainStore,
+        detector: PalCountsDetector,
+    ) -> None:
+        self.domain_store = domain_store
+        self.detector = detector
+        self.expander = QueryExpander(domain_store, detector)
+
+    @property
+    def platform(self) -> MicroblogPlatform:
+        return self.detector.platform
+
+    def answer(self, query: str, min_zscore: float | None = None) -> TimedAnswer:
+        """Run the full online path for one query, timing each stage."""
+        started = time.perf_counter()
+        terms, _ = self.expander.expand_terms(query)
+        expansion_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        result = self.expander.detect(query, min_zscore)
+        detection_seconds = time.perf_counter() - started
+
+        return TimedAnswer(
+            query=query,
+            experts=result.experts,
+            terms=terms,
+            expansion_seconds=expansion_seconds,
+            detection_seconds=detection_seconds,
+        )
+
+    def score(self, query: str) -> ExpansionResult:
+        """Unthresholded scored union pool (sweep-friendly)."""
+        return self.expander.score(query)

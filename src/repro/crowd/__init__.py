@@ -1,0 +1,32 @@
+"""S10 — Crowdsourcing study simulator (§6.2.1).
+
+Reproduces the paper's quality-assessment machinery: 64 third-party
+workers of varying reliability and background knowledge, spam screening
+with trivial gold questions, result interleaving, chunks of at most 6
+experts, randomised order, the *spot-the-non-expert* task framing, 3
+judgments per expert, and majority voting.
+
+Judgments are noisy functions of the world model's ground truth, so the
+impurity statistics of Figure 10 are measurable — and can additionally be
+validated against exact labels, which the paper could not do.
+"""
+
+from repro.crowd.workers import CrowdWorker, WorkerPool
+from repro.crowd.tasks import JudgingChunk, build_chunks, interleave
+from repro.crowd.judging import Judgment, Vote, majority_vote
+from repro.crowd.study import CrowdStudy, StudyConfig
+from repro.crowd.metrics import impurity
+
+__all__ = [
+    "CrowdStudy",
+    "CrowdWorker",
+    "Judgment",
+    "JudgingChunk",
+    "StudyConfig",
+    "Vote",
+    "WorkerPool",
+    "build_chunks",
+    "impurity",
+    "interleave",
+    "majority_vote",
+]

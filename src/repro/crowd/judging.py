@@ -1,0 +1,62 @@
+"""Individual judgments and majority aggregation.
+
+The task is framed as the paper's: *spot the non-experts* — flag accounts
+offering no objective information about the topic.  A worker who does not
+know the domain uses the ignore option; engaged workers judge correctly
+with their reliability.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.crowd.workers import CrowdWorker
+
+
+class Vote(enum.Enum):
+    EXPERT = "expert"
+    NON_EXPERT = "non_expert"
+    SKIP = "skip"
+
+
+@dataclass(frozen=True)
+class Judgment:
+    """One worker's vote on one (query, account) pair."""
+
+    worker_id: int
+    query: str
+    user_id: int
+    vote: Vote
+
+
+def cast_vote(
+    worker: CrowdWorker,
+    domain: str,
+    truly_relevant: bool,
+    rng: random.Random,
+) -> Vote:
+    """Simulate one judgment given the ground-truth relevance."""
+    if worker.is_spammer:
+        return Vote.EXPERT if rng.random() < 0.5 else Vote.NON_EXPERT
+    if not worker.knows(domain, rng):
+        return Vote.SKIP
+    correct = rng.random() < worker.reliability
+    if truly_relevant:
+        return Vote.EXPERT if correct else Vote.NON_EXPERT
+    return Vote.NON_EXPERT if correct else Vote.EXPERT
+
+
+def majority_vote(votes: list[Vote]) -> Vote:
+    """Aggregate with majority voting; skips abstain.
+
+    Ties (including all-skip) give the account the benefit of the doubt —
+    the study *excludes* flagged non-experts rather than validating
+    experts, so an unflagged account stays in.
+    """
+    non_expert = sum(1 for vote in votes if vote is Vote.NON_EXPERT)
+    expert = sum(1 for vote in votes if vote is Vote.EXPERT)
+    if non_expert > expert:
+        return Vote.NON_EXPERT
+    return Vote.EXPERT

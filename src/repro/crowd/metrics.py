@@ -1,0 +1,48 @@
+"""Crowd-derived quality metrics.
+
+Figure 10's y-axis: *"The impurity is the proportion of results marked as
+non relevant by the judges."*
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.crowd.study import StudyOutcome
+from repro.detector.ranking import RankedExpert
+
+
+def impurity(
+    query: str, experts: Iterable[RankedExpert], outcome: StudyOutcome
+) -> float:
+    """Fraction of ``experts`` the majority flagged as non-experts.
+
+    Experts without a judgment (possible when a sweep keeps a candidate
+    the original study never saw) count as relevant — the conservative
+    choice matching the exclude-non-experts protocol.  Returns 0.0 for an
+    empty list.
+    """
+    experts = list(experts)
+    if not experts:
+        return 0.0
+    flagged = sum(
+        1 for expert in experts if outcome.is_non_expert(query, expert.user_id)
+    )
+    return flagged / len(experts)
+
+
+def true_impurity(
+    query: str,
+    experts: Iterable[RankedExpert],
+    relevance: dict[tuple[str, int], bool],
+) -> float:
+    """Ground-truth impurity (no crowd noise) — used to validate the crowd."""
+    experts = list(experts)
+    if not experts:
+        return 0.0
+    wrong = sum(
+        1
+        for expert in experts
+        if not relevance.get((query, expert.user_id), False)
+    )
+    return wrong / len(experts)

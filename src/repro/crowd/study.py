@@ -1,0 +1,128 @@
+"""The full crowd study: screen → chunk → 3-way judge → majority.
+
+Ground-truth relevance of an account for a query: the account's user is a
+genuine expert on the query's primary topic, or a broad expert whose beat
+(domain) covers it.  This is the judgment an informed human would make
+from the account's timeline, which is what the paper's workers were asked
+to approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crowd.judging import Judgment, Vote, cast_vote, majority_vote
+from repro.crowd.tasks import build_chunks, interleave
+from repro.crowd.workers import WorkerPool
+from repro.detector.ranking import RankedExpert
+from repro.microblog.platform import MicroblogPlatform
+from repro.utils.rng import SeedSequenceFactory
+from repro.worldmodel.model import WorldModel
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    seed: int = 2016
+    judges_per_expert: int = 3
+    chunk_size: int = 6
+    pool_size: int = 64
+    spammer_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.judges_per_expert < 1:
+            raise ValueError("judges_per_expert must be >= 1")
+
+
+@dataclass
+class StudyOutcome:
+    """Majority labels for every judged (query, user) pair."""
+
+    labels: dict[tuple[str, int], Vote] = field(default_factory=dict)
+    judgments: list[Judgment] = field(default_factory=list)
+
+    def is_non_expert(self, query: str, user_id: int) -> bool:
+        return self.labels.get((query, user_id)) is Vote.NON_EXPERT
+
+    def judged_count(self) -> int:
+        return len(self.labels)
+
+
+class CrowdStudy:
+    """Simulates the §6.2.1 protocol over a set of result lists."""
+
+    def __init__(
+        self,
+        world: WorldModel,
+        platform: MicroblogPlatform,
+        config: StudyConfig | None = None,
+    ) -> None:
+        self.world = world
+        self.platform = platform
+        self.config = config or StudyConfig()
+        self._factory = SeedSequenceFactory(self.config.seed)
+        self.pool = WorkerPool.build(
+            domains=world.domains,
+            seed=self.config.seed,
+            size=self.config.pool_size,
+            spammer_fraction=self.config.spammer_fraction,
+        )
+        self.pool.run_gold_screen(seed=self.config.seed)
+
+    # -- ground truth -----------------------------------------------------------
+
+    def truly_relevant(self, query: str, user_id: int) -> bool:
+        """Would an informed judge find this account useful for the query?"""
+        topic = self.world.primary_topic_for(query)
+        user = self.platform.user(user_id)
+        if topic is None:
+            return False
+        if user.is_expert_on(topic.topic_id):
+            return True
+        if user.persona == "broad_expert" and user.expert_topics:
+            domains = {
+                self.world.topic(t).domain for t in user.expert_topics
+            }
+            return topic.domain in domains
+        return False
+
+    # -- the study --------------------------------------------------------------
+
+    def judge_results(
+        self,
+        query: str,
+        baseline_experts: list[RankedExpert],
+        esharp_experts: list[RankedExpert],
+    ) -> StudyOutcome:
+        """Interleave, chunk and judge both algorithms' lists for a query."""
+        rng = self._factory.stream(f"study/{query}")
+        merged = interleave(baseline_experts, esharp_experts)
+        outcome = StudyOutcome()
+        if not merged:
+            return outcome
+        chunks = build_chunks(query, merged, rng, self.config.chunk_size)
+        judges = self.pool.screened()
+        if not judges:
+            raise RuntimeError("every worker failed the gold screen")
+        topic = self.world.primary_topic_for(query)
+        domain = topic.domain if topic is not None else "misc"
+
+        for chunk in chunks:
+            for user_id in chunk.expert_ids:
+                relevant = self.truly_relevant(query, user_id)
+                votes: list[Vote] = []
+                pick = rng.sample(
+                    judges, k=min(self.config.judges_per_expert, len(judges))
+                )
+                for worker in pick:
+                    vote = cast_vote(worker, domain, relevant, rng)
+                    votes.append(vote)
+                    outcome.judgments.append(
+                        Judgment(
+                            worker_id=worker.worker_id,
+                            query=query,
+                            user_id=user_id,
+                            vote=vote,
+                        )
+                    )
+                outcome.labels[(query, user_id)] = majority_vote(votes)
+        return outcome

@@ -1,0 +1,63 @@
+"""Task construction: interleaving, chunking, position randomisation.
+
+§6.2.1: *"For each query, we generated up to 15 experts per algorithm and
+interleaved the results. To avoid worker fatigue, we chunked the resulting
+sets into smaller sets of at most 6 experts. We also randomized the order
+to prevent the position bias."*
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.detector.ranking import RankedExpert
+
+
+@dataclass(frozen=True)
+class JudgingChunk:
+    """One unit of crowd work: ≤6 experts for one query."""
+
+    query: str
+    expert_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.expert_ids:
+            raise ValueError("a judging chunk cannot be empty")
+
+
+def interleave(
+    first: list[RankedExpert], second: list[RankedExpert]
+) -> list[RankedExpert]:
+    """Alternate two ranked lists, deduplicating by user (first-seen wins).
+
+    >>> interleave([], [])
+    []
+    """
+    merged: list[RankedExpert] = []
+    seen: set[int] = set()
+    for index in range(max(len(first), len(second))):
+        for source in (first, second):
+            if index < len(source):
+                expert = source[index]
+                if expert.user_id not in seen:
+                    seen.add(expert.user_id)
+                    merged.append(expert)
+    return merged
+
+
+def build_chunks(
+    query: str,
+    experts: list[RankedExpert],
+    rng: random.Random,
+    chunk_size: int = 6,
+) -> list[JudgingChunk]:
+    """Randomise order, then slice into chunks of at most ``chunk_size``."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    ids = [expert.user_id for expert in experts]
+    rng.shuffle(ids)
+    return [
+        JudgingChunk(query=query, expert_ids=tuple(ids[i : i + chunk_size]))
+        for i in range(0, len(ids), chunk_size)
+    ]

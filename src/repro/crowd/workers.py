@@ -1,0 +1,103 @@
+"""Crowd workers: reliability, background knowledge, spammers.
+
+The paper notes the two difficulties of judging expertise: workers need
+*some* topic knowledge to recognise experts, and the task is subjective.
+Workers here have a per-domain knowledge probability and a reliability
+(probability of judging correctly when they do engage); spammers answer
+at random, which the gold-question screen is designed to catch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.utils.rng import SeedSequenceFactory
+
+
+@dataclass
+class CrowdWorker:
+    """One judge."""
+
+    worker_id: int
+    #: probability of a correct judgment when engaging with the question
+    reliability: float
+    #: probability of knowing enough about a given domain to engage;
+    #: otherwise the worker uses the paper's "ignore the question" option
+    knowledge: dict[str, float]
+    is_spammer: bool = False
+    #: filled by the gold-question screen
+    passed_screen: bool = True
+
+    def knows(self, domain: str, rng: random.Random) -> bool:
+        return rng.random() < self.knowledge.get(domain, 0.5)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reliability <= 1.0:
+            raise ValueError(f"reliability must be in [0,1], got {self.reliability}")
+
+
+@dataclass
+class WorkerPool:
+    """The 64-worker pool of §6.2.1."""
+
+    workers: list[CrowdWorker] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls,
+        domains: tuple[str, ...],
+        seed: int = 2016,
+        size: int = 64,
+        spammer_fraction: float = 0.1,
+    ) -> "WorkerPool":
+        """Mint a deterministic pool: mostly diligent, a few spammers."""
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        if not 0.0 <= spammer_fraction < 1.0:
+            raise ValueError("spammer_fraction must be in [0,1)")
+        rng = SeedSequenceFactory(seed).stream("crowd/pool")
+        workers: list[CrowdWorker] = []
+        spammers = int(size * spammer_fraction)
+        for worker_id in range(size):
+            is_spammer = worker_id < spammers
+            reliability = (
+                rng.uniform(0.45, 0.55)
+                if is_spammer
+                else rng.uniform(0.8, 0.97)
+            )
+            knowledge = {
+                domain: rng.uniform(0.35, 0.95) for domain in domains
+            }
+            workers.append(
+                CrowdWorker(
+                    worker_id=worker_id,
+                    reliability=reliability,
+                    knowledge=knowledge,
+                    is_spammer=is_spammer,
+                )
+            )
+        return cls(workers=workers)
+
+    def screened(self) -> list[CrowdWorker]:
+        """Workers that passed the gold-question screen."""
+        return [w for w in self.workers if w.passed_screen]
+
+    def run_gold_screen(
+        self, seed: int = 2016, questions: int = 5, pass_threshold: float = 0.8
+    ) -> None:
+        """§6.2.1: 'We filtered spammers with trivial preliminary questions.'
+
+        Gold questions are trivial (every diligent worker knows the answer)
+        so a worker's pass probability is their reliability per question;
+        spammers coin-flip and almost always fail a 4-of-5 bar.
+        """
+        rng = SeedSequenceFactory(seed).stream("crowd/gold")
+        needed = int(questions * pass_threshold + 0.9999)
+        for worker in self.workers:
+            p_correct = 0.5 if worker.is_spammer else max(worker.reliability, 0.9)
+            correct = sum(1 for _ in range(questions) if rng.random() < p_correct)
+            worker.passed_screen = correct >= needed
+
+    def __len__(self) -> int:
+        return len(self.workers)

@@ -1,0 +1,52 @@
+"""S7 — The Pal & Counts expert detector (§3), e#'s baseline and engine.
+
+The production-simplified framework the paper describes:
+
+* **Candidate selection** — a candidate is an author of, or a user
+  mentioned in, a tweet matching the query (all terms present after
+  lower-casing).
+* **Expertise ranking** — three features:
+  ``TS`` (topical signal: fraction of the user's tweets on topic),
+  ``MI`` (mention impact: fraction of the user's mentions on topic),
+  ``RI`` (retweet impact: fraction of retweets of the user's tweets on
+  topic); log-transformed (the features are log-normal in practice),
+  z-scored over the query's candidate pool, and combined by weighted sum.
+* **Threshold** — candidates below a minimum z-score are rejected; the
+  threshold trades recall against precision (Figure 9).
+
+The optional cluster-analysis filtering step of Pal & Counts — which the
+paper explicitly discards for recall — is implemented in
+:mod:`repro.detector.clusterfilter` for the ABL3 ablation.
+"""
+
+from repro.detector.candidates import CandidateStats, collect_candidates
+from repro.detector.features import FeatureVector, compute_features
+from repro.detector.normalize import NormalizationConfig, normalize_features
+from repro.detector.ranking import RankedExpert, RankingConfig, rank_candidates
+from repro.detector.palcounts import PalCountsDetector
+from repro.detector.clusterfilter import GaussianClusterFilter
+from repro.detector.graphrank import GraphRankConfig, GraphRankDetector
+from repro.detector.extended_features import (
+    ExtendedPalCountsDetector,
+    ExtendedWeights,
+    compute_extended_features,
+)
+
+__all__ = [
+    "CandidateStats",
+    "ExtendedPalCountsDetector",
+    "ExtendedWeights",
+    "FeatureVector",
+    "GaussianClusterFilter",
+    "GraphRankConfig",
+    "GraphRankDetector",
+    "NormalizationConfig",
+    "PalCountsDetector",
+    "RankedExpert",
+    "RankingConfig",
+    "collect_candidates",
+    "compute_extended_features",
+    "compute_features",
+    "normalize_features",
+    "rank_candidates",
+]

@@ -1,0 +1,52 @@
+"""Candidate selection (§3).
+
+*"A candidate expert is either an author of a tweet, or a person mentioned
+in a tweet. In both cases, the tweet must match the query."*
+
+One pass over the matching tweets accumulates, per candidate, the on-topic
+numerators of all three features; the denominators are platform totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.microblog.platform import MicroblogPlatform
+
+
+@dataclass
+class CandidateStats:
+    """Per-candidate on-topic counts for one query."""
+
+    user_id: int
+    on_topic_tweets: int = 0
+    on_topic_mentions: int = 0
+    on_topic_retweets_received: int = 0
+
+
+def collect_candidates(
+    platform: MicroblogPlatform, query: str
+) -> dict[int, CandidateStats]:
+    """Candidates and their on-topic counts for ``query``.
+
+    Returns an empty dict when no tweet matches — the query is unanswered,
+    which is exactly what Table 8 counts.
+    """
+    stats: dict[int, CandidateStats] = {}
+
+    def entry(user_id: int) -> CandidateStats:
+        if user_id not in stats:
+            stats[user_id] = CandidateStats(user_id=user_id)
+        return stats[user_id]
+
+    for tweet in platform.matching_tweets(query):
+        entry(tweet.author_id).on_topic_tweets += 1
+        for mentioned in tweet.mentions:
+            entry(mentioned).on_topic_mentions += 1
+        if tweet.retweet_of is not None:
+            try:
+                original = platform.tweet(tweet.retweet_of)
+            except KeyError:
+                continue
+            entry(original.author_id).on_topic_retweets_received += 1
+    return stats

@@ -1,0 +1,96 @@
+"""Pal & Counts' optional cluster-analysis filter (ablation ABL3).
+
+Pal & Counts refine their ranked list by clustering candidates in feature
+space with a Gaussian mixture and keeping only the cluster of highest
+mean authority.  The paper drops this step: *"This step is computationally
+expensive, and it is contrary to our objective of improving recall."*
+
+We implement a 1-D two-component Gaussian mixture on the aggregated score,
+fit by EM, keeping the higher-mean component — faithful to the mechanism
+while staying dependency-free.  ABL3 measures exactly the trade the paper
+claims: the filter tightens precision and costs recall.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.detector.ranking import RankedExpert
+
+
+@dataclass(frozen=True)
+class GaussianClusterFilter:
+    """Keep candidates assigned to the high-mean score cluster."""
+
+    max_em_iterations: int = 50
+    tolerance: float = 1e-6
+    #: pools smaller than this are passed through untouched — a mixture
+    #: over a handful of points is noise
+    min_pool: int = 6
+
+    def apply(self, scored: list[RankedExpert]) -> list[RankedExpert]:
+        if len(scored) < self.min_pool:
+            return scored
+        scores = [expert.score for expert in scored]
+        assignments = self._fit_assignments(scores)
+        kept = [
+            expert
+            for expert, in_top in zip(scored, assignments)
+            if in_top
+        ]
+        return kept if kept else scored
+
+    # -- EM on a two-component 1-D Gaussian mixture --------------------------
+
+    def _fit_assignments(self, scores: list[float]) -> list[bool]:
+        low = min(scores)
+        high = max(scores)
+        if high - low < 1e-12:
+            return [True] * len(scores)
+        # init: means at the extremes, shared variance, equal priors
+        mu = [low, high]
+        var = [_variance(scores)] * 2
+        pi = [0.5, 0.5]
+        responsibility = [[0.5, 0.5] for _ in scores]
+
+        for _ in range(self.max_em_iterations):
+            # E step
+            moved = 0.0
+            for i, x in enumerate(scores):
+                weights = [
+                    pi[k] * _gaussian(x, mu[k], var[k]) for k in range(2)
+                ]
+                total = sum(weights) or 1e-300
+                new = [w / total for w in weights]
+                moved += abs(new[0] - responsibility[i][0])
+                responsibility[i] = new
+            # M step
+            for k in range(2):
+                mass = sum(r[k] for r in responsibility) or 1e-12
+                mu[k] = sum(r[k] * x for r, x in zip(responsibility, scores)) / mass
+                var[k] = (
+                    sum(
+                        r[k] * (x - mu[k]) ** 2
+                        for r, x in zip(responsibility, scores)
+                    )
+                    / mass
+                )
+                var[k] = max(var[k], 1e-9)
+                pi[k] = mass / len(scores)
+            if moved / len(scores) < self.tolerance:
+                break
+
+        top = 0 if mu[0] >= mu[1] else 1
+        return [r[top] >= 0.5 for r in responsibility]
+
+
+def _gaussian(x: float, mu: float, var: float) -> float:
+    return math.exp(-((x - mu) ** 2) / (2 * var)) / math.sqrt(2 * math.pi * var)
+
+
+def _variance(values: list[float]) -> float:
+    mean = sum(values) / len(values)
+    return max(
+        sum((v - mean) ** 2 for v in values) / len(values), 1e-9
+    )

@@ -1,0 +1,248 @@
+"""The wider Pal & Counts feature set (ABL6).
+
+§3: *"In their paper, Pal and Counts evaluate a dozen features. We kept
+those which they present as important: the topical signal (TS), the
+mention impact (MI), and the retweet impact (RI)."*  This module
+implements the wider set their WSDM'11 paper derives from tweet
+metadata, so the production simplification can be measured instead of
+assumed (bench ABL6):
+
+* ``OT1`` — signal strength: fraction of the user's on-topic tweets that
+  are original (not retweets); Pal & Counts argue originality signals
+  authority.
+* ``CS``  — conversation share: fraction of on-topic tweets that engage
+  others (carry a mention); high values indicate discussion rather than
+  broadcast.
+* ``SS``  — self-similarity: how repetitive the user's on-topic tweets
+  are (token-level Jaccard between consecutive tweets); bots score high.
+* ``HR``  — hashtag ratio: fraction of on-topic tweets using a hashtag
+  form.
+* ``GI``  — graph influence: log-scaled follower count (the
+  "graph characteristics" family).
+
+All features are computed from the same one-pass candidate statistics the
+core detector uses, normalised identically (log + z-score), and combined
+by weighted sum.  :class:`ExtendedPalCountsDetector` exposes the standard
+``score``/``detect`` interface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.detector.candidates import collect_candidates
+from repro.detector.normalize import NormalizationConfig
+from repro.detector.ranking import RankedExpert, RankingConfig
+from repro.detector.features import FeatureVector
+from repro.detector.normalize import NormalizedFeatures
+from repro.microblog.platform import MicroblogPlatform
+from repro.microblog.tweets import Tweet
+from repro.utils.stats import log_transform, zscores
+
+
+@dataclass(frozen=True)
+class ExtendedWeights:
+    """Weights over the extended feature set (defaults sum to 1)."""
+
+    topical_signal: float = 0.30
+    mention_impact: float = 0.20
+    retweet_impact: float = 0.15
+    originality: float = 0.10
+    conversation: float = 0.05
+    #: self-similarity is a *penalty* (bots repeat themselves)
+    self_similarity: float = -0.10
+    hashtag_ratio: float = 0.05
+    graph_influence: float = 0.05
+
+    def __post_init__(self) -> None:
+        positive = (
+            self.topical_signal
+            + self.mention_impact
+            + self.retweet_impact
+            + self.originality
+            + self.conversation
+            + self.hashtag_ratio
+            + self.graph_influence
+        )
+        if positive <= 0:
+            raise ValueError("at least one positive weight is required")
+
+
+@dataclass
+class ExtendedFeatureRow:
+    """All extended features of one candidate for one query."""
+
+    user_id: int
+    topical_signal: float = 0.0
+    mention_impact: float = 0.0
+    retweet_impact: float = 0.0
+    originality: float = 0.0
+    conversation: float = 0.0
+    self_similarity: float = 0.0
+    hashtag_ratio: float = 0.0
+    graph_influence: float = 0.0
+
+
+def _token_jaccard(a: frozenset[str], b: frozenset[str]) -> float:
+    if not a or not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+def compute_extended_features(
+    platform: MicroblogPlatform, query: str
+) -> list[ExtendedFeatureRow]:
+    """One pass over the matching tweets computing every feature."""
+    stats = collect_candidates(platform, query)
+    if not stats:
+        return []
+    on_topic_tweets: dict[int, list[Tweet]] = {}
+    for tweet in platform.matching_tweets(query):
+        on_topic_tweets.setdefault(tweet.author_id, []).append(tweet)
+
+    rows: list[ExtendedFeatureRow] = []
+    for user_id in sorted(stats):
+        candidate = stats[user_id]
+        totals = platform.totals(user_id)
+        user = platform.user(user_id)
+        row = ExtendedFeatureRow(user_id=user_id)
+        if totals.tweets:
+            row.topical_signal = candidate.on_topic_tweets / totals.tweets
+        if totals.mentions_received:
+            row.mention_impact = (
+                candidate.on_topic_mentions / totals.mentions_received
+            )
+        if totals.retweets_received:
+            row.retweet_impact = (
+                candidate.on_topic_retweets_received / totals.retweets_received
+            )
+        authored = on_topic_tweets.get(user_id, [])
+        if authored:
+            originals = [t for t in authored if not t.is_retweet]
+            row.originality = len(originals) / len(authored)
+            row.conversation = sum(
+                1 for t in authored if t.mentions and not t.is_retweet
+            ) / len(authored)
+            row.hashtag_ratio = sum(
+                1
+                for t in authored
+                if any(token.startswith("#") for token in t.tokens)
+            ) / len(authored)
+            if len(authored) >= 2:
+                pairs = list(zip(authored, authored[1:]))
+                row.self_similarity = sum(
+                    _token_jaccard(a.tokens, b.tokens) for a, b in pairs
+                ) / len(pairs)
+        row.graph_influence = math.log1p(max(user.followers, 0))
+        rows.append(row)
+    return rows
+
+
+_FEATURE_NAMES = (
+    "topical_signal",
+    "mention_impact",
+    "retweet_impact",
+    "originality",
+    "conversation",
+    "self_similarity",
+    "hashtag_ratio",
+    "graph_influence",
+)
+
+
+class ExtendedPalCountsDetector:
+    """Pal & Counts with the full feature set — the ABL6 comparator."""
+
+    def __init__(
+        self,
+        platform: MicroblogPlatform,
+        ranking: RankingConfig | None = None,
+        weights: ExtendedWeights | None = None,
+        normalization: NormalizationConfig | None = None,
+        cache_scores: bool = True,
+    ) -> None:
+        self.platform = platform
+        self.ranking = ranking or RankingConfig()
+        self.weights = weights or ExtendedWeights()
+        self.normalization = normalization or NormalizationConfig()
+        self._cache: dict[str, list[RankedExpert]] | None = (
+            {} if cache_scores else None
+        )
+
+    def score(self, query: str) -> list[RankedExpert]:
+        from repro.utils.text import phrase_key
+
+        key = phrase_key(query)
+        if self._cache is not None and key in self._cache:
+            return self._cache[key]
+        result = self._score_uncached(query)
+        if self._cache is not None:
+            self._cache[key] = result
+        return result
+
+    def detect(
+        self, query: str, min_zscore: float | None = None
+    ) -> list[RankedExpert]:
+        threshold = (
+            self.ranking.min_zscore if min_zscore is None else min_zscore
+        )
+        kept = [e for e in self.score(query) if e.score >= threshold]
+        return kept[: self.ranking.max_results]
+
+    def candidate_count(self, query: str) -> int:
+        return len(collect_candidates(self.platform, query))
+
+    def _score_uncached(self, query: str) -> list[RankedExpert]:
+        rows = compute_extended_features(self.platform, query)
+        if not rows:
+            return []
+
+        def z_column(name: str) -> list[float]:
+            values = [getattr(row, name) for row in rows]
+            # graph influence is already log-scale; don't double-log it
+            if name != "graph_influence" and self.normalization.apply_log:
+                values = log_transform(values, self.normalization.epsilon)
+            return zscores(values)
+
+        z_by_name = {name: z_column(name) for name in _FEATURE_NAMES}
+        weights = self.weights
+        experts: list[RankedExpert] = []
+        for position, row in enumerate(rows):
+            score = (
+                weights.topical_signal * z_by_name["topical_signal"][position]
+                + weights.mention_impact * z_by_name["mention_impact"][position]
+                + weights.retweet_impact * z_by_name["retweet_impact"][position]
+                + weights.originality * z_by_name["originality"][position]
+                + weights.conversation * z_by_name["conversation"][position]
+                + weights.self_similarity
+                * z_by_name["self_similarity"][position]
+                + weights.hashtag_ratio * z_by_name["hashtag_ratio"][position]
+                + weights.graph_influence
+                * z_by_name["graph_influence"][position]
+            )
+            user = self.platform.user(row.user_id)
+            experts.append(
+                RankedExpert(
+                    user_id=row.user_id,
+                    screen_name=user.screen_name,
+                    description=user.description,
+                    verified=user.verified,
+                    followers=user.followers,
+                    score=score,
+                    features=FeatureVector(
+                        row.user_id,
+                        row.topical_signal,
+                        row.mention_impact,
+                        row.retweet_impact,
+                    ),
+                    zscores=NormalizedFeatures(
+                        row.user_id,
+                        z_by_name["topical_signal"][position],
+                        z_by_name["mention_impact"][position],
+                        z_by_name["retweet_impact"][position],
+                    ),
+                )
+            )
+        experts.sort(key=lambda e: (-e.score, e.user_id))
+        return experts

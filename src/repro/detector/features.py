@@ -1,0 +1,59 @@
+"""Feature computation: TS, MI, RI (§3).
+
+::
+
+    TS = #tweets by user on topic           / #tweets by user
+    MI = #mentions of user on topic         / #mentions of user
+    RI = #retweets of user's tweets on topic / #retweets of user's tweets
+
+A zero denominator yields a zero feature (the candidate offers no evidence
+on that channel); the log transform downstream floors zeros at an epsilon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detector.candidates import CandidateStats
+from repro.microblog.platform import MicroblogPlatform
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """Raw (pre-normalisation) features of one candidate."""
+
+    user_id: int
+    topical_signal: float
+    mention_impact: float
+    retweet_impact: float
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.topical_signal, self.mention_impact, self.retweet_impact)
+
+
+def _ratio(numerator: int, denominator: int) -> float:
+    return numerator / denominator if denominator > 0 else 0.0
+
+
+def compute_features(
+    platform: MicroblogPlatform, stats: dict[int, CandidateStats]
+) -> list[FeatureVector]:
+    """Raw features for every candidate, in deterministic (user id) order."""
+    vectors: list[FeatureVector] = []
+    for user_id in sorted(stats):
+        candidate = stats[user_id]
+        totals = platform.totals(user_id)
+        vectors.append(
+            FeatureVector(
+                user_id=user_id,
+                topical_signal=_ratio(candidate.on_topic_tweets, totals.tweets),
+                mention_impact=_ratio(
+                    candidate.on_topic_mentions, totals.mentions_received
+                ),
+                retweet_impact=_ratio(
+                    candidate.on_topic_retweets_received,
+                    totals.retweets_received,
+                ),
+            )
+        )
+    return vectors

@@ -1,0 +1,66 @@
+"""Normalisation: log transform then z-score (§3).
+
+*"In practice, the features appear to be log-normally distributed.
+Therefore, we take their logarithm to obtain Gaussian distributions"* —
+then each feature is z-scored against the candidate pool of the query
+(``z = (x − µ) / σ``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detector.features import FeatureVector
+from repro.utils.stats import log_transform, zscores
+
+
+@dataclass(frozen=True)
+class NormalizationConfig:
+    """Knobs of the normalisation step."""
+
+    #: floor for the log transform (features are often exactly 0)
+    epsilon: float = 1e-6
+    #: skip the log transform (ablation switch; the paper always applies it)
+    apply_log: bool = True
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+
+
+@dataclass(frozen=True)
+class NormalizedFeatures:
+    """Per-candidate z-scores, aligned with the input order."""
+
+    user_id: int
+    z_topical_signal: float
+    z_mention_impact: float
+    z_retweet_impact: float
+
+
+def normalize_features(
+    vectors: list[FeatureVector],
+    config: NormalizationConfig | None = None,
+) -> list[NormalizedFeatures]:
+    """Log + z-score each feature column over the candidate pool."""
+    config = config or NormalizationConfig()
+    if not vectors:
+        return []
+
+    def column(values: list[float]) -> list[float]:
+        if config.apply_log:
+            values = log_transform(values, config.epsilon)
+        return zscores(values)
+
+    z_ts = column([v.topical_signal for v in vectors])
+    z_mi = column([v.mention_impact for v in vectors])
+    z_ri = column([v.retweet_impact for v in vectors])
+    return [
+        NormalizedFeatures(
+            user_id=vector.user_id,
+            z_topical_signal=ts,
+            z_mention_impact=mi,
+            z_retweet_impact=ri,
+        )
+        for vector, ts, mi, ri in zip(vectors, z_ts, z_mi, z_ri)
+    ]

@@ -1,0 +1,83 @@
+"""The assembled Pal & Counts detector — e#'s baseline.
+
+Chains candidate selection → features → normalisation → ranking.  The
+unthresholded scored pool is exposed separately (:meth:`score`) so the
+evaluation sweeps of Figures 9 and 10 can reuse one scoring pass per
+query instead of re-running the pipeline per threshold.
+"""
+
+from __future__ import annotations
+
+from repro.detector.candidates import collect_candidates
+from repro.detector.clusterfilter import GaussianClusterFilter
+from repro.detector.features import compute_features
+from repro.detector.normalize import NormalizationConfig, normalize_features
+from repro.detector.ranking import (
+    RankedExpert,
+    RankingConfig,
+    rank_candidates,
+    score_candidates,
+)
+from repro.microblog.platform import MicroblogPlatform
+
+
+class PalCountsDetector:
+    """Query → ranked experts on one platform."""
+
+    def __init__(
+        self,
+        platform: MicroblogPlatform,
+        ranking: RankingConfig | None = None,
+        normalization: NormalizationConfig | None = None,
+        cluster_filter: GaussianClusterFilter | None = None,
+        cache_scores: bool = True,
+    ) -> None:
+        self.platform = platform
+        self.ranking = ranking or RankingConfig()
+        self.normalization = normalization or NormalizationConfig()
+        #: the optional Pal & Counts filtering step; the paper discards it
+        #: ("computationally expensive, and ... contrary to our objective of
+        #: improving recall"), so it is off unless explicitly supplied
+        self.cluster_filter = cluster_filter
+        #: memoise per-term scored pools — safe because the platform is
+        #: append-only after build and the evaluation sweeps re-visit the
+        #: same expansion terms across hundreds of queries
+        self._cache: dict[str, list[RankedExpert]] | None = (
+            {} if cache_scores else None
+        )
+
+    def score(self, query: str) -> list[RankedExpert]:
+        """The full scored candidate pool (threshold *not* applied)."""
+        from repro.utils.text import phrase_key
+
+        key = phrase_key(query)
+        if self._cache is not None and key in self._cache:
+            return self._cache[key]
+        result = self._score_uncached(query)
+        if self._cache is not None:
+            self._cache[key] = result
+        return result
+
+    def _score_uncached(self, query: str) -> list[RankedExpert]:
+        stats = collect_candidates(self.platform, query)
+        if not stats:
+            return []
+        vectors = compute_features(self.platform, stats)
+        normalized = normalize_features(vectors, self.normalization)
+        scored = score_candidates(self.platform, vectors, normalized, self.ranking)
+        if self.cluster_filter is not None:
+            scored = self.cluster_filter.apply(scored)
+        return scored
+
+    def detect(self, query: str, min_zscore: float | None = None) -> list[RankedExpert]:
+        """Ranked experts above the (possibly overridden) threshold."""
+        config = self.ranking
+        if min_zscore is not None:
+            config = config.with_threshold(min_zscore)
+        scored = self.score(query)
+        kept = [e for e in scored if e.score >= config.min_zscore]
+        return kept[: config.max_results]
+
+    def candidate_count(self, query: str) -> int:
+        """Number of candidates before ranking (recall diagnostics)."""
+        return len(collect_candidates(self.platform, query))

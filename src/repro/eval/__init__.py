@@ -1,0 +1,64 @@
+"""S11 — Evaluation harness: query sets, experiment drivers, reporting.
+
+One driver per artifact of §6 (see DESIGN.md's per-experiment index);
+each returns a small dataclass that both the tests (shape assertions) and
+the benchmark harness (row/series printing) consume.
+"""
+
+from repro.eval.querysets import QuerySet, QuerySetConfig, build_query_sets
+from repro.eval.experiments import (
+    CoverageRow,
+    ExperimentContext,
+    Fig5Result,
+    Fig6Result,
+    Fig7Result,
+    Fig8Result,
+    Fig9Result,
+    Fig10Result,
+    Table9Result,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_table8,
+    run_table9,
+    run_example_tables,
+)
+from repro.eval.metrics import (
+    average_precision,
+    ndcg,
+    precision_at_k,
+)
+from repro.eval.reporting import render_histogram, render_series, render_table
+
+__all__ = [
+    "CoverageRow",
+    "ExperimentContext",
+    "Fig10Result",
+    "Fig5Result",
+    "Fig6Result",
+    "Fig7Result",
+    "Fig8Result",
+    "Fig9Result",
+    "QuerySet",
+    "QuerySetConfig",
+    "Table9Result",
+    "average_precision",
+    "build_query_sets",
+    "ndcg",
+    "precision_at_k",
+    "render_histogram",
+    "render_series",
+    "render_table",
+    "run_example_tables",
+    "run_fig10",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_table8",
+    "run_table9",
+]

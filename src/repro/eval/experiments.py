@@ -1,0 +1,476 @@
+"""Experiment drivers — one per table/figure of §6 (see DESIGN.md).
+
+Every driver consumes an :class:`ExperimentContext` (built once per
+session; it holds the e# system, the Table 1 query sets and the simulated
+crowd) and returns a result dataclass that tests assert shapes on and
+benches print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.community.neighbours import CommunityNeighbour, closest_communities
+from repro.community.sizes import SizeBucket, size_distribution
+from repro.core.config import ESharpConfig
+from repro.core.esharp import ESharp
+from repro.crowd.study import CrowdStudy, StudyConfig, StudyOutcome
+from repro.detector.ranking import RankedExpert
+from repro.eval.querysets import QuerySet, QuerySetConfig, build_query_sets
+from repro.utils.timing import StageReport, format_bytes, format_seconds
+
+
+# --------------------------------------------------------------------------
+# shared context
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ExperimentContext:
+    """One built system + query sets + crowd, shared by all drivers."""
+
+    system: ESharp
+    query_sets: list[QuerySet]
+    study: CrowdStudy
+    _baseline_pools: dict[str, list[RankedExpert]] = field(default_factory=dict)
+    _esharp_pools: dict[str, list[RankedExpert]] = field(default_factory=dict)
+    _outcomes: dict[str, StudyOutcome] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        config: ESharpConfig | None = None,
+        queryset_config: QuerySetConfig | None = None,
+        study_config: StudyConfig | None = None,
+    ) -> "ExperimentContext":
+        system = ESharp(config or ESharpConfig.standard()).build()
+        offline = system.offline
+        query_sets = build_query_sets(
+            offline.world, offline.store, queryset_config
+        )
+        study = CrowdStudy(offline.world, system.platform, study_config)
+        return cls(system=system, query_sets=query_sets, study=study)
+
+    # -- cached scored pools ---------------------------------------------------
+
+    def baseline_pool(self, query: str) -> list[RankedExpert]:
+        """Scored baseline pool, truncated to the result cap."""
+        if query not in self._baseline_pools:
+            cap = self.system.detector.ranking.max_results
+            self._baseline_pools[query] = self.system.detector.score(query)[:cap]
+        return self._baseline_pools[query]
+
+    def esharp_pool(self, query: str) -> list[RankedExpert]:
+        """Scored e# (expanded, unioned) pool, truncated to the cap."""
+        if query not in self._esharp_pools:
+            cap = self.system.detector.ranking.max_results
+            pool = self.system.online.score(query).scored_pool
+            self._esharp_pools[query] = pool[:cap]
+        return self._esharp_pools[query]
+
+    def kept(
+        self, pool: list[RankedExpert], min_zscore: float
+    ) -> list[RankedExpert]:
+        """Thresholded view of a (already capped, score-sorted) pool."""
+        return [expert for expert in pool if expert.score >= min_zscore]
+
+    def outcome(self, query: str) -> StudyOutcome:
+        """Crowd judgments for a query's merged result lists (memoised)."""
+        if query not in self._outcomes:
+            self._outcomes[query] = self.study.judge_results(
+                query, self.baseline_pool(query), self.esharp_pool(query)
+            )
+        return self._outcomes[query]
+
+    @property
+    def default_threshold(self) -> float:
+        return self.system.detector.ranking.min_zscore
+
+    def all_queries(self) -> list[str]:
+        seen: set[str] = set()
+        ordered: list[str] = []
+        for query_set in self.query_sets:
+            for query in query_set.queries:
+                if query not in seen:
+                    seen.add(query)
+                    ordered.append(query)
+        return ordered
+
+
+# --------------------------------------------------------------------------
+# FIG5 — clustering convergence
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    iterations: list[int]
+    community_counts: list[int]
+
+    @property
+    def converged_after(self) -> int:
+        return self.iterations[-1] if self.iterations else 0
+
+
+def run_fig5(ctx: ExperimentContext) -> Fig5Result:
+    history = ctx.system.offline.clustering_history
+    return Fig5Result(
+        iterations=[trace.iteration for trace in history],
+        community_counts=[trace.communities for trace in history],
+    )
+
+
+# --------------------------------------------------------------------------
+# FIG6 — community-size distribution
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    buckets: list[SizeBucket]
+    total_communities: int
+
+
+def run_fig6(ctx: ExperimentContext) -> Fig6Result:
+    partition = ctx.system.offline.partition
+    return Fig6Result(
+        buckets=size_distribution(partition),
+        total_communities=partition.community_count(),
+    )
+
+
+# --------------------------------------------------------------------------
+# FIG7 — the community around a seed term and its closest neighbours
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    seed_term: str
+    community: tuple[str, ...]
+    neighbours: list[CommunityNeighbour]
+
+
+def run_fig7(ctx: ExperimentContext, seed_term: str | None = None) -> Fig7Result:
+    offline = ctx.system.offline
+    if seed_term is None:
+        # the analogue of "49ers": the most popular sports topic's canonical
+        topics = sorted(
+            offline.world.topics_in_domain("sports"),
+            key=lambda t: t.popularity,
+            reverse=True,
+        )
+        for topic in topics:
+            if topic.canonical.text in offline.partition.assignment:
+                seed_term = topic.canonical.text
+                break
+        else:
+            raise LookupError("no sports canonical term survived the log filter")
+    community, neighbours = closest_communities(
+        offline.multigraph, offline.partition, seed_term
+    )
+    return Fig7Result(
+        seed_term=seed_term, community=community, neighbours=neighbours
+    )
+
+
+# --------------------------------------------------------------------------
+# TAB8 — % of queries with at least one expert
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoverageRow:
+    dataset: str
+    baseline: float
+    esharp: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative improvement, as Table 8 reports it (0.87→0.96 = 10%)."""
+        if self.baseline == 0:
+            return float("inf") if self.esharp > 0 else 0.0
+        return (self.esharp - self.baseline) / self.baseline
+
+
+def run_table8(
+    ctx: ExperimentContext, min_zscore: float | None = None
+) -> list[CoverageRow]:
+    threshold = ctx.default_threshold if min_zscore is None else min_zscore
+    rows: list[CoverageRow] = []
+    for query_set in ctx.query_sets:
+        if not query_set.queries:
+            rows.append(CoverageRow(query_set.name, 0.0, 0.0))
+            continue
+        base_hits = sum(
+            1
+            for q in query_set.queries
+            if ctx.kept(ctx.baseline_pool(q), threshold)
+        )
+        esh_hits = sum(
+            1
+            for q in query_set.queries
+            if ctx.kept(ctx.esharp_pool(q), threshold)
+        )
+        size = len(query_set.queries)
+        rows.append(
+            CoverageRow(query_set.name, base_hits / size, esh_hits / size)
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# FIG8 — queries with ≥ n experts, n = 0..14
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    dataset: str
+    n_values: list[int]
+    baseline_pct: list[float]
+    esharp_pct: list[float]
+
+
+def run_fig8(
+    ctx: ExperimentContext,
+    max_n: int = 14,
+    min_zscore: float | None = None,
+) -> list[Fig8Result]:
+    threshold = ctx.default_threshold if min_zscore is None else min_zscore
+    results: list[Fig8Result] = []
+    for query_set in ctx.query_sets:
+        n_values = list(range(max_n + 1))
+        base_counts = [
+            len(ctx.kept(ctx.baseline_pool(q), threshold))
+            for q in query_set.queries
+        ]
+        esh_counts = [
+            len(ctx.kept(ctx.esharp_pool(q), threshold))
+            for q in query_set.queries
+        ]
+        size = max(1, len(query_set.queries))
+        results.append(
+            Fig8Result(
+                dataset=query_set.name,
+                n_values=n_values,
+                baseline_pct=[
+                    100.0 * sum(1 for c in base_counts if c >= n) / size
+                    for n in n_values
+                ],
+                esharp_pct=[
+                    100.0 * sum(1 for c in esh_counts if c >= n) / size
+                    for n in n_values
+                ],
+            )
+        )
+    return results
+
+
+# --------------------------------------------------------------------------
+# FIG9 — z-score threshold sweep (Top 250)
+# --------------------------------------------------------------------------
+
+DEFAULT_ZSCORE_SWEEP: tuple[float, ...] = (
+    0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0,
+)
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    thresholds: list[float]
+    baseline_avg: list[float]
+    esharp_avg: list[float]
+
+
+def run_fig9(
+    ctx: ExperimentContext,
+    thresholds: tuple[float, ...] = DEFAULT_ZSCORE_SWEEP,
+    dataset: str = "top 250",
+) -> Fig9Result:
+    query_set = _find_set(ctx, dataset)
+    queries = query_set.queries
+    size = max(1, len(queries))
+    baseline_avg: list[float] = []
+    esharp_avg: list[float] = []
+    for threshold in thresholds:
+        baseline_avg.append(
+            sum(len(ctx.kept(ctx.baseline_pool(q), threshold)) for q in queries)
+            / size
+        )
+        esharp_avg.append(
+            sum(len(ctx.kept(ctx.esharp_pool(q), threshold)) for q in queries)
+            / size
+        )
+    return Fig9Result(
+        thresholds=list(thresholds),
+        baseline_avg=baseline_avg,
+        esharp_avg=esharp_avg,
+    )
+
+
+# --------------------------------------------------------------------------
+# FIG10 — size vs quality trade-off (impurity)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig10Point:
+    threshold: float
+    avg_experts: float
+    impurity: float
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    dataset: str
+    baseline: list[Fig10Point]
+    esharp: list[Fig10Point]
+
+
+def run_fig10(
+    ctx: ExperimentContext,
+    thresholds: tuple[float, ...] = DEFAULT_ZSCORE_SWEEP,
+    datasets: tuple[str, ...] | None = None,
+) -> list[Fig10Result]:
+    names = datasets or tuple(s.name for s in ctx.query_sets)
+    results: list[Fig10Result] = []
+    for name in names:
+        query_set = _find_set(ctx, name)
+        baseline_points: list[Fig10Point] = []
+        esharp_points: list[Fig10Point] = []
+        for threshold in thresholds:
+            baseline_points.append(
+                _fig10_point(ctx, query_set, threshold, use_esharp=False)
+            )
+            esharp_points.append(
+                _fig10_point(ctx, query_set, threshold, use_esharp=True)
+            )
+        results.append(
+            Fig10Result(
+                dataset=name, baseline=baseline_points, esharp=esharp_points
+            )
+        )
+    return results
+
+
+def _fig10_point(
+    ctx: ExperimentContext,
+    query_set: QuerySet,
+    threshold: float,
+    use_esharp: bool,
+) -> Fig10Point:
+    total_kept = 0
+    total_flagged = 0
+    for query in query_set.queries:
+        pool = (
+            ctx.esharp_pool(query) if use_esharp else ctx.baseline_pool(query)
+        )
+        kept = ctx.kept(pool, threshold)
+        if not kept:
+            continue
+        outcome = ctx.outcome(query)
+        total_kept += len(kept)
+        total_flagged += sum(
+            1 for expert in kept if outcome.is_non_expert(query, expert.user_id)
+        )
+    size = max(1, len(query_set.queries))
+    return Fig10Point(
+        threshold=threshold,
+        avg_experts=total_kept / size,
+        impurity=(total_flagged / total_kept) if total_kept else 0.0,
+    )
+
+
+# --------------------------------------------------------------------------
+# TAB9 — resource consumption
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table9Result:
+    rows: list[tuple[str, int, str, str, str]]
+    expansion_seconds: float
+    detection_seconds: float
+
+
+def run_table9(
+    ctx: ExperimentContext, sample_queries: int = 25
+) -> Table9Result:
+    offline_reports = ctx.system.offline.clock.reports
+    queries = ctx.all_queries()[:sample_queries] or ["fallback query"]
+    expansion_total = 0.0
+    detection_total = 0.0
+    for query in queries:
+        answer = ctx.system.answer(query)
+        expansion_total += answer.expansion_seconds
+        detection_total += answer.detection_seconds
+    expansion_avg = expansion_total / len(queries)
+    detection_avg = detection_total / len(queries)
+
+    rows = [report.as_row() for report in offline_reports]
+    rows.append(
+        StageReport(name="Expansion", workers=1, seconds=expansion_avg).as_row()
+    )
+    rows.append(
+        StageReport(name="Detection", workers=1, seconds=detection_avg).as_row()
+    )
+    return Table9Result(
+        rows=rows,
+        expansion_seconds=expansion_avg,
+        detection_seconds=detection_avg,
+    )
+
+
+# --------------------------------------------------------------------------
+# TAB2–7 — example expert tables
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExampleTable:
+    query: str
+    baseline: list[RankedExpert]
+    esharp: list[RankedExpert]
+
+
+def run_example_tables(
+    ctx: ExperimentContext,
+    queries: list[str] | None = None,
+    top_k: int = 3,
+) -> list[ExampleTable]:
+    """One table per example query (the paper shows six, Tables 2–7).
+
+    Defaults to the most popular query of each Table 1 set, mirroring the
+    paper's picks (49ers, bluetooth, dow futures, diabetes, WWI, Palin).
+    """
+    if queries is None:
+        queries = [
+            qs.queries[0] for qs in ctx.query_sets if qs.queries
+        ]
+    threshold = ctx.default_threshold
+    tables: list[ExampleTable] = []
+    for query in queries:
+        baseline = ctx.kept(ctx.baseline_pool(query), threshold)[:top_k]
+        esharp_all = ctx.kept(ctx.esharp_pool(query), threshold)
+        # the paper's e# rows showcase the *newly found* experts — prefer
+        # accounts the baseline did not return
+        baseline_ids = {expert.user_id for expert in baseline}
+        fresh = [e for e in esharp_all if e.user_id not in baseline_ids]
+        esharp = (fresh + [e for e in esharp_all if e.user_id in baseline_ids])[
+            :top_k
+        ]
+        tables.append(ExampleTable(query=query, baseline=baseline, esharp=esharp))
+    return tables
+
+
+# --------------------------------------------------------------------------
+
+
+def _find_set(ctx: ExperimentContext, name: str) -> QuerySet:
+    for query_set in ctx.query_sets:
+        if query_set.name == name:
+            return query_set
+    raise KeyError(
+        f"unknown query set {name!r}; have {[s.name for s in ctx.query_sets]}"
+    )

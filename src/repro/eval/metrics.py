@@ -1,0 +1,69 @@
+"""Ranking-quality metrics against ground truth.
+
+The paper evaluates sets (coverage, impurity); with a simulator we can
+additionally grade the *ordering*: precision@k, average precision and
+nDCG against exact expertise labels.  Used by tests as quality floors
+and available for custom analyses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+from repro.detector.ranking import RankedExpert
+
+Relevance = Callable[[int], bool]
+
+
+def precision_at_k(
+    experts: Sequence[RankedExpert], relevant: Relevance, k: int
+) -> float:
+    """Fraction of the top-``k`` that are relevant; 0.0 for empty input."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    top = list(experts[:k])
+    if not top:
+        return 0.0
+    return sum(1 for e in top if relevant(e.user_id)) / len(top)
+
+
+def average_precision(
+    experts: Sequence[RankedExpert], relevant: Relevance
+) -> float:
+    """AP over the returned ranking (normalised by retrieved relevant)."""
+    hits = 0
+    precision_sum = 0.0
+    for position, expert in enumerate(experts, start=1):
+        if relevant(expert.user_id):
+            hits += 1
+            precision_sum += hits / position
+    return precision_sum / hits if hits else 0.0
+
+
+def ndcg(
+    experts: Sequence[RankedExpert], relevant: Relevance, k: int | None = None
+) -> float:
+    """Binary nDCG@k (log2 discount); 0.0 when nothing relevant returned."""
+    ranking = list(experts if k is None else experts[:k])
+    gains = [1.0 if relevant(e.user_id) else 0.0 for e in ranking]
+    dcg = sum(
+        gain / math.log2(position + 1)
+        for position, gain in enumerate(gains, start=1)
+    )
+    ideal_gains = sorted(gains, reverse=True)
+    ideal = sum(
+        gain / math.log2(position + 1)
+        for position, gain in enumerate(ideal_gains, start=1)
+    )
+    return dcg / ideal if ideal > 0 else 0.0
+
+
+def mean_over_queries(
+    per_query_values: Iterable[float],
+) -> float:
+    """Plain macro-average; raises on empty input."""
+    values = list(per_query_values)
+    if not values:
+        raise ValueError("no queries to average over")
+    return sum(values) / len(values)

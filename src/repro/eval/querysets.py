@@ -1,0 +1,93 @@
+"""Query sets — the Table 1 analogue.
+
+The paper's six sets: the 100 most popular search terms of four categories
+(Sports, Electronics, Finance, Health), the top-100 Wikipedia pages, and
+the search engine's overall top 250 — 750 queries total.
+
+Our analogue derives popularity from the simulated query log itself
+(exactly how the paper's sets were drawn from Bing's):
+
+* per-domain sets take the most frequent logged surface forms whose
+  primary topic lies in that domain;
+* the *wikipedia* set does the same for the encyclopedic domain — our
+  "alternative view of popular interests";
+* the *top* set takes the overall most frequent queries regardless of
+  domain, which is why it mixes heads with odd tails (and why the paper
+  saw its largest expansion gains there).
+
+Set sizes scale with the world: defaults give 40+40+40+40+40+100 = 300
+queries at standard scale (the paper's 750 at Bing scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.querylog.store import QueryLogStore
+from repro.worldmodel.model import WorldModel
+
+
+@dataclass(frozen=True)
+class QuerySetConfig:
+    per_domain: int = 40
+    top_set: int = 150
+    #: minimum logged occurrences for a query to be eligible
+    min_frequency: int = 10
+
+    def __post_init__(self) -> None:
+        if self.per_domain < 1 or self.top_set < 1:
+            raise ValueError("set sizes must be positive")
+
+
+@dataclass(frozen=True)
+class QuerySet:
+    """One named set of evaluation queries (a row of Table 1)."""
+
+    name: str
+    queries: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def examples(self, count: int = 5) -> list[str]:
+        return list(self.queries[:count])
+
+
+#: the four category sets of Table 1 (wikipedia and top are built apart)
+CATEGORY_DOMAINS: tuple[str, ...] = ("sports", "electronics", "finance", "health")
+
+
+def build_query_sets(
+    world: WorldModel,
+    store: QueryLogStore,
+    config: QuerySetConfig | None = None,
+) -> list[QuerySet]:
+    """Construct the six Table 1 sets from the log's own popularity."""
+    config = config or QuerySetConfig()
+    frequency: dict[str, int] = {}
+    for query in store.supported_queries():
+        count = store.query_count(query)
+        if count >= config.min_frequency:
+            frequency[query] = count
+    by_popularity = sorted(frequency, key=lambda q: (-frequency[q], q))
+
+    def domain_of(query: str) -> str | None:
+        topic = world.primary_topic_for(query)
+        return topic.domain if topic is not None else None
+
+    sets: list[QuerySet] = []
+    for domain in CATEGORY_DOMAINS:
+        queries = [q for q in by_popularity if domain_of(q) == domain]
+        sets.append(
+            QuerySet(name=domain, queries=tuple(queries[: config.per_domain]))
+        )
+    wiki = [q for q in by_popularity if domain_of(q) == "wikipedia"]
+    sets.append(QuerySet(name="wikipedia", queries=tuple(wiki[: config.per_domain])))
+    sets.append(
+        QuerySet(name="top 250", queries=tuple(by_popularity[: config.top_set]))
+    )
+    return sets
+
+
+def total_queries(sets: list[QuerySet]) -> int:
+    return sum(len(s) for s in sets)

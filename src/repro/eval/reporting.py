@@ -1,0 +1,60 @@
+"""ASCII rendering of tables, series and histograms for the benches."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width table with a separator under the header."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells), 1)
+        if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    series: dict[str, Sequence[float]],
+    x_values: Sequence[object],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Numeric series side by side (one column per named series)."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for index, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(f"{values[index]:.{precision}f}")
+        rows.append(row)
+    return render_table(headers, rows, title)
+
+
+def render_histogram(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Horizontal bar chart (value-proportional bars)."""
+    peak = max(values) if values else 1.0
+    label_width = max((len(label) for label in labels), default=1)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * (int(round(width * value / peak)) if peak > 0 else 0)
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.3g}")
+    return "\n".join(lines)

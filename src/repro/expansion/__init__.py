@@ -1,0 +1,29 @@
+"""S8 — Domains of expertise: storage, exact-match lookup, expansion (§5).
+
+The offline pipeline's product is a collection of keyword communities.
+Online, an incoming query is matched against the collection by exact
+lower-cased phrase match and replaced by every keyword of its community;
+the detector runs once per keyword and the results are unioned.
+"""
+
+from repro.expansion.domainstore import DomainStore, ExpertiseDomain
+from repro.expansion.expander import ExpansionResult, QueryExpander
+from repro.expansion.policies import (
+    POLICIES,
+    ExpansionPolicy,
+    FullCommunityPolicy,
+    SharedTokenPolicy,
+    TopKSimilarPolicy,
+)
+
+__all__ = [
+    "DomainStore",
+    "ExpansionPolicy",
+    "ExpansionResult",
+    "ExpertiseDomain",
+    "FullCommunityPolicy",
+    "POLICIES",
+    "QueryExpander",
+    "SharedTokenPolicy",
+    "TopKSimilarPolicy",
+]

@@ -1,0 +1,87 @@
+"""Query expansion execution (§5).
+
+*"Once we identified the relevant community, we run the expert search for
+all the related terms separately. We then union the results and rank the
+experts."*  Union semantics for a user found under several terms: keep the
+highest score (documented choice — the paper does not specify; max is the
+natural reading of re-ranking a union).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detector.palcounts import PalCountsDetector
+from repro.detector.ranking import RankedExpert
+from repro.expansion.domainstore import DomainStore
+
+
+@dataclass
+class ExpansionResult:
+    """Everything the online path produces for one query."""
+
+    query: str
+    #: terms actually searched (query first)
+    terms: list[str]
+    #: final ranked experts after union + threshold + cap
+    experts: list[RankedExpert]
+    #: scored pool before threshold (for sweeps), deduplicated by user
+    scored_pool: list[RankedExpert] = field(default_factory=list)
+    matched_domain: str | None = None
+
+
+class QueryExpander:
+    """e#'s online stage: match → expand → detect per term → union → rank.
+
+    ``policy`` selects how much of the matched community to search
+    (default: the paper's full-community expansion); ``graph`` lets
+    similarity-aware policies rank the community's terms.
+    """
+
+    def __init__(
+        self,
+        store: DomainStore,
+        detector: PalCountsDetector,
+        policy=None,
+        graph=None,
+    ) -> None:
+        from repro.expansion.policies import FullCommunityPolicy
+
+        self.store = store
+        self.detector = detector
+        self.policy = policy or FullCommunityPolicy()
+        self.graph = graph
+
+    def expand_terms(self, query: str) -> tuple[list[str], str | None]:
+        """Expansion terms and the matched domain id (None when unmatched)."""
+        domain = self.store.lookup(query)
+        if domain is None:
+            return [query], None
+        return self.policy.terms(query, domain, self.graph), domain.domain_id
+
+    def score(self, query: str) -> ExpansionResult:
+        """Scored union pool with no threshold applied (sweep-friendly)."""
+        terms, domain_id = self.expand_terms(query)
+        best: dict[int, RankedExpert] = {}
+        for term in terms:
+            for expert in self.detector.score(term):
+                incumbent = best.get(expert.user_id)
+                if incumbent is None or expert.score > incumbent.score:
+                    best[expert.user_id] = expert
+        pool = sorted(best.values(), key=lambda e: (-e.score, e.user_id))
+        return ExpansionResult(
+            query=query,
+            terms=terms,
+            experts=[],
+            scored_pool=pool,
+            matched_domain=domain_id,
+        )
+
+    def detect(self, query: str, min_zscore: float | None = None) -> ExpansionResult:
+        """The full online path: threshold + cap applied to the union."""
+        config = self.detector.ranking
+        threshold = config.min_zscore if min_zscore is None else min_zscore
+        result = self.score(query)
+        kept = [e for e in result.scored_pool if e.score >= threshold]
+        result.experts = kept[: config.max_results]
+        return result

@@ -1,0 +1,103 @@
+"""Expansion policies — how much of a matched community to search.
+
+§6.2.3 names the failure mode of full-community expansion: *"errors in
+the expansion (e.g., disambiguation problems)"*.  Searching *every*
+community keyword (the paper's choice) maximises recall but lets an
+ambiguous shared keyword ("san francisco") drag in neighbouring topics.
+These policies trade that off; ABL5 measures them.
+
+All policies receive the matched domain's keywords plus (optionally) the
+similarity graph, and return the ordered terms to search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.expansion.domainstore import ExpertiseDomain
+from repro.simgraph.graph import WeightedGraph
+from repro.utils.text import phrase_key, tokenize
+
+
+class ExpansionPolicy:
+    """Base policy: subclasses order/trim the expansion terms."""
+
+    name = "base"
+
+    def terms(
+        self,
+        query: str,
+        domain: ExpertiseDomain,
+        graph: WeightedGraph | None = None,
+    ) -> list[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FullCommunityPolicy(ExpansionPolicy):
+    """The paper's §5 behaviour: search every community keyword."""
+
+    name = "full"
+
+    def terms(self, query, domain, graph=None) -> list[str]:
+        key = phrase_key(query)
+        others = [kw for kw in domain.keywords if phrase_key(kw) != key]
+        return [key] + others
+
+
+@dataclass(frozen=True)
+class TopKSimilarPolicy(ExpansionPolicy):
+    """Only the ``k`` community keywords closest to the query in the
+    similarity graph — a precision-leaning variant."""
+
+    k: int = 5
+    name = "top-k"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+
+    def terms(self, query, domain, graph=None) -> list[str]:
+        key = phrase_key(query)
+        others = [kw for kw in domain.keywords if phrase_key(kw) != key]
+        if graph is not None and graph.has_vertex(key):
+            others.sort(
+                key=lambda kw: (-graph.weight(key, phrase_key(kw)), kw)
+            )
+        return [key] + others[: self.k]
+
+
+@dataclass(frozen=True)
+class SharedTokenPolicy(ExpansionPolicy):
+    """Only community keywords sharing a token with the query — the most
+    conservative variant (pure surface-form bridging: variants,
+    hashtags, compounds of the same head)."""
+
+    name = "shared-token"
+
+    def terms(self, query, domain, graph=None) -> list[str]:
+        key = phrase_key(query)
+        query_tokens = set(tokenize(query))
+        # hashtag/concatenated forms also count as shared surface
+        fused = {token.lstrip("#@") for token in query_tokens}
+        others = []
+        for keyword in domain.keywords:
+            if phrase_key(keyword) == key:
+                continue
+            tokens = set(tokenize(keyword))
+            plain = {token.lstrip("#@") for token in tokens}
+            joined = "".join(sorted(fused))
+            if (
+                tokens & query_tokens
+                or plain & fused
+                or any(p and p in joined for p in plain)
+            ):
+                others.append(keyword)
+        return [key] + others
+
+
+POLICIES: dict[str, ExpansionPolicy] = {
+    "full": FullCommunityPolicy(),
+    "top-k": TopKSimilarPolicy(),
+    "shared-token": SharedTokenPolicy(),
+}

@@ -1,0 +1,34 @@
+"""S6 — Microblog platform simulator (the Twitter substrate).
+
+Pal & Counts' detector consumes per-user counts of tweets, mentions and
+retweets, split by "on topic" (tweets matching the query under the §3
+rule).  The simulator produces a corpus in which those counts carry the
+same signal structure as real Twitter:
+
+* user *personas* control volume, focus and influence: focused experts,
+  broad (multi-topic) experts, news bots, casual users, spammers and
+  celebrities;
+* every tweet is ≤140 characters and usually names **one** keyword of its
+  topic — the paper's core recall pathology: a `niners` devotee never
+  writes `49ers`, so keyword search misses them;
+* mentions flow towards experts, retweets towards influential authors,
+  giving the MI and RI features their discriminative power;
+* ground-truth expertise labels (persona × topic) exist for every user,
+  enabling true recall/precision and simulated crowd judging.
+"""
+
+from repro.microblog.config import MicroblogConfig
+from repro.microblog.users import PERSONAS, UserProfile
+from repro.microblog.tweets import Tweet
+from repro.microblog.platform import MicroblogPlatform
+from repro.microblog.generator import MicroblogGenerator, generate_platform
+
+__all__ = [
+    "MicroblogConfig",
+    "MicroblogGenerator",
+    "MicroblogPlatform",
+    "PERSONAS",
+    "Tweet",
+    "UserProfile",
+    "generate_platform",
+]

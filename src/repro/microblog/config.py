@@ -1,0 +1,44 @@
+"""Sizing knobs for the microblog simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MicroblogConfig:
+    """Parameters of :class:`repro.microblog.MicroblogGenerator`."""
+
+    seed: int = 2016
+    #: total tweets to generate (mentions/retweets included)
+    tweets: int = 150_000
+    #: experts per topic scale — actual counts scale with topic popularity
+    experts_per_topic: float = 3.0
+    #: broad experts per *domain* (they span several sibling topics)
+    broad_experts_per_domain: int = 12
+    #: news bots per domain
+    news_bots_per_domain: int = 6
+    #: casual users (platform-wide)
+    casual_users: int = 1200
+    #: spammers (platform-wide)
+    spammers: int = 80
+    #: celebrities (platform-wide, drawn to popular topics)
+    celebrities: int = 30
+    #: probability that a casual tweet mentions a relevant expert
+    mention_rate: float = 0.25
+    #: probability that a casual tweet is a retweet of an expert tweet
+    retweet_rate: float = 0.2
+    #: max characters per post (the constraint behind the recall problem)
+    max_chars: int = 140
+
+    def __post_init__(self) -> None:
+        if self.tweets < 0:
+            raise ValueError("tweets must be non-negative")
+        if self.experts_per_topic <= 0:
+            raise ValueError("experts_per_topic must be positive")
+        for name in ("mention_rate", "retweet_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {value}")
+        if self.max_chars < 40:
+            raise ValueError("max_chars must be at least 40")

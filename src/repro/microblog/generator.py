@@ -1,0 +1,367 @@
+"""Population and traffic generation for the simulated platform.
+
+The generator first mints the user base (personas per topic/domain), then
+streams tweets: authors are drawn by volume, topics by author focus,
+keywords by the author's *preferred surface forms* — the mechanism that
+recreates the paper's hidden experts.  Casual traffic supplies mentions
+and retweets, which is what gives experts their MI/RI signal.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+import random
+
+from repro.microblog.config import MicroblogConfig
+from repro.microblog.platform import MicroblogPlatform
+from repro.microblog.textgen import (
+    compose_chatter,
+    compose_mention,
+    compose_retweet,
+    compose_spam,
+    compose_tweet,
+    make_description,
+    make_screen_name,
+)
+from repro.microblog.tweets import Tweet
+from repro.microblog.users import PERSONAS, UserProfile
+from repro.utils.rng import SeedSequenceFactory
+from repro.worldmodel.model import Topic, WorldModel
+from repro.worldmodel.vocab import person_name
+
+
+#: Tweet-side usage multipliers by keyword kind.  Search demand and tweet
+#: supply use *different* surface-form distributions: users search compound
+#: phrases ("49ers draft", "condors injury report") far more often than
+#: anyone writes them inside 140 characters, while short heads and hashtags
+#: dominate the timeline.  This wedge is what makes the baseline miss
+#: queries that e# answers (Table 8) — remove it and both corpora align
+#: perfectly, which no real platform does.
+TWEET_KIND_WEIGHTS: dict[str, float] = {
+    "canonical": 1.0,
+    "variant": 1.0,
+    "activity": 0.08,
+    "person": 0.45,
+    "shared": 0.5,
+}
+
+
+class MicroblogGenerator:
+    """Builds a :class:`MicroblogPlatform` from a :class:`WorldModel`."""
+
+    def __init__(
+        self, world: WorldModel, config: MicroblogConfig | None = None
+    ) -> None:
+        self.world = world
+        self.config = config or MicroblogConfig()
+        self._factory = SeedSequenceFactory(self.config.seed)
+        self._rng = self._factory.stream("microblog")
+        self._next_user_id = itertools.count(1)
+        self._next_tweet_id = itertools.count(1)
+        self._taken_names: set[str] = set()
+
+    # -- user base -------------------------------------------------------------
+
+    def create_users(self) -> list[UserProfile]:
+        """Mint the full population, persona by persona."""
+        rng = self._rng
+        users: list[UserProfile] = []
+        max_popularity = max(t.popularity for t in self.world.topics)
+
+        for topic in self.world.topics:
+            # expert supply follows the topic's *platform* presence, not its
+            # search popularity — search-only topics get none at all
+            relative = topic.popularity / max_popularity
+            affinity = topic.microblog_affinity
+            expert_count = round(
+                self.config.experts_per_topic
+                * math.sqrt(relative)
+                * 2
+                * (affinity if affinity < 0.5 else 1.0)
+            )
+            if affinity >= 0.5:
+                expert_count = max(1, expert_count)
+            for _ in range(expert_count):
+                users.append(self._make_topical_user("focused_expert", (topic,)))
+
+        for domain in self.world.domains:
+            topics = sorted(
+                (
+                    t
+                    for t in self.world.topics_in_domain(domain)
+                    if t.microblog_affinity >= 0.5
+                ),
+                key=lambda t: t.popularity,
+                reverse=True,
+            ) or sorted(
+                self.world.topics_in_domain(domain),
+                key=lambda t: t.popularity,
+                reverse=True,
+            )
+            for _ in range(self.config.broad_experts_per_domain):
+                width = rng.randint(2, min(4, len(topics)))
+                start = rng.randrange(max(1, len(topics) - width))
+                bundle = tuple(topics[start : start + width])
+                users.append(self._make_topical_user("broad_expert", bundle))
+            for index in range(self.config.news_bots_per_domain):
+                anchor = topics[index % len(topics)]
+                users.append(self._make_topical_user("news_bot", (anchor,)))
+
+        popular = sorted(
+            self.world.topics,
+            key=lambda t: t.popularity * t.microblog_affinity,
+            reverse=True,
+        )
+        for index in range(self.config.celebrities):
+            anchor = popular[index % max(1, len(popular) // 4)]
+            users.append(self._make_topical_user("celebrity", (anchor,)))
+
+        tweetable = [
+            t for t in self.world.topics if t.microblog_affinity >= 0.3
+        ] or list(self.world.topics)
+        for _ in range(self.config.casual_users):
+            sampled = rng.sample(
+                tweetable, k=min(len(tweetable), rng.randint(2, 6))
+            )
+            users.append(self._make_topical_user("casual", tuple(sampled)))
+
+        for _ in range(self.config.spammers):
+            users.append(self._make_topical_user("spammer", ()))
+
+        return users
+
+    def _make_topical_user(
+        self, persona: str, topics: tuple[Topic, ...]
+    ) -> UserProfile:
+        rng = self._rng
+        anchor_name = topics[0].name if topics else "life"
+        if persona in ("focused_expert", "broad_expert", "celebrity"):
+            # half the experts present as individuals (journalists, analysts)
+            if rng.random() < 0.5:
+                handle_stem = person_name(rng).replace(" ", "_")
+            else:
+                handle_stem = anchor_name
+        elif persona == "news_bot":
+            handle_stem = anchor_name + " news"
+        else:
+            handle_stem = person_name(rng).replace(" ", "_")
+        screen_name = make_screen_name(handle_stem, rng, self._taken_names)
+        preferred: dict[int, tuple[str, ...]] = {}
+        for topic in topics:
+            texts = [kw.text for kw in topic.keywords]
+            weights = [
+                kw.weight * TWEET_KIND_WEIGHTS.get(kw.kind, 1.0)
+                for kw in topic.keywords
+            ]
+            count = min(len(texts), rng.randint(1, 3))
+            chosen: list[str] = []
+            pool = list(zip(texts, weights))
+            for _ in range(count):
+                total = sum(w for _, w in pool)
+                point = rng.random() * total
+                acc = 0.0
+                for position, (text, weight) in enumerate(pool):
+                    acc += weight
+                    if point <= acc:
+                        chosen.append(text)
+                        del pool[position]
+                        break
+            preferred[topic.topic_id] = tuple(chosen)
+        params = PERSONAS[persona]
+        followers = int(
+            rng.lognormvariate(
+                math.log(50 * max(params.mention_magnetism, 0.1)), 1.2
+            )
+        )
+        verified = (
+            persona == "celebrity"
+            or (persona in ("focused_expert", "news_bot") and rng.random() < 0.12)
+        )
+        return UserProfile(
+            user_id=next(self._next_user_id),
+            screen_name=screen_name,
+            description=make_description(persona, anchor_name, rng),
+            persona=persona,
+            expert_topics=tuple(t.topic_id for t in topics)
+            if params.is_expert
+            else (),
+            preferred_keywords=preferred,
+            verified=verified,
+            followers=followers,
+        )
+
+    # -- traffic -----------------------------------------------------------------
+
+    def build(self) -> MicroblogPlatform:
+        """Create users and stream ``config.tweets`` posts into a platform."""
+        platform = MicroblogPlatform()
+        users = self.create_users()
+        for user in users:
+            platform.add_user(user)
+
+        rng = self._rng
+        # author sampling: cumulative volume weights
+        volumes = [
+            user.persona_params.mean_tweets * rng.lognormvariate(0.0, 0.5)
+            for user in users
+        ]
+        cumulative = list(itertools.accumulate(volumes))
+        total_volume = cumulative[-1]
+
+        # per-topic expert registries for mention/retweet targeting
+        mention_targets: dict[int, list[tuple[int, float]]] = {}
+        for user in users:
+            for topic_id in user.expert_topics:
+                mention_targets.setdefault(topic_id, []).append(
+                    (user.user_id, user.persona_params.mention_magnetism)
+                )
+        # recent expert tweets per topic (bounded) for retweeting
+        recent_expert_tweets: dict[int, list[int]] = {}
+
+        # off-topic chatter/spam targets follow platform presence, so ghost
+        # topics stay ghosts even in drive-by tweets
+        topics = self.world.topics
+        topic_weights = list(
+            itertools.accumulate(
+                t.popularity * max(t.microblog_affinity, 0.01) for t in topics
+            )
+        )
+        topic_total = topic_weights[-1]
+
+        for _ in range(self.config.tweets):
+            point = rng.random() * total_volume
+            author = users[bisect.bisect_left(cumulative, point)]
+            tweet = self._compose_post(
+                author,
+                platform,
+                mention_targets,
+                recent_expert_tweets,
+                topics,
+                topic_weights,
+                topic_total,
+            )
+            platform.add_tweet(tweet)
+            if author.is_expert and tweet.topic_id in author.expert_topics:
+                recent = recent_expert_tweets.setdefault(tweet.topic_id, [])
+                recent.append(tweet.tweet_id)
+                if len(recent) > 60:
+                    del recent[: len(recent) - 60]
+        return platform
+
+    def _compose_post(
+        self,
+        author: UserProfile,
+        platform: MicroblogPlatform,
+        mention_targets: dict[int, list[tuple[int, float]]],
+        recent_expert_tweets: dict[int, list[int]],
+        topics: list[Topic],
+        topic_weights: list[float],
+        topic_total: float,
+    ) -> Tweet:
+        rng = self._rng
+        params = author.persona_params
+        max_chars = self.config.max_chars
+
+        if author.persona == "spammer":
+            topic = topics[bisect.bisect_left(topic_weights, rng.random() * topic_total)]
+            keyword = topic.canonical.text
+            return Tweet(
+                tweet_id=next(self._next_tweet_id),
+                author_id=author.user_id,
+                text=compose_spam(keyword, rng, max_chars),
+                topic_id=topic.topic_id,
+            )
+
+        on_own_topic = author.expert_topics and rng.random() < params.focus
+        if on_own_topic:
+            topic_id = rng.choice(author.expert_topics)
+            topic = self.world.topic(topic_id)
+        else:
+            if rng.random() < 0.35:
+                # pure chatter, no topical keyword
+                return Tweet(
+                    tweet_id=next(self._next_tweet_id),
+                    author_id=author.user_id,
+                    text=compose_chatter(rng, max_chars),
+                )
+            topic = topics[
+                bisect.bisect_left(topic_weights, rng.random() * topic_total)
+            ]
+
+        keyword = self._pick_keyword(author, topic)
+
+        # casual (and occasionally expert) users retweet or mention experts
+        if rng.random() < self.config.retweet_rate:
+            pool = recent_expert_tweets.get(topic.topic_id)
+            if pool:
+                original = platform.tweet(rng.choice(pool))
+                if original.author_id != author.user_id:
+                    original_author = platform.user(original.author_id)
+                    return Tweet(
+                        tweet_id=next(self._next_tweet_id),
+                        author_id=author.user_id,
+                        text=compose_retweet(
+                            original_author.screen_name, original.text, max_chars
+                        ),
+                        mentions=(original.author_id,),
+                        retweet_of=original.tweet_id,
+                        topic_id=original.topic_id,
+                    )
+        if rng.random() < self.config.mention_rate:
+            targets = mention_targets.get(topic.topic_id)
+            if targets:
+                total = sum(weight for _, weight in targets)
+                point = rng.random() * total
+                acc = 0.0
+                chosen_id = targets[-1][0]
+                for user_id, weight in targets:
+                    acc += weight
+                    if point <= acc:
+                        chosen_id = user_id
+                        break
+                if chosen_id != author.user_id:
+                    mentioned = platform.user(chosen_id)
+                    return Tweet(
+                        tweet_id=next(self._next_tweet_id),
+                        author_id=author.user_id,
+                        text=compose_mention(
+                            keyword, mentioned.screen_name, rng, max_chars
+                        ),
+                        mentions=(chosen_id,),
+                        topic_id=topic.topic_id,
+                    )
+
+        return Tweet(
+            tweet_id=next(self._next_tweet_id),
+            author_id=author.user_id,
+            text=compose_tweet(keyword, rng, max_chars),
+            topic_id=topic.topic_id,
+        )
+
+    def _pick_keyword(self, author: UserProfile, topic: Topic) -> str:
+        """Preferred surface form when the author has one, else topic-weighted."""
+        rng = self._rng
+        preferred = author.preferred_keywords.get(topic.topic_id)
+        if preferred and rng.random() < 0.8:
+            return rng.choice(preferred)
+        keywords = topic.keywords
+        weights = [
+            kw.weight * TWEET_KIND_WEIGHTS.get(kw.kind, 1.0) for kw in keywords
+        ]
+        total = sum(weights)
+        point = rng.random() * total
+        acc = 0.0
+        for keyword, weight in zip(keywords, weights):
+            acc += weight
+            if point <= acc:
+                return keyword.text
+        return keywords[-1].text
+
+
+def generate_platform(
+    world: WorldModel, config: MicroblogConfig | None = None
+) -> MicroblogPlatform:
+    """One-call convenience: build users + traffic."""
+    return MicroblogGenerator(world, config).build()

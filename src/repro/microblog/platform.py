@@ -1,0 +1,149 @@
+"""Platform storage: tweets, users and the indexes the detector needs.
+
+The platform maintains:
+
+* an inverted index token → tweet ids, so §3 candidate matching (all query
+  terms present) is an intersection of posting lists;
+* per-user totals (tweets authored, mentions received, retweets received)
+  — the denominators of TS, MI and RI;
+* a retweet ledger mapping original authors to the retweets of their
+  tweets, and a mention ledger mapping users to the tweets mentioning
+  them — the numerators are computed per query from matching tweets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.microblog.tweets import Tweet
+from repro.microblog.users import UserProfile
+from repro.utils.text import tokenize
+
+
+@dataclass
+class UserTotals:
+    """Query-independent per-user denominators."""
+
+    tweets: int = 0
+    mentions_received: int = 0
+    retweets_received: int = 0
+
+
+class MicroblogPlatform:
+    """Append-only store with query-time matching."""
+
+    def __init__(self) -> None:
+        self._users: dict[int, UserProfile] = {}
+        self._tweets: dict[int, Tweet] = {}
+        self._postings: dict[str, list[int]] = {}
+        self._totals: dict[int, UserTotals] = {}
+        self._by_author: dict[int, list[int]] = {}
+
+    # -- ingestion ---------------------------------------------------------
+
+    def add_user(self, user: UserProfile) -> None:
+        if user.user_id in self._users:
+            raise ValueError(f"duplicate user_id {user.user_id}")
+        self._users[user.user_id] = user
+        self._totals[user.user_id] = UserTotals()
+
+    def add_tweet(self, tweet: Tweet) -> None:
+        if tweet.tweet_id in self._tweets:
+            raise ValueError(f"duplicate tweet_id {tweet.tweet_id}")
+        if tweet.author_id not in self._users:
+            raise ValueError(f"unknown author {tweet.author_id}")
+        self._tweets[tweet.tweet_id] = tweet
+        self._by_author.setdefault(tweet.author_id, []).append(tweet.tweet_id)
+        self._totals[tweet.author_id].tweets += 1
+        for token in tweet.tokens:
+            self._postings.setdefault(token, []).append(tweet.tweet_id)
+        for mentioned in tweet.mentions:
+            if mentioned in self._totals:
+                self._totals[mentioned].mentions_received += 1
+        if tweet.retweet_of is not None:
+            original = self._tweets.get(tweet.retweet_of)
+            if original is not None:
+                self._totals[original.author_id].retweets_received += 1
+
+    def extend(self, tweets: Iterable[Tweet]) -> None:
+        for tweet in tweets:
+            self.add_tweet(tweet)
+
+    # -- lookups ----------------------------------------------------------
+
+    def user(self, user_id: int) -> UserProfile:
+        try:
+            return self._users[user_id]
+        except KeyError:
+            raise KeyError(f"unknown user {user_id}") from None
+
+    def tweet(self, tweet_id: int) -> Tweet:
+        try:
+            return self._tweets[tweet_id]
+        except KeyError:
+            raise KeyError(f"unknown tweet {tweet_id}") from None
+
+    def totals(self, user_id: int) -> UserTotals:
+        try:
+            return self._totals[user_id]
+        except KeyError:
+            raise KeyError(f"unknown user {user_id}") from None
+
+    def users(self) -> Iterator[UserProfile]:
+        return iter(self._users.values())
+
+    def tweets(self) -> Iterator[Tweet]:
+        return iter(self._tweets.values())
+
+    def user_by_screen_name(self, screen_name: str) -> UserProfile:
+        for user in self._users.values():
+            if user.screen_name == screen_name:
+                return user
+        raise KeyError(f"no user with screen name {screen_name!r}")
+
+    @property
+    def user_count(self) -> int:
+        return len(self._users)
+
+    @property
+    def tweet_count(self) -> int:
+        return len(self._tweets)
+
+    # -- query matching (§3) --------------------------------------------------
+
+    def matching_tweet_ids(self, query: str) -> list[int]:
+        """ids of tweets containing all query terms after lower-casing.
+
+        Posting lists are intersected smallest-first; a query term absent
+        from the index short-circuits to no matches.
+        """
+        terms = tokenize(query)
+        if not terms:
+            return []
+        postings: list[list[int]] = []
+        for term in set(terms):
+            posting = self._postings.get(term)
+            if not posting:
+                return []
+            postings.append(posting)
+        postings.sort(key=len)
+        result = set(postings[0])
+        for posting in postings[1:]:
+            result &= set(posting)
+            if not result:
+                return []
+        return sorted(result)
+
+    def matching_tweets(self, query: str) -> list[Tweet]:
+        return [self._tweets[tid] for tid in self.matching_tweet_ids(query)]
+
+    def estimated_bytes(self) -> int:
+        """Approximate corpus size (text only), for resource reporting."""
+        return sum(len(tweet.text) + 16 for tweet in self._tweets.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"MicroblogPlatform(users={len(self._users)}, "
+            f"tweets={len(self._tweets)})"
+        )

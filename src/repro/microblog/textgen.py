@@ -1,0 +1,151 @@
+"""Tweet text composition: templates, filler and screen names.
+
+Text matters only through its token set (the §3 matching rule), so the
+templates aim for realistic token statistics: one topical keyword per
+tweet (the 140-character recall pathology), light filler, occasional
+second keyword, @-mentions and the classic ``rt @user:`` prefix.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.utils.text import truncate_to_chars
+
+TWEET_TEMPLATES: tuple[str, ...] = (
+    "big day for {kw} fans",
+    "my thoughts on {kw} are up on the blog",
+    "{kw} is trending for a reason",
+    "can't stop following {kw} this season",
+    "deep dive on {kw} coming later today",
+    "everything you need to know about {kw}",
+    "hot take: {kw} is underrated",
+    "live notes from the {kw} event",
+    "quick question about {kw} for my followers",
+    "the {kw} situation keeps getting stranger",
+    "weekly {kw} roundup is out now",
+    "so much happening around {kw} right now",
+)
+
+MENTION_TEMPLATES: tuple[str, ...] = (
+    "@{name} great take on {kw}",
+    "what does @{name} think about {kw}",
+    "loved this {kw} breakdown by @{name}",
+    "@{name} is my go to source for {kw}",
+    "cc @{name} re {kw}",
+)
+
+SPAM_TEMPLATES: tuple[str, ...] = (
+    "click here for free {kw} giveaways",
+    "you won't believe these {kw} secrets",
+    "follow back if you love {kw}",
+    "best {kw} deals online buy now",
+)
+
+CHATTER: tuple[str, ...] = (
+    "good morning everyone",
+    "coffee first then everything else",
+    "what a week it has been",
+    "weekend plans anyone",
+    "traffic is terrible again",
+    "just finished a great book",
+    "dinner was amazing tonight",
+    "monday mood is real",
+)
+
+SCREEN_NAME_PATTERNS: tuple[str, ...] = (
+    "{short}zone",
+    "{short}_daily",
+    "all{short}news",
+    "the{short}report",
+    "{short}insider",
+    "{short}fanatic",
+    "mr_{short}",
+    "{short}watch",
+    "team{short}",
+    "{short}source",
+)
+
+DESCRIPTION_PATTERNS: dict[str, tuple[str, ...]] = {
+    "focused_expert": (
+        "All news about {topic}",
+        "Covering {topic} for the daily gazette",
+        "Your source for breaking {topic} updates",
+        "Huge {topic} fan. analysis and opinions",
+    ),
+    "broad_expert": (
+        "Analysis across {topic} and beyond",
+        "Writing about {topic} and the wider scene",
+        "Independent voice on {topic} and friends",
+    ),
+    "news_bot": (
+        "Automated {topic} headlines every hour",
+        "The most comprehensive {topic} news feed",
+    ),
+    "celebrity": (
+        "The official account. {topic} and life",
+        "Public figure. occasional {topic} thoughts",
+    ),
+    "casual": (
+        "Just here for the timeline",
+        "Opinions are my own",
+        "Parent, commuter, amateur chef",
+    ),
+    "spammer": (
+        "DM for promo deals",
+        "Follow for follow",
+    ),
+}
+
+
+def compose_tweet(keyword: str, rng: random.Random, max_chars: int = 140) -> str:
+    """A plain topical tweet naming exactly one keyword."""
+    template = rng.choice(TWEET_TEMPLATES)
+    return truncate_to_chars(template.format(kw=keyword), max_chars)
+
+
+def compose_mention(
+    keyword: str, screen_name: str, rng: random.Random, max_chars: int = 140
+) -> str:
+    template = rng.choice(MENTION_TEMPLATES)
+    return truncate_to_chars(
+        template.format(kw=keyword, name=screen_name), max_chars
+    )
+
+
+def compose_retweet(
+    screen_name: str, original_text: str, max_chars: int = 140
+) -> str:
+    return truncate_to_chars(f"rt @{screen_name}: {original_text}", max_chars)
+
+
+def compose_spam(keyword: str, rng: random.Random, max_chars: int = 140) -> str:
+    return truncate_to_chars(
+        rng.choice(SPAM_TEMPLATES).format(kw=keyword), max_chars
+    )
+
+
+def compose_chatter(rng: random.Random, max_chars: int = 140) -> str:
+    return truncate_to_chars(rng.choice(CHATTER), max_chars)
+
+
+def make_screen_name(stem: str, rng: random.Random, taken: set[str]) -> str:
+    """A unique handle derived from a topic stem."""
+    short = stem.replace(" ", "")[:12]
+    for _ in range(20):
+        candidate = rng.choice(SCREEN_NAME_PATTERNS).format(short=short)
+        if candidate not in taken:
+            taken.add(candidate)
+            return candidate
+    # fall back to numbered handles
+    index = 2
+    while f"{short}{index}" in taken:
+        index += 1
+    name = f"{short}{index}"
+    taken.add(name)
+    return name
+
+
+def make_description(persona: str, topic_name: str, rng: random.Random) -> str:
+    patterns = DESCRIPTION_PATTERNS.get(persona, DESCRIPTION_PATTERNS["casual"])
+    return rng.choice(patterns).format(topic=topic_name)

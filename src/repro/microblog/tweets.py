@@ -1,0 +1,40 @@
+"""Tweet record type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.text import tokenize
+
+
+@dataclass(frozen=True)
+class Tweet:
+    """One micropost.
+
+    ``topic_id`` is ground truth from the generator (what the author was
+    writing about); the detector never sees it — matching is purely
+    textual, per §3.
+    """
+
+    tweet_id: int
+    author_id: int
+    text: str
+    #: user ids @-mentioned in the text
+    mentions: tuple[int, ...] = ()
+    #: tweet id this retweets, if any
+    retweet_of: int | None = None
+    #: ground-truth topic (None for noise/chatter)
+    topic_id: int | None = None
+    tokens: frozenset[str] = field(default=frozenset())
+
+    def __post_init__(self) -> None:
+        if not self.tokens:
+            object.__setattr__(self, "tokens", frozenset(tokenize(self.text)))
+
+    @property
+    def is_retweet(self) -> bool:
+        return self.retweet_of is not None
+
+    def matches(self, query_tokens: list[str]) -> bool:
+        """§3 rule: the tweet contains all query terms after lower-casing."""
+        return all(term in self.tokens for term in query_tokens)

@@ -1,0 +1,124 @@
+"""User profiles and personas.
+
+Personas encode the behavioural archetypes visible in the paper's example
+tables (Tables 2–7): beat journalists and fan accounts (focused experts),
+multi-team analysts (broad experts), headline firehoses (news bots),
+ordinary fans (casual), karma farmers (spammers) and big verified handles
+(celebrities).  Each persona fixes the knobs that drive the TS/MI/RI
+features: tweet volume, topical concentration, received mentions and
+retweet propensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Persona:
+    """Behavioural archetype parameters."""
+
+    name: str
+    #: mean tweets per user (volume is sampled around this)
+    mean_tweets: float
+    #: probability that a tweet is about one of the user's own topics
+    focus: float
+    #: relative likelihood of being mentioned by others (per on-topic tweet)
+    mention_magnetism: float
+    #: relative likelihood of being retweeted (per on-topic tweet)
+    retweet_magnetism: float
+    #: is this user a genuine expert on their topics?
+    is_expert: bool
+
+
+PERSONAS: dict[str, Persona] = {
+    "focused_expert": Persona(
+        name="focused_expert",
+        mean_tweets=120.0,
+        focus=0.85,
+        mention_magnetism=3.0,
+        retweet_magnetism=3.0,
+        is_expert=True,
+    ),
+    "broad_expert": Persona(
+        name="broad_expert",
+        mean_tweets=160.0,
+        focus=0.8,
+        mention_magnetism=2.5,
+        retweet_magnetism=2.5,
+        is_expert=True,
+    ),
+    "news_bot": Persona(
+        name="news_bot",
+        mean_tweets=400.0,
+        focus=0.95,
+        mention_magnetism=1.0,
+        retweet_magnetism=1.5,
+        is_expert=True,
+    ),
+    "celebrity": Persona(
+        name="celebrity",
+        mean_tweets=60.0,
+        focus=0.5,
+        mention_magnetism=8.0,
+        retweet_magnetism=6.0,
+        is_expert=True,
+    ),
+    "casual": Persona(
+        name="casual",
+        mean_tweets=25.0,
+        focus=0.3,
+        mention_magnetism=0.2,
+        retweet_magnetism=0.2,
+        is_expert=False,
+    ),
+    "spammer": Persona(
+        name="spammer",
+        mean_tweets=250.0,
+        focus=0.0,
+        mention_magnetism=0.05,
+        retweet_magnetism=0.05,
+        is_expert=False,
+    ),
+}
+
+
+@dataclass
+class UserProfile:
+    """One account on the simulated platform."""
+
+    user_id: int
+    screen_name: str
+    description: str
+    persona: str
+    #: topics the user genuinely knows (empty for casual/spammer)
+    expert_topics: tuple[int, ...]
+    #: per-topic preferred keyword surface forms — a user habitually uses a
+    #: small subset of a topic's vocabulary, which is what hides them from
+    #: exact keyword search (the paper's recall argument)
+    preferred_keywords: dict[int, tuple[str, ...]] = field(default_factory=dict)
+    verified: bool = False
+    followers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.persona not in PERSONAS:
+            raise ValueError(f"unknown persona {self.persona!r}")
+        if self.followers < 0:
+            raise ValueError("followers must be non-negative")
+
+    @property
+    def persona_params(self) -> Persona:
+        return PERSONAS[self.persona]
+
+    @property
+    def is_expert(self) -> bool:
+        return self.persona_params.is_expert and bool(self.expert_topics)
+
+    def is_expert_on(self, topic_id: int) -> bool:
+        return self.is_expert and topic_id in self.expert_topics
+
+    def __repr__(self) -> str:
+        return (
+            f"UserProfile({self.screen_name!r}, persona={self.persona}, "
+            f"topics={list(self.expert_topics)})"
+        )

@@ -1,0 +1,26 @@
+"""S12 (extension) — a Quora-style Q&A platform substrate.
+
+§8 names "expanding into other social networks such as Quora and
+Facebook" as future work, and §7 argues e# "can work with any Expertise
+Retrieval system".  This package demonstrates both: a Q&A platform whose
+record types map onto the same statistical skeleton the detector
+consumes —
+
+* an **answer** plays the role of a tweet (authored topical content),
+* an **ask-to-answer** request plays the role of a mention (the
+  community routing attention at a presumed expert),
+* a **share** of an answer plays the role of a retweet (endorsement of
+  authored content),
+
+so :class:`repro.detector.PalCountsDetector` and the whole e# online
+path run on it *unchanged*, expansion collection included.  Post length
+runs to 500 characters and volumes are lower per author, so the corpus
+statistics genuinely differ from the microblog's — which is the point of
+the exercise.
+"""
+
+from repro.qa.config import QAConfig
+from repro.qa.platform import QAPlatform
+from repro.qa.generator import QAGenerator, generate_qa_platform
+
+__all__ = ["QAConfig", "QAGenerator", "QAPlatform", "generate_qa_platform"]

@@ -1,0 +1,36 @@
+"""Sizing knobs for the Q&A simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QAConfig:
+    """Parameters of :class:`repro.qa.QAGenerator`."""
+
+    seed: int = 2016
+    #: total posts (questions + answers + shares)
+    posts: int = 60_000
+    #: askers (casual users posing questions)
+    askers: int = 500
+    #: writers per topic scale (the platform's "top writers")
+    writers_per_topic: float = 2.0
+    #: probability that a question receives an expert answer
+    answer_rate: float = 0.6
+    #: probability that a question explicitly asks a named expert (A2A)
+    ask_to_answer_rate: float = 0.2
+    #: probability that a post is a share of a previous answer
+    share_rate: float = 0.15
+    #: Q&A posts are long-form relative to tweets
+    max_chars: int = 500
+
+    def __post_init__(self) -> None:
+        if self.posts < 0:
+            raise ValueError("posts must be non-negative")
+        for name in ("answer_rate", "ask_to_answer_rate", "share_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {value}")
+        if self.max_chars < 100:
+            raise ValueError("max_chars must be at least 100")

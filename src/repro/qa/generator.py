@@ -1,0 +1,215 @@
+"""Q&A traffic generation.
+
+The conversation unit is the question: an asker poses it about a topic
+(phrased with one of the topic's surface forms — the same recall wedge as
+on the microblog), optionally asking a named writer directly (A2A →
+mention).  Answered questions get an expert answer whose text names the
+asker's keyword; later posts may share an answer (→ retweet).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+import random
+
+from repro.microblog.generator import TWEET_KIND_WEIGHTS
+from repro.microblog.textgen import make_description, make_screen_name
+from repro.microblog.tweets import Tweet
+from repro.microblog.users import UserProfile
+from repro.qa.config import QAConfig
+from repro.qa.platform import QAPlatform
+from repro.qa.textgen import (
+    compose_a2a,
+    compose_answer,
+    compose_question,
+    compose_share,
+)
+from repro.utils.rng import SeedSequenceFactory
+from repro.worldmodel.model import Topic, WorldModel
+from repro.worldmodel.vocab import person_name
+
+
+class QAGenerator:
+    """Builds a :class:`QAPlatform` from a :class:`WorldModel`."""
+
+    def __init__(self, world: WorldModel, config: QAConfig | None = None) -> None:
+        self.world = world
+        self.config = config or QAConfig()
+        self._rng = SeedSequenceFactory(self.config.seed).stream("qa")
+        self._next_user_id = itertools.count(1)
+        self._next_post_id = itertools.count(1)
+        self._taken: set[str] = set()
+
+    # -- population ----------------------------------------------------------
+
+    def create_users(self) -> tuple[list[UserProfile], list[UserProfile]]:
+        """Returns (writers, askers)."""
+        rng = self._rng
+        writers: list[UserProfile] = []
+        max_pop = max(t.popularity for t in self.world.topics)
+        for topic in self.world.topics:
+            if topic.microblog_affinity < 0.5:
+                continue  # search-only interests have no writers either
+            count = max(
+                1,
+                round(
+                    self.config.writers_per_topic
+                    * math.sqrt(topic.popularity / max_pop)
+                    * 2
+                ),
+            )
+            for _ in range(count):
+                writers.append(self._make_user("focused_expert", (topic,)))
+        askers = [
+            self._make_user("casual", ()) for _ in range(self.config.askers)
+        ]
+        return writers, askers
+
+    def _make_user(self, persona: str, topics: tuple[Topic, ...]) -> UserProfile:
+        rng = self._rng
+        anchor = topics[0].name if topics else "life"
+        stem = (
+            person_name(rng).replace(" ", "_")
+            if (persona == "casual" or rng.random() < 0.5)
+            else anchor
+        )
+        preferred = {}
+        for topic in topics:
+            weights = [
+                kw.weight * TWEET_KIND_WEIGHTS.get(kw.kind, 1.0)
+                for kw in topic.keywords
+            ]
+            total = sum(weights)
+            point = rng.random() * total
+            acc = 0.0
+            chosen = topic.keywords[-1].text
+            for keyword, weight in zip(topic.keywords, weights):
+                acc += weight
+                if point <= acc:
+                    chosen = keyword.text
+                    break
+            preferred[topic.topic_id] = (chosen,)
+        return UserProfile(
+            user_id=next(self._next_user_id),
+            screen_name=make_screen_name(stem, rng, self._taken),
+            description=make_description(persona, anchor, rng),
+            persona=persona,
+            expert_topics=tuple(t.topic_id for t in topics),
+            preferred_keywords=preferred,
+            followers=int(rng.lognormvariate(math.log(80), 1.0)),
+            verified=persona != "casual" and rng.random() < 0.1,
+        )
+
+    # -- traffic -----------------------------------------------------------------
+
+    def build(self) -> QAPlatform:
+        platform = QAPlatform()
+        writers, askers = self.create_users()
+        for user in writers + askers:
+            platform.add_user(user)
+        rng = self._rng
+        config = self.config
+
+        writers_by_topic: dict[int, list[UserProfile]] = {}
+        for writer in writers:
+            for topic_id in writer.expert_topics:
+                writers_by_topic.setdefault(topic_id, []).append(writer)
+
+        topics = [t for t in self.world.topics if t.topic_id in writers_by_topic]
+        cumulative = list(itertools.accumulate(t.popularity for t in topics))
+        total = cumulative[-1]
+        recent_answers: list[int] = []
+        posts = 0
+
+        while posts < config.posts:
+            # occasionally share an earlier answer
+            if recent_answers and rng.random() < config.share_rate:
+                answer = platform.tweet(rng.choice(recent_answers))
+                sharer = rng.choice(askers)
+                if sharer.user_id != answer.author_id:
+                    author = platform.user(answer.author_id)
+                    platform.add_post(
+                        Tweet(
+                            tweet_id=next(self._next_post_id),
+                            author_id=sharer.user_id,
+                            text=compose_share(
+                                author.screen_name, answer.text,
+                                config.max_chars,
+                            ),
+                            mentions=(answer.author_id,),
+                            retweet_of=answer.tweet_id,
+                            topic_id=answer.topic_id,
+                        ),
+                        kind="share",
+                    )
+                    posts += 1
+                    continue
+
+            topic = topics[bisect.bisect_left(cumulative, rng.random() * total)]
+            keyword = self._question_keyword(topic)
+            asker = rng.choice(askers)
+            topic_writers = writers_by_topic[topic.topic_id]
+
+            if rng.random() < config.ask_to_answer_rate:
+                target = rng.choice(topic_writers)
+                question = Tweet(
+                    tweet_id=next(self._next_post_id),
+                    author_id=asker.user_id,
+                    text=compose_a2a(
+                        keyword, target.screen_name, rng, config.max_chars
+                    ),
+                    mentions=(target.user_id,),
+                    topic_id=topic.topic_id,
+                )
+            else:
+                question = Tweet(
+                    tweet_id=next(self._next_post_id),
+                    author_id=asker.user_id,
+                    text=compose_question(keyword, rng, config.max_chars),
+                    topic_id=topic.topic_id,
+                )
+            platform.add_post(question, kind="question")
+            posts += 1
+            if posts >= config.posts:
+                break
+
+            if rng.random() < config.answer_rate:
+                writer = rng.choice(topic_writers)
+                answer_keyword = writer.preferred_keywords.get(
+                    topic.topic_id, (keyword,)
+                )[0]
+                answer = Tweet(
+                    tweet_id=next(self._next_post_id),
+                    author_id=writer.user_id,
+                    text=compose_answer(answer_keyword, rng, config.max_chars),
+                    topic_id=topic.topic_id,
+                )
+                platform.add_post(
+                    answer, kind="answer", answers=question.tweet_id
+                )
+                posts += 1
+                recent_answers.append(answer.tweet_id)
+                if len(recent_answers) > 200:
+                    del recent_answers[:100]
+        return platform
+
+    def _question_keyword(self, topic: Topic) -> str:
+        """Askers use the full surface-form distribution (search-like)."""
+        rng = self._rng
+        total = sum(kw.weight for kw in topic.keywords)
+        point = rng.random() * total
+        acc = 0.0
+        for keyword in topic.keywords:
+            acc += keyword.weight
+            if point <= acc:
+                return keyword.text
+        return topic.keywords[-1].text
+
+
+def generate_qa_platform(
+    world: WorldModel, config: QAConfig | None = None
+) -> QAPlatform:
+    """One-call convenience."""
+    return QAGenerator(world, config).build()

@@ -1,0 +1,67 @@
+"""Q&A platform storage.
+
+Extends :class:`repro.microblog.MicroblogPlatform` (so every detector
+code path works verbatim) with post-kind bookkeeping: each stored post is
+a question, an answer, or a share.
+"""
+
+from __future__ import annotations
+
+from repro.microblog.platform import MicroblogPlatform
+from repro.microblog.tweets import Tweet
+
+POST_KINDS = ("question", "answer", "share")
+
+
+class QAPlatform(MicroblogPlatform):
+    """A MicroblogPlatform whose posts carry Q&A semantics."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._kinds: dict[int, str] = {}
+        self._answers_to: dict[int, int] = {}  # answer id → question id
+
+    def add_post(
+        self, post: Tweet, kind: str, answers: int | None = None
+    ) -> None:
+        """Store a post with its Q&A role.
+
+        ``answers`` links an answer to its question.  Shares must carry
+        ``retweet_of`` (the answer being shared), mirroring the microblog
+        invariant the detector's RI feature relies on.
+        """
+        if kind not in POST_KINDS:
+            raise ValueError(f"unknown post kind {kind!r}")
+        if kind == "share" and post.retweet_of is None:
+            raise ValueError("a share must reference the answer it shares")
+        if kind == "answer" and answers is None:
+            raise ValueError("an answer must reference its question")
+        self.add_tweet(post)
+        self._kinds[post.tweet_id] = kind
+        if answers is not None:
+            self._answers_to[post.tweet_id] = answers
+
+    def kind_of(self, post_id: int) -> str:
+        try:
+            return self._kinds[post_id]
+        except KeyError:
+            raise KeyError(f"unknown post {post_id}") from None
+
+    def question_of(self, answer_id: int) -> int:
+        try:
+            return self._answers_to[answer_id]
+        except KeyError:
+            raise KeyError(f"post {answer_id} is not an answer") from None
+
+    def count_kind(self, kind: str) -> int:
+        if kind not in POST_KINDS:
+            raise ValueError(f"unknown post kind {kind!r}")
+        return sum(1 for k in self._kinds.values() if k == kind)
+
+    def __repr__(self) -> str:
+        return (
+            f"QAPlatform(users={self.user_count}, "
+            f"questions={self.count_kind('question')}, "
+            f"answers={self.count_kind('answer')}, "
+            f"shares={self.count_kind('share')})"
+        )

@@ -1,0 +1,77 @@
+"""Long-form Q&A text composition."""
+
+from __future__ import annotations
+
+import random
+
+from repro.utils.text import truncate_to_chars
+
+QUESTION_TEMPLATES: tuple[str, ...] = (
+    "what is the best way to get started with {kw}?",
+    "how do experienced people keep up with {kw}?",
+    "what should everyone know about {kw} before diving in?",
+    "which sources do you trust for {kw} news and analysis?",
+    "is {kw} worth following closely this year and why?",
+    "what are the most common misconceptions about {kw}?",
+)
+
+A2A_TEMPLATES: tuple[str, ...] = (
+    "@{name} you seem to know {kw} well, could you weigh in?",
+    "asking @{name} directly since they cover {kw}: thoughts?",
+    "@{name} what is your honest take on {kw} these days?",
+)
+
+ANSWER_OPENERS: tuple[str, ...] = (
+    "short answer: it depends, but for {kw} the fundamentals matter most.",
+    "i have followed {kw} for years and the pattern is always the same.",
+    "most takes on {kw} miss the context, so let me lay it out properly.",
+    "good question. the {kw} landscape changed a lot recently.",
+)
+
+ANSWER_BODY: tuple[str, ...] = (
+    "start with the primary sources, then cross-check against the community "
+    "consensus before forming an opinion.",
+    "the signal to noise ratio is poor, so curate a short list of voices "
+    "and ignore the rest.",
+    "watch the fundamentals, not the headlines; the headlines lag by weeks.",
+    "the biggest mistake newcomers make is extrapolating from one season "
+    "of data.",
+)
+
+SHARE_PREFIX = "sharing this excellent answer by @{name}: "
+
+
+def compose_question(
+    keyword: str, rng: random.Random, max_chars: int = 500
+) -> str:
+    return truncate_to_chars(
+        rng.choice(QUESTION_TEMPLATES).format(kw=keyword), max_chars
+    )
+
+
+def compose_a2a(
+    keyword: str, screen_name: str, rng: random.Random, max_chars: int = 500
+) -> str:
+    return truncate_to_chars(
+        rng.choice(A2A_TEMPLATES).format(kw=keyword, name=screen_name),
+        max_chars,
+    )
+
+
+def compose_answer(
+    keyword: str, rng: random.Random, max_chars: int = 500
+) -> str:
+    text = (
+        rng.choice(ANSWER_OPENERS).format(kw=keyword)
+        + " "
+        + rng.choice(ANSWER_BODY)
+    )
+    return truncate_to_chars(text, max_chars)
+
+
+def compose_share(
+    screen_name: str, answer_text: str, max_chars: int = 500
+) -> str:
+    return truncate_to_chars(
+        SHARE_PREFIX.format(name=screen_name) + answer_text, max_chars
+    )

@@ -1,0 +1,30 @@
+"""S2 — Search query-log simulator.
+
+Stand-in for the paper's 998 GB month of commercial search-engine logs
+(§4.1, §6.1).  The downstream pipeline consumes only ``(query, url,
+clicks)`` aggregates, so the simulator's contract is to produce aggregates
+whose *structure* matches a real log:
+
+* query popularity is Zipfian with a long noisy tail,
+* same-topic queries share clicked URLs, different-topic queries mostly
+  do not, with domain hubs and global portals providing weak cross-topic
+  co-clicks,
+* surface-form variants (``49ers``/``#49ers``/``niners``) behave like the
+  canonical term because users click the same results,
+* rare queries fall below the support threshold (the paper drops queries
+  seen fewer than 50 times/month).
+"""
+
+from repro.querylog.config import QueryLogConfig
+from repro.querylog.generator import QueryLogGenerator, generate_query_log
+from repro.querylog.records import ClickAggregate, Impression
+from repro.querylog.store import QueryLogStore
+
+__all__ = [
+    "ClickAggregate",
+    "Impression",
+    "QueryLogConfig",
+    "QueryLogGenerator",
+    "QueryLogStore",
+    "generate_query_log",
+]

@@ -1,0 +1,54 @@
+"""Sizing and behaviour knobs for the query-log simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QueryLogConfig:
+    """Parameters of :class:`repro.querylog.QueryLogGenerator`.
+
+    The defaults generate roughly 300k impressions — about six orders of
+    magnitude below the paper's month of Bing traffic, but enough for every
+    structural statistic the pipeline depends on (see package docstring).
+    """
+
+    seed: int = 2016
+    impressions: int = 300_000
+    #: probability that an impression is pure noise (gibberish query) —
+    #: exercises the min-support filter exactly like real tail traffic
+    noise_rate: float = 0.02
+    #: distribution of clicks per impression: P(0), P(1), P(2), P(3)
+    click_count_probs: tuple[float, float, float, float] = (0.2, 0.5, 0.2, 0.1)
+    #: probability mass of a click landing on the topic's own URLs vs the
+    #: domain hubs vs the global portals vs a random off-topic URL
+    topic_url_prob: float = 0.72
+    hub_url_prob: float = 0.15
+    global_url_prob: float = 0.08
+    #: remaining mass (1 - the three above) goes to random noise URLs
+    #: §4.1: "we remove all the queries which appear less than 50 times
+    #: per month"
+    min_support: int = 50
+
+    def __post_init__(self) -> None:
+        if self.impressions < 0:
+            raise ValueError("impressions must be non-negative")
+        if not 0.0 <= self.noise_rate <= 1.0:
+            raise ValueError(f"noise_rate must be in [0,1], got {self.noise_rate}")
+        if len(self.click_count_probs) != 4:
+            raise ValueError("click_count_probs must have 4 entries (0..3 clicks)")
+        if abs(sum(self.click_count_probs) - 1.0) > 1e-9:
+            raise ValueError("click_count_probs must sum to 1")
+        url_mass = self.topic_url_prob + self.hub_url_prob + self.global_url_prob
+        if url_mass > 1.0 + 1e-9:
+            raise ValueError("URL probability masses exceed 1")
+        if self.min_support < 1:
+            raise ValueError("min_support must be at least 1")
+
+    @property
+    def noise_url_prob(self) -> float:
+        return max(
+            0.0,
+            1.0 - self.topic_url_prob - self.hub_url_prob - self.global_url_prob,
+        )

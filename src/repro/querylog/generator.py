@@ -1,0 +1,148 @@
+"""Impression-level simulation of a month of search traffic.
+
+Every impression is generated as a real search session would unfold:
+
+1. a topic is drawn Zipf-style from the world model's popularity weights,
+2. a surface form of that topic is drawn by keyword weight (heads dominate,
+   hashtags and misspellings trail),
+3. 0–3 clicks are drawn; each click lands on the topic's own URLs (official
+   site first), a domain hub, a global portal, or — rarely — a random
+   off-topic URL.
+
+A small fraction of impressions are gibberish noise queries, which is what
+gives the §4.1 support filter something to do.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.zipf import ZipfSampler
+from repro.querylog.config import QueryLogConfig
+from repro.querylog.records import Impression
+from repro.querylog.store import QueryLogStore
+from repro.worldmodel.model import Topic, WorldModel
+from repro.worldmodel.vocab import GLOBAL_HUB_URLS
+
+
+class QueryLogGenerator:
+    """Generates impressions against a :class:`WorldModel`."""
+
+    def __init__(self, world: WorldModel, config: QueryLogConfig | None = None) -> None:
+        self.world = world
+        self.config = config or QueryLogConfig()
+        factory = SeedSequenceFactory(self.config.seed)
+        self._rng = factory.stream("querylog")
+        # topic sampler over popularity-sorted topics
+        self._topics = sorted(
+            world.topics, key=lambda t: t.popularity, reverse=True
+        )
+        weights = [topic.popularity for topic in self._topics]
+        total = sum(weights)
+        self._topic_cumulative: list[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._topic_cumulative.append(acc)
+        # per-topic keyword samplers (plain cumulative tables)
+        self._keyword_tables: dict[int, tuple[list[float], list[str]]] = {}
+        for topic in self._topics:
+            texts = [kw.text for kw in topic.keywords]
+            kw_weights = [kw.weight for kw in topic.keywords]
+            kw_total = sum(kw_weights)
+            cumulative: list[float] = []
+            acc = 0.0
+            for weight in kw_weights:
+                acc += weight / kw_total
+                cumulative.append(acc)
+            self._keyword_tables[topic.topic_id] = (cumulative, texts)
+        self._noise_sampler = ZipfSampler(5000, 1.0, self._rng)
+
+    # -- sampling primitives -------------------------------------------------
+
+    def _sample_topic(self) -> Topic:
+        point = self._rng.random()
+        for index, bound in enumerate(self._topic_cumulative):
+            if point <= bound:
+                return self._topics[index]
+        return self._topics[-1]
+
+    def _sample_keyword(self, topic: Topic) -> str:
+        cumulative, texts = self._keyword_tables[topic.topic_id]
+        point = self._rng.random()
+        for index, bound in enumerate(cumulative):
+            if point <= bound:
+                return texts[index]
+        return texts[-1]
+
+    def _sample_click_count(self) -> int:
+        point = self._rng.random()
+        acc = 0.0
+        for count, probability in enumerate(self.config.click_count_probs):
+            acc += probability
+            if point <= acc:
+                return count
+        return len(self.config.click_count_probs) - 1
+
+    def _sample_url(self, topic: Topic) -> str:
+        """One click: topic URL, domain hub, global portal, or noise."""
+        rng = self._rng
+        point = rng.random()
+        cfg = self.config
+        if point < cfg.topic_url_prob:
+            # official site (index 0) is clicked most; geometric-ish decay
+            urls = topic.urls
+            for url in urls:
+                if rng.random() < 0.55:
+                    return url
+            return urls[-1]
+        point -= cfg.topic_url_prob
+        if point < cfg.hub_url_prob and topic.hub_urls:
+            return rng.choice(topic.hub_urls)
+        point -= cfg.hub_url_prob
+        if point < cfg.global_url_prob:
+            return rng.choice(GLOBAL_HUB_URLS)
+        return f"random{rng.randrange(100_000)}.net"
+
+    def _noise_query(self) -> str:
+        """A gibberish tail query; Zipf-ranked so a handful recur."""
+        rank = self._noise_sampler.sample()
+        return f"zzq{rank}"
+
+    # -- public API ------------------------------------------------------------
+
+    def impressions(self, count: int | None = None) -> Iterator[Impression]:
+        """Yield ``count`` impressions (default: ``config.impressions``)."""
+        total = self.config.impressions if count is None else count
+        if total < 0:
+            raise ValueError(f"count must be non-negative, got {total}")
+        for _ in range(total):
+            if self._rng.random() < self.config.noise_rate:
+                query = self._noise_query()
+                clicks = tuple(
+                    f"random{self._rng.randrange(100_000)}.net"
+                    for _ in range(self._sample_click_count())
+                )
+                yield Impression(query=query, clicked_urls=clicks)
+                continue
+            topic = self._sample_topic()
+            query = self._sample_keyword(topic)
+            clicks = tuple(
+                self._sample_url(topic) for _ in range(self._sample_click_count())
+            )
+            yield Impression(query=query, clicked_urls=clicks)
+
+    def fill_store(self, count: int | None = None) -> QueryLogStore:
+        """Generate impressions straight into a support-filtering store."""
+        store = QueryLogStore(min_support=self.config.min_support)
+        store.extend(self.impressions(count))
+        return store
+
+
+def generate_query_log(
+    world: WorldModel, config: QueryLogConfig | None = None
+) -> QueryLogStore:
+    """One-call convenience: build generator, run it, return the store."""
+    return QueryLogGenerator(world, config).fill_store()

@@ -1,0 +1,37 @@
+"""Query-log record types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Impression:
+    """One search event: a query issued and the URLs clicked for it.
+
+    ``clicked_urls`` may be empty (abandoned search).  The raw-log byte
+    estimate treats the impression as one tab-separated line per click,
+    matching the layout the extraction job of §6.3 scans.
+    """
+
+    query: str
+    clicked_urls: tuple[str, ...]
+
+    def raw_bytes(self) -> int:
+        """Approximate on-disk size of this impression in a TSV log."""
+        if not self.clicked_urls:
+            return len(self.query) + 1
+        return sum(len(self.query) + 1 + len(url) + 1 for url in self.clicked_urls)
+
+
+@dataclass(frozen=True)
+class ClickAggregate:
+    """Aggregated click count for one ``(query, url)`` pair."""
+
+    query: str
+    url: str
+    clicks: int
+
+    def __post_init__(self) -> None:
+        if self.clicks <= 0:
+            raise ValueError(f"clicks must be positive, got {self.clicks}")

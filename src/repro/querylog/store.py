@@ -1,0 +1,114 @@
+"""Aggregated query-log storage with support filtering and I/O accounting.
+
+The store is the hand-off point between the simulator (S2) and the
+similarity-graph extraction (S3): it holds ``(query, url) → clicks``
+aggregates plus per-query impression counts, implements the paper's
+minimum-support filter, and tracks the byte volumes that feed the Table 9
+reproduction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+from repro.querylog.records import ClickAggregate, Impression
+
+
+class QueryLogStore:
+    """Mutable aggregate store for a simulated query log."""
+
+    def __init__(self, min_support: int = 1) -> None:
+        if min_support < 1:
+            raise ValueError(f"min_support must be >= 1, got {min_support}")
+        self.min_support = min_support
+        self._clicks: Counter[tuple[str, str]] = Counter()
+        self._query_counts: Counter[str] = Counter()
+        self._raw_bytes = 0
+        self._impressions = 0
+
+    # -- ingestion ---------------------------------------------------------
+
+    def add_impression(self, impression: Impression) -> None:
+        """Record one search event."""
+        self._impressions += 1
+        self._raw_bytes += impression.raw_bytes()
+        self._query_counts[impression.query] += 1
+        for url in impression.clicked_urls:
+            self._clicks[(impression.query, url)] += 1
+
+    def extend(self, impressions: Iterable[Impression]) -> None:
+        for impression in impressions:
+            self.add_impression(impression)
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def impressions(self) -> int:
+        return self._impressions
+
+    @property
+    def raw_bytes(self) -> int:
+        """Approximate size of the raw log — the Table 9 'Read' column."""
+        return self._raw_bytes
+
+    def query_count(self, query: str) -> int:
+        return self._query_counts.get(query, 0)
+
+    def distinct_queries(self) -> int:
+        return len(self._query_counts)
+
+    # -- filtered views ----------------------------------------------------
+
+    def supported_queries(self) -> set[str]:
+        """Queries meeting the §4.1 support threshold."""
+        return {
+            query
+            for query, count in self._query_counts.items()
+            if count >= self.min_support
+        }
+
+    def aggregates(self, supported_only: bool = True) -> Iterator[ClickAggregate]:
+        """Yield ``(query, url, clicks)`` rows, filtered by support by default."""
+        supported = self.supported_queries() if supported_only else None
+        for (query, url), clicks in sorted(self._clicks.items()):
+            if supported is not None and query not in supported:
+                continue
+            yield ClickAggregate(query=query, url=url, clicks=clicks)
+
+    def click_vectors(
+        self, supported_only: bool = True
+    ) -> dict[str, dict[str, int]]:
+        """Materialise per-query click vectors (url → clicks).
+
+        This is the exact input of Figure 2's vector-space construction.
+        """
+        supported = self.supported_queries() if supported_only else None
+        vectors: dict[str, dict[str, int]] = {}
+        for (query, url), clicks in self._clicks.items():
+            if supported is not None and query not in supported:
+                continue
+            vectors.setdefault(query, {})[url] = clicks
+        return vectors
+
+    # -- composition ---------------------------------------------------------
+
+    def merge(self, other: "QueryLogStore") -> "QueryLogStore":
+        """Fold another store's aggregates into this one (in place).
+
+        The production pipeline accumulates weekly logs into the monthly
+        window it clusters (§6.3); merging stores is the equivalent
+        operation here.  The support threshold of ``self`` is kept.
+        """
+        self._impressions += other._impressions
+        self._raw_bytes += other._raw_bytes
+        self._query_counts.update(other._query_counts)
+        self._clicks.update(other._clicks)
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryLogStore(impressions={self._impressions}, "
+            f"queries={len(self._query_counts)}, "
+            f"pairs={len(self._clicks)}, min_support={self.min_support})"
+        )

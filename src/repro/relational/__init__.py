@@ -1,0 +1,92 @@
+"""S4 — A small relational engine in the spirit of Hive/SCOPE.
+
+§4.2.2 argues the community-detection algorithm "can directly be
+implemented in (parallel) declarative languages such as Hive, Pig,
+Microsoft's SCOPE or even SQL", and §4.2.3 discusses the physical join
+strategies (replicated join vs chained map-side joins) that make it fast.
+This package provides the substrate to make those claims executable:
+
+* :mod:`repro.relational.schema` / :mod:`~repro.relational.table` — typed
+  schemas and immutable row tables with byte accounting,
+* :mod:`repro.relational.expressions` — a small expression AST with scalar
+  UDF support (``ModulGain`` from Figure 4 is registered as one),
+* :mod:`repro.relational.aggregates` — COUNT/SUM/MIN/MAX and the paper's
+  ``argmax(value, key)`` aggregate,
+* :mod:`repro.relational.joins` — hash join plus the two §4.2.3
+  distributed strategies, with shuffle accounting,
+* :mod:`repro.relational.operators` — select/project/group-by/union,
+* :mod:`repro.relational.engine` — catalog, statistics, partitioned
+  execution,
+* :mod:`repro.relational.sql` — lexer, parser, planner and executor for
+  the SQL subset used by Figure 4.
+"""
+
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    FunctionCall,
+    Literal,
+    LogicalOp,
+)
+from repro.relational.aggregates import (
+    AGGREGATE_REGISTRY,
+    ArgmaxAggregate,
+    CountAggregate,
+    MaxAggregate,
+    MinAggregate,
+    SumAggregate,
+)
+from repro.relational.joins import (
+    HashJoin,
+    JoinStats,
+    MapSideJoin,
+    ReplicatedJoin,
+)
+from repro.relational.operators import (
+    distinct,
+    group_by,
+    project,
+    rename_columns,
+    select_rows,
+    union_all,
+)
+from repro.relational.engine import Catalog, Engine, EngineStats
+from repro.relational.sql import SqlError, SqlSession
+
+__all__ = [
+    "AGGREGATE_REGISTRY",
+    "ArgmaxAggregate",
+    "BinaryOp",
+    "Catalog",
+    "Column",
+    "ColumnRef",
+    "Comparison",
+    "CountAggregate",
+    "Engine",
+    "EngineStats",
+    "Expression",
+    "FunctionCall",
+    "HashJoin",
+    "JoinStats",
+    "Literal",
+    "LogicalOp",
+    "MapSideJoin",
+    "MaxAggregate",
+    "MinAggregate",
+    "ReplicatedJoin",
+    "Schema",
+    "SqlError",
+    "SqlSession",
+    "SumAggregate",
+    "Table",
+    "distinct",
+    "group_by",
+    "project",
+    "rename_columns",
+    "select_rows",
+    "union_all",
+]

@@ -1,0 +1,147 @@
+"""Aggregate functions for GROUP BY, including the paper's ``argmax``.
+
+Figure 4's second query is::
+
+    partitions = select query2, argmax(distance, query1)
+                 from neighbors group by query2;
+
+``argmax(value, key)`` returns the ``key`` of the row with the largest
+``value`` in the group.  Ties break on the smaller key, so results are
+deterministic regardless of row order — the paper leaves tie-breaking
+unspecified (DESIGN.md §6 item 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Type
+
+
+class Aggregate:
+    """Streaming aggregate: ``step`` per row, ``final`` once per group."""
+
+    #: number of expression arguments the aggregate consumes
+    arity: int = 1
+
+    def step(self, *values: Any) -> None:
+        raise NotImplementedError
+
+    def final(self) -> Any:
+        raise NotImplementedError
+
+
+class CountAggregate(Aggregate):
+    """COUNT(expr) — counts non-null values; COUNT(*) is planned as Literal(1)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def step(self, value: Any) -> None:
+        if value is not None:
+            self._count += 1
+
+    def final(self) -> int:
+        return self._count
+
+
+class SumAggregate(Aggregate):
+    def __init__(self) -> None:
+        self._total: Any = None
+
+    def step(self, value: Any) -> None:
+        if value is None:
+            return
+        self._total = value if self._total is None else self._total + value
+
+    def final(self) -> Any:
+        return self._total
+
+
+class MinAggregate(Aggregate):
+    def __init__(self) -> None:
+        self._best: Any = None
+
+    def step(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._best is None or value < self._best:
+            self._best = value
+
+    def final(self) -> Any:
+        return self._best
+
+
+class MaxAggregate(Aggregate):
+    def __init__(self) -> None:
+        self._best: Any = None
+
+    def step(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._best is None or value > self._best:
+            self._best = value
+
+    def final(self) -> Any:
+        return self._best
+
+
+class AvgAggregate(Aggregate):
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._count = 0
+
+    def step(self, value: Any) -> None:
+        if value is None:
+            return
+        self._total += value
+        self._count += 1
+
+    def final(self) -> float | None:
+        return self._total / self._count if self._count else None
+
+
+class ArgmaxAggregate(Aggregate):
+    """``argmax(value, key)`` → key of the maximal value (ties: smaller key)."""
+
+    arity = 2
+
+    def __init__(self) -> None:
+        self._best_value: Any = None
+        self._best_key: Any = None
+
+    def step(self, value: Any, key: Any) -> None:
+        if value is None:
+            return
+        if self._best_value is None:
+            self._best_value, self._best_key = value, key
+            return
+        if value > self._best_value:
+            self._best_value, self._best_key = value, key
+        elif value == self._best_value and key < self._best_key:
+            self._best_key = key
+
+    def final(self) -> Any:
+        return self._best_key
+
+
+AGGREGATE_REGISTRY: dict[str, Type[Aggregate]] = {
+    "count": CountAggregate,
+    "sum": SumAggregate,
+    "min": MinAggregate,
+    "max": MaxAggregate,
+    "avg": AvgAggregate,
+    "argmax": ArgmaxAggregate,
+}
+
+
+def make_aggregate(name: str) -> Aggregate:
+    """Instantiate an aggregate by (case-insensitive) name."""
+    try:
+        return AGGREGATE_REGISTRY[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown aggregate {name!r}; known: {sorted(AGGREGATE_REGISTRY)}"
+        ) from None
+
+
+def is_aggregate(name: str) -> bool:
+    return name.lower() in AGGREGATE_REGISTRY

@@ -1,0 +1,128 @@
+"""Catalog + engine: named tables, UDF registry, execution statistics.
+
+The engine is deliberately small: the SQL layer plans queries into calls
+against the operators and join strategies, and the engine's job is to hold
+state (catalog, functions) and account I/O so the offline pipeline can
+report Table 9 numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.relational.joins import JOIN_STRATEGIES, JoinStats
+from repro.relational.table import Table
+
+
+class CatalogError(KeyError):
+    """Raised for unknown table names."""
+
+
+class Catalog:
+    """Named tables."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def register(self, name: str, table: Table) -> None:
+        self._tables[name.lower()] = table
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table {name!r}; registered: {sorted(self._tables)}"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        self._tables.pop(name.lower(), None)
+
+    def names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+
+@dataclass
+class EngineStats:
+    """Cumulative execution statistics."""
+
+    rows_read: int = 0
+    rows_written: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    shuffled_bytes: int = 0
+    joins: list[JoinStats] = field(default_factory=list)
+    max_partitions: int = 1
+
+    def record_scan(self, table: Table) -> None:
+        self.rows_read += len(table)
+        self.bytes_read += table.estimated_bytes()
+
+    def record_output(self, table: Table) -> None:
+        self.rows_written += len(table)
+        self.bytes_written += table.estimated_bytes()
+
+    def record_join(self, stats: JoinStats) -> None:
+        self.joins.append(stats)
+        self.shuffled_bytes += stats.shuffled_bytes
+        self.max_partitions = max(self.max_partitions, stats.partitions)
+
+    def reset(self) -> None:
+        self.rows_read = 0
+        self.rows_written = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.shuffled_bytes = 0
+        self.joins.clear()
+        self.max_partitions = 1
+
+
+class Engine:
+    """Execution context: catalog + scalar UDFs + join strategy + stats."""
+
+    def __init__(
+        self,
+        join_strategy: str = "hash",
+        partitions: int = 8,
+    ) -> None:
+        if join_strategy not in JOIN_STRATEGIES:
+            raise ValueError(
+                f"unknown join strategy {join_strategy!r}; "
+                f"known: {sorted(JOIN_STRATEGIES)}"
+            )
+        self.catalog = Catalog()
+        self.functions: dict[str, Callable[..., Any]] = {}
+        self.stats = EngineStats()
+        self.join_strategy = join_strategy
+        self.partitions = partitions
+
+    def register_function(self, name: str, function: Callable[..., Any]) -> None:
+        """Register a scalar UDF (e.g. Figure 4's ``ModulGain``)."""
+        self.functions[name] = function
+
+    def make_join(self):
+        """Instantiate the configured join strategy."""
+        strategy = JOIN_STRATEGIES[self.join_strategy]
+        if self.join_strategy == "hash":
+            return strategy()
+        return strategy(partitions=self.partitions)
+
+    def join(self, left: Table, right: Table, left_key: str, right_key: str) -> Table:
+        """Join with the configured strategy, recording statistics."""
+        joined, stats = self.make_join().execute(left, right, left_key, right_key)
+        self.stats.record_join(stats)
+        return joined
+
+    def scan(self, name: str) -> Table:
+        table = self.catalog.get(name)
+        self.stats.record_scan(table)
+        return table
+
+    def materialize(self, name: str, table: Table) -> None:
+        """CREATE TABLE AS ... — register output and account its bytes."""
+        self.stats.record_output(table)
+        self.catalog.register(name, table)

@@ -1,0 +1,182 @@
+"""Scalar expression AST for WHERE/SELECT clauses.
+
+Expressions evaluate against a row + schema pair.  Scalar UDFs (the paper's
+``ModulGain``) are looked up in a function registry supplied at evaluation
+time, which is how the SQL layer injects algorithm state without the engine
+knowing anything about modularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.relational.schema import Schema
+
+FunctionRegistry = Mapping[str, Callable[..., Any]]
+
+
+class ExpressionError(ValueError):
+    """Raised for evaluation failures (unknown function, bad operand...)."""
+
+
+class Expression:
+    """Base class; subclasses implement :meth:`evaluate`."""
+
+    def evaluate(
+        self, row: tuple, schema: Schema, functions: FunctionRegistry | None = None
+    ) -> Any:
+        raise NotImplementedError
+
+    def referenced_columns(self) -> set[str]:
+        """Column references appearing in this expression tree."""
+        return set()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: Any
+
+    def evaluate(self, row, schema, functions=None):
+        return self.value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    reference: str
+
+    def evaluate(self, row, schema, functions=None):
+        return row[schema.index_of(self.reference)]
+
+    def referenced_columns(self) -> set[str]:
+        return {self.reference}
+
+    def __str__(self) -> str:
+        return self.reference
+
+
+_COMPARISONS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    operator: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.operator not in _COMPARISONS:
+            raise ExpressionError(f"unknown comparison operator {self.operator!r}")
+
+    def evaluate(self, row, schema, functions=None):
+        left = self.left.evaluate(row, schema, functions)
+        right = self.right.evaluate(row, schema, functions)
+        return _COMPARISONS[self.operator](left, right)
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.operator} {self.right})"
+
+
+_ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    operator: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.operator not in _ARITHMETIC:
+            raise ExpressionError(f"unknown arithmetic operator {self.operator!r}")
+
+    def evaluate(self, row, schema, functions=None):
+        left = self.left.evaluate(row, schema, functions)
+        right = self.right.evaluate(row, schema, functions)
+        try:
+            return _ARITHMETIC[self.operator](left, right)
+        except ZeroDivisionError:
+            raise ExpressionError(f"division by zero in {self}") from None
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.operator} {self.right})"
+
+
+@dataclass(frozen=True)
+class LogicalOp(Expression):
+    operator: str  # "and" | "or" | "not"
+    operands: tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if self.operator not in ("and", "or", "not"):
+            raise ExpressionError(f"unknown logical operator {self.operator!r}")
+        if self.operator == "not" and len(self.operands) != 1:
+            raise ExpressionError("NOT takes exactly one operand")
+
+    def evaluate(self, row, schema, functions=None):
+        if self.operator == "not":
+            return not self.operands[0].evaluate(row, schema, functions)
+        if self.operator == "and":
+            return all(op.evaluate(row, schema, functions) for op in self.operands)
+        return any(op.evaluate(row, schema, functions) for op in self.operands)
+
+    def referenced_columns(self) -> set[str]:
+        refs: set[str] = set()
+        for operand in self.operands:
+            refs |= operand.referenced_columns()
+        return refs
+
+    def __str__(self) -> str:
+        if self.operator == "not":
+            return f"(not {self.operands[0]})"
+        joiner = f" {self.operator} "
+        return "(" + joiner.join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A scalar UDF call, e.g. ``ModulGain(query1, query2)``."""
+
+    name: str
+    arguments: tuple[Expression, ...]
+
+    def evaluate(self, row, schema, functions=None):
+        if not functions or self.name not in functions:
+            raise ExpressionError(
+                f"unknown function {self.name!r}; registered: "
+                f"{sorted(functions) if functions else []}"
+            )
+        values = [arg.evaluate(row, schema, functions) for arg in self.arguments]
+        return functions[self.name](*values)
+
+    def referenced_columns(self) -> set[str]:
+        refs: set[str] = set()
+        for argument in self.arguments:
+            refs |= argument.referenced_columns()
+        return refs
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.arguments)
+        return f"{self.name}({args})"

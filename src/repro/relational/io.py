@@ -1,0 +1,104 @@
+"""Table persistence: TSV with a one-line typed header.
+
+The paper's pipeline materialises its intermediates between map-reduce
+stages and stores the final collection in SQL Server; this module gives
+the reproduction an equivalent hand-off format.  TSV keeps the files
+greppable; the header row carries ``name:type`` pairs so round-trips
+restore int/float/bool/str columns faithfully.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Callable
+
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+
+_WRITERS: dict[type, str] = {int: "int", float: "float", bool: "bool", str: "str"}
+_PARSERS: dict[str, Callable[[str], Any]] = {
+    "int": int,
+    "float": float,
+    "bool": lambda text: text == "True",
+    "str": lambda text: text,
+}
+_NULL = "\\N"
+
+
+class TableIOError(ValueError):
+    """Raised for malformed files or unencodable values."""
+
+
+def _column_type(table: Table, index: int) -> str:
+    for row in table.rows:
+        value = row[index]
+        if value is not None:
+            try:
+                return _WRITERS[type(value)]
+            except KeyError:
+                raise TableIOError(
+                    f"column {table.schema.columns[index].qualified!r} holds "
+                    f"unserialisable type {type(value).__name__}"
+                ) from None
+    return "str"
+
+
+def _encode(value: Any) -> str:
+    if value is None:
+        return _NULL
+    text = str(value)
+    if "\t" in text or "\n" in text:
+        raise TableIOError(f"value {text!r} contains a TSV delimiter")
+    return text
+
+
+def save_table(table: Table, path: str | pathlib.Path) -> int:
+    """Write ``table`` as TSV; returns the number of bytes written."""
+    target = pathlib.Path(path)
+    types = [_column_type(table, i) for i in range(len(table.schema))]
+    header = "\t".join(
+        f"{column.qualified}:{ctype}"
+        for column, ctype in zip(table.schema.columns, types)
+    )
+    lines = [header]
+    for row in table.rows:
+        lines.append("\t".join(_encode(value) for value in row))
+    payload = "\n".join(lines) + "\n"
+    target.write_text(payload, encoding="utf-8")
+    return len(payload.encode("utf-8"))
+
+
+def load_table(path: str | pathlib.Path) -> Table:
+    """Read a TSV written by :func:`save_table`."""
+    source = pathlib.Path(path)
+    lines = source.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise TableIOError(f"{source} is empty")
+    columns: list[Column] = []
+    parsers: list[Callable[[str], Any]] = []
+    for cell in lines[0].split("\t"):
+        name, _, ctype = cell.rpartition(":")
+        if not name or ctype not in _PARSERS:
+            raise TableIOError(f"malformed header cell {cell!r} in {source}")
+        if "." in name:
+            qualifier, plain = name.split(".", 1)
+            columns.append(Column(plain, qualifier))
+        else:
+            columns.append(Column(name))
+        parsers.append(_PARSERS[ctype])
+    schema = Schema(columns)
+    rows: list[tuple] = []
+    for line_number, line in enumerate(lines[1:], start=2):
+        cells = line.split("\t")
+        if len(cells) != len(columns):
+            raise TableIOError(
+                f"{source}:{line_number}: expected {len(columns)} cells, "
+                f"got {len(cells)}"
+            )
+        rows.append(
+            tuple(
+                None if cell == _NULL else parser(cell)
+                for parser, cell in zip(parsers, cells)
+            )
+        )
+    return Table(schema, rows)

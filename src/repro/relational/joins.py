@@ -1,0 +1,190 @@
+"""Equi-join strategies, including the two §4.2.3 distributed plans.
+
+The paper's performance discussion names three physical options for the
+communities ⋈ graph join:
+
+* a plain **hash join** (the single-node reference),
+* a **replicated join** — "we replicate and index the communities table at
+  each node. Then, we split the graph table, broadcast the partitions, and
+  execute the join at each node",
+* **chained map-side joins** — "we cluster the tables communities and
+  graph on the join keys, send each partition to a node, then perform the
+  join at each node".
+
+All three produce identical results; they differ in the shuffle volumes
+they account, which the join-strategy ablation bench (ABL2) reports.
+Parallelism is simulated: per-partition work runs sequentially but is
+accounted as if spread over ``partitions`` workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+@dataclass
+class JoinStats:
+    """Accounting for one join execution."""
+
+    strategy: str
+    rows_left: int = 0
+    rows_right: int = 0
+    rows_out: int = 0
+    #: bytes moved between (simulated) nodes
+    shuffled_bytes: int = 0
+    partitions: int = 1
+
+
+def _joined_schema(left: Table, right: Table) -> Schema:
+    """Concatenate schemas, auto-qualifying right-side name collisions.
+
+    When both inputs expose an identical (qualified) column name — legal
+    SQL given table aliases, ambiguous without them — the right side's
+    copy is re-qualified ``r`` (then ``r2``, ``r3``, ...), mirroring what
+    engines do for ``SELECT *`` over self-joins.
+    """
+    from repro.relational.schema import Column
+
+    taken = {column.qualified for column in left.schema}
+    columns = list(left.schema.columns)
+    for column in right.schema:
+        candidate = column
+        suffix = 0
+        while candidate.qualified in taken:
+            suffix += 1
+            qualifier = "r" if suffix == 1 else f"r{suffix}"
+            candidate = Column(column.name, qualifier)
+        taken.add(candidate.qualified)
+        columns.append(candidate)
+    return Schema(columns)
+
+
+def _row_bytes(row: tuple) -> int:
+    return sum(len(v) + 1 if isinstance(v, str) else 8 for v in row)
+
+
+class HashJoin:
+    """Classic build/probe in-memory equi-join (inner)."""
+
+    name = "hash"
+
+    def execute(
+        self, left: Table, right: Table, left_key: str, right_key: str
+    ) -> tuple[Table, JoinStats]:
+        stats = JoinStats(
+            strategy=self.name, rows_left=len(left), rows_right=len(right)
+        )
+        build_index = left.schema.index_of(left_key)
+        probe_index = right.schema.index_of(right_key)
+        buckets: dict[object, list[tuple]] = {}
+        for row in left.rows:
+            buckets.setdefault(row[build_index], []).append(row)
+        out_rows: list[tuple] = []
+        for row in right.rows:
+            for match in buckets.get(row[probe_index], ()):
+                out_rows.append(match + row)
+        stats.rows_out = len(out_rows)
+        return Table(_joined_schema(left, right), out_rows), stats
+
+
+class ReplicatedJoin:
+    """§4.2.3 strategy 1: broadcast the small table, partition the big one.
+
+    The small (left) table is replicated to every node — its bytes are
+    shuffled ``partitions`` times — while the big (right) table is hash
+    partitioned, shuffling each row once.
+    """
+
+    name = "replicated"
+
+    def __init__(self, partitions: int = 8) -> None:
+        if partitions < 1:
+            raise ValueError(f"partitions must be >= 1, got {partitions}")
+        self.partitions = partitions
+
+    def execute(
+        self, left: Table, right: Table, left_key: str, right_key: str
+    ) -> tuple[Table, JoinStats]:
+        stats = JoinStats(
+            strategy=self.name,
+            rows_left=len(left),
+            rows_right=len(right),
+            partitions=self.partitions,
+        )
+        # broadcast cost: the whole left table to every node
+        stats.shuffled_bytes += left.estimated_bytes() * self.partitions
+        # partition cost: each right row moves once
+        stats.shuffled_bytes += right.estimated_bytes()
+
+        probe_index = right.schema.index_of(right_key)
+        partitions: list[list[tuple]] = [[] for _ in range(self.partitions)]
+        for row in right.rows:
+            partitions[hash(row[probe_index]) % self.partitions].append(row)
+
+        inner = HashJoin()
+        out_rows: list[tuple] = []
+        for chunk in partitions:
+            chunk_table = Table(right.schema, chunk)
+            joined, _ = inner.execute(left, chunk_table, left_key, right_key)
+            out_rows.extend(joined.rows)
+        stats.rows_out = len(out_rows)
+        return Table(_joined_schema(left, right), out_rows), stats
+
+
+class MapSideJoin:
+    """§4.2.3 strategy 2: co-partition both tables on the join key.
+
+    Both inputs are hash partitioned on their key (each row shuffles once),
+    each node joins its pair of partitions.  This is the fallback when the
+    small table does not fit in node memory.
+    """
+
+    name = "map_side"
+
+    def __init__(self, partitions: int = 8) -> None:
+        if partitions < 1:
+            raise ValueError(f"partitions must be >= 1, got {partitions}")
+        self.partitions = partitions
+
+    def execute(
+        self, left: Table, right: Table, left_key: str, right_key: str
+    ) -> tuple[Table, JoinStats]:
+        stats = JoinStats(
+            strategy=self.name,
+            rows_left=len(left),
+            rows_right=len(right),
+            partitions=self.partitions,
+        )
+        stats.shuffled_bytes += left.estimated_bytes() + right.estimated_bytes()
+
+        left_index = left.schema.index_of(left_key)
+        right_index = right.schema.index_of(right_key)
+        left_parts: list[list[tuple]] = [[] for _ in range(self.partitions)]
+        right_parts: list[list[tuple]] = [[] for _ in range(self.partitions)]
+        for row in left.rows:
+            left_parts[hash(row[left_index]) % self.partitions].append(row)
+        for row in right.rows:
+            right_parts[hash(row[right_index]) % self.partitions].append(row)
+
+        inner = HashJoin()
+        out_rows: list[tuple] = []
+        for left_chunk, right_chunk in zip(left_parts, right_parts):
+            joined, _ = inner.execute(
+                Table(left.schema, left_chunk),
+                Table(right.schema, right_chunk),
+                left_key,
+                right_key,
+            )
+            out_rows.extend(joined.rows)
+        stats.rows_out = len(out_rows)
+        return Table(_joined_schema(left, right), out_rows), stats
+
+
+JOIN_STRATEGIES = {
+    HashJoin.name: HashJoin,
+    ReplicatedJoin.name: ReplicatedJoin,
+    MapSideJoin.name: MapSideJoin,
+}

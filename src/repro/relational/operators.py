@@ -1,0 +1,115 @@
+"""Row-at-a-time relational operators: select, project, group-by, union.
+
+These are the map-reduce-friendly operators §4.2.3 appeals to: selection
+and projection are pure map work; grouping is one shuffle + reduce.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.relational.aggregates import make_aggregate
+from repro.relational.expressions import Expression, FunctionRegistry
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+
+
+def select_rows(
+    table: Table,
+    predicate: Expression,
+    functions: FunctionRegistry | None = None,
+) -> Table:
+    """WHERE: keep rows for which ``predicate`` is truthy."""
+    rows = [
+        row
+        for row in table.rows
+        if predicate.evaluate(row, table.schema, functions)
+    ]
+    return Table(table.schema, rows)
+
+
+def project(
+    table: Table,
+    expressions: Sequence[tuple[Expression, str]],
+    functions: FunctionRegistry | None = None,
+) -> Table:
+    """SELECT list: evaluate ``(expression, output_name)`` pairs per row."""
+    schema = Schema([Column(name) for _, name in expressions])
+    rows = [
+        tuple(
+            expression.evaluate(row, table.schema, functions)
+            for expression, _ in expressions
+        )
+        for row in table.rows
+    ]
+    return Table(schema, rows)
+
+
+def rename_columns(table: Table, mapping: dict[str, str]) -> Table:
+    """Rename columns by reference; unlisted columns keep their name."""
+    new_columns = []
+    for column in table.schema:
+        renamed = None
+        for reference, new_name in mapping.items():
+            if column.matches(reference):
+                renamed = new_name
+                break
+        new_columns.append(Column(renamed) if renamed else column)
+    return Table(Schema(new_columns), table.rows)
+
+
+def group_by(
+    table: Table,
+    keys: Sequence[Expression],
+    key_names: Sequence[str],
+    aggregations: Sequence[tuple[str, Sequence[Expression], str]],
+    functions: FunctionRegistry | None = None,
+) -> Table:
+    """GROUP BY: ``aggregations`` are ``(agg_name, arg_expressions, out_name)``.
+
+    Groups are emitted in first-seen order of their key, making results
+    deterministic for deterministic input order.
+    """
+    if len(keys) != len(key_names):
+        raise ValueError("keys and key_names must align")
+    groups: dict[tuple, list[Any]] = {}
+    order: list[tuple] = []
+    for row in table.rows:
+        key = tuple(k.evaluate(row, table.schema, functions) for k in keys)
+        if key not in groups:
+            groups[key] = [make_aggregate(name) for name, _, _ in aggregations]
+            order.append(key)
+        for aggregate, (_, args, _) in zip(groups[key], aggregations):
+            values = [a.evaluate(row, table.schema, functions) for a in args]
+            aggregate.step(*values)
+
+    out_schema = Schema.of(*key_names, *(out for _, _, out in aggregations))
+    out_rows = [
+        key + tuple(aggregate.final() for aggregate in groups[key])
+        for key in order
+    ]
+    return Table(out_schema, out_rows)
+
+
+def distinct(table: Table) -> Table:
+    """DISTINCT: unique rows, first occurrence order."""
+    seen: set[tuple] = set()
+    rows: list[tuple] = []
+    for row in table.rows:
+        if row not in seen:
+            seen.add(row)
+            rows.append(row)
+    return Table(table.schema, rows)
+
+
+def union_all(first: Table, second: Table) -> Table:
+    """UNION ALL: positional, as in standard SQL; widths must match.
+
+    The output keeps the first input's column names.
+    """
+    if len(first.schema) != len(second.schema):
+        raise ValueError(
+            f"UNION ALL width mismatch: {len(first.schema)} vs "
+            f"{len(second.schema)} columns"
+        )
+    return Table(first.schema, list(first.rows) + list(second.rows))

@@ -1,0 +1,130 @@
+"""Schemas: ordered, optionally qualified column descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column: plain name plus an optional table qualifier.
+
+    ``Column("query", "c1")`` renders as ``c1.query`` and matches lookups
+    for both ``"query"`` (if unambiguous) and ``"c1.query"``.
+    """
+
+    name: str
+    qualifier: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("column name cannot be empty")
+        if "." in self.name:
+            raise ValueError(
+                f"column name may not contain '.', got {self.name!r}; "
+                "use the qualifier field"
+            )
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+    def matches(self, reference: str) -> bool:
+        """Does ``reference`` (``name`` or ``alias.name``) denote this column?"""
+        if "." in reference:
+            qualifier, name = reference.split(".", 1)
+            return self.name == name and self.qualifier == qualifier
+        return self.name == reference
+
+    def __str__(self) -> str:
+        return self.qualified
+
+
+class SchemaError(KeyError):
+    """Raised for unknown or ambiguous column references."""
+
+
+class Schema:
+    """An ordered collection of :class:`Column` with reference resolution."""
+
+    def __init__(self, columns: Iterable[Column | str]) -> None:
+        self.columns: tuple[Column, ...] = tuple(
+            col if isinstance(col, Column) else Column(col) for col in columns
+        )
+        seen: set[str] = set()
+        for column in self.columns:
+            if column.qualified in seen:
+                raise ValueError(f"duplicate column {column.qualified!r} in schema")
+            seen.add(column.qualified)
+
+    @classmethod
+    def of(cls, *names: str) -> "Schema":
+        """Shorthand: ``Schema.of("a", "c1.b")`` parses qualifiers from dots."""
+        columns = []
+        for name in names:
+            if "." in name:
+                qualifier, plain = name.split(".", 1)
+                columns.append(Column(plain, qualifier))
+            else:
+                columns.append(Column(name))
+        return cls(columns)
+
+    def index_of(self, reference: str) -> int:
+        """Resolve a column reference to its position.
+
+        Raises :class:`SchemaError` when the reference is unknown, or when a
+        bare name is ambiguous between qualifiers (as SQL would).
+        """
+        matches = [
+            index
+            for index, column in enumerate(self.columns)
+            if column.matches(reference)
+        ]
+        if not matches:
+            raise SchemaError(
+                f"unknown column {reference!r}; schema has "
+                f"{[c.qualified for c in self.columns]}"
+            )
+        if len(matches) > 1:
+            raise SchemaError(
+                f"ambiguous column {reference!r}; candidates: "
+                f"{[self.columns[i].qualified for i in matches]}"
+            )
+        return matches[0]
+
+    def has(self, reference: str) -> bool:
+        try:
+            self.index_of(reference)
+            return True
+        except SchemaError:
+            return False
+
+    def names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def qualified_names(self) -> list[str]:
+        return [column.qualified for column in self.columns]
+
+    def requalify(self, alias: str) -> "Schema":
+        """Return a copy with every column re-qualified by ``alias``."""
+        return Schema(Column(column.name, alias) for column in self.columns)
+
+    def unqualified(self) -> "Schema":
+        """Return a copy with qualifiers stripped (post-projection schema)."""
+        return Schema(Column(column.name) for column in self.columns)
+
+    def concat(self, other: "Schema") -> "Schema":
+        return Schema(list(self.columns) + list(other.columns))
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __repr__(self) -> str:
+        return f"Schema({', '.join(c.qualified for c in self.columns)})"

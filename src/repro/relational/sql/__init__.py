@@ -1,0 +1,17 @@
+"""SQL front-end for the relational engine.
+
+Supports the subset Figure 4 needs, in SCOPE-flavoured form:
+
+* ``SELECT`` lists with expressions, scalar UDFs and ``AS`` aliases,
+* ``FROM t [AS] alias`` plus any number of ``INNER JOIN ... ON a.x = b.y``,
+* ``WHERE`` with comparisons, arithmetic, AND/OR/NOT and UDF calls,
+* ``GROUP BY`` with COUNT/SUM/MIN/MAX/AVG and the paper's ``argmax``,
+* ``UNION ALL``, ``DISTINCT``,
+* SCOPE-style assignment: ``name = SELECT ...;`` materialises the result
+  into the catalog (the form the paper's Figure 4 uses).
+"""
+
+from repro.relational.sql.errors import SqlError
+from repro.relational.sql.session import SqlSession
+
+__all__ = ["SqlError", "SqlSession"]

@@ -1,0 +1,77 @@
+"""AST node types produced by the parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.expressions import Expression
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry of the SELECT list."""
+
+    expression: Expression
+    alias: str | None = None
+
+    def output_name(self) -> str:
+        """The column name this item produces."""
+        if self.alias:
+            return self.alias
+        text = str(self.expression)
+        # a bare column reference keeps its (unqualified) name
+        if text.replace(".", "").replace("_", "").isalnum() and "." in text:
+            return text.split(".")[-1]
+        return text
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """``FROM name [AS] alias``."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``INNER JOIN table ON left = right`` (equi-join only)."""
+
+    table: TableRef
+    left_column: str
+    right_column: str
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ``ORDER BY`` key; ``descending`` for ``DESC``."""
+
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    items: tuple[SelectItem, ...]
+    source: TableRef
+    joins: tuple[JoinClause, ...] = ()
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    distinct: bool = False
+    union_with: "SelectStatement | None" = None
+    #: ORDER BY / LIMIT bind to the nearest SELECT (a documented
+    #: simplification of this subset — no cross-union ordering)
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """SCOPE-style ``name = SELECT ...;`` — materialise into the catalog."""
+
+    target: str
+    statement: SelectStatement

@@ -1,0 +1,5 @@
+"""SQL front-end error type."""
+
+
+class SqlError(ValueError):
+    """Raised for lexing, parsing or planning failures, with position info."""

@@ -1,0 +1,199 @@
+"""Plan and execute parsed statements against an Engine.
+
+Planning is straightforward (no cost-based optimisation): scans bind table
+aliases, joins apply in writing order using the engine's configured
+physical strategy, then WHERE, then GROUP BY / projection, then DISTINCT
+and UNION ALL.  Aggregate calls are recognised anywhere in the SELECT list
+when a GROUP BY is present (or when every item is an aggregate — implicit
+single-group aggregation).
+"""
+
+from __future__ import annotations
+
+from repro.relational.aggregates import is_aggregate
+from repro.relational.engine import Engine
+from repro.relational.expressions import Expression, FunctionCall
+from repro.relational.operators import (
+    distinct,
+    group_by,
+    project,
+    select_rows,
+    union_all,
+)
+from repro.relational.sql.ast_nodes import (
+    Assignment,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.relational.sql.errors import SqlError
+from repro.relational.table import Table
+
+
+def execute_statement(
+    engine: Engine, statement: Assignment | SelectStatement
+) -> Table:
+    """Execute one parsed statement; assignments also materialise."""
+    if isinstance(statement, Assignment):
+        result = _execute_select(engine, statement.statement)
+        engine.materialize(statement.target, result)
+        return result
+    return _execute_select(engine, statement)
+
+
+def _bind(engine: Engine, ref: TableRef) -> Table:
+    table = engine.scan(ref.name)
+    return table.with_alias(ref.binding)
+
+
+def _execute_select(engine: Engine, select: SelectStatement) -> Table:
+    current = _bind(engine, select.source)
+
+    for join in select.joins:
+        right = _bind(engine, join.table)
+        left_key, right_key = join.left_column, join.right_column
+        # the ON clause may name the columns in either order
+        if not current.schema.has(left_key) and right.schema.has(left_key):
+            left_key, right_key = right_key, left_key
+        if not current.schema.has(left_key):
+            raise SqlError(
+                f"join column {join.left_column!r} not found in either input"
+            )
+        if not right.schema.has(right_key):
+            raise SqlError(
+                f"join column {right_key!r} not found in joined table "
+                f"{join.table.name!r}"
+            )
+        current = engine.join(current, right, left_key, right_key)
+
+    if select.where is not None:
+        current = select_rows(current, select.where, engine.functions)
+
+    # ORDER BY may reference columns the SELECT list drops (standard SQL);
+    # in that case sort the pre-projection rows — projection is
+    # order-preserving.  Keys naming output columns sort the output.
+    sort_before_projection = False
+    if select.order_by:
+        output_names = {item.output_name() for item in select.items}
+        for order_item in select.order_by:
+            refs = order_item.expression.referenced_columns()
+            if not all(ref in output_names for ref in refs):
+                sort_before_projection = True
+    if sort_before_projection:
+        current = _sorted_table(engine, current, select.order_by)
+
+    current = _project_or_aggregate(engine, current, select)
+
+    if select.distinct:
+        current = distinct(current)
+
+    if select.union_with is not None:
+        other = _execute_select(engine, select.union_with)
+        current = union_all(current, other)
+
+    if select.order_by and not sort_before_projection:
+        current = _sorted_table(engine, current, select.order_by)
+
+    if select.limit is not None:
+        current = Table(current.schema, current.rows[: select.limit])
+
+    return current
+
+
+def _sorted_table(engine: Engine, table: Table, order_by) -> Table:
+    """Stable multi-key sort, least-significant key first."""
+    rows = list(table.rows)
+    for item in reversed(order_by):
+        rows.sort(
+            key=lambda row, expr=item.expression: expr.evaluate(
+                row, table.schema, engine.functions
+            ),
+            reverse=item.descending,
+        )
+    return Table(table.schema, rows)
+
+
+def _is_aggregate_call(expression: Expression) -> bool:
+    return isinstance(expression, FunctionCall) and is_aggregate(expression.name)
+
+
+def _project_or_aggregate(
+    engine: Engine, table: Table, select: SelectStatement
+) -> Table:
+    has_aggregates = any(_is_aggregate_call(item.expression) for item in select.items)
+    if not select.group_by and not has_aggregates:
+        expressions = [
+            (item.expression, item.output_name()) for item in select.items
+        ]
+        return project(table, expressions, engine.functions)
+
+    # aggregation path
+    keys: list[Expression] = list(select.group_by)
+    key_names: list[str] = []
+    aggregations: list[tuple[str, list[Expression], str]] = []
+    key_items: list[tuple[int, int]] = []  # (item position, key position)
+    agg_items: list[tuple[int, int]] = []  # (item position, agg position)
+
+    for position, item in enumerate(select.items):
+        if _is_aggregate_call(item.expression):
+            call = item.expression
+            assert isinstance(call, FunctionCall)
+            aggregations.append(
+                (call.name, list(call.arguments), item.output_name())
+            )
+            agg_items.append((position, len(aggregations) - 1))
+        else:
+            key_position = _match_group_key(item, keys)
+            key_items.append((position, key_position))
+
+    if not keys and key_items:
+        raise SqlError(
+            "non-aggregate SELECT items require a GROUP BY clause"
+        )
+    key_names = [_key_name(select.items, keys, index) for index in range(len(keys))]
+
+    grouped = group_by(
+        table,
+        keys,
+        key_names,
+        [(name, args, out) for name, args, out in aggregations],
+        engine.functions,
+    )
+
+    # reorder output columns to match the SELECT list
+    ordered_refs: list[str] = []
+    for position in range(len(select.items)):
+        for item_position, key_position in key_items:
+            if item_position == position:
+                ordered_refs.append(key_names[key_position])
+        for item_position, agg_position in agg_items:
+            if item_position == position:
+                ordered_refs.append(aggregations[agg_position][2])
+    from repro.relational.expressions import ColumnRef
+
+    expressions = [(ColumnRef(ref), ref) for ref in ordered_refs]
+    return project(grouped, expressions, engine.functions)
+
+
+def _match_group_key(item: SelectItem, keys: list[Expression]) -> int:
+    """Find the GROUP BY key this select item corresponds to."""
+    for index, key in enumerate(keys):
+        if str(key) == str(item.expression):
+            return index
+    raise SqlError(
+        f"SELECT item {item.expression} is neither an aggregate nor a "
+        "GROUP BY key"
+    )
+
+
+def _key_name(
+    items: tuple[SelectItem, ...], keys: list[Expression], key_index: int
+) -> str:
+    """Output name of a group key: the alias of the matching select item."""
+    for item in items:
+        if not _is_aggregate_call(item.expression) and str(item.expression) == str(
+            keys[key_index]
+        ):
+            return item.output_name()
+    text = str(keys[key_index])
+    return text.split(".")[-1] if "." in text else text

@@ -1,0 +1,81 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.sql.errors import SqlError
+
+KEYWORDS = frozenset(
+    {
+        "select", "from", "inner", "join", "on", "where", "group", "by",
+        "as", "and", "or", "not", "distinct", "union", "all",
+        "order", "limit", "asc", "desc",
+    }
+)
+
+_SYMBOLS = ("<>", "<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/",
+            "(", ")", ",", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "keyword" | "ident" | "number" | "string" | "symbol" | "eof"
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.kind == "symbol" and self.text == symbol
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; raises :class:`SqlError` on unexpected characters."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(sql)
+    while index < length:
+        char = sql[index]
+        if char.isspace():
+            index += 1
+            continue
+        if sql.startswith("--", index):  # line comment
+            newline = sql.find("\n", index)
+            index = length if newline == -1 else newline + 1
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (sql[index].isalnum() or sql[index] == "_"):
+                index += 1
+            word = sql[start:index]
+            kind = "keyword" if word.lower() in KEYWORDS else "ident"
+            text = word.lower() if kind == "keyword" else word
+            tokens.append(Token(kind, text, start))
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and (sql[index].isdigit() or sql[index] == "."):
+                index += 1
+            tokens.append(Token("number", sql[start:index], start))
+            continue
+        if char == "'":
+            start = index
+            index += 1
+            while index < length and sql[index] != "'":
+                index += 1
+            if index >= length:
+                raise SqlError(f"unterminated string literal at offset {start}")
+            tokens.append(Token("string", sql[start + 1 : index], start))
+            index += 1
+            continue
+        for symbol in _SYMBOLS:
+            if sql.startswith(symbol, index):
+                tokens.append(Token("symbol", symbol, index))
+                index += len(symbol)
+                break
+        else:
+            raise SqlError(f"unexpected character {char!r} at offset {index}")
+    tokens.append(Token("eof", "", length))
+    return tokens

@@ -1,0 +1,328 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (roughly)::
+
+    script     := statement (";" statement)* [";"]
+    statement  := [ident "="] select
+    select     := SELECT [DISTINCT] items FROM table_ref join* [WHERE expr]
+                  [GROUP BY expr ("," expr)*] [UNION ALL select]
+    items      := item ("," item)*        item := expr [AS ident]
+    table_ref  := ident [[AS] ident]
+    join       := INNER JOIN table_ref ON column "=" column
+    expr       := or_expr  (standard precedence: or < and < not <
+                  comparison < additive < multiplicative < unary < primary)
+    primary    := number | string | ident["." ident] | func "(" args ")" |
+                  "(" expr ")" | "*"
+"""
+
+from __future__ import annotations
+
+from repro.relational.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    FunctionCall,
+    Literal,
+    LogicalOp,
+)
+from repro.relational.sql.ast_nodes import (
+    Assignment,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.relational.sql.errors import SqlError
+from repro.relational.sql.lexer import Token, tokenize
+
+
+class Parser:
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.position = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(word):
+            raise SqlError(
+                f"expected {word.upper()!r} at offset {token.position}, "
+                f"got {token.text!r}"
+            )
+        return self.advance()
+
+    def expect_symbol(self, symbol: str) -> Token:
+        token = self.peek()
+        if not token.is_symbol(symbol):
+            raise SqlError(
+                f"expected {symbol!r} at offset {token.position}, got {token.text!r}"
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        token = self.peek()
+        if token.kind != "ident":
+            raise SqlError(
+                f"expected identifier at offset {token.position}, got {token.text!r}"
+            )
+        return self.advance()
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self.peek().is_symbol(symbol):
+            self.advance()
+            return True
+        return False
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_script(self) -> list[Assignment | SelectStatement]:
+        statements: list[Assignment | SelectStatement] = []
+        while not self.peek().is_symbol(";") and self.peek().kind != "eof":
+            statements.append(self.parse_statement())
+            while self.accept_symbol(";"):
+                pass
+        return statements
+
+    def parse_statement(self) -> Assignment | SelectStatement:
+        if self.peek().kind == "ident" and self.peek(1).is_symbol("="):
+            target = self.advance().text
+            self.expect_symbol("=")
+            return Assignment(target=target, statement=self.parse_select())
+        return self.parse_select()
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("select")
+        is_distinct = self.accept_keyword("distinct")
+        items = [self.parse_select_item()]
+        while self.accept_symbol(","):
+            items.append(self.parse_select_item())
+        self.expect_keyword("from")
+        source = self.parse_table_ref()
+        joins: list[JoinClause] = []
+        while self.peek().is_keyword("inner") or self.peek().is_keyword("join"):
+            joins.append(self.parse_join())
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_expression()
+        group_by: list[Expression] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self.parse_expression())
+            while self.accept_symbol(","):
+                group_by.append(self.parse_expression())
+        union_with = None
+        if self.accept_keyword("union"):
+            self.expect_keyword("all")
+            union_with = self.parse_select()
+        order_by: list[OrderItem] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by.append(self.parse_order_item())
+            while self.accept_symbol(","):
+                order_by.append(self.parse_order_item())
+        limit = None
+        if self.accept_keyword("limit"):
+            token = self.peek()
+            if token.kind != "number" or "." in token.text:
+                raise SqlError(
+                    f"LIMIT expects an integer at offset {token.position}"
+                )
+            self.advance()
+            limit = int(token.text)
+        return SelectStatement(
+            items=tuple(items),
+            source=source,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            distinct=is_distinct,
+            union_with=union_with,
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def parse_order_item(self) -> OrderItem:
+        expression = self.parse_expression()
+        descending = False
+        if self.accept_keyword("desc"):
+            descending = True
+        else:
+            self.accept_keyword("asc")
+        return OrderItem(expression=expression, descending=descending)
+
+    def parse_select_item(self) -> SelectItem:
+        expression = self.parse_expression()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_ident().text
+        elif self.peek().kind == "ident" and not self.peek(0).is_keyword("from"):
+            # implicit alias: `SELECT expr name` — only when next token is a
+            # bare identifier followed by , FROM or EOF-ish context
+            if self.peek(1).is_symbol(",") or self.peek(1).is_keyword("from"):
+                alias = self.advance().text
+        return SelectItem(expression=expression, alias=alias)
+
+    def parse_table_ref(self) -> TableRef:
+        name = self.expect_ident().text
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_ident().text
+        elif self.peek().kind == "ident":
+            alias = self.advance().text
+        return TableRef(name=name, alias=alias)
+
+    def parse_join(self) -> JoinClause:
+        self.accept_keyword("inner")
+        self.expect_keyword("join")
+        table = self.parse_table_ref()
+        self.expect_keyword("on")
+        left = self.parse_column_name()
+        self.expect_symbol("=")
+        right = self.parse_column_name()
+        return JoinClause(table=table, left_column=left, right_column=right)
+
+    def parse_column_name(self) -> str:
+        first = self.expect_ident().text
+        if self.accept_symbol("."):
+            second = self.expect_ident().text
+            return f"{first}.{second}"
+        return first
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        left = self.parse_and()
+        operands = [left]
+        while self.accept_keyword("or"):
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return left
+        return LogicalOp("or", tuple(operands))
+
+    def parse_and(self) -> Expression:
+        left = self.parse_not()
+        operands = [left]
+        while self.accept_keyword("and"):
+            operands.append(self.parse_not())
+        if len(operands) == 1:
+            return left
+        return LogicalOp("and", tuple(operands))
+
+    def parse_not(self) -> Expression:
+        if self.accept_keyword("not"):
+            return LogicalOp("not", (self.parse_not(),))
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expression:
+        left = self.parse_additive()
+        token = self.peek()
+        if token.kind == "symbol" and token.text in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            right = self.parse_additive()
+            return Comparison(token.text, left, right)
+        return left
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "symbol" and token.text in ("+", "-"):
+                self.advance()
+                left = BinaryOp(token.text, left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind == "symbol" and token.text in ("*", "/"):
+                self.advance()
+                left = BinaryOp(token.text, left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> Expression:
+        if self.accept_symbol("-"):
+            return BinaryOp("-", Literal(0), self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Literal(value)
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.text)
+        if token.is_symbol("("):
+            self.advance()
+            inner = self.parse_expression()
+            self.expect_symbol(")")
+            return inner
+        if token.is_symbol("*"):
+            # COUNT(*) — planner treats Literal(1) as "any row"
+            self.advance()
+            return Literal(1)
+        if token.kind == "ident":
+            name = self.advance().text
+            if self.peek().is_symbol("("):
+                self.advance()
+                arguments: list[Expression] = []
+                if not self.peek().is_symbol(")"):
+                    arguments.append(self.parse_expression())
+                    while self.accept_symbol(","):
+                        arguments.append(self.parse_expression())
+                self.expect_symbol(")")
+                return FunctionCall(name, tuple(arguments))
+            if self.accept_symbol("."):
+                second = self.expect_ident().text
+                return ColumnRef(f"{name}.{second}")
+            return ColumnRef(name)
+        raise SqlError(
+            f"unexpected token {token.text!r} at offset {token.position}"
+        )
+
+
+def parse_script(sql: str) -> list[Assignment | SelectStatement]:
+    """Parse a semicolon-separated script."""
+    return Parser(sql).parse_script()
+
+
+def parse_statement(sql: str) -> Assignment | SelectStatement:
+    """Parse a single statement, rejecting trailing garbage."""
+    parser = Parser(sql)
+    statement = parser.parse_statement()
+    while parser.accept_symbol(";"):
+        pass
+    trailing = parser.peek()
+    if trailing.kind != "eof":
+        raise SqlError(
+            f"unexpected trailing input at offset {trailing.position}: "
+            f"{trailing.text!r}"
+        )
+    return statement

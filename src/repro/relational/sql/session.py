@@ -1,0 +1,44 @@
+"""SqlSession — the user-facing entry point of the SQL layer."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.relational.engine import Engine
+from repro.relational.sql.executor import execute_statement
+from repro.relational.sql.parser import parse_script
+from repro.relational.table import Table
+
+
+class SqlSession:
+    """Parse-and-run convenience wrapper around an :class:`Engine`.
+
+    >>> session = SqlSession()
+    >>> session.register("t", Table.from_dicts(["a", "b"],
+    ...     [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]))
+    >>> session.run("SELECT a FROM t WHERE a > 1").rows
+    [(2,)]
+    """
+
+    def __init__(self, engine: Engine | None = None) -> None:
+        self.engine = engine or Engine()
+
+    def register(self, name: str, table: Table) -> None:
+        self.engine.catalog.register(name, table)
+
+    def register_function(self, name: str, function: Callable[..., Any]) -> None:
+        self.engine.register_function(name, function)
+
+    def run(self, sql: str) -> Table:
+        """Execute a script; returns the result of the *last* statement."""
+        statements = parse_script(sql)
+        if not statements:
+            raise ValueError("empty SQL script")
+        result: Table | None = None
+        for statement in statements:
+            result = execute_statement(self.engine, statement)
+        assert result is not None
+        return result
+
+    def table(self, name: str) -> Table:
+        return self.engine.catalog.get(name)

@@ -1,0 +1,111 @@
+"""In-memory tables: a schema plus a list of row tuples."""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Iterable, Iterator
+
+from repro.relational.schema import Column, Schema
+
+
+class Table:
+    """An immutable-by-convention relation.
+
+    Rows are plain tuples in schema order.  Tables know how to estimate
+    their serialised size, which the engine's I/O accounting (and through
+    it the Table 9 reproduction) relies on.
+    """
+
+    def __init__(self, schema: Schema, rows: Iterable[tuple] = ()) -> None:
+        self.schema = schema
+        self.rows: list[tuple] = []
+        width = len(schema)
+        for row in rows:
+            if len(row) != width:
+                raise ValueError(
+                    f"row {row!r} has {len(row)} values, schema has {width}"
+                )
+            self.rows.append(tuple(row))
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_dicts(cls, names: list[str], records: Iterable[dict]) -> "Table":
+        """Build from dict records; ``names`` fixes the column order."""
+        schema = Schema.of(*names)
+        rows = [tuple(record[name] for name in names) for record in records]
+        return cls(schema, rows)
+
+    def with_alias(self, alias: str) -> "Table":
+        """The same rows under a requalified schema (``FROM t AS alias``)."""
+        return Table(self.schema.requalify(alias), self.rows)
+
+    # -- access ----------------------------------------------------------------
+
+    def column_values(self, reference: str) -> list[Any]:
+        index = self.schema.index_of(reference)
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        names = self.schema.qualified_names()
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def sorted_by(self, *references: str) -> "Table":
+        """Rows ordered by the given columns (stable)."""
+        indexes = [self.schema.index_of(ref) for ref in references]
+        ordered = sorted(self.rows, key=lambda row: tuple(row[i] for i in indexes))
+        return Table(self.schema, ordered)
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def estimated_bytes(self) -> int:
+        """Rough serialised size: strings by length, numbers at 8 bytes."""
+        total = 0
+        for row in self.rows:
+            for value in row:
+                if isinstance(value, str):
+                    total += len(value) + 1
+                elif value is None:
+                    total += 1
+                else:
+                    total += 8
+        return total
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Table)
+            and self.schema == other.schema
+            and sorted(map(repr, self.rows)) == sorted(map(repr, other.rows))
+        )
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema!r}, rows={len(self.rows)})"
+
+    def pretty(self, limit: int = 20) -> str:
+        """ASCII rendering for examples and debugging."""
+        names = self.schema.qualified_names()
+        shown = self.rows[:limit]
+        widths = [
+            max(len(name), *(len(str(row[i])) for row in shown), 1)
+            if shown
+            else len(name)
+            for i, name in enumerate(names)
+        ]
+        header = " | ".join(name.ljust(w) for name, w in zip(names, widths))
+        separator = "-+-".join("-" * w for w in widths)
+        body = [
+            " | ".join(str(value).ljust(w) for value, w in zip(row, widths))
+            for row in shown
+        ]
+        footer = [] if len(self.rows) <= limit else [f"... ({len(self.rows)} rows)"]
+        return "\n".join([header, separator, *body, *footer])

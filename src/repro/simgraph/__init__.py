@@ -1,0 +1,26 @@
+"""S3 — Term-similarity-graph extraction (§4.1, Figure 2).
+
+Converts a query log into a weighted, undirected *term similarity graph*:
+each vertex is a query, each edge weight the cosine similarity of the two
+queries' URL-click vectors.  Also implements the paper's footnote 1: the
+weighted graph is rescaled and discretised into integer edge multiplicities
+so the modularity arithmetic of §4.2.1 can treat it as a multigraph.
+"""
+
+from repro.simgraph.vectors import SparseVector, build_click_vectors
+from repro.simgraph.similarity import SimilarityConfig, cosine, similarity_edges
+from repro.simgraph.graph import MultiGraph, WeightedGraph, discretize
+from repro.simgraph.extract import ExtractionResult, extract_similarity_graph
+
+__all__ = [
+    "ExtractionResult",
+    "MultiGraph",
+    "SimilarityConfig",
+    "SparseVector",
+    "WeightedGraph",
+    "build_click_vectors",
+    "cosine",
+    "discretize",
+    "extract_similarity_graph",
+    "similarity_edges",
+]

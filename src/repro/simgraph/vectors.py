@@ -1,0 +1,56 @@
+"""Sparse click vectors — the vector space of Figure 2.
+
+Each query is a point in a space with one dimension per URL; the component
+value is the number of clicks observed for that ``(query, url)`` pair.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.querylog.store import QueryLogStore
+
+
+@dataclass(frozen=True)
+class SparseVector:
+    """Immutable sparse vector keyed by URL."""
+
+    components: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for url, clicks in self.components.items():
+            if clicks <= 0:
+                raise ValueError(
+                    f"click counts must be positive, got {clicks} for {url!r}"
+                )
+
+    @property
+    def norm(self) -> float:
+        """Euclidean norm; 0.0 for the empty vector."""
+        return math.sqrt(sum(value * value for value in self.components.values()))
+
+    def dot(self, other: "SparseVector") -> float:
+        """Dot product; iterates over the smaller vector."""
+        small, large = self.components, other.components
+        if len(small) > len(large):
+            small, large = large, small
+        return float(
+            sum(value * large[url] for url, value in small.items() if url in large)
+        )
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __bool__(self) -> bool:
+        return bool(self.components)
+
+
+def build_click_vectors(
+    store: QueryLogStore, supported_only: bool = True
+) -> dict[str, SparseVector]:
+    """Materialise the click vector of every (supported) query in ``store``."""
+    return {
+        query: SparseVector(components)
+        for query, components in store.click_vectors(supported_only).items()
+    }

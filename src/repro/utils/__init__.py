@@ -1,0 +1,41 @@
+"""Shared low-level utilities: deterministic RNG, Zipf sampling, text, stats.
+
+Every stochastic component of the reproduction draws randomness through
+:class:`repro.utils.rng.SeedSequenceFactory` so that whole experiments are
+bit-reproducible from a single integer seed.
+"""
+
+from repro.utils.rng import SeedSequenceFactory, derive_seed
+from repro.utils.stats import (
+    log_transform,
+    mean,
+    stddev,
+    summarize,
+    zscores,
+)
+from repro.utils.text import (
+    ngrams,
+    normalize,
+    phrase_key,
+    tokenize,
+)
+from repro.utils.timing import StageClock, StageReport
+from repro.utils.zipf import ZipfSampler, zipf_weights
+
+__all__ = [
+    "SeedSequenceFactory",
+    "StageClock",
+    "StageReport",
+    "ZipfSampler",
+    "derive_seed",
+    "log_transform",
+    "mean",
+    "ngrams",
+    "normalize",
+    "phrase_key",
+    "stddev",
+    "summarize",
+    "tokenize",
+    "zipf_weights",
+    "zscores",
+]

@@ -1,0 +1,69 @@
+"""Deterministic randomness plumbing.
+
+The reproduction is seeded end-to-end: a single root seed deterministically
+derives an independent stream for every named component (query-log generator,
+microblog generator, crowd workers, ...).  Derivation is by stable hashing of
+the component name, so adding a new consumer never perturbs the streams of
+existing ones — a property the tests rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterator
+
+
+_MASK_64 = (1 << 64) - 1
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from ``root_seed`` and a component name.
+
+    The derivation uses SHA-256 rather than Python's salted ``hash`` so the
+    mapping is stable across processes and interpreter versions.
+
+    >>> derive_seed(7, "querylog") == derive_seed(7, "querylog")
+    True
+    >>> derive_seed(7, "querylog") != derive_seed(7, "microblog")
+    True
+    """
+    payload = f"{root_seed}:{name}".encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") & _MASK_64
+
+
+class SeedSequenceFactory:
+    """Factory of independent, named :class:`random.Random` streams.
+
+    >>> factory = SeedSequenceFactory(42)
+    >>> a = factory.stream("tweets")
+    >>> b = factory.stream("tweets")
+    >>> a.random() == b.random()
+    True
+    """
+
+    def __init__(self, root_seed: int) -> None:
+        if not isinstance(root_seed, int):
+            raise TypeError(f"root_seed must be an int, got {type(root_seed).__name__}")
+        self.root_seed = root_seed
+
+    def seed_for(self, name: str) -> int:
+        """Return the deterministic child seed for ``name``."""
+        return derive_seed(self.root_seed, name)
+
+    def stream(self, name: str) -> random.Random:
+        """Return a fresh ``random.Random`` seeded for ``name``."""
+        return random.Random(self.seed_for(name))
+
+    def substreams(self, name: str, count: int) -> Iterator[random.Random]:
+        """Yield ``count`` independent streams derived under ``name``."""
+        for index in range(count):
+            yield self.stream(f"{name}/{index}")
+
+    def spawn(self, name: str) -> "SeedSequenceFactory":
+        """Return a child factory rooted at the seed derived for ``name``."""
+        return SeedSequenceFactory(self.seed_for(name))
+
+    def __repr__(self) -> str:
+        return f"SeedSequenceFactory(root_seed={self.root_seed})"

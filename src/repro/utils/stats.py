@@ -1,0 +1,130 @@
+"""Statistics helpers used by the ranking layer (§3 of the paper).
+
+The detector normalises its features with z-scores, after a log transform
+because *"in practice, the features appear to be log-normally distributed"*.
+These helpers implement exactly that maths, with explicit handling of the
+degenerate cases (empty pools, constant features, zero-valued features)
+that real candidate pools produce constantly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input.
+
+    >>> mean([1.0, 2.0, 3.0])
+    2.0
+    """
+    if not values:
+        raise ValueError("mean of empty sequence is undefined")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation; raises on empty input.
+
+    >>> stddev([2.0, 2.0])
+    0.0
+    """
+    if not values:
+        raise ValueError("stddev of empty sequence is undefined")
+    centre = mean(values)
+    return math.sqrt(sum((v - centre) ** 2 for v in values) / len(values))
+
+
+def zscores(values: Sequence[float]) -> list[float]:
+    """Return the z-score of every value against the pool's own mean/stddev.
+
+    A constant pool has no scale, so every z-score is 0 — the natural limit
+    and the behaviour the ranking layer wants (no candidate is distinguished
+    by a feature on which all candidates agree).  The constancy check is
+    *relative*: a pool like ``[0.2, 0.2, 0.2]`` has a stddev of ~1e-17 from
+    float rounding, and dividing by it would manufacture spurious ±1 scores.
+
+    >>> zscores([1.0, 3.0])
+    [-1.0, 1.0]
+    >>> zscores([5.0, 5.0, 5.0])
+    [0.0, 0.0, 0.0]
+    >>> zscores([0.2, 0.2, 0.2])
+    [0.0, 0.0, 0.0]
+    """
+    if not values:
+        return []
+    centre = mean(values)
+    spread = stddev(values)
+    if spread <= 1e-12 * max(1.0, abs(centre)):
+        return [0.0] * len(values)
+    return [(v - centre) / spread for v in values]
+
+
+def log_transform(values: Sequence[float], epsilon: float = 1e-9) -> list[float]:
+    """Apply ``log(max(v, epsilon))`` elementwise.
+
+    The paper takes logarithms to turn log-normally distributed features into
+    Gaussian ones before the z-score.  Features can legitimately be 0 (a user
+    whose tweets were never retweeted), hence the epsilon floor.
+
+    >>> log_transform([1.0, math.e])
+    [0.0, 1.0]
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    return [math.log(max(v, epsilon)) for v in values]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary used by reports and benches."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    stddev: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} min={self.minimum:.4g} max={self.maximum:.4g} "
+            f"mean={self.mean:.4g} sd={self.stddev:.4g}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Build a :class:`Summary` of ``values``; raises on empty input."""
+    collected = list(values)
+    if not collected:
+        raise ValueError("cannot summarize an empty sequence")
+    return Summary(
+        count=len(collected),
+        minimum=min(collected),
+        maximum=max(collected),
+        mean=mean(collected),
+        stddev=stddev(collected),
+    )
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile, ``fraction`` in [0, 1].
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 0.5)
+    2.5
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence is undefined")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight

@@ -1,0 +1,93 @@
+"""Text normalisation exactly as the paper specifies it.
+
+Two different matching rules appear in the paper and both are implemented
+here so the rest of the code can name them precisely:
+
+* §3 (candidate selection): *"a tweet matches a query if it contains all of
+  its terms after lower-casing"* — token-set containment via
+  :func:`tokenize`.
+* §5 (domain lookup): *"we find the community which contains the query terms
+  exactly and in order, after lower-casing"* — exact phrase match via
+  :func:`phrase_key`.
+
+§4.1 is explicit that the offline pipeline applies **no stemming and no
+spelling correction**, so none is offered here.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_PATTERN = re.compile(r"[#@]?[a-z0-9']+")
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalize(text: str) -> str:
+    """Lower-case and collapse whitespace; the paper's only normalisation.
+
+    >>> normalize("  San   Francisco  49ers ")
+    'san francisco 49ers'
+    """
+    return _WHITESPACE.sub(" ", text.lower()).strip()
+
+
+def tokenize(text: str) -> list[str]:
+    """Split normalised text into query/tweet terms.
+
+    Hashtags and mentions keep their sigil because on Twitter ``#49ers`` and
+    ``49ers`` genuinely are distinct surface forms — the paper relies on the
+    query log to bridge such variants, not on the tokenizer.
+
+    >>> tokenize("Go #49ers! @niners rock")
+    ['go', '#49ers', '@niners', 'rock']
+    """
+    return _TOKEN_PATTERN.findall(text.lower())
+
+
+def phrase_key(text: str) -> str:
+    """Canonical exact-match key: normalised tokens joined by single spaces.
+
+    >>> phrase_key("Dow  FUTURES")
+    'dow futures'
+    """
+    return " ".join(tokenize(text))
+
+
+def ngrams(tokens: list[str], size: int) -> list[tuple[str, ...]]:
+    """Return the contiguous ``size``-grams of ``tokens``.
+
+    >>> ngrams(["a", "b", "c"], 2)
+    [('a', 'b'), ('b', 'c')]
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    if size > len(tokens):
+        return []
+    return [tuple(tokens[i : i + size]) for i in range(len(tokens) - size + 1)]
+
+
+def contains_all_terms(text_tokens: set[str], query_tokens: list[str]) -> bool:
+    """§3 matching rule: every query term occurs in the text.
+
+    >>> contains_all_terms({"go", "49ers", "win"}, ["49ers"])
+    True
+    >>> contains_all_terms({"go", "49ers"}, ["49ers", "draft"])
+    False
+    """
+    return all(term in text_tokens for term in query_tokens)
+
+
+def truncate_to_chars(text: str, limit: int = 140) -> str:
+    """Clip ``text`` to ``limit`` characters on a word boundary when possible.
+
+    Used by the microblog simulator to honour the 140-character constraint
+    that the paper identifies as the root cause of the recall problem.
+    """
+    if limit <= 0:
+        raise ValueError(f"limit must be positive, got {limit}")
+    if len(text) <= limit:
+        return text
+    clipped = text[:limit]
+    if " " in clipped:
+        clipped = clipped.rsplit(" ", 1)[0]
+    return clipped

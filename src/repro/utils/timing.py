@@ -1,0 +1,133 @@
+"""Stage timing and I/O accounting for the Table 9 reproduction.
+
+Table 9 of the paper reports, per pipeline stage, the number of VMs, the
+wall-clock runtime and the bytes read/written.  :class:`StageClock` collects
+the same four columns for our pipeline: the relational engine reports bytes
+moved, the offline pipeline reports its partition count (our stand-in for
+VMs), and the clock measures wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageReport:
+    """Resource record for one pipeline stage (one row of Table 9)."""
+
+    name: str
+    workers: int = 1
+    seconds: float = 0.0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def merge(self, other: "StageReport") -> None:
+        """Fold another report for the same stage into this one."""
+        if other.name != self.name:
+            raise ValueError(
+                f"cannot merge stage {other.name!r} into stage {self.name!r}"
+            )
+        self.workers = max(self.workers, other.workers)
+        self.seconds += other.seconds
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+
+    def as_row(self) -> tuple[str, int, str, str, str]:
+        """Render the Table 9 row (stage, workers, runtime, read, written)."""
+        return (
+            self.name,
+            self.workers,
+            format_seconds(self.seconds),
+            format_bytes(self.bytes_read),
+            format_bytes(self.bytes_written),
+        )
+
+
+class StageClock:
+    """Accumulates :class:`StageReport` rows across a pipeline run.
+
+    Usage::
+
+        clock = StageClock()
+        with clock.stage("extraction", workers=8) as report:
+            ...
+            report.bytes_read += store.bytes_scanned
+    """
+
+    def __init__(self) -> None:
+        self._reports: dict[str, StageReport] = {}
+        self._order: list[str] = []
+
+    def stage(self, name: str, workers: int = 1) -> "_StageContext":
+        """Open a timed context for stage ``name``."""
+        return _StageContext(self, name, workers)
+
+    def record(self, report: StageReport) -> None:
+        """Add (or merge) a finished report."""
+        if report.name in self._reports:
+            self._reports[report.name].merge(report)
+        else:
+            self._reports[report.name] = report
+            self._order.append(report.name)
+
+    @property
+    def reports(self) -> list[StageReport]:
+        """Reports in first-recorded order."""
+        return [self._reports[name] for name in self._order]
+
+    def total_seconds(self) -> float:
+        return sum(report.seconds for report in self.reports)
+
+
+@dataclass
+class _StageContext:
+    clock: StageClock
+    name: str
+    workers: int
+    report: StageReport = field(init=False)
+    _started: float = field(init=False, default=0.0)
+
+    def __enter__(self) -> StageReport:
+        self.report = StageReport(name=self.name, workers=self.workers)
+        self._started = time.perf_counter()
+        return self.report
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.report.seconds = time.perf_counter() - self._started
+        if exc_type is None:
+            self.clock.record(self.report)
+
+
+def format_bytes(count: int) -> str:
+    """Human-readable byte count, GB/MB/KB like Table 9.
+
+    >>> format_bytes(2_600_000_000)
+    '2.6 GB'
+    """
+    if count < 0:
+        raise ValueError(f"byte count must be non-negative, got {count}")
+    for threshold, suffix in ((10**9, "GB"), (10**6, "MB"), (10**3, "KB")):
+        if count >= threshold:
+            return f"{count / threshold:.3g} {suffix}"
+    return f"{count} B"
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration, matching Table 9's mixed units.
+
+    >>> format_seconds(0.05)
+    '50 ms'
+    >>> format_seconds(7200)
+    '2.0 hours'
+    """
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 1.0:
+        return f"{seconds * 1000:.3g} ms"
+    if seconds < 120.0:
+        return f"{seconds:.3g} sec"
+    if seconds < 7200.0:
+        return f"{seconds / 60:.3g} min"
+    return f"{seconds / 3600:.3g} hours"

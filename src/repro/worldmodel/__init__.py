@@ -1,0 +1,36 @@
+"""S1 — Ground-truth world model.
+
+The paper's two data sources (a commercial search log and the Twitter
+firehose) are proprietary, so the reproduction derives both from a single
+synthetic *world model*: a taxonomy of domains → topics → keywords, each
+keyword carrying surface-form variants (hashtags, abbreviations,
+misspellings) and each topic carrying a URL universe.
+
+Because the query-log simulator and the microblog simulator sample from the
+*same* world model, web co-click structure mirrors microblog topical
+structure — the property that makes the paper's query expansion effective —
+and ground-truth topic labels exist for every keyword and every user, which
+is what lets the evaluation compute true recall and precision.
+"""
+
+from repro.worldmodel.config import WorldConfig
+from repro.worldmodel.model import Keyword, Topic, WorldModel
+from repro.worldmodel.builder import build_world
+from repro.worldmodel.variants import (
+    abbreviation,
+    hashtag_variant,
+    misspellings,
+    surface_variants,
+)
+
+__all__ = [
+    "Keyword",
+    "Topic",
+    "WorldConfig",
+    "WorldModel",
+    "abbreviation",
+    "build_world",
+    "hashtag_variant",
+    "misspellings",
+    "surface_variants",
+]

@@ -1,0 +1,310 @@
+"""Deterministic construction of the synthetic world.
+
+Each domain has a *stem generator* that composes an unbounded stream of
+unique topic stems from the vocabulary lists ("austin falcons", "lumatek
+smartwatch", "neuropathy", ...).  The builder then dresses every stem with
+keyword surface forms (canonical, abbreviations, hashtags, misspellings,
+related activities, affiliated people, shared context terms) and a URL
+universe, mirroring the structure visible in the paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator
+
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.text import phrase_key
+from repro.utils.zipf import zipf_weights
+from repro.worldmodel import vocab
+from repro.worldmodel.config import WorldConfig
+from repro.worldmodel.model import Keyword, Topic, WorldModel
+from repro.worldmodel.variants import abbreviation, surface_variants
+
+#: relative keyword sampling weights by kind (heads dominate the log)
+_KIND_WEIGHTS = {
+    "canonical": 10.0,
+    "variant": 2.5,
+    "activity": 3.0,
+    "person": 1.5,
+    "shared": 2.0,
+}
+
+#: relative popularity of whole domains (sports queries outnumber wiki ones)
+_DOMAIN_WEIGHTS = {
+    "sports": 1.6,
+    "electronics": 1.3,
+    "finance": 1.1,
+    "health": 1.0,
+    "wikipedia": 0.8,
+    "misc": 0.9,
+}
+
+
+def _unique_stream(candidates: Iterator[str]) -> Iterator[str]:
+    seen: set[str] = set()
+    for candidate in candidates:
+        key = phrase_key(candidate)
+        if key and key not in seen:
+            seen.add(key)
+            yield key
+
+
+def _shuffled_product(
+    left: tuple[str, ...], right: tuple[str, ...], rng: random.Random
+) -> list[str]:
+    """All ``left × right`` compositions in deterministic-random order.
+
+    Shuffling the full product (rather than nesting loops) keeps the head
+    of the stream diverse: consecutive topics share neither component, so
+    shared words ("bears", "lumatek") create *occasional* ambiguity as in
+    real data instead of a degenerate everything-is-bears world.
+    """
+    combos = [f"{a} {b}" for a in left for b in right]
+    rng.shuffle(combos)
+    return combos
+
+
+def _sports_stems(rng: random.Random) -> Iterator[str]:
+    return _unique_stream(
+        iter(_shuffled_product(vocab.CITIES, vocab.TEAM_NOUNS, rng))
+    )
+
+
+def _electronics_stems(rng: random.Random) -> Iterator[str]:
+    return _unique_stream(
+        iter(_shuffled_product(vocab.TECH_BRANDS, vocab.TECH_PRODUCTS, rng))
+    )
+
+
+def _finance_stems(rng: random.Random) -> Iterator[str]:
+    def raw() -> Iterator[str]:
+        indexes = list(vocab.INDEX_NAMES)
+        entities = list(vocab.FINANCE_ENTITIES)
+        rng.shuffle(indexes)
+        rng.shuffle(entities)
+        yield from indexes
+        yield from entities
+        # synthetic tickers extend the pool indefinitely
+        consonants = "bcdfgklmnprstvz"
+        vowels = "aeiou"
+        while True:
+            ticker = (
+                rng.choice(consonants)
+                + rng.choice(vowels)
+                + rng.choice(consonants)
+                + rng.choice(consonants)
+            )
+            yield f"{ticker} stock"
+
+    return _unique_stream(raw())
+
+
+def _health_stems(rng: random.Random) -> Iterator[str]:
+    def raw() -> Iterator[str]:
+        conditions = list(vocab.HEALTH_CONDITIONS)
+        rng.shuffle(conditions)
+        yield from conditions
+        prefixes = ("neuro", "cardio", "derma", "gastro", "osteo", "hema",
+                    "pulmo", "arthro", "myo", "nephro")
+        suffixes = ("itis", "osis", "algia", "pathy", "emia")
+        for suffix in suffixes:
+            for prefix in prefixes:
+                yield prefix + suffix
+
+    return _unique_stream(raw())
+
+
+def _wikipedia_stems(rng: random.Random) -> Iterator[str]:
+    def raw() -> Iterator[str]:
+        subjects = list(vocab.WIKI_SUBJECTS)
+        rng.shuffle(subjects)
+        yield "world war i"
+        yield "world war ii"
+        yield from subjects
+        while True:  # biography pages
+            yield vocab.person_name(rng)
+
+    return _unique_stream(raw())
+
+
+def _misc_stems(rng: random.Random) -> Iterator[str]:
+    def raw() -> Iterator[str]:
+        hobbies = list(vocab.MISC_HOBBIES)
+        rng.shuffle(hobbies)
+        yield from hobbies
+        while True:  # public figures in the long tail
+            yield vocab.person_name(rng)
+
+    return _unique_stream(raw())
+
+
+_STEM_GENERATORS: dict[str, Callable[[random.Random], Iterator[str]]] = {
+    "sports": _sports_stems,
+    "electronics": _electronics_stems,
+    "finance": _finance_stems,
+    "health": _health_stems,
+    "wikipedia": _wikipedia_stems,
+    "misc": _misc_stems,
+}
+
+_ACTIVITY_WORDS: dict[str, tuple[str, ...]] = {
+    "sports": vocab.SPORT_WORDS,
+    "electronics": vocab.TECH_WORDS,
+    "finance": vocab.FINANCE_WORDS,
+    "health": vocab.HEALTH_WORDS,
+    "wikipedia": vocab.WIKI_WORDS,
+    "misc": vocab.NEWS_WORDS,
+}
+
+#: domains whose topics get affiliated person keywords (players, figures)
+_PERSON_DOMAINS = frozenset({"sports", "wikipedia", "misc"})
+
+#: domains whose topics borrow a shared context keyword and what to borrow
+_SHARED_CONTEXT: dict[str, Callable[[str, random.Random], str]] = {
+    "sports": lambda stem, rng: stem.split()[0] if len(stem.split()) > 1 else stem,
+    "electronics": lambda stem, rng: stem.split()[0],
+    "finance": lambda stem, rng: "stock market",
+    "health": lambda stem, rng: "health insurance",
+    "wikipedia": lambda stem, rng: "history channel",
+    "misc": lambda stem, rng: rng.choice(vocab.CITIES),
+}
+
+
+def build_world(config: WorldConfig | None = None) -> WorldModel:
+    """Build a :class:`WorldModel` from ``config`` (defaults when ``None``).
+
+    The construction is fully deterministic: the same config yields the same
+    world, keyword by keyword.
+    """
+    config = config or WorldConfig()
+    factory = SeedSequenceFactory(config.seed)
+    topics: list[Topic] = []
+    next_topic_id = 0
+
+    for domain in config.domains:
+        stem_generator = _STEM_GENERATORS.get(domain, _misc_stems)
+        rng = factory.stream(f"world/{domain}")
+        stems = stem_generator(rng)
+        popularity = zipf_weights(
+            config.topics_per_domain, config.topic_popularity_exponent
+        )
+        domain_weight = _DOMAIN_WEIGHTS.get(domain, 1.0)
+        hub_urls = [
+            vocab.url_for(f"{domain} hub {index}", rng)
+            for index in range(config.hub_urls_per_domain)
+        ]
+        for rank in range(config.topics_per_domain):
+            stem = next(stems)
+            topic = _build_topic(
+                topic_id=next_topic_id,
+                stem=stem,
+                domain=domain,
+                popularity=domain_weight * popularity[rank],
+                hub_urls=hub_urls,
+                config=config,
+                rng=rng,
+            )
+            topics.append(topic)
+            next_topic_id += 1
+
+    return WorldModel(topics=topics, domains=config.domains, seed=config.seed)
+
+
+def _build_topic(
+    topic_id: int,
+    stem: str,
+    domain: str,
+    popularity: float,
+    hub_urls: list[str],
+    config: WorldConfig,
+    rng: random.Random,
+) -> Topic:
+    keywords: list[Keyword] = [
+        Keyword(stem, topic_id, "canonical", _KIND_WEIGHTS["canonical"])
+    ]
+    seen = {stem}
+
+    def add(text: str, kind: str) -> None:
+        key = phrase_key(text)
+        if key and key not in seen:
+            seen.add(key)
+            keywords.append(Keyword(key, topic_id, kind, _KIND_WEIGHTS[kind]))
+
+    # surface variants of the canonical term
+    for variant in surface_variants(
+        stem, rng, config.hashtag_rate, config.misspelling_rate
+    ):
+        add(variant, "variant")
+
+    # the short form ("falcons" for "austin falcons") anchors activities
+    short = abbreviation(stem) if len(stem.split()) > 1 else stem
+    words = stem.split()
+    anchor = words[-1] if len(words) > 1 and len(words[-1]) > 3 else stem
+    if anchor != stem:
+        add(anchor, "variant")
+
+    # related activities: "falcons draft", "diabetes diet", ...
+    activity_words = list(_ACTIVITY_WORDS.get(domain, vocab.NEWS_WORDS))
+    rng.shuffle(activity_words)
+    budget = rng.randint(
+        config.min_keywords_per_topic, config.max_keywords_per_topic
+    )
+    for word in activity_words:
+        if len(keywords) >= budget:
+            break
+        add(f"{anchor} {word}", "activity")
+
+    # affiliated people (players, historical figures, hosts)
+    if domain in _PERSON_DOMAINS:
+        for _ in range(rng.randint(1, 3)):
+            if len(keywords) >= config.max_keywords_per_topic:
+                break
+            add(vocab.person_name(rng), "person")
+
+    # shared context keyword (city, brand, ...) — deliberate ambiguity
+    if rng.random() < config.shared_keyword_rate:
+        shared = _SHARED_CONTEXT[domain](stem, rng)
+        if phrase_key(shared) != phrase_key(short):
+            add(shared, "shared")
+
+    # search-only topics: heavily searched, a ghost town on the platform
+    if rng.random() < config.search_only_rate:
+        affinity = rng.uniform(0.0, 0.15)
+    else:
+        affinity = rng.uniform(0.6, 1.0)
+
+    urls = _topic_urls(stem, short, config.urls_per_topic, rng)
+    return Topic(
+        topic_id=topic_id,
+        name=stem,
+        domain=domain,
+        keywords=keywords,
+        urls=urls,
+        hub_urls=list(hub_urls),
+        popularity=popularity,
+        microblog_affinity=affinity,
+    )
+
+
+def _topic_urls(stem: str, short: str, count: int, rng: random.Random) -> list[str]:
+    """Compose the topic's own URL universe (official site, fan sites, ...)."""
+    candidates = [
+        vocab.url_for(stem, rng),
+        vocab.url_for(f"{short} zone", rng),
+        vocab.url_for(f"{short} report", rng),
+        vocab.url_for(f"the {short} blog", rng),
+        vocab.url_for(f"{short} daily", rng),
+        vocab.url_for(f"all about {short}", rng),
+        vocab.url_for(f"{short} central", rng),
+        vocab.url_for(f"{short} world", rng),
+    ]
+    unique: list[str] = []
+    seen: set[str] = set()
+    for url in candidates:
+        if url not in seen:
+            seen.add(url)
+            unique.append(url)
+        if len(unique) >= count:
+            break
+    return unique

@@ -1,0 +1,96 @@
+"""Sizing knobs for the synthetic world."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Domain names used throughout the reproduction.  The first five mirror the
+#: categories of Table 1; ``misc`` provides the long tail that the paper's
+#: Top-250 set draws from.
+DEFAULT_DOMAINS: tuple[str, ...] = (
+    "sports",
+    "electronics",
+    "finance",
+    "health",
+    "wikipedia",
+    "misc",
+)
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Counts and rates controlling :func:`repro.worldmodel.build_world`.
+
+    The defaults produce a world of a few hundred topics and a few thousand
+    keyword surface forms — three orders of magnitude below the paper's
+    production scale but with the same structural statistics, which is what
+    the experiments depend on.
+    """
+
+    seed: int = 2016
+    domains: tuple[str, ...] = DEFAULT_DOMAINS
+    topics_per_domain: int = 40
+    #: minimum/maximum number of keyword surface forms attached to a topic
+    min_keywords_per_topic: int = 4
+    max_keywords_per_topic: int = 14
+    #: topic-specific URLs per topic (official sites, fan sites, ...)
+    urls_per_topic: int = 6
+    #: shared "hub" URLs per domain (league sites, portals) that create
+    #: cross-topic co-clicks inside a domain
+    hub_urls_per_domain: int = 3
+    #: Zipf exponent of topic popularity inside a domain
+    topic_popularity_exponent: float = 1.1
+    #: probability that a topic borrows a "shared context" keyword (e.g. a
+    #: city name) that other topics also use — the source of the ambiguity
+    #: the paper discusses ("football" in Europe vs the US)
+    shared_keyword_rate: float = 0.3
+    #: probability of generating a misspelled variant for a keyword
+    misspelling_rate: float = 0.35
+    #: probability of generating a hashtag variant
+    hashtag_rate: float = 0.5
+    #: fraction of topics that are "search-only" interests (navigational
+    #: queries, utilities): heavily searched, barely discussed on the
+    #: microblog platform
+    search_only_rate: float = 0.25
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.topics_per_domain <= 0:
+            raise ValueError("topics_per_domain must be positive")
+        if not 1 <= self.min_keywords_per_topic <= self.max_keywords_per_topic:
+            raise ValueError(
+                "need 1 <= min_keywords_per_topic <= max_keywords_per_topic, got "
+                f"{self.min_keywords_per_topic}..{self.max_keywords_per_topic}"
+            )
+        if self.urls_per_topic <= 0:
+            raise ValueError("urls_per_topic must be positive")
+        for rate_name in (
+            "shared_keyword_rate",
+            "misspelling_rate",
+            "hashtag_rate",
+            "search_only_rate",
+        ):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{rate_name} must be in [0, 1], got {rate}")
+        if not self.domains:
+            raise ValueError("at least one domain is required")
+
+    def scaled(self, factor: float) -> "WorldConfig":
+        """Return a copy with topic counts scaled by ``factor`` (≥ small floor)."""
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return WorldConfig(
+            seed=self.seed,
+            domains=self.domains,
+            topics_per_domain=max(2, int(self.topics_per_domain * factor)),
+            min_keywords_per_topic=self.min_keywords_per_topic,
+            max_keywords_per_topic=self.max_keywords_per_topic,
+            urls_per_topic=self.urls_per_topic,
+            hub_urls_per_domain=self.hub_urls_per_domain,
+            topic_popularity_exponent=self.topic_popularity_exponent,
+            shared_keyword_rate=self.shared_keyword_rate,
+            misspelling_rate=self.misspelling_rate,
+            hashtag_rate=self.hashtag_rate,
+        )

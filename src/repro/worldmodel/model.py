@@ -1,0 +1,176 @@
+"""Core world-model data structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.text import phrase_key
+
+
+#: Keyword roles.  ``canonical`` is the topic's head term; ``variant`` a
+#: spelling/hashtag/abbreviation of it; ``activity`` a related compound
+#: ("49ers draft"); ``person`` an affiliated individual ("bruce ellington");
+#: ``shared`` a context term used by several topics ("san francisco").
+KEYWORD_KINDS: tuple[str, ...] = (
+    "canonical",
+    "variant",
+    "activity",
+    "person",
+    "shared",
+)
+
+
+@dataclass(frozen=True)
+class Keyword:
+    """One keyword surface form attached to a topic."""
+
+    text: str
+    topic_id: int
+    kind: str
+    #: relative sampling weight inside the topic (canonical ≫ tail variants)
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KEYWORD_KINDS:
+            raise ValueError(f"unknown keyword kind {self.kind!r}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        if self.text != phrase_key(self.text):
+            raise ValueError(
+                f"keyword text must be normalised, got {self.text!r}"
+            )
+
+
+@dataclass
+class Topic:
+    """A coherent domain of expertise — one ground-truth community."""
+
+    topic_id: int
+    name: str
+    domain: str
+    keywords: list[Keyword]
+    urls: list[str]
+    hub_urls: list[str]
+    popularity: float
+    #: how much the topic lives on the microblog platform relative to its
+    #: web-search popularity.  Navigational/search-only interests (the
+    #: paper's Top-250 contains "mapquest") are heavily searched but barely
+    #: tweeted — their affinity is near zero, which is what keeps the
+    #: baseline's Top-250 coverage low in Table 8.
+    microblog_affinity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.keywords:
+            raise ValueError(f"topic {self.name!r} has no keywords")
+        if not self.urls:
+            raise ValueError(f"topic {self.name!r} has no urls")
+        if self.popularity <= 0:
+            raise ValueError(f"popularity must be positive, got {self.popularity}")
+        if not 0.0 <= self.microblog_affinity <= 1.0:
+            raise ValueError(
+                f"microblog_affinity must be in [0,1], got {self.microblog_affinity}"
+            )
+
+    @property
+    def canonical(self) -> Keyword:
+        """The head keyword of the topic."""
+        for keyword in self.keywords:
+            if keyword.kind == "canonical":
+                return keyword
+        raise LookupError(f"topic {self.name!r} has no canonical keyword")
+
+    def keyword_texts(self) -> list[str]:
+        return [keyword.text for keyword in self.keywords]
+
+    def all_urls(self) -> list[str]:
+        """Topic URLs followed by the shared hub URLs."""
+        return list(self.urls) + list(self.hub_urls)
+
+
+@dataclass
+class WorldModel:
+    """The full synthetic world: topics plus lookup indexes."""
+
+    topics: list[Topic]
+    domains: tuple[str, ...]
+    seed: int
+    _by_id: dict[int, Topic] = field(init=False, repr=False)
+    _keyword_index: dict[str, list[Keyword]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_id = {}
+        for topic in self.topics:
+            if topic.topic_id in self._by_id:
+                raise ValueError(f"duplicate topic_id {topic.topic_id}")
+            self._by_id[topic.topic_id] = topic
+        self._keyword_index = {}
+        for topic in self.topics:
+            for keyword in topic.keywords:
+                self._keyword_index.setdefault(keyword.text, []).append(keyword)
+
+    # -- lookups ---------------------------------------------------------
+
+    def topic(self, topic_id: int) -> Topic:
+        try:
+            return self._by_id[topic_id]
+        except KeyError:
+            raise KeyError(f"no topic with id {topic_id}") from None
+
+    def topics_in_domain(self, domain: str) -> list[Topic]:
+        if domain not in self.domains:
+            raise KeyError(f"unknown domain {domain!r}")
+        return [topic for topic in self.topics if topic.domain == domain]
+
+    def keywords_for(self, text: str) -> list[Keyword]:
+        """All keywords with the given surface form (>1 means ambiguity)."""
+        return list(self._keyword_index.get(phrase_key(text), []))
+
+    def topic_ids_for(self, text: str) -> list[int]:
+        """Topic ids that claim surface form ``text``."""
+        return [keyword.topic_id for keyword in self.keywords_for(text)]
+
+    def primary_topic_for(self, text: str) -> Topic | None:
+        """The most popular topic claiming ``text``, or ``None``.
+
+        An ambiguous surface form ("football") belongs to several topics;
+        ground-truth relevance judgments use the most popular claimant,
+        which is how a human judge would read the bare query, and is the
+        reason expansion can *dis*ambiguate (§6.2.3's noted failure mode).
+        """
+        keywords = self.keywords_for(text)
+        if not keywords:
+            return None
+        best = max(keywords, key=lambda kw: self.topic(kw.topic_id).popularity)
+        return self.topic(best.topic_id)
+
+    def is_ambiguous(self, text: str) -> bool:
+        return len(set(self.topic_ids_for(text))) > 1
+
+    # -- corpus-wide statistics -------------------------------------------
+
+    def vocabulary(self) -> list[str]:
+        """All distinct keyword surface forms, sorted."""
+        return sorted(self._keyword_index)
+
+    def ground_truth_communities(self) -> dict[int, set[str]]:
+        """topic_id → set of surface forms; the clustering's gold standard.
+
+        Ambiguous surface forms are assigned to their most popular claimant
+        only, because a hard partition (which the clustering produces)
+        cannot represent overlap.
+        """
+        communities: dict[int, set[str]] = {t.topic_id: set() for t in self.topics}
+        for text in self._keyword_index:
+            primary = self.primary_topic_for(text)
+            if primary is not None:
+                communities[primary.topic_id].add(text)
+        return {tid: members for tid, members in communities.items() if members}
+
+    def __len__(self) -> int:
+        return len(self.topics)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorldModel(topics={len(self.topics)}, "
+            f"keywords={len(self._keyword_index)}, seed={self.seed})"
+        )

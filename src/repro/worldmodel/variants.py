@@ -1,0 +1,99 @@
+"""Surface-form variant generation.
+
+§4.1 of the paper observes that the same term appears in the query log in
+*"dozens, sometimes hundreds of variants (e.g., san francisco,
+#sanfrancisco, sf, ...)"* and that the pipeline deliberately leaves them
+unchanged.  The world builder therefore produces variants up front, so the
+query-log simulator can emit them with realistic frequencies and the
+similarity graph can rediscover that they belong together.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def hashtag_variant(term: str) -> str:
+    """Collapse a phrase into its hashtag form.
+
+    >>> hashtag_variant("san francisco")
+    '#sanfrancisco'
+    """
+    return "#" + term.replace(" ", "").replace("&", "").replace("'", "")
+
+
+def abbreviation(term: str) -> str:
+    """Initialism for multi-word phrases, first syllable-ish chunk otherwise.
+
+    >>> abbreviation("san francisco")
+    'sf'
+    >>> abbreviation("diabetes")
+    'diab'
+    """
+    words = term.split()
+    if len(words) >= 2:
+        return "".join(word[0] for word in words if word)
+    return term[:4]
+
+
+def misspellings(term: str, rng: random.Random, count: int = 1) -> list[str]:
+    """Generate ``count`` deterministic single-edit misspellings of ``term``.
+
+    Edits are drawn from the classic typo set: drop a letter, double a
+    letter, or swap two adjacent letters.  Spaces and sigils are never
+    edited.  Results differ from the input and from each other.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    letters = [i for i, ch in enumerate(term) if ch.isalpha()]
+    if len(letters) < 3:
+        return []
+    results: list[str] = []
+    seen = {term}
+    attempts = 0
+    while len(results) < count and attempts < 20 * (count + 1):
+        attempts += 1
+        kind = rng.choice(("drop", "double", "swap"))
+        position = rng.choice(letters[1:])  # keep the first letter intact
+        if kind == "drop":
+            candidate = term[:position] + term[position + 1 :]
+        elif kind == "double":
+            candidate = term[:position] + term[position] + term[position:]
+        else:
+            if position + 1 >= len(term) or not term[position + 1].isalpha():
+                continue
+            candidate = (
+                term[:position]
+                + term[position + 1]
+                + term[position]
+                + term[position + 2 :]
+            )
+        if candidate not in seen and len(candidate) >= 3:
+            seen.add(candidate)
+            results.append(candidate)
+    return results
+
+
+def surface_variants(
+    term: str,
+    rng: random.Random,
+    hashtag_rate: float = 0.5,
+    misspelling_rate: float = 0.35,
+) -> list[str]:
+    """All variant surface forms the builder attaches to a canonical term."""
+    variants: list[str] = []
+    if len(term.split()) >= 2:
+        variants.append(abbreviation(term))
+    if rng.random() < hashtag_rate:
+        variants.append(hashtag_variant(term))
+    if rng.random() < misspelling_rate:
+        variants.extend(misspellings(term, rng, count=1))
+    # Deduplicate while preserving order; a variant equal to the canonical
+    # term (possible for very short inputs) is dropped.
+    unique: list[str] = []
+    seen = {term}
+    for variant in variants:
+        if variant not in seen:
+            seen.add(variant)
+            unique.append(variant)
+    return unique

@@ -1,0 +1,149 @@
+"""Synthetic vocabulary the world builder composes topics from.
+
+The lists below are *generators of plausible surface forms*, not real-world
+facts: team names, product lines, tickers and person names are composed
+combinatorially so that a few hundred base words yield tens of thousands of
+distinct topics when needed.  Every composition is deterministic given the
+builder's RNG stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+CITIES: tuple[str, ...] = (
+    "san francisco", "oakland", "seattle", "portland", "denver", "austin",
+    "dallas", "houston", "phoenix", "chicago", "detroit", "boston",
+    "atlanta", "miami", "tampa", "orlando", "nashville", "memphis",
+    "baltimore", "pittsburgh", "cleveland", "columbus", "charlotte",
+    "raleigh", "richmond", "buffalo", "rochester", "sacramento",
+    "san diego", "fresno", "tucson", "omaha", "wichita", "tulsa",
+    "madison", "boise", "reno", "spokane", "tacoma", "anchorage",
+)
+
+TEAM_NOUNS: tuple[str, ...] = (
+    "miners", "rockets", "falcons", "wolves", "bears", "hawks", "comets",
+    "pioneers", "mustangs", "rangers", "storm", "thunder", "wildcats",
+    "titans", "knights", "renegades", "stallions", "gulls", "otters",
+    "badgers", "condors", "mariners", "voyagers", "harriers", "lynx",
+    "bison", "ospreys", "cougars", "vipers", "raptors", "drakes",
+    "herons", "wolverines", "foxes", "panthers", "eagles", "terriers",
+    "bobcats", "pelicans", "cyclones", "express", "chargers", "moose",
+    "spartans", "gladiators", "corsairs", "buccaneers", "admirals",
+)
+
+SPORT_WORDS: tuple[str, ...] = (
+    "draft", "schedule", "roster", "tickets", "highlights", "playoffs",
+    "injury report", "trade rumors", "training camp", "depth chart",
+)
+
+TECH_BRANDS: tuple[str, ...] = (
+    "lumatek", "voltaro", "zephyr", "orbix", "nimbus", "quanta", "helios",
+    "aetheric", "pulsewave", "kinetiq", "novabyte", "solaris", "vectra",
+    "gridline", "auricle", "photonix", "cobaltine", "astralux", "ferrox",
+    "miradyne", "optiq", "skylark", "tessellate", "wavecrest",
+)
+
+TECH_PRODUCTS: tuple[str, ...] = (
+    "smartwatch", "earbuds", "tablet", "router", "drone", "camera",
+    "speaker", "laptop", "monitor", "keyboard", "projector", "charger",
+    "headset", "tracker", "console", "printer", "soundbar", "webcam",
+    "scanner", "microphone", "powerbank", "dashcam", "thermostat",
+    "doorbell", "gimbal", "ereader", "turntable", "amplifier",
+    "subwoofer", "modem", "repeater", "smartplug",
+)
+
+TECH_WORDS: tuple[str, ...] = (
+    "review", "specs", "price", "manual", "firmware", "unboxing",
+    "vs", "deals", "setup", "battery life",
+)
+
+FINANCE_ENTITIES: tuple[str, ...] = (
+    "argonaut capital", "bluepeak holdings", "crestline partners",
+    "dynamo energy", "eastgate mining", "fairway logistics",
+    "granite bancorp", "horizon pharma", "ironwood steel",
+    "junction rail", "keystone foods", "lakeshore insurance",
+    "meridian telecom", "northstar retail", "obsidian tech",
+    "pinnacle motors", "quarry materials", "riverbend utilities",
+    "summit aerospace", "tidewater shipping",
+)
+
+FINANCE_WORDS: tuple[str, ...] = (
+    "stock", "quote", "dividend", "earnings", "futures", "forecast",
+    "analyst rating", "short interest", "market cap", "ipo",
+)
+
+INDEX_NAMES: tuple[str, ...] = (
+    "dow futures", "nasdaq", "s&p 500", "russell 2000", "vix", "ftse",
+    "nikkei", "dax", "treasury yields", "crude oil", "gold price",
+    "bitcoin", "euro rate", "mortgage rates", "libor",
+)
+
+HEALTH_CONDITIONS: tuple[str, ...] = (
+    "diabetes", "asthma", "scoliosis", "migraine", "eczema", "arthritis",
+    "anemia", "insomnia", "vertigo", "bronchitis", "tendonitis",
+    "hypertension", "psoriasis", "sciatica", "glaucoma", "gastritis",
+    "neuropathy", "fibromyalgia", "bursitis", "dermatitis", "sinusitis",
+    "tinnitus", "anxiety", "bulimia", "melanoma", "osteoporosis",
+)
+
+HEALTH_WORDS: tuple[str, ...] = (
+    "symptoms", "treatment", "diet", "causes", "medication", "in children",
+    "support group", "natural remedies", "diagnosis", "prevention",
+)
+
+WIKI_SUBJECTS: tuple[str, ...] = (
+    "world war", "ancient rome", "solar eclipse", "great depression",
+    "silk road", "printing press", "french revolution", "cold war",
+    "industrial revolution", "roman empire", "renaissance art",
+    "space race", "gold rush", "prohibition era", "dust bowl",
+    "transcontinental railroad", "manhattan project", "suez canal",
+    "black death", "viking age",
+)
+
+WIKI_WORDS: tuple[str, ...] = (
+    "history", "timeline", "facts", "summary", "causes", "documentary",
+)
+
+FIRST_NAMES: tuple[str, ...] = (
+    "alex", "jordan", "casey", "morgan", "taylor", "riley", "avery",
+    "quinn", "reese", "emerson", "dakota", "rowan", "sawyer", "finley",
+    "marco", "elena", "viktor", "ingrid", "rafael", "naomi", "dmitri",
+    "celia", "hugo", "amara", "felix", "leona", "oscar", "petra",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "calloway", "drummond", "eastman", "fairbanks", "garrick", "holloway",
+    "ives", "jarrett", "kessler", "lockhart", "merritt", "norwood",
+    "oakes", "pemberton", "quimby", "rutledge", "sheffield", "thorne",
+    "underhill", "vance", "whitfield", "yarrow", "ashford", "bellamy",
+)
+
+MISC_HOBBIES: tuple[str, ...] = (
+    "sourdough baking", "urban gardening", "birdwatching", "astrophotography",
+    "home brewing", "woodworking", "fly fishing", "rock climbing",
+    "quilting", "genealogy", "chess openings", "model trains",
+    "beekeeping", "kayaking", "calligraphy", "foraging", "origami",
+    "vintage cars", "board games", "trail running", "salsa dancing",
+    "stand up comedy", "street photography", "podcasting",
+)
+
+NEWS_WORDS: tuple[str, ...] = ("news", "update", "latest", "live", "today")
+
+URL_SUFFIXES: tuple[str, ...] = (".com", ".org", ".net", ".io", ".info")
+
+GLOBAL_HUB_URLS: tuple[str, ...] = (
+    "worldgazette.com", "dailyexaminer.com", "pediawiki.org",
+    "videostream.tv", "answerhub.net",
+)
+
+
+def person_name(rng: random.Random) -> str:
+    """Compose a synthetic person name such as ``"marco kessler"``."""
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def url_for(stem: str, rng: random.Random) -> str:
+    """Compose a URL for an entity stem, e.g. ``"austinfalcons.com"``."""
+    compact = stem.replace(" ", "").replace("&", "and").replace("'", "")
+    return f"{compact}{rng.choice(URL_SUFFIXES)}"

@@ -1,0 +1,69 @@
+"""Shared fixtures.
+
+Expensive artifacts (world, log, graph, platform, built system) are
+session-scoped at a deliberately small scale so the whole suite stays
+fast while every integration path is still exercised on real data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ESharpConfig
+from repro.core.esharp import ESharp
+from repro.microblog.generator import generate_platform
+from repro.querylog.generator import generate_query_log
+from repro.simgraph.extract import extract_similarity_graph
+from repro.simgraph.graph import MultiGraph
+from repro.worldmodel.builder import build_world
+
+
+TEST_SEED = 1234
+
+
+@pytest.fixture(scope="session")
+def small_config() -> ESharpConfig:
+    return ESharpConfig.small(seed=TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def world(small_config):
+    return build_world(small_config.world)
+
+
+@pytest.fixture(scope="session")
+def query_store(world, small_config):
+    return generate_query_log(world, small_config.querylog)
+
+
+@pytest.fixture(scope="session")
+def extraction(query_store, small_config):
+    return extract_similarity_graph(query_store, small_config.similarity)
+
+
+@pytest.fixture(scope="session")
+def multigraph(extraction) -> MultiGraph:
+    return extraction.multigraph
+
+
+@pytest.fixture(scope="session")
+def platform(world, small_config):
+    return generate_platform(world, small_config.microblog)
+
+
+@pytest.fixture(scope="session")
+def system(small_config) -> ESharp:
+    return ESharp(small_config).build()
+
+
+@pytest.fixture
+def triangle_graph() -> MultiGraph:
+    """Two dense triangles joined by one weak edge — the canonical
+    community-detection toy instance."""
+    graph = MultiGraph()
+    for u, v in (("a1", "a2"), ("a1", "a3"), ("a2", "a3")):
+        graph.add_edge(u, v, 5)
+    for u, v in (("b1", "b2"), ("b1", "b3"), ("b2", "b3")):
+        graph.add_edge(u, v, 5)
+    graph.add_edge("a1", "b1", 1)
+    return graph

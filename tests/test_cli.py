@@ -1,0 +1,89 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.relational.io import save_table
+from repro.relational.table import Table
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_defaults(self):
+        args = build_parser().parse_args(["build"])
+        assert args.scale == "small"
+        assert args.seed == 2016
+
+    def test_query_collects_words(self):
+        args = build_parser().parse_args(["query", "dow", "futures"])
+        assert args.query == ["dow", "futures"]
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestSqlCommand:
+    @pytest.fixture
+    def tsv(self, tmp_path):
+        table = Table.from_dicts(
+            ["k", "v"], [{"k": "a", "v": 1}, {"k": "b", "v": 2}]
+        )
+        path = tmp_path / "t.tsv"
+        save_table(table, path)
+        return str(path)
+
+    def test_select(self, tsv, capsys):
+        rc = main(["sql", "SELECT k FROM t WHERE v > 1", "--table", f"t={tsv}"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "b" in out
+
+    def test_aggregate(self, tsv, capsys):
+        rc = main(
+            ["sql", "SELECT sum(v) AS total FROM t", "--table", f"t={tsv}"]
+        )
+        assert rc == 0
+        assert "3" in capsys.readouterr().out
+
+    def test_bad_binding(self, tsv, capsys):
+        rc = main(["sql", "SELECT k FROM t", "--table", "no_equals_sign"])
+        assert rc == 2
+
+
+class TestEndToEndCommands:
+    """The heavyweight commands, once each, on the smallest scale."""
+
+    def test_build_and_save(self, tmp_path, capsys):
+        target = tmp_path / "domains.tsv"
+        rc = main(
+            ["build", "--scale", "small", "--seed", "1234",
+             "--save-domains", str(target)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "domains:" in out
+        assert target.exists()
+        # the saved collection is loadable and non-trivial
+        from repro.expansion.domainstore import DomainStore
+
+        loaded = DomainStore.load(target)
+        assert loaded.domain_count > 10
+
+    def test_query_command(self, capsys, system):
+        # reuse the session system fixture just for choosing a real query
+        world = system.offline.world
+        topic = max(
+            (t for t in world.topics if t.microblog_affinity > 0.5),
+            key=lambda t: t.popularity,
+        )
+        rc = main(
+            ["query", "--scale", "small", "--seed", "1234",
+             *topic.canonical.text.split()]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "expansion" in out

@@ -1,0 +1,110 @@
+"""Size distribution (Fig 6), neighbourhoods (Fig 7), quality metrics."""
+
+import math
+
+import pytest
+
+from repro.community.neighbours import closest_communities
+from repro.community.partition import Partition
+from repro.community.quality import normalized_mutual_information, purity
+from repro.community.sizes import orphan_fraction, size_distribution
+from repro.simgraph.graph import MultiGraph
+
+
+class TestSizeDistribution:
+    def test_bucket_counts(self):
+        partition = Partition(
+            {
+                **{f"s{i}": f"solo{i}" for i in range(4)},          # 4 orphans
+                **{f"m{i}": "medium" for i in range(5)},            # one size-5
+                **{f"l{i}": "large" for i in range(20)},            # one size-20
+                **{f"x{i}": "giant" for i in range(60)},            # one size-60
+            }
+        )
+        buckets = {b.label: b.count for b in size_distribution(partition)}
+        assert buckets == {
+            "1": 4, "2 to 10": 1, "10 to 50": 1, "More than 50": 1,
+        }
+
+    def test_fractions_sum_to_one(self):
+        partition = Partition({"a": "x", "b": "x", "c": "y"})
+        total = sum(b.fraction for b in size_distribution(partition))
+        assert math.isclose(total, 1.0)
+
+    def test_orphan_fraction(self):
+        partition = Partition({"a": "x", "b": "y", "c": "y"})
+        assert orphan_fraction(partition) == 0.5
+
+    def test_empty_partition(self):
+        assert orphan_fraction(Partition({})) == 0.0
+
+
+class TestClosestCommunities:
+    @pytest.fixture
+    def setup(self):
+        graph = MultiGraph()
+        # home community {a,b}; neighbour X strongly linked, Y weakly
+        graph.add_edge("a", "b", 10)
+        graph.add_edge("a", "x1", 5)
+        graph.add_edge("b", "x2", 4)
+        graph.add_edge("x1", "x2", 8)
+        graph.add_edge("b", "y1", 1)
+        partition = Partition(
+            {"a": "H", "b": "H", "x1": "X", "x2": "X", "y1": "Y"}
+        )
+        return graph, partition
+
+    def test_ranked_by_link_weight(self, setup):
+        graph, partition = setup
+        community, neighbours = closest_communities(graph, partition, "a")
+        assert community == ("a", "b")
+        assert [n.community for n in neighbours] == ["X", "Y"]
+        assert neighbours[0].link_weight == 9
+
+    def test_count_limits_output(self, setup):
+        graph, partition = setup
+        _, neighbours = closest_communities(graph, partition, "a", count=1)
+        assert len(neighbours) == 1
+
+    def test_unknown_seed(self, setup):
+        graph, partition = setup
+        with pytest.raises(KeyError):
+            closest_communities(graph, partition, "ghost")
+
+
+class TestQuality:
+    def test_perfect_purity(self):
+        partition = Partition({"a": "c1", "b": "c1", "c": "c2"})
+        truth = {"a": "g1", "b": "g1", "c": "g2"}
+        assert purity(partition, truth) == 1.0
+
+    def test_mixed_community_purity(self):
+        partition = Partition({"a": "c1", "b": "c1", "c": "c1", "d": "c2"})
+        truth = {"a": "g1", "b": "g1", "c": "g2", "d": "g2"}
+        assert purity(partition, truth) == 0.75
+
+    def test_unlabelled_vertices_ignored(self):
+        partition = Partition({"a": "c1", "mystery": "c1"})
+        assert purity(partition, {"a": "g1"}) == 1.0
+
+    def test_empty_truth(self):
+        assert purity(Partition({"a": "c"}), {}) == 0.0
+
+    def test_nmi_perfect_match(self):
+        partition = Partition({"a": "c1", "b": "c1", "c": "c2", "d": "c2"})
+        truth = {"a": "g1", "b": "g1", "c": "g2", "d": "g2"}
+        assert math.isclose(normalized_mutual_information(partition, truth), 1.0)
+
+    def test_nmi_single_class_zero(self):
+        partition = Partition({"a": "c1", "b": "c2"})
+        truth = {"a": "g", "b": "g"}
+        assert normalized_mutual_information(partition, truth) == 0.0
+
+    def test_nmi_bounded(self):
+        partition = Partition({"a": "c1", "b": "c1", "c": "c2", "d": "c1"})
+        truth = {"a": "g1", "b": "g2", "c": "g2", "d": "g1"}
+        value = normalized_mutual_information(partition, truth)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+    def test_nmi_empty(self):
+        assert normalized_mutual_information(Partition({}), {}) == 0.0

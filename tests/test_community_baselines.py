@@ -1,0 +1,117 @@
+"""Newman CNM, Louvain, label propagation — the ABL1 algorithms."""
+
+import pytest
+
+from repro.community.labelprop import (
+    LabelPropagationConfig,
+    LabelPropagationDetector,
+)
+from repro.community.louvain import LouvainConfig, LouvainDetector
+from repro.community.modularity import total_modularity
+from repro.community.newman import NewmanConfig, NewmanGreedyDetector
+from repro.community.partition import singleton_partition
+
+
+class TestNewman:
+    def test_triangles_recovered(self, triangle_graph):
+        partition = NewmanGreedyDetector(triangle_graph).run()
+        assert partition.community_count() == 2
+        assert partition.members(partition.community_of("b1")) == {
+            "b1", "b2", "b3",
+        }
+
+    def test_merge_sequence_gains_positive(self, triangle_graph):
+        detector = NewmanGreedyDetector(triangle_graph)
+        detector.run()
+        assert detector.merge_sequence
+        assert all(gain > 0 for _, _, gain in detector.merge_sequence)
+
+    def test_modularity_beats_singletons(self, multigraph):
+        partition = NewmanGreedyDetector(multigraph).run()
+        singles = singleton_partition(multigraph.vertices())
+        assert total_modularity(multigraph, partition) > total_modularity(
+            multigraph, singles
+        )
+
+    def test_target_communities(self, triangle_graph):
+        config = NewmanConfig(target_communities=4)
+        partition = NewmanGreedyDetector(triangle_graph, config).run()
+        assert partition.community_count() >= 4
+
+    def test_max_merges(self, triangle_graph):
+        config = NewmanConfig(max_merges=1)
+        partition = NewmanGreedyDetector(triangle_graph, config).run()
+        assert partition.community_count() == 5
+
+    def test_deterministic(self, multigraph):
+        a = NewmanGreedyDetector(multigraph).run()
+        b = NewmanGreedyDetector(multigraph).run()
+        assert a.assignment == b.assignment
+
+    def test_covers_graph(self, multigraph):
+        NewmanGreedyDetector(multigraph).run().validate_covers(multigraph)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            NewmanConfig(target_communities=-1)
+
+
+class TestLouvain:
+    def test_triangles_recovered(self, triangle_graph):
+        partition = LouvainDetector(triangle_graph).run()
+        assert partition.community_count() == 2
+
+    def test_levels_recorded(self, triangle_graph):
+        detector = LouvainDetector(triangle_graph)
+        detector.run()
+        assert detector.levels
+
+    def test_modularity_competitive_with_newman(self, multigraph):
+        louvain = LouvainDetector(multigraph).run()
+        newman = NewmanGreedyDetector(multigraph).run()
+        q_louvain = total_modularity(multigraph, louvain)
+        q_newman = total_modularity(multigraph, newman)
+        assert q_louvain > 0.8 * q_newman
+
+    def test_deterministic(self, multigraph):
+        a = LouvainDetector(multigraph).run()
+        b = LouvainDetector(multigraph).run()
+        assert a.assignment == b.assignment
+
+    def test_covers_graph(self, multigraph):
+        LouvainDetector(multigraph).run().validate_covers(multigraph)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            LouvainConfig(max_levels=0)
+
+
+class TestLabelPropagation:
+    def test_triangles_recovered(self, triangle_graph):
+        partition = LabelPropagationDetector(triangle_graph).run()
+        assert partition.community_count() == 2
+
+    def test_seed_determinism(self, multigraph):
+        config = LabelPropagationConfig(seed=5)
+        a = LabelPropagationDetector(multigraph, config).run()
+        b = LabelPropagationDetector(multigraph, config).run()
+        assert a.assignment == b.assignment
+
+    def test_sweeps_bounded(self, multigraph):
+        config = LabelPropagationConfig(max_sweeps=3)
+        detector = LabelPropagationDetector(multigraph, config)
+        detector.run()
+        assert detector.sweeps_run <= 3
+
+    def test_isolated_vertex_keeps_own_label(self):
+        from repro.simgraph.graph import MultiGraph
+
+        graph = MultiGraph()
+        graph.add_edge("a", "b")
+        graph.add_vertex("solo")
+        partition = LabelPropagationDetector(graph).run()
+        assert partition.community_of("solo") == "solo"
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            LabelPropagationConfig(max_sweeps=0)

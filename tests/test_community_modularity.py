@@ -1,0 +1,154 @@
+"""Modularity arithmetic (Eq. 1–9), including the shortcut identity."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.community.modularity import (
+    CommunityStats,
+    community_modularity,
+    delta_modularity,
+    delta_modularity_direct,
+    total_modularity,
+)
+from repro.community.partition import Partition, singleton_partition
+from repro.simgraph.graph import MultiGraph
+
+
+def random_graph_and_partition(seed: int, vertices: int = 8, edges: int = 14):
+    rng = random.Random(seed)
+    names = [f"v{i}" for i in range(vertices)]
+    graph = MultiGraph()
+    for name in names:
+        graph.add_vertex(name)
+    for _ in range(edges):
+        u, v = rng.sample(names, 2)
+        graph.add_edge(u, v, rng.randint(1, 4))
+    communities = [f"c{i}" for i in range(rng.randint(2, 4))]
+    partition = Partition({name: rng.choice(communities) for name in names})
+    return graph, partition
+
+
+class TestCommunityModularity:
+    def test_empty_graph(self):
+        assert community_modularity(0, 0, 0) == 0.0
+
+    def test_whole_graph_zero(self):
+        # all edges internal, D_C = D_G ⇒ Mod = m_G − m_G = 0
+        assert community_modularity(10, 20, 10) == 0.0
+
+    def test_known_value(self):
+        # C has 3 internal edges, degree sum 8, in a graph of 10 edges
+        assert community_modularity(3, 8, 10) == 3 - 10 * (8 / 20) ** 2
+
+
+class TestCommunityStats:
+    def test_triangle_example(self, triangle_graph):
+        partition = Partition(
+            {"a1": "A", "a2": "A", "a3": "A", "b1": "B", "b2": "B", "b3": "B"}
+        )
+        stats = CommunityStats.from_partition(triangle_graph, partition)
+        assert stats.internal_edges["A"] == 15
+        assert stats.internal_edges["B"] == 15
+        assert stats.between("A", "B") == 1
+        assert stats.degree_sum["A"] == 31  # 3 triangles * 10 + bridge
+        assert stats.total_edges == 31
+
+    def test_isolated_vertex_zero_degree(self):
+        graph = MultiGraph()
+        graph.add_edge("a", "b")
+        graph.add_vertex("solo")
+        partition = singleton_partition(graph.vertices())
+        stats = CommunityStats.from_partition(graph, partition)
+        assert stats.degree_sum["solo"] == 0
+        assert stats.internal_edges["solo"] == 0
+
+
+class TestDeltaModularity:
+    def test_shortcut_formula(self):
+        assert delta_modularity(5, 6, 8, 20) == 5 - (6 * 8) / 40
+
+    def test_empty_graph(self):
+        assert delta_modularity(0, 0, 0, 0) == 0.0
+
+    @settings(max_examples=60)
+    @given(st.integers(0, 10_000))
+    def test_shortcut_equals_direct_three_term_form(self, seed):
+        """Eq. 8–9 == Eq. 7 on random graphs and partitions."""
+        graph, partition = random_graph_and_partition(seed)
+        communities = partition.communities()
+        if len(communities) < 2:
+            return
+        c1, c2 = communities[0], communities[1]
+        stats = CommunityStats.from_partition(graph, partition)
+        shortcut = delta_modularity(
+            stats.between(c1, c2),
+            stats.degree_sum.get(c1, 0),
+            stats.degree_sum.get(c2, 0),
+            stats.total_edges,
+        )
+        direct = delta_modularity_direct(graph, partition, c1, c2)
+        assert math.isclose(shortcut, direct, rel_tol=1e-9, abs_tol=1e-9)
+
+    def test_direct_requires_distinct_communities(self, triangle_graph):
+        partition = singleton_partition(triangle_graph.vertices())
+        with pytest.raises(ValueError):
+            delta_modularity_direct(triangle_graph, partition, "a1", "a1")
+
+
+class TestTotalModularity:
+    def test_singletons_negative_or_zero(self, triangle_graph):
+        # singletons have no internal edges, only expected-edge penalty
+        value = total_modularity(
+            triangle_graph, singleton_partition(triangle_graph.vertices())
+        )
+        assert value < 0
+
+    def test_good_partition_beats_singletons(self, triangle_graph):
+        good = Partition(
+            {"a1": "A", "a2": "A", "a3": "A", "b1": "B", "b2": "B", "b3": "B"}
+        )
+        singles = singleton_partition(triangle_graph.vertices())
+        assert total_modularity(triangle_graph, good) > total_modularity(
+            triangle_graph, singles
+        )
+
+    @settings(max_examples=40)
+    @given(st.integers(0, 10_000))
+    def test_invariant_under_label_renaming(self, seed):
+        graph, partition = random_graph_and_partition(seed)
+        renamed = partition.relabel(
+            {c: f"renamed-{c}" for c in partition.communities()}
+        )
+        assert math.isclose(
+            total_modularity(graph, partition),
+            total_modularity(graph, renamed),
+            rel_tol=1e-12,
+        )
+
+    @settings(max_examples=40)
+    @given(st.integers(0, 10_000))
+    def test_merge_changes_total_by_delta(self, seed):
+        """TMod(after merge) − TMod(before) == ΔMod(c1, c2)."""
+        graph, partition = random_graph_and_partition(seed)
+        communities = partition.communities()
+        if len(communities) < 2:
+            return
+        c1, c2 = communities[0], communities[1]
+        delta = delta_modularity_direct(graph, partition, c1, c2)
+        merged = partition.relabel({c2: c1})
+        assert math.isclose(
+            total_modularity(graph, merged)
+            - total_modularity(graph, partition),
+            delta,
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+
+    def test_one_community_total_is_zero(self, triangle_graph):
+        partition = Partition(
+            {v: "all" for v in triangle_graph.vertices()}
+        )
+        assert abs(total_modularity(triangle_graph, partition)) < 1e-12

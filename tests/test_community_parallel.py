@@ -1,0 +1,156 @@
+"""The paper's parallel algorithm (§4.2.2)."""
+
+import pytest
+
+from repro.community.modularity import total_modularity
+from repro.community.parallel import (
+    ParallelCommunityDetector,
+    ParallelConfig,
+    _collapse_components,
+    _resolve_mutual,
+)
+from repro.community.partition import Partition, singleton_partition
+
+
+class TestParallelConfig:
+    def test_defaults(self):
+        assert ParallelConfig().merge_mode == "pointer"
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(merge_mode="telepathy")
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(max_iterations=0)
+
+
+class TestChooseTargets:
+    def test_triangles_choose_within_triangle(self, triangle_graph):
+        detector = ParallelCommunityDetector(triangle_graph)
+        targets = detector.choose_targets(
+            singleton_partition(triangle_graph.vertices())
+        )
+        # every a-vertex must target another a-vertex: intra-triangle gain
+        # (5 − 10·10/62 ≈ 3.4) dwarfs the bridge gain (1 − 11·11/62 < 0)
+        for source, target in targets.items():
+            assert source[0] == target[0]
+
+    def test_no_positive_gain_no_targets(self):
+        # a single edge: merging the endpoints has ΔMod = 1 − 1·1/2 = 0.5 > 0
+        # but two *disconnected* edges with balanced degrees may still merge;
+        # use a star where leaves have no edge between them
+        from repro.simgraph.graph import MultiGraph
+
+        graph = MultiGraph()
+        graph.add_edge("hub", "leaf1", 1)
+        graph.add_edge("hub", "leaf2", 1)
+        detector = ParallelCommunityDetector(graph)
+        targets = detector.choose_targets(singleton_partition(graph.vertices()))
+        # leaves are not connected to each other, so their only candidate is
+        # the hub; the hub picks exactly one best leaf
+        assert set(targets) <= {"hub", "leaf1", "leaf2"}
+        assert targets["leaf1"] == "hub"
+        assert targets["leaf2"] == "hub"
+
+
+class TestMergeModes:
+    def test_pointer_swap_is_structurally_stable(self):
+        partition = Partition({"x": "A", "y": "B"})
+        swapped = partition.relabel({"A": "B", "B": "A"})
+        assert partition.same_structure(swapped)
+
+    def test_resolve_mutual_merges_pairs(self):
+        targets = {"A": "B", "B": "A", "C": "A"}
+        mapping = _resolve_mutual(targets)
+        assert mapping["A"] == "A"
+        assert mapping["B"] == "A"
+        assert mapping["C"] == "A"
+
+    def test_collapse_components_flattens_chains(self):
+        mapping = _collapse_components({"C": "B", "B": "A"})
+        assert mapping == {"A": "A", "B": "A", "C": "A"}
+
+    def test_collapse_components_cycles(self):
+        mapping = _collapse_components({"A": "B", "B": "C", "C": "A"})
+        assert set(mapping.values()) == {"A"}
+
+
+class TestRunOnTriangles:
+    @pytest.mark.parametrize("mode", ["matching", "components"])
+    def test_merging_modes_find_the_two_triangles(self, triangle_graph, mode):
+        detector = ParallelCommunityDetector(
+            triangle_graph, ParallelConfig(merge_mode=mode)
+        )
+        partition = detector.run()
+        assert partition.community_count() == 2
+        assert partition.members(partition.community_of("a1")) == {
+            "a1", "a2", "a3",
+        }
+
+    def test_pointer_mode_never_mixes_triangles(self, triangle_graph):
+        """Pointer semantics may stall on mutual-best pairs (that is its
+        regularising property), but must never place vertices of the two
+        triangles in one community."""
+        detector = ParallelCommunityDetector(
+            triangle_graph, ParallelConfig(merge_mode="pointer")
+        )
+        partition = detector.run()
+        for community in partition.communities():
+            prefixes = {member[0] for member in partition.members(community)}
+            assert len(prefixes) == 1
+
+    def test_history_starts_with_singletons(self, triangle_graph):
+        detector = ParallelCommunityDetector(triangle_graph)
+        detector.run()
+        assert detector.history[0].communities == 6
+        assert detector.history[0].iteration == 0
+
+    def test_community_counts_non_increasing(self, multigraph):
+        detector = ParallelCommunityDetector(
+            multigraph, ParallelConfig(merge_mode="pointer")
+        )
+        detector.run()
+        counts = detector.community_counts()
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_modularity_improves_from_singletons(self, multigraph):
+        detector = ParallelCommunityDetector(multigraph)
+        partition = detector.run()
+        singles = singleton_partition(multigraph.vertices())
+        assert total_modularity(multigraph, partition) > total_modularity(
+            multigraph, singles
+        )
+
+    def test_partition_covers_graph(self, multigraph):
+        partition = ParallelCommunityDetector(multigraph).run()
+        partition.validate_covers(multigraph)
+
+    def test_isolated_vertices_stay_orphans(self):
+        from repro.simgraph.graph import MultiGraph
+
+        graph = MultiGraph()
+        graph.add_edge("a", "b", 3)
+        graph.add_vertex("orphan")
+        partition = ParallelCommunityDetector(graph).run()
+        assert partition.members(partition.community_of("orphan")) == {"orphan"}
+
+    def test_deterministic(self, multigraph):
+        a = ParallelCommunityDetector(multigraph).run()
+        b = ParallelCommunityDetector(multigraph).run()
+        assert a.assignment == b.assignment
+
+    def test_target_communities_stops_early(self, multigraph):
+        config = ParallelConfig(
+            merge_mode="components",
+            target_communities=multigraph.vertex_count // 2,
+        )
+        detector = ParallelCommunityDetector(multigraph, config)
+        partition = detector.run()
+        assert partition.community_count() >= 1
+
+    def test_max_iterations_respected(self, multigraph):
+        config = ParallelConfig(max_iterations=1)
+        detector = ParallelCommunityDetector(multigraph, config)
+        detector.run()
+        assert len(detector.history) <= 2  # init + 1 iteration

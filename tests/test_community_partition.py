@@ -1,0 +1,65 @@
+"""Partition container."""
+
+import pytest
+
+from repro.community.partition import Partition, singleton_partition
+from repro.simgraph.graph import MultiGraph
+
+
+class TestPartition:
+    @pytest.fixture
+    def partition(self):
+        return Partition({"a": "c1", "b": "c1", "c": "c2"})
+
+    def test_community_of(self, partition):
+        assert partition.community_of("a") == "c1"
+
+    def test_unknown_vertex(self, partition):
+        with pytest.raises(KeyError):
+            partition.community_of("zz")
+
+    def test_members(self, partition):
+        assert partition.members("c1") == {"a", "b"}
+
+    def test_unknown_community(self, partition):
+        with pytest.raises(KeyError):
+            partition.members("c9")
+
+    def test_sizes_sorted(self, partition):
+        assert partition.sizes() == [1, 2]
+
+    def test_community_count(self, partition):
+        assert partition.community_count() == 2
+        assert len(partition) == 2
+
+    def test_relabel_merges(self, partition):
+        merged = partition.relabel({"c2": "c1"})
+        assert merged.community_count() == 1
+        assert merged.members("c1") == {"a", "b", "c"}
+
+    def test_relabel_unmapped_keeps_name(self, partition):
+        relabelled = partition.relabel({})
+        assert relabelled.assignment == partition.assignment
+
+    def test_label_swap_same_structure(self, partition):
+        swapped = partition.relabel({"c1": "c2", "c2": "c1"})
+        assert partition.same_structure(swapped)
+        assert partition.assignment != swapped.assignment
+
+    def test_different_structure_detected(self, partition):
+        moved = Partition({"a": "c1", "b": "c2", "c": "c2"})
+        assert not partition.same_structure(moved)
+
+    def test_validate_covers(self, partition):
+        graph = MultiGraph()
+        graph.add_edge("a", "b")
+        graph.add_vertex("c")
+        partition.validate_covers(graph)  # exact cover → fine
+        graph.add_vertex("d")
+        with pytest.raises(ValueError):
+            partition.validate_covers(graph)
+
+    def test_singleton_partition(self):
+        partition = singleton_partition(["x", "y"])
+        assert partition.community_of("x") == "x"
+        assert partition.community_count() == 2

@@ -1,0 +1,137 @@
+"""End-to-end integration of the assembled e# system."""
+
+import pytest
+
+from repro.core.config import ESharpConfig
+from repro.core.esharp import ESharp, NotBuiltError
+from repro.core.offline import OfflinePipeline
+
+
+class TestESharpConfig:
+    def test_small_profile(self):
+        config = ESharpConfig.small(seed=5)
+        assert config.world.topics_per_domain == 8
+        assert config.querylog.seed == 5
+
+    def test_standard_profile(self):
+        config = ESharpConfig.standard()
+        assert config.querylog.impressions == 300_000
+
+
+class TestLifecycle:
+    def test_query_before_build_raises(self):
+        system = ESharp(ESharpConfig.small())
+        with pytest.raises(NotBuiltError):
+            system.find_experts("anything")
+        with pytest.raises(NotBuiltError):
+            system.offline
+        with pytest.raises(NotBuiltError):
+            system.platform
+
+    def test_is_built_flag(self, system):
+        assert system.is_built
+
+
+class TestOfflinePipeline:
+    def test_artifacts_consistent(self, system):
+        offline = system.offline
+        assert offline.partition.community_count() == (
+            offline.domain_store.domain_count
+        )
+        offline.partition.validate_covers(offline.multigraph)
+
+    def test_stage_reports(self, system):
+        names = [r.name for r in system.offline.clock.reports]
+        assert names == ["Extraction", "Clustering"]
+        extraction = system.offline.clock.reports[0]
+        # massive reduction: the graph is much smaller than the raw log
+        assert extraction.bytes_read > 10 * extraction.bytes_written > 0
+
+    def test_clustering_history_seeded(self, system):
+        history = system.offline.clustering_history
+        assert history[0].communities == system.offline.multigraph.vertex_count
+
+    def test_sql_clustering_path(self):
+        from repro.querylog.config import QueryLogConfig
+
+        base = ESharpConfig.small(seed=77)
+        config = ESharpConfig(
+            seed=77,
+            world=base.world.scaled(0.5),
+            querylog=QueryLogConfig(seed=77, impressions=8_000, min_support=10),
+            use_sql_clustering=True,
+        )
+        artifacts = OfflinePipeline(config).run()
+        assert artifacts.domain_store.domain_count > 0
+        # the SQL path produced a real clustering, not just singletons
+        assert artifacts.domain_store.domain_count < (
+            artifacts.multigraph.vertex_count
+        )
+
+
+class TestOnlineQueries:
+    def test_expansion_beats_baseline_in_aggregate(self, system):
+        world = system.offline.world
+        queries = [
+            t.canonical.text
+            for t in world.topics
+            if t.microblog_affinity > 0.5
+        ][:30]
+        base_total = sum(
+            len(system.find_experts_baseline(q)) for q in queries
+        )
+        esharp_total = sum(len(system.find_experts(q)) for q in queries)
+        assert esharp_total >= base_total
+
+    def test_expansion_terms_include_query(self, system):
+        vertex = next(iter(system.offline.partition.assignment))
+        terms = system.expansion_terms(vertex)
+        assert terms[0] == vertex
+
+    def test_answer_times_stages(self, system):
+        vertex = next(iter(system.offline.partition.assignment))
+        answer = system.answer(vertex)
+        assert answer.expansion_seconds >= 0.0
+        assert answer.detection_seconds >= 0.0
+        assert answer.terms
+
+    def test_results_capped_at_15(self, system):
+        world = system.offline.world
+        for topic in world.topics[:20]:
+            assert len(system.find_experts(topic.canonical.text)) <= 15
+
+    def test_experts_have_presentation_fields(self, system):
+        world = system.offline.world
+        for topic in world.topics[:10]:
+            for expert in system.find_experts(topic.canonical.text):
+                assert expert.screen_name
+                assert expert.description
+                assert expert.followers >= 0
+
+    def test_found_experts_mostly_genuine(self, system):
+        """Precision sanity: most returned accounts are true experts for
+        popular queries."""
+        world = system.offline.world
+        genuine = 0
+        total = 0
+        for topic in sorted(
+            (t for t in world.topics if t.microblog_affinity > 0.5),
+            key=lambda t: t.popularity,
+            reverse=True,
+        )[:15]:
+            for expert in system.find_experts_baseline(topic.canonical.text):
+                total += 1
+                user = system.platform.user(expert.user_id)
+                if user.is_expert_on(topic.topic_id):
+                    genuine += 1
+        if total == 0:
+            pytest.skip("no baseline answers at this scale")
+        assert genuine / total > 0.5
+
+    def test_deterministic_answers(self, small_config):
+        a = ESharp(small_config).build()
+        vertex = next(iter(a.offline.partition.assignment))
+        first = [e.user_id for e in a.find_experts(vertex)]
+        b = ESharp(small_config).build()
+        second = [e.user_id for e in b.find_experts(vertex)]
+        assert first == second

@@ -1,0 +1,46 @@
+"""The §6.3 weekly refresh: re-run offline, keep serving."""
+
+import pytest
+
+from repro.core.esharp import NotBuiltError
+from repro.querylog.config import QueryLogConfig
+
+
+class TestRefreshDomains:
+    def test_refresh_requires_built_system(self, small_config):
+        from repro.core.esharp import ESharp
+
+        with pytest.raises(NotBuiltError):
+            ESharp(small_config).refresh_domains()
+
+    def test_refresh_swaps_domains_keeps_corpus(self, small_config):
+        from repro.core.esharp import ESharp
+
+        system = ESharp(small_config).build()
+        platform_before = system.platform
+        domains_before = system.offline.domain_store
+        vertex = next(iter(system.offline.partition.assignment))
+        answer_before = [e.user_id for e in system.find_experts(vertex)]
+
+        # "a new week of traffic": same world, different log seed
+        new_log = QueryLogConfig(
+            seed=small_config.querylog.seed + 1,
+            impressions=small_config.querylog.impressions,
+            min_support=small_config.querylog.min_support,
+        )
+        system.refresh_domains(new_log)
+
+        assert system.platform is platform_before          # corpus untouched
+        assert system.offline.domain_store is not domains_before
+        assert system.offline.domain_store.domain_count > 0
+        # the system still answers queries after the swap
+        answer_after = system.find_experts(vertex)
+        assert isinstance(answer_after, list)
+
+    def test_refresh_same_log_reproduces_domains(self, small_config):
+        from repro.core.esharp import ESharp
+
+        system = ESharp(small_config).build()
+        before = system.offline.partition.as_frozen()
+        system.refresh_domains()  # identical config → identical clustering
+        assert system.offline.partition.as_frozen() == before

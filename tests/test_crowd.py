@@ -1,0 +1,189 @@
+"""Crowdsourcing simulator: workers, tasks, judging, the full study."""
+
+import random
+
+import pytest
+
+from repro.crowd.judging import Vote, cast_vote, majority_vote
+from repro.crowd.metrics import impurity, true_impurity
+from repro.crowd.study import CrowdStudy, StudyConfig
+from repro.crowd.tasks import JudgingChunk, build_chunks, interleave
+from repro.crowd.workers import CrowdWorker, WorkerPool
+from repro.detector.ranking import RankedExpert
+from repro.detector.features import FeatureVector
+from repro.detector.normalize import NormalizedFeatures
+
+
+def make_expert(user_id: int, score: float = 1.0) -> RankedExpert:
+    return RankedExpert(
+        user_id=user_id,
+        screen_name=f"u{user_id}",
+        description="d",
+        verified=False,
+        followers=10,
+        score=score,
+        features=FeatureVector(user_id, 0.5, 0.5, 0.5),
+        zscores=NormalizedFeatures(user_id, 0.0, 0.0, 0.0),
+    )
+
+
+class TestWorkerPool:
+    def test_pool_size(self):
+        pool = WorkerPool.build(("sports",), seed=1, size=64)
+        assert len(pool) == 64
+
+    def test_deterministic(self):
+        a = WorkerPool.build(("sports",), seed=1)
+        b = WorkerPool.build(("sports",), seed=1)
+        assert [w.reliability for w in a.workers] == [
+            w.reliability for w in b.workers
+        ]
+
+    def test_gold_screen_removes_spammers(self):
+        pool = WorkerPool.build(("sports",), seed=1, size=60,
+                                spammer_fraction=0.2)
+        pool.run_gold_screen(seed=1)
+        screened = pool.screened()
+        spammers_total = sum(1 for w in pool.workers if w.is_spammer)
+        spammers_left = sum(1 for w in screened if w.is_spammer)
+        # a coin-flipper passes a 4-of-5 trivial screen ~19% of the time
+        assert spammers_left <= 0.35 * spammers_total
+        diligent_total = sum(1 for w in pool.workers if not w.is_spammer)
+        diligent_kept = sum(1 for w in screened if not w.is_spammer)
+        assert diligent_kept >= 0.8 * diligent_total
+
+    def test_reliability_bounds(self):
+        with pytest.raises(ValueError):
+            CrowdWorker(1, 1.5, {})
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            WorkerPool.build(("s",), size=0)
+        with pytest.raises(ValueError):
+            WorkerPool.build(("s",), spammer_fraction=1.0)
+
+
+class TestTasks:
+    def test_interleave_alternates(self):
+        first = [make_expert(1), make_expert(2)]
+        second = [make_expert(3), make_expert(4)]
+        merged = interleave(first, second)
+        assert [e.user_id for e in merged] == [1, 3, 2, 4]
+
+    def test_interleave_dedupes(self):
+        shared = make_expert(1)
+        merged = interleave([shared, make_expert(2)], [shared])
+        assert [e.user_id for e in merged] == [1, 2]
+
+    def test_interleave_empty(self):
+        assert interleave([], []) == []
+
+    def test_chunks_bounded(self):
+        experts = [make_expert(i) for i in range(14)]
+        chunks = build_chunks("q", experts, random.Random(0), chunk_size=6)
+        assert [len(c.expert_ids) for c in chunks] == [6, 6, 2]
+
+    def test_chunks_cover_everyone(self):
+        experts = [make_expert(i) for i in range(9)]
+        chunks = build_chunks("q", experts, random.Random(0))
+        covered = {uid for c in chunks for uid in c.expert_ids}
+        assert covered == set(range(9))
+
+    def test_empty_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            JudgingChunk("q", ())
+
+
+class TestJudging:
+    def test_reliable_knowledgeable_worker_correct(self):
+        worker = CrowdWorker(1, 1.0, {"sports": 1.0})
+        rng = random.Random(0)
+        assert cast_vote(worker, "sports", True, rng) is Vote.EXPERT
+        assert cast_vote(worker, "sports", False, rng) is Vote.NON_EXPERT
+
+    def test_ignorant_worker_skips(self):
+        worker = CrowdWorker(1, 1.0, {"sports": 0.0})
+        assert cast_vote(worker, "sports", True, random.Random(0)) is Vote.SKIP
+
+    def test_spammer_random(self):
+        worker = CrowdWorker(1, 0.5, {}, is_spammer=True)
+        rng = random.Random(0)
+        votes = {cast_vote(worker, "sports", True, rng) for _ in range(50)}
+        assert votes == {Vote.EXPERT, Vote.NON_EXPERT}
+
+    def test_majority_vote(self):
+        assert majority_vote(
+            [Vote.NON_EXPERT, Vote.NON_EXPERT, Vote.EXPERT]
+        ) is Vote.NON_EXPERT
+        assert majority_vote([Vote.EXPERT, Vote.NON_EXPERT]) is Vote.EXPERT
+        assert majority_vote([Vote.SKIP, Vote.SKIP]) is Vote.EXPERT
+
+
+class TestCrowdStudy:
+    @pytest.fixture(scope="class")
+    def study(self, world, platform):
+        return CrowdStudy(world, platform, StudyConfig(seed=4))
+
+    def _experts_for(self, platform, world, topic, relevant: bool):
+        users = list(platform.users())
+        if relevant:
+            pool = [u for u in users if u.is_expert_on(topic.topic_id)]
+        else:
+            pool = [u for u in users if u.persona == "spammer"]
+        return [make_expert(u.user_id) for u in pool[:6]]
+
+    def test_relevant_experts_survive(self, study, platform, world):
+        topic = max(
+            (t for t in world.topics if t.microblog_affinity > 0.5),
+            key=lambda t: t.popularity,
+        )
+        experts = self._experts_for(platform, world, topic, relevant=True)
+        if not experts:
+            pytest.skip("no experts at this scale")
+        outcome = study.judge_results(topic.canonical.text, experts, [])
+        flagged = impurity(topic.canonical.text, experts, outcome)
+        assert flagged < 0.35
+
+    def test_spammers_flagged(self, study, platform, world):
+        topic = max(
+            (t for t in world.topics if t.microblog_affinity > 0.5),
+            key=lambda t: t.popularity,
+        )
+        fakes = self._experts_for(platform, world, topic, relevant=False)
+        outcome = study.judge_results(topic.canonical.text, fakes, [])
+        flagged = impurity(topic.canonical.text, fakes, outcome)
+        assert flagged > 0.65
+
+    def test_three_judgments_per_expert(self, study, platform, world):
+        topic = world.topics[0]
+        experts = [make_expert(u.user_id) for u in list(platform.users())[:4]]
+        outcome = study.judge_results(topic.canonical.text, experts, [])
+        per_expert = {}
+        for judgment in outcome.judgments:
+            per_expert.setdefault(judgment.user_id, []).append(judgment)
+        assert all(len(js) == 3 for js in per_expert.values())
+
+    def test_empty_results_no_judgments(self, study):
+        outcome = study.judge_results("whatever", [], [])
+        assert outcome.judged_count() == 0
+
+    def test_deterministic(self, world, platform):
+        a = CrowdStudy(world, platform, StudyConfig(seed=4))
+        b = CrowdStudy(world, platform, StudyConfig(seed=4))
+        topic = world.topics[0]
+        experts = [make_expert(u.user_id) for u in list(platform.users())[:5]]
+        la = a.judge_results(topic.canonical.text, experts, []).labels
+        lb = b.judge_results(topic.canonical.text, experts, []).labels
+        assert la == lb
+
+
+class TestMetrics:
+    def test_impurity_empty(self):
+        from repro.crowd.study import StudyOutcome
+
+        assert impurity("q", [], StudyOutcome()) == 0.0
+
+    def test_true_impurity(self):
+        experts = [make_expert(1), make_expert(2)]
+        relevance = {("q", 1): True, ("q", 2): False}
+        assert true_impurity("q", experts, relevance) == 0.5

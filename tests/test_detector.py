@@ -1,0 +1,230 @@
+"""Pal & Counts detector: candidates, features, normalisation, ranking."""
+
+import math
+
+import pytest
+
+from repro.detector.candidates import collect_candidates
+from repro.detector.clusterfilter import GaussianClusterFilter
+from repro.detector.features import FeatureVector, compute_features
+from repro.detector.normalize import NormalizationConfig, normalize_features
+from repro.detector.palcounts import PalCountsDetector
+from repro.detector.ranking import RankingConfig, rank_candidates, score_candidates
+from repro.microblog.platform import MicroblogPlatform
+from repro.microblog.tweets import Tweet
+from repro.microblog.users import UserProfile
+
+
+@pytest.fixture
+def scenario_platform():
+    """Three users: a focused expert, a generalist, a mentioned-only account."""
+    platform = MicroblogPlatform()
+    for uid, persona in ((1, "focused_expert"), (2, "casual"), (3, "casual")):
+        platform.add_user(
+            UserProfile(uid, f"u{uid}", "desc", persona,
+                        (7,) if persona == "focused_expert" else ())
+        )
+    tid = 0
+
+    def post(author, text, mentions=(), retweet_of=None):
+        nonlocal tid
+        tid += 1
+        platform.add_tweet(
+            Tweet(tweet_id=tid, author_id=author, text=text,
+                  mentions=mentions, retweet_of=retweet_of)
+        )
+        return tid
+
+    # user 1: 4/5 tweets on "quantum", heavily retweeted
+    origin = post(1, "quantum breakthrough analysis")
+    post(1, "more quantum thoughts")
+    post(1, "quantum conference notes")
+    post(1, "quantum paper review")
+    post(1, "unrelated lunch tweet")
+    # user 2: 1/4 on topic, mentions user 3 on topic
+    post(2, "quantum is neat", mentions=(3,))
+    post(2, "cats are great")
+    post(2, "dogs are great")
+    post(2, f"rt @u1: quantum breakthrough analysis", retweet_of=origin)
+    return platform
+
+
+class TestCandidates:
+    def test_authors_and_mentioned_collected(self, scenario_platform):
+        stats = collect_candidates(scenario_platform, "quantum")
+        assert set(stats) == {1, 2, 3}
+
+    def test_on_topic_counts(self, scenario_platform):
+        stats = collect_candidates(scenario_platform, "quantum")
+        assert stats[1].on_topic_tweets == 4
+        assert stats[2].on_topic_tweets == 2  # original + the retweet copy
+        assert stats[3].on_topic_mentions == 1
+        assert stats[1].on_topic_retweets_received == 1
+
+    def test_no_match_empty(self, scenario_platform):
+        assert collect_candidates(scenario_platform, "blockchain") == {}
+
+
+class TestFeatures:
+    def test_ratios(self, scenario_platform):
+        stats = collect_candidates(scenario_platform, "quantum")
+        vectors = {v.user_id: v for v in
+                   compute_features(scenario_platform, stats)}
+        assert math.isclose(vectors[1].topical_signal, 4 / 5)
+        assert math.isclose(vectors[2].topical_signal, 2 / 4)
+        assert math.isclose(vectors[1].retweet_impact, 1.0)
+
+    def test_zero_denominator_gives_zero(self, scenario_platform):
+        stats = collect_candidates(scenario_platform, "quantum")
+        vectors = {v.user_id: v for v in
+                   compute_features(scenario_platform, stats)}
+        # user 3 never tweeted: TS denominator 0 → 0.0
+        assert vectors[3].topical_signal == 0.0
+        assert vectors[3].mention_impact == 1.0  # 1 of 1 mention on topic
+
+    def test_order_deterministic(self, scenario_platform):
+        stats = collect_candidates(scenario_platform, "quantum")
+        vectors = compute_features(scenario_platform, stats)
+        assert [v.user_id for v in vectors] == sorted(stats)
+
+
+class TestNormalization:
+    def test_empty_pool(self):
+        assert normalize_features([]) == []
+
+    def test_zscores_zero_mean(self):
+        vectors = [
+            FeatureVector(1, 0.8, 0.2, 0.1),
+            FeatureVector(2, 0.4, 0.6, 0.9),
+            FeatureVector(3, 0.1, 0.1, 0.5),
+        ]
+        normalized = normalize_features(vectors)
+        mean_ts = sum(n.z_topical_signal for n in normalized) / 3
+        assert abs(mean_ts) < 1e-9
+
+    def test_log_transform_changes_spacing(self):
+        vectors = [FeatureVector(1, 0.001, 0, 0), FeatureVector(2, 1.0, 0, 0)]
+        with_log = normalize_features(vectors, NormalizationConfig())
+        without = normalize_features(
+            vectors, NormalizationConfig(apply_log=False)
+        )
+        assert with_log[0].z_topical_signal != without[0].z_topical_signal
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ValueError):
+            NormalizationConfig(epsilon=0)
+
+
+class TestRanking:
+    def test_weights_validated(self):
+        with pytest.raises(ValueError):
+            RankingConfig(weight_topical_signal=-1.0)
+        with pytest.raises(ValueError):
+            RankingConfig(
+                weight_topical_signal=0,
+                weight_mention_impact=0,
+                weight_retweet_impact=0,
+            )
+
+    def test_expert_outranks_generalist(self, scenario_platform):
+        stats = collect_candidates(scenario_platform, "quantum")
+        vectors = compute_features(scenario_platform, stats)
+        normalized = normalize_features(vectors)
+        config = RankingConfig(min_zscore=-10.0)
+        ranked = rank_candidates(scenario_platform, vectors, normalized, config)
+        assert ranked[0].user_id == 1
+
+    def test_threshold_filters(self, scenario_platform):
+        stats = collect_candidates(scenario_platform, "quantum")
+        vectors = compute_features(scenario_platform, stats)
+        normalized = normalize_features(vectors)
+        strict = rank_candidates(
+            scenario_platform, vectors, normalized,
+            RankingConfig(min_zscore=100.0),
+        )
+        assert strict == []
+
+    def test_max_results_cap(self, scenario_platform):
+        stats = collect_candidates(scenario_platform, "quantum")
+        vectors = compute_features(scenario_platform, stats)
+        normalized = normalize_features(vectors)
+        capped = rank_candidates(
+            scenario_platform, vectors, normalized,
+            RankingConfig(min_zscore=-10.0, max_results=2),
+        )
+        assert len(capped) == 2
+
+    def test_scores_sorted_descending(self, scenario_platform):
+        stats = collect_candidates(scenario_platform, "quantum")
+        vectors = compute_features(scenario_platform, stats)
+        normalized = normalize_features(vectors)
+        scored = score_candidates(
+            scenario_platform, vectors, normalized, RankingConfig()
+        )
+        assert all(
+            a.score >= b.score for a, b in zip(scored, scored[1:])
+        )
+
+    def test_with_threshold_copy(self):
+        config = RankingConfig(min_zscore=1.0)
+        assert config.with_threshold(2.5).min_zscore == 2.5
+        assert config.min_zscore == 1.0
+
+
+class TestPalCountsDetector:
+    def test_detect_returns_experts(self, scenario_platform):
+        detector = PalCountsDetector(
+            scenario_platform, RankingConfig(min_zscore=-10.0)
+        )
+        experts = detector.detect("quantum")
+        assert experts and experts[0].screen_name == "u1"
+
+    def test_no_candidates_empty(self, scenario_platform):
+        assert PalCountsDetector(scenario_platform).detect("blockchain") == []
+
+    def test_min_zscore_override(self, scenario_platform):
+        detector = PalCountsDetector(scenario_platform)
+        assert detector.detect("quantum", min_zscore=1e9) == []
+
+    def test_cache_consistency(self, scenario_platform):
+        detector = PalCountsDetector(scenario_platform, cache_scores=True)
+        uncached = PalCountsDetector(scenario_platform, cache_scores=False)
+        a = [e.user_id for e in detector.score("quantum")]
+        b = [e.user_id for e in detector.score("quantum")]
+        c = [e.user_id for e in uncached.score("quantum")]
+        assert a == b == c
+
+    def test_candidate_count(self, scenario_platform):
+        assert PalCountsDetector(scenario_platform).candidate_count("quantum") == 3
+
+
+class TestClusterFilter:
+    def test_small_pool_untouched(self, scenario_platform):
+        detector = PalCountsDetector(
+            scenario_platform,
+            RankingConfig(min_zscore=-10),
+            cluster_filter=GaussianClusterFilter(min_pool=6),
+        )
+        assert len(detector.detect("quantum")) == 3
+
+    def test_bimodal_scores_filtered(self):
+        from repro.detector.normalize import NormalizedFeatures
+
+        def fake_expert(uid, score):
+            return type(
+                "E", (),
+                {"score": score, "user_id": uid},
+            )()
+
+        scored = [fake_expert(i, 5.0 + i * 0.01) for i in range(5)]
+        scored += [fake_expert(10 + i, -5.0 - i * 0.01) for i in range(5)]
+        kept = GaussianClusterFilter(min_pool=2).apply(scored)  # type: ignore[arg-type]
+        kept_ids = {e.user_id for e in kept}
+        assert kept_ids == {0, 1, 2, 3, 4}
+
+    def test_constant_scores_pass_through(self):
+        def fake(uid):
+            return type("E", (), {"score": 1.0, "user_id": uid})()
+
+        scored = [fake(i) for i in range(8)]
+        assert len(GaussianClusterFilter(min_pool=2).apply(scored)) == 8  # type: ignore[arg-type]

@@ -1,0 +1,118 @@
+"""The extended Pal & Counts feature set (ABL6 comparator)."""
+
+import pytest
+
+from repro.detector.extended_features import (
+    ExtendedPalCountsDetector,
+    ExtendedWeights,
+    compute_extended_features,
+)
+from repro.detector.ranking import RankingConfig
+from repro.microblog.platform import MicroblogPlatform
+from repro.microblog.tweets import Tweet
+from repro.microblog.users import UserProfile
+
+
+@pytest.fixture
+def platform():
+    """An original author, a repetitive bot, a conversationalist."""
+    p = MicroblogPlatform()
+    p.add_user(UserProfile(1, "author", "d", "focused_expert", (1,),
+                           followers=500))
+    p.add_user(UserProfile(2, "bot", "d", "news_bot", (1,), followers=10))
+    p.add_user(UserProfile(3, "talker", "d", "casual", (), followers=50))
+    tid = 0
+
+    def post(author, text, mentions=(), retweet_of=None):
+        nonlocal tid
+        tid += 1
+        p.add_tweet(Tweet(tweet_id=tid, author_id=author, text=text,
+                          mentions=mentions, retweet_of=retweet_of))
+        return tid
+
+    origin = post(1, "quantum deep dive part one")
+    post(1, "fresh quantum angle on hardware")
+    post(1, "another quantum topic entirely different words")
+    for _ in range(4):
+        post(2, "quantum headline quantum headline quantum")  # repetitive
+    post(3, "@author loved your quantum thread", mentions=(1,))
+    post(3, "rt @author: quantum deep dive part one", retweet_of=origin,
+         mentions=(1,))
+    return p
+
+
+class TestExtendedFeatures:
+    def test_rows_cover_candidates(self, platform):
+        rows = compute_extended_features(platform, "quantum")
+        assert [r.user_id for r in rows] == [1, 2, 3]
+
+    def test_originality_separates_author_from_retweeter(self, platform):
+        rows = {r.user_id: r for r in
+                compute_extended_features(platform, "quantum")}
+        assert rows[1].originality == 1.0
+        assert rows[3].originality == 0.5  # one original, one retweet
+
+    def test_self_similarity_flags_bot(self, platform):
+        rows = {r.user_id: r for r in
+                compute_extended_features(platform, "quantum")}
+        assert rows[2].self_similarity > rows[1].self_similarity
+
+    def test_conversation_share(self, platform):
+        rows = {r.user_id: r for r in
+                compute_extended_features(platform, "quantum")}
+        assert rows[3].conversation == 0.5   # the mention tweet, not the rt
+        assert rows[1].conversation == 0.0
+
+    def test_graph_influence_log_scaled(self, platform):
+        import math
+
+        rows = {r.user_id: r for r in
+                compute_extended_features(platform, "quantum")}
+        assert rows[1].graph_influence == pytest.approx(math.log1p(500))
+
+    def test_no_match_empty(self, platform):
+        assert compute_extended_features(platform, "blockchain") == []
+
+
+class TestExtendedDetector:
+    def test_author_beats_bot(self, platform):
+        detector = ExtendedPalCountsDetector(
+            platform, RankingConfig(min_zscore=-10.0)
+        )
+        ranked = detector.detect("quantum")
+        names = [e.screen_name for e in ranked]
+        assert names.index("author") < names.index("bot")
+
+    def test_interface_parity(self, platform):
+        detector = ExtendedPalCountsDetector(platform)
+        assert detector.candidate_count("quantum") == 3
+        assert detector.detect("quantum", min_zscore=1e9) == []
+
+    def test_weights_validated(self):
+        with pytest.raises(ValueError):
+            ExtendedWeights(
+                topical_signal=0, mention_impact=0, retweet_impact=0,
+                originality=0, conversation=0, hashtag_ratio=0,
+                graph_influence=0,
+            )
+
+    def test_composes_with_expander(self, platform):
+        from repro.community.partition import Partition
+        from repro.expansion.domainstore import DomainStore
+        from repro.expansion.expander import QueryExpander
+
+        store = DomainStore.from_partition(
+            Partition({"quantum": "c", "qubits": "c"})
+        )
+        expander = QueryExpander(
+            store,
+            ExtendedPalCountsDetector(platform, RankingConfig(min_zscore=-10)),
+        )
+        assert expander.detect("quantum").experts
+
+    def test_deterministic(self, platform):
+        a = ExtendedPalCountsDetector(platform).score("quantum")
+        b = ExtendedPalCountsDetector(platform).score("quantum")
+        assert [(e.user_id, e.score) for e in a] == [
+            (e.user_id, e.score) for e in b
+        ]

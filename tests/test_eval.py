@@ -1,0 +1,238 @@
+"""Query sets, reporting, and experiment drivers (shape assertions).
+
+These are the §6 reproduction checks: each driver must exhibit the
+paper's qualitative result on the small test-scale system.
+"""
+
+import pytest
+
+from repro.eval.experiments import (
+    ExperimentContext,
+    run_example_tables,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_table8,
+    run_table9,
+)
+from repro.eval.querysets import QuerySetConfig, build_query_sets, total_queries
+from repro.eval.reporting import render_histogram, render_series, render_table
+
+
+@pytest.fixture(scope="module")
+def ctx(system) -> ExperimentContext:
+    from repro.crowd.study import CrowdStudy, StudyConfig
+
+    offline = system.offline
+    sets = build_query_sets(
+        offline.world,
+        offline.store,
+        QuerySetConfig(per_domain=12, top_set=30, min_frequency=5),
+    )
+    study = CrowdStudy(offline.world, system.platform, StudyConfig(seed=9))
+    return ExperimentContext(system=system, query_sets=sets, study=study)
+
+
+class TestQuerySets:
+    def test_six_sets(self, ctx):
+        names = [s.name for s in ctx.query_sets]
+        assert names == [
+            "sports", "electronics", "finance", "health", "wikipedia",
+            "top 250",
+        ]
+
+    def test_domain_sets_respect_domain(self, ctx, system):
+        world = system.offline.world
+        for query_set in ctx.query_sets[:4]:
+            for query in query_set.queries:
+                topic = world.primary_topic_for(query)
+                assert topic is not None and topic.domain == query_set.name
+
+    def test_total_queries(self, ctx):
+        assert total_queries(ctx.query_sets) == sum(
+            len(s) for s in ctx.query_sets
+        )
+
+    def test_queries_meet_frequency_floor(self, ctx, system):
+        store = system.offline.store
+        for query_set in ctx.query_sets:
+            for query in query_set.queries:
+                assert store.query_count(query) >= 5
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            QuerySetConfig(per_domain=0)
+
+
+class TestReporting:
+    def test_render_table(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], "T")
+        assert "T" in out and "333" in out
+        assert out.splitlines()[1].startswith("a")
+
+    def test_render_series(self):
+        out = render_series("x", {"s": [1.0, 2.0]}, [0, 1])
+        assert "1.00" in out and "2.00" in out
+
+    def test_render_histogram(self):
+        out = render_histogram(["a", "b"], [1.0, 2.0])
+        assert out.count("#") > 0
+
+    def test_render_histogram_empty_values(self):
+        assert render_histogram([], []) == ""
+
+
+class TestFig5:
+    def test_counts_non_increasing(self, ctx):
+        result = run_fig5(ctx)
+        counts = result.community_counts
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_starts_at_vertex_count(self, ctx, system):
+        result = run_fig5(ctx)
+        assert result.community_counts[0] == (
+            system.offline.multigraph.vertex_count
+        )
+
+    def test_converges_quickly(self, ctx):
+        # the paper: "converges after 6 iterations"; allow headroom
+        assert run_fig5(ctx).converged_after <= 12
+
+
+class TestFig6:
+    def test_fractions_sum_to_one(self, ctx):
+        result = run_fig6(ctx)
+        assert abs(sum(b.fraction for b in result.buckets) - 1.0) < 1e-9
+
+    def test_small_communities_dominate(self, ctx):
+        buckets = {b.label: b.fraction for b in run_fig6(ctx).buckets}
+        # paper: modal bucket 2–10, very few giants
+        assert buckets["2 to 10"] >= buckets["More than 50"]
+        assert buckets["More than 50"] < 0.1
+
+    def test_orphans_exist(self, ctx):
+        buckets = {b.label: b.fraction for b in run_fig6(ctx).buckets}
+        assert buckets["1"] > 0.05
+
+
+class TestFig7:
+    def test_seed_community_contains_seed(self, ctx):
+        result = run_fig7(ctx)
+        assert result.seed_term in result.community
+
+    def test_neighbours_ranked(self, ctx):
+        result = run_fig7(ctx)
+        weights = [n.link_weight for n in result.neighbours]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_explicit_seed(self, ctx, system):
+        term = next(iter(system.offline.partition.assignment))
+        result = run_fig7(ctx, seed_term=term)
+        assert result.seed_term == term
+
+
+class TestTable8:
+    def test_esharp_never_worse(self, ctx):
+        for row in run_table8(ctx):
+            assert row.esharp >= row.baseline
+
+    def test_improvement_somewhere(self, ctx):
+        rows = run_table8(ctx)
+        assert any(row.esharp > row.baseline for row in rows)
+
+    def test_coverage_in_unit_interval(self, ctx):
+        for row in run_table8(ctx):
+            assert 0.0 <= row.baseline <= 1.0
+            assert 0.0 <= row.esharp <= 1.0
+
+    def test_improvement_formula(self, ctx):
+        from repro.eval.experiments import CoverageRow
+
+        assert abs(CoverageRow("x", 0.8, 1.0).improvement - 0.25) < 1e-12
+        assert CoverageRow("x", 0.0, 0.5).improvement == float("inf")
+        assert CoverageRow("x", 0.0, 0.0).improvement == 0.0
+
+
+class TestFig8:
+    def test_all_queries_have_zero_or_more(self, ctx):
+        for result in run_fig8(ctx):
+            assert result.baseline_pct[0] == 100.0
+            assert result.esharp_pct[0] == 100.0
+
+    def test_curves_non_increasing(self, ctx):
+        for result in run_fig8(ctx):
+            for curve in (result.baseline_pct, result.esharp_pct):
+                assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+    def test_esharp_dominates(self, ctx):
+        # the paper: expansion improves the expert count per query
+        dominated = 0
+        total = 0
+        for result in run_fig8(ctx):
+            for b, e in zip(result.baseline_pct, result.esharp_pct):
+                total += 1
+                if e >= b:
+                    dominated += 1
+        assert dominated / total > 0.9
+
+
+class TestFig9:
+    def test_monotone_in_threshold(self, ctx):
+        result = run_fig9(ctx)
+        for curve in (result.baseline_avg, result.esharp_avg):
+            assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+    def test_esharp_above_baseline(self, ctx):
+        result = run_fig9(ctx)
+        assert all(
+            e >= b for e, b in zip(result.esharp_avg, result.baseline_avg)
+        )
+
+    def test_unknown_dataset(self, ctx):
+        with pytest.raises(KeyError):
+            run_fig9(ctx, dataset="nope")
+
+
+class TestFig10:
+    def test_impurity_bounded(self, ctx):
+        for result in run_fig10(ctx, datasets=("sports",)):
+            for point in result.baseline + result.esharp:
+                assert 0.0 <= point.impurity <= 1.0
+
+    def test_esharp_reaches_higher_recall(self, ctx):
+        for result in run_fig10(ctx, datasets=("sports", "top 250")):
+            max_b = max(p.avg_experts for p in result.baseline)
+            max_e = max(p.avg_experts for p in result.esharp)
+            assert max_e >= max_b
+
+
+class TestTable9:
+    def test_rows_present(self, ctx):
+        result = run_table9(ctx, sample_queries=5)
+        names = [row[0] for row in result.rows]
+        assert names == ["Extraction", "Clustering", "Expansion", "Detection"]
+
+    def test_online_stages_fast(self, ctx):
+        result = run_table9(ctx, sample_queries=5)
+        # paper: expansion < 100 ms, detection < 1 s — generous bounds here
+        assert result.expansion_seconds < 0.1
+        assert result.detection_seconds < 1.0
+
+
+class TestExampleTables:
+    def test_default_queries_one_per_set(self, ctx):
+        tables = run_example_tables(ctx)
+        assert len(tables) == len([s for s in ctx.query_sets if s.queries])
+
+    def test_top_k_respected(self, ctx):
+        for table in run_example_tables(ctx, top_k=2):
+            assert len(table.baseline) <= 2
+            assert len(table.esharp) <= 2
+
+    def test_explicit_queries(self, ctx):
+        query = ctx.query_sets[0].queries[0]
+        tables = run_example_tables(ctx, queries=[query])
+        assert tables[0].query == query

@@ -1,0 +1,141 @@
+"""Ranking metrics and the new SQL ORDER BY / LIMIT."""
+
+import pytest
+
+from repro.eval.metrics import (
+    average_precision,
+    mean_over_queries,
+    ndcg,
+    precision_at_k,
+)
+from tests.test_crowd import make_expert
+
+
+def relevant_in(*ids):
+    allowed = set(ids)
+    return lambda user_id: user_id in allowed
+
+
+class TestPrecisionAtK:
+    def test_basic(self):
+        experts = [make_expert(1), make_expert(2), make_expert(3)]
+        assert precision_at_k(experts, relevant_in(1, 3), 2) == 0.5
+
+    def test_k_beyond_length(self):
+        experts = [make_expert(1)]
+        assert precision_at_k(experts, relevant_in(1), 10) == 1.0
+
+    def test_empty(self):
+        assert precision_at_k([], relevant_in(1), 3) == 0.0
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            precision_at_k([], relevant_in(), 0)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        experts = [make_expert(1), make_expert(2)]
+        assert average_precision(experts, relevant_in(1, 2)) == 1.0
+
+    def test_relevant_last(self):
+        experts = [make_expert(1), make_expert(2)]
+        assert average_precision(experts, relevant_in(2)) == 0.5
+
+    def test_nothing_relevant(self):
+        assert average_precision([make_expert(1)], relevant_in()) == 0.0
+
+
+class TestNdcg:
+    def test_perfect(self):
+        experts = [make_expert(1), make_expert(2)]
+        assert ndcg(experts, relevant_in(1)) == 1.0
+
+    def test_swapped_is_discounted(self):
+        experts = [make_expert(1), make_expert(2)]
+        value = ndcg(experts, relevant_in(2))
+        assert 0.0 < value < 1.0
+
+    def test_k_cutoff(self):
+        experts = [make_expert(1), make_expert(2), make_expert(3)]
+        assert ndcg(experts, relevant_in(3), k=2) == 0.0
+
+    def test_empty(self):
+        assert ndcg([], relevant_in(1)) == 0.0
+
+
+class TestMeanOverQueries:
+    def test_average(self):
+        assert mean_over_queries([0.5, 1.0]) == 0.75
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_over_queries([])
+
+
+class TestSqlOrderLimit:
+    @pytest.fixture
+    def session(self):
+        from repro.relational.sql import SqlSession
+        from repro.relational.table import Table
+
+        s = SqlSession()
+        s.register(
+            "t",
+            Table.from_dicts(
+                ["k", "v"],
+                [{"k": "b", "v": 2}, {"k": "a", "v": 3}, {"k": "c", "v": 1}],
+            ),
+        )
+        return s
+
+    def test_order_by_asc(self, session):
+        out = session.run("SELECT k FROM t ORDER BY v")
+        assert [r[0] for r in out.rows] == ["c", "b", "a"]
+
+    def test_order_by_desc(self, session):
+        out = session.run("SELECT k FROM t ORDER BY v DESC")
+        assert [r[0] for r in out.rows] == ["a", "b", "c"]
+
+    def test_order_by_multiple_keys(self, session):
+        from repro.relational.table import Table
+
+        session.register(
+            "u",
+            Table.from_dicts(
+                ["g", "v"],
+                [{"g": 1, "v": 2}, {"g": 1, "v": 1}, {"g": 0, "v": 9}],
+            ),
+        )
+        out = session.run("SELECT g, v FROM u ORDER BY g, v DESC")
+        assert out.rows == [(0, 9), (1, 2), (1, 1)]
+
+    def test_limit(self, session):
+        out = session.run("SELECT k FROM t ORDER BY v DESC LIMIT 2")
+        assert [r[0] for r in out.rows] == ["a", "b"]
+
+    def test_limit_requires_integer(self, session):
+        from repro.relational.sql import SqlError
+
+        with pytest.raises(SqlError):
+            session.run("SELECT k FROM t LIMIT 2.5")
+
+    def test_order_by_expression(self, session):
+        out = session.run("SELECT k FROM t ORDER BY v * -1")
+        assert [r[0] for r in out.rows] == ["a", "b", "c"]
+
+    def test_order_with_group_by(self, session):
+        from repro.relational.table import Table
+
+        session.register(
+            "w",
+            Table.from_dicts(
+                ["g", "v"],
+                [{"g": "x", "v": 1}, {"g": "y", "v": 5}, {"g": "x", "v": 2}],
+            ),
+        )
+        out = session.run(
+            "SELECT g, sum(v) AS total FROM w GROUP BY g "
+            "ORDER BY total DESC LIMIT 1"
+        )
+        assert out.rows == [("y", 5)]

@@ -1,0 +1,132 @@
+"""Domain store (§5 exact match) and the expansion executor."""
+
+import pytest
+
+from repro.community.partition import Partition
+from repro.expansion.domainstore import DomainStore, ExpertiseDomain
+from repro.expansion.expander import QueryExpander
+from repro.detector.palcounts import PalCountsDetector
+from repro.detector.ranking import RankingConfig
+from repro.microblog.platform import MicroblogPlatform
+from repro.microblog.tweets import Tweet
+from repro.microblog.users import UserProfile
+
+
+@pytest.fixture
+def store():
+    return DomainStore(
+        [
+            ExpertiseDomain("d1", ("49ers", "niners", "#49ers", "49ers draft")),
+            ExpertiseDomain("d2", ("dow futures", "nasdaq")),
+        ]
+    )
+
+
+class TestDomainStore:
+    def test_exact_match(self, store):
+        domain = store.lookup("49ers")
+        assert domain is not None and domain.domain_id == "d1"
+
+    def test_lowercasing(self, store):
+        assert store.lookup("Dow FUTURES").domain_id == "d2"
+
+    def test_order_matters(self, store):
+        assert store.lookup("futures dow") is None
+
+    def test_no_partial_match(self, store):
+        assert store.lookup("dow") is None
+
+    def test_expand_query_first(self, store):
+        terms = store.expand("niners")
+        assert terms[0] == "niners"
+        assert set(terms) == {"49ers", "niners", "#49ers", "49ers draft"}
+
+    def test_expand_unmatched_returns_query(self, store):
+        assert store.expand("unknown thing") == ["unknown thing"]
+
+    def test_from_partition(self):
+        partition = Partition({"a": "c1", "b": "c1", "c": "c2"})
+        store = DomainStore.from_partition(partition)
+        assert store.domain_count == 2
+        assert set(store.expand("a")) == {"a", "b"}
+
+    def test_duplicate_domain_rejected(self):
+        with pytest.raises(ValueError):
+            DomainStore(
+                [ExpertiseDomain("d", ("x",)), ExpertiseDomain("d", ("y",))]
+            )
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            ExpertiseDomain("d", ())
+
+    def test_to_table_and_bytes(self, store):
+        table = store.to_table()
+        assert table.row_count == store.keyword_count
+        assert store.storage_bytes() == table.estimated_bytes()
+
+    def test_counts(self, store):
+        assert store.domain_count == 2
+        assert store.keyword_count == 6
+
+
+@pytest.fixture
+def expansion_platform():
+    """An expert hidden behind a variant keyword."""
+    platform = MicroblogPlatform()
+    platform.add_user(
+        UserProfile(1, "hidden_expert", "all about the team", "focused_expert", (1,))
+    )
+    platform.add_user(UserProfile(2, "visible_expert", "d", "focused_expert", (1,)))
+    platform.add_user(UserProfile(3, "bystander", "d", "casual", ()))
+    tid = 0
+
+    def post(author, text):
+        nonlocal tid
+        tid += 1
+        platform.add_tweet(Tweet(tweet_id=tid, author_id=author, text=text))
+
+    for _ in range(6):
+        post(1, "niners looking sharp")      # hidden: never says "49ers"
+    for _ in range(6):
+        post(2, "49ers looking sharp")
+    post(3, "nothing topical here")
+    return platform
+
+
+class TestQueryExpander:
+    @pytest.fixture
+    def expander(self, store, expansion_platform):
+        detector = PalCountsDetector(
+            expansion_platform, RankingConfig(min_zscore=-10.0)
+        )
+        return QueryExpander(store, detector)
+
+    def test_expansion_finds_hidden_expert(self, expander):
+        result = expander.detect("49ers")
+        found = {e.screen_name for e in result.experts}
+        assert "hidden_expert" in found
+        assert "visible_expert" in found
+
+    def test_baseline_misses_hidden_expert(self, expander):
+        baseline = expander.detector.detect("49ers")
+        assert "hidden_expert" not in {e.screen_name for e in baseline}
+
+    def test_terms_include_community(self, expander):
+        result = expander.detect("49ers")
+        assert "niners" in result.terms
+        assert result.matched_domain == "d1"
+
+    def test_unmatched_query_single_term(self, expander):
+        result = expander.detect("nothing topical")
+        assert result.terms == ["nothing topical"]
+        assert result.matched_domain is None
+
+    def test_union_keeps_best_score_per_user(self, expander):
+        result = expander.score("49ers")
+        ids = [e.user_id for e in result.scored_pool]
+        assert len(ids) == len(set(ids))
+
+    def test_threshold_override(self, expander):
+        result = expander.detect("49ers", min_zscore=1e9)
+        assert result.experts == []

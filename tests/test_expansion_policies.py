@@ -1,0 +1,128 @@
+"""Expansion policies (ABL5) and the log-store merge."""
+
+import pytest
+
+from repro.expansion.domainstore import DomainStore, ExpertiseDomain
+from repro.expansion.policies import (
+    POLICIES,
+    FullCommunityPolicy,
+    SharedTokenPolicy,
+    TopKSimilarPolicy,
+)
+from repro.simgraph.graph import WeightedGraph
+
+
+@pytest.fixture
+def domain():
+    return ExpertiseDomain(
+        "d1",
+        ("49ers", "niners", "#49ers", "49ers draft", "san francisco",
+         "bruce ellington"),
+    )
+
+
+@pytest.fixture
+def graph():
+    g = WeightedGraph()
+    g.add_edge("49ers", "niners", 0.9)
+    g.add_edge("49ers", "#49ers", 0.8)
+    g.add_edge("49ers", "49ers draft", 0.7)
+    g.add_edge("49ers", "san francisco", 0.2)
+    g.add_edge("49ers", "bruce ellington", 0.4)
+    return g
+
+
+class TestFullPolicy:
+    def test_matches_paper_behaviour(self, domain):
+        terms = FullCommunityPolicy().terms("49ers", domain)
+        assert terms[0] == "49ers"
+        assert set(terms) == set(domain.keywords)
+
+
+class TestTopKPolicy:
+    def test_limits_and_ranks_by_similarity(self, domain, graph):
+        terms = TopKSimilarPolicy(k=2).terms("49ers", domain, graph)
+        assert terms == ["49ers", "niners", "#49ers"]
+
+    def test_without_graph_keeps_order(self, domain):
+        terms = TopKSimilarPolicy(k=2).terms("49ers", domain)
+        assert len(terms) == 3
+        assert terms[0] == "49ers"
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            TopKSimilarPolicy(k=0)
+
+
+class TestSharedTokenPolicy:
+    def test_keeps_surface_relatives_only(self, domain):
+        terms = SharedTokenPolicy().terms("49ers", domain)
+        assert "49ers draft" in terms
+        assert "#49ers" in terms          # hashtag form of the same head
+        assert "san francisco" not in terms
+        assert "bruce ellington" not in terms
+
+    def test_query_always_first(self, domain):
+        assert SharedTokenPolicy().terms("49ers", domain)[0] == "49ers"
+
+
+class TestPolicyIntegration:
+    def test_registry_complete(self):
+        assert set(POLICIES) == {"full", "top-k", "shared-token"}
+
+    def test_policies_are_monotone_in_breadth(self, system):
+        """full ⊇ top-k-ish ⊇ shared-token in *result* counts on average."""
+        from repro.expansion.expander import QueryExpander
+
+        store = DomainStore.from_partition(system.offline.partition)
+        weighted = system.offline.weighted_graph
+        world = system.offline.world
+        queries = [
+            t.canonical.text
+            for t in world.topics
+            if t.microblog_affinity > 0.5
+        ][:20]
+        totals = {}
+        for name, policy in POLICIES.items():
+            expander = QueryExpander(
+                store, system.detector, policy=policy, graph=weighted
+            )
+            totals[name] = sum(
+                len(expander.detect(q).experts) for q in queries
+            )
+        assert totals["full"] >= totals["shared-token"]
+
+
+class TestStoreMerge:
+    def test_merge_accumulates(self):
+        from repro.querylog.records import Impression
+        from repro.querylog.store import QueryLogStore
+
+        first = QueryLogStore(min_support=2)
+        second = QueryLogStore(min_support=2)
+        first.add_impression(Impression("q", ("u.com",)))
+        second.add_impression(Impression("q", ("u.com", "v.com")))
+        second.add_impression(Impression("other", ()))
+        first.merge(second)
+        assert first.impressions == 3
+        assert first.query_count("q") == 2
+        assert "q" in first.supported_queries()
+        assert first.click_vectors(supported_only=False)["q"] == {
+            "u.com": 2, "v.com": 1,
+        }
+
+    def test_merge_combines_weeks_into_month(self, world):
+        """Two weekly logs merged ≈ one fortnight log for the pipeline."""
+        from repro.querylog.config import QueryLogConfig
+        from repro.querylog.generator import QueryLogGenerator
+
+        week1 = QueryLogGenerator(
+            world, QueryLogConfig(seed=1, impressions=5_000, min_support=10)
+        ).fill_store()
+        week2 = QueryLogGenerator(
+            world, QueryLogConfig(seed=2, impressions=5_000, min_support=10)
+        ).fill_store()
+        solo_supported = len(week1.supported_queries())
+        week1.merge(week2)
+        assert week1.impressions == 10_000
+        assert len(week1.supported_queries()) >= solo_supported

@@ -1,0 +1,110 @@
+"""Failure injection: degenerate inputs every stage must survive.
+
+Production pipelines meet empty logs, vocabulary-free corpora and queries
+nobody ever tweeted; each component must degrade to an empty-but-valid
+result rather than crash.
+"""
+
+import pytest
+
+from repro.community.parallel import ParallelCommunityDetector
+from repro.community.partition import singleton_partition
+from repro.community.modularity import total_modularity
+from repro.detector.palcounts import PalCountsDetector
+from repro.expansion.domainstore import DomainStore
+from repro.expansion.expander import QueryExpander
+from repro.microblog.platform import MicroblogPlatform
+from repro.querylog.store import QueryLogStore
+from repro.simgraph.extract import extract_similarity_graph
+from repro.simgraph.graph import MultiGraph
+
+
+class TestEmptyLog:
+    def test_extraction_of_empty_store(self):
+        result = extract_similarity_graph(QueryLogStore())
+        assert result.multigraph.vertex_count == 0
+        assert result.report.bytes_read == 0
+
+    def test_store_with_only_unsupported_queries(self):
+        from repro.querylog.records import Impression
+
+        store = QueryLogStore(min_support=100)
+        store.add_impression(Impression("rare", ("u.com",)))
+        result = extract_similarity_graph(store)
+        assert result.multigraph.vertex_count == 0
+
+
+class TestEmptyGraph:
+    def test_clustering_empty_graph(self):
+        graph = MultiGraph()
+        partition = ParallelCommunityDetector(graph).run()
+        assert partition.community_count() == 0
+
+    def test_modularity_empty(self):
+        graph = MultiGraph()
+        assert total_modularity(graph, singleton_partition([])) == 0.0
+
+    def test_clustering_edgeless_graph(self):
+        graph = MultiGraph()
+        for name in ("a", "b", "c"):
+            graph.add_vertex(name)
+        partition = ParallelCommunityDetector(graph).run()
+        assert partition.community_count() == 3  # all orphans
+
+
+class TestEmptyPlatform:
+    def test_detector_on_empty_platform(self):
+        detector = PalCountsDetector(MicroblogPlatform())
+        assert detector.detect("anything") == []
+        assert detector.candidate_count("anything") == 0
+
+    def test_expander_on_empty_everything(self):
+        expander = QueryExpander(
+            DomainStore([]), PalCountsDetector(MicroblogPlatform())
+        )
+        result = expander.detect("ghost query")
+        assert result.experts == []
+        assert result.terms == ["ghost query"]
+
+
+class TestDegenerateQueries:
+    def test_empty_query_text(self, system):
+        assert system.find_experts_baseline("") == []
+
+    def test_whitespace_query(self, system):
+        assert system.find_experts_baseline("   ") == []
+
+    def test_punctuation_only_query(self, system):
+        assert system.find_experts_baseline("!!! ???") == []
+
+    def test_very_long_query(self, system):
+        query = " ".join(f"term{i}" for i in range(100))
+        assert system.find_experts(query) == []
+
+    def test_query_with_unknown_tokens(self, system):
+        assert system.find_experts("zzzz qqqq xxxx") == []
+
+
+class TestDomainStoreEdgeCases:
+    def test_empty_store_lookup(self):
+        store = DomainStore([])
+        assert store.lookup("anything") is None
+        assert store.expand("anything") == ["anything"]
+        assert store.domain_count == 0
+
+    def test_from_empty_partition(self):
+        from repro.community.partition import Partition
+
+        store = DomainStore.from_partition(Partition({}))
+        assert store.domain_count == 0
+
+    def test_duplicate_keyword_across_domains_first_wins(self):
+        from repro.expansion.domainstore import ExpertiseDomain
+
+        store = DomainStore(
+            [
+                ExpertiseDomain("first", ("shared", "alpha")),
+                ExpertiseDomain("second", ("shared", "beta")),
+            ]
+        )
+        assert store.lookup("shared").domain_id == "first"

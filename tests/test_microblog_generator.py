@@ -1,0 +1,125 @@
+"""Platform generation: personas, volumes, the recall wedge."""
+
+import pytest
+
+from repro.microblog.config import MicroblogConfig
+from repro.microblog.generator import (
+    TWEET_KIND_WEIGHTS,
+    MicroblogGenerator,
+    generate_platform,
+)
+
+
+class TestMicroblogConfig:
+    def test_defaults_valid(self):
+        MicroblogConfig()
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            MicroblogConfig(mention_rate=2.0)
+
+    def test_max_chars_floor(self):
+        with pytest.raises(ValueError):
+            MicroblogConfig(max_chars=10)
+
+
+class TestUserCreation:
+    @pytest.fixture(scope="class")
+    def users(self, world):
+        config = MicroblogConfig(seed=11, tweets=0, casual_users=50, spammers=5)
+        return MicroblogGenerator(world, config).create_users()
+
+    def test_unique_ids_and_names(self, users):
+        ids = [u.user_id for u in users]
+        names = [u.screen_name for u in users]
+        assert len(ids) == len(set(ids))
+        assert len(names) == len(set(names))
+
+    def test_personas_present(self, users):
+        personas = {u.persona for u in users}
+        assert {"focused_expert", "broad_expert", "news_bot", "casual",
+                "spammer", "celebrity"} <= personas
+
+    def test_search_only_topics_have_no_focused_experts(self, users, world):
+        ghost_topics = {
+            t.topic_id for t in world.topics if t.microblog_affinity < 0.3
+        }
+        for user in users:
+            if user.persona == "focused_expert":
+                assert not (set(user.expert_topics) & ghost_topics)
+
+    def test_broad_experts_span_one_domain(self, users, world):
+        for user in users:
+            if user.persona == "broad_expert":
+                domains = {world.topic(t).domain for t in user.expert_topics}
+                assert len(domains) == 1
+                assert len(user.expert_topics) >= 2
+
+    def test_experts_have_preferred_keywords(self, users):
+        for user in users:
+            if user.is_expert:
+                for topic_id in user.expert_topics:
+                    assert 1 <= len(user.preferred_keywords[topic_id]) <= 3
+
+    def test_spammers_have_no_expertise(self, users):
+        for user in users:
+            if user.persona == "spammer":
+                assert user.expert_topics == ()
+
+
+class TestTrafficGeneration:
+    def test_tweet_count(self, world):
+        config = MicroblogConfig(seed=11, tweets=2_000, casual_users=50)
+        platform = MicroblogGenerator(world, config).build()
+        assert platform.tweet_count == 2_000
+
+    def test_determinism(self, world):
+        config = MicroblogConfig(seed=11, tweets=500, casual_users=30)
+        a = MicroblogGenerator(world, config).build()
+        b = MicroblogGenerator(world, config).build()
+        assert [t.text for t in a.tweets()] == [t.text for t in b.tweets()]
+
+    def test_tweets_at_most_140_chars(self, platform):
+        for tweet in platform.tweets():
+            assert len(tweet.text) <= 140
+
+    def test_mentions_reference_real_users(self, platform):
+        for tweet in platform.tweets():
+            for mentioned in tweet.mentions:
+                platform.user(mentioned)  # must not raise
+
+    def test_retweets_reference_real_tweets(self, platform):
+        for tweet in platform.tweets():
+            if tweet.retweet_of is not None:
+                original = platform.tweet(tweet.retweet_of)
+                assert original.author_id != tweet.author_id
+
+    def test_experts_concentrate_on_their_topics(self, platform, world):
+        experts = [
+            u for u in platform.users() if u.persona == "focused_expert"
+        ]
+        checked = 0
+        for user in experts[:25]:
+            topical = 0
+            total = 0
+            for tweet_id in range(1, platform.tweet_count + 1):
+                tweet = platform.tweet(tweet_id)
+                if tweet.author_id != user.user_id:
+                    continue
+                total += 1
+                if tweet.topic_id in user.expert_topics:
+                    topical += 1
+            if total >= 10:
+                checked += 1
+                assert topical / total > 0.5
+        assert checked > 0
+
+    def test_kind_weights_suppress_activities(self):
+        assert TWEET_KIND_WEIGHTS["activity"] < 0.2
+        assert TWEET_KIND_WEIGHTS["canonical"] == 1.0
+
+    def test_generate_platform_convenience(self, world):
+        platform = generate_platform(
+            world, MicroblogConfig(seed=2, tweets=100, casual_users=20)
+        )
+        assert platform.tweet_count == 100

@@ -1,0 +1,138 @@
+"""Platform storage, §3 matching, totals bookkeeping."""
+
+import pytest
+
+from repro.microblog.platform import MicroblogPlatform
+from repro.microblog.tweets import Tweet
+from repro.microblog.users import UserProfile
+
+
+def make_user(user_id: int, name: str | None = None) -> UserProfile:
+    return UserProfile(
+        user_id=user_id,
+        screen_name=name or f"user{user_id}",
+        description="a test account",
+        persona="casual",
+        expert_topics=(),
+    )
+
+
+@pytest.fixture
+def small_platform():
+    platform = MicroblogPlatform()
+    for uid in (1, 2, 3):
+        platform.add_user(make_user(uid))
+    platform.add_tweet(
+        Tweet(tweet_id=1, author_id=1, text="go 49ers big win today")
+    )
+    platform.add_tweet(
+        Tweet(tweet_id=2, author_id=2, text="what a day", mentions=(1,))
+    )
+    platform.add_tweet(
+        Tweet(
+            tweet_id=3,
+            author_id=3,
+            text="rt @user1: go 49ers big win today",
+            mentions=(1,),
+            retweet_of=1,
+        )
+    )
+    return platform
+
+
+class TestIngestion:
+    def test_duplicate_user_rejected(self, small_platform):
+        with pytest.raises(ValueError):
+            small_platform.add_user(make_user(1))
+
+    def test_duplicate_tweet_rejected(self, small_platform):
+        with pytest.raises(ValueError):
+            small_platform.add_tweet(Tweet(tweet_id=1, author_id=1, text="x"))
+
+    def test_unknown_author_rejected(self, small_platform):
+        with pytest.raises(ValueError):
+            small_platform.add_tweet(Tweet(tweet_id=9, author_id=99, text="x"))
+
+    def test_counts(self, small_platform):
+        assert small_platform.user_count == 3
+        assert small_platform.tweet_count == 3
+
+
+class TestTotals:
+    def test_tweets_counted(self, small_platform):
+        assert small_platform.totals(1).tweets == 1
+        assert small_platform.totals(3).tweets == 1
+
+    def test_mentions_counted(self, small_platform):
+        assert small_platform.totals(1).mentions_received == 2
+
+    def test_retweets_credited_to_original_author(self, small_platform):
+        assert small_platform.totals(1).retweets_received == 1
+        assert small_platform.totals(3).retweets_received == 0
+
+    def test_unknown_user(self, small_platform):
+        with pytest.raises(KeyError):
+            small_platform.totals(42)
+
+
+class TestMatching:
+    def test_all_terms_required(self, small_platform):
+        assert small_platform.matching_tweet_ids("49ers win") == [1, 3]
+        assert small_platform.matching_tweet_ids("49ers loss") == []
+
+    def test_case_insensitive(self, small_platform):
+        assert small_platform.matching_tweet_ids("49ERS") == [1, 3]
+
+    def test_unknown_term_no_matches(self, small_platform):
+        assert small_platform.matching_tweet_ids("quantum") == []
+
+    def test_empty_query_no_matches(self, small_platform):
+        assert small_platform.matching_tweet_ids("") == []
+
+    def test_retweet_text_matches_original_query(self, small_platform):
+        # the rt copy carries the original tokens — §3 matching sees it
+        assert 3 in small_platform.matching_tweet_ids("49ers")
+
+    def test_matching_tweets_objects(self, small_platform):
+        tweets = small_platform.matching_tweets("49ers")
+        assert [t.tweet_id for t in tweets] == [1, 3]
+
+    def test_user_by_screen_name(self, small_platform):
+        assert small_platform.user_by_screen_name("user2").user_id == 2
+        with pytest.raises(KeyError):
+            small_platform.user_by_screen_name("ghost")
+
+
+class TestTweet:
+    def test_tokens_computed(self):
+        tweet = Tweet(tweet_id=1, author_id=1, text="Go #49ers GO")
+        assert tweet.tokens == frozenset({"go", "#49ers"})
+
+    def test_matches_rule(self):
+        tweet = Tweet(tweet_id=1, author_id=1, text="alpha beta gamma")
+        assert tweet.matches(["alpha", "gamma"])
+        assert not tweet.matches(["alpha", "delta"])
+
+    def test_is_retweet(self):
+        assert Tweet(tweet_id=1, author_id=1, text="x", retweet_of=5).is_retweet
+        assert not Tweet(tweet_id=2, author_id=1, text="x").is_retweet
+
+
+class TestUserProfile:
+    def test_unknown_persona_rejected(self):
+        with pytest.raises(ValueError):
+            UserProfile(1, "n", "d", "wizard", ())
+
+    def test_negative_followers_rejected(self):
+        with pytest.raises(ValueError):
+            UserProfile(1, "n", "d", "casual", (), followers=-1)
+
+    def test_expertise_flags(self):
+        expert = UserProfile(1, "n", "d", "focused_expert", (7,))
+        assert expert.is_expert
+        assert expert.is_expert_on(7)
+        assert not expert.is_expert_on(8)
+
+    def test_casual_never_expert(self):
+        casual = UserProfile(1, "n", "d", "casual", ())
+        assert not casual.is_expert

@@ -1,0 +1,148 @@
+"""Cross-cutting property tests: relational algebra laws, pipeline
+invariants, and the e#-versus-baseline containment property.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.expressions import ColumnRef, Comparison, Literal
+from repro.relational.joins import HashJoin
+from repro.relational.operators import group_by, project, select_rows
+from repro.relational.table import Table
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(-50, 50)), max_size=25
+)
+
+
+def int_table(rows):
+    return Table.from_dicts(["k", "v"], [{"k": k, "v": v} for k, v in rows])
+
+
+class TestRelationalAlgebraLaws:
+    @given(rows_strategy, st.integers(-50, 50))
+    def test_selection_splits_table(self, rows, pivot):
+        """σ(P) ∪ σ(¬P) is a permutation of the input."""
+        table = int_table(rows)
+        predicate = Comparison(">", ColumnRef("v"), Literal(pivot))
+        negation = Comparison("<=", ColumnRef("v"), Literal(pivot))
+        kept = select_rows(table, predicate)
+        dropped = select_rows(table, negation)
+        assert sorted(kept.rows + dropped.rows) == sorted(table.rows)
+
+    @given(rows_strategy, st.integers(-50, 50))
+    def test_selection_commutes_with_projection(self, rows, pivot):
+        table = int_table(rows)
+        predicate = Comparison(">", ColumnRef("v"), Literal(pivot))
+        select_then_project = project(
+            select_rows(table, predicate), [(ColumnRef("v"), "v")]
+        )
+        project_then_select = select_rows(
+            project(table, [(ColumnRef("v"), "v")]), predicate
+        )
+        assert sorted(select_then_project.rows) == sorted(
+            project_then_select.rows
+        )
+
+    @given(rows_strategy)
+    def test_group_by_sum_matches_python(self, rows):
+        table = int_table(rows)
+        grouped = group_by(
+            table,
+            keys=[ColumnRef("k")],
+            key_names=["k"],
+            aggregations=[("sum", [ColumnRef("v")], "total")],
+        )
+        expected: dict[int, int] = {}
+        for k, v in rows:
+            expected[k] = expected.get(k, 0) + v
+        assert {row[0]: row[1] for row in grouped.rows} == expected
+
+    @given(rows_strategy, rows_strategy)
+    def test_join_symmetric_up_to_column_order(self, left_rows, right_rows):
+        left = int_table(left_rows).with_alias("l")
+        right = int_table(right_rows).with_alias("r")
+        forward, _ = HashJoin().execute(left, right, "l.k", "r.k")
+        backward, _ = HashJoin().execute(right, left, "r.k", "l.k")
+        reordered = [
+            (row[2], row[3], row[0], row[1]) for row in backward.rows
+        ]
+        assert sorted(forward.rows) == sorted(reordered)
+
+    @given(rows_strategy)
+    def test_join_with_self_on_key_yields_square_counts(self, rows):
+        table = int_table(rows).with_alias("a")
+        other = int_table(rows).with_alias("b")
+        joined, _ = HashJoin().execute(table, other, "a.k", "b.k")
+        counts: dict[int, int] = {}
+        for k, _ in rows:
+            counts[k] = counts.get(k, 0) + 1
+        assert len(joined) == sum(c * c for c in counts.values())
+
+
+class TestPipelineInvariants:
+    def test_esharp_pool_contains_baseline_pool(self, system):
+        """Before the result cap, every baseline candidate appears in the
+        e# union with at least its baseline score (union takes max)."""
+        world = system.offline.world
+        checked = 0
+        for topic in world.topics[:25]:
+            query = topic.canonical.text
+            baseline = {
+                e.user_id: e.score for e in system.detector.score(query)
+            }
+            if not baseline:
+                continue
+            union = {
+                e.user_id: e.score
+                for e in system.online.score(query).scored_pool
+            }
+            checked += 1
+            for user_id, score in baseline.items():
+                assert user_id in union
+                assert union[user_id] >= score - 1e-9
+        assert checked > 0
+
+    def test_kept_experts_monotone_in_threshold(self, system):
+        world = system.offline.world
+        for topic in world.topics[:10]:
+            query = topic.canonical.text
+            previous = None
+            for threshold in (0.0, 1.0, 2.0, 4.0):
+                count = len(system.find_experts(query, threshold))
+                if previous is not None:
+                    assert count <= previous
+                previous = count
+
+    def test_scores_identical_across_runs(self, system):
+        world = system.offline.world
+        query = world.topics[0].canonical.text
+        first = [(e.user_id, e.score) for e in system.detector.score(query)]
+        second = [(e.user_id, e.score) for e in system.detector.score(query)]
+        assert first == second
+
+
+class TestCommunityInvariants:
+    @settings(max_examples=20)
+    @given(st.integers(0, 1000))
+    def test_every_vertex_assigned_exactly_once(self, seed):
+        import random
+
+        from repro.community.parallel import ParallelCommunityDetector
+        from repro.simgraph.graph import MultiGraph
+
+        rng = random.Random(seed)
+        graph = MultiGraph()
+        names = [f"v{i}" for i in range(12)]
+        for name in names:
+            graph.add_vertex(name)
+        for _ in range(18):
+            u, v = rng.sample(names, 2)
+            graph.add_edge(u, v, rng.randint(1, 3))
+        partition = ParallelCommunityDetector(graph).run()
+        partition.validate_covers(graph)
+        seen: set[str] = set()
+        for community in partition.communities():
+            members = partition.members(community)
+            assert not (members & seen)
+            seen |= members
+        assert seen == set(graph.vertices())

@@ -1,0 +1,171 @@
+"""The Quora-style Q&A substrate (§8 future work) and detector reuse."""
+
+import pytest
+
+from repro.detector.palcounts import PalCountsDetector
+from repro.detector.ranking import RankingConfig
+from repro.expansion.domainstore import DomainStore, ExpertiseDomain
+from repro.expansion.expander import QueryExpander
+from repro.microblog.tweets import Tweet
+from repro.microblog.users import UserProfile
+from repro.qa.config import QAConfig
+from repro.qa.generator import QAGenerator, generate_qa_platform
+from repro.qa.platform import QAPlatform
+
+
+class TestQAConfig:
+    def test_defaults_valid(self):
+        QAConfig()
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            QAConfig(share_rate=1.5)
+
+    def test_max_chars_floor(self):
+        with pytest.raises(ValueError):
+            QAConfig(max_chars=50)
+
+
+class TestQAPlatform:
+    @pytest.fixture
+    def qa(self):
+        platform = QAPlatform()
+        platform.add_user(UserProfile(1, "asker", "d", "casual", ()))
+        platform.add_user(UserProfile(2, "writer", "d", "focused_expert", (1,)))
+        question = Tweet(tweet_id=1, author_id=1, text="how good is topicx?")
+        platform.add_post(question, kind="question")
+        answer = Tweet(tweet_id=2, author_id=2, text="topicx is solid")
+        platform.add_post(answer, kind="answer", answers=1)
+        share = Tweet(
+            tweet_id=3, author_id=1, text="sharing: topicx is solid",
+            retweet_of=2, mentions=(2,),
+        )
+        platform.add_post(share, kind="share")
+        return platform
+
+    def test_kind_tracking(self, qa):
+        assert qa.kind_of(1) == "question"
+        assert qa.kind_of(2) == "answer"
+        assert qa.count_kind("share") == 1
+
+    def test_answer_links_to_question(self, qa):
+        assert qa.question_of(2) == 1
+        with pytest.raises(KeyError):
+            qa.question_of(1)
+
+    def test_share_requires_reference(self, qa):
+        with pytest.raises(ValueError):
+            qa.add_post(
+                Tweet(tweet_id=9, author_id=1, text="x"), kind="share"
+            )
+
+    def test_answer_requires_question(self, qa):
+        with pytest.raises(ValueError):
+            qa.add_post(Tweet(tweet_id=9, author_id=2, text="x"), kind="answer")
+
+    def test_unknown_kind_rejected(self, qa):
+        with pytest.raises(ValueError):
+            qa.add_post(Tweet(tweet_id=9, author_id=1, text="x"), kind="rant")
+
+    def test_share_credits_author_like_retweet(self, qa):
+        # the detector's RI feature depends on this mapping
+        assert qa.totals(2).retweets_received == 1
+        assert qa.totals(2).mentions_received == 1
+
+
+class TestQAGeneration:
+    @pytest.fixture(scope="class")
+    def qa(self, world):
+        return generate_qa_platform(
+            world, QAConfig(seed=5, posts=8_000, askers=150)
+        )
+
+    def test_post_count(self, qa):
+        assert qa.tweet_count == 8_000
+
+    def test_all_kinds_generated(self, qa):
+        assert qa.count_kind("question") > 0
+        assert qa.count_kind("answer") > 0
+        assert qa.count_kind("share") > 0
+
+    def test_answers_linked(self, qa):
+        for post in qa.tweets():
+            if qa.kind_of(post.tweet_id) == "answer":
+                question_id = qa.question_of(post.tweet_id)
+                assert qa.kind_of(question_id) == "question"
+
+    def test_shares_reference_answers(self, qa):
+        for post in qa.tweets():
+            if qa.kind_of(post.tweet_id) == "share":
+                assert qa.kind_of(post.retweet_of) == "answer"
+
+    def test_posts_respect_length(self, qa):
+        assert all(len(p.text) <= 500 for p in qa.tweets())
+
+    def test_some_posts_longer_than_tweets(self, qa):
+        assert any(len(p.text) > 140 for p in qa.tweets())
+
+    def test_deterministic(self, world):
+        config = QAConfig(seed=5, posts=500, askers=40)
+        a = QAGenerator(world, config).build()
+        b = QAGenerator(world, config).build()
+        assert [t.text for t in a.tweets()] == [t.text for t in b.tweets()]
+
+    def test_search_only_topics_have_no_writers(self, qa, world):
+        ghost = {
+            t.topic_id for t in world.topics if t.microblog_affinity < 0.5
+        }
+        for user in qa.users():
+            if user.persona == "focused_expert":
+                assert not (set(user.expert_topics) & ghost)
+
+
+class TestDetectorOnQA:
+    """The §7 claim: e# works with any expertise-retrieval substrate."""
+
+    @pytest.fixture(scope="class")
+    def qa(self, world):
+        return generate_qa_platform(
+            world, QAConfig(seed=5, posts=12_000, askers=150)
+        )
+
+    @pytest.fixture(scope="class")
+    def detector(self, qa):
+        return PalCountsDetector(qa, RankingConfig(min_zscore=0.5))
+
+    def test_detector_runs_unchanged(self, qa, detector, world):
+        answered = 0
+        for topic in world.topics:
+            if topic.microblog_affinity < 0.5:
+                continue
+            if detector.detect(topic.canonical.text):
+                answered += 1
+        assert answered > 0
+
+    def test_writers_rank_above_askers(self, qa, detector, world):
+        hits = genuine = 0
+        for topic in sorted(
+            (t for t in world.topics if t.microblog_affinity > 0.5),
+            key=lambda t: t.popularity, reverse=True,
+        )[:10]:
+            for expert in detector.detect(topic.canonical.text)[:3]:
+                hits += 1
+                if qa.user(expert.user_id).is_expert_on(topic.topic_id):
+                    genuine += 1
+        if hits == 0:
+            pytest.skip("no answers at this scale")
+        assert genuine / hits > 0.5
+
+    def test_expansion_helps_on_qa(self, qa, detector, world, multigraph):
+        from repro.community.parallel import ParallelCommunityDetector
+
+        partition = ParallelCommunityDetector(multigraph).run()
+        expander = QueryExpander(DomainStore.from_partition(partition), detector)
+        queries = [
+            t.canonical.text
+            for t in world.topics
+            if t.microblog_affinity > 0.5
+        ][:25]
+        base = sum(len(detector.detect(q)) for q in queries)
+        expanded = sum(len(expander.detect(q).experts) for q in queries)
+        assert expanded >= base

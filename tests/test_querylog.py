@@ -1,0 +1,154 @@
+"""Query-log records, store and generator."""
+
+import pytest
+
+from repro.querylog.config import QueryLogConfig
+from repro.querylog.generator import QueryLogGenerator
+from repro.querylog.records import ClickAggregate, Impression
+from repro.querylog.store import QueryLogStore
+from repro.worldmodel.builder import build_world
+from repro.worldmodel.config import WorldConfig
+
+
+class TestImpression:
+    def test_raw_bytes_counts_clicks(self):
+        imp = Impression("abc", ("x.com", "yy.com"))
+        assert imp.raw_bytes() == (3 + 1 + 5 + 1) + (3 + 1 + 6 + 1)
+
+    def test_abandoned_search_bytes(self):
+        assert Impression("abc", ()).raw_bytes() == 4
+
+
+class TestClickAggregate:
+    def test_positive_clicks_required(self):
+        with pytest.raises(ValueError):
+            ClickAggregate("q", "u", 0)
+
+
+class TestQueryLogStore:
+    def test_counts_accumulate(self):
+        store = QueryLogStore(min_support=2)
+        store.add_impression(Impression("a", ("u1",)))
+        store.add_impression(Impression("a", ("u1", "u2")))
+        store.add_impression(Impression("b", ()))
+        assert store.impressions == 3
+        assert store.query_count("a") == 2
+        assert store.query_count("b") == 1
+        assert store.query_count("missing") == 0
+
+    def test_support_filter(self):
+        store = QueryLogStore(min_support=2)
+        store.add_impression(Impression("popular", ("u",)))
+        store.add_impression(Impression("popular", ("u",)))
+        store.add_impression(Impression("rare", ("u",)))
+        assert store.supported_queries() == {"popular"}
+
+    def test_aggregates_respect_filter(self):
+        store = QueryLogStore(min_support=2)
+        store.extend(
+            [
+                Impression("popular", ("u",)),
+                Impression("popular", ("u",)),
+                Impression("rare", ("u",)),
+            ]
+        )
+        rows = list(store.aggregates())
+        assert rows == [ClickAggregate("popular", "u", 2)]
+        unfiltered = list(store.aggregates(supported_only=False))
+        assert len(unfiltered) == 2
+
+    def test_click_vectors(self):
+        store = QueryLogStore()
+        store.extend(
+            [
+                Impression("q", ("a.com", "b.com")),
+                Impression("q", ("a.com",)),
+            ]
+        )
+        assert store.click_vectors()["q"] == {"a.com": 2, "b.com": 1}
+
+    def test_raw_bytes_accumulate(self):
+        store = QueryLogStore()
+        imp = Impression("abc", ("u.com",))
+        store.add_impression(imp)
+        store.add_impression(imp)
+        assert store.raw_bytes == 2 * imp.raw_bytes()
+
+    def test_min_support_validation(self):
+        with pytest.raises(ValueError):
+            QueryLogStore(min_support=0)
+
+
+class TestQueryLogConfig:
+    def test_defaults_valid(self):
+        QueryLogConfig()
+
+    def test_click_probs_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            QueryLogConfig(click_count_probs=(0.5, 0.5, 0.5, 0.5))
+
+    def test_url_mass_bound(self):
+        with pytest.raises(ValueError):
+            QueryLogConfig(topic_url_prob=0.9, hub_url_prob=0.2)
+
+    def test_noise_url_prob_derived(self):
+        config = QueryLogConfig(
+            topic_url_prob=0.7, hub_url_prob=0.1, global_url_prob=0.1
+        )
+        assert abs(config.noise_url_prob - 0.1) < 1e-12
+
+
+class TestQueryLogGenerator:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_world(WorldConfig(seed=3, topics_per_domain=5))
+
+    @pytest.fixture(scope="class")
+    def generator(self, world):
+        return QueryLogGenerator(
+            world, QueryLogConfig(seed=3, impressions=5_000, min_support=5)
+        )
+
+    def test_impression_count(self, generator):
+        assert len(list(generator.impressions(100))) == 100
+
+    def test_determinism(self, world):
+        config = QueryLogConfig(seed=3, impressions=200)
+        a = [i.query for i in QueryLogGenerator(world, config).impressions()]
+        b = [i.query for i in QueryLogGenerator(world, config).impressions()]
+        assert a == b
+
+    def test_queries_mostly_from_vocabulary(self, world, generator):
+        vocabulary = set(world.vocabulary())
+        impressions = list(generator.impressions(2_000))
+        in_vocab = sum(1 for i in impressions if i.query in vocabulary)
+        assert in_vocab / len(impressions) > 0.9
+
+    def test_noise_rate_produces_noise(self, world):
+        config = QueryLogConfig(seed=3, impressions=2_000, noise_rate=0.5)
+        generator = QueryLogGenerator(world, config)
+        noise = sum(
+            1 for i in generator.impressions() if i.query.startswith("zzq")
+        )
+        assert 700 < noise < 1300
+
+    def test_same_topic_queries_share_urls(self, world, generator):
+        store = generator.fill_store()
+        vectors = store.click_vectors(supported_only=False)
+        topic = world.topics[0]
+        canonical = topic.canonical.text
+        sibling = next(
+            (k.text for k in topic.keywords[1:] if k.text in vectors), None
+        )
+        if sibling is None or canonical not in vectors:
+            pytest.skip("tail topic unsampled at this size")
+        shared = set(vectors[canonical]) & set(vectors[sibling])
+        assert shared
+
+    def test_negative_count_rejected(self, generator):
+        with pytest.raises(ValueError):
+            list(generator.impressions(-1))
+
+    def test_fill_store_uses_config_support(self, generator):
+        store = generator.fill_store()
+        assert store.min_support == 5

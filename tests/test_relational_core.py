@@ -1,0 +1,241 @@
+"""Schema, Table, expressions, aggregates."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational.aggregates import (
+    ArgmaxAggregate,
+    AvgAggregate,
+    CountAggregate,
+    MaxAggregate,
+    MinAggregate,
+    SumAggregate,
+    is_aggregate,
+    make_aggregate,
+)
+from repro.relational.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    ExpressionError,
+    FunctionCall,
+    Literal,
+    LogicalOp,
+)
+from repro.relational.schema import Column, Schema, SchemaError
+from repro.relational.table import Table
+
+
+class TestColumn:
+    def test_qualified_rendering(self):
+        assert Column("query", "c1").qualified == "c1.query"
+
+    def test_matches_bare_and_qualified(self):
+        column = Column("query", "c1")
+        assert column.matches("query")
+        assert column.matches("c1.query")
+        assert not column.matches("c2.query")
+
+    def test_dot_in_name_rejected(self):
+        with pytest.raises(ValueError):
+            Column("a.b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Column("")
+
+
+class TestSchema:
+    def test_of_parses_qualifiers(self):
+        schema = Schema.of("a", "t.b")
+        assert schema.columns[1].qualifier == "t"
+
+    def test_index_of_bare(self):
+        schema = Schema.of("a", "b")
+        assert schema.index_of("b") == 1
+
+    def test_ambiguous_reference(self):
+        schema = Schema.of("c1.query", "c2.query")
+        with pytest.raises(SchemaError):
+            schema.index_of("query")
+        assert schema.index_of("c2.query") == 1
+
+    def test_unknown_reference(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").index_of("z")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            Schema.of("a", "a")
+
+    def test_requalify(self):
+        schema = Schema.of("x.a", "b").requalify("t")
+        assert schema.qualified_names() == ["t.a", "t.b"]
+
+    def test_concat(self):
+        combined = Schema.of("a").concat(Schema.of("b"))
+        assert combined.names() == ["a", "b"]
+
+
+class TestTable:
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            Table(Schema.of("a", "b"), [(1,)])
+
+    def test_from_dicts_order(self):
+        table = Table.from_dicts(["b", "a"], [{"a": 1, "b": 2}])
+        assert table.rows == [(2, 1)]
+
+    def test_column_values(self):
+        table = Table.from_dicts(["a"], [{"a": 1}, {"a": 3}])
+        assert table.column_values("a") == [1, 3]
+
+    def test_with_alias(self):
+        table = Table.from_dicts(["a"], [{"a": 1}]).with_alias("t")
+        assert table.schema.qualified_names() == ["t.a"]
+        assert table.rows == [(1,)]
+
+    def test_sorted_by(self):
+        table = Table.from_dicts(["a"], [{"a": 3}, {"a": 1}, {"a": 2}])
+        assert table.sorted_by("a").rows == [(1,), (2,), (3,)]
+
+    def test_estimated_bytes(self):
+        table = Table.from_dicts(["s", "n"], [{"s": "abc", "n": 5}])
+        assert table.estimated_bytes() == 4 + 8
+
+    def test_equality_ignores_row_order(self):
+        a = Table.from_dicts(["x"], [{"x": 1}, {"x": 2}])
+        b = Table.from_dicts(["x"], [{"x": 2}, {"x": 1}])
+        assert a == b
+
+    def test_pretty_contains_header(self):
+        table = Table.from_dicts(["col"], [{"col": "v"}])
+        assert "col" in table.pretty()
+
+
+class TestExpressions:
+    schema = Schema.of("a", "b")
+
+    def test_literal(self):
+        assert Literal(5).evaluate((1, 2), self.schema) == 5
+
+    def test_column_ref(self):
+        assert ColumnRef("b").evaluate((1, 2), self.schema) == 2
+
+    def test_comparison_operators(self):
+        row = (3, 7)
+        assert Comparison("<", ColumnRef("a"), ColumnRef("b")).evaluate(
+            row, self.schema
+        )
+        assert Comparison("<>", ColumnRef("a"), ColumnRef("b")).evaluate(
+            row, self.schema
+        )
+        assert not Comparison("=", ColumnRef("a"), ColumnRef("b")).evaluate(
+            row, self.schema
+        )
+
+    def test_unknown_comparison_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison("~", Literal(1), Literal(2))
+
+    def test_arithmetic(self):
+        expr = BinaryOp("*", ColumnRef("a"), Literal(4))
+        assert expr.evaluate((3, 0), self.schema) == 12
+
+    def test_division_by_zero(self):
+        expr = BinaryOp("/", Literal(1), Literal(0))
+        with pytest.raises(ExpressionError):
+            expr.evaluate((), Schema.of())
+
+    def test_logical_and_or_not(self):
+        t, f = Literal(True), Literal(False)
+        assert LogicalOp("and", (t, t)).evaluate((), Schema.of())
+        assert LogicalOp("or", (f, t)).evaluate((), Schema.of())
+        assert LogicalOp("not", (f,)).evaluate((), Schema.of())
+
+    def test_not_arity(self):
+        with pytest.raises(ExpressionError):
+            LogicalOp("not", (Literal(1), Literal(2)))
+
+    def test_function_call(self):
+        expr = FunctionCall("double", (ColumnRef("a"),))
+        assert expr.evaluate((5, 0), self.schema, {"double": lambda x: 2 * x}) == 10
+
+    def test_unknown_function(self):
+        expr = FunctionCall("mystery", ())
+        with pytest.raises(ExpressionError):
+            expr.evaluate((), Schema.of(), {})
+
+    def test_referenced_columns(self):
+        expr = LogicalOp(
+            "and",
+            (
+                Comparison(">", ColumnRef("a"), Literal(0)),
+                FunctionCall("f", (ColumnRef("b"),)),
+            ),
+        )
+        assert expr.referenced_columns() == {"a", "b"}
+
+
+class TestAggregates:
+    def test_count_skips_nulls(self):
+        agg = CountAggregate()
+        for value in (1, None, 2):
+            agg.step(value)
+        assert agg.final() == 2
+
+    def test_sum(self):
+        agg = SumAggregate()
+        for value in (1, 2, 3):
+            agg.step(value)
+        assert agg.final() == 6
+
+    def test_sum_empty_is_null(self):
+        assert SumAggregate().final() is None
+
+    def test_min_max(self):
+        low, high = MinAggregate(), MaxAggregate()
+        for value in (5, 1, 9):
+            low.step(value)
+            high.step(value)
+        assert low.final() == 1
+        assert high.final() == 9
+
+    def test_avg(self):
+        agg = AvgAggregate()
+        for value in (2.0, 4.0):
+            agg.step(value)
+        assert agg.final() == 3.0
+
+    def test_argmax_returns_key_of_max(self):
+        agg = ArgmaxAggregate()
+        agg.step(1.0, "low")
+        agg.step(9.0, "high")
+        agg.step(5.0, "mid")
+        assert agg.final() == "high"
+
+    def test_argmax_tie_breaks_on_smaller_key(self):
+        agg = ArgmaxAggregate()
+        agg.step(5.0, "zebra")
+        agg.step(5.0, "aardvark")
+        assert agg.final() == "aardvark"
+
+    @given(st.lists(st.tuples(st.floats(-1e3, 1e3), st.text(max_size=4)), min_size=1))
+    def test_argmax_matches_python_max(self, pairs):
+        agg = ArgmaxAggregate()
+        for value, key in pairs:
+            agg.step(value, key)
+        best = min(
+            (key for value, key in pairs
+             if value == max(v for v, _ in pairs))
+        )
+        assert agg.final() == best
+
+    def test_registry_lookup(self):
+        assert isinstance(make_aggregate("ARGMAX"), ArgmaxAggregate)
+        assert is_aggregate("Count")
+        assert not is_aggregate("modulgain")
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(KeyError):
+            make_aggregate("median")

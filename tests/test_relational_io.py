@@ -1,0 +1,97 @@
+"""Table TSV persistence."""
+
+import pytest
+
+from repro.relational.io import TableIOError, load_table, save_table
+from repro.relational.table import Table
+
+
+class TestRoundTrip:
+    def test_mixed_types(self, tmp_path):
+        table = Table.from_dicts(
+            ["name", "count", "ratio", "flag"],
+            [
+                {"name": "a", "count": 1, "ratio": 0.5, "flag": True},
+                {"name": "b", "count": 2, "ratio": 1.5, "flag": False},
+            ],
+        )
+        path = tmp_path / "t.tsv"
+        written = save_table(table, path)
+        assert written == path.stat().st_size
+        loaded = load_table(path)
+        assert loaded.rows == table.rows
+        assert loaded.schema.names() == table.schema.names()
+
+    def test_qualified_columns_roundtrip(self, tmp_path):
+        from repro.relational.schema import Schema
+
+        table = Table(Schema.of("g.query1", "weight"), [("a", 3)])
+        path = tmp_path / "q.tsv"
+        save_table(table, path)
+        loaded = load_table(path)
+        assert loaded.schema.qualified_names() == ["g.query1", "weight"]
+        assert loaded.rows == [("a", 3)]
+
+    def test_nulls_roundtrip(self, tmp_path):
+        table = Table.from_dicts(
+            ["k", "v"], [{"k": "x", "v": None}, {"k": "y", "v": 2}]
+        )
+        path = tmp_path / "n.tsv"
+        save_table(table, path)
+        assert load_table(path).rows == [("x", None), ("y", 2)]
+
+    def test_empty_table(self, tmp_path):
+        table = Table.from_dicts(["a"], [])
+        path = tmp_path / "e.tsv"
+        save_table(table, path)
+        loaded = load_table(path)
+        assert loaded.rows == []
+        assert loaded.schema.names() == ["a"]
+
+
+class TestErrors:
+    def test_tab_in_value_rejected(self, tmp_path):
+        table = Table.from_dicts(["s"], [{"s": "has\ttab"}])
+        with pytest.raises(TableIOError):
+            save_table(table, tmp_path / "bad.tsv")
+
+    def test_unserialisable_type_rejected(self, tmp_path):
+        table = Table.from_dicts(["s"], [{"s": object()}])
+        with pytest.raises(TableIOError):
+            save_table(table, tmp_path / "bad.tsv")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("")
+        with pytest.raises(TableIOError):
+            load_table(path)
+
+    def test_malformed_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("name:mystery\nx\n")
+        with pytest.raises(TableIOError):
+            load_table(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.tsv"
+        path.write_text("a:str\tb:int\nonly_one_cell\n")
+        with pytest.raises(TableIOError):
+            load_table(path)
+
+
+class TestDomainStorePersistence:
+    def test_roundtrip(self, tmp_path):
+        from repro.expansion.domainstore import DomainStore, ExpertiseDomain
+
+        store = DomainStore(
+            [
+                ExpertiseDomain("d1", ("49ers", "niners")),
+                ExpertiseDomain("d2", ("nasdaq",)),
+            ]
+        )
+        path = tmp_path / "domains.tsv"
+        store.save(path)
+        loaded = DomainStore.load(path)
+        assert loaded.domain_count == 2
+        assert set(loaded.expand("49ers")) == {"49ers", "niners"}
+        assert loaded.lookup("nasdaq").domain_id == "d2"

@@ -1,0 +1,152 @@
+"""Join strategies (§4.2.3): equivalence and accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational.joins import HashJoin, MapSideJoin, ReplicatedJoin
+from repro.relational.operators import (
+    distinct,
+    group_by,
+    project,
+    rename_columns,
+    select_rows,
+    union_all,
+)
+from repro.relational.expressions import ColumnRef, Comparison, Literal
+from repro.relational.table import Table
+
+
+def users_table():
+    return Table.from_dicts(
+        ["uid", "name"],
+        [{"uid": 1, "name": "ann"}, {"uid": 2, "name": "bob"},
+         {"uid": 3, "name": "cid"}],
+    )
+
+
+def orders_table():
+    return Table.from_dicts(
+        ["order_id", "uid"],
+        [{"order_id": 10, "uid": 1}, {"order_id": 11, "uid": 1},
+         {"order_id": 12, "uid": 3}, {"order_id": 13, "uid": 9}],
+    )
+
+
+class TestHashJoin:
+    def test_inner_join_matches(self):
+        joined, stats = HashJoin().execute(
+            users_table(), orders_table(), "uid", "uid"
+        )
+        assert stats.rows_out == 3
+        names = sorted(row[1] for row in joined.rows)
+        assert names == ["ann", "ann", "cid"]
+
+    def test_no_matches(self):
+        left = Table.from_dicts(["k"], [{"k": "x"}])
+        right = Table.from_dicts(["k"], [{"k": "y"}])
+        joined, _ = HashJoin().execute(left, right, "k", "k")
+        assert joined.rows == []
+
+    def test_schema_concatenated(self):
+        joined, _ = HashJoin().execute(
+            users_table().with_alias("u"), orders_table().with_alias("o"),
+            "u.uid", "o.uid",
+        )
+        assert joined.schema.qualified_names() == [
+            "u.uid", "u.name", "o.order_id", "o.uid",
+        ]
+
+
+join_tables = st.tuples(
+    st.lists(st.tuples(st.integers(0, 5), st.text(max_size=3)), max_size=12),
+    st.lists(st.tuples(st.integers(0, 5), st.integers(0, 99)), max_size=12),
+)
+
+
+class TestStrategyEquivalence:
+    @given(join_tables)
+    def test_all_strategies_agree(self, data):
+        left_rows, right_rows = data
+        left = Table.from_dicts(
+            ["k", "v"], [{"k": k, "v": v} for k, v in left_rows]
+        )
+        right = Table.from_dicts(
+            ["k", "w"], [{"k": k, "w": w} for k, w in right_rows]
+        )
+        hash_out, _ = HashJoin().execute(left, right, "k", "k")
+        repl_out, _ = ReplicatedJoin(partitions=3).execute(left, right, "k", "k")
+        map_out, _ = MapSideJoin(partitions=3).execute(left, right, "k", "k")
+        assert sorted(hash_out.rows) == sorted(repl_out.rows)
+        assert sorted(hash_out.rows) == sorted(map_out.rows)
+
+    def test_replicated_shuffles_small_table_per_partition(self):
+        left, right = users_table(), orders_table()
+        _, stats = ReplicatedJoin(partitions=4).execute(left, right, "uid", "uid")
+        assert stats.shuffled_bytes == (
+            left.estimated_bytes() * 4 + right.estimated_bytes()
+        )
+
+    def test_map_side_shuffles_each_row_once(self):
+        left, right = users_table(), orders_table()
+        _, stats = MapSideJoin(partitions=4).execute(left, right, "uid", "uid")
+        assert stats.shuffled_bytes == (
+            left.estimated_bytes() + right.estimated_bytes()
+        )
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            ReplicatedJoin(partitions=0)
+        with pytest.raises(ValueError):
+            MapSideJoin(partitions=-1)
+
+
+class TestOperators:
+    def test_select_rows(self):
+        table = users_table()
+        predicate = Comparison(">", ColumnRef("uid"), Literal(1))
+        assert len(select_rows(table, predicate)) == 2
+
+    def test_project_expressions(self):
+        table = users_table()
+        out = project(table, [(ColumnRef("name"), "who")])
+        assert out.schema.names() == ["who"]
+        assert out.rows[0] == ("ann",)
+
+    def test_rename_columns(self):
+        out = rename_columns(users_table(), {"uid": "user_id"})
+        assert out.schema.names() == ["user_id", "name"]
+
+    def test_group_by_with_count_and_sum(self):
+        out = group_by(
+            orders_table(),
+            keys=[ColumnRef("uid")],
+            key_names=["uid"],
+            aggregations=[
+                ("count", [Literal(1)], "n"),
+                ("min", [ColumnRef("order_id")], "first_order"),
+            ],
+        )
+        as_dict = {row[0]: (row[1], row[2]) for row in out.rows}
+        assert as_dict[1] == (2, 10)
+        assert as_dict[9] == (1, 13)
+
+    def test_group_by_key_alignment_checked(self):
+        with pytest.raises(ValueError):
+            group_by(users_table(), [ColumnRef("uid")], [], [])
+
+    def test_distinct(self):
+        table = Table.from_dicts(["a"], [{"a": 1}, {"a": 1}, {"a": 2}])
+        assert distinct(table).rows == [(1,), (2,)]
+
+    def test_union_all_positional(self):
+        first = Table.from_dicts(["a"], [{"a": 1}])
+        second = Table.from_dicts(["b"], [{"b": 2}])
+        combined = union_all(first, second)
+        assert combined.rows == [(1,), (2,)]
+        assert combined.schema.names() == ["a"]
+
+    def test_union_all_width_mismatch(self):
+        first = Table.from_dicts(["a"], [])
+        second = Table.from_dicts(["a", "b"], [])
+        with pytest.raises(ValueError):
+            union_all(first, second)

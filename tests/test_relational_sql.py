@@ -1,0 +1,233 @@
+"""SQL front-end: lexer, parser, executor, session."""
+
+import pytest
+
+from repro.relational.engine import Engine
+from repro.relational.sql import SqlError, SqlSession
+from repro.relational.sql.ast_nodes import Assignment, SelectStatement
+from repro.relational.sql.lexer import tokenize
+from repro.relational.sql.parser import parse_script, parse_statement
+from repro.relational.table import Table
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SeLeCt x FROM t")
+        assert tokens[0].is_keyword("select")
+        assert tokens[2].is_keyword("from")
+
+    def test_identifiers_keep_case(self):
+        assert tokenize("ModulGain")[0].text == "ModulGain"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5")
+        assert tokens[0].text == "1"
+        assert tokens[1].text == "2.5"
+
+    def test_strings(self):
+        assert tokenize("'hello world'")[0].text == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            tokenize("'oops")
+
+    def test_two_char_symbols(self):
+        kinds = [t.text for t in tokenize("<> <= >= !=")[:4]]
+        assert kinds == ["<>", "<=", ">=", "!="]
+
+    def test_comments_stripped(self):
+        tokens = tokenize("select -- a comment\n x from t")
+        assert tokens[1].text == "x"
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlError):
+            tokenize("select ?")
+
+    def test_eof_token(self):
+        assert tokenize("")[0].kind == "eof"
+
+
+class TestParser:
+    def test_simple_select(self):
+        statement = parse_statement("SELECT a, b FROM t")
+        assert isinstance(statement, SelectStatement)
+        assert len(statement.items) == 2
+        assert statement.source.name == "t"
+
+    def test_aliases(self):
+        statement = parse_statement("SELECT a AS x FROM t AS u")
+        assert statement.items[0].alias == "x"
+        assert statement.source.alias == "u"
+
+    def test_implicit_table_alias(self):
+        statement = parse_statement("SELECT g.a FROM graph g")
+        assert statement.source.alias == "g"
+
+    def test_join_clause(self):
+        statement = parse_statement(
+            "SELECT a FROM t INNER JOIN u ON t.k = u.k"
+        )
+        assert len(statement.joins) == 1
+        assert statement.joins[0].left_column == "t.k"
+
+    def test_where_group_by(self):
+        statement = parse_statement(
+            "SELECT k, sum(v) AS total FROM t WHERE v > 0 GROUP BY k"
+        )
+        assert statement.where is not None
+        assert len(statement.group_by) == 1
+
+    def test_assignment_form(self):
+        statement = parse_statement("result = SELECT a FROM t")
+        assert isinstance(statement, Assignment)
+        assert statement.target == "result"
+
+    def test_union_all(self):
+        statement = parse_statement("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert statement.union_with is not None
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_script_multiple_statements(self):
+        script = parse_script("x = SELECT a FROM t; SELECT a FROM x;")
+        assert len(script) == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            parse_statement("SELECT a FROM t extra stuff here")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlError):
+            parse_statement("SELECT a")
+
+    def test_operator_precedence(self):
+        statement = parse_statement("SELECT a FROM t WHERE a + 2 * 3 = 7")
+        assert str(statement.where) == "((a + (2 * 3)) = 7)"
+
+    def test_unary_minus(self):
+        statement = parse_statement("SELECT a FROM t WHERE a > -1")
+        assert "0 - 1" in str(statement.where)
+
+
+@pytest.fixture
+def session():
+    s = SqlSession()
+    s.register(
+        "graph",
+        Table.from_dicts(
+            ["query1", "query2", "weight"],
+            [
+                {"query1": "a", "query2": "b", "weight": 3},
+                {"query1": "b", "query2": "a", "weight": 3},
+                {"query1": "a", "query2": "c", "weight": 1},
+                {"query1": "c", "query2": "a", "weight": 1},
+            ],
+        ),
+    )
+    s.register(
+        "communities",
+        Table.from_dicts(
+            ["comm_name", "query"],
+            [
+                {"comm_name": "a", "query": "a"},
+                {"comm_name": "b", "query": "b"},
+                {"comm_name": "c", "query": "c"},
+            ],
+        ),
+    )
+    return s
+
+
+class TestExecutor:
+    def test_projection_and_filter(self, session):
+        out = session.run("SELECT query1 FROM graph WHERE weight > 2")
+        assert sorted(out.rows) == [("a",), ("b",)]
+
+    def test_double_join_figure4_shape(self, session):
+        out = session.run(
+            """
+            SELECT c1.comm_name AS comm1, c2.comm_name AS comm2,
+                   sum(g.weight) AS links
+            FROM graph g
+            INNER JOIN communities c1 ON g.query1 = c1.query
+            INNER JOIN communities c2 ON g.query2 = c2.query
+            WHERE c1.comm_name <> c2.comm_name
+            GROUP BY c1.comm_name, c2.comm_name
+            """
+        )
+        as_dict = {(r[0], r[1]): r[2] for r in out.rows}
+        assert as_dict[("a", "b")] == 3
+        assert as_dict[("c", "a")] == 1
+
+    def test_argmax_group(self, session):
+        out = session.run(
+            "SELECT query1, argmax(weight, query2) AS best FROM graph "
+            "GROUP BY query1"
+        )
+        best = {r[0]: r[1] for r in out.rows}
+        assert best["a"] == "b"
+
+    def test_udf_in_where(self, session):
+        session.register_function("Gain", lambda q: 1.0 if q == "a" else -1.0)
+        out = session.run("SELECT query1 FROM graph WHERE Gain(query1) > 0")
+        assert set(out.rows) == {("a",)}
+
+    def test_assignment_materialises(self, session):
+        session.run("heavy = SELECT query1, query2 FROM graph WHERE weight > 2")
+        assert "heavy" in session.engine.catalog
+        out = session.run("SELECT query1 FROM heavy")
+        assert len(out) == 2
+
+    def test_union_all(self, session):
+        out = session.run(
+            "SELECT query1 FROM graph WHERE weight > 2 "
+            "UNION ALL SELECT query2 FROM graph WHERE weight > 2"
+        )
+        assert len(out) == 4
+
+    def test_non_aggregate_without_group_by_rejected(self, session):
+        with pytest.raises(SqlError):
+            session.run("SELECT query1, sum(weight) AS s FROM graph")
+
+    def test_unknown_table(self, session):
+        with pytest.raises(KeyError):
+            session.run("SELECT x FROM missing")
+
+    def test_join_on_reversed_columns(self, session):
+        out = session.run(
+            "SELECT c1.comm_name AS c FROM graph g "
+            "INNER JOIN communities c1 ON c1.query = g.query1"
+        )
+        assert len(out) == 4
+
+    def test_empty_script_rejected(self, session):
+        with pytest.raises(ValueError):
+            session.run("   ")
+
+    def test_engine_stats_accumulate(self, session):
+        session.run("SELECT query1 FROM graph")
+        assert session.engine.stats.rows_read == 4
+        assert session.engine.stats.bytes_read > 0
+
+    def test_replicated_strategy_same_result(self):
+        hash_session = SqlSession(Engine(join_strategy="hash"))
+        repl_session = SqlSession(Engine(join_strategy="replicated", partitions=3))
+        table = Table.from_dicts(
+            ["k", "v"], [{"k": i % 3, "v": i} for i in range(10)]
+        )
+        lookup = Table.from_dicts(["k", "name"], [{"k": 0, "name": "zero"}])
+        for s in (hash_session, repl_session):
+            s.register("t", table)
+            s.register("l", lookup)
+        sql = "SELECT t.v FROM t INNER JOIN l ON t.k = l.k"
+        assert sorted(hash_session.run(sql).rows) == sorted(
+            repl_session.run(sql).rows
+        )
+
+    def test_count_star(self, session):
+        out = session.run(
+            "SELECT query1, count(*) AS n FROM graph GROUP BY query1"
+        )
+        counts = {r[0]: r[1] for r in out.rows}
+        assert counts == {"a": 2, "b": 1, "c": 1}

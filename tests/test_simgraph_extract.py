@@ -1,0 +1,62 @@
+"""End-to-end extraction on the shared session fixtures."""
+
+import itertools
+
+from repro.simgraph.extract import extract_similarity_graph
+
+
+class TestExtraction:
+    def test_vertices_are_supported_queries(self, query_store, extraction):
+        supported = query_store.supported_queries()
+        for vertex in extraction.multigraph.vertices():
+            assert vertex in supported
+
+    def test_graphs_agree_on_vertices(self, extraction):
+        assert set(extraction.weighted.vertices()) == set(
+            extraction.multigraph.vertices()
+        )
+
+    def test_report_accounts_bytes(self, query_store, extraction):
+        assert extraction.report.bytes_read == query_store.raw_bytes
+        assert extraction.report.bytes_written > 0
+
+    def test_same_topic_terms_more_similar_than_cross_topic(
+        self, world, extraction
+    ):
+        graph = extraction.weighted
+        same_topic, cross_topic = [], []
+        # two head topics per domain so cross-domain pairs exist
+        topics = [
+            t
+            for domain in world.domains
+            for t in world.topics_in_domain(domain)[:2]
+        ]
+        for topic in topics:
+            present = [k.text for k in topic.keywords if graph.has_vertex(k.text)]
+            for a, b in itertools.combinations(present, 2):
+                same_topic.append(graph.weight(a, b))
+        for t1, t2 in itertools.combinations(topics, 2):
+            if t1.domain == t2.domain:
+                continue
+            k1 = t1.canonical.text
+            k2 = t2.canonical.text
+            if graph.has_vertex(k1) and graph.has_vertex(k2):
+                cross_topic.append(graph.weight(k1, k2))
+        assert same_topic and cross_topic
+        assert (sum(same_topic) / len(same_topic)) > (
+            sum(cross_topic) / len(cross_topic)
+        )
+
+    def test_isolated_vertices_excludable(self, query_store, small_config):
+        lean = extract_similarity_graph(
+            query_store, small_config.similarity, include_isolated=False
+        )
+        full = extract_similarity_graph(query_store, small_config.similarity)
+        assert lean.multigraph.vertex_count <= full.multigraph.vertex_count
+        for vertex in lean.multigraph.vertices():
+            assert lean.multigraph.degree(vertex) > 0
+
+    def test_deterministic(self, query_store, small_config):
+        a = extract_similarity_graph(query_store, small_config.similarity)
+        b = extract_similarity_graph(query_store, small_config.similarity)
+        assert list(a.multigraph.edges()) == list(b.multigraph.edges())

@@ -1,0 +1,139 @@
+"""Graph containers and discretisation (footnote 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simgraph.graph import MultiGraph, WeightedGraph, discretize
+
+edge_lists = st.lists(
+    st.tuples(
+        st.sampled_from("abcdef"),
+        st.sampled_from("abcdef"),
+        st.integers(1, 9),
+    ).filter(lambda e: e[0] != e[1]),
+    max_size=20,
+)
+
+
+class TestWeightedGraph:
+    def test_add_and_query(self):
+        graph = WeightedGraph()
+        graph.add_edge("a", "b", 0.5)
+        assert graph.weight("a", "b") == 0.5
+        assert graph.weight("b", "a") == 0.5
+        assert graph.weight("a", "c") == 0.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedGraph().add_edge("a", "a", 1.0)
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedGraph().add_edge("a", "b", 0.0)
+
+    def test_edges_enumerated_once(self):
+        graph = WeightedGraph.from_edges({("a", "b"): 1.0, ("b", "c"): 2.0})
+        assert list(graph.edges()) == [("a", "b", 1.0), ("b", "c", 2.0)]
+
+    def test_isolated_vertex(self):
+        graph = WeightedGraph()
+        graph.add_vertex("lonely")
+        assert graph.has_vertex("lonely")
+        assert graph.neighbours("lonely") == {}
+
+    def test_unknown_vertex_neighbours(self):
+        with pytest.raises(KeyError):
+            WeightedGraph().neighbours("ghost")
+
+    def test_counts(self):
+        graph = WeightedGraph.from_edges({("a", "b"): 1.0, ("a", "c"): 1.0})
+        assert graph.vertex_count == 3
+        assert graph.edge_count == 2
+
+
+class TestMultiGraph:
+    def test_degree_counts_multiplicity(self):
+        graph = MultiGraph()
+        graph.add_edge("a", "b", 3)
+        assert graph.degree("a") == 3
+        assert graph.degree("b") == 3
+        assert graph.total_edges == 3
+
+    def test_parallel_edges_accumulate(self):
+        graph = MultiGraph()
+        graph.add_edge("a", "b", 2)
+        graph.add_edge("b", "a", 1)
+        assert graph.multiplicity("a", "b") == 3
+        assert graph.distinct_edge_count == 1
+
+    def test_total_degree_is_twice_edges(self):
+        graph = MultiGraph.from_edges([("a", "b", 2), ("b", "c", 5)])
+        assert graph.total_degree == 2 * graph.total_edges
+
+    @given(edge_lists)
+    def test_handshake_lemma(self, edges):
+        graph = MultiGraph()
+        for u, v, m in edges:
+            graph.add_edge(u, v, m)
+        degree_sum = sum(graph.degree(v) for v in graph.vertices())
+        assert degree_sum == 2 * graph.total_edges
+
+    def test_neighbours_after_mutation(self):
+        graph = MultiGraph()
+        graph.add_edge("a", "b", 1)
+        assert list(graph.neighbours("a")) == [("b", 1)]
+        graph.add_edge("a", "c", 2)  # must invalidate the cache
+        assert list(graph.neighbours("a")) == [("b", 1), ("c", 2)]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            MultiGraph().add_edge("x", "x")
+
+    def test_zero_multiplicity_rejected(self):
+        with pytest.raises(ValueError):
+            MultiGraph().add_edge("a", "b", 0)
+
+    def test_unknown_degree(self):
+        with pytest.raises(KeyError):
+            MultiGraph().degree("ghost")
+
+    def test_isolated_vertex_degree_zero(self):
+        graph = MultiGraph()
+        graph.add_vertex("solo")
+        assert graph.degree("solo") == 0
+        assert "solo" in graph.vertices()
+
+    def test_storage_bytes_positive(self):
+        graph = MultiGraph.from_edges([("aa", "bb", 1)])
+        assert graph.storage_bytes() == 2 + 2 + 8
+
+
+class TestDiscretize:
+    def test_rounding(self):
+        graph = discretize({("a", "b"): 0.5}, scale=10.0)
+        assert graph.multiplicity("a", "b") == 5
+
+    def test_floor_of_one(self):
+        graph = discretize({("a", "b"): 0.001}, scale=10.0)
+        assert graph.multiplicity("a", "b") == 1
+
+    def test_isolated_vertices_added(self):
+        graph = discretize({("a", "b"): 1.0}, vertices=["c"])
+        assert "c" in graph.vertices()
+        assert graph.degree("c") == 0
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            discretize({}, scale=0.0)
+
+    @given(
+        st.dictionaries(
+            st.tuples(st.sampled_from("abc"), st.sampled_from("xyz")),
+            st.floats(0.01, 1.0),
+            max_size=9,
+        )
+    )
+    def test_total_edges_close_to_scaled_weight(self, edges):
+        graph = discretize(edges, scale=100.0)
+        expected = sum(max(1, round(w * 100)) for w in edges.values())
+        assert graph.total_edges == expected

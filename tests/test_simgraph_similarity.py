@@ -1,0 +1,112 @@
+"""Cosine similarity join."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simgraph.similarity import (
+    SimilarityConfig,
+    candidate_pairs,
+    cosine,
+    similarity_edges,
+)
+from repro.simgraph.vectors import SparseVector
+
+click_dicts = st.dictionaries(
+    st.sampled_from(["u1", "u2", "u3", "u4", "u5"]),
+    st.integers(1, 50),
+    max_size=5,
+)
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        v = SparseVector({"a": 2, "b": 3})
+        assert math.isclose(cosine(v, v), 1.0)
+
+    def test_orthogonal(self):
+        assert cosine(SparseVector({"a": 1}), SparseVector({"b": 1})) == 0.0
+
+    def test_empty_vector(self):
+        assert cosine(SparseVector({}), SparseVector({"a": 1})) == 0.0
+
+    def test_known_value(self):
+        # Figure 2's example structure: partial URL overlap
+        left = SparseVector({"49ers.com": 25, "espn.com": 10})
+        right = SparseVector({"nfl.com": 20, "espn.com": 15})
+        expected = (10 * 15) / (math.hypot(25, 10) * math.hypot(20, 15))
+        assert math.isclose(cosine(left, right), expected)
+
+    @given(click_dicts, click_dicts)
+    def test_bounded(self, a, b):
+        value = cosine(SparseVector(a), SparseVector(b))
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+    @given(click_dicts, click_dicts)
+    def test_symmetric(self, a, b):
+        va, vb = SparseVector(a), SparseVector(b)
+        assert math.isclose(cosine(va, vb), cosine(vb, va), abs_tol=1e-12)
+
+
+class TestSimilarityConfig:
+    def test_defaults_valid(self):
+        SimilarityConfig()
+
+    def test_threshold_bounds(self):
+        with pytest.raises(ValueError):
+            SimilarityConfig(min_similarity=1.5)
+
+    def test_posting_floor(self):
+        with pytest.raises(ValueError):
+            SimilarityConfig(max_posting_list=1)
+
+
+class TestCandidatePairs:
+    def test_only_co_clicked_pairs(self):
+        vectors = {
+            "a": SparseVector({"u1": 1}),
+            "b": SparseVector({"u1": 1}),
+            "c": SparseVector({"u2": 1}),
+        }
+        pairs = set(candidate_pairs(vectors, SimilarityConfig()))
+        assert pairs == {("a", "b")}
+
+    def test_pairs_unique_even_with_multiple_shared_urls(self):
+        vectors = {
+            "a": SparseVector({"u1": 1, "u2": 1}),
+            "b": SparseVector({"u1": 1, "u2": 1}),
+        }
+        pairs = list(candidate_pairs(vectors, SimilarityConfig()))
+        assert pairs == [("a", "b")]
+
+    def test_long_posting_lists_skipped(self):
+        vectors = {
+            f"q{i}": SparseVector({"hub": 1}) for i in range(10)
+        }
+        config = SimilarityConfig(max_posting_list=5)
+        assert list(candidate_pairs(vectors, config)) == []
+
+
+class TestSimilarityEdges:
+    def test_threshold_applied(self):
+        vectors = {
+            "near1": SparseVector({"u1": 10, "u2": 10}),
+            "near2": SparseVector({"u1": 10, "u2": 9}),
+            "far": SparseVector({"u1": 1, "u3": 99}),
+        }
+        edges = similarity_edges(vectors, SimilarityConfig(min_similarity=0.5))
+        assert ("near1", "near2") in edges
+        assert all(weight >= 0.5 for weight in edges.values())
+
+    def test_edge_keys_sorted(self):
+        vectors = {
+            "zz": SparseVector({"u": 1}),
+            "aa": SparseVector({"u": 1}),
+        }
+        edges = similarity_edges(vectors, SimilarityConfig(min_similarity=0.0))
+        assert list(edges) == [("aa", "zz")]
+
+    def test_no_self_edges(self):
+        vectors = {"a": SparseVector({"u": 5})}
+        assert similarity_edges(vectors) == {}

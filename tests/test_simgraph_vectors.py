@@ -1,0 +1,84 @@
+"""Sparse click vectors."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.querylog.records import Impression
+from repro.querylog.store import QueryLogStore
+from repro.simgraph.vectors import SparseVector, build_click_vectors
+
+click_dicts = st.dictionaries(
+    st.text(st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=8),
+    st.integers(1, 100),
+    max_size=10,
+)
+
+
+class TestSparseVector:
+    def test_norm(self):
+        vector = SparseVector({"a": 3, "b": 4})
+        assert vector.norm == 5.0
+
+    def test_empty_norm(self):
+        assert SparseVector({}).norm == 0.0
+
+    def test_dot_product(self):
+        left = SparseVector({"a": 2, "b": 1})
+        right = SparseVector({"a": 3, "c": 7})
+        assert left.dot(right) == 6.0
+
+    def test_dot_disjoint_is_zero(self):
+        assert SparseVector({"a": 1}).dot(SparseVector({"b": 1})) == 0.0
+
+    def test_non_positive_clicks_rejected(self):
+        with pytest.raises(ValueError):
+            SparseVector({"a": 0})
+
+    def test_len_and_bool(self):
+        assert len(SparseVector({"a": 1, "b": 2})) == 2
+        assert not SparseVector({})
+
+    @given(click_dicts, click_dicts)
+    def test_dot_commutative(self, left, right):
+        a, b = SparseVector(left), SparseVector(right)
+        assert a.dot(b) == b.dot(a)
+
+    @given(click_dicts)
+    def test_cauchy_schwarz(self, components):
+        vector = SparseVector(components)
+        assert vector.dot(vector) <= vector.norm * vector.norm + 1e-9
+
+    @given(click_dicts)
+    def test_self_dot_is_norm_squared(self, components):
+        vector = SparseVector(components)
+        assert math.isclose(
+            vector.dot(vector), vector.norm**2, rel_tol=1e-9, abs_tol=1e-9
+        )
+
+
+class TestBuildClickVectors:
+    def test_from_store(self):
+        store = QueryLogStore()
+        store.extend(
+            [
+                Impression("q1", ("a.com", "b.com")),
+                Impression("q1", ("a.com",)),
+                Impression("q2", ("b.com",)),
+            ]
+        )
+        vectors = build_click_vectors(store, supported_only=False)
+        assert vectors["q1"].components == {"a.com": 2, "b.com": 1}
+        assert vectors["q2"].components == {"b.com": 1}
+
+    def test_support_filtering(self):
+        store = QueryLogStore(min_support=2)
+        store.extend(
+            [
+                Impression("hot", ("u",)),
+                Impression("hot", ("u",)),
+                Impression("cold", ("u",)),
+            ]
+        )
+        assert set(build_click_vectors(store)) == {"hot"}

@@ -1,0 +1,79 @@
+"""Text composition for both platforms."""
+
+import random
+
+from repro.microblog import textgen as mb
+from repro.qa import textgen as qa
+from repro.utils.text import tokenize
+
+
+class TestMicroblogTextgen:
+    def test_tweet_contains_keyword_tokens(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            text = mb.compose_tweet("dow futures", rng)
+            tokens = set(tokenize(text))
+            assert {"dow", "futures"} <= tokens
+
+    def test_tweet_fits_140(self):
+        rng = random.Random(0)
+        long_keyword = "a very long keyword phrase " * 4
+        assert len(mb.compose_tweet(long_keyword.strip(), rng)) <= 140
+
+    def test_mention_names_the_user(self):
+        rng = random.Random(0)
+        text = mb.compose_mention("49ers", "expert_handle", rng)
+        assert "@expert_handle" in text
+
+    def test_retweet_format(self):
+        text = mb.compose_retweet("someone", "original words here")
+        assert text.startswith("rt @someone: ")
+        assert "original words" in text
+
+    def test_spam_mentions_keyword(self):
+        rng = random.Random(0)
+        assert "49ers" in mb.compose_spam("49ers", rng)
+
+    def test_chatter_has_no_placeholder(self):
+        rng = random.Random(0)
+        assert "{" not in mb.compose_chatter(rng)
+
+    def test_screen_names_unique(self):
+        rng = random.Random(0)
+        taken: set[str] = set()
+        names = [mb.make_screen_name("falcons", rng, taken) for _ in range(30)]
+        assert len(names) == len(set(names))
+
+    def test_description_mentions_topic(self):
+        rng = random.Random(0)
+        description = mb.make_description("focused_expert", "austin falcons", rng)
+        assert "austin falcons" in description
+
+
+class TestQATextgen:
+    def test_question_contains_keyword(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            text = qa.compose_question("dow futures", rng)
+            assert {"dow", "futures"} <= set(tokenize(text))
+
+    def test_a2a_mentions_writer(self):
+        rng = random.Random(0)
+        text = qa.compose_a2a("diabetes", "the_writer", rng)
+        assert "@the_writer" in text
+        assert "diabetes" in text
+
+    def test_answer_is_long_form(self):
+        rng = random.Random(0)
+        text = qa.compose_answer("diabetes", rng)
+        assert len(text) > 80
+        assert "diabetes" in text
+
+    def test_share_credits_author(self):
+        text = qa.compose_share("author_handle", "great answer text")
+        assert "@author_handle" in text
+        assert "great answer text" in text
+
+    def test_share_respects_limit(self):
+        text = qa.compose_share("a", "x" * 1000, max_chars=500)
+        assert len(text) <= 500

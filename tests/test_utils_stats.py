@@ -1,0 +1,131 @@
+"""Statistics helpers behind the §3 normalisation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import (
+    log_transform,
+    mean,
+    percentile,
+    stddev,
+    summarize,
+    zscores,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestStddev:
+    def test_constant_is_zero(self):
+        assert stddev([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        assert stddev([2.0, 4.0]) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stddev([])
+
+
+class TestZscores:
+    def test_symmetric_pair(self):
+        assert zscores([1.0, 3.0]) == [-1.0, 1.0]
+
+    def test_constant_pool_all_zero(self):
+        assert zscores([7.0, 7.0, 7.0]) == [0.0, 0.0, 0.0]
+
+    def test_empty(self):
+        assert zscores([]) == []
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    def test_zero_mean(self, values):
+        zs = zscores(values)
+        assert abs(sum(zs) / len(zs)) < 1e-6
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    def test_unit_variance_unless_constant(self, values):
+        zs = zscores(values)
+        if any(z != 0 for z in zs):
+            variance = sum(z * z for z in zs) / len(zs)
+            assert abs(variance - 1.0) < 1e-6
+
+    @given(st.lists(finite_floats, min_size=2, max_size=30))
+    def test_order_preserved(self, values):
+        zs = zscores(values)
+        for i in range(len(values) - 1):
+            if values[i] < values[i + 1]:
+                assert zs[i] <= zs[i + 1]
+
+
+class TestLogTransform:
+    def test_unit_value(self):
+        assert log_transform([1.0]) == [0.0]
+
+    def test_e_value(self):
+        assert abs(log_transform([math.e])[0] - 1.0) < 1e-12
+
+    def test_zero_floored_by_epsilon(self):
+        result = log_transform([0.0], epsilon=1e-3)
+        assert abs(result[0] - math.log(1e-3)) < 1e-12
+
+    def test_epsilon_must_be_positive(self):
+        with pytest.raises(ValueError):
+            log_transform([1.0], epsilon=0.0)
+
+    @given(st.lists(st.floats(0.0, 1e6, allow_nan=False), max_size=30))
+    def test_monotone(self, values):
+        logged = log_transform(values)
+        pairs = sorted(zip(values, logged))
+        for (v1, l1), (v2, l2) in zip(pairs, pairs[1:]):
+            if v1 < v2:
+                assert l1 <= l2
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.mean == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_renders(self):
+        assert "n=2" in str(summarize([1.0, 2.0]))
+
+
+class TestPercentile:
+    def test_median_interpolated(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_extremes(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 3.0
+
+    def test_single_value(self):
+        assert percentile([42.0], 0.3) == 42.0
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)

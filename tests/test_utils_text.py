@@ -1,0 +1,112 @@
+"""Text normalisation — the §3 and §5 matching rules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.text import (
+    contains_all_terms,
+    ngrams,
+    normalize,
+    phrase_key,
+    tokenize,
+    truncate_to_chars,
+)
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("NFL Draft") == "nfl draft"
+
+    def test_collapses_whitespace(self):
+        assert normalize("  san   francisco\t49ers ") == "san francisco 49ers"
+
+    def test_empty(self):
+        assert normalize("") == ""
+
+    @given(st.text(max_size=80))
+    def test_idempotent(self, text):
+        assert normalize(normalize(text)) == normalize(text)
+
+
+class TestTokenize:
+    def test_keeps_hashtag_sigil(self):
+        assert tokenize("#49ers rule") == ["#49ers", "rule"]
+
+    def test_keeps_mention_sigil(self):
+        assert tokenize("@niners rock") == ["@niners", "rock"]
+
+    def test_numbers_kept(self):
+        assert tokenize("top 250") == ["top", "250"]
+
+    def test_apostrophes_kept(self):
+        assert tokenize("let's go") == ["let's", "go"]
+
+    def test_punctuation_split(self):
+        assert tokenize("win,lose;draw") == ["win", "lose", "draw"]
+
+    def test_case_folded(self):
+        assert tokenize("NFL") == ["nfl"]
+
+    @given(st.text(max_size=80))
+    def test_tokens_are_lowercase(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+
+
+class TestPhraseKey:
+    def test_exact_in_order(self):
+        assert phrase_key("Dow  FUTURES") == "dow futures"
+
+    def test_key_stability(self):
+        assert phrase_key(phrase_key("San Francisco")) == "san francisco"
+
+    def test_distinct_orders_distinct_keys(self):
+        # §5 match is "exactly and in order" — order must matter
+        assert phrase_key("futures dow") != phrase_key("dow futures")
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_size_larger_than_input(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_full_width(self):
+        assert ngrams(["a", "b"], 2) == [("a", "b")]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+
+class TestContainsAllTerms:
+    def test_positive(self):
+        assert contains_all_terms({"go", "49ers", "win"}, ["49ers"])
+
+    def test_negative(self):
+        assert not contains_all_terms({"go", "49ers"}, ["49ers", "draft"])
+
+    def test_empty_query_matches(self):
+        assert contains_all_terms({"x"}, [])
+
+
+class TestTruncate:
+    def test_short_text_untouched(self):
+        assert truncate_to_chars("short", 140) == "short"
+
+    def test_cuts_on_word_boundary(self):
+        text = "aaaa bbbb cccc"
+        clipped = truncate_to_chars(text, 10)
+        assert clipped == "aaaa bbbb"
+
+    def test_hard_cut_without_spaces(self):
+        assert truncate_to_chars("a" * 200, 140) == "a" * 140
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            truncate_to_chars("x", 0)
+
+    @given(st.text(max_size=300), st.integers(1, 140))
+    def test_never_exceeds_limit(self, text, limit):
+        assert len(truncate_to_chars(text, limit)) <= limit

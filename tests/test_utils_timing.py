@@ -1,0 +1,102 @@
+"""Stage clock and Table 9 formatting."""
+
+import pytest
+
+from repro.utils.timing import (
+    StageClock,
+    StageReport,
+    format_bytes,
+    format_seconds,
+)
+
+
+class TestFormatBytes:
+    def test_gigabytes(self):
+        assert format_bytes(2_600_000_000) == "2.6 GB"
+
+    def test_megabytes(self):
+        assert format_bytes(94_000_000) == "94 MB"
+
+    def test_kilobytes(self):
+        assert format_bytes(2_000) == "2 KB"
+
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatSeconds:
+    def test_milliseconds(self):
+        assert format_seconds(0.05) == "50 ms"
+
+    def test_seconds(self):
+        assert format_seconds(12.0) == "12 sec"
+
+    def test_minutes(self):
+        assert format_seconds(38 * 60) == "38 min"
+
+    def test_hours(self):
+        assert format_seconds(7200) == "2 hours"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_seconds(-0.1)
+
+
+class TestStageClock:
+    def test_measures_elapsed_time(self):
+        clock = StageClock()
+        with clock.stage("work") as report:
+            report.bytes_read = 100
+        assert clock.reports[0].seconds >= 0.0
+        assert clock.reports[0].bytes_read == 100
+
+    def test_stage_order_preserved(self):
+        clock = StageClock()
+        with clock.stage("b"):
+            pass
+        with clock.stage("a"):
+            pass
+        assert [r.name for r in clock.reports] == ["b", "a"]
+
+    def test_same_stage_merges(self):
+        clock = StageClock()
+        with clock.stage("x", workers=2) as report:
+            report.bytes_read = 10
+        with clock.stage("x", workers=5) as report:
+            report.bytes_read = 20
+        assert len(clock.reports) == 1
+        merged = clock.reports[0]
+        assert merged.bytes_read == 30
+        assert merged.workers == 5
+
+    def test_exception_discards_report(self):
+        clock = StageClock()
+        with pytest.raises(RuntimeError):
+            with clock.stage("bad"):
+                raise RuntimeError("boom")
+        assert clock.reports == []
+
+    def test_total_seconds(self):
+        clock = StageClock()
+        with clock.stage("a"):
+            pass
+        with clock.stage("b"):
+            pass
+        assert clock.total_seconds() >= 0.0
+
+
+class TestStageReport:
+    def test_merge_name_mismatch(self):
+        with pytest.raises(ValueError):
+            StageReport("a").merge(StageReport("b"))
+
+    def test_as_row_shape(self):
+        row = StageReport(
+            "Extraction", workers=65, seconds=38 * 60,
+            bytes_read=998_000_000_000, bytes_written=2_600_000_000,
+        ).as_row()
+        assert row == ("Extraction", 65, "38 min", "998 GB", "2.6 GB")

@@ -1,0 +1,86 @@
+"""Zipf sampling."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.zipf import ZipfSampler, zipf_weights
+
+
+class TestZipfWeights:
+    def test_basic_values(self):
+        assert zipf_weights(3) == [1.0, 0.5, 1 / 3]
+
+    def test_exponent_zero_is_uniform(self):
+        assert zipf_weights(4, 0.0) == [1.0, 1.0, 1.0, 1.0]
+
+    def test_empty(self):
+        assert zipf_weights(0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(-1)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(5, -0.5)
+
+    @given(st.integers(1, 200), st.floats(0.0, 3.0))
+    def test_monotone_decreasing(self, count, exponent):
+        weights = zipf_weights(count, exponent)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+
+class TestZipfSampler:
+    def test_sample_in_range(self):
+        sampler = ZipfSampler(10, rng=random.Random(0))
+        for _ in range(100):
+            assert 0 <= sampler.sample() < 10
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(20, 1.3, random.Random(0))
+        total = sum(sampler.probability(i) for i in range(20))
+        assert abs(total - 1.0) < 1e-9
+
+    def test_head_heavier_than_tail(self):
+        sampler = ZipfSampler(50, 1.0, random.Random(1))
+        draws = sampler.sample_many(5000)
+        head = sum(1 for d in draws if d == 0)
+        tail = sum(1 for d in draws if d == 49)
+        assert head > tail
+
+    def test_empirical_matches_theoretical(self):
+        sampler = ZipfSampler(5, 1.0, random.Random(2))
+        draws = sampler.sample_many(20000)
+        freq0 = draws.count(0) / len(draws)
+        assert abs(freq0 - sampler.probability(0)) < 0.02
+
+    def test_deterministic_given_rng(self):
+        a = ZipfSampler(10, rng=random.Random(5)).sample_many(20)
+        b = ZipfSampler(10, rng=random.Random(5)).sample_many(20)
+        assert a == b
+
+    def test_sample_item(self):
+        items = ["a", "b", "c"]
+        sampler = ZipfSampler(3, rng=random.Random(0))
+        assert sampler.sample_item(items) in items
+
+    def test_sample_item_length_mismatch(self):
+        sampler = ZipfSampler(3, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            sampler.sample_item(["only", "two"])
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+
+    def test_negative_draws_rejected(self):
+        sampler = ZipfSampler(3, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            sampler.sample_many(-1)
+
+    def test_probability_index_bounds(self):
+        sampler = ZipfSampler(3, rng=random.Random(0))
+        with pytest.raises(IndexError):
+            sampler.probability(3)

@@ -1,0 +1,121 @@
+"""World construction invariants."""
+
+import pytest
+
+from repro.utils.text import phrase_key
+from repro.worldmodel.builder import build_world
+from repro.worldmodel.config import WorldConfig
+
+
+class TestWorldConfigValidation:
+    def test_defaults_valid(self):
+        WorldConfig()
+
+    def test_zero_topics_rejected(self):
+        with pytest.raises(ValueError):
+            WorldConfig(topics_per_domain=0)
+
+    def test_keyword_bounds_ordered(self):
+        with pytest.raises(ValueError):
+            WorldConfig(min_keywords_per_topic=10, max_keywords_per_topic=4)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            WorldConfig(misspelling_rate=1.5)
+
+    def test_empty_domains_rejected(self):
+        with pytest.raises(ValueError):
+            WorldConfig(domains=())
+
+    def test_scaled(self):
+        scaled = WorldConfig(topics_per_domain=40).scaled(0.5)
+        assert scaled.topics_per_domain == 20
+
+    def test_scaled_floor(self):
+        assert WorldConfig(topics_per_domain=4).scaled(0.01).topics_per_domain == 2
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            WorldConfig().scaled(0.0)
+
+
+class TestBuildWorld:
+    @pytest.fixture(scope="class")
+    def built(self):
+        return build_world(WorldConfig(seed=99, topics_per_domain=10))
+
+    def test_topic_count(self, built):
+        assert len(built.topics) == 10 * len(built.domains)
+
+    def test_determinism(self, built):
+        again = build_world(WorldConfig(seed=99, topics_per_domain=10))
+        assert [t.name for t in again.topics] == [t.name for t in built.topics]
+        for t1, t2 in zip(built.topics, again.topics):
+            assert [k.text for k in t1.keywords] == [k.text for k in t2.keywords]
+            assert t1.microblog_affinity == t2.microblog_affinity
+
+    def test_seed_changes_world(self, built):
+        other = build_world(WorldConfig(seed=100, topics_per_domain=10))
+        assert [t.name for t in other.topics] != [t.name for t in built.topics]
+
+    def test_every_topic_has_canonical(self, built):
+        for topic in built.topics:
+            assert topic.canonical.kind == "canonical"
+
+    def test_keyword_texts_normalised(self, built):
+        for topic in built.topics:
+            for keyword in topic.keywords:
+                assert keyword.text == phrase_key(keyword.text)
+
+    def test_keyword_budget_respected(self, built):
+        config = WorldConfig(seed=99, topics_per_domain=10)
+        for topic in built.topics:
+            assert len(topic.keywords) <= config.max_keywords_per_topic + 1
+
+    def test_no_duplicate_keywords_within_topic(self, built):
+        for topic in built.topics:
+            texts = [k.text for k in topic.keywords]
+            assert len(texts) == len(set(texts))
+
+    def test_urls_unique_within_topic(self, built):
+        for topic in built.topics:
+            assert len(topic.urls) == len(set(topic.urls))
+
+    def test_hub_urls_shared_within_domain(self, built):
+        for domain in built.domains:
+            topics = built.topics_in_domain(domain)
+            hubs = {tuple(t.hub_urls) for t in topics}
+            assert len(hubs) == 1
+
+    def test_hub_urls_differ_across_domains(self, built):
+        hubs = {tuple(built.topics_in_domain(d)[0].hub_urls) for d in built.domains}
+        assert len(hubs) == len(built.domains)
+
+    def test_popularity_decreasing_within_domain(self, built):
+        for domain in built.domains:
+            pops = [t.popularity for t in built.topics_in_domain(domain)]
+            assert pops == sorted(pops, reverse=True)
+
+    def test_some_topics_are_search_only(self, built):
+        affinities = [t.microblog_affinity for t in built.topics]
+        assert any(a < 0.2 for a in affinities)
+        assert any(a >= 0.6 for a in affinities)
+
+    def test_some_ambiguity_exists(self, built):
+        ambiguous = [t for t in built.vocabulary() if built.is_ambiguous(t)]
+        assert ambiguous
+
+    def test_search_only_rate_zero_all_tweetable(self):
+        world = build_world(
+            WorldConfig(seed=5, topics_per_domain=5, search_only_rate=0.0)
+        )
+        assert all(t.microblog_affinity >= 0.6 for t in world.topics)
+
+    def test_sports_stems_are_city_noun(self, built):
+        for topic in built.topics_in_domain("sports"):
+            assert len(topic.name.split()) == 2
+
+    def test_ground_truth_covers_vocabulary(self, built):
+        communities = built.ground_truth_communities()
+        covered = set().union(*communities.values())
+        assert covered == set(built.vocabulary())

@@ -1,0 +1,125 @@
+"""World-model data structures."""
+
+import pytest
+
+from repro.worldmodel.model import Keyword, Topic, WorldModel
+
+
+def make_topic(topic_id=0, name="test topic", domain="sports", **kwargs):
+    defaults = dict(
+        keywords=[Keyword(name, topic_id, "canonical", 10.0)],
+        urls=["testtopic.com"],
+        hub_urls=["hub.com"],
+        popularity=1.0,
+    )
+    defaults.update(kwargs)
+    return Topic(topic_id=topic_id, name=name, domain=domain, **defaults)
+
+
+class TestKeyword:
+    def test_valid(self):
+        kw = Keyword("dow futures", 1, "canonical", 2.0)
+        assert kw.text == "dow futures"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Keyword("x y", 1, "mystery")
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Keyword("xyz", 1, "canonical", 0.0)
+
+    def test_unnormalised_text_rejected(self):
+        with pytest.raises(ValueError):
+            Keyword("Dow Futures", 1, "canonical")
+
+
+class TestTopic:
+    def test_canonical_found(self):
+        topic = make_topic()
+        assert topic.canonical.text == "test topic"
+
+    def test_no_keywords_rejected(self):
+        with pytest.raises(ValueError):
+            make_topic(keywords=[])
+
+    def test_no_urls_rejected(self):
+        with pytest.raises(ValueError):
+            make_topic(urls=[])
+
+    def test_all_urls_includes_hubs(self):
+        topic = make_topic()
+        assert topic.all_urls() == ["testtopic.com", "hub.com"]
+
+    def test_bad_affinity_rejected(self):
+        with pytest.raises(ValueError):
+            make_topic(microblog_affinity=1.5)
+
+    def test_missing_canonical_raises(self):
+        topic = make_topic(
+            keywords=[Keyword("variant only", 0, "variant", 1.0)]
+        )
+        with pytest.raises(LookupError):
+            topic.canonical
+
+
+class TestWorldModel:
+    @pytest.fixture
+    def tiny_world(self):
+        t0 = make_topic(0, "alpha club", "sports")
+        t0.keywords.append(Keyword("shared term", 0, "shared", 2.0))
+        t1 = make_topic(1, "beta fund", "finance", popularity=5.0)
+        t1.keywords.append(Keyword("shared term", 1, "shared", 2.0))
+        return WorldModel(
+            topics=[t0, t1], domains=("sports", "finance"), seed=1
+        )
+
+    def test_topic_lookup(self, tiny_world):
+        assert tiny_world.topic(1).name == "beta fund"
+
+    def test_unknown_topic(self, tiny_world):
+        with pytest.raises(KeyError):
+            tiny_world.topic(99)
+
+    def test_duplicate_topic_id_rejected(self):
+        with pytest.raises(ValueError):
+            WorldModel(
+                topics=[make_topic(0), make_topic(0, name="other topic")],
+                domains=("sports",),
+                seed=1,
+            )
+
+    def test_topics_in_domain(self, tiny_world):
+        assert [t.name for t in tiny_world.topics_in_domain("finance")] == [
+            "beta fund"
+        ]
+
+    def test_unknown_domain(self, tiny_world):
+        with pytest.raises(KeyError):
+            tiny_world.topics_in_domain("cooking")
+
+    def test_ambiguity_detection(self, tiny_world):
+        assert tiny_world.is_ambiguous("shared term")
+        assert not tiny_world.is_ambiguous("alpha club")
+
+    def test_primary_topic_is_most_popular(self, tiny_world):
+        primary = tiny_world.primary_topic_for("shared term")
+        assert primary is not None and primary.name == "beta fund"
+
+    def test_primary_topic_unknown_term(self, tiny_world):
+        assert tiny_world.primary_topic_for("nonexistent") is None
+
+    def test_lookup_normalises(self, tiny_world):
+        assert tiny_world.keywords_for("  Alpha   CLUB ")
+
+    def test_ground_truth_assigns_ambiguous_to_primary(self, tiny_world):
+        communities = tiny_world.ground_truth_communities()
+        assert "shared term" in communities[1]
+        assert "shared term" not in communities[0]
+
+    def test_vocabulary_sorted_unique(self, tiny_world):
+        vocab = tiny_world.vocabulary()
+        assert vocab == sorted(set(vocab))
+
+    def test_len(self, tiny_world):
+        assert len(tiny_world) == 2

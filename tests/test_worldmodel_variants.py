@@ -1,0 +1,96 @@
+"""Surface-form variant generation."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.worldmodel.variants import (
+    abbreviation,
+    hashtag_variant,
+    misspellings,
+    surface_variants,
+)
+
+
+class TestHashtagVariant:
+    def test_collapses_spaces(self):
+        assert hashtag_variant("san francisco") == "#sanfrancisco"
+
+    def test_single_word(self):
+        assert hashtag_variant("diabetes") == "#diabetes"
+
+    def test_strips_special_chars(self):
+        assert hashtag_variant("s&p 500") == "#sp500"
+
+
+class TestAbbreviation:
+    def test_initialism(self):
+        assert abbreviation("san francisco") == "sf"
+
+    def test_three_words(self):
+        assert abbreviation("bears injury report") == "bir"
+
+    def test_single_word_prefix(self):
+        assert abbreviation("diabetes") == "diab"
+
+
+class TestMisspellings:
+    def test_differs_from_original(self):
+        rng = random.Random(0)
+        for spelled in misspellings("francisco", rng, count=3):
+            assert spelled != "francisco"
+
+    def test_requested_count(self):
+        rng = random.Random(0)
+        assert len(misspellings("california", rng, count=2)) == 2
+
+    def test_too_short_returns_empty(self):
+        assert misspellings("ab", random.Random(0)) == []
+
+    def test_single_edit_distance(self):
+        rng = random.Random(1)
+        word = "baltimore"
+        for spelled in misspellings(word, rng, count=5):
+            assert abs(len(spelled) - len(word)) <= 1
+
+    def test_first_letter_intact(self):
+        rng = random.Random(2)
+        for spelled in misspellings("seattle", rng, count=5):
+            assert spelled[0] == "s"
+
+    def test_deterministic(self):
+        a = misspellings("portland", random.Random(9), count=3)
+        b = misspellings("portland", random.Random(9), count=3)
+        assert a == b
+
+    @given(st.integers(0, 5))
+    def test_never_more_than_requested(self, count):
+        assert len(misspellings("sacramento", random.Random(0), count)) <= count
+
+
+class TestSurfaceVariants:
+    def test_no_duplicates(self):
+        variants = surface_variants("san francisco", random.Random(0))
+        assert len(variants) == len(set(variants))
+
+    def test_original_never_included(self):
+        for seed in range(10):
+            assert "oakland" not in surface_variants("oakland", random.Random(seed))
+
+    def test_multiword_gets_abbreviation(self):
+        variants = surface_variants(
+            "san francisco", random.Random(0), hashtag_rate=0.0, misspelling_rate=0.0
+        )
+        assert "sf" in variants
+
+    def test_rates_zero_single_word_empty(self):
+        variants = surface_variants(
+            "diabetes", random.Random(0), hashtag_rate=0.0, misspelling_rate=0.0
+        )
+        assert variants == []
+
+    def test_hashtag_rate_one_includes_hashtag(self):
+        variants = surface_variants(
+            "diabetes", random.Random(0), hashtag_rate=1.0, misspelling_rate=0.0
+        )
+        assert "#diabetes" in variants
