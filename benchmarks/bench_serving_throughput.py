@@ -1,0 +1,64 @@
+"""SRV1 — serving throughput and tail latency (queries/sec trajectory).
+
+The paper serves its online stages at interactive latencies (Table 9);
+this bench starts tracking the *traffic* dimension on top of them: a
+Zipf (duplicate-heavy) workload replayed through the concurrent
+:class:`~repro.serving.service.ExpertService` versus the same workload
+answered serially with no result cache.  The serving tier must win by at
+least 2x — that is the cache + single-flight + sharded detection doing
+real work, not thread-scheduling noise.
+
+Writes ``BENCH_serving.json`` at the repo root (qps, p50/p95/p99, cache
+hit rate) so future PRs can diff the perf trajectory.
+"""
+
+import json
+import pathlib
+
+from repro.serving.loadgen import run_serve
+from repro.serving.service import ServiceConfig
+
+from conftest import write_artifact
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+REQUESTS = 400
+CONCURRENCY = 8
+
+
+def test_serving_throughput(benchmark, ctx, results_dir):
+    outcome = benchmark.pedantic(
+        run_serve,
+        args=(ctx.system,),
+        kwargs={
+            "requests": REQUESTS,
+            "concurrency": CONCURRENCY,
+            "max_unique": 64,
+            "zipf_exponent": 1.1,
+            "service_config": ServiceConfig(detection_workers=4),
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    report = outcome.report
+    assert report.errors == 0
+    assert outcome.baseline is not None and outcome.baseline.errors == 0
+    # the serving tier must earn its keep on a warm duplicate-heavy stream
+    assert outcome.speedup is not None and outcome.speedup >= 2.0
+    # the workload is duplicate-heavy, so a warm cache dominates
+    assert report.cache_hit_rate > 0.5
+    # hit + miss accounting must close over every admitted request
+    info = outcome.stats.cache
+    assert info.hits + info.misses == outcome.stats.requests
+
+    payload = outcome.to_dict()
+    bench_path = REPO_ROOT / "BENCH_serving.json"
+    bench_path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    write_artifact(
+        results_dir,
+        "serving_throughput",
+        outcome.render() + f"\n[json written to {bench_path}]",
+    )

@@ -4,13 +4,16 @@
 
     python -m repro build      [--scale small|standard] [--seed N] [--save-domains PATH]
     python -m repro query Q    [--scale ...] [--seed N] [--baseline] [--min-zscore X]
+    python -m repro serve      [--queries N] [--concurrency K] [--scale ...] [--json PATH]
     python -m repro experiment {fig5,fig6,fig7,table8,fig8,fig9,table9} [--scale ...]
     python -m repro sql "SELECT ..." --table name=path.tsv [--table ...]
 
 ``build``/``query`` construct the full system from scratch (the small
-scale takes ~15 s); ``experiment`` runs one §6 driver and prints the
-rendered artifact; ``sql`` executes ad-hoc statements on TSV tables with
-the bundled engine.
+scale takes ~15 s); ``serve`` replays a Zipf query workload through the
+concurrent serving engine and reports throughput + tail latencies;
+``experiment`` runs one §6 driver and prints the rendered artifact;
+``sql`` executes ad-hoc statements on TSV tables with the bundled
+engine.
 """
 
 from __future__ import annotations
@@ -80,6 +83,56 @@ def cmd_query(args: argparse.Namespace) -> int:
     if not experts:
         print("  (none above the threshold)")
     return 0
+
+
+def run_serve_command(system, args: argparse.Namespace) -> int:
+    """Drive the serving engine for an already-built system.
+
+    Split from :func:`cmd_serve` so tests can reuse a session-scoped
+    system instead of paying a fresh build.
+    """
+    import json
+
+    from repro.serving.loadgen import run_serve
+    from repro.serving.service import ServiceConfig
+
+    outcome = run_serve(
+        system,
+        requests=args.queries,
+        concurrency=args.concurrency,
+        max_unique=args.unique,
+        zipf_exponent=args.zipf_exponent,
+        seed=args.seed,
+        min_zscore=args.min_zscore,
+        service_config=ServiceConfig(detection_workers=args.workers),
+        baseline=not args.no_baseline,
+    )
+    print(outcome.render())
+    if args.json:
+        payload = outcome.to_dict()
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"json report written to {args.json}")
+    clean = outcome.report.errors == 0 and (
+        outcome.baseline is None or outcome.baseline.errors == 0
+    )
+    return 0 if clean else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    # validate before paying for a build
+    for name in ("queries", "concurrency", "unique", "workers"):
+        value = getattr(args, name)
+        if value < 1:
+            print(f"--{name} must be >= 1, got {value}", file=sys.stderr)
+            return 2
+    if args.zipf_exponent < 0:
+        print(f"--zipf-exponent must be non-negative, got "
+              f"{args.zipf_exponent}", file=sys.stderr)
+        return 2
+    system = _build_system(args)
+    return run_serve_command(system, args)
 
 
 _EXPERIMENTS = ("fig5", "fig6", "fig7", "table8", "fig8", "fig9", "table9")
@@ -194,6 +247,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run Pal & Counts without expansion")
     p_query.add_argument("--min-zscore", type=float, default=None)
     p_query.set_defaults(handler=cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve", help="replay a query workload through the serving engine"
+    )
+    add_scale(p_serve)
+    p_serve.add_argument("--queries", type=int, default=200,
+                         help="requests to replay (default 200)")
+    p_serve.add_argument("--concurrency", type=int, default=8,
+                         help="client threads (default 8)")
+    p_serve.add_argument("--unique", type=int, default=64,
+                         help="distinct queries in the workload head")
+    p_serve.add_argument("--zipf-exponent", type=float, default=1.1,
+                         help="workload skew (>1 = heavier head)")
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="detection worker threads")
+    p_serve.add_argument("--min-zscore", type=float, default=None)
+    p_serve.add_argument("--no-baseline", action="store_true",
+                         help="skip the serial uncached comparison pass")
+    p_serve.add_argument("--json", metavar="PATH",
+                         help="also write the report as JSON")
+    p_serve.set_defaults(handler=cmd_serve)
 
     p_exp = sub.add_parser("experiment", help="run one §6 driver")
     add_scale(p_exp)

@@ -8,9 +8,19 @@
 ``build()`` runs the offline stage (and generates the microblog corpus);
 ``find_experts`` / ``find_experts_baseline`` answer queries with and
 without expansion, which is precisely the comparison of §6.2.
+
+Serving state lives in one atomically hot-swappable
+:class:`~repro.serving.snapshot.ServiceSnapshot` — offline artifacts and
+online pipeline always change together, so a concurrent reader can never
+observe a fresh domain store paired with a stale pipeline (or vice
+versa).  ``serve()`` wraps the built system in the concurrent
+:class:`~repro.serving.service.ExpertService`.
 """
 
 from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
 
 from repro.core.config import ESharpConfig
 from repro.core.offline import OfflineArtifacts, OfflinePipeline
@@ -19,6 +29,10 @@ from repro.detector.palcounts import PalCountsDetector
 from repro.detector.ranking import RankedExpert
 from repro.microblog.generator import generate_platform
 from repro.microblog.platform import MicroblogPlatform
+from repro.serving.snapshot import ServiceSnapshot, SnapshotHolder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serving.service import ExpertService, ServiceConfig
 
 
 class NotBuiltError(RuntimeError):
@@ -30,47 +44,58 @@ class ESharp:
 
     def __init__(self, config: ESharpConfig | None = None) -> None:
         self.config = config or ESharpConfig()
-        self._offline: OfflineArtifacts | None = None
+        #: the single publish/read point for all swappable serving state
+        self.snapshots = SnapshotHolder()
+        #: serialises build/refresh (readers never take this lock)
+        self._swap_lock = threading.Lock()
         self._platform: MicroblogPlatform | None = None
-        self._online: OnlinePipeline | None = None
         self._detector: PalCountsDetector | None = None
 
     # -- lifecycle --------------------------------------------------------------
 
     def build(self) -> "ESharp":
         """Run the offline stage and materialise the microblog corpus."""
-        offline = OfflinePipeline(self.config).run()
-        platform = generate_platform(offline.world, self.config.microblog)
-        detector = PalCountsDetector(
-            platform,
-            ranking=self.config.ranking,
-            normalization=self.config.normalization,
-        )
-        self._offline = offline
-        self._platform = platform
-        self._detector = detector
-        self._online = OnlinePipeline(offline.domain_store, detector)
+        with self._swap_lock:
+            offline = OfflinePipeline(self.config).run()
+            platform = generate_platform(offline.world, self.config.microblog)
+            detector = PalCountsDetector(
+                platform,
+                ranking=self.config.ranking,
+                normalization=self.config.normalization,
+            )
+            self._platform = platform
+            self._detector = detector
+            self.snapshots.publish(
+                offline, OnlinePipeline(offline.domain_store, detector)
+            )
         return self
 
     @property
     def is_built(self) -> bool:
-        return self._online is not None
+        return self.snapshots.get() is not None
 
-    def _require_built(self) -> OnlinePipeline:
-        if self._online is None:
+    def _require_snapshot(self) -> ServiceSnapshot:
+        snapshot = self.snapshots.get()
+        if snapshot is None:
             raise NotBuiltError(
                 "call ESharp.build() before querying; the offline stage has "
                 "not produced a domain collection yet"
             )
-        return self._online
+        return snapshot
+
+    def _require_built(self) -> OnlinePipeline:
+        return self._require_snapshot().pipeline
 
     # -- artifacts -----------------------------------------------------------------
 
     @property
+    def snapshot(self) -> ServiceSnapshot:
+        """The current serving generation (pin it for consistent reads)."""
+        return self._require_snapshot()
+
+    @property
     def offline(self) -> OfflineArtifacts:
-        if self._offline is None:
-            raise NotBuiltError("offline artifacts exist only after build()")
-        return self._offline
+        return self._require_snapshot().offline
 
     @property
     def platform(self) -> MicroblogPlatform:
@@ -112,6 +137,15 @@ class ESharp:
         terms, _ = self._require_built().expander.expand_terms(query)
         return terms
 
+    # -- serving ------------------------------------------------------------------
+
+    def serve(self, config: "ServiceConfig | None" = None) -> "ExpertService":
+        """Wrap the built system in a concurrent :class:`ExpertService`."""
+        from repro.serving.service import ExpertService
+
+        self._require_snapshot()
+        return ExpertService(self, config)
+
     # -- §6.3: "The offline part of our system runs weekly" -----------------
 
     def refresh_domains(self, querylog_config=None) -> "ESharp":
@@ -121,17 +155,25 @@ class ESharp:
         the latest month of logs while the online serving path keeps
         running.  This re-executes extraction + clustering (optionally
         under a new :class:`~repro.querylog.QueryLogConfig`, e.g. a new
-        seed standing in for a new week of traffic) and swaps the domain
-        store under the existing detector; the microblog corpus and
-        detector caches are untouched.
+        seed standing in for a new week of traffic) and publishes the
+        result as one new :class:`ServiceSnapshot` — a single atomic
+        swap, so concurrent readers see either the old generation or the
+        new one, never a mixture.  The microblog corpus and detector
+        caches are untouched.
         """
         from dataclasses import replace
 
-        online = self._require_built()
+        self._require_snapshot()
         config = self.config
         if querylog_config is not None:
             config = replace(config, querylog=querylog_config)
-        offline = OfflinePipeline(config).run(world=self.offline.world)
-        self._offline = offline
-        self._online = OnlinePipeline(offline.domain_store, online.detector)
+        with self._swap_lock:
+            # re-read the generation inside the lock: a concurrent build()
+            # may have republished, and pairing its detector with a world
+            # pinned outside the lock would mix generations
+            snapshot = self._require_snapshot()
+            offline = OfflinePipeline(config).run(world=snapshot.offline.world)
+            self.snapshots.publish(
+                offline, OnlinePipeline(offline.domain_store, self._detector)
+            )
         return self

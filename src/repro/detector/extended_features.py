@@ -32,6 +32,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.detector.candidates import collect_candidates
+from repro.detector.memo import ScoreMemoMixin
 from repro.detector.normalize import NormalizationConfig
 from repro.detector.ranking import RankedExpert, RankingConfig
 from repro.detector.features import FeatureVector
@@ -151,7 +152,7 @@ _FEATURE_NAMES = (
 )
 
 
-class ExtendedPalCountsDetector:
+class ExtendedPalCountsDetector(ScoreMemoMixin):
     """Pal & Counts with the full feature set — the ABL6 comparator."""
 
     def __init__(
@@ -161,25 +162,13 @@ class ExtendedPalCountsDetector:
         weights: ExtendedWeights | None = None,
         normalization: NormalizationConfig | None = None,
         cache_scores: bool = True,
+        cache_capacity: int | None = None,
     ) -> None:
         self.platform = platform
         self.ranking = ranking or RankingConfig()
         self.weights = weights or ExtendedWeights()
         self.normalization = normalization or NormalizationConfig()
-        self._cache: dict[str, list[RankedExpert]] | None = (
-            {} if cache_scores else None
-        )
-
-    def score(self, query: str) -> list[RankedExpert]:
-        from repro.utils.text import phrase_key
-
-        key = phrase_key(query)
-        if self._cache is not None and key in self._cache:
-            return self._cache[key]
-        result = self._score_uncached(query)
-        if self._cache is not None:
-            self._cache[key] = result
-        return result
+        self._init_score_cache(cache_scores, cache_capacity)
 
     def detect(
         self, query: str, min_zscore: float | None = None

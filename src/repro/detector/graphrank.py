@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from repro.detector.candidates import CandidateStats, collect_candidates
 from repro.detector.features import FeatureVector, compute_features
 from repro.detector.normalize import NormalizedFeatures
+from repro.detector.memo import ScoreMemoMixin
 from repro.detector.ranking import RankedExpert, RankingConfig
 from repro.microblog.platform import MicroblogPlatform
 from repro.utils.stats import zscores
@@ -49,7 +50,7 @@ class GraphRankConfig:
             raise ValueError("max_iterations must be >= 1")
 
 
-class GraphRankDetector:
+class GraphRankDetector(ScoreMemoMixin):
     """Topic-sensitive PageRank over the per-query influence graph."""
 
     def __init__(
@@ -58,26 +59,14 @@ class GraphRankDetector:
         ranking: RankingConfig | None = None,
         config: GraphRankConfig | None = None,
         cache_scores: bool = True,
+        cache_capacity: int | None = None,
     ) -> None:
         self.platform = platform
         self.ranking = ranking or RankingConfig()
         self.config = config or GraphRankConfig()
-        self._cache: dict[str, list[RankedExpert]] | None = (
-            {} if cache_scores else None
-        )
+        self._init_score_cache(cache_scores, cache_capacity)
 
     # -- the PalCountsDetector-compatible interface ---------------------------
-
-    def score(self, query: str) -> list[RankedExpert]:
-        from repro.utils.text import phrase_key
-
-        key = phrase_key(query)
-        if self._cache is not None and key in self._cache:
-            return self._cache[key]
-        result = self._score_uncached(query)
-        if self._cache is not None:
-            self._cache[key] = result
-        return result
 
     def detect(self, query: str, min_zscore: float | None = None) -> list[RankedExpert]:
         threshold = (

@@ -1,0 +1,57 @@
+"""Shared per-term score memoisation for the detector family.
+
+Every detector exposes ``score(query) -> list[RankedExpert]`` over an
+append-only platform, and the evaluation sweeps (and the serving tier's
+expansion fan-out) re-visit the same terms across hundreds of queries —
+so each detector memoises its scored pools.  The memo is bounded (LRU)
+so long-running services cannot grow it without limit, and observable
+(``cache_info()``) so benches can report it.
+
+Detectors mix this in and implement ``_score_uncached``.
+"""
+
+from __future__ import annotations
+
+from repro.detector.ranking import RankedExpert
+from repro.utils.cache import CacheInfo, LRUCache
+
+#: per-term pools are small and terms repeat heavily across sweeps, so a
+#: few thousand entries cover every evaluation workload; long-running
+#: services stay bounded instead of growing one entry per distinct term
+DEFAULT_CACHE_CAPACITY = 8192
+
+
+class ScoreMemoMixin:
+    """Bounded, observable memoisation of :meth:`score` by phrase key."""
+
+    _cache: LRUCache
+
+    def _init_score_cache(
+        self, cache_scores: bool, cache_capacity: int | None = None
+    ) -> None:
+        if cache_capacity is None:
+            cache_capacity = DEFAULT_CACHE_CAPACITY
+        self._cache = LRUCache(cache_capacity if cache_scores else 0)
+
+    def score(self, query: str) -> list[RankedExpert]:
+        """The full scored candidate pool (threshold *not* applied)."""
+        from repro.utils.text import phrase_key
+
+        key = phrase_key(query)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._score_uncached(query)
+        self._cache.put(key, result)
+        return result
+
+    def _score_uncached(self, query: str) -> list[RankedExpert]:
+        raise NotImplementedError
+
+    def cache_info(self) -> CacheInfo:
+        """Counters of the per-term memo (hits/misses/evictions/size)."""
+        return self._cache.cache_info()
+
+    def cache_clear(self) -> int:
+        """Drop every memoised pool; returns how many were dropped."""
+        return self._cache.clear()

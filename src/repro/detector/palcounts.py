@@ -18,10 +18,13 @@ from repro.detector.ranking import (
     rank_candidates,
     score_candidates,
 )
+from repro.detector.memo import DEFAULT_CACHE_CAPACITY, ScoreMemoMixin
 from repro.microblog.platform import MicroblogPlatform
 
+__all__ = ["DEFAULT_CACHE_CAPACITY", "PalCountsDetector"]
 
-class PalCountsDetector:
+
+class PalCountsDetector(ScoreMemoMixin):
     """Query → ranked experts on one platform."""
 
     def __init__(
@@ -31,6 +34,7 @@ class PalCountsDetector:
         normalization: NormalizationConfig | None = None,
         cluster_filter: GaussianClusterFilter | None = None,
         cache_scores: bool = True,
+        cache_capacity: int | None = None,
     ) -> None:
         self.platform = platform
         self.ranking = ranking or RankingConfig()
@@ -39,24 +43,10 @@ class PalCountsDetector:
         #: ("computationally expensive, and ... contrary to our objective of
         #: improving recall"), so it is off unless explicitly supplied
         self.cluster_filter = cluster_filter
-        #: memoise per-term scored pools — safe because the platform is
+        #: memoising per-term scored pools is safe because the platform is
         #: append-only after build and the evaluation sweeps re-visit the
         #: same expansion terms across hundreds of queries
-        self._cache: dict[str, list[RankedExpert]] | None = (
-            {} if cache_scores else None
-        )
-
-    def score(self, query: str) -> list[RankedExpert]:
-        """The full scored candidate pool (threshold *not* applied)."""
-        from repro.utils.text import phrase_key
-
-        key = phrase_key(query)
-        if self._cache is not None and key in self._cache:
-            return self._cache[key]
-        result = self._score_uncached(query)
-        if self._cache is not None:
-            self._cache[key] = result
-        return result
+        self._init_score_cache(cache_scores, cache_capacity)
 
     def _score_uncached(self, query: str) -> list[RankedExpert]:
         stats = collect_candidates(self.platform, query)

@@ -93,6 +93,10 @@ class DomainStore:
     def keyword_count(self) -> int:
         return len(self._index)
 
+    def known_keywords(self) -> list[str]:
+        """Every normalised phrase the exact-match index can resolve."""
+        return list(self._index)
+
     def to_table(self) -> Table:
         """Relational export: ``domains(domain_id, keyword)``."""
         rows = [

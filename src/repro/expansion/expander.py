@@ -62,9 +62,29 @@ class QueryExpander:
     def score(self, query: str) -> ExpansionResult:
         """Scored union pool with no threshold applied (sweep-friendly)."""
         terms, domain_id = self.expand_terms(query)
+        return self.score_terms(query, terms, domain_id)
+
+    def score_terms(
+        self,
+        query: str,
+        terms: list[str],
+        domain_id: str | None,
+        term_scorer=None,
+    ) -> ExpansionResult:
+        """Union already-expanded ``terms`` into one scored pool.
+
+        ``term_scorer`` maps the term list to one scored pool per term;
+        the default scores sequentially on the expander's own detector.
+        The serving tier passes a pool-sharded scorer here so each
+        community term scores on its own worker thread.
+        """
+        if term_scorer is None:
+            pools = [self.detector.score(term) for term in terms]
+        else:
+            pools = term_scorer(terms)
         best: dict[int, RankedExpert] = {}
-        for term in terms:
-            for expert in self.detector.score(term):
+        for pool in pools:
+            for expert in pool:
                 incumbent = best.get(expert.user_id)
                 if incumbent is None or expert.score > incumbent.score:
                     best[expert.user_id] = expert

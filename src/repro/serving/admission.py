@@ -1,0 +1,133 @@
+"""Admission control: bounded concurrency with backpressure.
+
+An interactive service protects its latency target by refusing work it
+cannot start soon, instead of queueing unboundedly.  The controller
+tracks two populations: requests *executing* (at most ``max_in_flight``)
+and requests *waiting* for a slot (at most ``max_queue_depth``).  A
+request that would overflow the wait queue — or that waits longer than
+``timeout_seconds`` — is rejected with a typed
+:class:`~repro.serving.errors.ServiceOverloadedError` so clients can
+back off deliberately.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.serving.errors import ServiceOverloadedError
+
+
+@dataclass(frozen=True)
+class AdmissionStats:
+    """Counters for the ops surface (rejections are split by cause)."""
+
+    admitted: int
+    rejected_queue_full: int
+    rejected_timeout: int
+    in_flight: int
+    waiting: int
+
+    @property
+    def rejected(self) -> int:
+        return self.rejected_queue_full + self.rejected_timeout
+
+
+class AdmissionController:
+    """Slot-based admission with a bounded wait queue and wait deadline."""
+
+    def __init__(
+        self,
+        max_in_flight: int = 16,
+        max_queue_depth: int = 64,
+        timeout_seconds: float = 5.0,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        if max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}"
+            )
+        if timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be positive, got {timeout_seconds}"
+            )
+        self.max_in_flight = max_in_flight
+        self.max_queue_depth = max_queue_depth
+        self.timeout_seconds = timeout_seconds
+        self._condition = threading.Condition()
+        self._in_flight = 0
+        self._waiting = 0
+        self._admitted = 0
+        self._rejected_queue_full = 0
+        self._rejected_timeout = 0
+
+    @contextmanager
+    def slot(self) -> Iterator[None]:
+        """Hold one execution slot for the duration of the ``with`` body."""
+        self.acquire()
+        try:
+            yield
+        finally:
+            self.release()
+
+    def acquire(self) -> None:
+        """Block until a slot frees up, or reject with backpressure."""
+        deadline = time.monotonic() + self.timeout_seconds
+        with self._condition:
+            if self._in_flight < self.max_in_flight:
+                self._in_flight += 1
+                self._admitted += 1
+                return
+            if self._waiting >= self.max_queue_depth:
+                self._rejected_queue_full += 1
+                raise ServiceOverloadedError(
+                    "queue full",
+                    in_flight=self._in_flight,
+                    waiting=self._waiting,
+                )
+            self._waiting += 1
+            try:
+                while self._in_flight >= self.max_in_flight:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._condition.wait(remaining):
+                        self._rejected_timeout += 1
+                        raise ServiceOverloadedError(
+                            "admission timeout",
+                            in_flight=self._in_flight,
+                            waiting=self._waiting,
+                        )
+                self._in_flight += 1
+                self._admitted += 1
+            finally:
+                self._waiting -= 1
+
+    def release(self) -> None:
+        with self._condition:
+            if self._in_flight <= 0:
+                raise RuntimeError("release() without a matching acquire()")
+            self._in_flight -= 1
+            self._condition.notify()
+
+    @property
+    def in_flight(self) -> int:
+        with self._condition:
+            return self._in_flight
+
+    @property
+    def waiting(self) -> int:
+        with self._condition:
+            return self._waiting
+
+    def stats(self) -> AdmissionStats:
+        with self._condition:
+            return AdmissionStats(
+                admitted=self._admitted,
+                rejected_queue_full=self._rejected_queue_full,
+                rejected_timeout=self._rejected_timeout,
+                in_flight=self._in_flight,
+                waiting=self._waiting,
+            )

@@ -1,0 +1,19 @@
+"""The serving tier's result cache — a bounded LRU with TTL.
+
+The unbounded per-term memoisation the detector shipped with is fine
+for a one-shot evaluation sweep but fatal for a long-running service: a
+heavy query stream touches an ever-growing key space.  The serving tier
+keys this cache on ``(snapshot version, normalised query, threshold)``
+so a domain refresh simply starts a new key space and old generations
+age out via LRU.
+
+The implementation lives in :mod:`repro.utils.cache` (a dependency-free
+building block the detector layer also uses for its score memo); this
+module is the serving tier's public name for it.
+"""
+
+from __future__ import annotations
+
+from repro.utils.cache import CacheInfo, LRUCache
+
+__all__ = ["CacheInfo", "LRUCache"]

@@ -1,0 +1,39 @@
+"""Typed failure modes of the serving tier.
+
+The online path of the paper is interactive (Table 9: expansion < 100 ms,
+detection < 1 s), so the serving layer fails *fast and typed* rather than
+queueing unboundedly: a saturated service raises
+:class:`ServiceOverloadedError` instead of letting latency collapse.
+"""
+
+from __future__ import annotations
+
+
+class ServingError(RuntimeError):
+    """Base class for every serving-tier failure."""
+
+
+class ServiceClosedError(ServingError):
+    """The service was shut down; no further queries are accepted."""
+
+
+class ServiceOverloadedError(ServingError):
+    """Admission control rejected the request (queue full or wait too long).
+
+    Carries enough context for a client to implement sensible backoff.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        in_flight: int = 0,
+        waiting: int = 0,
+    ) -> None:
+        super().__init__(
+            f"service overloaded ({reason}): "
+            f"{in_flight} in flight, {waiting} waiting"
+        )
+        self.reason = reason
+        self.in_flight = in_flight
+        self.waiting = waiting

@@ -1,0 +1,350 @@
+"""Zipf workload replay + latency harness for the serving engine.
+
+Web query traffic is famously head-skewed, and the paper's own
+evaluation sets (Table 1) are drawn from the most popular logged
+queries.  :func:`build_workload` reproduces that shape: it ranks the
+simulated log's supported queries by popularity and samples requests
+Zipf-distributed over that head, so a replayed workload is naturally
+duplicate-heavy — exactly the regime the result cache and single-flight
+are built for.
+
+:class:`LoadGenerator` replays a workload from ``concurrency`` client
+threads and aggregates per-stage latencies into a
+:class:`LatencyReport` (throughput plus p50/p95/p99), the serving
+analogue of the paper's Table 9 online-latency numbers.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.utils.stats import percentile
+from repro.utils.zipf import ZipfSampler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.esharp import ESharp
+    from repro.serving.service import ExpertService, ServiceConfig, ServiceStats
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of a replayed query stream."""
+
+    requests: int = 200
+    #: how many distinct queries the stream draws from (the "head")
+    max_unique: int = 64
+    #: Zipf skew; >1 concentrates traffic on the few most popular queries
+    zipf_exponent: float = 1.1
+    seed: int = 2016
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.max_unique < 1:
+            raise ValueError(f"max_unique must be >= 1, got {self.max_unique}")
+
+
+def candidate_queries(system: "ESharp", limit: int) -> List[str]:
+    """The ``limit`` most popular supported queries of the simulated log.
+
+    Falls back to domain-store keywords when the log yields nothing
+    (tiny worlds), so the generator always has material.
+    """
+    store = system.offline.store
+    frequency = {
+        query: store.query_count(query) for query in store.supported_queries()
+    }
+    ranked = sorted(frequency, key=lambda q: (-frequency[q], q))
+    if not ranked:
+        ranked = sorted(system.offline.domain_store.known_keywords())[:limit]
+    return ranked[:limit]
+
+
+def build_workload(
+    system: "ESharp", config: WorkloadConfig | None = None
+) -> List[str]:
+    """Sample a duplicate-heavy request stream over the popular head."""
+    config = config or WorkloadConfig()
+    head = candidate_queries(system, config.max_unique)
+    if not head:
+        raise ValueError("no candidate queries available for the workload")
+    sampler = ZipfSampler(
+        len(head),
+        exponent=config.zipf_exponent,
+        rng=random.Random(config.seed),
+    )
+    return [head[sampler.sample()] for _ in range(config.requests)]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Outcome of one replayed request."""
+
+    query: str
+    ok: bool
+    total_seconds: float
+    expansion_seconds: float
+    detection_seconds: float
+    cache_hit: bool
+    coalesced: bool
+    snapshot_version: int
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Aggregated replay outcome — throughput and tail latencies."""
+
+    requests: int
+    errors: int
+    concurrency: int
+    wall_seconds: float
+    #: successfully answered queries per second (rejections don't count)
+    qps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    expansion_p95_ms: float
+    detection_p95_ms: float
+    cache_hit_rate: float
+    cache_hits: int
+    coalesced: int
+    snapshot_versions: tuple
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["snapshot_versions"] = list(self.snapshot_versions)
+        return payload
+
+    def render(self, title: str = "serving replay") -> str:
+        lines = [
+            f"{title}",
+            f"  requests:      {self.requests} "
+            f"({self.errors} errors, concurrency={self.concurrency})",
+            f"  throughput:    {self.qps:.1f} queries/sec "
+            f"over {self.wall_seconds:.2f} s",
+            f"  latency:       p50={self.p50_ms:.2f} ms  "
+            f"p95={self.p95_ms:.2f} ms  p99={self.p99_ms:.2f} ms  "
+            f"mean={self.mean_ms:.2f} ms",
+            f"  stages (p95):  expansion={self.expansion_p95_ms:.2f} ms  "
+            f"detection={self.detection_p95_ms:.2f} ms",
+            f"  cache:         {self.cache_hits} hits "
+            f"({self.cache_hit_rate:.1%}), {self.coalesced} coalesced",
+            f"  snapshots:     versions seen {sorted(self.snapshot_versions)}",
+        ]
+        return "\n".join(lines)
+
+
+class LoadGenerator:
+    """Replay a workload against an :class:`ExpertService` from K threads."""
+
+    def __init__(
+        self,
+        service: "ExpertService",
+        workload: Sequence[str],
+        concurrency: int = 1,
+        min_zscore: float | None = None,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        if not workload:
+            raise ValueError("workload must not be empty")
+        self.service = service
+        self.workload = list(workload)
+        self.concurrency = concurrency
+        self.min_zscore = min_zscore
+
+    def run(self) -> LatencyReport:
+        records: List[Optional[RequestRecord]] = [None] * len(self.workload)
+        cursor = iter(range(len(self.workload)))
+        cursor_lock = threading.Lock()
+
+        def worker() -> None:
+            while True:
+                with cursor_lock:
+                    index = next(cursor, None)
+                if index is None:
+                    return
+                records[index] = self._one(self.workload[index])
+
+        threads = [
+            threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+            for i in range(self.concurrency)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        done = [r for r in records if r is not None]
+        return self._aggregate(done, wall)
+
+    def _one(self, query: str) -> RequestRecord:
+        started = time.perf_counter()
+        try:
+            answer = self.service.query(query, self.min_zscore)
+        except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+            return RequestRecord(
+                query=query,
+                ok=False,
+                total_seconds=time.perf_counter() - started,
+                expansion_seconds=0.0,
+                detection_seconds=0.0,
+                cache_hit=False,
+                coalesced=False,
+                snapshot_version=0,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        return RequestRecord(
+            query=query,
+            ok=True,
+            total_seconds=answer.total_seconds,
+            expansion_seconds=answer.expansion_seconds,
+            detection_seconds=answer.detection_seconds,
+            cache_hit=answer.cache_hit,
+            coalesced=answer.coalesced,
+            snapshot_version=answer.snapshot_version,
+        )
+
+    def _aggregate(
+        self, records: List[RequestRecord], wall_seconds: float
+    ) -> LatencyReport:
+        ok = [r for r in records if r.ok]
+        errors = len(records) - len(ok)
+        totals = [r.total_seconds for r in ok] or [0.0]
+        expansions = [r.expansion_seconds for r in ok if not r.cache_hit]
+        detections = [r.detection_seconds for r in ok if not r.cache_hit]
+        hits = sum(1 for r in ok if r.cache_hit)
+        return LatencyReport(
+            requests=len(records),
+            errors=errors,
+            concurrency=self.concurrency,
+            wall_seconds=wall_seconds,
+            qps=len(ok) / wall_seconds if wall_seconds > 0 else 0.0,
+            p50_ms=percentile(totals, 0.50) * 1000,
+            p95_ms=percentile(totals, 0.95) * 1000,
+            p99_ms=percentile(totals, 0.99) * 1000,
+            mean_ms=sum(totals) / len(totals) * 1000,
+            expansion_p95_ms=percentile(expansions or [0.0], 0.95) * 1000,
+            detection_p95_ms=percentile(detections or [0.0], 0.95) * 1000,
+            cache_hit_rate=hits / len(ok) if ok else 0.0,
+            cache_hits=hits,
+            coalesced=sum(1 for r in ok if r.coalesced),
+            snapshot_versions=tuple(sorted({r.snapshot_version for r in ok})),
+        )
+
+
+@dataclass(frozen=True)
+class ServeOutcome:
+    """A full `serve` run: baseline pass, measured pass, service counters."""
+
+    report: LatencyReport
+    baseline: LatencyReport | None
+    stats: "ServiceStats"
+    #: measured qps over serial-uncached qps (None when baseline skipped)
+    speedup: float | None
+
+    def to_dict(self) -> dict:
+        return {
+            "qps": self.report.qps,
+            "p50_ms": self.report.p50_ms,
+            "p95_ms": self.report.p95_ms,
+            "p99_ms": self.report.p99_ms,
+            "mean_ms": self.report.mean_ms,
+            "cache_hit_rate": self.report.cache_hit_rate,
+            "coalesced": self.report.coalesced,
+            "requests": self.report.requests,
+            "errors": self.report.errors,
+            "concurrency": self.report.concurrency,
+            "baseline_qps": self.baseline.qps if self.baseline else None,
+            "speedup_vs_serial": self.speedup,
+            "snapshot_version": self.stats.snapshot_version,
+        }
+
+    def render(self) -> str:
+        blocks = []
+        if self.baseline is not None:
+            blocks.append(
+                self.baseline.render("baseline — concurrency 1, no cache")
+            )
+        blocks.append(self.report.render("serving engine — warm"))
+        if self.speedup is not None:
+            blocks.append(f"  speedup:       {self.speedup:.1f}x over serial uncached")
+        return "\n".join(blocks)
+
+
+def run_serve(
+    system: "ESharp",
+    *,
+    requests: int = 200,
+    concurrency: int = 8,
+    max_unique: int = 64,
+    zipf_exponent: float = 1.1,
+    seed: int = 2016,
+    min_zscore: float | None = None,
+    service_config: "ServiceConfig | None" = None,
+    baseline: bool = True,
+    warmup: bool = True,
+) -> ServeOutcome:
+    """Replay one Zipf workload through the serving engine, end to end.
+
+    Runs (optionally) a *serial uncached* baseline pass first — one
+    client thread, result cache and single-flight disabled, detector
+    memo cleared — then the measured pass at ``concurrency`` against a
+    fully-featured (and, by default, warmed) :class:`ExpertService`.
+    Both passes start from cold detector caches, so the measured
+    advantage is the serving tier's own work (result cache, coalescing,
+    sharded detection), not leftover heat from the baseline.
+    """
+    from repro.serving.service import ExpertService, ServiceConfig
+
+    workload = build_workload(
+        system,
+        WorkloadConfig(
+            requests=requests,
+            max_unique=max_unique,
+            zipf_exponent=zipf_exponent,
+            seed=seed,
+        ),
+    )
+
+    baseline_report: LatencyReport | None = None
+    if baseline:
+        system.detector.cache_clear()
+        serial_config = ServiceConfig(
+            detection_workers=1,
+            batch_workers=1,
+            cache_capacity=0,
+            single_flight=False,
+            max_in_flight=1,
+        )
+        with ExpertService(system, serial_config) as serial:
+            baseline_report = LoadGenerator(
+                serial, workload, concurrency=1, min_zscore=min_zscore
+            ).run()
+        system.detector.cache_clear()
+
+    service = ExpertService(system, service_config or ServiceConfig())
+    try:
+        if warmup:
+            for query in dict.fromkeys(workload):
+                service.query(query, min_zscore)
+        report = LoadGenerator(
+            service, workload, concurrency=concurrency, min_zscore=min_zscore
+        ).run()
+        stats = service.stats()
+    finally:
+        service.close()
+
+    speedup = None
+    if baseline_report is not None and baseline_report.qps > 0:
+        speedup = report.qps / baseline_report.qps
+    return ServeOutcome(
+        report=report, baseline=baseline_report, stats=stats, speedup=speedup
+    )

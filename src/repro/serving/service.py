@@ -1,0 +1,315 @@
+"""The `ExpertService` facade — e# as a traffic-serving engine.
+
+One built :class:`~repro.core.esharp.ESharp` system answers queries for
+many concurrent clients through this facade:
+
+* every request **pins one snapshot** (domain store + detector +
+  pipeline) for its whole execution, so a weekly-refresh swap happening
+  underneath can never mix generations within an answer;
+* results are cached in a bounded LRU(+TTL) keyed on
+  ``(snapshot version, normalised query, threshold)`` — a swap simply
+  starts a new key space and the old generation ages out;
+* duplicate in-flight queries are coalesced (single-flight), and the
+  asynchronous :meth:`submit` path micro-batches duplicates arriving
+  within one scheduling window;
+* per-term detection of an expanded query is sharded across a worker
+  pool (each community term scores independently, §5 union semantics);
+* admission control bounds in-flight work and queue depth, rejecting the
+  overflow with :class:`~repro.serving.errors.ServiceOverloadedError`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, List, Tuple
+
+from repro.detector.ranking import RankedExpert
+from repro.serving.admission import AdmissionController, AdmissionStats
+from repro.serving.cache import CacheInfo, LRUCache
+from repro.serving.errors import ServiceClosedError
+from repro.serving.singleflight import SingleFlight
+from repro.serving.snapshot import ServiceSnapshot, SnapshotHolder
+from repro.serving.workers import MicroBatchScheduler, PoolStats, WorkerPool
+from repro.utils.text import phrase_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.esharp import ESharp
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every serving knob, with defaults sized for a laptop-scale deploy."""
+
+    #: threads sharding per-term detection of expanded queries
+    detection_workers: int = 4
+    #: threads executing micro-batched asynchronous submissions
+    batch_workers: int = 4
+    #: result-cache entries (0 disables caching)
+    cache_capacity: int = 2048
+    #: result-cache entry lifetime (None = never expires)
+    cache_ttl_seconds: float | None = None
+    #: coalesce duplicate in-flight queries
+    single_flight: bool = True
+    max_in_flight: int = 16
+    max_queue_depth: int = 128
+    admission_timeout_seconds: float = 10.0
+    #: how long the async scheduler lets a micro-batch form
+    batch_window_seconds: float = 0.002
+    max_batch: int = 64
+
+    def __post_init__(self) -> None:
+        if self.detection_workers < 1 or self.batch_workers < 1:
+            raise ValueError("worker counts must be >= 1")
+
+
+@dataclass(frozen=True)
+class ServedAnswer:
+    """One answered query, stamped with serving provenance."""
+
+    query: str
+    experts: Tuple[RankedExpert, ...]
+    terms: Tuple[str, ...]
+    matched_domain: str | None
+    #: which generation of the domain collection answered
+    snapshot_version: int
+    #: served straight from the result cache
+    cache_hit: bool
+    #: piggybacked on another request's in-flight computation
+    coalesced: bool
+    expansion_seconds: float
+    detection_seconds: float
+    total_seconds: float
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Aggregated serving counters (the ops surface)."""
+
+    requests: int
+    snapshot_version: int
+    cache: CacheInfo
+    admission: AdmissionStats
+    flight_leaders: int
+    flight_coalesced: int
+    batches_dispatched: int
+    batch_coalesced: int
+    detection_pool: PoolStats
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+
+class ExpertService:
+    """Concurrent query serving over a built e# system."""
+
+    def __init__(
+        self,
+        system: "ESharp",
+        config: ServiceConfig | None = None,
+    ) -> None:
+        if not system.is_built:
+            raise ValueError(
+                "ExpertService requires a built system; call ESharp.build() first"
+            )
+        self.system = system
+        self.config = config or ServiceConfig()
+        self._snapshots: SnapshotHolder = system.snapshots
+        self._cache: LRUCache = LRUCache(
+            self.config.cache_capacity, self.config.cache_ttl_seconds
+        )
+        self._flight: SingleFlight | None = (
+            SingleFlight() if self.config.single_flight else None
+        )
+        self._admission = AdmissionController(
+            max_in_flight=self.config.max_in_flight,
+            max_queue_depth=self.config.max_queue_depth,
+            timeout_seconds=self.config.admission_timeout_seconds,
+        )
+        self._detect_pool = WorkerPool(
+            self.config.detection_workers, name="repro-detect"
+        )
+        self._batch_pool = WorkerPool(
+            self.config.batch_workers, name="repro-batch"
+        )
+        self._batcher: MicroBatchScheduler = MicroBatchScheduler(
+            self._batch_pool,
+            window_seconds=self.config.batch_window_seconds,
+            max_batch=self.config.max_batch,
+        )
+        self._counter_lock = threading.Lock()
+        self._requests = 0
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting work and release the pools (idempotent)."""
+        self._closed = True
+        self._batcher.close()
+        self._batch_pool.shutdown()
+        self._detect_pool.shutdown()
+
+    def __enter__(self) -> "ExpertService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- the synchronous serving path -------------------------------------------
+
+    def query(
+        self, query: str, min_zscore: float | None = None
+    ) -> ServedAnswer:
+        """Answer one query against the current snapshot.
+
+        Raises :class:`ServiceOverloadedError` under backpressure and
+        :class:`ServiceClosedError` after :meth:`close`.
+        """
+        started = time.perf_counter()
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        with self._admission.slot():
+            snapshot = self._require_snapshot()
+            threshold = (
+                min_zscore
+                if min_zscore is not None
+                else snapshot.detector.ranking.min_zscore
+            )
+            key = (snapshot.version, phrase_key(query), threshold)
+            with self._counter_lock:
+                self._requests += 1
+            cached = self._cache.get(key)
+            if cached is not None:
+                return replace(
+                    cached,
+                    cache_hit=True,
+                    coalesced=False,
+                    total_seconds=time.perf_counter() - started,
+                )
+
+            def compute() -> ServedAnswer:
+                return self._compute(snapshot, query, threshold)
+
+            if self._flight is not None:
+                answer, leader = self._flight.do(key, compute)
+            else:
+                answer, leader = compute(), True
+            if leader:
+                self._cache.put(key, answer)
+            return replace(
+                answer,
+                coalesced=not leader,
+                total_seconds=time.perf_counter() - started,
+            )
+
+    # -- the asynchronous, micro-batched path ------------------------------------
+
+    def submit(
+        self, query: str, min_zscore: float | None = None
+    ) -> "Future[ServedAnswer]":
+        """Enqueue a query; duplicates within one batching window coalesce."""
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        key = (phrase_key(query), min_zscore)
+        return self._batcher.submit(key, lambda: self.query(query, min_zscore))
+
+    def query_many(
+        self, queries: List[str], min_zscore: float | None = None
+    ) -> List[ServedAnswer]:
+        """Answer a batch; results in input order."""
+        futures = [self.submit(q, min_zscore) for q in queries]
+        return [future.result() for future in futures]
+
+    # -- refresh (§6.3 weekly rebuild, zero downtime) ----------------------------
+
+    def refresh_domains(self, querylog_config=None) -> ServiceSnapshot:
+        """Rebuild the domain collection and atomically swap it in.
+
+        In-flight requests keep the snapshot they pinned; requests that
+        start after the swap see the new generation.  Cached results of
+        the old generation become unreachable (the version is part of
+        the cache key) and age out via LRU.
+        """
+        self.system.refresh_domains(querylog_config)
+        return self._require_snapshot()
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def snapshot_version(self) -> int:
+        return self._snapshots.version
+
+    def cache_info(self) -> CacheInfo:
+        return self._cache.cache_info()
+
+    def stats(self) -> ServiceStats:
+        with self._counter_lock:
+            requests = self._requests
+        flight = self._flight
+        return ServiceStats(
+            requests=requests,
+            snapshot_version=self._snapshots.version,
+            cache=self._cache.cache_info(),
+            admission=self._admission.stats(),
+            flight_leaders=flight.leaders if flight is not None else 0,
+            flight_coalesced=flight.coalesced if flight is not None else 0,
+            batches_dispatched=self._batcher.batches_dispatched,
+            batch_coalesced=self._batcher.coalesced,
+            detection_pool=self._detect_pool.stats(),
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _require_snapshot(self) -> ServiceSnapshot:
+        snapshot = self._snapshots.get()
+        if snapshot is None:  # pragma: no cover - guarded by constructor
+            raise ServiceClosedError("no snapshot published")
+        return snapshot
+
+    def _compute(
+        self, snapshot: ServiceSnapshot, query: str, threshold: float
+    ) -> ServedAnswer:
+        expander = snapshot.pipeline.expander
+        started = time.perf_counter()
+        terms, domain_id = expander.expand_terms(query)
+        expansion_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        result = expander.score_terms(
+            query,
+            terms,
+            domain_id,
+            term_scorer=self._term_scorer(snapshot),
+        )
+        kept = [e for e in result.scored_pool if e.score >= threshold]
+        experts = tuple(kept[: snapshot.detector.ranking.max_results])
+        detection_seconds = time.perf_counter() - started
+
+        return ServedAnswer(
+            query=query,
+            experts=experts,
+            terms=tuple(terms),
+            matched_domain=domain_id,
+            snapshot_version=snapshot.version,
+            cache_hit=False,
+            coalesced=False,
+            expansion_seconds=expansion_seconds,
+            detection_seconds=detection_seconds,
+            total_seconds=0.0,
+        )
+
+    def _term_scorer(
+        self, snapshot: ServiceSnapshot
+    ) -> Callable[[List[str]], List[List[RankedExpert]]]:
+        """Shard per-term scoring across the detection pool."""
+
+        def scorer(terms: List[str]) -> List[List[RankedExpert]]:
+            if len(terms) <= 1:
+                return [snapshot.detector.score(term) for term in terms]
+            return self._detect_pool.map_ordered(snapshot.detector.score, terms)
+
+        return scorer

@@ -1,0 +1,82 @@
+"""Single-flight execution: duplicate concurrent calls cost one pass.
+
+Expert queries are heavily head-skewed (the Table 1 sets are drawn from
+the most popular logged queries), so a traffic burst is dominated by
+duplicates.  When several threads ask for the same key at the same time,
+exactly one (the *leader*) computes; the rest (*followers*) block on the
+leader's future and share its result — or its exception.  Combined with
+the result cache this means a cold popular query is scored once, not
+once per concurrent requester.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Callable, Dict, Generic, Hashable, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class SingleFlight(Generic[K, V]):
+    """Coalesce concurrent calls with equal keys onto one execution."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[K, "Future[V]"] = {}
+        self._leaders = 0
+        self._coalesced = 0
+
+    def do(
+        self,
+        key: K,
+        fn: Callable[[], V],
+        timeout: float | None = None,
+    ) -> Tuple[V, bool]:
+        """Run ``fn`` once per in-flight ``key``.
+
+        Returns ``(value, leader)`` where ``leader`` tells the caller
+        whether *this* invocation computed the value (leaders typically
+        go on to populate a cache; followers must not).  Exceptions from
+        the leader propagate to every waiter.
+        """
+        with self._lock:
+            existing = self._flights.get(key)
+            if existing is not None:
+                self._coalesced += 1
+            else:
+                flight: "Future[V]" = Future()
+                self._flights[key] = flight
+                self._leaders += 1
+
+        if existing is not None:
+            return existing.result(timeout=timeout), False
+
+        # leader: compute outside the lock, publish, then retire the flight
+        try:
+            value = fn()
+        except BaseException as exc:
+            flight.set_exception(exc)
+            raise
+        else:
+            flight.set_result(value)
+            return value, True
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._flights)
+
+    @property
+    def leaders(self) -> int:
+        """How many calls actually executed their function."""
+        return self._leaders
+
+    @property
+    def coalesced(self) -> int:
+        """How many calls were served by someone else's execution."""
+        return self._coalesced

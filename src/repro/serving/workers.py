@@ -1,0 +1,231 @@
+"""Worker pool and micro-batching scheduler.
+
+Two pieces of the serving engine's execution substrate:
+
+* :class:`WorkerPool` — a counted wrapper around
+  :class:`concurrent.futures.ThreadPoolExecutor`.  The service uses one
+  pool to shard per-term detection (an expanded query scores each
+  community term independently — an embarrassingly parallel fan-out) and
+  a second, separate pool to execute batched submissions, so a batch task
+  that itself fans out per-term work can never deadlock waiting on its
+  own pool.
+
+* :class:`MicroBatchScheduler` — an asynchronous submission front.  Calls
+  arriving within one batching window are buffered; duplicate keys in a
+  window collapse onto a single execution whose result fans back out to
+  every submitter (the batched complement of in-flight single-flight).
+  A burst of identical popular queries therefore costs one scoring pass.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, Hashable, Iterable, List, Tuple, TypeVar
+
+from repro.serving.errors import ServiceClosedError
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    submitted: int
+    completed: int
+    failed: int
+
+    @property
+    def outstanding(self) -> int:
+        return self.submitted - self.completed - self.failed
+
+
+class WorkerPool:
+    """A ThreadPoolExecutor with task accounting and a strict-order map."""
+
+    def __init__(self, max_workers: int, name: str = "repro-serving") -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix=name
+        )
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._closed = False
+
+    def submit(self, fn: Callable[..., V], *args, **kwargs) -> "Future[V]":
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("worker pool is shut down")
+            self._submitted += 1
+        future = self._executor.submit(fn, *args, **kwargs)
+        future.add_done_callback(self._account)
+        return future
+
+    def map_ordered(
+        self, fn: Callable[[T], R], items: Iterable[T]
+    ) -> List[R]:
+        """Apply ``fn`` to every item on the pool; results in input order.
+
+        Unlike ``Executor.map`` this submits everything up front and
+        surfaces the *first* failure after all tasks settle, so one bad
+        item cannot strand siblings mid-flight.
+        """
+        futures = [self.submit(fn, item) for item in items]
+        results: List[R] = []
+        first_error: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def _account(self, future: "Future[V]") -> None:
+        with self._lock:
+            if future.exception() is not None:
+                self._failed += 1
+            else:
+                self._completed += 1
+
+    def stats(self) -> PoolStats:
+        with self._lock:
+            return PoolStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+            )
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._closed = True
+        self._executor.shutdown(wait=wait)
+
+
+class MicroBatchScheduler(Generic[K, V]):
+    """Buffer submissions briefly; execute each distinct key once per batch.
+
+    ``submit(key, fn)`` returns a future immediately.  A background
+    dispatcher wakes at most every ``window_seconds`` (or immediately
+    when a batch reaches ``max_batch`` distinct keys), moves the pending
+    batch to the pool, and fans each key's single result out to all of
+    its submitters.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        window_seconds: float = 0.002,
+        max_batch: int = 64,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be positive, got {window_seconds}"
+            )
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.pool = pool
+        self.window_seconds = window_seconds
+        self.max_batch = max_batch
+        self._condition = threading.Condition()
+        #: key -> (fn to run once, futures awaiting the result)
+        self._pending: Dict[K, Tuple[Callable[[], V], List["Future[V]"]]] = {}
+        self._closed = False
+        self._batches_dispatched = 0
+        self._coalesced = 0
+        self._dispatcher = threading.Thread(
+            target=self._run, name="repro-serving-batcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    def submit(self, key: K, fn: Callable[[], V]) -> "Future[V]":
+        future: "Future[V]" = Future()
+        with self._condition:
+            if self._closed:
+                raise ServiceClosedError("scheduler is shut down")
+            entry = self._pending.get(key)
+            if entry is not None:
+                entry[1].append(future)
+                self._coalesced += 1
+            else:
+                self._pending[key] = (fn, [future])
+            # always wake the dispatcher: it may be parked on an empty queue
+            self._condition.notify()
+        return future
+
+    def flush(self) -> None:
+        """Dispatch whatever is pending right now (test/shutdown hook)."""
+        with self._condition:
+            batch = self._take_batch_locked()
+        self._dispatch(batch)
+
+    def _take_batch_locked(
+        self,
+    ) -> Dict[K, Tuple[Callable[[], V], List["Future[V]"]]]:
+        batch = self._pending
+        self._pending = {}
+        return batch
+
+    def _dispatch(
+        self, batch: Dict[K, Tuple[Callable[[], V], List["Future[V]"]]]
+    ) -> None:
+        if not batch:
+            return
+        with self._condition:
+            self._batches_dispatched += 1
+        for _key, (fn, futures) in batch.items():
+            self.pool.submit(self._run_entry, fn, futures)
+
+    @staticmethod
+    def _run_entry(fn: Callable[[], V], futures: List["Future[V]"]) -> None:
+        try:
+            value = fn()
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            for future in futures:
+                future.set_exception(exc)
+        else:
+            for future in futures:
+                future.set_result(value)
+
+    def _run(self) -> None:
+        while True:
+            with self._condition:
+                if self._closed and not self._pending:
+                    return
+                if not self._pending:
+                    self._condition.wait()
+                    continue
+                # a batch is forming: give stragglers one window to join,
+                # but dispatch immediately once it reaches max_batch keys
+                self._condition.wait_for(
+                    lambda: len(self._pending) >= self.max_batch
+                    or self._closed,
+                    timeout=self.window_seconds,
+                )
+                batch = self._take_batch_locked()
+            self._dispatch(batch)
+
+    @property
+    def batches_dispatched(self) -> int:
+        return self._batches_dispatched
+
+    @property
+    def coalesced(self) -> int:
+        """Submissions that piggybacked on another submission's execution."""
+        return self._coalesced
+
+    def close(self) -> None:
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+        self._dispatcher.join(timeout=2.0)
+        self.flush()

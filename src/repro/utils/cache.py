@@ -1,0 +1,174 @@
+"""Bounded LRU + TTL cache with observable counters.
+
+A dependency-free building block used by both the detector layer (the
+per-term score memo) and the serving tier (the result cache): bounds
+memory (LRU eviction), bounds staleness (optional TTL), and counts every
+hit/miss/eviction/expiration so benches and the ops surface can reason
+about it (``cache_info()``).  Thread-safe.
+
+The clock is injectable so TTL behaviour is deterministically testable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+#: sentinel distinguishing "not cached" from a cached ``None``
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Point-in-time counters, modelled on ``functools.lru_cache``'s."""
+
+    hits: int
+    misses: int
+    evictions: int
+    expirations: int
+    size: int
+    capacity: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"evictions={self.evictions} expirations={self.expirations} "
+            f"size={self.size}/{self.capacity} "
+            f"hit_rate={self.hit_rate:.1%}"
+        )
+
+
+class LRUCache(Generic[K, V]):
+    """Thread-safe bounded mapping with LRU eviction and optional TTL.
+
+    ``capacity=0`` disables caching entirely (every lookup misses, every
+    store is dropped) — callers can keep one code path and switch caching
+    off by configuration.  ``ttl_seconds=None`` means entries never
+    expire; otherwise an entry older than the TTL is treated as a miss
+    and counted as an expiration.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> (value, stored_at)
+        self._entries: "OrderedDict[K, Tuple[V, float]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    # -- core mapping protocol -------------------------------------------------
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """Return the live value for ``key`` or ``default``; counts the lookup."""
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                self._misses += 1
+                return default
+            value, stored_at = entry
+            if self._expired(stored_at):
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: K, value: V) -> None:
+        """Store ``key`` → ``value``, evicting the LRU entry when full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (value, self._clock())
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __contains__(self, key: K) -> bool:
+        """Membership *without* touching recency or counters."""
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                return False
+            return not self._expired(entry[1])
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> Iterator[K]:
+        with self._lock:
+            return iter(list(self._entries.keys()))
+
+    # -- maintenance -----------------------------------------------------------
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+
+    def purge_expired(self) -> int:
+        """Proactively drop expired entries (TTL caches only)."""
+        if self.ttl_seconds is None:
+            return 0
+        with self._lock:
+            dead = [k for k, (_, at) in self._entries.items() if self._expired(at)]
+            for key in dead:
+                del self._entries[key]
+            self._expirations += len(dead)
+            return len(dead)
+
+    def cache_info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+    # -- internals -------------------------------------------------------------
+
+    def _expired(self, stored_at: float) -> bool:
+        return (
+            self.ttl_seconds is not None
+            and self._clock() - stored_at >= self.ttl_seconds
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LRUCache({self.cache_info()})"

@@ -25,6 +25,33 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.queries == 200
+        assert args.concurrency == 8
+        assert args.scale == "small"
+        assert not args.no_baseline
+        assert args.json is None
+
+    def test_serve_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "--queries", "50", "--concurrency", "2",
+             "--zipf-exponent", "1.5", "--no-baseline"]
+        )
+        assert args.queries == 50
+        assert args.concurrency == 2
+        assert args.zipf_exponent == 1.5
+        assert args.no_baseline
+
+    def test_serve_rejects_bad_arguments_before_building(self, capsys):
+        assert main(["serve", "--queries", "0"]) == 2
+        assert main(["serve", "--concurrency", "-1"]) == 2
+        assert main(["serve", "--zipf-exponent", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert "must be >= 1" in err
+        assert "non-negative" in err
+        assert "building" not in err    # rejected before paying for a build
+
 
 class TestSqlCommand:
     @pytest.fixture

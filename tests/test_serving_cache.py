@@ -1,0 +1,136 @@
+"""The bounded LRU+TTL result cache (serving tier)."""
+
+import threading
+
+import pytest
+
+from repro.serving.cache import CacheInfo, LRUCache
+
+
+class TestLRUEviction:
+    def test_stores_and_returns(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", default=7) == 7
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1          # refresh a's recency
+        cache.put("c", 3)                    # evicts b, not a
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.cache_info().evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)                   # re-put refreshes a
+        cache.put("c", 3)                    # evicts b
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_capacity_zero_disables_caching(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        info = cache.cache_info()
+        assert info.hits == 0 and info.misses == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_contains_does_not_touch_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert "a" in cache and "b" not in cache
+        info = cache.cache_info()
+        assert info.hits == 0 and info.misses == 0
+
+    def test_clear(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert cache.get("a") is None
+
+
+class TestTTL:
+    def _make(self, ttl):
+        clock = {"now": 0.0}
+        cache = LRUCache(8, ttl_seconds=ttl, clock=lambda: clock["now"])
+        return cache, clock
+
+    def test_entry_expires(self):
+        cache, clock = self._make(ttl=10.0)
+        cache.put("a", 1)
+        clock["now"] = 9.9
+        assert cache.get("a") == 1
+        clock["now"] = 10.0
+        assert cache.get("a") is None
+        info = cache.cache_info()
+        assert info.expirations == 1
+        assert info.size == 0
+
+    def test_purge_expired(self):
+        cache, clock = self._make(ttl=5.0)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        clock["now"] = 6.0
+        cache.put("c", 3)
+        assert cache.purge_expired() == 2
+        assert len(cache) == 1
+        assert cache.get("c") == 3
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(4, ttl_seconds=0.0)
+
+
+class TestCounters:
+    def test_hit_rate_closes(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        for _ in range(3):
+            cache.get("a")
+        cache.get("b")
+        info = cache.cache_info()
+        assert isinstance(info, CacheInfo)
+        assert info.hits == 3 and info.misses == 1
+        assert info.lookups == 4
+        assert info.hit_rate == pytest.approx(0.75)
+
+    def test_hit_rate_without_traffic_is_zero(self):
+        assert LRUCache(4).cache_info().hit_rate == 0.0
+
+    def test_concurrent_access_is_consistent(self):
+        cache = LRUCache(64)
+        for i in range(64):
+            cache.put(i, i)
+        workers = 8
+        lookups_each = 500
+
+        def hammer(seed: int) -> None:
+            for i in range(lookups_each):
+                key = (seed * 31 + i) % 96      # ~1/3 misses
+                value = cache.get(key)
+                assert value is None or value == key
+                cache.put(key % 64, key % 64)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        info = cache.cache_info()
+        assert info.hits + info.misses == workers * lookups_each
+        assert len(cache) <= 64

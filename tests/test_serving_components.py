@@ -1,0 +1,265 @@
+"""Serving-tier building blocks: single-flight, admission, workers."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving.admission import AdmissionController
+from repro.serving.errors import (
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServingError,
+)
+from repro.serving.singleflight import SingleFlight
+from repro.serving.workers import MicroBatchScheduler, WorkerPool
+
+
+class TestSingleFlight:
+    def test_sequential_calls_each_lead(self):
+        flight = SingleFlight()
+        value, leader = flight.do("k", lambda: 41)
+        assert (value, leader) == (41, True)
+        value, leader = flight.do("k", lambda: 42)
+        assert (value, leader) == (42, True)   # no longer in flight → new leader
+        assert flight.leaders == 2
+        assert flight.coalesced == 0
+
+    def test_concurrent_duplicates_coalesce(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        calls = []
+        results = []
+
+        def compute():
+            calls.append(1)
+            release.wait(timeout=5)
+            return "expensive"
+
+        def leader():
+            results.append(flight.do("k", compute))
+
+        def follower():
+            results.append(flight.do("k", lambda: "wrong"))
+
+        lead = threading.Thread(target=leader)
+        lead.start()
+        # wait until the leader has registered its flight
+        deadline = time.monotonic() + 5
+        while flight.in_flight == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        followers = [threading.Thread(target=follower) for _ in range(4)]
+        for thread in followers:
+            thread.start()
+        # give followers a moment to attach to the in-flight future
+        time.sleep(0.05)
+        release.set()
+        lead.join(timeout=5)
+        for thread in followers:
+            thread.join(timeout=5)
+
+        assert len(calls) == 1                      # computed exactly once
+        assert len(results) == 5
+        assert all(value == "expensive" for value, _ in results)
+        assert sum(1 for _, led in results if led) == 1
+        assert flight.coalesced == 4
+        assert flight.in_flight == 0
+
+    def test_leader_exception_propagates_to_followers(self):
+        flight = SingleFlight()
+
+        def boom():
+            raise ValueError("scoring failed")
+
+        with pytest.raises(ValueError):
+            flight.do("k", boom)
+        # flight retired: the key is free again
+        value, leader = flight.do("k", lambda: 1)
+        assert (value, leader) == (1, True)
+
+
+class TestAdmissionController:
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_in_flight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(timeout_seconds=0)
+
+    def test_rejects_when_queue_full(self):
+        control = AdmissionController(
+            max_in_flight=1, max_queue_depth=0, timeout_seconds=1.0
+        )
+        control.acquire()
+        with pytest.raises(ServiceOverloadedError) as caught:
+            control.acquire()
+        assert caught.value.reason == "queue full"
+        assert isinstance(caught.value, ServingError)
+        control.release()
+        stats = control.stats()
+        assert stats.admitted == 1
+        assert stats.rejected_queue_full == 1
+
+    def test_times_out_waiting_for_a_slot(self):
+        control = AdmissionController(
+            max_in_flight=1, max_queue_depth=4, timeout_seconds=0.05
+        )
+        control.acquire()
+        started = time.monotonic()
+        with pytest.raises(ServiceOverloadedError) as caught:
+            control.acquire()
+        assert caught.value.reason == "admission timeout"
+        assert time.monotonic() - started < 2.0
+        assert control.stats().rejected_timeout == 1
+        control.release()
+
+    def test_release_unblocks_waiter(self):
+        control = AdmissionController(
+            max_in_flight=1, max_queue_depth=4, timeout_seconds=5.0
+        )
+        control.acquire()
+        admitted = threading.Event()
+
+        def waiter():
+            with control.slot():
+                admitted.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.02)
+        assert not admitted.is_set()
+        control.release()
+        thread.join(timeout=5)
+        assert admitted.is_set()
+        assert control.in_flight == 0
+        assert control.stats().admitted == 2
+
+    def test_release_without_acquire_is_an_error(self):
+        with pytest.raises(RuntimeError):
+            AdmissionController().release()
+
+
+class TestWorkerPool:
+    def test_map_ordered_preserves_input_order(self):
+        pool = WorkerPool(4)
+        try:
+            assert pool.map_ordered(lambda x: x * x, range(10)) == [
+                x * x for x in range(10)
+            ]
+        finally:
+            pool.shutdown()
+
+    def test_map_ordered_raises_first_failure_after_settling(self):
+        pool = WorkerPool(2)
+        try:
+            def maybe(x):
+                if x == 3:
+                    raise KeyError(x)
+                return x
+
+            with pytest.raises(KeyError):
+                pool.map_ordered(maybe, range(6))
+            stats = pool.stats()
+            assert stats.submitted == 6
+            assert stats.failed == 1
+        finally:
+            pool.shutdown()
+
+    def test_submit_after_shutdown_raises_typed_error(self):
+        pool = WorkerPool(1)
+        pool.shutdown()
+        with pytest.raises(ServiceClosedError):
+            pool.submit(lambda: 1)
+
+    def test_accounting_settles(self):
+        pool = WorkerPool(2)
+        try:
+            futures = [pool.submit(lambda i=i: i) for i in range(8)]
+            assert [f.result() for f in futures] == list(range(8))
+            deadline = time.monotonic() + 5
+            while pool.stats().outstanding and time.monotonic() < deadline:
+                time.sleep(0.005)
+            stats = pool.stats()
+            assert stats.completed == 8 and stats.failed == 0
+        finally:
+            pool.shutdown()
+
+
+class TestMicroBatchScheduler:
+    def test_duplicate_keys_in_one_window_execute_once(self):
+        pool = WorkerPool(2)
+        # a 5 s window parks the dispatcher, so flush() drains deterministically
+        scheduler = MicroBatchScheduler(pool, window_seconds=5.0)
+        executions = []
+        lock = threading.Lock()
+
+        def job(tag):
+            def run():
+                with lock:
+                    executions.append(tag)
+                return tag
+
+            return run
+
+        try:
+            futures = [scheduler.submit("a", job("a")) for _ in range(3)]
+            futures.append(scheduler.submit("b", job("b")))
+            scheduler.flush()
+            assert [f.result(timeout=5) for f in futures] == ["a", "a", "a", "b"]
+            assert sorted(executions) == ["a", "b"]   # one run per distinct key
+            assert scheduler.coalesced == 2
+            assert scheduler.batches_dispatched == 1
+        finally:
+            scheduler.close()
+            pool.shutdown()
+
+    def test_dispatcher_drains_without_manual_flush(self):
+        pool = WorkerPool(2)
+        scheduler = MicroBatchScheduler(pool, window_seconds=0.005)
+        try:
+            future = scheduler.submit("k", lambda: 99)
+            assert future.result(timeout=5) == 99
+        finally:
+            scheduler.close()
+            pool.shutdown()
+
+    def test_full_batch_dispatches_before_the_window_closes(self):
+        pool = WorkerPool(2)
+        # a 60 s window would park the futures for a minute if max_batch
+        # didn't force an early dispatch
+        scheduler = MicroBatchScheduler(pool, window_seconds=60.0, max_batch=4)
+        try:
+            futures = [
+                scheduler.submit(f"k{i}", lambda i=i: i) for i in range(4)
+            ]
+            assert [f.result(timeout=5) for f in futures] == [0, 1, 2, 3]
+            assert scheduler.batches_dispatched == 1
+        finally:
+            scheduler.close()
+            pool.shutdown()
+
+    def test_job_failure_reaches_every_submitter(self):
+        pool = WorkerPool(2)
+        scheduler = MicroBatchScheduler(pool, window_seconds=5.0)
+
+        def boom():
+            raise RuntimeError("batch job failed")
+
+        try:
+            futures = [scheduler.submit("k", boom) for _ in range(2)]
+            scheduler.flush()
+            for future in futures:
+                with pytest.raises(RuntimeError):
+                    future.result(timeout=5)
+        finally:
+            scheduler.close()
+            pool.shutdown()
+
+    def test_submit_after_close_raises(self):
+        pool = WorkerPool(1)
+        scheduler = MicroBatchScheduler(pool, window_seconds=0.005)
+        scheduler.close()
+        with pytest.raises(ServiceClosedError):
+            scheduler.submit("k", lambda: 1)
+        pool.shutdown()

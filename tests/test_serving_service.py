@@ -1,0 +1,276 @@
+"""The concurrent serving engine end to end.
+
+Uses a module-private built system (not the shared session fixture)
+because the rolling-refresh tests publish new snapshots — semantically
+identical, but better isolated from tests that pin artifact identity.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.esharp import ESharp
+from repro.serving.errors import ServiceClosedError, ServiceOverloadedError
+from repro.serving.loadgen import (
+    LoadGenerator,
+    WorkloadConfig,
+    build_workload,
+    candidate_queries,
+    run_serve,
+)
+from repro.serving.service import ExpertService, ServiceConfig
+
+
+@pytest.fixture(scope="module")
+def served_system(small_config) -> ESharp:
+    return ESharp(small_config).build()
+
+
+@pytest.fixture()
+def service(served_system):
+    svc = served_system.serve()
+    yield svc
+    svc.close()
+
+
+def _expert_ids(answer):
+    return [expert.user_id for expert in answer.experts]
+
+
+class TestExpertServiceBasics:
+    def test_requires_built_system(self, small_config):
+        with pytest.raises(ValueError):
+            ExpertService(ESharp(small_config))
+
+    def test_parity_with_the_facade(self, served_system, service):
+        query = candidate_queries(served_system, 1)[0]
+        expected = [e.user_id for e in served_system.find_experts(query)]
+        answer = service.query(query)
+        assert _expert_ids(answer) == expected
+        assert answer.snapshot_version == served_system.snapshots.version
+        assert answer.terms and answer.terms[0]
+
+    def test_repeat_query_hits_the_cache(self, service):
+        query = candidate_queries(service.system, 1)[0]
+        first = service.query(query)
+        second = service.query(query)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert _expert_ids(first) == _expert_ids(second)
+        info = service.cache_info()
+        assert info.hits >= 1
+        stats = service.stats()
+        assert stats.cache.hits + stats.cache.misses == stats.requests
+
+    def test_threshold_is_part_of_the_cache_key(self, service):
+        query = candidate_queries(service.system, 1)[0]
+        strict = service.query(query)
+        lenient = service.query(query, min_zscore=-100.0)
+        assert not lenient.cache_hit            # different key, not a stale hit
+        assert len(lenient.experts) >= len(strict.experts)
+
+    def test_unmatched_query_degrades_gracefully(self, service):
+        answer = service.query("zz unmatchable phrase zz")
+        assert answer.experts == ()
+        assert answer.matched_domain is None
+
+    def test_submit_and_query_many(self, service):
+        queries = candidate_queries(service.system, 3)
+        future = service.submit(queries[0])
+        assert future.result(timeout=30).query == queries[0]
+        answers = service.query_many(queries * 2)
+        assert [a.query for a in answers] == queries * 2
+
+    def test_overload_rejection_is_typed(self, served_system):
+        config = ServiceConfig(
+            max_in_flight=1, max_queue_depth=0, admission_timeout_seconds=0.2
+        )
+        with served_system.serve(config) as svc:
+            query = candidate_queries(served_system, 1)[0]
+            svc._admission.acquire()            # occupy the only slot
+            try:
+                with pytest.raises(ServiceOverloadedError):
+                    svc.query(query)
+            finally:
+                svc._admission.release()
+            assert svc.query(query).query == query
+            assert svc.stats().admission.rejected == 1
+
+    def test_closed_service_refuses_work(self, served_system):
+        svc = served_system.serve()
+        svc.close()
+        with pytest.raises(ServiceClosedError):
+            svc.query("anything")
+        with pytest.raises(ServiceClosedError):
+            svc.submit("anything")
+
+
+class TestRollingRefresh:
+    CLIENTS = 8
+    REFRESHES = 2
+
+    def test_hammer_during_rolling_refresh(self, served_system):
+        """≥8 threads query while a background thread swaps snapshots.
+
+        Asserts: no exceptions, snapshot versions only move forward
+        within each thread, every probe keeps its (identical) non-empty
+        answer across generations, and the cache counters close.
+        """
+        probes = [
+            q
+            for q in candidate_queries(served_system, 32)
+            if served_system.find_experts(q)
+        ][:6]
+        assert len(probes) >= 3, "world too small to pick serving probes"
+
+        config = ServiceConfig(max_in_flight=32, max_queue_depth=256)
+        errors: list = []
+        observations: dict[int, list] = {i: [] for i in range(self.CLIENTS)}
+        stop = threading.Event()
+        version_start = served_system.snapshots.version
+
+        with served_system.serve(config) as svc:
+            def client(slot: int) -> None:
+                i = 0
+                while not stop.is_set():
+                    query = probes[(slot + i) % len(probes)]
+                    i += 1
+                    try:
+                        answer = svc.query(query)
+                    except Exception as exc:  # noqa: BLE001 - the assertion
+                        errors.append(exc)
+                        return
+                    observations[slot].append(
+                        (answer.snapshot_version, query, _expert_ids(answer))
+                    )
+                    # pace the loop: cache hits are so fast that 8 spinning
+                    # clients would GIL-starve the refresher for minutes
+                    time.sleep(0.001)
+
+            def refresher() -> None:
+                try:
+                    for _ in range(self.REFRESHES):
+                        svc.refresh_domains()   # same config → same domains
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    errors.append(exc)
+                finally:
+                    stop.set()
+
+            threads = [
+                threading.Thread(target=client, args=(i,), daemon=True)
+                for i in range(self.CLIENTS)
+            ]
+            threads.append(threading.Thread(target=refresher, daemon=True))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not any(t.is_alive() for t in threads)
+
+            assert errors == []
+
+            seen = [obs for slot in observations.values() for obs in slot]
+            assert seen, "clients never got a request through"
+            # deterministic tail reads: the final generation must serve too
+            for query in probes:
+                answer = svc.query(query)
+                seen.append(
+                    (answer.snapshot_version, query, _expert_ids(answer))
+                )
+            versions = {version for version, _, _ in seen}
+            # the swap really happened, and the service kept answering
+            assert max(versions) == version_start + self.REFRESHES
+            # versions never go backwards within one thread (no stale mix)
+            for slot_obs in observations.values():
+                slot_versions = [version for version, _, _ in slot_obs]
+                assert slot_versions == sorted(slot_versions)
+            # a query that succeeded before the swap never turns empty,
+            # and identical configs reproduce identical answers
+            per_probe: dict[str, set] = {}
+            for _, query, ids in seen:
+                per_probe.setdefault(query, set()).add(tuple(ids))
+            for query, answers in per_probe.items():
+                assert len(answers) == 1, f"{query!r} changed across snapshots"
+                assert next(iter(answers)), f"{query!r} went empty"
+
+            stats = svc.stats()
+            assert stats.cache.hits + stats.cache.misses == stats.requests
+            assert stats.admission.rejected == 0
+
+    def test_refresh_returns_new_snapshot_and_invalidates_keys(
+        self, served_system
+    ):
+        with served_system.serve() as svc:
+            query = candidate_queries(served_system, 1)[0]
+            before = svc.query(query)
+            snapshot = svc.refresh_domains()
+            assert snapshot.version == before.snapshot_version + 1
+            after = svc.query(query)
+            assert not after.cache_hit          # version is part of the key
+            assert after.snapshot_version == snapshot.version
+            assert _expert_ids(after) == _expert_ids(before)
+
+
+class TestLoadGeneration:
+    def test_workload_is_duplicate_heavy(self, served_system):
+        config = WorkloadConfig(requests=120, max_unique=8, seed=7)
+        workload = build_workload(served_system, config)
+        assert len(workload) == 120
+        assert 1 <= len(set(workload)) <= 8
+        # Zipf head skew: the most popular query dominates
+        top = max(set(workload), key=workload.count)
+        assert workload.count(top) > 120 / 8
+
+    def test_load_generator_reports(self, served_system):
+        workload = build_workload(
+            served_system, WorkloadConfig(requests=40, max_unique=6, seed=3)
+        )
+        with served_system.serve() as svc:
+            report = LoadGenerator(svc, workload, concurrency=4).run()
+        assert report.requests == 40
+        assert report.errors == 0
+        assert report.qps > 0
+        assert report.p50_ms <= report.p95_ms <= report.p99_ms
+        assert 0.0 <= report.cache_hit_rate <= 1.0
+        payload = report.to_dict()
+        assert payload["requests"] == 40
+
+    def test_run_serve_outcome(self, served_system):
+        outcome = run_serve(
+            served_system,
+            requests=40,
+            concurrency=4,
+            max_unique=6,
+            baseline=True,
+        )
+        assert outcome.report.errors == 0
+        assert outcome.baseline is not None and outcome.baseline.errors == 0
+        assert outcome.speedup is not None and outcome.speedup > 0
+        stats = outcome.stats
+        assert stats.cache.hits + stats.cache.misses == stats.requests
+        payload = outcome.to_dict()
+        assert payload["speedup_vs_serial"] == outcome.speedup
+        assert "p99_ms" in payload and "cache_hit_rate" in payload
+        assert "qps" in outcome.render() or "throughput" in outcome.render()
+
+
+class TestServeCommandGlue:
+    def test_run_serve_command(self, served_system, capsys, tmp_path):
+        from repro.cli import build_parser, run_serve_command
+
+        json_path = tmp_path / "serve.json"
+        args = build_parser().parse_args(
+            ["serve", "--queries", "20", "--concurrency", "4",
+             "--unique", "6", "--json", str(json_path)]
+        )
+        rc = run_serve_command(served_system, args)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "throughput" in out and "p95" in out
+        assert json_path.exists()
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["errors"] == 0
+        assert payload["concurrency"] == 4
