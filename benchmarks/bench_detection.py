@@ -1,0 +1,255 @@
+"""DET1 — per-term detection latency: columnar index engine vs scan path.
+
+Per-term scoring is the inner loop of the whole system (every expanded
+query fans out into N per-term ``score`` calls), so this bench tracks it
+directly: p50/p95 per-term latency for single-token and multi-token
+terms, cold (score memo cleared before every call) and memoised (warm
+repeats), on the seed scan-based detector versus the
+:class:`~repro.detector.engine.IndexedDetectionEngine`-backed one.
+
+Writes ``BENCH_detection.json`` at the repo root so detection speed
+joins ``BENCH_serving.json`` in the cross-PR perf trajectory.  The
+acceptance bar: the index must win single-token cold scoring by >= 3x
+p50 at the default (standard-scale) config.
+
+Also runnable standalone — the CI smoke uses a tiny config so the bench
+itself cannot silently rot::
+
+    PYTHONPATH=src python benchmarks/bench_detection.py --scale small \
+        --single-terms 8 --multi-terms 8 --output /tmp/BENCH_detection.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.detector.palcounts import PalCountsDetector
+from repro.utils.stats import percentile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+SINGLE_TERMS = 24
+MULTI_TERMS = 24
+REPEATS = 3
+MIN_SINGLE_COLD_SPEEDUP = 3.0
+
+
+def _single_token_terms(platform, count: int) -> list[str]:
+    """The ``count`` most frequent indexed tokens (longest postings)."""
+    ranked = sorted(
+        platform.posting_tokens(),
+        key=lambda token: (-len(platform.posting_rows(token)), token),
+    )
+    return ranked[:count]
+
+
+def _multi_token_terms(system, count: int) -> list[str]:
+    """Popular logged queries of >= 2 tokens that match at least one tweet."""
+    from repro.utils.text import tokenize
+
+    store = system.offline.store
+    frequency = {
+        query: store.query_count(query) for query in store.supported_queries()
+    }
+    ranked = sorted(frequency, key=lambda q: (-frequency[q], q))
+    picked = []
+    for query in ranked:
+        if len(set(tokenize(query))) < 2:
+            continue
+        if not system.platform.matching_rows(query):
+            continue
+        picked.append(query)
+        if len(picked) == count:
+            break
+    return picked
+
+
+def _time_per_term(detector, terms: list[str], repeats: int, cold: bool):
+    """Per-call latencies (ms).  ``cold`` clears the score memo per call."""
+    samples = []
+    if not cold:
+        for term in terms:  # warm the memo once
+            detector.score(term)
+    for _ in range(repeats):
+        for term in terms:
+            if cold:
+                detector.cache_clear()
+            started = time.perf_counter()
+            detector.score(term)
+            samples.append((time.perf_counter() - started) * 1000.0)
+    return samples
+
+
+def _summarise(scan_ms, engine_ms) -> dict:
+    scan_p50 = percentile(scan_ms, 0.5)
+    engine_p50 = percentile(engine_ms, 0.5)
+    return {
+        "scan_p50_ms": round(scan_p50, 4),
+        "scan_p95_ms": round(percentile(scan_ms, 0.95), 4),
+        "engine_p50_ms": round(engine_p50, 4),
+        "engine_p95_ms": round(percentile(engine_ms, 0.95), 4),
+        "speedup_p50": round(scan_p50 / engine_p50, 2) if engine_p50 else None,
+    }
+
+
+def run_detection_bench(
+    system,
+    single_terms: int = SINGLE_TERMS,
+    multi_terms: int = MULTI_TERMS,
+    repeats: int = REPEATS,
+) -> dict:
+    """Time scan vs engine per-term scoring; returns the JSON payload."""
+    platform = system.platform
+    scan = PalCountsDetector(
+        platform,
+        ranking=system.config.ranking,
+        normalization=system.config.normalization,
+        use_engine=False,
+    )
+    engine_detector = PalCountsDetector(
+        platform,
+        ranking=system.config.ranking,
+        normalization=system.config.normalization,
+    )
+    started = time.perf_counter()
+    engine_detector.engine.refresh()
+    build_seconds = time.perf_counter() - started
+
+    singles = _single_token_terms(platform, single_terms)
+    multis = _multi_token_terms(system, multi_terms)
+    if not singles:
+        raise ValueError("no indexed tokens to benchmark")
+
+    # the two paths must agree to the byte before their timings mean anything
+    for term in singles[:5] + multis[:5]:
+        if scan.score(term) != engine_detector.score(term):
+            raise AssertionError(f"engine diverges from scan path on {term!r}")
+    scan.cache_clear()
+    engine_detector.cache_clear()
+    engine_stats = engine_detector.engine.stats()
+
+    payload: dict = {
+        "config": {
+            "tweets": platform.tweet_count,
+            "users": platform.user_count,
+            "single_terms": len(singles),
+            "multi_terms": len(multis),
+            "repeats": repeats,
+        },
+        "engine": {
+            "build_seconds": round(build_seconds, 4),
+            "estimated_bytes": engine_stats.estimated_bytes,
+            "tokens": engine_stats.tokens,
+            "candidate_rows": engine_stats.candidate_rows,
+        },
+    }
+    for label, terms in (("single_token", singles), ("multi_token", multis)):
+        if not terms:
+            payload[label] = None
+            continue
+        payload[label] = {
+            "cold": _summarise(
+                _time_per_term(scan, terms, repeats, cold=True),
+                _time_per_term(engine_detector, terms, repeats, cold=True),
+            ),
+            "memoised": _summarise(
+                _time_per_term(scan, terms, repeats, cold=False),
+                _time_per_term(engine_detector, terms, repeats, cold=False),
+            ),
+        }
+    return payload
+
+
+def render(payload: dict) -> str:
+    lines = [
+        "DET1 — per-term detection latency (ms), scan path vs indexed engine",
+        f"  corpus: {payload['config']['tweets']} tweets / "
+        f"{payload['config']['users']} users; index "
+        f"{payload['engine']['estimated_bytes']:,} bytes over "
+        f"{payload['engine']['tokens']} tokens "
+        f"(built in {payload['engine']['build_seconds']}s)",
+    ]
+    for label in ("single_token", "multi_token"):
+        block = payload.get(label)
+        if not block:
+            continue
+        for mode in ("cold", "memoised"):
+            row = block[mode]
+            lines.append(
+                f"  {label:<12} {mode:<9} "
+                f"scan p50={row['scan_p50_ms']:>8.3f} p95={row['scan_p95_ms']:>8.3f}   "
+                f"engine p50={row['engine_p50_ms']:>8.3f} p95={row['engine_p95_ms']:>8.3f}   "
+                f"speedup={row['speedup_p50']}x"
+            )
+    return "\n".join(lines)
+
+
+def write_payload(payload: dict, path: pathlib.Path) -> None:
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def test_detection_latency(benchmark, ctx, results_dir):
+    payload = benchmark.pedantic(
+        run_detection_bench,
+        args=(ctx.system,),
+        rounds=1,
+        iterations=1,
+    )
+    single_cold = payload["single_token"]["cold"]
+    assert single_cold["speedup_p50"] >= MIN_SINGLE_COLD_SPEEDUP
+    assert payload["multi_token"] is not None
+    assert payload["engine"]["estimated_bytes"] > 0
+
+    bench_path = REPO_ROOT / "BENCH_detection.json"
+    write_payload(payload, bench_path)
+
+    from conftest import write_artifact
+
+    write_artifact(
+        results_dir,
+        "detection_latency",
+        render(payload) + f"\n[json written to {bench_path}]",
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("small", "standard"), default="standard")
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--single-terms", type=int, default=SINGLE_TERMS)
+    parser.add_argument("--multi-terms", type=int, default=MULTI_TERMS)
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_detection.json",
+    )
+    args = parser.parse_args()
+
+    from repro.core.config import ESharpConfig
+    from repro.core.esharp import ESharp
+
+    config = (
+        ESharpConfig.small(seed=args.seed)
+        if args.scale == "small"
+        else ESharpConfig.standard(seed=args.seed)
+    )
+    system = ESharp(config).build()
+    payload = run_detection_bench(
+        system,
+        single_terms=args.single_terms,
+        multi_terms=args.multi_terms,
+        repeats=args.repeats,
+    )
+    write_payload(payload, args.output)
+    print(render(payload))
+    print(f"[json written to {args.output}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -63,6 +63,10 @@ class ESharp:
                 ranking=self.config.ranking,
                 normalization=self.config.normalization,
             )
+            # aggregate the columnar candidate index now, as part of the
+            # offline stage, so the first query never pays the build
+            if detector.engine is not None:
+                detector.engine.refresh()
             self._platform = platform
             self._detector = detector
             self.snapshots.publish(

@@ -20,6 +20,11 @@ paper explicitly discards for recall — is implemented in
 """
 
 from repro.detector.candidates import CandidateStats, collect_candidates
+from repro.detector.engine import (
+    EngineStats,
+    IndexedDetectionEngine,
+    TokenCandidates,
+)
 from repro.detector.features import FeatureVector, compute_features
 from repro.detector.normalize import NormalizationConfig, normalize_features
 from repro.detector.ranking import RankedExpert, RankingConfig, rank_candidates
@@ -34,12 +39,15 @@ from repro.detector.extended_features import (
 
 __all__ = [
     "CandidateStats",
+    "EngineStats",
     "ExtendedPalCountsDetector",
     "ExtendedWeights",
     "FeatureVector",
     "GaussianClusterFilter",
     "GraphRankConfig",
     "GraphRankDetector",
+    "IndexedDetectionEngine",
+    "TokenCandidates",
     "NormalizationConfig",
     "PalCountsDetector",
     "RankedExpert",

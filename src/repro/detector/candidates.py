@@ -5,13 +5,24 @@ in a tweet. In both cases, the tweet must match the query."*
 
 One pass over the matching tweets accumulates, per candidate, the on-topic
 numerators of all three features; the denominators are platform totals.
+When an :class:`~repro.detector.engine.IndexedDetectionEngine` is
+supplied the pass is answered from its build-time index instead —
+identical statistics, no tweet objects touched.
+
+Mentions may name accounts the platform never registered (ingestion is
+tolerant of them, and their totals do not exist), so unknown mentionees
+are skipped here exactly as ``add_tweet`` skips crediting them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.microblog.platform import MicroblogPlatform
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.detector.engine import IndexedDetectionEngine
 
 
 @dataclass
@@ -25,13 +36,18 @@ class CandidateStats:
 
 
 def collect_candidates(
-    platform: MicroblogPlatform, query: str
+    platform: MicroblogPlatform,
+    query: str,
+    engine: "IndexedDetectionEngine | None" = None,
 ) -> dict[int, CandidateStats]:
     """Candidates and their on-topic counts for ``query``.
 
     Returns an empty dict when no tweet matches — the query is unanswered,
-    which is exactly what Table 8 counts.
+    which is exactly what Table 8 counts.  ``engine`` switches the
+    aggregation to the columnar index; results are identical.
     """
+    if engine is not None:
+        return engine.collect(query)
     stats: dict[int, CandidateStats] = {}
 
     def entry(user_id: int) -> CandidateStats:
@@ -42,7 +58,8 @@ def collect_candidates(
     for tweet in platform.matching_tweets(query):
         entry(tweet.author_id).on_topic_tweets += 1
         for mentioned in tweet.mentions:
-            entry(mentioned).on_topic_mentions += 1
+            if platform.has_user(mentioned):
+                entry(mentioned).on_topic_mentions += 1
         if tweet.retweet_of is not None:
             try:
                 original = platform.tweet(tweet.retweet_of)

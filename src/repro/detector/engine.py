@@ -1,0 +1,317 @@
+"""The columnar index engine behind candidate selection.
+
+The seed implementation re-derived every candidate pool at query time:
+``set(posting)`` rebuilds, a walk over tweet objects, one dict lookup per
+field.  Since per-term scoring is the inner loop of everything above it
+(every expanded query fans out into N per-term ``score`` calls), the
+:class:`IndexedDetectionEngine` moves that aggregation to **build time**:
+
+* one pass over the platform's columnar ledger packs, per token, the
+  complete candidate statistics into parallel arrays
+  ``(user_ids, on_topic_tweets, on_topic_mentions,
+  on_topic_retweets_received)`` sorted by user id — a single-token term
+  answers :func:`~repro.detector.candidates.collect_candidates` as one
+  dict lookup;
+* multi-token terms intersect the platform's sorted posting rows
+  (galloping fast path, no per-query ``set`` materialisation) and
+  aggregate straight off the columnar arrays — no tweet objects touched;
+* the index stamps the platform's ``mutation_count`` at build and
+  rebuilds transparently when ingestion moved on, so late-registered
+  users and retroactively resolved retweets are always reflected.
+
+The engine produces statistics *identical* to the scan path, so the
+downstream feature/normalise/rank pipeline — and therefore every ranked
+answer — is unchanged to the byte.
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+from dataclasses import dataclass
+
+from repro.microblog.platform import NO_AUTHOR, MicroblogPlatform
+from repro.utils.text import tokenize
+
+__all__ = ["EngineStats", "IndexedDetectionEngine", "TokenCandidates"]
+
+
+@dataclass(frozen=True)
+class TokenCandidates:
+    """Packed per-token candidate statistics (columns sorted by user id).
+
+    Alongside the raw counts, the ratio features TS/MI/RI are packed at
+    build time — numerators *and* denominators (the platform totals) are
+    build-time knowledge, so a single-token term starts its scoring
+    pipeline at the normalisation step.
+    """
+
+    user_ids: array
+    on_topic_tweets: array
+    on_topic_mentions: array
+    on_topic_retweets_received: array
+    topical_signal: array
+    mention_impact: array
+    retweet_impact: array
+
+    def __len__(self) -> int:
+        return len(self.user_ids)
+
+    def estimated_bytes(self) -> int:
+        columns = (
+            self.user_ids,
+            self.on_topic_tweets,
+            self.on_topic_mentions,
+            self.on_topic_retweets_received,
+            self.topical_signal,
+            self.mention_impact,
+            self.retweet_impact,
+        )
+        return sum(len(column) * column.itemsize for column in columns)
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Point-in-time counters of one engine (benches and ops read these)."""
+
+    tokens: int
+    candidate_rows: int
+    builds: int
+    built_at_mutation: int
+    single_token_lookups: int
+    multi_token_queries: int
+    estimated_bytes: int
+
+
+class IndexedDetectionEngine:
+    """Build-time candidate aggregation over one platform.
+
+    Thread-safe: builds serialise on a lock; reads after a build touch
+    only immutable packed arrays, so the serving tier's pool-sharded
+    per-term scorers can call :meth:`collect` concurrently.
+    """
+
+    def __init__(self, platform: MicroblogPlatform) -> None:
+        self.platform = platform
+        self._lock = threading.Lock()
+        #: counters get their own lock so hot-path bumps never contend
+        #: with (or wait behind) a rebuild holding the build lock
+        self._counter_lock = threading.Lock()
+        self._index: dict[str, TokenCandidates] = {}
+        self._built_at = -1
+        self._builds = 0
+        self._single_hits = 0
+        self._multi_queries = 0
+
+    # -- build -------------------------------------------------------------
+
+    def refresh(self) -> bool:
+        """(Re)build the index if the platform ingested since last build.
+
+        Returns True when a build ran.  ``ESharp.build()`` calls this so
+        the aggregation cost lands in the offline stage, not on the first
+        query.
+        """
+        with self._lock:
+            if self._built_at == self.platform.mutation_count:
+                return False
+            self._build_locked()
+            return True
+
+    def _ensure_current(self) -> None:
+        if self._built_at == self.platform.mutation_count:
+            return
+        with self._lock:
+            if self._built_at != self.platform.mutation_count:
+                self._build_locked()
+
+    def _build_locked(self) -> None:
+        platform = self.platform
+        ledger = platform.ledger()
+        authors = ledger.authors
+        retweet_authors = ledger.retweet_authors
+        offsets = ledger.mention_offsets
+        mention_ids = ledger.mention_ids
+        has_user = platform.has_user
+        index: dict[str, TokenCandidates] = {}
+        # token-at-a-time so only one token's accumulator dict is ever
+        # live; the packed arrays are ~32 bytes per (token, candidate)
+        for token in platform.posting_tokens():
+            rows = platform.posting_rows(token)
+            acc: dict[int, list[int]] = {}
+            for row in rows:
+                author = authors[row]
+                entry = acc.get(author)
+                if entry is None:
+                    entry = acc[author] = [0, 0, 0]
+                entry[0] += 1
+                for mentioned in mention_ids[offsets[row] : offsets[row + 1]]:
+                    if not has_user(mentioned):
+                        continue
+                    entry = acc.get(mentioned)
+                    if entry is None:
+                        entry = acc[mentioned] = [0, 0, 0]
+                    entry[1] += 1
+                credited = retweet_authors[row]
+                if credited != NO_AUTHOR:
+                    entry = acc.get(credited)
+                    if entry is None:
+                        entry = acc[credited] = [0, 0, 0]
+                    entry[2] += 1
+            ordered = sorted(acc)
+            ts = array("d")
+            mi = array("d")
+            ri = array("d")
+            totals_of = platform.totals
+            for user_id in ordered:
+                counts = acc[user_id]
+                totals = totals_of(user_id)
+                tweets = totals.tweets
+                mentions = totals.mentions_received
+                retweets = totals.retweets_received
+                ts.append(counts[0] / tweets if tweets > 0 else 0.0)
+                mi.append(counts[1] / mentions if mentions > 0 else 0.0)
+                ri.append(counts[2] / retweets if retweets > 0 else 0.0)
+            index[token] = TokenCandidates(
+                user_ids=array("q", ordered),
+                on_topic_tweets=array("l", (acc[uid][0] for uid in ordered)),
+                on_topic_mentions=array("l", (acc[uid][1] for uid in ordered)),
+                on_topic_retweets_received=array(
+                    "l", (acc[uid][2] for uid in ordered)
+                ),
+                topical_signal=ts,
+                mention_impact=mi,
+                retweet_impact=ri,
+            )
+        self._index = index
+        self._built_at = platform.mutation_count
+        self._builds += 1
+
+    # -- query -------------------------------------------------------------
+
+    def token_candidates(self, token: str) -> TokenCandidates | None:
+        """The packed stats of one indexed token (the fast-path lookup)."""
+        self._ensure_current()
+        return self._index.get(token)
+
+    def collect(self, query: str) -> dict[int, "CandidateStats"]:
+        """Candidate stats for ``query`` — the indexed ``collect_candidates``.
+
+        Single-token queries materialise one packed column set; multi-token
+        queries intersect sorted posting rows and aggregate columnar.
+        """
+        from repro.detector.candidates import CandidateStats
+
+        self._ensure_current()
+        terms = set(tokenize(query))
+        if not terms:
+            return {}
+        if len(terms) == 1:
+            packed = self._index.get(next(iter(terms)))
+            if packed is None:
+                return {}
+            with self._counter_lock:
+                self._single_hits += 1
+            return {
+                user_id: CandidateStats(user_id, tweets, mentions, retweets)
+                for user_id, tweets, mentions, retweets in zip(
+                    packed.user_ids,
+                    packed.on_topic_tweets,
+                    packed.on_topic_mentions,
+                    packed.on_topic_retweets_received,
+                )
+            }
+        with self._counter_lock:
+            self._multi_queries += 1
+        return self._aggregate_rows(self.platform.matching_rows(query))
+
+    def feature_vectors(self, query: str) -> "list[FeatureVector]":
+        """Raw TS/MI/RI vectors for ``query``, user-id order.
+
+        Identical to ``compute_features(platform, collect_candidates(...))``
+        — single-token terms stream straight out of the packed feature
+        columns; multi-token terms aggregate the posting intersection and
+        go through :func:`compute_features` itself.
+        """
+        from repro.detector.features import FeatureVector, compute_features
+
+        self._ensure_current()
+        terms = set(tokenize(query))
+        if len(terms) == 1:
+            packed = self._index.get(next(iter(terms)))
+            if packed is None:
+                return []
+            with self._counter_lock:
+                self._single_hits += 1
+            return [
+                FeatureVector(user_id, ts, mi, ri)
+                for user_id, ts, mi, ri in zip(
+                    packed.user_ids,
+                    packed.topical_signal,
+                    packed.mention_impact,
+                    packed.retweet_impact,
+                )
+            ]
+        stats = self.collect(query)
+        if not stats:
+            return []
+        return compute_features(self.platform, stats)
+
+    def _aggregate_rows(self, rows: list[int]) -> dict[int, "CandidateStats"]:
+        from repro.detector.candidates import CandidateStats
+
+        ledger = self.platform.ledger()
+        authors = ledger.authors
+        retweet_authors = ledger.retweet_authors
+        offsets = ledger.mention_offsets
+        mention_ids = ledger.mention_ids
+        has_user = self.platform.has_user
+        stats: dict[int, CandidateStats] = {}
+
+        def entry(user_id: int) -> CandidateStats:
+            found = stats.get(user_id)
+            if found is None:
+                found = stats[user_id] = CandidateStats(user_id=user_id)
+            return found
+
+        for row in rows:
+            entry(authors[row]).on_topic_tweets += 1
+            for mentioned in mention_ids[offsets[row] : offsets[row + 1]]:
+                if has_user(mentioned):
+                    entry(mentioned).on_topic_mentions += 1
+            credited = retweet_authors[row]
+            if credited != NO_AUTHOR:
+                entry(credited).on_topic_retweets_received += 1
+        return stats
+
+    # -- observability -----------------------------------------------------
+
+    def estimated_bytes(self) -> int:
+        """Memory held by the packed per-token columns, as of the last
+        build.  Pure observability: never triggers a rebuild (consistent
+        with :meth:`stats`)."""
+        index = self._index
+        return sum(packed.estimated_bytes() for packed in index.values())
+
+    def stats(self) -> EngineStats:
+        with self._lock:
+            return EngineStats(
+                tokens=len(self._index),
+                candidate_rows=sum(
+                    len(packed) for packed in self._index.values()
+                ),
+                builds=self._builds,
+                built_at_mutation=self._built_at,
+                single_token_lookups=self._single_hits,
+                multi_token_queries=self._multi_queries,
+                estimated_bytes=sum(
+                    packed.estimated_bytes()
+                    for packed in self._index.values()
+                ),
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IndexedDetectionEngine(tokens={len(self._index)}, "
+            f"built_at={self._built_at})"
+        )

@@ -1,6 +1,6 @@
 """Shared per-term score memoisation for the detector family.
 
-Every detector exposes ``score(query) -> list[RankedExpert]`` over an
+Every detector exposes ``score(query) -> tuple[RankedExpert, ...]`` over an
 append-only platform, and the evaluation sweeps (and the serving tier's
 expansion fan-out) re-visit the same terms across hundreds of queries —
 so each detector memoises its scored pools.  The memo is bounded (LRU)
@@ -33,15 +33,20 @@ class ScoreMemoMixin:
             cache_capacity = DEFAULT_CACHE_CAPACITY
         self._cache = LRUCache(cache_capacity if cache_scores else 0)
 
-    def score(self, query: str) -> list[RankedExpert]:
-        """The full scored candidate pool (threshold *not* applied)."""
+    def score(self, query: str) -> tuple[RankedExpert, ...]:
+        """The full scored candidate pool (threshold *not* applied).
+
+        Returned as an immutable tuple: the memo hands every caller the
+        *same* cached pool, so a mutable return value would let one
+        caller's in-place edit poison the memo for every later query.
+        """
         from repro.utils.text import phrase_key
 
         key = phrase_key(query)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        result = self._score_uncached(query)
+        result = tuple(self._score_uncached(query))
         self._cache.put(key, result)
         return result
 

@@ -9,6 +9,7 @@ then each feature is z-scored against the candidate pool of the query
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.detector.features import FeatureVector
 from repro.utils.stats import log_transform, zscores
@@ -28,9 +29,13 @@ class NormalizationConfig:
             raise ValueError(f"epsilon must be positive, got {self.epsilon}")
 
 
-@dataclass(frozen=True)
-class NormalizedFeatures:
-    """Per-candidate z-scores, aligned with the input order."""
+class NormalizedFeatures(NamedTuple):
+    """Per-candidate z-scores, aligned with the input order.
+
+    A NamedTuple for the same reason as :class:`FeatureVector`: one is
+    built per candidate per scored term, so construction cost is the
+    detector's inner loop.
+    """
 
     user_id: int
     z_topical_signal: float
@@ -47,20 +52,16 @@ def normalize_features(
     if not vectors:
         return []
 
-    def column(values: list[float]) -> list[float]:
-        if config.apply_log:
-            values = log_transform(values, config.epsilon)
-        return zscores(values)
-
-    z_ts = column([v.topical_signal for v in vectors])
-    z_mi = column([v.mention_impact for v in vectors])
-    z_ri = column([v.retweet_impact for v in vectors])
+    epsilon = config.epsilon
+    if config.apply_log:
+        z_ts = zscores(log_transform([v[1] for v in vectors], epsilon))
+        z_mi = zscores(log_transform([v[2] for v in vectors], epsilon))
+        z_ri = zscores(log_transform([v[3] for v in vectors], epsilon))
+    else:
+        z_ts = zscores([v.topical_signal for v in vectors])
+        z_mi = zscores([v.mention_impact for v in vectors])
+        z_ri = zscores([v.retweet_impact for v in vectors])
     return [
-        NormalizedFeatures(
-            user_id=vector.user_id,
-            z_topical_signal=ts,
-            z_mention_impact=mi,
-            z_retweet_impact=ri,
-        )
+        NormalizedFeatures(vector[0], ts, mi, ri)
         for vector, ts, mi, ri in zip(vectors, z_ts, z_mi, z_ri)
     ]

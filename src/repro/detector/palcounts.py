@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.detector.candidates import collect_candidates
 from repro.detector.clusterfilter import GaussianClusterFilter
+from repro.detector.engine import IndexedDetectionEngine
 from repro.detector.features import compute_features
 from repro.detector.normalize import NormalizationConfig, normalize_features
 from repro.detector.ranking import (
@@ -35,6 +36,8 @@ class PalCountsDetector(ScoreMemoMixin):
         cluster_filter: GaussianClusterFilter | None = None,
         cache_scores: bool = True,
         cache_capacity: int | None = None,
+        engine: IndexedDetectionEngine | None = None,
+        use_engine: bool = True,
     ) -> None:
         self.platform = platform
         self.ranking = ranking or RankingConfig()
@@ -43,16 +46,30 @@ class PalCountsDetector(ScoreMemoMixin):
         #: ("computationally expensive, and ... contrary to our objective of
         #: improving recall"), so it is off unless explicitly supplied
         self.cluster_filter = cluster_filter
+        #: the columnar index answering candidate aggregation from
+        #: build-time state; ``use_engine=False`` keeps the seed scan path
+        #: (the equivalence oracle for tests and benches)
+        self.engine: IndexedDetectionEngine | None = (
+            engine
+            if engine is not None
+            else (IndexedDetectionEngine(platform) if use_engine else None)
+        )
         #: memoising per-term scored pools is safe because the platform is
         #: append-only after build and the evaluation sweeps re-visit the
         #: same expansion terms across hundreds of queries
         self._init_score_cache(cache_scores, cache_capacity)
 
     def _score_uncached(self, query: str) -> list[RankedExpert]:
-        stats = collect_candidates(self.platform, query)
-        if not stats:
+        if self.engine is not None:
+            # the indexed path starts at the packed feature columns —
+            # candidate aggregation (and, for single tokens, the ratio
+            # computation) already happened at build time
+            vectors = self.engine.feature_vectors(query)
+        else:
+            stats = collect_candidates(self.platform, query)
+            vectors = compute_features(self.platform, stats)
+        if not vectors:
             return []
-        vectors = compute_features(self.platform, stats)
         normalized = normalize_features(vectors, self.normalization)
         scored = score_candidates(self.platform, vectors, normalized, self.ranking)
         if self.cluster_filter is not None:
@@ -70,4 +87,4 @@ class PalCountsDetector(ScoreMemoMixin):
 
     def candidate_count(self, query: str) -> int:
         """Number of candidates before ranking (recall diagnostics)."""
-        return len(collect_candidates(self.platform, query))
+        return len(collect_candidates(self.platform, query, engine=self.engine))

@@ -10,6 +10,7 @@ applied to the aggregated score and swept in Figure 9.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.detector.features import FeatureVector
 from repro.detector.normalize import NormalizedFeatures
@@ -57,9 +58,13 @@ class RankingConfig:
         )
 
 
-@dataclass(frozen=True)
-class RankedExpert:
-    """One scored candidate, carrying the fields shown in Tables 2–7."""
+class RankedExpert(NamedTuple):
+    """One scored candidate, carrying the fields shown in Tables 2–7.
+
+    A NamedTuple: tens of thousands are built per evaluation sweep (one
+    per candidate per scored term) and tuple construction is the cheapest
+    immutable record Python offers.
+    """
 
     user_id: int
     screen_name: str
@@ -89,24 +94,29 @@ def score_candidates(
     Thresholding is separated out so sweeps (Figure 9/10) can reuse one
     scoring pass.
     """
+    user_of = platform.user
+    w_ts = config.weight_topical_signal
+    w_mi = config.weight_mention_impact
+    w_ri = config.weight_retweet_impact
     experts: list[RankedExpert] = []
+    append = experts.append
     for vector, z in zip(vectors, normalized):
         score = (
-            config.weight_topical_signal * z.z_topical_signal
-            + config.weight_mention_impact * z.z_mention_impact
-            + config.weight_retweet_impact * z.z_retweet_impact
+            w_ts * z.z_topical_signal
+            + w_mi * z.z_mention_impact
+            + w_ri * z.z_retweet_impact
         )
-        user = platform.user(vector.user_id)
-        experts.append(
+        user = user_of(vector.user_id)
+        append(
             RankedExpert(
-                user_id=user.user_id,
-                screen_name=user.screen_name,
-                description=user.description,
-                verified=user.verified,
-                followers=user.followers,
-                score=score,
-                features=vector,
-                zscores=z,
+                user.user_id,
+                user.screen_name,
+                user.description,
+                user.verified,
+                user.followers,
+                score,
+                vector,
+                z,
             )
         )
     experts.sort(key=lambda e: (-e.score, e.user_id))

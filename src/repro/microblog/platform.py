@@ -2,23 +2,41 @@
 
 The platform maintains:
 
-* an inverted index token → tweet ids, so §3 candidate matching (all query
-  terms present) is an intersection of posting lists;
+* an inverted index token → posting rows, so §3 candidate matching (all
+  query terms present) is an intersection of posting lists;
 * per-user totals (tweets authored, mentions received, retweets received)
   — the denominators of TS, MI and RI;
-* a retweet ledger mapping original authors to the retweets of their
-  tweets, and a mention ledger mapping users to the tweets mentioning
-  them — the numerators are computed per query from matching tweets.
+* **columnar per-tweet ledgers** — parallel arrays holding, per ingestion
+  row, the author, the resolved retweet-original author and the mentioned
+  user ids.  The :class:`~repro.detector.engine.IndexedDetectionEngine`
+  aggregates candidate statistics straight off these arrays instead of
+  walking tweet objects one dict lookup at a time;
+* **pending ledgers** for out-of-order arrivals: a retweet ingested before
+  its original parks in a pending-retweet ledger and is resolved
+  retroactively (denominator credited, columnar row back-filled) the
+  moment the original arrives; likewise mentions of a not-yet-registered
+  user are credited retroactively at registration.  Without this the
+  denominators of RI/MI silently undercount forever while the query-time
+  numerators resolve late arrivals — letting the ratios exceed 1.0.
+
+Every ingestion bumps ``mutation_count`` so derived indexes can detect
+staleness with a single integer comparison.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
+from bisect import bisect_left
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.microblog.tweets import Tweet
 from repro.microblog.users import UserProfile
 from repro.utils.text import tokenize
+
+#: sentinel row value for "retweet of a tweet never ingested" (user ids
+#: are non-negative, so -1 can never collide with a real author)
+NO_AUTHOR = -1
 
 
 @dataclass
@@ -30,15 +48,68 @@ class UserTotals:
     retweets_received: int = 0
 
 
+@dataclass(frozen=True)
+class ColumnarLedger:
+    """Read-only view over the platform's per-tweet parallel arrays.
+
+    ``row`` is ingestion order (0-based); posting lists store rows, so
+    they are sorted by construction and intersect without per-query
+    ``set`` rebuilds.  The arrays are shared, not copied — treat them as
+    immutable.
+    """
+
+    #: row → tweet id
+    tweet_ids: array
+    #: row → author user id
+    authors: array
+    #: row → author of the retweeted original (``NO_AUTHOR`` when the
+    #: tweet is not a retweet or the original was never ingested)
+    retweet_authors: array
+    #: row → [offsets[row], offsets[row+1]) slice into ``mention_ids``
+    mention_offsets: array
+    #: flattened mentioned user ids, multiplicity preserved
+    mention_ids: array
+
+    def __len__(self) -> int:
+        return len(self.authors)
+
+    def estimated_bytes(self) -> int:
+        columns = (
+            self.tweet_ids,
+            self.authors,
+            self.retweet_authors,
+            self.mention_offsets,
+            self.mention_ids,
+        )
+        return sum(len(column) * column.itemsize for column in columns)
+
+
 class MicroblogPlatform:
     """Append-only store with query-time matching."""
 
     def __init__(self) -> None:
         self._users: dict[int, UserProfile] = {}
         self._tweets: dict[int, Tweet] = {}
-        self._postings: dict[str, list[int]] = {}
+        #: token → posting rows (ascending by construction)
+        self._postings: dict[str, array] = {}
         self._totals: dict[int, UserTotals] = {}
         self._by_author: dict[int, list[int]] = {}
+        #: screen name → user id (first registration wins, matching the
+        #: old linear scan's first-hit semantics)
+        self._by_screen_name: dict[str, int] = {}
+        # -- columnar per-tweet ledgers (row = ingestion order) --
+        self._row_of: dict[int, int] = {}
+        self._col_tweet_ids = array("q")
+        self._col_authors = array("q")
+        self._col_retweet_authors = array("q")
+        self._mention_offsets = array("l", [0])
+        self._mention_ids = array("q")
+        # -- out-of-order arrival ledgers --
+        #: original tweet id → rows of retweets that arrived before it
+        self._pending_retweets: dict[int, list[int]] = {}
+        #: user id → mentions received before registration
+        self._pending_mentions: dict[int, int] = {}
+        self._mutations = 0
 
     # -- ingestion ---------------------------------------------------------
 
@@ -46,25 +117,61 @@ class MicroblogPlatform:
         if user.user_id in self._users:
             raise ValueError(f"duplicate user_id {user.user_id}")
         self._users[user.user_id] = user
-        self._totals[user.user_id] = UserTotals()
+        totals = UserTotals()
+        # mentions that arrived before the user registered count toward
+        # the MI denominator, mirroring the query-time numerator which
+        # resolves the mention once the user is known
+        totals.mentions_received = self._pending_mentions.pop(user.user_id, 0)
+        self._totals[user.user_id] = totals
+        self._by_screen_name.setdefault(user.screen_name, user.user_id)
+        self._mutations += 1
 
     def add_tweet(self, tweet: Tweet) -> None:
         if tweet.tweet_id in self._tweets:
             raise ValueError(f"duplicate tweet_id {tweet.tweet_id}")
         if tweet.author_id not in self._users:
             raise ValueError(f"unknown author {tweet.author_id}")
+        row = len(self._col_authors)
         self._tweets[tweet.tweet_id] = tweet
+        self._row_of[tweet.tweet_id] = row
+        self._col_tweet_ids.append(tweet.tweet_id)
+        self._col_authors.append(tweet.author_id)
         self._by_author.setdefault(tweet.author_id, []).append(tweet.tweet_id)
         self._totals[tweet.author_id].tweets += 1
         for token in tweet.tokens:
-            self._postings.setdefault(token, []).append(tweet.tweet_id)
+            posting = self._postings.get(token)
+            if posting is None:
+                posting = self._postings[token] = array("l")
+            posting.append(row)
         for mentioned in tweet.mentions:
-            if mentioned in self._totals:
-                self._totals[mentioned].mentions_received += 1
+            self._mention_ids.append(mentioned)
+            totals = self._totals.get(mentioned)
+            if totals is not None:
+                totals.mentions_received += 1
+            else:
+                self._pending_mentions[mentioned] = (
+                    self._pending_mentions.get(mentioned, 0) + 1
+                )
+        self._mention_offsets.append(len(self._mention_ids))
+        retweet_author = NO_AUTHOR
         if tweet.retweet_of is not None:
             original = self._tweets.get(tweet.retweet_of)
             if original is not None:
                 self._totals[original.author_id].retweets_received += 1
+                retweet_author = original.author_id
+            else:
+                self._pending_retweets.setdefault(
+                    tweet.retweet_of, []
+                ).append(row)
+        self._col_retweet_authors.append(retweet_author)
+        # the new tweet may be the original that parked earlier retweets:
+        # credit the denominator and back-fill their columnar rows
+        pending = self._pending_retweets.pop(tweet.tweet_id, None)
+        if pending:
+            for retweet_row in pending:
+                self._col_retweet_authors[retweet_row] = tweet.author_id
+            self._totals[tweet.author_id].retweets_received += len(pending)
+        self._mutations += 1
 
     def extend(self, tweets: Iterable[Tweet]) -> None:
         for tweet in tweets:
@@ -77,6 +184,9 @@ class MicroblogPlatform:
             return self._users[user_id]
         except KeyError:
             raise KeyError(f"unknown user {user_id}") from None
+
+    def has_user(self, user_id: int) -> bool:
+        return user_id in self._users
 
     def tweet(self, tweet_id: int) -> Tweet:
         try:
@@ -97,10 +207,10 @@ class MicroblogPlatform:
         return iter(self._tweets.values())
 
     def user_by_screen_name(self, screen_name: str) -> UserProfile:
-        for user in self._users.values():
-            if user.screen_name == screen_name:
-                return user
-        raise KeyError(f"no user with screen name {screen_name!r}")
+        user_id = self._by_screen_name.get(screen_name)
+        if user_id is None:
+            raise KeyError(f"no user with screen name {screen_name!r}")
+        return self._users[user_id]
 
     @property
     def user_count(self) -> int:
@@ -110,6 +220,38 @@ class MicroblogPlatform:
     def tweet_count(self) -> int:
         return len(self._tweets)
 
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic ingestion counter (derived-index staleness check)."""
+        return self._mutations
+
+    @property
+    def pending_retweet_count(self) -> int:
+        """Retweets still awaiting their original (ops diagnostics)."""
+        return sum(len(rows) for rows in self._pending_retweets.values())
+
+    # -- columnar access (the detection engine's substrate) ---------------
+
+    def ledger(self) -> ColumnarLedger:
+        """The shared columnar view over every ingested tweet."""
+        return ColumnarLedger(
+            tweet_ids=self._col_tweet_ids,
+            authors=self._col_authors,
+            retweet_authors=self._col_retweet_authors,
+            mention_offsets=self._mention_offsets,
+            mention_ids=self._mention_ids,
+        )
+
+    def posting_rows(self, token: str) -> array | None:
+        """Sorted posting rows for ``token`` (None when unindexed).
+
+        Shared, not copied — callers must not mutate.
+        """
+        return self._postings.get(token)
+
+    def posting_tokens(self) -> Iterator[str]:
+        return iter(self._postings.keys())
+
     # -- query matching (§3) --------------------------------------------------
 
     def matching_tweet_ids(self, query: str) -> list[int]:
@@ -118,22 +260,28 @@ class MicroblogPlatform:
         Posting lists are intersected smallest-first; a query term absent
         from the index short-circuits to no matches.
         """
+        rows = self.matching_rows(query)
+        return sorted(self._col_tweet_ids[row] for row in rows)
+
+    def matching_rows(self, query: str) -> list[int]:
+        """Columnar rows of the matching tweets, ascending.
+
+        Single-term queries return the posting list directly; multi-term
+        queries intersect the sorted posting lists smallest-first with a
+        galloping fast path, so no per-query ``set`` is ever built.
+        """
         terms = tokenize(query)
         if not terms:
             return []
-        postings: list[list[int]] = []
+        postings = []
         for term in set(terms):
             posting = self._postings.get(term)
             if not posting:
                 return []
             postings.append(posting)
-        postings.sort(key=len)
-        result = set(postings[0])
-        for posting in postings[1:]:
-            result &= set(posting)
-            if not result:
-                return []
-        return sorted(result)
+        if len(postings) == 1:
+            return list(postings[0])
+        return intersect_sorted(postings)
 
     def matching_tweets(self, query: str) -> list[Tweet]:
         return [self._tweets[tid] for tid in self.matching_tweet_ids(query)]
@@ -147,3 +295,42 @@ class MicroblogPlatform:
             f"MicroblogPlatform(users={len(self._users)}, "
             f"tweets={len(self._tweets)})"
         )
+
+
+# -- sorted-posting intersection ------------------------------------------
+
+
+def intersect_sorted(postings: list) -> list[int]:
+    """Intersect ascending posting lists, smallest first, with galloping.
+
+    The running result (always the smallest set so far) is probed against
+    each next list by exponential search from a moving cursor, so a rare
+    term intersected with a frequent one costs O(small · log(large)) —
+    the multi-token fast path of the detection engine.
+    """
+    ordered = sorted(postings, key=len)
+    result = ordered[0]
+    for posting in ordered[1:]:
+        result = _gallop_intersect(result, posting)
+        if not result:
+            return []
+    return list(result)
+
+
+def _gallop_intersect(small, large) -> list[int]:
+    """Members of ``small`` present in ``large`` (both ascending)."""
+    matched: list[int] = []
+    cursor = 0
+    size = len(large)
+    for value in small:
+        if cursor >= size:
+            break
+        # exponential probe from the cursor, then binary search the window
+        bound = 1
+        while cursor + bound < size and large[cursor + bound] < value:
+            bound <<= 1
+        cursor = bisect_left(large, value, cursor, min(cursor + bound, size))
+        if cursor < size and large[cursor] == value:
+            matched.append(value)
+            cursor += 1
+    return matched

@@ -211,10 +211,16 @@ class ExpertService:
     def submit(
         self, query: str, min_zscore: float | None = None
     ) -> "Future[ServedAnswer]":
-        """Enqueue a query; duplicates within one batching window coalesce."""
+        """Enqueue a query; duplicates within one batching window coalesce.
+
+        The batch key folds in the current snapshot version (like the
+        sync-path cache key does): duplicates straddling a
+        ``refresh_domains`` swap within one window must not share an
+        execution, or the later submitter could pin the stale generation.
+        """
         if self._closed:
             raise ServiceClosedError("service is closed")
-        key = (phrase_key(query), min_zscore)
+        key = (self._snapshots.version, phrase_key(query), min_zscore)
         return self._batcher.submit(key, lambda: self.query(query, min_zscore))
 
     def query_many(

@@ -34,7 +34,9 @@ def stddev(values: Sequence[float]) -> float:
     if not values:
         raise ValueError("stddev of empty sequence is undefined")
     centre = mean(values)
-    return math.sqrt(sum((v - centre) ** 2 for v in values) / len(values))
+    # list comprehension rather than a generator: same left-to-right sum,
+    # measurably faster in the detector's per-term inner loop
+    return math.sqrt(sum([(v - centre) ** 2 for v in values]) / len(values))
 
 
 def zscores(values: Sequence[float]) -> list[float]:

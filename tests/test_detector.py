@@ -198,6 +198,75 @@ class TestPalCountsDetector:
         assert PalCountsDetector(scenario_platform).candidate_count("quantum") == 3
 
 
+class TestIngestionEdgeRegressions:
+    """Feature-accounting bugs fixed in the indexed-engine PR."""
+
+    @pytest.mark.parametrize("use_engine", [False, True])
+    def test_unregistered_mentionee_does_not_crash_detection(self, use_engine):
+        # seed bug: collect_candidates created a candidate for any
+        # mentioned id, then platform.totals raised KeyError for it
+        platform = MicroblogPlatform()
+        platform.add_user(UserProfile(1, "u1", "d", "casual", ()))
+        platform.add_tweet(
+            Tweet(tweet_id=1, author_id=1, text="quantum talk",
+                  mentions=(404,))
+        )
+        detector = PalCountsDetector(
+            platform, RankingConfig(min_zscore=-10.0), use_engine=use_engine
+        )
+        experts = detector.detect("quantum")
+        assert [e.user_id for e in experts] == [1]
+
+    @pytest.mark.parametrize("use_engine", [False, True])
+    def test_retweet_impact_bounded_under_out_of_order_ingestion(
+        self, use_engine
+    ):
+        # seed bug: a retweet arriving before its original never joined
+        # the RI denominator, while the query-time numerator resolved the
+        # late-added original — so RI could exceed 1.0
+        platform = MicroblogPlatform()
+        for uid in (1, 2, 3):
+            platform.add_user(UserProfile(uid, f"u{uid}", "d", "casual", ()))
+        platform.add_tweet(
+            Tweet(tweet_id=10, author_id=2, text="rt quantum scoop",
+                  retweet_of=1)
+        )
+        platform.add_tweet(Tweet(tweet_id=1, author_id=1, text="quantum scoop"))
+        platform.add_tweet(
+            Tweet(tweet_id=11, author_id=3, text="rt quantum scoop",
+                  retweet_of=1)
+        )
+        detector = PalCountsDetector(platform, use_engine=use_engine)
+        stats = collect_candidates(
+            platform, "quantum", engine=detector.engine
+        )
+        assert stats[1].on_topic_retweets_received == 2
+        vectors = {
+            v.user_id: v for v in compute_features(platform, stats)
+        }
+        assert 0.0 <= vectors[1].retweet_impact <= 1.0
+        assert math.isclose(vectors[1].retweet_impact, 1.0)
+
+
+class TestScoreMemoImmutability:
+    def test_score_returns_immutable_pool(self, scenario_platform):
+        detector = PalCountsDetector(scenario_platform)
+        pool = detector.score("quantum")
+        assert isinstance(pool, tuple)
+
+    def test_caller_mutation_cannot_poison_the_memo(self, scenario_platform):
+        # seed bug: the memo handed out its cached list by reference, so
+        # a caller's in-place edit corrupted every later query
+        detector = PalCountsDetector(scenario_platform)
+        first = detector.score("quantum")
+        expected = list(first)
+        mutable = list(first)
+        mutable.clear()                       # what a careless caller does
+        with pytest.raises((AttributeError, TypeError)):
+            first.clear()                     # the memo's pool refuses
+        assert list(detector.score("quantum")) == expected
+
+
 class TestClusterFilter:
     def test_small_pool_untouched(self, scenario_platform):
         detector = PalCountsDetector(

@@ -1,0 +1,255 @@
+"""The columnar index engine: equivalence with the scan path + ingestion edges.
+
+The contract of :class:`~repro.detector.engine.IndexedDetectionEngine` is
+*identity*: candidate statistics — and therefore every ranked answer —
+must match the scan-based path exactly, while the aggregation happens at
+build time instead of query time.  The property-style test below asserts
+that over the full evaluation query set (and its §5 expansion terms) of a
+real built system; the unit tests pin the ingestion edge cases the index
+must survive (out-of-order retweets, unknown mentionees, late-registered
+users, staleness after new ingestion).
+"""
+
+import pytest
+
+from repro.detector.candidates import collect_candidates
+from repro.detector.engine import IndexedDetectionEngine
+from repro.detector.palcounts import PalCountsDetector
+from repro.detector.ranking import RankingConfig
+from repro.eval.querysets import build_query_sets
+from repro.microblog.platform import MicroblogPlatform, intersect_sorted
+from repro.microblog.tweets import Tweet
+from repro.microblog.users import UserProfile
+
+
+def make_user(user_id: int, name: str | None = None) -> UserProfile:
+    return UserProfile(
+        user_id=user_id,
+        screen_name=name or f"user{user_id}",
+        description="a test account",
+        persona="casual",
+        expert_topics=(),
+    )
+
+
+@pytest.fixture
+def platform():
+    platform = MicroblogPlatform()
+    for uid in (1, 2, 3):
+        platform.add_user(make_user(uid))
+    platform.add_tweet(
+        Tweet(tweet_id=1, author_id=1, text="quantum computing breakthrough")
+    )
+    platform.add_tweet(
+        Tweet(
+            tweet_id=2,
+            author_id=2,
+            text="amazing quantum work",
+            mentions=(1, 3),
+        )
+    )
+    platform.add_tweet(
+        Tweet(
+            tweet_id=3,
+            author_id=3,
+            text="rt quantum computing breakthrough",
+            retweet_of=1,
+        )
+    )
+    platform.add_tweet(Tweet(tweet_id=4, author_id=2, text="lunch today"))
+    return platform
+
+
+class TestSingleTokenFastPath:
+    def test_identical_to_scan(self, platform):
+        engine = IndexedDetectionEngine(platform)
+        assert engine.collect("quantum") == collect_candidates(
+            platform, "quantum"
+        )
+
+    def test_one_lookup_counts(self, platform):
+        engine = IndexedDetectionEngine(platform)
+        stats = engine.collect("quantum")
+        assert stats[1].on_topic_tweets == 1
+        assert stats[1].on_topic_mentions == 1
+        assert stats[1].on_topic_retweets_received == 1
+        assert stats[3].on_topic_tweets == 1
+        assert engine.stats().single_token_lookups == 1
+        assert engine.stats().multi_token_queries == 0
+
+    def test_unknown_token_empty(self, platform):
+        engine = IndexedDetectionEngine(platform)
+        assert engine.collect("blockchain") == {}
+        assert engine.collect("") == {}
+
+    def test_packed_columns_sorted_by_user(self, platform):
+        engine = IndexedDetectionEngine(platform)
+        packed = engine.token_candidates("quantum")
+        ids = list(packed.user_ids)
+        assert ids == sorted(ids)
+        assert len(packed) == len(ids)
+        assert packed.estimated_bytes() > 0
+
+
+class TestMultiTokenPath:
+    def test_identical_to_scan(self, platform):
+        engine = IndexedDetectionEngine(platform)
+        scan = collect_candidates(platform, "quantum computing")
+        assert engine.collect("quantum computing") == scan
+        assert engine.stats().multi_token_queries == 1
+
+    def test_absent_term_short_circuits(self, platform):
+        engine = IndexedDetectionEngine(platform)
+        assert engine.collect("quantum warp") == {}
+
+    def test_feature_vectors_match_pipeline(self, platform):
+        from repro.detector.features import compute_features
+
+        engine = IndexedDetectionEngine(platform)
+        for query in ("quantum", "quantum computing", "nothing here"):
+            stats = collect_candidates(platform, query)
+            expected = compute_features(platform, stats)
+            assert engine.feature_vectors(query) == expected
+
+
+class TestIntersectSorted:
+    def test_galloping_matches_set_semantics(self):
+        a = list(range(0, 1000, 3))
+        b = list(range(0, 1000, 7))
+        c = list(range(0, 1000, 2))
+        expected = sorted(set(a) & set(b) & set(c))
+        assert intersect_sorted([a, b, c]) == expected
+
+    def test_disjoint_lists(self):
+        assert intersect_sorted([[1, 3, 5], [2, 4, 6]]) == []
+
+    def test_subset_lists(self):
+        assert intersect_sorted([[5, 9], [1, 5, 7, 9, 11]]) == [5, 9]
+
+
+class TestStalenessAndIngestionEdges:
+    def test_rebuilds_after_new_tweet(self, platform):
+        engine = IndexedDetectionEngine(platform)
+        before = engine.collect("quantum")
+        platform.add_tweet(
+            Tweet(tweet_id=9, author_id=1, text="more quantum results")
+        )
+        after = engine.collect("quantum")
+        assert after[1].on_topic_tweets == before[1].on_topic_tweets + 1
+        assert engine.stats().builds == 2
+
+    def test_no_rebuild_when_unchanged(self, platform):
+        engine = IndexedDetectionEngine(platform)
+        engine.refresh()
+        engine.collect("quantum")
+        engine.collect("quantum computing")
+        assert engine.stats().builds == 1
+        assert engine.refresh() is False
+
+    def test_unknown_mentionee_skipped(self, platform):
+        # a tweet mentioning an id the platform never registered must not
+        # create a candidate (its totals do not exist)
+        platform.add_tweet(
+            Tweet(
+                tweet_id=10,
+                author_id=2,
+                text="quantum hype thread",
+                mentions=(999,),
+            )
+        )
+        engine = IndexedDetectionEngine(platform)
+        scan = collect_candidates(platform, "quantum")
+        assert 999 not in scan
+        assert engine.collect("quantum") == scan
+
+    def test_late_registered_mentionee_becomes_candidate(self, platform):
+        platform.add_tweet(
+            Tweet(
+                tweet_id=10,
+                author_id=2,
+                text="quantum hype thread",
+                mentions=(42,),
+            )
+        )
+        engine = IndexedDetectionEngine(platform)
+        assert 42 not in engine.collect("quantum")
+        platform.add_user(make_user(42))
+        stats = engine.collect("quantum")
+        assert stats[42].on_topic_mentions == 1
+        assert stats == collect_candidates(platform, "quantum")
+
+    def test_out_of_order_retweet_resolved(self, platform):
+        # the retweet arrives before its original: once the original is
+        # ingested both the numerator and the denominator must see it
+        platform.add_tweet(
+            Tweet(
+                tweet_id=20,
+                author_id=2,
+                text="rt superconductor news",
+                retweet_of=21,
+            )
+        )
+        platform.add_tweet(
+            Tweet(tweet_id=21, author_id=3, text="superconductor news")
+        )
+        engine = IndexedDetectionEngine(platform)
+        stats = engine.collect("superconductor")
+        assert stats[3].on_topic_retweets_received == 1
+        assert stats == collect_candidates(platform, "superconductor")
+
+
+class TestDetectorIntegration:
+    def test_detector_results_identical(self, platform):
+        config = RankingConfig(min_zscore=-100.0)
+        scan = PalCountsDetector(platform, config, use_engine=False)
+        indexed = PalCountsDetector(platform, config)
+        for query in ("quantum", "quantum computing", "lunch", "nothing"):
+            assert scan.score(query) == indexed.score(query)
+            assert scan.detect(query) == indexed.detect(query)
+            assert scan.candidate_count(query) == indexed.candidate_count(
+                query
+            )
+
+    def test_shared_engine_instance(self, platform):
+        engine = IndexedDetectionEngine(platform)
+        first = PalCountsDetector(platform, engine=engine)
+        second = PalCountsDetector(platform, engine=engine)
+        assert first.engine is engine and second.engine is engine
+
+    def test_engine_disabled_means_scan(self, platform):
+        assert PalCountsDetector(platform, use_engine=False).engine is None
+
+
+class TestEvalQuerySetEquivalence:
+    """The property-style contract: byte-identical over the eval queries."""
+
+    def test_full_query_set_and_expansion_terms(self, system):
+        offline = system.offline
+        sets = build_query_sets(offline.world, offline.store)
+        queries = [q for query_set in sets for q in query_set.queries]
+        assert queries, "eval query sets came out empty"
+        terms: set[str] = set(queries)
+        for query in queries:
+            terms.update(system.expansion_terms(query))
+
+        platform = system.platform
+        scan = PalCountsDetector(
+            platform,
+            ranking=system.config.ranking,
+            normalization=system.config.normalization,
+            use_engine=False,
+        )
+        indexed = PalCountsDetector(
+            platform,
+            ranking=system.config.ranking,
+            normalization=system.config.normalization,
+        )
+        for term in sorted(terms):
+            assert scan.score(term) == indexed.score(term), term
+
+    def test_engine_memory_is_reported(self, system):
+        engine = system.detector.engine
+        assert engine is not None
+        assert engine.estimated_bytes() > 0
+        stats = engine.stats()
+        assert stats.tokens > 0 and stats.candidate_rows > 0

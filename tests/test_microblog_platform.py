@@ -75,6 +75,92 @@ class TestTotals:
             small_platform.totals(42)
 
 
+class TestOutOfOrderIngestion:
+    def test_retweet_before_original_resolves_retroactively(self):
+        platform = MicroblogPlatform()
+        for uid in (1, 2):
+            platform.add_user(make_user(uid))
+        platform.add_tweet(
+            Tweet(tweet_id=2, author_id=2, text="rt big news", retweet_of=1)
+        )
+        # before the original arrives: nothing credited, arrival parked
+        assert platform.totals(1).retweets_received == 0
+        assert platform.pending_retweet_count == 1
+        platform.add_tweet(Tweet(tweet_id=1, author_id=1, text="big news"))
+        # the original's ingestion back-fills the denominator
+        assert platform.totals(1).retweets_received == 1
+        assert platform.pending_retweet_count == 0
+
+    def test_multiple_pending_retweets_all_credited(self):
+        platform = MicroblogPlatform()
+        for uid in (1, 2, 3):
+            platform.add_user(make_user(uid))
+        for tid, author in ((10, 2), (11, 3)):
+            platform.add_tweet(
+                Tweet(tweet_id=tid, author_id=author, text="rt scoop",
+                      retweet_of=1)
+            )
+        platform.add_tweet(Tweet(tweet_id=1, author_id=1, text="the scoop"))
+        assert platform.totals(1).retweets_received == 2
+
+    def test_never_ingested_original_stays_uncredited(self):
+        platform = MicroblogPlatform()
+        for uid in (1, 2):
+            platform.add_user(make_user(uid))
+        platform.add_tweet(
+            Tweet(tweet_id=2, author_id=2, text="rt ghost", retweet_of=99)
+        )
+        assert platform.totals(1).retweets_received == 0
+        assert platform.pending_retweet_count == 1
+
+    def test_mention_before_registration_credited_at_signup(self):
+        platform = MicroblogPlatform()
+        platform.add_user(make_user(1))
+        platform.add_tweet(
+            Tweet(tweet_id=1, author_id=1, text="welcome", mentions=(7, 7))
+        )
+        platform.add_user(make_user(7))
+        # both pre-registration mentions land in the MI denominator
+        assert platform.totals(7).mentions_received == 2
+        platform.add_tweet(
+            Tweet(tweet_id=2, author_id=1, text="again", mentions=(7,))
+        )
+        assert platform.totals(7).mentions_received == 3
+
+
+class TestColumnarLedger:
+    def test_rows_align_with_ingestion_order(self, small_platform):
+        ledger = small_platform.ledger()
+        assert list(ledger.tweet_ids) == [1, 2, 3]
+        assert list(ledger.authors) == [1, 2, 3]
+        # row 2 is the retweet of tweet 1 (author 1); rows 0/1 are not
+        assert list(ledger.retweet_authors) == [-1, -1, 1]
+        assert ledger.estimated_bytes() > 0
+
+    def test_mention_slices(self, small_platform):
+        ledger = small_platform.ledger()
+        spans = [
+            list(
+                ledger.mention_ids[
+                    ledger.mention_offsets[row] : ledger.mention_offsets[row + 1]
+                ]
+            )
+            for row in range(len(ledger))
+        ]
+        assert spans == [[], [1], [1]]
+
+    def test_mutation_count_monotonic(self, small_platform):
+        before = small_platform.mutation_count
+        small_platform.add_user(make_user(9))
+        small_platform.add_tweet(Tweet(tweet_id=9, author_id=9, text="hi"))
+        assert small_platform.mutation_count == before + 2
+
+    def test_posting_rows_sorted(self, small_platform):
+        rows = small_platform.posting_rows("49ers")
+        assert list(rows) == sorted(rows)
+        assert small_platform.posting_rows("absent-token") is None
+
+
 class TestMatching:
     def test_all_terms_required(self, small_platform):
         assert small_platform.matching_tweet_ids("49ers win") == [1, 3]

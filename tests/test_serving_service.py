@@ -211,6 +211,32 @@ class TestRollingRefresh:
             assert after.snapshot_version == snapshot.version
             assert _expert_ids(after) == _expert_ids(before)
 
+    def test_submit_duplicates_straddling_a_swap_do_not_coalesce(
+        self, served_system
+    ):
+        """Seed bug: the batch key omitted the snapshot version.
+
+        Duplicates of one query submitted before and after a
+        ``refresh_domains`` swap landed on one pending entry, so the later
+        submitter shared the earlier generation's execution.  The key now
+        folds in the version (like the sync-path cache key), so the two
+        submissions must dispatch as distinct executions.
+        """
+        config = ServiceConfig(batch_window_seconds=30.0, max_batch=64)
+        with served_system.serve(config) as svc:
+            query = candidate_queries(served_system, 1)[0]
+            version_before = svc.snapshot_version
+            first = svc.submit(query)
+            svc.refresh_domains()
+            second = svc.submit(query)
+            svc._batcher.flush()
+            answers = [first.result(timeout=30), second.result(timeout=30)]
+            stats = svc.stats()
+            assert stats.batch_coalesced == 0
+            assert stats.requests == 2
+            # the post-swap submitter pinned the new generation
+            assert answers[1].snapshot_version == version_before + 1
+
 
 class TestLoadGeneration:
     def test_workload_is_duplicate_heavy(self, served_system):
