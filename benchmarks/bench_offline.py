@@ -1,0 +1,286 @@
+"""OFF1 — offline extraction + clustering latency: accumulator vs seed scan.
+
+The offline stage of Figure 1 (log → similarity graph → communities) is
+what ``refresh_domains`` re-runs to keep serving fresh, so its wall-clock
+is a serving-freshness number, not just a batch number.  This bench
+times the two similarity-join implementations against each other on the
+same click vectors — the seed two-pass scan
+(:func:`repro.simgraph.similarity.similarity_edges`) versus the one-pass
+accumulator join (:mod:`repro.simgraph.accumulate`) — asserts their edge
+dicts are **byte-identical**, and then times the full extraction and the
+clustering stage that consumes it.
+
+It also exercises the honest worker pool: a sharded multi-process join
+must produce the identical edge set, and the reported ``workers`` must
+be the pool actually used (on a single-core machine the pool is forced
+so the sharded merge is still exercised, and the payload records that no
+wall-clock win is expected there).
+
+Writes ``BENCH_offline.json`` at the repo root so offline-stage speed
+joins ``BENCH_detection.json`` and ``BENCH_serving.json`` in the
+cross-PR perf trajectory.  The acceptance bar: the accumulator must win
+the join by >= 5x p50 at the standard (benchmark) scale.
+
+Also runnable standalone; the CI smoke keeps the equivalence assertion
+running on every push::
+
+    PYTHONPATH=src python benchmarks/bench_offline.py --smoke \
+        --output /tmp/BENCH_offline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.community.parallel import ParallelCommunityDetector
+from repro.simgraph.accumulate import _cpu_budget, accumulator_similarity_join
+from repro.simgraph.extract import extract_similarity_graph
+from repro.simgraph.similarity import similarity_edges
+from repro.simgraph.vectors import build_click_vectors
+from repro.utils.stats import percentile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+REPEATS = 5
+PARALLEL_WORKERS = 4
+MIN_JOIN_SPEEDUP = 5.0
+
+
+def _time(callable_, repeats: int) -> tuple[list[float], object]:
+    """Per-call wall-clock seconds; returns (samples, last result)."""
+    samples, result = [], None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = callable_()
+        samples.append(time.perf_counter() - started)
+    return samples, result
+
+
+def _assert_identical(expected: dict, actual: dict, label: str) -> None:
+    """Byte-identical edge dicts: same keys, bitwise-equal floats."""
+    if set(expected) != set(actual):
+        missing = len(set(expected) - set(actual))
+        extra = len(set(actual) - set(expected))
+        raise AssertionError(
+            f"{label}: edge sets differ (missing={missing} extra={extra})"
+        )
+    for key, weight in expected.items():
+        if actual[key] != weight:
+            raise AssertionError(
+                f"{label}: weight mismatch on {key}: {weight!r} != {actual[key]!r}"
+            )
+
+
+def run_offline_bench(
+    store,
+    similarity_config,
+    clustering_config,
+    repeats: int = REPEATS,
+    workers: int = PARALLEL_WORKERS,
+) -> dict:
+    """Time scan vs accumulator joins + clustering; returns the payload."""
+    vectors = build_click_vectors(store)
+
+    scan_s, scan_edges = _time(
+        lambda: similarity_edges(vectors, similarity_config), repeats
+    )
+    join_s, join = _time(
+        lambda: accumulator_similarity_join(vectors, similarity_config),
+        repeats,
+    )
+    # the timings mean nothing unless the two joins agree to the byte
+    _assert_identical(scan_edges, join.edges, "accumulator vs seed scan")
+
+    extract_s, extraction = _time(
+        lambda: extract_similarity_graph(store, similarity_config), repeats
+    )
+    if extraction.report.workers != extraction.join_stats.workers:
+        raise AssertionError(
+            "extraction report must carry the join's honest worker count"
+        )
+
+    cluster_s, partition = _time(
+        lambda: ParallelCommunityDetector(
+            extraction.multigraph, clustering_config
+        ).run(),
+        repeats,
+    )
+
+    # -- sharded pool: identical edges, honest pool accounting -------------
+    # forced past the core clamp and the work-size gate so the sharded
+    # merge is exercised and timed on every machine; production joins
+    # engage the pool only when cores > 1 AND the join is large enough
+    # to amortise fork + pickle (_MIN_POOL_OPS)
+    cores = _cpu_budget()
+    pool_workers = min(workers, cores) if cores > 1 else workers
+    pool_s, pool_join = _time(
+        lambda: accumulator_similarity_join(
+            vectors,
+            similarity_config,
+            workers=pool_workers,
+            force_workers=True,
+        ),
+        repeats,
+    )
+    _assert_identical(scan_edges, pool_join.edges, "sharded pool vs seed scan")
+
+    scan_p50 = percentile(scan_s, 0.5)
+    join_p50 = percentile(join_s, 0.5)
+    pool_p50 = percentile(pool_s, 0.5)
+    return {
+        "config": {
+            "impressions": store.impressions,
+            "queries": join.stats.queries,
+            "urls": join.stats.urls,
+            "raw_bytes": store.raw_bytes,
+            "repeats": repeats,
+        },
+        "join": {
+            "scan_p50_s": round(scan_p50, 4),
+            "scan_p95_s": round(percentile(scan_s, 0.95), 4),
+            "accumulator_p50_s": round(join_p50, 4),
+            "accumulator_p95_s": round(percentile(join_s, 0.95), 4),
+            "speedup_p50": round(scan_p50 / join_p50, 2) if join_p50 else None,
+            "backend": join.stats.backend,
+            "accumulate_ops": join.stats.accumulate_ops,
+            "candidate_pairs": join.stats.candidate_pairs,
+            "edges": join.stats.edges,
+            "byte_identical": True,
+        },
+        "extraction": {
+            "p50_s": round(percentile(extract_s, 0.5), 4),
+            "workers_reported": extraction.report.workers,
+            "vertices": extraction.multigraph.vertex_count,
+            "bytes_read": extraction.report.bytes_read,
+            "bytes_written": extraction.report.bytes_written,
+        },
+        "clustering": {
+            "p50_s": round(percentile(cluster_s, 0.5), 4),
+            "communities": partition.community_count(),
+        },
+        "parallel": {
+            "cores": cores,
+            "workers_requested": pool_workers,
+            "workers_used": pool_join.stats.workers,
+            "shards": pool_join.stats.shards,
+            "forced": True,
+            "p50_s": round(pool_p50, 4),
+            "speedup_vs_serial": (
+                round(join_p50 / pool_p50, 2) if pool_p50 else None
+            ),
+            "byte_identical": True,
+        },
+    }
+
+
+def render(payload: dict) -> str:
+    config = payload["config"]
+    join = payload["join"]
+    parallel = payload["parallel"]
+    lines = [
+        "OFF1 — offline extraction latency (s), seed scan vs accumulator join",
+        f"  log: {config['impressions']} impressions → {config['queries']} "
+        f"queries / {config['urls']} urls "
+        f"({join['accumulate_ops']:,} accumulate ops, "
+        f"{join['candidate_pairs']:,} candidate pairs, {join['edges']:,} edges)",
+        f"  join         scan p50={join['scan_p50_s']:>8.4f} "
+        f"accumulator p50={join['accumulator_p50_s']:>8.4f} "
+        f"speedup={join['speedup_p50']}x [{join['backend']}]",
+        f"  extraction   p50={payload['extraction']['p50_s']:>8.4f} "
+        f"(workers={payload['extraction']['workers_reported']})",
+        f"  clustering   p50={payload['clustering']['p50_s']:>8.4f} "
+        f"({payload['clustering']['communities']} communities)",
+        f"  pool         p50={parallel['p50_s']:>8.4f} "
+        f"workers={parallel['workers_used']}/{parallel['cores']} cores "
+        f"speedup={parallel['speedup_vs_serial']}x (forced past the "
+        "work-size gate; no win expected below ~8M ops or on 1 core)",
+    ]
+    return "\n".join(lines)
+
+
+def write_payload(payload: dict, path: pathlib.Path) -> None:
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def test_offline_latency(benchmark, ctx, results_dir):
+    system = ctx.system
+    payload = benchmark.pedantic(
+        run_offline_bench,
+        args=(
+            system.offline.store,
+            system.config.similarity,
+            system.config.clustering,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert payload["join"]["speedup_p50"] >= MIN_JOIN_SPEEDUP
+    assert payload["join"]["byte_identical"]
+    # honest accounting: the multi-worker join reports its real pool size
+    assert payload["parallel"]["workers_used"] == min(
+        payload["parallel"]["workers_requested"], payload["parallel"]["shards"]
+    )
+    assert payload["parallel"]["byte_identical"]
+
+    bench_path = REPO_ROOT / "BENCH_offline.json"
+    write_payload(payload, bench_path)
+
+    from conftest import write_artifact
+
+    write_artifact(
+        results_dir,
+        "offline_latency",
+        render(payload) + f"\n[json written to {bench_path}]",
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("small", "standard"), default="standard")
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument("--workers", type=int, default=PARALLEL_WORKERS)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny config, one repeat — the CI equivalence check",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_offline.json",
+    )
+    args = parser.parse_args()
+
+    from repro.core.config import ESharpConfig
+    from repro.querylog.generator import generate_query_log
+    from repro.worldmodel.builder import build_world
+
+    scale = "small" if args.smoke else args.scale
+    repeats = 1 if args.smoke else args.repeats
+    config = (
+        ESharpConfig.small(seed=args.seed)
+        if scale == "small"
+        else ESharpConfig.standard(seed=args.seed)
+    )
+    world = build_world(config.world)
+    store = generate_query_log(world, config.querylog)
+    payload = run_offline_bench(
+        store,
+        config.similarity,
+        config.clustering,
+        repeats=repeats,
+        workers=args.workers,
+    )
+    write_payload(payload, args.output)
+    print(render(payload))
+    print(f"[json written to {args.output}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,7 @@ def test_serving_throughput(benchmark, ctx, results_dir):
             "max_unique": 64,
             "zipf_exponent": 1.1,
             "service_config": ServiceConfig(detection_workers=4),
+            "measure_refresh": True,
         },
         rounds=1,
         iterations=1,
@@ -43,6 +44,9 @@ def test_serving_throughput(benchmark, ctx, results_dir):
 
     report = outcome.report
     assert report.errors == 0
+    # the zero-downtime weekly rebuild (accumulator-join offline path)
+    # must actually run and be accounted
+    assert outcome.refresh_seconds is not None and outcome.refresh_seconds > 0
     assert outcome.baseline is not None and outcome.baseline.errors == 0
     # the serving tier must earn its keep on a warm duplicate-heavy stream
     assert outcome.speedup is not None and outcome.speedup >= 2.0

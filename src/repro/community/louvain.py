@@ -34,15 +34,23 @@ class LouvainDetector:
         self.levels: list[int] = []  # community count after each level
 
     def run(self) -> Partition:
-        # internal adjacency (self-loops allowed at aggregated levels)
-        adjacency: dict[str, dict[str, int]] = {
-            v: {} for v in self.graph.vertices()
-        }
-        for u, v, multiplicity in self.graph.edges():
-            adjacency[u][v] = multiplicity
-            adjacency[v][u] = multiplicity
+        """Run on the graph's interned integer-id view.
 
-        # mapping from original vertices to current-level nodes
+        ``_one_level``/``_aggregate`` are key-generic; ids are assigned
+        in sorted-label order, so visit order and smaller-label
+        tie-breaks match the string keys exactly while the inner loops
+        hash and compare machine ints.  Level-0 adjacency reuses the
+        interned per-vertex dicts without copying (aggregation builds
+        fresh super-graph dicts, never mutating the originals).
+        """
+        interned = self.graph.interned()
+        labels = interned.labels
+        adjacency: dict[int, dict[int, int]] = {
+            vertex: neighbours
+            for vertex, neighbours in enumerate(interned.adjacency)
+        }
+
+        # mapping from original vertex ids to current-level nodes
         membership = {vertex: vertex for vertex in adjacency}
         self.levels = []
 
@@ -56,11 +64,16 @@ class LouvainDetector:
                 break
             adjacency = _aggregate(adjacency, assignment)
 
-        return Partition(dict(membership))
+        return Partition(
+            {
+                labels[vertex]: labels[community]
+                for vertex, community in membership.items()
+            }
+        )
 
     def _one_level(
-        self, adjacency: dict[str, dict[str, int]]
-    ) -> tuple[dict[str, str], bool]:
+        self, adjacency: dict[int, dict[int, int]]
+    ) -> tuple[dict[int, int], bool]:
         """Local-move phase; returns (assignment, any_move_happened)."""
         two_m = sum(
             sum(weights.values()) for weights in adjacency.values()
@@ -84,7 +97,7 @@ class LouvainDetector:
                 degree = node_degree[node]
                 community_degree[home] -= degree
                 # links from node to each neighbouring community
-                links: dict[str, int] = {}
+                links: dict[int, int] = {}
                 for neighbour, weight in adjacency[node].items():
                     if neighbour == node:
                         continue
@@ -113,13 +126,13 @@ class LouvainDetector:
 
 
 def _aggregate(
-    adjacency: dict[str, dict[str, int]], assignment: dict[str, str]
-) -> dict[str, dict[str, int]]:
+    adjacency: dict[int, dict[int, int]], assignment: dict[int, int]
+) -> dict[int, dict[int, int]]:
     """Build the super-graph: communities become nodes, intra-edges self-loops."""
-    aggregated: dict[str, dict[str, int]] = {
+    aggregated: dict[int, dict[int, int]] = {
         community: {} for community in set(assignment.values())
     }
-    seen: set[tuple[str, str]] = set()
+    seen: set[tuple[int, int]] = set()
     for node, weights in adjacency.items():
         for neighbour, weight in weights.items():
             if node == neighbour:

@@ -37,9 +37,13 @@ class CommunityStats:
 
     @classmethod
     def from_partition(cls, graph: MultiGraph, partition: Partition) -> "CommunityStats":
-        """One O(V + E) pass computing every quantity."""
+        """One O(V + E) pass computing every quantity.
+
+        Reads the graph through its cached zero-copy accessors — the
+        per-iteration sorts the seed paid here are gone.
+        """
         stats = cls(total_edges=graph.total_edges)
-        for vertex in graph.vertices():
+        for vertex in graph.sorted_vertices():
             community = partition.community_of(vertex)
             stats.degree_sum[community] = (
                 stats.degree_sum.get(community, 0) + graph.degree(vertex)
@@ -47,7 +51,7 @@ class CommunityStats:
         for community in partition.communities():
             stats.internal_edges.setdefault(community, 0)
             stats.degree_sum.setdefault(community, 0)
-        for u, v, multiplicity in graph.edges():
+        for u, v, multiplicity in graph.sorted_edges():
             cu, cv = partition.community_of(u), partition.community_of(v)
             if cu == cv:
                 stats.internal_edges[cu] = (

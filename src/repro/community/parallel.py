@@ -42,8 +42,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.community.modularity import CommunityStats, delta_modularity
-from repro.community.partition import Partition, singleton_partition
-from repro.simgraph.graph import MultiGraph
+from repro.community.partition import Partition
+from repro.simgraph.graph import InternedGraph, MultiGraph
 
 
 @dataclass(frozen=True)
@@ -127,42 +127,76 @@ class ParallelCommunityDetector:
     # -- full run ------------------------------------------------------------
 
     def run(self, initial: Partition | None = None) -> Partition:
-        """Iterate to convergence; populates :attr:`history` (Figure 5)."""
-        partition = initial or singleton_partition(self.graph.vertices())
-        partition.validate_covers(self.graph)
+        """Iterate to convergence; populates :attr:`history` (Figure 5).
+
+        The loop runs entirely on the graph's interned integer-id view —
+        int-keyed community statistics instead of string dicts with
+        per-iteration copies.  Ids are assigned in sorted-label order, so
+        every smaller-name tie-break behaves exactly as it does in the
+        string-space :meth:`choose_targets`/:meth:`apply_targets` pair
+        (which remain the executable single-step specification and are
+        cross-checked against this loop in the tests).  Labels reappear
+        only in the final :class:`Partition`.
+        """
+        interned = self.graph.interned()
+        labels = interned.labels
+        if not initial:
+            comm_labels: tuple[str, ...] = labels
+            comm_of = list(range(len(labels)))
+        else:
+            initial.validate_covers(self.graph)
+            comm_labels = tuple(sorted(set(initial.assignment.values())))
+            comm_index = {name: i for i, name in enumerate(comm_labels)}
+            comm_of = [
+                comm_index[initial.community_of(label)] for label in labels
+            ]
         self.history = [
             IterationTrace(
                 iteration=0,
-                communities=partition.community_count(),
+                communities=len(set(comm_of)),
                 merges=0,
                 modularity_gain=0.0,
             )
         ]
         for iteration in range(1, self.config.max_iterations + 1):
-            targets = self.choose_targets(partition)
+            targets = _choose_targets_ids(interned, comm_of)
             if not targets:
                 break
-            next_partition = self.apply_targets(partition, targets)
-            gain = _applied_gain(self.graph, partition, next_partition)
-            merges = partition.community_count() - next_partition.community_count()
+            if self.config.merge_mode == "pointer":
+                mapping = targets
+            elif self.config.merge_mode == "matching":
+                mapping = _resolve_mutual(targets)
+            else:
+                mapping = _collapse_components(targets)
+            next_comm_of = [mapping.get(c, c) for c in comm_of]
+            gain = _modularity_ids(interned, next_comm_of) - _modularity_ids(
+                interned, comm_of
+            )
+            count = len(set(next_comm_of))
+            merges = len(set(comm_of)) - count
             self.history.append(
                 IterationTrace(
                     iteration=iteration,
-                    communities=next_partition.community_count(),
+                    communities=count,
                     merges=merges,
                     modularity_gain=gain,
                 )
             )
-            converged = partition.same_structure(next_partition)
-            partition = next_partition
+            converged = _canonical_ids(comm_of) == _canonical_ids(next_comm_of)
+            comm_of = next_comm_of
             if converged:
                 break
             if (
                 self.config.target_communities
-                and partition.community_count() <= self.config.target_communities
+                and count <= self.config.target_communities
             ):
                 break
-        return partition
+        return Partition(
+            {
+                labels[vertex]: comm_labels[community]
+                for vertex, community in enumerate(comm_of)
+            }
+        )
 
     def community_counts(self) -> list[int]:
         """Community count per iteration — the Figure 5 series."""
@@ -227,3 +261,75 @@ def _applied_gain(
     from repro.community.modularity import total_modularity
 
     return total_modularity(graph, after) - total_modularity(graph, before)
+
+
+# -- interned-id inner loops ---------------------------------------------------
+
+
+def _choose_targets_ids(
+    interned: InternedGraph, comm_of: list[int]
+) -> dict[int, int]:
+    """Steps 1–2 on integer community ids (id order == label order)."""
+    degree_sum: dict[int, int] = {}
+    for vertex, degree in enumerate(interned.degrees):
+        community = comm_of[vertex]
+        degree_sum[community] = degree_sum.get(community, 0) + degree
+    between: dict[tuple[int, int], int] = {}
+    for u, neighbours in enumerate(interned.adjacency):
+        cu = comm_of[u]
+        for v, multiplicity in neighbours.items():
+            if u < v:
+                cv = comm_of[v]
+                if cu != cv:
+                    key = (cu, cv) if cu < cv else (cv, cu)
+                    between[key] = between.get(key, 0) + multiplicity
+    total_edges = interned.total_edges
+    best: dict[int, tuple[float, int]] = {}
+    for (c1, c2), links in between.items():
+        gain = delta_modularity(
+            links, degree_sum.get(c1, 0), degree_sum.get(c2, 0), total_edges
+        )
+        if gain <= 0:
+            continue
+        for source, target in ((c1, c2), (c2, c1)):
+            incumbent = best.get(source)
+            if (
+                incumbent is None
+                or gain > incumbent[0]
+                or (gain == incumbent[0] and target < incumbent[1])
+            ):
+                best[source] = (gain, target)
+    return {source: target for source, (_, target) in best.items()}
+
+
+def _modularity_ids(interned: InternedGraph, comm_of: list[int]) -> float:
+    """Eq. 2 on integer ids; float-sum order matches the string path."""
+    total_edges = interned.total_edges
+    if total_edges == 0:
+        return 0.0
+    degree_sum: dict[int, int] = {}
+    for vertex, degree in enumerate(interned.degrees):
+        community = comm_of[vertex]
+        degree_sum[community] = degree_sum.get(community, 0) + degree
+    internal: dict[int, int] = {}
+    for u, neighbours in enumerate(interned.adjacency):
+        cu = comm_of[u]
+        for v, multiplicity in neighbours.items():
+            if u < v and comm_of[v] == cu:
+                internal[cu] = internal.get(cu, 0) + multiplicity
+    total_degree = 2 * total_edges
+    return sum(
+        internal.get(community, 0)
+        - total_edges * (degree_sum[community] / total_degree) ** 2
+        for community in sorted(degree_sum)
+    )
+
+
+def _canonical_ids(comm_of: list[int]) -> list[int]:
+    """Label-independent structure: each vertex mapped to the smallest
+    vertex id sharing its community (cheap :meth:`Partition.same_structure`)."""
+    first_member: dict[int, int] = {}
+    return [
+        first_member.setdefault(community, vertex)
+        for vertex, community in enumerate(comm_of)
+    ]

@@ -90,7 +90,7 @@ class SqlCommunityDetector:
 
     def _register_graph(self) -> None:
         rows = []
-        for u, v, multiplicity in self.graph.edges():
+        for u, v, multiplicity in self.graph.sorted_edges():
             rows.append((u, v, multiplicity))
             rows.append((v, u, multiplicity))
         table = Table.from_dicts(

@@ -31,7 +31,9 @@ class ESharpConfig:
     microblog: MicroblogConfig = field(default_factory=MicroblogConfig)
     ranking: RankingConfig = field(default_factory=RankingConfig)
     normalization: NormalizationConfig = field(default_factory=NormalizationConfig)
-    #: simulated cluster width for the offline stages (the paper used 65 VMs)
+    #: requested worker-pool width for the offline similarity join (the
+    #: paper used 65 VMs).  The pool actually created is clamped to the
+    #: machine's usable cores, and Table 9 reports that honest number.
     offline_workers: int = 65
     #: use the SQL-on-relational-engine clustering instead of the fast path
     use_sql_clustering: bool = False

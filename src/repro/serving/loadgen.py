@@ -249,6 +249,8 @@ class ServeOutcome:
     stats: "ServiceStats"
     #: measured qps over serial-uncached qps (None when baseline skipped)
     speedup: float | None
+    #: wall-clock of one zero-downtime domain rebuild (None when skipped)
+    refresh_seconds: float | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -265,6 +267,7 @@ class ServeOutcome:
             "baseline_qps": self.baseline.qps if self.baseline else None,
             "speedup_vs_serial": self.speedup,
             "snapshot_version": self.stats.snapshot_version,
+            "refresh_seconds": self.refresh_seconds,
         }
 
     def render(self) -> str:
@@ -276,6 +279,11 @@ class ServeOutcome:
         blocks.append(self.report.render("serving engine — warm"))
         if self.speedup is not None:
             blocks.append(f"  speedup:       {self.speedup:.1f}x over serial uncached")
+        if self.refresh_seconds is not None:
+            blocks.append(
+                f"  domain refresh: {self.refresh_seconds:.2f}s "
+                "(zero-downtime snapshot rebuild)"
+            )
         return "\n".join(blocks)
 
 
@@ -291,6 +299,7 @@ def run_serve(
     service_config: "ServiceConfig | None" = None,
     baseline: bool = True,
     warmup: bool = True,
+    measure_refresh: bool = False,
 ) -> ServeOutcome:
     """Replay one Zipf workload through the serving engine, end to end.
 
@@ -331,6 +340,7 @@ def run_serve(
         system.detector.cache_clear()
 
     service = ExpertService(system, service_config or ServiceConfig())
+    refresh_seconds: float | None = None
     try:
         if warmup:
             for query in dict.fromkeys(workload):
@@ -339,6 +349,11 @@ def run_serve(
             service, workload, concurrency=concurrency, min_zscore=min_zscore
         ).run()
         stats = service.stats()
+        if measure_refresh:
+            # one §6.3 weekly rebuild through the live service: extraction
+            # (accumulator join) + clustering + atomic snapshot swap
+            service.refresh_domains()
+            refresh_seconds = service.stats().last_refresh_seconds
     finally:
         service.close()
 
@@ -346,5 +361,9 @@ def run_serve(
     if baseline_report is not None and baseline_report.qps > 0:
         speedup = report.qps / baseline_report.qps
     return ServeOutcome(
-        report=report, baseline=baseline_report, stats=stats, speedup=speedup
+        report=report,
+        baseline=baseline_report,
+        stats=stats,
+        speedup=speedup,
+        refresh_seconds=refresh_seconds,
     )

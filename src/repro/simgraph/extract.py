@@ -1,17 +1,21 @@
 """End-to-end extraction: query-log store → discretised similarity graph.
 
 This is the "Extraction" row of Table 9: it reads the (simulated) raw log,
-builds click vectors, runs the cosine similarity join and emits the graph,
-reporting byte volumes along the way.
+builds click vectors, runs the one-pass accumulator similarity join
+(:mod:`repro.simgraph.accumulate`) and emits the graph, reporting byte
+volumes and the *actual* worker-pool width along the way — the report's
+``workers`` field is whatever the join really used, never the requested
+number.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.querylog.store import QueryLogStore
+from repro.simgraph.accumulate import JoinStats, accumulator_similarity_join
 from repro.simgraph.graph import MultiGraph, WeightedGraph, discretize
-from repro.simgraph.similarity import SimilarityConfig, similarity_edges
+from repro.simgraph.similarity import SimilarityConfig
 from repro.simgraph.vectors import build_click_vectors
 from repro.utils.timing import StageReport
 
@@ -23,6 +27,8 @@ class ExtractionResult:
     weighted: WeightedGraph
     multigraph: MultiGraph
     report: StageReport
+    #: accounting of the similarity join (ops, pairs, honest worker count)
+    join_stats: JoinStats | None = field(default=None)
 
     @property
     def vertex_count(self) -> int:
@@ -35,19 +41,30 @@ def extract_similarity_graph(
     discretize_scale: float = 20.0,
     include_isolated: bool = True,
     workers: int = 1,
+    force_workers: bool = False,
 ) -> ExtractionResult:
     """Run §4.1 end to end over ``store``.
 
     ``include_isolated`` keeps supported queries that end up with no edge —
     they become the orphan communities of Figure 6, exactly as queries with
     unique click profiles did in the paper.
+
+    ``workers=1`` (default) is strictly serial; ``workers > 1`` shards the
+    similarity join across a process pool clamped to the machine's usable
+    cores and gated on join size — small joins stay serial because the
+    pool cannot amortise its fork cost (``force_workers=True`` lifts
+    both).  The returned report's ``workers`` equals the pool size
+    actually used.
     """
     config = config or SimilarityConfig()
-    report = StageReport(name="extraction", workers=workers)
+    vectors = build_click_vectors(store)
+    join = accumulator_similarity_join(
+        vectors, config, workers=workers, force_workers=force_workers
+    )
+    edges = join.edges
+    report = StageReport(name="extraction", workers=join.stats.workers)
     report.bytes_read = store.raw_bytes
 
-    vectors = build_click_vectors(store)
-    edges = similarity_edges(vectors, config)
     weighted = WeightedGraph.from_edges(edges)
     isolated = set(vectors) - {v for pair in edges for v in pair}
     if include_isolated:
@@ -59,4 +76,9 @@ def extract_similarity_graph(
         vertices=isolated if include_isolated else None,
     )
     report.bytes_written = multigraph.storage_bytes()
-    return ExtractionResult(weighted=weighted, multigraph=multigraph, report=report)
+    return ExtractionResult(
+        weighted=weighted,
+        multigraph=multigraph,
+        report=report,
+        join_stats=join.stats,
+    )

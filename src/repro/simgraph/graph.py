@@ -10,11 +10,40 @@ weights to obtain integers. Then, we create one edge for each unit."*
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from types import MappingProxyType
+from typing import Iterable, Iterator, Mapping
 
 
 def _ordered(u: str, v: str) -> tuple[str, str]:
     return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class InternedGraph:
+    """A dense integer-id view of a :class:`MultiGraph`.
+
+    Vertex ids are assigned in sorted-label order, so comparing two ids
+    orders exactly like comparing the underlying labels — the community
+    detectors' smaller-name tie-breaks survive the translation untouched.
+    Built once per graph generation (invalidated on mutation) and shared
+    by every int-keyed inner loop; labels reappear only at the
+    :class:`~repro.community.partition.Partition` boundary.
+    """
+
+    #: id → label, in sorted label order
+    labels: tuple[str, ...]
+    #: label → id
+    index: Mapping[str, int]
+    #: id → {neighbour id: multiplicity}; one dict per vertex, never copied
+    adjacency: tuple[Mapping[int, int], ...]
+    #: id → vertex degree (unit edges)
+    degrees: tuple[int, ...]
+    #: m_G
+    total_edges: int
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self.labels)
 
 
 @dataclass
@@ -38,25 +67,48 @@ class WeightedGraph:
             graph.add_edge(u, v, weight)
         return graph
 
+    _sorted_vertices: tuple[str, ...] | None = field(
+        default=None, repr=False, compare=False
+    )
+
     def add_vertex(self, vertex: str) -> None:
-        self._adjacency.setdefault(vertex, {})
+        if vertex not in self._adjacency:
+            self._adjacency[vertex] = {}
+            self._sorted_vertices = None
 
     def add_edge(self, u: str, v: str, weight: float) -> None:
         if u == v:
             raise ValueError(f"self-loop on {u!r} is not allowed")
         if weight <= 0:
             raise ValueError(f"edge weight must be positive, got {weight}")
+        if u not in self._adjacency or v not in self._adjacency:
+            self._sorted_vertices = None
         self._adjacency.setdefault(u, {})[v] = weight
         self._adjacency.setdefault(v, {})[u] = weight
 
     # -- accessors -----------------------------------------------------------
 
     def vertices(self) -> list[str]:
-        return sorted(self._adjacency)
+        return list(self.sorted_vertices())
+
+    def sorted_vertices(self) -> tuple[str, ...]:
+        """Sorted vertices, cached between mutations (zero-copy reads)."""
+        if self._sorted_vertices is None:
+            self._sorted_vertices = tuple(sorted(self._adjacency))
+        return self._sorted_vertices
 
     def neighbours(self, vertex: str) -> dict[str, float]:
+        return dict(self.neighbour_view(vertex))
+
+    def neighbour_view(self, vertex: str) -> Mapping[str, float]:
+        """Read-only, zero-copy view of ``vertex``'s adjacency.
+
+        Callers reading adjacency in bulk should prefer this over
+        :meth:`neighbours`, which copies the dict per call; the view
+        tracks later mutations instead of snapshotting.
+        """
         try:
-            return dict(self._adjacency[vertex])
+            return MappingProxyType(self._adjacency[vertex])
         except KeyError:
             raise KeyError(f"unknown vertex {vertex!r}") from None
 
@@ -69,7 +121,7 @@ class WeightedGraph:
 
     def edges(self) -> Iterator[tuple[str, str, float]]:
         """Each undirected edge exactly once, in sorted order."""
-        for u in sorted(self._adjacency):
+        for u in self.sorted_vertices():
             for v in sorted(self._adjacency[u]):
                 if u < v:
                     yield u, v, self._adjacency[u][v]
@@ -107,7 +159,9 @@ class MultiGraph:
         return graph
 
     def add_vertex(self, vertex: str) -> None:
-        self._degree.setdefault(vertex, 0)
+        if vertex not in self._degree:
+            self._degree[vertex] = 0
+            self._invalidate()
 
     def add_edge(self, u: str, v: str, multiplicity: int = 1) -> None:
         if u == v:
@@ -119,12 +173,25 @@ class MultiGraph:
         self._degree[u] = self._degree.get(u, 0) + multiplicity
         self._degree[v] = self._degree.get(v, 0) + multiplicity
         self._total_edges += multiplicity
-        self._adjacency = None  # invalidate the neighbour cache
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        """Drop every derived cache after a mutation."""
+        self._adjacency = None
+        self._sorted_vertices = None
+        self._sorted_edges = None
+        self._interned = None
 
     # -- accessors -----------------------------------------------------------
 
     def vertices(self) -> list[str]:
-        return sorted(self._degree)
+        return list(self.sorted_vertices())
+
+    def sorted_vertices(self) -> tuple[str, ...]:
+        """Sorted vertices, cached between mutations (zero-copy reads)."""
+        if self._sorted_vertices is None:
+            self._sorted_vertices = tuple(sorted(self._degree))
+        return self._sorted_vertices
 
     def degree(self, vertex: str) -> int:
         try:
@@ -136,28 +203,79 @@ class MultiGraph:
         return self._multiplicity.get(_ordered(u, v), 0)
 
     def edges(self) -> Iterator[tuple[str, str, int]]:
-        for (u, v), multiplicity in sorted(self._multiplicity.items()):
-            yield u, v, multiplicity
+        yield from self.sorted_edges()
+
+    def sorted_edges(self) -> tuple[tuple[str, str, int], ...]:
+        """Every distinct edge in sorted order, cached between mutations."""
+        if self._sorted_edges is None:
+            self._sorted_edges = tuple(
+                (u, v, multiplicity)
+                for (u, v), multiplicity in sorted(self._multiplicity.items())
+            )
+        return self._sorted_edges
 
     def neighbours(self, vertex: str) -> Iterator[tuple[str, int]]:
         """Adjacent vertices with multiplicities (linear scan-free).
 
         Built lazily the first time it is needed and invalidated on edge
-        insertion; community detection queries this heavily.
+        insertion; community detection queries this heavily.  The per-vertex
+        item tuples are pre-sorted at cache build, so repeated sweeps
+        (label propagation, Louvain) pay no per-call sort or copy.
         """
         adjacency = self._adjacency_cache()
-        yield from sorted(adjacency.get(vertex, {}).items())
+        yield from adjacency.get(vertex, ())
 
-    _adjacency: dict[str, dict[str, int]] | None = None
+    _adjacency: dict[str, tuple[tuple[str, int], ...]] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _sorted_vertices: tuple[str, ...] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _sorted_edges: tuple[tuple[str, str, int], ...] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _interned: InternedGraph | None = field(
+        default=None, repr=False, compare=False
+    )
 
-    def _adjacency_cache(self) -> dict[str, dict[str, int]]:
+    def _adjacency_cache(self) -> dict[str, tuple[tuple[str, int], ...]]:
         if self._adjacency is None:
-            adjacency: dict[str, dict[str, int]] = {}
+            raw: dict[str, dict[str, int]] = {}
             for (u, v), multiplicity in self._multiplicity.items():
-                adjacency.setdefault(u, {})[v] = multiplicity
-                adjacency.setdefault(v, {})[u] = multiplicity
-            self._adjacency = adjacency
+                raw.setdefault(u, {})[v] = multiplicity
+                raw.setdefault(v, {})[u] = multiplicity
+            self._adjacency = {
+                vertex: tuple(sorted(neighbours.items()))
+                for vertex, neighbours in raw.items()
+            }
         return self._adjacency
+
+    def interned(self) -> InternedGraph:
+        """The dense integer-id view, built once per graph generation.
+
+        Includes isolated vertices (degree 0), so a partition derived in
+        id space always covers the graph.
+        """
+        if self._interned is None:
+            labels = self.sorted_vertices()
+            index = {label: i for i, label in enumerate(labels)}
+            adjacency: list[dict[int, int]] = [{} for _ in labels]
+            for (u, v), multiplicity in self._multiplicity.items():
+                ui, vi = index[u], index[v]
+                adjacency[ui][vi] = multiplicity
+                adjacency[vi][ui] = multiplicity
+            self._interned = InternedGraph(
+                labels=labels,
+                index=index,
+                # read-only views: the interned graph is shared by every
+                # detector run, so no caller may mutate the adjacency
+                adjacency=tuple(
+                    MappingProxyType(neighbours) for neighbours in adjacency
+                ),
+                degrees=tuple(self._degree[label] for label in labels),
+                total_edges=self._total_edges,
+            )
+        return self._interned
 
     @property
     def total_edges(self) -> int:

@@ -1,4 +1,4 @@
-"""All-pairs cosine similarity over click vectors.
+"""All-pairs cosine similarity over click vectors — the reference scan.
 
 A naive all-pairs pass is quadratic in the vocabulary.  Following standard
 IR practice (and the only way the paper's 60-million-edge graph could have
@@ -8,6 +8,13 @@ ever compared.  Ubiquitous URLs (global portals clicked for everything)
 would re-inflate the candidate set quadratically, so posting lists longer
 than ``max_posting_list`` are skipped for *candidate generation* — the full
 vectors, hubs included, are still used to compute the cosine itself.
+
+This module is kept as the executable specification of the join: it
+enumerates candidates (with a ``seen`` set) and then scores each pair
+with a separate cosine.  The pipeline itself runs the one-pass
+accumulator join in :mod:`repro.simgraph.accumulate`, which produces a
+byte-identical edge dict (property-tested) an order of magnitude faster;
+the BENCH_offline trajectory tracks the two against each other.
 """
 
 from __future__ import annotations

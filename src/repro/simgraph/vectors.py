@@ -17,6 +17,7 @@ class SparseVector:
     """Immutable sparse vector keyed by URL."""
 
     components: dict[str, int] = field(default_factory=dict)
+    _norm: float = field(init=False, repr=False, compare=False, default=0.0)
 
     def __post_init__(self) -> None:
         for url, clicks in self.components.items():
@@ -24,11 +25,18 @@ class SparseVector:
                 raise ValueError(
                     f"click counts must be positive, got {clicks} for {url!r}"
                 )
+        # the vector is immutable, so the norm is computed exactly once;
+        # the similarity join reads it twice per candidate pair
+        object.__setattr__(
+            self,
+            "_norm",
+            math.sqrt(sum(value * value for value in self.components.values())),
+        )
 
     @property
     def norm(self) -> float:
-        """Euclidean norm; 0.0 for the empty vector."""
-        return math.sqrt(sum(value * value for value in self.components.values()))
+        """Euclidean norm; 0.0 for the empty vector.  Cached at construction."""
+        return self._norm
 
     def dot(self, other: "SparseVector") -> float:
         """Dot product; iterates over the smaller vector."""

@@ -154,3 +154,75 @@ class TestRunOnTriangles:
         detector = ParallelCommunityDetector(multigraph, config)
         detector.run()
         assert len(detector.history) <= 2  # init + 1 iteration
+
+
+class TestInternedRunMatchesStringSpecification:
+    """``run()`` executes on interned integer ids; ``choose_targets`` /
+    ``apply_targets`` remain the string-space specification.  Driving the
+    public single-step methods to convergence must reproduce ``run()``'s
+    partition *and* its Figure 5 history bit for bit."""
+
+    def _reference_run(self, graph, config):
+        from repro.community.parallel import _applied_gain
+
+        detector = ParallelCommunityDetector(graph, config)
+        partition = singleton_partition(graph.vertices())
+        history = [(0, partition.community_count(), 0, 0.0)]
+        for iteration in range(1, config.max_iterations + 1):
+            targets = detector.choose_targets(partition)
+            if not targets:
+                break
+            nxt = detector.apply_targets(partition, targets)
+            gain = _applied_gain(graph, partition, nxt)
+            history.append(
+                (
+                    iteration,
+                    nxt.community_count(),
+                    partition.community_count() - nxt.community_count(),
+                    gain,
+                )
+            )
+            converged = partition.same_structure(nxt)
+            partition = nxt
+            if converged:
+                break
+            if (
+                config.target_communities
+                and partition.community_count() <= config.target_communities
+            ):
+                break
+        return partition, history
+
+    @pytest.mark.parametrize("mode", ["pointer", "matching", "components"])
+    def test_identical_partition_and_history(self, multigraph, mode):
+        config = ParallelConfig(merge_mode=mode)
+        detector = ParallelCommunityDetector(multigraph, config)
+        fast = detector.run()
+        fast_history = [
+            (t.iteration, t.communities, t.merges, t.modularity_gain)
+            for t in detector.history
+        ]
+        expected, expected_history = self._reference_run(multigraph, config)
+        assert fast.assignment == expected.assignment
+        assert fast_history == expected_history
+
+    def test_explicit_initial_partition(self, triangle_graph):
+        initial = Partition(
+            {
+                "a1": "left", "a2": "left", "a3": "left",
+                "b1": "right", "b2": "right", "b3": "right",
+            }
+        )
+        partition = ParallelCommunityDetector(triangle_graph).run(initial)
+        # already optimal: the bridge merge has negative gain, so the
+        # two-community structure must survive untouched
+        assert partition.community_count() == 2
+        assert partition.members(partition.community_of("a1")) == {
+            "a1", "a2", "a3",
+        }
+
+    def test_initial_partition_must_cover(self, triangle_graph):
+        with pytest.raises(ValueError):
+            ParallelCommunityDetector(triangle_graph).run(
+                Partition({"a1": "only"})
+            )

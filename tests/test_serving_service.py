@@ -211,6 +211,17 @@ class TestRollingRefresh:
             assert after.snapshot_version == snapshot.version
             assert _expert_ids(after) == _expert_ids(before)
 
+    def test_refresh_latency_is_accounted(self, served_system):
+        with served_system.serve() as svc:
+            stats = svc.stats()
+            assert stats.refreshes == 0
+            assert stats.last_refresh_seconds is None
+            svc.refresh_domains()
+            stats = svc.stats()
+            assert stats.refreshes == 1
+            assert stats.last_refresh_seconds is not None
+            assert stats.last_refresh_seconds > 0.0
+
     def test_submit_duplicates_straddling_a_swap_do_not_coalesce(
         self, served_system
     ):

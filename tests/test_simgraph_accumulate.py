@@ -1,0 +1,193 @@
+"""The one-pass accumulator similarity join vs the seed reference scan.
+
+The contract is *byte identity*: over any query-log store, any
+``min_similarity`` floor, and any ``max_posting_list`` hub cutoff, the
+accumulator must return exactly the edge dict the seed scan returns —
+same keys, bitwise-equal floats — on every backend and on the sharded
+multi-process path.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.querylog.records import Impression
+from repro.querylog.store import QueryLogStore
+from repro.simgraph.accumulate import (
+    JoinStats,
+    accumulate_similarity_edges,
+    accumulator_similarity_join,
+)
+from repro.simgraph.similarity import SimilarityConfig, similarity_edges
+from repro.simgraph.vectors import SparseVector, build_click_vectors
+
+# small alphabets force heavy URL sharing, which is where candidate
+# enumeration, hub skipping and accumulation order all interact
+queries = st.sampled_from([f"q{i}" for i in range(8)])
+urls = st.sampled_from([f"u{i}" for i in range(6)])
+impressions = st.builds(
+    Impression,
+    query=queries,
+    clicked_urls=st.lists(urls, max_size=4).map(tuple),
+)
+
+
+def build_store(events, min_support: int = 1) -> QueryLogStore:
+    store = QueryLogStore(min_support=min_support)
+    store.extend(events)
+    return store
+
+
+def assert_byte_identical(expected, actual) -> None:
+    assert set(expected) == set(actual)
+    for key, weight in expected.items():
+        assert actual[key] == weight, key
+
+
+class TestEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        events=st.lists(impressions, max_size=60),
+        min_similarity=st.sampled_from([0.0, 0.08, 0.5, 1.0]),
+        max_posting_list=st.integers(2, 8),
+        min_support=st.integers(1, 3),
+    )
+    def test_matches_seed_scan_over_random_stores(
+        self, events, min_similarity, max_posting_list, min_support
+    ):
+        store = build_store(events, min_support)
+        vectors = build_click_vectors(store)
+        config = SimilarityConfig(
+            min_similarity=min_similarity, max_posting_list=max_posting_list
+        )
+        expected = similarity_edges(vectors, config)
+        assert_byte_identical(
+            expected, accumulate_similarity_edges(vectors, config)
+        )
+        assert_byte_identical(
+            expected,
+            accumulate_similarity_edges(vectors, config, backend="python"),
+        )
+
+    def test_hub_components_still_count_toward_cosine(self):
+        # u_hub is clicked by three queries -> skipped for candidate
+        # generation at max_posting_list=2, but a/b share u1 so they pair
+        # up, and their cosine must still include the hub components
+        vectors = {
+            "a": SparseVector({"u1": 2, "u_hub": 3}),
+            "b": SparseVector({"u1": 1, "u_hub": 5}),
+            "c": SparseVector({"u_hub": 7}),
+        }
+        config = SimilarityConfig(min_similarity=0.0, max_posting_list=2)
+        expected = similarity_edges(vectors, config)
+        assert set(expected) == {("a", "b")}  # c only shares the hub
+        for backend in ("numpy", "python"):
+            assert_byte_identical(
+                expected,
+                accumulate_similarity_edges(vectors, config, backend=backend),
+            )
+
+    def test_hub_only_pairs_generate_no_candidates(self):
+        vectors = {
+            f"q{i}": SparseVector({"hub": i + 1}) for i in range(10)
+        }
+        config = SimilarityConfig(max_posting_list=5)
+        assert accumulate_similarity_edges(vectors, config) == {}
+
+    def test_similarity_floor_is_inclusive(self):
+        # two identical vectors have cosine exactly 1.0; the floor keeps it
+        vectors = {
+            "a": SparseVector({"u": 3}),
+            "b": SparseVector({"u": 3}),
+        }
+        config = SimilarityConfig(min_similarity=1.0)
+        edges = accumulate_similarity_edges(vectors, config)
+        assert edges == similarity_edges(vectors, config)
+        assert ("a", "b") in edges
+
+    def test_huge_counts_fall_back_to_exact_backend(self):
+        # products beyond 2**53 would round in float64; the gate must
+        # route to the big-int backend and still match the seed scan
+        big = 2**40
+        vectors = {
+            "a": SparseVector({"u1": big, "u2": 3}),
+            "b": SparseVector({"u1": big - 1, "u2": 7}),
+        }
+        config = SimilarityConfig(min_similarity=0.0)
+        result = accumulator_similarity_join(vectors, config)
+        assert result.stats.backend == "python"
+        assert_byte_identical(
+            similarity_edges(vectors, config), result.edges
+        )
+
+    def test_empty_input(self):
+        result = accumulator_similarity_join({}, SimilarityConfig())
+        assert result.edges == {}
+        assert result.stats.queries == 0
+        assert result.stats.workers == 1
+
+
+class TestShardedPool:
+    def test_forced_pool_is_byte_identical_and_honest(self, query_store, small_config):
+        vectors = build_click_vectors(query_store)
+        serial = accumulator_similarity_join(vectors, small_config.similarity)
+        pooled = accumulator_similarity_join(
+            vectors,
+            small_config.similarity,
+            workers=3,
+            force_workers=True,
+        )
+        assert_byte_identical(serial.edges, pooled.edges)
+        assert pooled.stats.workers == 3
+        assert pooled.stats.shards == 3
+        assert serial.stats.workers == 1
+
+    def test_small_joins_stay_serial_regardless_of_request(self):
+        # the work-size gate: a join far below _MIN_POOL_OPS must never
+        # pay for a process pool, on any machine, however many workers
+        # were requested — and the honest stats must say so
+        vectors = {
+            "a": SparseVector({"u1": 1, "u2": 2}),
+            "b": SparseVector({"u1": 2, "u3": 1}),
+            "c": SparseVector({"u2": 1, "u3": 2}),
+        }
+        result = accumulator_similarity_join(
+            vectors, SimilarityConfig(min_similarity=0.0), workers=64
+        )
+        assert result.stats.workers == 1
+        assert result.stats.shards == 1
+
+    def test_python_backend_pool(self, query_store, small_config):
+        vectors = build_click_vectors(query_store)
+        serial = accumulate_similarity_edges(
+            vectors, small_config.similarity, backend="python"
+        )
+        pooled = accumulate_similarity_edges(
+            vectors,
+            small_config.similarity,
+            workers=2,
+            force_workers=True,
+            backend="python",
+        )
+        assert_byte_identical(serial, pooled)
+
+
+class TestValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            accumulator_similarity_join({}, workers=0)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            accumulator_similarity_join({}, backend="cuda")
+
+    def test_stats_shape(self, query_store, small_config):
+        result = accumulator_similarity_join(
+            build_click_vectors(query_store), small_config.similarity
+        )
+        stats = result.stats
+        assert isinstance(stats, JoinStats)
+        assert stats.edges == len(result.edges)
+        assert stats.candidate_pairs >= stats.edges
+        assert stats.accumulate_ops >= stats.candidate_pairs

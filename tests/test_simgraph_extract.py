@@ -60,3 +60,46 @@ class TestExtraction:
         a = extract_similarity_graph(query_store, small_config.similarity)
         b = extract_similarity_graph(query_store, small_config.similarity)
         assert list(a.multigraph.edges()) == list(b.multigraph.edges())
+
+
+class TestHonestWorkerAccounting:
+    def test_workers_one_is_serial_and_reported(self, query_store, small_config):
+        extraction = extract_similarity_graph(
+            query_store, small_config.similarity, workers=1
+        )
+        assert extraction.report.workers == 1
+        assert extraction.join_stats.workers == 1
+
+    def test_report_matches_pool_actually_used(self, query_store, small_config):
+        # requesting a wide pool must never stamp the request into the
+        # Table 9 row: the report carries the clamped, honest pool size
+        extraction = extract_similarity_graph(
+            query_store, small_config.similarity, workers=65
+        )
+        assert extraction.report.workers == extraction.join_stats.workers
+        from repro.simgraph.accumulate import _cpu_budget
+
+        assert extraction.join_stats.workers <= _cpu_budget()
+
+    def test_forced_pool_reported_and_equivalent(self, query_store, small_config):
+        serial = extract_similarity_graph(query_store, small_config.similarity)
+        pooled = extract_similarity_graph(
+            query_store, small_config.similarity, workers=2, force_workers=True
+        )
+        assert pooled.report.workers == 2
+        assert list(pooled.multigraph.edges()) == list(
+            serial.multigraph.edges()
+        )
+
+    def test_offline_pipeline_reports_honest_workers(self, small_config):
+        from repro.core.offline import OfflinePipeline
+
+        artifacts = OfflinePipeline(small_config).run()
+        extraction_row, clustering_row = artifacts.clock.reports[:2]
+        assert extraction_row.name == "Extraction"
+        # the config requests 65 simulated VMs; the row must show the pool
+        # the join really used on this machine
+        from repro.simgraph.accumulate import _cpu_budget
+
+        assert extraction_row.workers <= _cpu_budget()
+        assert clustering_row.workers == 1

@@ -50,6 +50,28 @@ class TestWeightedGraph:
         assert graph.vertex_count == 3
         assert graph.edge_count == 2
 
+    def test_neighbour_view_is_zero_copy_and_read_only(self):
+        graph = WeightedGraph.from_edges({("a", "b"): 1.0})
+        view = graph.neighbour_view("a")
+        assert dict(view) == {"b": 1.0}
+        with pytest.raises(TypeError):
+            view["c"] = 2.0
+        # the view tracks later mutations instead of copying
+        graph.add_edge("a", "c", 3.0)
+        assert dict(view) == {"b": 1.0, "c": 3.0}
+
+    def test_neighbour_view_unknown_vertex(self):
+        with pytest.raises(KeyError):
+            WeightedGraph().neighbour_view("ghost")
+
+    def test_sorted_vertices_cache_tracks_mutation(self):
+        graph = WeightedGraph.from_edges({("b", "c"): 1.0})
+        assert graph.sorted_vertices() == ("b", "c")
+        graph.add_edge("a", "b", 1.0)
+        assert graph.sorted_vertices() == ("a", "b", "c")
+        graph.add_vertex("d")
+        assert graph.vertices() == ["a", "b", "c", "d"]
+
 
 class TestMultiGraph:
     def test_degree_counts_multiplicity(self):
@@ -106,6 +128,53 @@ class TestMultiGraph:
     def test_storage_bytes_positive(self):
         graph = MultiGraph.from_edges([("aa", "bb", 1)])
         assert graph.storage_bytes() == 2 + 2 + 8
+
+    def test_sorted_edges_cached_and_invalidated(self):
+        graph = MultiGraph.from_edges([("b", "c", 2), ("a", "b", 1)])
+        first = graph.sorted_edges()
+        assert first == (("a", "b", 1), ("b", "c", 2))
+        assert graph.sorted_edges() is first  # cached between mutations
+        graph.add_edge("a", "c", 4)
+        assert graph.sorted_edges() == (
+            ("a", "b", 1),
+            ("a", "c", 4),
+            ("b", "c", 2),
+        )
+
+
+class TestInternedGraph:
+    def test_ids_follow_sorted_label_order(self):
+        graph = MultiGraph.from_edges([("q2", "q10", 3), ("q10", "q1", 1)])
+        interned = graph.interned()
+        assert interned.labels == ("q1", "q10", "q2")
+        assert interned.index == {"q1": 0, "q10": 1, "q2": 2}
+        # adjacency and degrees line up with the id assignment
+        assert interned.adjacency[1] == {0: 1, 2: 3}
+        assert interned.degrees == (1, 4, 3)
+        assert interned.total_edges == 4
+
+    def test_includes_isolated_vertices(self):
+        graph = MultiGraph.from_edges([("a", "b", 1)])
+        graph.add_vertex("solo")
+        interned = graph.interned()
+        assert interned.labels == ("a", "b", "solo")
+        assert interned.degrees == (1, 1, 0)
+        assert interned.adjacency[2] == {}
+
+    def test_cached_until_mutation(self):
+        graph = MultiGraph.from_edges([("a", "b", 1)])
+        first = graph.interned()
+        assert graph.interned() is first
+        graph.add_edge("b", "c", 2)
+        rebuilt = graph.interned()
+        assert rebuilt is not first
+        assert rebuilt.labels == ("a", "b", "c")
+
+    def test_adjacency_is_read_only(self):
+        graph = MultiGraph.from_edges([("a", "b", 2)])
+        interned = graph.interned()
+        with pytest.raises(TypeError):
+            interned.adjacency[0][1] = 99
 
 
 class TestDiscretize:

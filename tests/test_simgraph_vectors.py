@@ -57,6 +57,36 @@ class TestSparseVector:
             vector.dot(vector), vector.norm**2, rel_tol=1e-9, abs_tol=1e-9
         )
 
+    def test_norm_cached_at_construction(self):
+        # the cosine join reads the norm twice per candidate pair; it must
+        # be the float computed at construction, not an O(d) recompute
+        # (identity, not just equality: a recompute returns a fresh object)
+        vector = SparseVector({"a": 3, "b": 4})
+        assert vector.norm is vector.norm
+
+    def test_cached_norm_not_recomputed(self, monkeypatch):
+        import repro.simgraph.vectors as vectors_module
+
+        vector = SparseVector({"a": 3, "b": 4})
+
+        def explode(_value):
+            raise AssertionError("norm must not be recomputed per access")
+
+        monkeypatch.setattr(vectors_module.math, "sqrt", explode)
+        assert vector.norm == 5.0
+        assert vector.norm == 5.0
+
+    @given(click_dicts)
+    def test_cached_norm_matches_direct_computation(self, components):
+        vector = SparseVector(components)
+        assert vector.norm == math.sqrt(
+            sum(value * value for value in components.values())
+        )
+
+    def test_equality_ignores_cached_norm(self):
+        assert SparseVector({"a": 1}) == SparseVector({"a": 1})
+        assert SparseVector({"a": 1}) != SparseVector({"a": 2})
+
 
 class TestBuildClickVectors:
     def test_from_store(self):
