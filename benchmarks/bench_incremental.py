@@ -1,0 +1,269 @@
+"""INC1 — incremental domain refresh (delta ingest) vs full rebuild.
+
+§6.3 rebuilds the domain collection weekly; ``refresh_domains`` re-runs
+the entire offline pipeline (log regeneration, similarity join,
+clustering) even when only a sliver of new traffic arrived.  This bench
+times the delta path — :meth:`ESharp.refresh_domains_delta` feeding a
+batch of new impressions through the resumable join state and the
+seed-and-local clusterer — against the batch path, for deltas of a few
+percent of the corpus, and **checks the equivalence property first**: a
+delta refresh must produce the identical domain store a full
+:class:`OfflinePipeline` run on the union log produces, in both churn
+regimes (local moves and the full-recluster fallback).
+
+Acceptance bar: delta-refresh p50 >= 5x faster than a full
+``refresh_domains`` for deltas <= 5% of corpus size at standard scale.
+
+Writes ``BENCH_incremental.json`` at the repo root.  Also runnable
+standalone; the CI smoke keeps the equivalence assertion on every push::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py --smoke \
+        --output /tmp/BENCH_incremental.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+from dataclasses import replace
+
+from repro.community.incremental import IncrementalClusteringConfig
+from repro.core.config import ESharpConfig
+from repro.core.esharp import ESharp
+from repro.core.incremental import DeltaRefresh, DeltaRefreshConfig
+from repro.core.offline import OfflinePipeline
+from repro.querylog.generator import QueryLogGenerator
+from repro.querylog.store import QueryLogStore
+from repro.utils.stats import percentile
+from repro.worldmodel.builder import build_world
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+REPEATS = 3
+DELTA_FRACTION = 0.05
+MIN_SPEEDUP = 5.0
+
+
+def check_equivalence(config: ESharpConfig, base_fraction: float = 0.95) -> dict:
+    """Delta refresh ≡ full rebuild on the union, in both churn regimes."""
+    world = build_world(config.world)
+    generator = QueryLogGenerator(world, config.querylog)
+    impressions = list(generator.impressions(config.querylog.impressions))
+    cut = int(len(impressions) * base_fraction)
+    min_support = config.querylog.min_support
+
+    def store_of(rows):
+        store = QueryLogStore(min_support=min_support)
+        store.extend(rows)
+        return store
+
+    union = OfflinePipeline(config).run(world=world, store=store_of(impressions))
+    regimes = {}
+    for churn_threshold, regime in ((1.0, "local"), (0.0, "fallback")):
+        base = OfflinePipeline(config).run(
+            world=world, store=store_of(impressions[:cut])
+        )
+        refresher = DeltaRefresh(
+            config,
+            base,
+            DeltaRefreshConfig(
+                incremental=IncrementalClusteringConfig(
+                    churn_threshold=churn_threshold
+                )
+            ),
+        )
+        outcome = refresher.refresh(store_of(impressions[cut:]))
+        if outcome.artifacts.domain_store.domains() != union.domain_store.domains():
+            raise AssertionError(
+                f"delta refresh diverged from the union rebuild ({regime})"
+            )
+        delta_edges = {
+            (u, v): w for u, v, w in outcome.artifacts.weighted_graph.edges()
+        }
+        union_edges = {
+            (u, v): w for u, v, w in union.weighted_graph.edges()
+        }
+        if delta_edges != union_edges:
+            raise AssertionError(
+                f"delta edges diverged from the union join ({regime})"
+            )
+        regimes[regime] = {
+            "cluster_mode": outcome.stats.cluster_mode,
+            "join_mode_pairs_recomputed": outcome.stats.recomputed_pairs,
+            "churn": round(outcome.stats.churn, 4),
+            "domains": outcome.stats.domains,
+            "domains_reused": outcome.stats.domains_reused,
+        }
+    return {"identical": True, "delta_impressions": len(impressions) - cut,
+            "regimes": regimes}
+
+
+def run_incremental_bench(
+    config: ESharpConfig,
+    repeats: int = REPEATS,
+    delta_fraction: float = DELTA_FRACTION,
+) -> dict:
+    """Time full vs delta refresh on one built system; returns the payload."""
+    system = ESharp(config).build()
+    log_config = config.querylog
+    delta_size = max(1, int(log_config.impressions * delta_fraction))
+
+    full_samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        system.refresh_domains()
+        full_samples.append(time.perf_counter() - started)
+
+    delta_samples = []
+    last_stats = None
+    world = system.offline.world
+    # warm the incremental state: the first delta after a full rebuild
+    # pays a one-off re-seeding of the resumable join from the published
+    # artifacts; a production deployment keeps the refresher warm, so the
+    # timed samples measure steady-state delta refreshes
+    warm = QueryLogGenerator(
+        world, replace(log_config, seed=log_config.seed + 999)
+    )
+    system.refresh_domains_delta(
+        list(warm.impressions(max(1, delta_size // 10)))
+    )
+    for index in range(repeats):
+        generator = QueryLogGenerator(
+            world, replace(log_config, seed=log_config.seed + 1000 + index)
+        )
+        delta = list(generator.impressions(delta_size))
+        started = time.perf_counter()
+        last_stats = system.refresh_domains_delta(delta)
+        delta_samples.append(time.perf_counter() - started)
+
+    full_p50 = percentile(full_samples, 0.5)
+    delta_p50 = percentile(delta_samples, 0.5)
+    return {
+        "config": {
+            "impressions": log_config.impressions,
+            "delta_impressions": delta_size,
+            "delta_fraction": delta_fraction,
+            "repeats": repeats,
+        },
+        "full_refresh": {
+            "p50_s": round(full_p50, 4),
+            "p95_s": round(percentile(full_samples, 0.95), 4),
+        },
+        "delta_refresh": {
+            "p50_s": round(delta_p50, 4),
+            "p95_s": round(percentile(delta_samples, 0.95), 4),
+            "speedup_p50": round(full_p50 / delta_p50, 2) if delta_p50 else None,
+            "dirty_queries": last_stats.dirty_queries,
+            "recomputed_pairs": last_stats.recomputed_pairs,
+            "cluster_mode": last_stats.cluster_mode,
+            "churn": round(last_stats.churn, 4),
+            "domains_reused": last_stats.domains_reused,
+            "domains": last_stats.domains,
+            "stage_seconds": {
+                stage: round(seconds, 4)
+                for stage, seconds in last_stats.stage_seconds.items()
+            },
+        },
+    }
+
+
+def render(payload: dict) -> str:
+    config = payload["config"]
+    full = payload["full_refresh"]
+    delta = payload["delta_refresh"]
+    equivalence = payload["equivalence"]
+    lines = [
+        "INC1 — incremental domain refresh (delta ingest) vs full rebuild (s)",
+        f"  corpus: {config['impressions']} impressions, delta = "
+        f"{config['delta_impressions']} ({config['delta_fraction']:.1%})",
+        f"  full refresh   p50={full['p50_s']:>8.4f}  p95={full['p95_s']:>8.4f}",
+        f"  delta refresh  p50={delta['p50_s']:>8.4f}  p95={delta['p95_s']:>8.4f}"
+        f"  speedup={delta['speedup_p50']}x",
+        f"  last delta: {delta['dirty_queries']} dirty queries, cluster "
+        f"{delta['cluster_mode']} (churn {delta['churn']}), "
+        f"{delta['domains_reused']}/{delta['domains']} domains reused",
+        f"  equivalence: identical={equivalence['identical']} over "
+        f"{equivalence['delta_impressions']} delta impressions "
+        f"(regimes: {', '.join(sorted(equivalence['regimes']))})",
+    ]
+    return "\n".join(lines)
+
+
+def write_payload(payload: dict, path: pathlib.Path) -> None:
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def test_incremental_refresh(benchmark, results_dir):
+    # a dedicated system: the bench mutates serving state (delta merges +
+    # snapshot swaps), which must not leak into the shared session system
+    config = ESharpConfig.standard(seed=2016)
+    payload = benchmark.pedantic(
+        run_incremental_bench, args=(config,), rounds=1, iterations=1
+    )
+    payload["equivalence"] = check_equivalence(ESharpConfig.small(seed=2016))
+    assert payload["delta_refresh"]["speedup_p50"] >= MIN_SPEEDUP
+    assert payload["equivalence"]["identical"]
+
+    bench_path = REPO_ROOT / "BENCH_incremental.json"
+    write_payload(payload, bench_path)
+
+    from conftest import write_artifact
+
+    write_artifact(
+        results_dir,
+        "incremental_refresh",
+        render(payload) + f"\n[json written to {bench_path}]",
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=("small", "standard"), default="standard"
+    )
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument(
+        "--delta-fraction", type=float, default=DELTA_FRACTION
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small config, one repeat, no speedup bar — the CI "
+        "equivalence check",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_incremental.json",
+    )
+    args = parser.parse_args()
+
+    scale = "small" if args.smoke else args.scale
+    repeats = 1 if args.smoke else args.repeats
+    config = (
+        ESharpConfig.small(seed=args.seed)
+        if scale == "small"
+        else ESharpConfig.standard(seed=args.seed)
+    )
+    payload = run_incremental_bench(
+        config, repeats=repeats, delta_fraction=args.delta_fraction
+    )
+    payload["equivalence"] = check_equivalence(ESharpConfig.small(seed=args.seed))
+    if not args.smoke and scale == "standard":
+        if payload["delta_refresh"]["speedup_p50"] < MIN_SPEEDUP:
+            raise AssertionError(
+                f"delta refresh must be >= {MIN_SPEEDUP}x faster than a "
+                f"full rebuild, got {payload['delta_refresh']['speedup_p50']}x"
+            )
+    write_payload(payload, args.output)
+    print(render(payload))
+    print(f"[json written to {args.output}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -47,6 +47,11 @@ def test_serving_throughput(benchmark, ctx, results_dir):
     # the zero-downtime weekly rebuild (accumulator-join offline path)
     # must actually run and be accounted
     assert outcome.refresh_seconds is not None and outcome.refresh_seconds > 0
+    # ... and so must the incremental delta refresh, which must beat it
+    assert (
+        outcome.delta_refresh_seconds is not None
+        and 0 < outcome.delta_refresh_seconds < outcome.refresh_seconds
+    )
     assert outcome.baseline is not None and outcome.baseline.errors == 0
     # the serving tier must earn its keep on a warm duplicate-heavy stream
     assert outcome.speedup is not None and outcome.speedup >= 2.0

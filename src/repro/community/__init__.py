@@ -24,6 +24,11 @@ from repro.community.parallel import (
     ParallelCommunityDetector,
     ParallelConfig,
 )
+from repro.community.incremental import (
+    IncrementalClusterer,
+    IncrementalClusteringConfig,
+    IncrementalOutcome,
+)
 from repro.community.sql_runner import SqlCommunityDetector, FIGURE4_SQL
 from repro.community.newman import NewmanGreedyDetector
 from repro.community.louvain import LouvainDetector
@@ -35,6 +40,9 @@ from repro.community.quality import normalized_mutual_information, purity
 __all__ = [
     "CommunityStats",
     "FIGURE4_SQL",
+    "IncrementalClusterer",
+    "IncrementalClusteringConfig",
+    "IncrementalOutcome",
     "IterationTrace",
     "LabelPropagationDetector",
     "LouvainDetector",

@@ -150,47 +150,9 @@ class ParallelCommunityDetector:
             comm_of = [
                 comm_index[initial.community_of(label)] for label in labels
             ]
-        self.history = [
-            IterationTrace(
-                iteration=0,
-                communities=len(set(comm_of)),
-                merges=0,
-                modularity_gain=0.0,
-            )
-        ]
-        for iteration in range(1, self.config.max_iterations + 1):
-            targets = _choose_targets_ids(interned, comm_of)
-            if not targets:
-                break
-            if self.config.merge_mode == "pointer":
-                mapping = targets
-            elif self.config.merge_mode == "matching":
-                mapping = _resolve_mutual(targets)
-            else:
-                mapping = _collapse_components(targets)
-            next_comm_of = [mapping.get(c, c) for c in comm_of]
-            gain = _modularity_ids(interned, next_comm_of) - _modularity_ids(
-                interned, comm_of
-            )
-            count = len(set(next_comm_of))
-            merges = len(set(comm_of)) - count
-            self.history.append(
-                IterationTrace(
-                    iteration=iteration,
-                    communities=count,
-                    merges=merges,
-                    modularity_gain=gain,
-                )
-            )
-            converged = _canonical_ids(comm_of) == _canonical_ids(next_comm_of)
-            comm_of = next_comm_of
-            if converged:
-                break
-            if (
-                self.config.target_communities
-                and count <= self.config.target_communities
-            ):
-                break
+        comm_of, self.history = _run_pointer_loop(
+            interned, comm_of, self.config
+        )
         return Partition(
             {
                 labels[vertex]: comm_labels[community]
@@ -264,6 +226,68 @@ def _applied_gain(
 
 
 # -- interned-id inner loops ---------------------------------------------------
+
+
+def _apply_merge_mode(
+    targets: dict[int, int], merge_mode: str
+) -> dict[int, int]:
+    """Step 3's community mapping under one of the three readings."""
+    if merge_mode == "pointer":
+        return targets
+    if merge_mode == "matching":
+        return _resolve_mutual(targets)
+    return _collapse_components(targets)
+
+
+def _run_pointer_loop(
+    interned: InternedGraph,
+    comm_of: list[int],
+    config: ParallelConfig,
+) -> tuple[list[int], list[IterationTrace]]:
+    """The §4.2.2 iteration to convergence, over any interned view.
+
+    Shared by :class:`ParallelCommunityDetector` (whole graph) and the
+    incremental clusterer (a dirty-region sub-view carrying the union
+    graph's ``m_G``), so there is exactly one executable copy of the
+    loop's convergence and trace semantics.
+    """
+    history = [
+        IterationTrace(
+            iteration=0,
+            communities=len(set(comm_of)),
+            merges=0,
+            modularity_gain=0.0,
+        )
+    ]
+    for iteration in range(1, config.max_iterations + 1):
+        targets = _choose_targets_ids(interned, comm_of)
+        if not targets:
+            break
+        mapping = _apply_merge_mode(targets, config.merge_mode)
+        next_comm_of = [mapping.get(c, c) for c in comm_of]
+        gain = _modularity_ids(interned, next_comm_of) - _modularity_ids(
+            interned, comm_of
+        )
+        count = len(set(next_comm_of))
+        merges = len(set(comm_of)) - count
+        history.append(
+            IterationTrace(
+                iteration=iteration,
+                communities=count,
+                merges=merges,
+                modularity_gain=gain,
+            )
+        )
+        converged = _canonical_ids(comm_of) == _canonical_ids(next_comm_of)
+        comm_of = next_comm_of
+        if converged:
+            break
+        if (
+            config.target_communities
+            and count <= config.target_communities
+        ):
+            break
+    return comm_of, history
 
 
 def _choose_targets_ids(

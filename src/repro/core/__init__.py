@@ -10,8 +10,18 @@ from repro.core.config import ESharpConfig
 from repro.core.offline import OfflinePipeline, OfflineArtifacts
 from repro.core.online import OnlinePipeline
 from repro.core.esharp import ESharp
+from repro.core.incremental import (
+    DeltaOutcome,
+    DeltaRefresh,
+    DeltaRefreshConfig,
+    DeltaRefreshStats,
+)
 
 __all__ = [
+    "DeltaOutcome",
+    "DeltaRefresh",
+    "DeltaRefreshConfig",
+    "DeltaRefreshStats",
     "ESharp",
     "ESharpConfig",
     "OfflineArtifacts",

@@ -50,6 +50,12 @@ class ESharp:
         self._swap_lock = threading.Lock()
         self._platform: MicroblogPlatform | None = None
         self._detector: PalCountsDetector | None = None
+        #: incremental-refresh state, pinned to the generation it follows
+        self._delta_refresher = None
+        #: snapshot version the refresher's state is synced to; any other
+        #: writer (build, full refresh) moves the version and forces a
+        #: re-seed from the published artifacts
+        self._delta_refresher_version = 0
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -181,3 +187,78 @@ class ESharp:
                 offline, OnlinePipeline(offline.domain_store, self._detector)
             )
         return self
+
+    def refresh_domains_delta(self, delta, delta_config=None):
+        """Incrementally fold a delta batch of impressions into serving.
+
+        The batch :meth:`refresh_domains` regenerates and re-clusters
+        the entire log even when only a sliver of new traffic arrived;
+        this path hands the new impressions (a
+        :class:`~repro.querylog.store.QueryLogStore` or an iterable of
+        :class:`~repro.querylog.records.Impression`) to a maintained
+        :class:`~repro.core.incremental.DeltaRefresh` and publishes the
+        delta-sized rebuild as one atomic snapshot swap.  The refresher
+        is synced to the published version — a full rebuild (or build)
+        in between moves the version and re-seeds it from the published
+        artifacts.
+
+        A delta that changes nothing serving-visible — no similarity
+        edge added, reweighted or removed, and no partition change —
+        is folded into the maintained log **without publishing**: a
+        version bump would rotate every ``(version, query, threshold)``
+        result-cache key over byte-identical serving state, collapsing
+        a warm cache for zero data change.
+
+        Returns the :class:`~repro.core.incremental.DeltaRefreshStats`
+        of the absorbed batch.
+        """
+        from repro.core.incremental import DeltaRefresh
+
+        self._require_snapshot()
+        with self._swap_lock:
+            snapshot = self._require_snapshot()
+            refresher = self._delta_refresher
+            synced = (
+                refresher is not None
+                and self._delta_refresher_version == snapshot.version
+            )
+            if not synced or (
+                delta_config is not None
+                and refresher.delta_config != delta_config
+            ):
+                # a synced refresher may hold serving-invisible ingest
+                # that was never published; re-seeding from its own
+                # artifacts (rather than the snapshot's) keeps those
+                # impressions in the maintained log window
+                base_artifacts = (
+                    refresher.artifacts if synced else snapshot.offline
+                )
+                refresher = DeltaRefresh(
+                    self.config, base_artifacts, delta_config
+                )
+                self._delta_refresher = refresher
+            try:
+                outcome = refresher.refresh(delta)
+            except BaseException:
+                # a partially-applied refresh (store merged, join not
+                # repaired, ...) must never be resumed: drop the state so
+                # the next call re-seeds from the published artifacts
+                self._delta_refresher = None
+                raise
+            stats = outcome.stats
+            changed = (
+                stats.edges_added
+                or stats.edges_changed
+                or stats.edges_removed
+                or stats.cluster_mode != "unchanged"
+            )
+            if changed:
+                self.snapshots.publish(
+                    outcome.artifacts,
+                    OnlinePipeline(
+                        outcome.artifacts.domain_store, self._detector
+                    ),
+                    expected_version=snapshot.version,
+                )
+            self._delta_refresher_version = self.snapshots.version
+        return outcome.stats

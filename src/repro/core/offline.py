@@ -46,15 +46,27 @@ class OfflinePipeline:
     def __init__(self, config: ESharpConfig | None = None) -> None:
         self.config = config or ESharpConfig()
 
-    def run(self, world: WorldModel | None = None) -> OfflineArtifacts:
+    def run(
+        self,
+        world: WorldModel | None = None,
+        store: QueryLogStore | None = None,
+    ) -> OfflineArtifacts:
+        """Run the offline stage; ``store`` injects a pre-existing log.
+
+        The delta-refresh equivalence tests run this pipeline on an
+        explicit union log (base + delta) instead of regenerating one
+        from configuration — the paper's production system likewise
+        reads a log it did not produce.
+        """
         config = self.config
         clock = StageClock()
         world = world or build_world(config.world)
 
         # -- the raw log (the paper reads a pre-existing production log; we
         #    account generation outside the Table 9 stages)
-        generator = QueryLogGenerator(world, config.querylog)
-        store = generator.fill_store()
+        if store is None:
+            generator = QueryLogGenerator(world, config.querylog)
+            store = generator.fill_store()
 
         # -- extraction (Table 9 row 1); the row's `workers` is the pool
         #    the similarity join actually used, not the requested width

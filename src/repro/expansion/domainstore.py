@@ -54,14 +54,48 @@ class DomainStore:
 
     @classmethod
     def from_partition(cls, partition: Partition) -> "DomainStore":
-        """Build the store straight from a clustering result."""
-        domains = [
-            ExpertiseDomain(
-                domain_id=community,
-                keywords=tuple(sorted(partition.members(community))),
-            )
-            for community in partition.communities()
-        ]
+        """Build the store straight from a clustering result.
+
+        Domain ids are **canonical**: each domain is named after its
+        smallest member keyword, not the clustering's internal community
+        label.  Pointer-style iterations can hand the same member set a
+        different label from run to run (label swaps at convergence),
+        and the incremental refresh path re-derives labels locally;
+        canonical ids make the store a pure function of the partition
+        *structure*, so a full rebuild and a delta refresh that agree on
+        membership produce identical stores — and a domain whose members
+        did not change keeps its id across refreshes.
+        """
+        return cls.rebuilt(partition, cls([]))
+
+    @classmethod
+    def rebuilt(
+        cls, partition: Partition, previous: "DomainStore"
+    ) -> "DomainStore":
+        """Rebuild from a partition, reusing every unchanged domain.
+
+        The delta-refresh path re-clusters only a dirty region, so most
+        domains survive a refresh with identical membership; those reuse
+        the previous :class:`ExpertiseDomain` instances (no re-sort, and
+        identity-comparable in tests), while only the affected domains
+        are constructed anew.
+        """
+        domains = []
+        for community in partition.communities():
+            members = partition.members(community)
+            candidate = previous._domains.get(min(members))
+            if (
+                candidate is not None
+                and len(candidate.keywords) == len(members)
+                and set(candidate.keywords) == members
+            ):
+                domains.append(candidate)
+            else:
+                keywords = tuple(sorted(members))
+                domains.append(
+                    ExpertiseDomain(domain_id=keywords[0], keywords=keywords)
+                )
+        domains.sort(key=lambda domain: domain.domain_id)
         return cls(domains)
 
     # -- lookup (§5 exact match) ---------------------------------------------

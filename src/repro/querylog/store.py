@@ -91,7 +91,31 @@ class QueryLogStore:
             vectors.setdefault(query, {})[url] = clicks
         return vectors
 
+    def click_vectors_for(
+        self, queries: set[str]
+    ) -> dict[str, dict[str, int]]:
+        """Click vectors for just ``queries``, in one pass over the pairs.
+
+        The incremental refresh path rebuilds only the vectors its delta
+        batch touched; per-query URL order matches
+        :meth:`click_vectors` (global pair insertion order, filtered).
+        """
+        vectors: dict[str, dict[str, int]] = {}
+        for (query, url), clicks in self._clicks.items():
+            if query in queries:
+                vectors.setdefault(query, {})[url] = clicks
+        return vectors
+
     # -- composition ---------------------------------------------------------
+
+    def copy(self) -> "QueryLogStore":
+        """An independent deep-enough copy (aggregates are scalars)."""
+        clone = QueryLogStore(min_support=self.min_support)
+        clone._clicks = Counter(self._clicks)
+        clone._query_counts = Counter(self._query_counts)
+        clone._raw_bytes = self._raw_bytes
+        clone._impressions = self._impressions
+        return clone
 
     def merge(self, other: "QueryLogStore") -> "QueryLogStore":
         """Fold another store's aggregates into this one (in place).

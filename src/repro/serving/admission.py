@@ -18,7 +18,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.serving.errors import ServiceOverloadedError
+from repro.serving.errors import ServiceClosedError, ServiceOverloadedError
 
 
 @dataclass(frozen=True)
@@ -58,12 +58,16 @@ class AdmissionController:
         self.max_in_flight = max_in_flight
         self.max_queue_depth = max_queue_depth
         self.timeout_seconds = timeout_seconds
-        self._condition = threading.Condition()
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+        #: signalled whenever the controller goes fully idle (drain())
+        self._idle = threading.Condition(self._lock)
         self._in_flight = 0
         self._waiting = 0
         self._admitted = 0
         self._rejected_queue_full = 0
         self._rejected_timeout = 0
+        self._closed = False
 
     @contextmanager
     def slot(self) -> Iterator[None]:
@@ -78,6 +82,8 @@ class AdmissionController:
         """Block until a slot frees up, or reject with backpressure."""
         deadline = time.monotonic() + self.timeout_seconds
         with self._condition:
+            if self._closed:
+                raise ServiceClosedError("admission controller is closed")
             if self._in_flight < self.max_in_flight:
                 self._in_flight += 1
                 self._admitted += 1
@@ -95,6 +101,12 @@ class AdmissionController:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0 or not self._condition.wait(remaining):
                         self._rejected_timeout += 1
+                        # a release() may have notified *this* waiter in
+                        # the instant its wait timed out; raising now
+                        # would swallow that wakeup and leave a free slot
+                        # idle while the remaining waiters run out their
+                        # own deadlines — pass the baton on first
+                        self._condition.notify()
                         raise ServiceOverloadedError(
                             "admission timeout",
                             in_flight=self._in_flight,
@@ -104,6 +116,7 @@ class AdmissionController:
                 self._admitted += 1
             finally:
                 self._waiting -= 1
+                self._notify_if_idle()
 
     def release(self) -> None:
         with self._condition:
@@ -111,6 +124,44 @@ class AdmissionController:
                 raise RuntimeError("release() without a matching acquire()")
             self._in_flight -= 1
             self._condition.notify()
+            self._notify_if_idle()
+
+    def close(self) -> None:
+        """Refuse all further admissions (typed); idempotent."""
+        with self._condition:
+            self._closed = True
+            # wake every waiter: each re-checks and either proceeds into
+            # a free slot (it was admitted to the queue before the
+            # close) or keeps waiting out its own deadline
+            self._condition.notify_all()
+
+    def drain(self, timeout_seconds: float | None = None) -> bool:
+        """Block until no request is executing or waiting (or timeout).
+
+        The serving tier's graceful shutdown: the caller first stops
+        admitting new work (:meth:`close`), then drains, then tears down
+        the pools the in-flight requests are still using.  Returns
+        ``True`` when the controller went idle, ``False`` on timeout.
+        """
+        deadline = (
+            None
+            if timeout_seconds is None
+            else time.monotonic() + timeout_seconds
+        )
+        with self._idle:
+            while self._in_flight > 0 or self._waiting > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+            return True
+
+    def _notify_if_idle(self) -> None:
+        """Caller must hold the lock."""
+        if self._in_flight == 0 and self._waiting == 0:
+            self._idle.notify_all()
 
     @property
     def in_flight(self) -> int:

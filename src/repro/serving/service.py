@@ -24,7 +24,7 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Callable, List, Tuple
+from typing import TYPE_CHECKING, Callable, Iterable, List, Tuple
 
 from repro.detector.ranking import RankedExpert
 from repro.serving.admission import AdmissionController, AdmissionStats
@@ -37,6 +37,9 @@ from repro.utils.text import phrase_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.esharp import ESharp
+    from repro.core.incremental import DeltaRefreshStats
+    from repro.querylog.records import Impression
+    from repro.querylog.store import QueryLogStore
 
 
 @dataclass(frozen=True)
@@ -59,10 +62,15 @@ class ServiceConfig:
     #: how long the async scheduler lets a micro-batch form
     batch_window_seconds: float = 0.002
     max_batch: int = 64
+    #: how long close() waits for admitted requests to finish before
+    #: tearing the pools down under them
+    drain_timeout_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if self.detection_workers < 1 or self.batch_workers < 1:
             raise ValueError("worker counts must be >= 1")
+        if self.drain_timeout_seconds < 0:
+            raise ValueError("drain_timeout_seconds must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -101,6 +109,12 @@ class ServiceStats:
     refreshes: int = 0
     #: wall-clock of the most recent rebuild (None before the first)
     last_refresh_seconds: float | None = None
+    #: completed incremental (delta-ingest) refreshes on this service
+    delta_refreshes: int = 0
+    #: wall-clock of the most recent delta refresh (None before the first)
+    last_delta_refresh_seconds: float | None = None
+    #: accounting of the most recent delta refresh (None before the first)
+    last_delta_refresh: "DeltaRefreshStats | None" = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -145,19 +159,43 @@ class ExpertService:
             max_batch=self.config.max_batch,
         )
         self._counter_lock = threading.Lock()
+        #: serialises refreshes: two interleaved rebuilds could publish
+        #: the staler build last, and the incremental refresher's state
+        #: must advance one generation at a time
+        self._refresh_lock = threading.Lock()
         self._requests = 0
         self._refreshes = 0
         self._last_refresh_seconds: float | None = None
+        self._delta_refreshes = 0
+        self._last_delta_refresh_seconds: float | None = None
+        self._last_delta_refresh: "DeltaRefreshStats | None" = None
         self._closed = False
 
     # -- lifecycle -------------------------------------------------------------
 
-    def close(self) -> None:
-        """Stop accepting work and release the pools (idempotent)."""
+    def close(self) -> bool:
+        """Stop accepting work, drain in-flight requests, then release
+        the pools (idempotent).
+
+        Requests admitted before the close keep the pools they are
+        executing on: new arrivals are rejected with
+        :class:`ServiceClosedError`, the admission controller drains,
+        and only then are the batcher and pools torn down — an admitted
+        request never sees its worker pool vanish mid-computation.
+
+        Returns ``True`` when every admitted request drained within
+        ``drain_timeout_seconds``; ``False`` means the drain timed out
+        and stragglers lost their pools (they surface
+        :class:`ServiceClosedError`) — the caller chose bounded
+        shutdown over waiting forever, but the outcome is not silent.
+        """
         self._closed = True
+        self._admission.close()
+        drained = self._admission.drain(self.config.drain_timeout_seconds)
         self._batcher.close()
         self._batch_pool.shutdown()
         self._detect_pool.shutdown()
+        return drained
 
     def __enter__(self) -> "ExpertService":
         return self
@@ -223,11 +261,20 @@ class ExpertService:
         sync-path cache key does): duplicates straddling a
         ``refresh_domains`` swap within one window must not share an
         execution, or the later submitter could pin the stale generation.
+        The threshold is **resolved** before keying, again like the sync
+        path: ``submit(q)`` and ``submit(q, default_threshold)`` are the
+        same request and must coalesce, not double-compute.
         """
         if self._closed:
             raise ServiceClosedError("service is closed")
-        key = (self._snapshots.version, phrase_key(query), min_zscore)
-        return self._batcher.submit(key, lambda: self.query(query, min_zscore))
+        snapshot = self._require_snapshot()
+        threshold = (
+            min_zscore
+            if min_zscore is not None
+            else snapshot.detector.ranking.min_zscore
+        )
+        key = (snapshot.version, phrase_key(query), threshold)
+        return self._batcher.submit(key, lambda: self.query(query, threshold))
 
     def query_many(
         self, queries: List[str], min_zscore: float | None = None
@@ -250,14 +297,52 @@ class ExpertService:
         latency is dominated by clustering, not extraction; the measured
         wall-clock is surfaced as ``last_refresh_seconds`` in
         :meth:`stats` and tracked by the serving bench.
+
+        Refreshes are serialised on this service: two concurrent calls
+        run one after the other (each returning the snapshot *its own*
+        rebuild published), so a slower, staler build can never be
+        swapped in over a newer one and every caller observes a strictly
+        increasing version.
         """
-        started = time.perf_counter()
-        self.system.refresh_domains(querylog_config)
-        snapshot = self._require_snapshot()
-        with self._counter_lock:
-            self._refreshes += 1
-            self._last_refresh_seconds = time.perf_counter() - started
-        return snapshot
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        with self._refresh_lock:
+            started = time.perf_counter()
+            self.system.refresh_domains(querylog_config)
+            snapshot = self._require_snapshot()
+            with self._counter_lock:
+                self._refreshes += 1
+                self._last_refresh_seconds = time.perf_counter() - started
+            return snapshot
+
+    def refresh_delta(
+        self, delta: "QueryLogStore | Iterable[Impression]"
+    ) -> ServiceSnapshot:
+        """Incrementally fold a batch of new impressions into serving.
+
+        The delta path of §6.3-at-production-granularity: instead of
+        re-running the whole offline pipeline, the delta batch updates
+        the similarity join incrementally, re-clusters only the dirty
+        region (with an exact full-re-cluster fallback past the churn
+        threshold), rebuilds only the affected domains, and publishes
+        through the same zero-downtime snapshot swap.  Serialised with
+        :meth:`refresh_domains` on the same lock; accounting lands in
+        :meth:`stats` (``delta_refreshes``, ``last_delta_refresh_seconds``,
+        ``last_delta_refresh``).
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        with self._refresh_lock:
+            started = time.perf_counter()
+            stats = self.system.refresh_domains_delta(delta)
+            snapshot = self._require_snapshot()
+            with self._counter_lock:
+                self._delta_refreshes += 1
+                self._last_delta_refresh_seconds = (
+                    time.perf_counter() - started
+                )
+                self._last_delta_refresh = stats
+            return snapshot
 
     # -- observability -----------------------------------------------------------
 
@@ -273,11 +358,17 @@ class ExpertService:
             requests = self._requests
             refreshes = self._refreshes
             last_refresh_seconds = self._last_refresh_seconds
+            delta_refreshes = self._delta_refreshes
+            last_delta_refresh_seconds = self._last_delta_refresh_seconds
+            last_delta_refresh = self._last_delta_refresh
         flight = self._flight
         return ServiceStats(
             requests=requests,
             refreshes=refreshes,
             last_refresh_seconds=last_refresh_seconds,
+            delta_refreshes=delta_refreshes,
+            last_delta_refresh_seconds=last_delta_refresh_seconds,
+            last_delta_refresh=last_delta_refresh,
             snapshot_version=self._snapshots.version,
             cache=self._cache.cache_info(),
             admission=self._admission.stats(),

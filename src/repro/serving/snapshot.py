@@ -76,10 +76,28 @@ class SnapshotHolder:
         return snapshot.version if snapshot is not None else 0
 
     def publish(
-        self, offline: OfflineArtifacts, pipeline: OnlinePipeline
+        self,
+        offline: OfflineArtifacts,
+        pipeline: OnlinePipeline,
+        expected_version: int | None = None,
     ) -> ServiceSnapshot:
-        """Atomically install a new generation; returns it."""
+        """Atomically install a new generation; returns it.
+
+        ``expected_version`` is an optional compare-and-swap guard for
+        writers whose new generation was *derived from* a specific old
+        one (the delta-refresh path): if another writer published in
+        between, installing the derived state would silently drop that
+        generation's changes, so the publish fails loudly instead.
+        """
         with self._lock:
+            if (
+                expected_version is not None
+                and self.version != expected_version
+            ):
+                raise StaleSnapshotError(
+                    f"snapshot moved to version {self.version} while a "
+                    f"derived generation expected {expected_version}"
+                )
             snapshot = ServiceSnapshot(
                 version=self.version + 1,
                 offline=offline,
@@ -87,3 +105,7 @@ class SnapshotHolder:
             )
             self._current = snapshot
         return snapshot
+
+
+class StaleSnapshotError(RuntimeError):
+    """A derived generation lost the publish race (CAS mismatch)."""

@@ -64,7 +64,20 @@ class WorkerPool:
             if self._closed:
                 raise ServiceClosedError("worker pool is shut down")
             self._submitted += 1
-        future = self._executor.submit(fn, *args, **kwargs)
+        try:
+            future = self._executor.submit(fn, *args, **kwargs)
+        except RuntimeError as exc:
+            with self._lock:
+                self._submitted -= 1
+                closed = self._closed
+            if closed:
+                # shutdown() won the race between our closed-check and
+                # the executor call; surface the typed error, not the
+                # raw one
+                raise ServiceClosedError("worker pool is shut down") from exc
+            # a RuntimeError on an open pool is a real failure (e.g.
+            # thread-spawn exhaustion), not a shutdown — don't mask it
+            raise
         future.add_done_callback(self._account)
         return future
 
@@ -183,7 +196,14 @@ class MicroBatchScheduler(Generic[K, V]):
         with self._condition:
             self._batches_dispatched += 1
         for _key, (fn, futures) in batch.items():
-            self.pool.submit(self._run_entry, fn, futures)
+            try:
+                self.pool.submit(self._run_entry, fn, futures)
+            except ServiceClosedError as exc:
+                # the pool shut down mid-dispatch: fail these futures
+                # loudly instead of stranding their submitters forever
+                for future in futures:
+                    if not future.done():
+                        future.set_exception(exc)
 
     @staticmethod
     def _run_entry(fn: Callable[[], V], futures: List["Future[V]"]) -> None:

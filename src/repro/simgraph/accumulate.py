@@ -335,6 +335,365 @@ def accumulate_similarity_edges(
     ).edges
 
 
+def _index_adjacency(
+    edges: dict[tuple[str, str], float],
+) -> dict[str, set[str]]:
+    """Vertex → edge-partner index over an edge dict."""
+    adjacency: dict[str, set[str]] = {}
+    for left, right in edges:
+        adjacency.setdefault(left, set()).add(right)
+        adjacency.setdefault(right, set()).add(left)
+    return adjacency
+
+
+@dataclass(frozen=True)
+class EdgeDelta:
+    """What one :meth:`JoinState.apply_delta` changed in the edge dict.
+
+    ``added``/``changed`` carry the new weights; ``removed`` lists pairs
+    whose edge vanished (candidacy lost to a hub flip, or cosine diluted
+    below the floor by a grown norm).  ``touched_queries`` is the set of
+    queries whose vectors changed (the delta's dirty rows); downstream
+    graph/cluster layers derive their own touched-vertex sets from the
+    pairs, which also covers clean vertices that lost an edge.
+    """
+
+    added: dict[tuple[str, str], float]
+    changed: dict[tuple[str, str], float]
+    removed: frozenset[tuple[str, str]]
+    touched_queries: frozenset[str]
+    new_queries: frozenset[str]
+    #: URLs whose posting list crossed ``max_posting_list`` this delta
+    hub_flips: int
+    #: pairs whose cosine was recomputed (the delta's actual work)
+    recomputed_pairs: int
+    #: "local" repaired dirty rows in place; "rejoin" re-ran the batch
+    #: join (dirty fraction too high for local repair to win)
+    join_mode: str = "local"
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.changed or self.removed)
+
+    def pairs(self) -> set[tuple[str, str]]:
+        """Every pair this delta added, reweighted, or removed."""
+        return set(self.added) | set(self.changed) | set(self.removed)
+
+
+class JoinState:
+    """Resumable accumulator state: the similarity join as a maintained view.
+
+    The batch join (:func:`accumulator_similarity_join`) recomputes every
+    partial dot product from scratch.  A weekly production pipeline does
+    not: new impressions only ever *add* clicks, so a delta batch can
+    only (a) grow existing vectors, (b) introduce newly-supported
+    vectors, and (c) push posting lists over the hub threshold.  This
+    class keeps the join's working set alive — vectors, URL posting
+    membership, the current edge dict, and an adjacency index — and
+    :meth:`apply_delta` repairs exactly the affected pairs:
+
+    * every pair with a **dirty endpoint** is re-scored from the full
+      integer dot product (same arithmetic as the batch finalisation, so
+      the weight is bit-identical to a scratch join on the union);
+    * a **clean-clean** pair can only change by losing candidacy when
+      the sole non-hub URL it shared flips to a hub — those edges are
+      found through the adjacency index and removed;
+    * every other pair is untouched *by construction* (its vectors,
+      norms, and shared-URL candidacy are unchanged).
+
+    The invariant — property-tested — is that :attr:`edges` equals the
+    batch join run on the union vectors, byte for byte.  The monotone
+    append-only contract (components only gain URLs / grow clicks) is
+    what makes the repair local; :meth:`apply_delta` enforces it.
+    """
+
+    def __init__(
+        self,
+        vectors: dict[str, SparseVector],
+        edges: dict[tuple[str, str], float],
+        config: SimilarityConfig | None = None,
+        *,
+        rejoin_threshold: float = 0.2,
+    ) -> None:
+        if not 0.0 <= rejoin_threshold <= 1.0:
+            raise ValueError(
+                f"rejoin_threshold must be in [0,1], got {rejoin_threshold}"
+            )
+        self.config = config or SimilarityConfig()
+        #: dirty fraction beyond which one batch rejoin beats local repair
+        self.rejoin_threshold = rejoin_threshold
+        self._vectors: dict[str, SparseVector] = dict(vectors)
+        self._edges: dict[tuple[str, str], float] = dict(edges)
+        #: url → {query: clicks} — the inverted index *with* components,
+        #: so the local repair accumulates without per-pair vector lookups
+        self._postings: dict[str, dict[str, int]] = {}
+        for query, vector in self._vectors.items():
+            for url, clicks in vector.components.items():
+                self._postings.setdefault(url, {})[query] = clicks
+        self._adjacency = _index_adjacency(self._edges)
+
+    @classmethod
+    def build(
+        cls,
+        vectors: dict[str, SparseVector],
+        config: SimilarityConfig | None = None,
+        *,
+        workers: int = 1,
+        backend: str | None = None,
+    ) -> "JoinState":
+        """Run the batch join once and wrap its result as resumable state."""
+        result = accumulator_similarity_join(
+            vectors, config, workers=workers, backend=backend
+        )
+        return cls(vectors, result.edges, config)
+
+    # -- read side ---------------------------------------------------------
+
+    @property
+    def edges(self) -> dict[tuple[str, str], float]:
+        """The live edge dict (treat as read-only; copy before mutating)."""
+        return self._edges
+
+    @property
+    def query_count(self) -> int:
+        return len(self._vectors)
+
+    @property
+    def queries(self) -> set[str]:
+        """Labels of every vector in the join (the graph's vertex set)."""
+        return set(self._vectors)
+
+    def vector(self, query: str) -> SparseVector | None:
+        return self._vectors.get(query)
+
+    def neighbours(self, query: str) -> set[str]:
+        return set(self._adjacency.get(query, ()))
+
+    # -- the incremental path ----------------------------------------------
+
+    def apply_delta(self, updated: dict[str, SparseVector]) -> EdgeDelta:
+        """Fold grown/new vectors in; returns exactly what changed.
+
+        ``updated`` maps each query whose click vector changed (or that
+        newly crossed the support threshold) to its **full new vector**.
+        Unchanged entries are skipped, so callers may over-approximate.
+        """
+        maxpl = self.config.max_posting_list
+        dirty: dict[str, SparseVector] = {}
+        for query, vector in updated.items():
+            old = self._vectors.get(query)
+            if old is not None and old.components == vector.components:
+                continue
+            if old is not None:
+                for url, clicks in old.components.items():
+                    if vector.components.get(url, 0) < clicks:
+                        raise ValueError(
+                            f"vector for {query!r} shrank on {url!r}: the log "
+                            "is append-only, so click vectors may only grow"
+                        )
+            dirty[query] = vector
+        if not dirty:
+            return EdgeDelta(
+                added={},
+                changed={},
+                removed=frozenset(),
+                touched_queries=frozenset(),
+                new_queries=frozenset(),
+                hub_flips=0,
+                recomputed_pairs=0,
+            )
+
+        new_queries = frozenset(q for q in dirty if q not in self._vectors)
+
+        # -- postings: refresh dirty rows' memberships, catch hub flips ----
+        flipped: list[str] = []
+        for query, vector in dirty.items():
+            for url, clicks in vector.components.items():
+                members = self._postings.setdefault(url, {})
+                fresh = query not in members
+                members[query] = clicks
+                if fresh and len(members) == maxpl + 1:
+                    flipped.append(url)
+        self._vectors.update(dirty)
+
+        # -- repair: local accumulation, or a batch rejoin when the dirty
+        #    fraction is high enough that the (numpy-capable) batch join
+        #    is cheaper than dict-at-a-time repair ----------------------------
+        if len(dirty) > self.rejoin_threshold * max(len(self._vectors), 1):
+            added, changed, removed, recomputed = self._rejoin()
+            join_mode = "rejoin"
+        else:
+            added, changed, removed, recomputed = self._repair_local(
+                dirty, flipped
+            )
+            join_mode = "local"
+
+        return EdgeDelta(
+            added=added,
+            changed=changed,
+            removed=frozenset(removed),
+            touched_queries=frozenset(dirty),
+            new_queries=new_queries,
+            hub_flips=len(flipped),
+            recomputed_pairs=recomputed,
+            join_mode=join_mode,
+        )
+
+    def _repair_local(
+        self,
+        dirty: dict[str, SparseVector],
+        flipped: list[str],
+    ) -> tuple[
+        dict[tuple[str, str], float],
+        dict[tuple[str, str], float],
+        set[tuple[str, str]],
+        int,
+    ]:
+        """Re-score exactly the pairs a small dirty set can have changed."""
+        maxpl = self.config.max_posting_list
+        floor = self.config.min_similarity
+        postings = self._postings
+        vectors = self._vectors
+
+        # -- phase A: accumulate every dirty row document-at-a-time --------
+        desired: dict[tuple[str, str], float] = {}
+        scored: set[tuple[str, str]] = set()
+        recomputed = 0
+        for query, vector in dirty.items():
+            acc: dict[str, int] = {}
+            get = acc.get
+            hub_components: list[tuple[str, int]] = []
+            for url, clicks in vector.components.items():
+                members = postings[url]
+                if len(members) > maxpl:
+                    # hubs never generate candidates; folded in below
+                    hub_components.append((url, clicks))
+                    continue
+                for partner, partner_clicks in members.items():
+                    if partner != query:
+                        acc[partner] = get(partner, 0) + clicks * partner_clicks
+            norm = vector.norm
+            for partner, dot in acc.items():
+                pair = (
+                    (query, partner) if query < partner else (partner, query)
+                )
+                if pair in scored:
+                    continue  # the other dirty endpoint already scored it
+                scored.add(pair)
+                recomputed += 1
+                for url, clicks in hub_components:
+                    partner_clicks = postings[url].get(partner)
+                    if partner_clicks is not None:
+                        dot += clicks * partner_clicks
+                # same association as the batch finalisation (and the seed
+                # cosine): float(int dot) / (norm * norm)
+                weight = float(dot) / (norm * vectors[partner].norm)
+                if weight >= floor:
+                    desired[pair] = weight
+
+        # -- phase B: reconcile dirty-touching pairs against the state -----
+        added: dict[tuple[str, str], float] = {}
+        changed: dict[tuple[str, str], float] = {}
+        removed: set[tuple[str, str]] = set()
+        stale: set[tuple[str, str]] = set()
+        for query in dirty:
+            for partner in self._adjacency.get(query, ()):
+                pair = (
+                    (query, partner) if query < partner else (partner, query)
+                )
+                if pair not in desired:
+                    stale.add(pair)
+        for pair in stale:
+            removed.add(pair)
+            self._drop_edge(pair)
+        for pair, weight in desired.items():
+            current = self._edges.get(pair)
+            if current is None:
+                added[pair] = weight
+                self._put_edge(pair)
+            elif current != weight:
+                changed[pair] = weight
+            self._edges[pair] = weight
+
+        # -- phase C: clean-clean edges orphaned by a hub flip -------------
+        for url in flipped:
+            members = self._postings[url]
+            for left in members:
+                if left in dirty:
+                    continue
+                partners = self._adjacency.get(left)
+                if not partners:
+                    continue
+                for right in list(partners.intersection(members)):
+                    if right in dirty or left > right:
+                        continue
+                    if not self._still_candidates(left, right):
+                        pair = (left, right)
+                        removed.add(pair)
+                        self._drop_edge(pair)
+
+        return added, changed, removed, recomputed
+
+    def _rejoin(
+        self,
+    ) -> tuple[
+        dict[tuple[str, str], float],
+        dict[tuple[str, str], float],
+        set[tuple[str, str]],
+        int,
+    ]:
+        """One batch join over the maintained vectors, diffed in place.
+
+        Equivalence with the batch join is trivially guaranteed here —
+        this *is* the batch join; the delta is recovered by diffing the
+        old and new edge dicts (both small next to the join itself).
+        """
+        result = accumulator_similarity_join(self._vectors, self.config)
+        new_edges = result.edges
+        old_edges = self._edges
+        added: dict[tuple[str, str], float] = {}
+        changed: dict[tuple[str, str], float] = {}
+        for pair, weight in new_edges.items():
+            current = old_edges.get(pair)
+            if current is None:
+                added[pair] = weight
+            elif current != weight:
+                changed[pair] = weight
+        removed = {pair for pair in old_edges if pair not in new_edges}
+        self._edges = new_edges
+        self._adjacency = _index_adjacency(new_edges)
+        return added, changed, removed, result.stats.candidate_pairs
+
+    # -- internals ---------------------------------------------------------
+
+    def _still_candidates(self, left: str, right: str) -> bool:
+        """Do two queries still share at least one non-hub URL?"""
+        maxpl = self.config.max_posting_list
+        small = self._vectors[left].components
+        large = self._vectors[right].components
+        if len(small) > len(large):
+            small, large = large, small
+        return any(
+            url in large and len(self._postings[url]) <= maxpl
+            for url in small
+        )
+
+    def _put_edge(self, pair: tuple[str, str]) -> None:
+        left, right = pair
+        self._adjacency.setdefault(left, set()).add(right)
+        self._adjacency.setdefault(right, set()).add(left)
+
+    def _drop_edge(self, pair: tuple[str, str]) -> None:
+        self._edges.pop(pair, None)
+        left, right = pair
+        partners = self._adjacency.get(left)
+        if partners is not None:
+            partners.discard(right)
+        partners = self._adjacency.get(right)
+        if partners is not None:
+            partners.discard(left)
+
+
 def _run_pool(backend: str, shards, stride: int, bincount_safe: bool):
     """Run shards on a process pool; fall back to serial on any failure.
 

@@ -14,6 +14,12 @@ from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping
 
 
+#: footnote-1 weight→multiplicity scale used by every graph builder in
+#: the pipeline (batch extraction and incremental refresh must agree, or
+#: their multigraphs — and everything clustered from them — diverge)
+DEFAULT_DISCRETIZE_SCALE = 20.0
+
+
 def _ordered(u: str, v: str) -> tuple[str, str]:
     return (u, v) if u <= v else (v, u)
 
@@ -310,7 +316,7 @@ class MultiGraph:
 
 def discretize(
     edges: dict[tuple[str, str], float],
-    scale: float = 20.0,
+    scale: float = DEFAULT_DISCRETIZE_SCALE,
     vertices: Iterable[str] | None = None,
 ) -> MultiGraph:
     """Footnote 1: rescale float weights and round to integer multiplicities.

@@ -1,0 +1,181 @@
+"""Seed-and-local partition updates vs the full pointer detector.
+
+The incremental clusterer's claim: on a delta that touches a bounded
+dirty region, re-clustering only that region (with the union graph's
+``m_G`` injected) and splicing the untouched communities back produces
+the same partition structure as a full re-run — and when it cannot be
+sure (churn too high, global stopping knobs, not a fixed point), it
+falls back to the full detector, which is exact by determinism.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.community.incremental import (
+    IncrementalClusterer,
+    IncrementalClusteringConfig,
+    _canonical_labels,
+)
+from repro.community.parallel import ParallelCommunityDetector, ParallelConfig
+from repro.community.partition import Partition
+from repro.simgraph.graph import MultiGraph
+
+
+def _clustered_graph(rng: random.Random, clusters: int) -> MultiGraph:
+    """Disconnected dense clusters — the similarity graph's real shape."""
+    graph = MultiGraph()
+    for c in range(clusters):
+        members = [f"c{c:03d}v{i}" for i in range(rng.randint(1, 8))]
+        for vertex in members:
+            graph.add_vertex(vertex)
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                if rng.random() < 0.6:
+                    graph.add_edge(members[i], members[j], rng.randint(1, 5))
+    return graph
+
+
+def _copy_with_delta(rng: random.Random, graph: MultiGraph):
+    """Union graph plus the touched-vertex set of a small random delta."""
+    union = MultiGraph()
+    for u, v, multiplicity in graph.edges():
+        union.add_edge(u, v, multiplicity)
+    for vertex in graph.vertices():
+        union.add_vertex(vertex)
+    touched: set[str] = set()
+    vertices = graph.vertices()
+    for _ in range(rng.randint(1, 3)):
+        u, v = rng.sample(vertices, 2)
+        union.add_edge(u, v, rng.randint(1, 3))
+        touched |= {u, v}
+    if rng.random() < 0.5:
+        fresh = f"fresh{rng.randrange(10)}"
+        union.add_vertex(fresh)
+        anchor = rng.choice(vertices)
+        union.add_edge(fresh, anchor, 2)
+        touched |= {fresh, anchor}
+    return union, touched
+
+
+class TestIncrementalClusterer:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_local_update_matches_scratch_structure(self, seed):
+        rng = random.Random(seed)
+        graph = _clustered_graph(rng, rng.randint(6, 25))
+        config = ParallelConfig()
+        previous = ParallelCommunityDetector(graph, config).run()
+        union, touched = _copy_with_delta(rng, graph)
+
+        clusterer = IncrementalClusterer(
+            config, IncrementalClusteringConfig(churn_threshold=1.0)
+        )
+        outcome = clusterer.update(union, previous, touched)
+        scratch = ParallelCommunityDetector(union, config).run()
+        assert outcome.partition.as_frozen() == scratch.as_frozen()
+        assert outcome.mode in ("local", "full")
+        assert outcome.partition.validate_covers(union) is None
+
+    def test_no_touch_returns_previous_partition(self):
+        graph = MultiGraph()
+        graph.add_edge("a", "b", 3)
+        previous = ParallelCommunityDetector(graph).run()
+        outcome = IncrementalClusterer().update(graph, previous, set())
+        assert outcome.mode == "unchanged"
+        assert outcome.partition is previous
+        assert outcome.churn == 0.0
+
+    def test_churn_threshold_forces_the_full_path(self):
+        rng = random.Random(5)
+        graph = _clustered_graph(rng, 10)
+        config = ParallelConfig()
+        previous = ParallelCommunityDetector(graph, config).run()
+        union, touched = _copy_with_delta(rng, graph)
+        clusterer = IncrementalClusterer(
+            config, IncrementalClusteringConfig(churn_threshold=0.0)
+        )
+        outcome = clusterer.update(union, previous, touched)
+        assert outcome.mode == "full"
+        assert outcome.fallback_reason == "churn"
+        scratch = ParallelCommunityDetector(union, config).run()
+        assert outcome.partition.as_frozen() == scratch.as_frozen()
+
+    def test_target_communities_knob_forces_the_full_path(self):
+        rng = random.Random(6)
+        graph = _clustered_graph(rng, 8)
+        config = ParallelConfig(target_communities=2)
+        previous = ParallelCommunityDetector(graph, config).run()
+        union, touched = _copy_with_delta(rng, graph)
+        outcome = IncrementalClusterer(
+            config, IncrementalClusteringConfig(churn_threshold=1.0)
+        ).update(union, previous, touched)
+        assert outcome.mode == "full"
+        assert outcome.fallback_reason == "target-communities"
+
+    def test_shrinking_total_edges_forces_the_full_path(self):
+        """ΔMod shrinks with m_G, so merges decided under a larger old
+        m_G may no longer be ones a full run would make — and the
+        fixed-point check can only catch missing merges, not needed
+        splits.  A delta that lowers m_G must fall back."""
+        rng = random.Random(8)
+        graph = _clustered_graph(rng, 10)
+        config = ParallelConfig()
+        previous = ParallelCommunityDetector(graph, config).run()
+        union = MultiGraph()
+        dropped = None
+        for u, v, multiplicity in graph.edges():
+            if dropped is None and multiplicity > 1:
+                union.add_edge(u, v, multiplicity - 1)  # m_G shrinks by 1
+                dropped = (u, v)
+            else:
+                union.add_edge(u, v, multiplicity)
+        for vertex in graph.vertices():
+            union.add_vertex(vertex)
+        assert dropped is not None
+        outcome = IncrementalClusterer(
+            config, IncrementalClusteringConfig(churn_threshold=1.0)
+        ).update(union, previous, set(dropped), previous_total_edges=graph.total_edges)
+        assert outcome.mode == "full"
+        assert outcome.fallback_reason == "m-shrank"
+        scratch = ParallelCommunityDetector(union, config).run()
+        assert outcome.partition.as_frozen() == scratch.as_frozen()
+
+    def test_touched_vertex_must_exist(self):
+        graph = MultiGraph()
+        graph.add_edge("a", "b", 1)
+        previous = ParallelCommunityDetector(graph).run()
+        with pytest.raises(ValueError, match="not in graph"):
+            IncrementalClusterer().update(graph, previous, {"ghost"})
+
+    def test_clean_region_must_be_covered(self):
+        graph = MultiGraph()
+        graph.add_edge("a", "b", 1)
+        graph.add_edge("c", "d", 1)
+        with pytest.raises(ValueError, match="does not cover"):
+            IncrementalClusterer(
+                None, IncrementalClusteringConfig(churn_threshold=1.0)
+            ).update(graph, Partition({"a": "a", "b": "a"}), {"a"})
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            IncrementalClusteringConfig(churn_threshold=1.5)
+
+    def test_canonical_labels_are_min_members(self):
+        partition = Partition({"x": "zzz", "y": "zzz", "a": "k", "b": "k"})
+        canonical = _canonical_labels(partition)
+        assert canonical.assignment == {"x": "x", "y": "x", "a": "a", "b": "a"}
+
+    def test_merge_modes_supported(self):
+        rng = random.Random(11)
+        graph = _clustered_graph(rng, 8)
+        for mode in ("pointer", "matching", "components"):
+            config = ParallelConfig(merge_mode=mode)
+            previous = ParallelCommunityDetector(graph, config).run()
+            union, touched = _copy_with_delta(random.Random(12), graph)
+            outcome = IncrementalClusterer(
+                config, IncrementalClusteringConfig(churn_threshold=1.0)
+            ).update(union, previous, touched)
+            scratch = ParallelCommunityDetector(union, config).run()
+            assert outcome.partition.as_frozen() == scratch.as_frozen()

@@ -1,0 +1,297 @@
+"""DeltaRefresh ≡ full rebuild on the union — the core property.
+
+The batch pipeline stays the executable specification: for a random base
+world plus a random delta batch, the incremental path must produce the
+same similarity edges (byte-identical), the same partition structure and
+the *identical* domain store as :class:`OfflinePipeline` run once over
+the union log — in both churn regimes (local moves and the full-recluster
+fallback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.community.incremental import IncrementalClusteringConfig
+from repro.core.config import ESharpConfig
+from repro.core.incremental import DeltaRefresh, DeltaRefreshConfig
+from repro.core.offline import OfflinePipeline
+from repro.querylog.generator import QueryLogGenerator
+from repro.querylog.store import QueryLogStore
+from repro.worldmodel.builder import build_world
+
+
+def _split_log(config: ESharpConfig, base_fraction: float):
+    """One impression stream split into (base, delta, union) stores."""
+    world = build_world(config.world)
+    generator = QueryLogGenerator(world, config.querylog)
+    impressions = list(generator.impressions(config.querylog.impressions))
+    cut = int(len(impressions) * base_fraction)
+    min_support = config.querylog.min_support
+
+    base = QueryLogStore(min_support=min_support)
+    base.extend(impressions[:cut])
+    delta = QueryLogStore(min_support=min_support)
+    delta.extend(impressions[cut:])
+    union = QueryLogStore(min_support=min_support)
+    union.extend(impressions)
+    return world, base, delta, union
+
+
+def _tiny_config(seed: int) -> ESharpConfig:
+    small = ESharpConfig.small(seed=seed)
+    return replace(
+        small,
+        querylog=replace(small.querylog, impressions=15_000, min_support=10),
+    )
+
+
+class TestDeltaEqualsFullRebuild:
+    @pytest.mark.parametrize("seed", [1234, 7, 99])
+    @pytest.mark.parametrize(
+        "churn_threshold, expected_mode",
+        [(1.0, "local"), (0.0, "full")],
+    )
+    def test_equivalence_property(self, seed, churn_threshold, expected_mode):
+        config = _tiny_config(seed)
+        world, base, delta, union = _split_log(config, base_fraction=0.95)
+
+        artifacts = OfflinePipeline(config).run(world=world, store=base)
+        refresher = DeltaRefresh(
+            config,
+            artifacts,
+            DeltaRefreshConfig(
+                incremental=IncrementalClusteringConfig(
+                    churn_threshold=churn_threshold
+                )
+            ),
+        )
+        outcome = refresher.refresh(delta)
+        full = OfflinePipeline(config).run(world=world, store=union)
+
+        # both regimes actually exercised
+        assert outcome.stats.cluster_mode == expected_mode
+
+        # similarity edges: byte-identical floats
+        delta_edges = {
+            (u, v): w for u, v, w in outcome.artifacts.weighted_graph.edges()
+        }
+        full_edges = {
+            (u, v): w for u, v, w in full.weighted_graph.edges()
+        }
+        assert delta_edges == full_edges
+
+        # multigraph: same vertices and multiplicities
+        assert (
+            outcome.artifacts.multigraph.sorted_edges()
+            == full.multigraph.sorted_edges()
+        )
+        assert (
+            outcome.artifacts.multigraph.sorted_vertices()
+            == full.multigraph.sorted_vertices()
+        )
+
+        # partition: same structure
+        assert (
+            outcome.artifacts.partition.as_frozen()
+            == full.partition.as_frozen()
+        )
+
+        # domain store: literally identical (canonical ids + membership)
+        assert (
+            outcome.artifacts.domain_store.domains()
+            == full.domain_store.domains()
+        )
+
+    def test_chained_deltas_track_the_union(self):
+        config = _tiny_config(42)
+        world = build_world(config.world)
+        generator = QueryLogGenerator(world, config.querylog)
+        impressions = list(generator.impressions(12_000))
+        min_support = config.querylog.min_support
+
+        base = QueryLogStore(min_support=min_support)
+        base.extend(impressions[:9_000])
+        artifacts = OfflinePipeline(config).run(world=world, store=base)
+        refresher = DeltaRefresh(config, artifacts)
+        for start in (9_000, 10_000, 11_000):
+            chunk = QueryLogStore(min_support=min_support)
+            chunk.extend(impressions[start : start + 1_000])
+            outcome = refresher.refresh(chunk)
+
+        union = QueryLogStore(min_support=min_support)
+        union.extend(impressions)
+        full = OfflinePipeline(config).run(world=world, store=union)
+        assert (
+            outcome.artifacts.domain_store.domains()
+            == full.domain_store.domains()
+        )
+        assert outcome.artifacts.store.impressions == union.impressions
+
+    def test_domain_instances_are_reused_across_a_refresh(self):
+        config = _tiny_config(7)
+        world, base, delta, _ = _split_log(config, base_fraction=0.97)
+        artifacts = OfflinePipeline(config).run(world=world, store=base)
+        before = {
+            domain.domain_id: domain
+            for domain in artifacts.domain_store.domains()
+        }
+        outcome = refresher_outcome = DeltaRefresh(config, artifacts).refresh(
+            delta
+        )
+        stats = refresher_outcome.stats
+        reused = [
+            domain
+            for domain in outcome.artifacts.domain_store.domains()
+            if before.get(domain.domain_id) is domain
+        ]
+        assert stats.domains_reused == len(reused)
+        assert 0 < stats.domains_reused <= stats.domains
+
+
+class TestESharpDeltaIntegration:
+    def test_delta_refresh_publishes_and_keeps_corpus(self, small_config):
+        from repro.core.esharp import ESharp
+
+        system = ESharp(small_config).build()
+        platform_before = system.platform
+        version_before = system.snapshots.version
+        generator = QueryLogGenerator(
+            system.offline.world,
+            replace(
+                small_config.querylog, seed=small_config.querylog.seed + 5
+            ),
+        )
+        stats = system.refresh_domains_delta(list(generator.impressions(800)))
+
+        assert system.snapshots.version == version_before + 1
+        assert system.platform is platform_before  # corpus untouched
+        assert stats.impressions == 800
+        assert stats.cluster_mode in ("unchanged", "local", "full")
+        assert system.offline.store.impressions == (
+            small_config.querylog.impressions + 800
+        )
+        # the system still answers queries on the new generation
+        keyword = system.offline.domain_store.known_keywords()[0]
+        assert isinstance(system.find_experts(keyword), list)
+
+    def test_refresher_reseeds_after_a_full_rebuild(self, small_config):
+        from repro.core.esharp import ESharp
+
+        system = ESharp(small_config).build()
+        generator = QueryLogGenerator(
+            system.offline.world,
+            replace(
+                small_config.querylog, seed=small_config.querylog.seed + 6
+            ),
+        )
+        system.refresh_domains_delta(list(generator.impressions(300)))
+        refresher_first = system._delta_refresher
+        system.refresh_domains()  # full rebuild resets the log window
+        assert system.offline.store.impressions == (
+            small_config.querylog.impressions
+        )
+        system.refresh_domains_delta(list(generator.impressions(300)))
+        assert system._delta_refresher is not refresher_first
+        assert system.offline.store.impressions == (
+            small_config.querylog.impressions + 300
+        )
+
+    def test_noop_delta_does_not_publish_a_new_version(self, small_config):
+        """A delta that changes nothing serving-visible must not bump
+        the snapshot version — a bump would rotate every version-keyed
+        result-cache entry over byte-identical serving state."""
+        from repro.core.esharp import ESharp
+
+        system = ESharp(small_config).build()
+        version = system.snapshots.version
+        stats = system.refresh_domains_delta([])
+        assert stats.impressions == 0
+        assert stats.cluster_mode == "unchanged"
+        assert system.snapshots.version == version
+        # the refresher stays synced: a real delta afterwards still works
+        generator = QueryLogGenerator(
+            system.offline.world,
+            replace(
+                small_config.querylog, seed=small_config.querylog.seed + 9
+            ),
+        )
+        refresher_before = system._delta_refresher
+        system.refresh_domains_delta(list(generator.impressions(600)))
+        assert system._delta_refresher is refresher_before  # no re-seed
+        assert system.snapshots.version == version + 1
+
+    def test_failed_refresh_drops_the_cached_state(self, small_config):
+        """A partially-applied refresh must never be resumed: the
+        refresher mutates its log before repairing the join, so after a
+        mid-refresh exception the state is torn and must be re-seeded."""
+        from repro.core.esharp import ESharp
+
+        system = ESharp(small_config).build()
+        system.refresh_domains_delta([])  # materialise the refresher
+        refresher = system._delta_refresher
+        assert refresher is not None
+
+        def boom(delta):
+            raise RuntimeError("mid-refresh failure")
+
+        refresher.refresh = boom
+        with pytest.raises(RuntimeError, match="mid-refresh"):
+            system.refresh_domains_delta([])
+        assert system._delta_refresher is None
+        # and the path recovers by re-seeding from the published state
+        stats = system.refresh_domains_delta([])
+        assert stats.cluster_mode == "unchanged"
+
+    def test_unpublished_ingest_survives_a_config_change(self, small_config):
+        """Serving-invisible ingest lives only in the refresher's log;
+        a re-seed triggered by a delta-config change must carry it
+        forward, not fall back to the stale published artifacts."""
+        from repro.core.esharp import ESharp
+        from repro.querylog.records import Impression
+
+        system = ESharp(small_config).build()
+        version = system.snapshots.version
+        noop = [
+            Impression(query="zz noop tail query", clicked_urls=())
+            for _ in range(5)
+        ]
+        system.refresh_domains_delta(noop)
+        assert system.snapshots.version == version  # nothing published
+        base = small_config.querylog.impressions
+        assert system._delta_refresher._store.impressions == base + 5
+
+        system.refresh_domains_delta(
+            [],
+            DeltaRefreshConfig(
+                incremental=IncrementalClusteringConfig(churn_threshold=0.9)
+            ),
+        )
+        # the re-seeded refresher still counts the unpublished batch
+        assert system._delta_refresher._store.impressions == base + 5
+
+    def test_sql_clustering_config_coerces_pointer_mode(self):
+        """The SQL runner forces pointer semantics; the delta path must
+        match, or its full-recluster fallback would diverge from what
+        ``refresh_domains`` builds."""
+        from repro.community.parallel import ParallelConfig
+
+        config = replace(
+            _tiny_config(3),
+            use_sql_clustering=True,
+            clustering=ParallelConfig(merge_mode="matching"),
+        )
+        world, base, _, _ = _split_log(config, base_fraction=0.95)
+        artifacts = OfflinePipeline(
+            replace(config, use_sql_clustering=False)
+        ).run(world=world, store=base)
+        refresher = DeltaRefresh(config, artifacts)
+        assert refresher._clusterer.config.merge_mode == "pointer"
+
+    def test_delta_refresh_requires_built_system(self, small_config):
+        from repro.core.esharp import ESharp, NotBuiltError
+
+        with pytest.raises(NotBuiltError):
+            ESharp(small_config).refresh_domains_delta([])

@@ -139,6 +139,122 @@ class TestAdmissionController:
         with pytest.raises(RuntimeError):
             AdmissionController().release()
 
+    def test_timed_out_waiter_passes_the_wakeup_on(self):
+        """Regression: the lost wakeup on the timeout path.
+
+        ``release()`` notifies exactly one waiter.  If the notified
+        waiter's deadline has just expired, it used to consume the
+        notification and raise — leaving the freed slot idle while every
+        remaining waiter ran out its own deadline.  The timeout path
+        must re-notify before raising.
+
+        The interleaving (notify landing on a waiter that is timing
+        out) is a microsecond window in the wild, so the test forces it
+        deterministically: the victim thread's ``wait`` blocks until it
+        is really notified and then *reports* a timeout.
+        """
+
+        class LostWakeupCondition:
+            """Delegates to the real condition; for the victim thread,
+            ``wait`` consumes a genuine notify but claims it timed out."""
+
+            def __init__(self, inner):
+                self._inner = inner
+                self.victim = None
+
+            def wait(self, timeout=None):
+                if threading.get_ident() == self.victim:
+                    self._inner.wait()
+                    return False
+                return self._inner.wait(timeout)
+
+            def __enter__(self):
+                return self._inner.__enter__()
+
+            def __exit__(self, *exc):
+                return self._inner.__exit__(*exc)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        control = AdmissionController(
+            max_in_flight=1, max_queue_depth=4, timeout_seconds=1.5
+        )
+        proxy = LostWakeupCondition(control._condition)
+        control._condition = proxy
+        control.acquire()  # occupy the only slot
+
+        outcomes = {}
+        victim_waiting = threading.Event()
+
+        def victim():
+            proxy.victim = threading.get_ident()
+            try:
+                control.acquire()
+                outcomes["victim"] = "admitted"
+                control.release()
+            except ServiceOverloadedError:
+                outcomes["victim"] = "timeout"
+
+        def bystander():
+            try:
+                control.acquire()
+                outcomes["bystander"] = "admitted"
+                control.release()
+            except ServiceOverloadedError:
+                outcomes["bystander"] = "timeout"
+
+        victim_thread = threading.Thread(target=victim, daemon=True)
+        victim_thread.start()
+        deadline = time.monotonic() + 5
+        while control.waiting < 1 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        bystander_thread = threading.Thread(target=bystander, daemon=True)
+        bystander_thread.start()
+        while control.waiting < 2 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert control.waiting == 2
+
+        control.release()  # notifies the victim, which is "timing out"
+        victim_thread.join(timeout=5)
+        # the victim consumed the notify and raised; the freed slot must
+        # still reach the bystander well before ITS 1.5 s deadline
+        bystander_thread.join(timeout=1.0)
+        assert not bystander_thread.is_alive(), (
+            "bystander still waiting: the timed-out waiter swallowed "
+            "the only wakeup"
+        )
+        assert outcomes == {"victim": "timeout", "bystander": "admitted"}
+
+    def test_drain_waits_for_in_flight_and_waiters(self):
+        control = AdmissionController(
+            max_in_flight=1, max_queue_depth=4, timeout_seconds=5.0
+        )
+        control.acquire()
+        admitted = threading.Event()
+
+        def waiter():
+            with control.slot():
+                admitted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while control.waiting < 1 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert not control.drain(timeout_seconds=0.05)  # still busy
+        control.release()
+        assert control.drain(timeout_seconds=5.0)
+        thread.join(timeout=5)
+        assert admitted.is_set()
+        assert control.in_flight == 0 and control.waiting == 0
+
+    def test_closed_controller_rejects_typed(self):
+        control = AdmissionController(max_in_flight=1)
+        control.close()
+        with pytest.raises(ServiceClosedError):
+            control.acquire()
+
 
 class TestWorkerPool:
     def test_map_ordered_preserves_input_order(self):

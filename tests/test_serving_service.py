@@ -104,6 +104,10 @@ class TestExpertServiceBasics:
             svc.query("anything")
         with pytest.raises(ServiceClosedError):
             svc.submit("anything")
+        with pytest.raises(ServiceClosedError):
+            svc.refresh_domains()
+        with pytest.raises(ServiceClosedError):
+            svc.refresh_delta([])
 
 
 class TestRollingRefresh:
@@ -247,6 +251,231 @@ class TestRollingRefresh:
             assert stats.requests == 2
             # the post-swap submitter pinned the new generation
             assert answers[1].snapshot_version == version_before + 1
+
+
+class TestRefreshSerialisation:
+    def test_concurrent_refreshes_serialise_and_return_their_own_snapshot(
+        self, served_system, monkeypatch
+    ):
+        """Regression: ``refresh_domains`` was unsynchronised at the
+        service level — two concurrent refreshes could interleave the
+        rebuild and the snapshot read, so both callers observed only
+        the *final* generation (one refresh's snapshot was never
+        returned to anyone, and the slower build could be reported as
+        the newer one).  The wrapper below forces the interleaving: each
+        rebuild, once finished, waits for the other before returning.
+        With the service-level refresh lock the second refresh cannot
+        even start until the first has returned its own snapshot.
+        """
+        real = served_system.refresh_domains
+        tags: dict = {}
+        done = {"a": threading.Event(), "b": threading.Event()}
+
+        def wrapped(querylog_config=None):
+            tag = tags[threading.get_ident()]
+            result = real(querylog_config)
+            done[tag].set()
+            other = "b" if tag == "a" else "a"
+            # on an unserialised service both rebuilds finish here
+            # before either caller reads "its" snapshot
+            done[other].wait(timeout=0.8)
+            return result
+
+        monkeypatch.setattr(served_system, "refresh_domains", wrapped)
+        version_start = served_system.snapshots.version
+        results: dict = {}
+        errors: list = []
+
+        with served_system.serve() as svc:
+            def client(tag: str) -> None:
+                tags[threading.get_ident()] = tag
+                try:
+                    results[tag] = svc.refresh_domains().version
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(tag,), daemon=True)
+                for tag in ("a", "b")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not any(t.is_alive() for t in threads)
+            assert errors == []
+            # each refresh returned the snapshot its own rebuild published
+            assert sorted(results.values()) == [
+                version_start + 1,
+                version_start + 2,
+            ]
+            assert svc.snapshot_version == version_start + 2
+            assert svc.stats().refreshes == 2
+
+
+class TestCloseDrainsInFlight:
+    def test_close_drains_an_admitted_request(self, served_system):
+        """Regression: ``close()`` shut the pools under admitted
+        requests, so an in-flight query crashed with a (possibly raw)
+        ``RuntimeError`` mid-detection instead of completing.  Close now
+        rejects new work, drains the admitted population, and only then
+        tears the pools down.
+        """
+        queries = [
+            q
+            for q in candidate_queries(served_system, 16)
+            if len(served_system.expansion_terms(q)) > 1
+        ]
+        assert queries, "need a multi-term query so detection uses the pool"
+        query = queries[0]
+
+        svc = served_system.serve()
+        expander = served_system.snapshot.pipeline.expander
+        real = expander.expand_terms
+        entered, release = threading.Event(), threading.Event()
+
+        def blocking(q):
+            entered.set()
+            release.wait(timeout=10)
+            return real(q)
+
+        expander.expand_terms = blocking
+        result: dict = {}
+        try:
+            def client() -> None:
+                try:
+                    result["answer"] = svc.query(query)
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    result["error"] = exc
+
+            client_thread = threading.Thread(target=client, daemon=True)
+            client_thread.start()
+            assert entered.wait(timeout=10)
+            closer = threading.Thread(target=svc.close, daemon=True)
+            closer.start()
+            time.sleep(0.2)  # let close() reach the drain
+            # new work is already refused while the drain is pending
+            with pytest.raises(ServiceClosedError):
+                svc.query(query)
+            release.set()
+            client_thread.join(timeout=10)
+            closer.join(timeout=10)
+            assert not client_thread.is_alive() and not closer.is_alive()
+        finally:
+            expander.expand_terms = real
+            svc.close()
+
+        assert "error" not in result, f"in-flight query died: {result.get('error')!r}"
+        assert result["answer"].query == query
+
+
+class TestSubmitThresholdKeying:
+    def test_default_and_explicit_threshold_coalesce(self, served_system):
+        """Regression: ``submit()`` keyed batches on the *raw*
+        ``min_zscore`` while the sync path keys on the resolved
+        threshold, so ``submit(q)`` and ``submit(q, default)`` never
+        coalesced and double-computed.  The batch key now resolves the
+        threshold first.
+        """
+        config = ServiceConfig(batch_window_seconds=30.0, max_batch=64)
+        with served_system.serve(config) as svc:
+            query = candidate_queries(served_system, 1)[0]
+            default = served_system.snapshot.detector.ranking.min_zscore
+            first = svc.submit(query)
+            second = svc.submit(query, default)
+            svc._batcher.flush()
+            answers = [first.result(timeout=30), second.result(timeout=30)]
+            stats = svc.stats()
+            assert stats.batch_coalesced == 1
+            assert stats.requests == 1          # one execution, shared
+            assert _expert_ids(answers[0]) == _expert_ids(answers[1])
+
+
+class TestDeltaRefresh:
+    def test_refresh_delta_swaps_and_stamps_stats(self, served_system):
+        from repro.querylog.generator import QueryLogGenerator
+        from dataclasses import replace as dc_replace
+
+        with served_system.serve() as svc:
+            query = candidate_queries(served_system, 1)[0]
+            before = svc.query(query)
+            stats = svc.stats()
+            assert stats.delta_refreshes == 0
+            assert stats.last_delta_refresh is None
+
+            log_config = served_system.config.querylog
+            generator = QueryLogGenerator(
+                served_system.offline.world,
+                dc_replace(log_config, seed=log_config.seed + 17),
+            )
+            delta = list(generator.impressions(500))
+            snapshot = svc.refresh_delta(delta)
+
+            assert snapshot.version == before.snapshot_version + 1
+            after = svc.query(query)
+            assert after.snapshot_version == snapshot.version
+            assert not after.cache_hit      # version rotated the key space
+            stats = svc.stats()
+            assert stats.delta_refreshes == 1
+            assert stats.last_delta_refresh_seconds is not None
+            assert stats.last_delta_refresh is not None
+            assert stats.last_delta_refresh.impressions == 500
+            assert stats.last_delta_refresh.cluster_mode in (
+                "unchanged",
+                "local",
+                "full",
+            )
+
+    def test_refresh_delta_under_concurrent_queries(self, served_system):
+        from repro.querylog.generator import QueryLogGenerator
+        from dataclasses import replace as dc_replace
+
+        probes = [
+            q
+            for q in candidate_queries(served_system, 16)
+            if served_system.find_experts(q)
+        ][:4]
+        assert len(probes) >= 2
+        errors: list = []
+        stop = threading.Event()
+
+        with served_system.serve(
+            ServiceConfig(max_in_flight=32, max_queue_depth=256)
+        ) as svc:
+            def client(slot: int) -> None:
+                i = 0
+                while not stop.is_set():
+                    try:
+                        svc.query(probes[(slot + i) % len(probes)])
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(exc)
+                        return
+                    i += 1
+                    time.sleep(0.001)
+
+            threads = [
+                threading.Thread(target=client, args=(i,), daemon=True)
+                for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            log_config = served_system.config.querylog
+            try:
+                for round_ in range(2):
+                    generator = QueryLogGenerator(
+                        served_system.offline.world,
+                        dc_replace(
+                            log_config, seed=log_config.seed + 31 + round_
+                        ),
+                    )
+                    svc.refresh_delta(list(generator.impressions(400)))
+            finally:
+                stop.set()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not any(t.is_alive() for t in threads)
+            assert errors == []
+            assert svc.stats().delta_refreshes == 2
 
 
 class TestLoadGeneration:

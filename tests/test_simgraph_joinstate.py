@@ -1,0 +1,148 @@
+"""JoinState: the resumable similarity join must equal the batch join.
+
+The core contract of the incremental refresh path: after any sequence of
+append-only deltas, :attr:`JoinState.edges` is **byte-identical** to
+:func:`accumulator_similarity_join` run from scratch on the union
+vectors — same pairs, bitwise-equal floats — on both the local-repair
+and the batch-rejoin paths.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simgraph.accumulate import JoinState, accumulator_similarity_join
+from repro.simgraph.similarity import SimilarityConfig
+from repro.simgraph.vectors import SparseVector
+
+
+def _sparse(raw: dict[str, dict[str, int]]) -> dict[str, SparseVector]:
+    return {query: SparseVector(dict(components)) for query, components in raw.items()}
+
+
+def _random_vectors(rng: random.Random, queries: int, urls: int) -> dict:
+    return {
+        f"q{i:03d}": {
+            f"u{rng.randrange(urls)}": rng.randint(1, 5)
+            for _ in range(rng.randint(1, 6))
+        }
+        for i in range(queries)
+    }
+
+
+def _random_delta(
+    rng: random.Random, base: dict, urls: int, tag: str = ""
+) -> dict:
+    delta = {}
+    for query in rng.sample(sorted(base), k=rng.randint(0, len(base) // 2)):
+        components = dict(base[query])
+        for _ in range(rng.randint(1, 4)):
+            url = f"u{rng.randrange(urls)}"
+            components[url] = components.get(url, 0) + rng.randint(1, 3)
+        delta[query] = components
+    for j in range(rng.randint(0, 6)):
+        delta[f"new{tag}{j}"] = {
+            f"u{rng.randrange(urls)}": rng.randint(1, 5)
+            for _ in range(rng.randint(1, 5))
+        }
+    return delta
+
+
+class TestJoinStateEquivalence:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_delta_equals_batch_join_on_the_union(self, seed):
+        """Random base + random delta, hub flips forced by tiny
+        ``max_posting_list`` values, across both repair paths."""
+        rng = random.Random(seed)
+        base = _random_vectors(rng, rng.randint(5, 50), rng.randint(3, 25))
+        config = SimilarityConfig(
+            min_similarity=rng.choice([0.05, 0.2, 0.5]),
+            max_posting_list=rng.choice([2, 3, 5, 1000]),
+        )
+        delta = _random_delta(rng, base, 25)
+        union = dict(base)
+        union.update(delta)
+
+        state = JoinState.build(_sparse(base), config)
+        state.rejoin_threshold = rng.choice([0.0, 0.2, 1.0])
+        edge_delta = state.apply_delta(_sparse(delta))
+        expected = accumulator_similarity_join(_sparse(union), config).edges
+        assert state.edges == expected  # byte-identical, floats included
+        # the reported delta reconciles old → new exactly
+        for pair in edge_delta.removed:
+            assert pair not in state.edges
+        for pair, weight in {**edge_delta.added, **edge_delta.changed}.items():
+            assert state.edges[pair] == weight
+
+    def test_chained_deltas_stay_exact(self):
+        rng = random.Random(99)
+        base = _random_vectors(rng, 40, 20)
+        config = SimilarityConfig(min_similarity=0.1, max_posting_list=4)
+        state = JoinState.build(_sparse(base), config)
+        state.rejoin_threshold = 0.5
+        union = dict(base)
+        for round_ in range(4):
+            delta = _random_delta(rng, union, 20, tag=f"r{round_}_")
+            union.update(delta)
+            state.apply_delta(_sparse(delta))
+        expected = accumulator_similarity_join(_sparse(union), config).edges
+        assert state.edges == expected
+
+    def test_hub_flip_removes_orphaned_clean_edges(self):
+        """A URL crossing ``max_posting_list`` strips candidacy from the
+        clean-clean pairs that only shared it."""
+        config = SimilarityConfig(min_similarity=0.01, max_posting_list=2)
+        base = {
+            "qa": {"shared": 3},
+            "qb": {"shared": 4},
+        }
+        state = JoinState.build(_sparse(base), config)
+        state.rejoin_threshold = 1.0  # force the local-repair path
+        assert ("qa", "qb") in state.edges
+        # a third clicker pushes "shared" past max_posting_list=2
+        delta = {"qc": {"shared": 1, "other": 2}}
+        edge_delta = state.apply_delta(_sparse(delta))
+        assert edge_delta.hub_flips == 1
+        assert ("qa", "qb") in edge_delta.removed
+        expected = accumulator_similarity_join(
+            _sparse({**base, **delta}), config
+        ).edges
+        assert state.edges == expected == {}
+
+    def test_empty_and_noop_deltas(self):
+        base = {"qa": {"u1": 2}, "qb": {"u1": 3}}
+        state = JoinState.build(_sparse(base), SimilarityConfig())
+        before = dict(state.edges)
+        delta = state.apply_delta({})
+        assert delta.is_empty and delta.touched_queries == frozenset()
+        delta = state.apply_delta(_sparse({"qa": {"u1": 2}}))  # unchanged
+        assert delta.is_empty
+        assert state.edges == before
+
+    def test_append_only_contract_is_enforced(self):
+        base = {"qa": {"u1": 3}, "qb": {"u1": 1}}
+        state = JoinState.build(_sparse(base), SimilarityConfig())
+        with pytest.raises(ValueError, match="append-only"):
+            state.apply_delta(_sparse({"qa": {"u1": 2}}))  # clicks shrank
+        with pytest.raises(ValueError, match="append-only"):
+            state.apply_delta(_sparse({"qa": {"u2": 5}}))  # url vanished
+
+    def test_rejoin_threshold_validation(self):
+        with pytest.raises(ValueError):
+            JoinState({}, {}, SimilarityConfig(), rejoin_threshold=1.5)
+
+    def test_join_mode_reflects_the_path_taken(self):
+        rng = random.Random(3)
+        base = _random_vectors(rng, 30, 12)
+        config = SimilarityConfig(min_similarity=0.05)
+        delta = {"q000": {**base["q000"], "fresh": 2}}
+
+        local = JoinState.build(_sparse(base), config)
+        local.rejoin_threshold = 1.0
+        assert local.apply_delta(_sparse(delta)).join_mode == "local"
+
+        rejoin = JoinState.build(_sparse(base), config)
+        rejoin.rejoin_threshold = 0.0
+        assert rejoin.apply_delta(_sparse(delta)).join_mode == "rejoin"

@@ -1,0 +1,132 @@
+"""TTL boundary semantics and counter consistency of the LRU+TTL cache.
+
+The serving result cache and the detector memos both ride on
+:class:`repro.utils.cache.LRUCache`; the TTL boundary (an entry dies *at*
+``ttl_seconds``, not after it) and the hit/miss/expiration accounting are
+load-bearing for the serving stats invariants, so they get their own
+deterministic (injected clock) and concurrent coverage here.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.utils.cache import LRUCache
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTtlBoundary:
+    def test_entry_expires_at_exactly_ttl(self):
+        clock = FakeClock()
+        cache = LRUCache(8, ttl_seconds=10.0, clock=clock)
+        cache.put("k", "v")
+        clock.advance(10.0 - 1e-9)
+        assert cache.get("k") == "v"            # strictly inside the TTL
+        clock.advance(1e-9)                     # now exactly at ttl_seconds
+        assert cache.get("k") is None           # >= expiry: dead on the dot
+        info = cache.cache_info()
+        assert info.hits == 1
+        assert info.misses == 1
+        assert info.expirations == 1
+        assert info.size == 0
+
+    def test_contains_respects_the_boundary_without_counting(self):
+        clock = FakeClock()
+        cache = LRUCache(8, ttl_seconds=5.0, clock=clock)
+        cache.put("k", "v")
+        assert "k" in cache
+        clock.advance(5.0)
+        assert "k" not in cache
+        info = cache.cache_info()
+        assert info.hits == 0 and info.misses == 0  # membership is free
+
+    def test_put_refreshes_the_clock(self):
+        clock = FakeClock()
+        cache = LRUCache(8, ttl_seconds=10.0, clock=clock)
+        cache.put("k", "v1")
+        clock.advance(9.0)
+        cache.put("k", "v2")                    # re-stored: new birth time
+        clock.advance(9.0)                      # 18s after first, 9 after second
+        assert cache.get("k") == "v2"
+
+    def test_purge_expired_drops_exactly_the_dead(self):
+        clock = FakeClock()
+        cache = LRUCache(8, ttl_seconds=10.0, clock=clock)
+        cache.put("old", 1)
+        clock.advance(6.0)
+        cache.put("mid", 2)
+        clock.advance(4.0)                      # old at 10.0 (dead), mid at 4.0
+        cache.put("new", 3)
+        assert cache.purge_expired() == 1
+        info = cache.cache_info()
+        assert info.expirations == 1
+        assert info.size == 2 == len(cache)
+        assert sorted(cache.keys()) == ["mid", "new"]
+
+    def test_purge_on_a_ttl_free_cache_is_a_noop(self):
+        cache = LRUCache(4)
+        cache.put("k", 1)
+        assert cache.purge_expired() == 0
+        assert cache.cache_info().expirations == 0
+
+
+class TestCounterConsistencyUnderConcurrency:
+    @pytest.mark.parametrize("capacity", [4, 64])
+    def test_get_put_purge_counters_close(self, capacity):
+        """hits + misses == lookups, size honest, no counter drift."""
+        clock = FakeClock()
+        lock = threading.Lock()
+        cache = LRUCache(capacity, ttl_seconds=3.0, clock=clock)
+        threads = 6
+        ops = 400
+        gets = [0] * threads
+        barrier = threading.Barrier(threads)
+
+        def worker(slot: int) -> None:
+            barrier.wait()
+            for i in range(ops):
+                key = (slot + i) % 17
+                if i % 5 == 0:
+                    cache.put(key, (slot, i))
+                elif i % 11 == 0:
+                    cache.purge_expired()
+                    with lock:
+                        clock.advance(0.25)
+                else:
+                    cache.get(key)
+                    gets[slot] += 1
+
+        pool = [
+            threading.Thread(target=worker, args=(slot,), daemon=True)
+            for slot in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in pool)
+
+        info = cache.cache_info()
+        # every get() resolved to exactly one of hit/miss
+        assert info.hits + info.misses == info.lookups == sum(gets)
+        # the size the counters report is the size the cache has
+        assert info.size == len(cache) <= capacity
+        assert 0.0 <= info.hit_rate <= 1.0
+        # a final full purge leaves the accounting coherent
+        clock.advance(10.0)
+        purged = cache.purge_expired()
+        after = cache.cache_info()
+        assert after.expirations == info.expirations + purged
+        assert after.size == len(cache) == 0
