@@ -10,6 +10,11 @@ real work, not thread-scheduling noise.
 
 Writes ``BENCH_serving.json`` at the repo root (qps, p50/p95/p99, cache
 hit rate) so future PRs can diff the perf trajectory.
+
+Runs unchanged against a warm-started replica: set
+``REPRO_FROM_ARTIFACT=<dir>`` (a ``python -m repro build --out``
+artifact) and the session system loads from disk instead of rebuilding
+— the workload, assertions and JSON report are identical.
 """
 
 import json

@@ -9,6 +9,7 @@ them).
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -26,7 +27,21 @@ BENCH_SEED = 2016
 
 @pytest.fixture(scope="session")
 def ctx() -> ExperimentContext:
-    return ExperimentContext.build(ESharpConfig.standard(seed=BENCH_SEED))
+    """The shared standard-scale system.
+
+    Set ``REPRO_FROM_ARTIFACT=<dir>`` to warm-start the session from a
+    ``python -m repro build --out`` artifact instead of rebuilding —
+    every bench (including the serving-throughput workload) then runs
+    unchanged against the loaded generation.
+    """
+    config = ESharpConfig.standard(seed=BENCH_SEED)
+    artifact = os.environ.get("REPRO_FROM_ARTIFACT")
+    if artifact:
+        from repro.core.esharp import ESharp
+
+        system = ESharp.from_artifact(artifact, expected_config=config)
+        return ExperimentContext.build(config, system=system)
+    return ExperimentContext.build(config)
 
 
 @pytest.fixture(scope="session")

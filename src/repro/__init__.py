@@ -17,6 +17,7 @@ proprietary (see DESIGN.md for the substitution table):
 * :mod:`repro.crowd` — crowdsourcing-study simulator, §6.2 (S10)
 * :mod:`repro.eval` — experiment harness for every table/figure, §6 (S11)
 * :mod:`repro.serving` — concurrent query-serving tier, §6.3/Table 9 (S12)
+* :mod:`repro.artifact` — versioned on-disk artifacts & warm start (S13)
 
 Quickstart::
 

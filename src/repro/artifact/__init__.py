@@ -1,0 +1,56 @@
+"""Versioned on-disk artifacts: build once, serve anywhere (S13).
+
+The paper's architecture is two-tier: an offline pipeline materialises
+the expertise-domain collection into SQL Server, and an online tier
+answers queries from it "in a few milliseconds".  This package is the
+reproduction's hand-off between the tiers: every offline stage persists
+as a self-describing, checksummed, versioned stage file under one
+manifest, so serving replicas **warm-start from disk** instead of
+rebuilding the world per process — and a checkpointed build resumes
+from its last completed stage.
+
+* :class:`ArtifactBuilder` — incremental write side (per-stage
+  checkpointing for :class:`~repro.core.offline.OfflinePipeline`)
+* :func:`save_artifact` / :func:`load_artifact` — whole-system snapshot
+  round-trip, exact to the byte
+* :class:`ArtifactError` and friends — every failure is typed; nothing
+  is ever unpickled
+
+See ``README.md`` ("Artifacts & warm start") for the CLI surface.
+"""
+
+from repro.artifact.errors import (
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactIncompleteError,
+    ArtifactMismatchError,
+    ArtifactVersionError,
+)
+from repro.artifact.manifest import (
+    Manifest,
+    config_fingerprint,
+    read_manifest,
+)
+from repro.artifact.store import (
+    ArtifactBuilder,
+    LoadedArtifact,
+    RefresherState,
+    load_artifact,
+    save_artifact,
+)
+
+__all__ = [
+    "ArtifactBuilder",
+    "ArtifactCorruptError",
+    "ArtifactError",
+    "ArtifactIncompleteError",
+    "ArtifactMismatchError",
+    "ArtifactVersionError",
+    "LoadedArtifact",
+    "Manifest",
+    "RefresherState",
+    "config_fingerprint",
+    "load_artifact",
+    "read_manifest",
+    "save_artifact",
+]

@@ -1,0 +1,31 @@
+"""Typed failure modes of the versioned artifact layer.
+
+Every load-side failure — missing files, truncation, bit rot, format
+drift, config drift — surfaces as an :class:`ArtifactError` subclass.
+The loader never unpickles, never ``eval``s, and never returns a
+half-decoded object: a corrupted artifact is rejected *before* any stage
+payload is parsed (checksums are verified against the manifest first),
+so callers can catch one exception type and fall back to a cold build.
+"""
+
+from __future__ import annotations
+
+
+class ArtifactError(RuntimeError):
+    """Base class for every artifact save/load failure."""
+
+
+class ArtifactCorruptError(ArtifactError):
+    """A stage file is missing, truncated, or fails its checksum/parse."""
+
+
+class ArtifactVersionError(ArtifactError):
+    """The artifact speaks a format version this code does not."""
+
+
+class ArtifactMismatchError(ArtifactError):
+    """The artifact was built from a different config/seed fingerprint."""
+
+
+class ArtifactIncompleteError(ArtifactError):
+    """The build that wrote this artifact never finished (no final manifest)."""

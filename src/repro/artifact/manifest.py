@@ -1,0 +1,229 @@
+"""The artifact manifest: the self-describing root of a snapshot directory.
+
+One ``manifest.json`` names every stage file with its codec kind, codec
+format version, byte length and SHA-256 — plus the config that built the
+artifact (fully serialised, so a loader needs no out-of-band knowledge),
+the config/seed fingerprint that guards against mixing artifacts across
+configurations, and the serving ``snapshot_version`` the artifact was
+published at (stamped back onto the snapshot at load so result-cache
+keys stay correct across replicas loading the same artifact).
+
+The manifest is rewritten after every completed build stage with
+``complete: false``; only :meth:`Manifest finalisation <repro.artifact.store.ArtifactBuilder.finalize>`
+flips the flag, so a crashed build can be resumed but never *loaded*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import typing
+from dataclasses import dataclass, field
+
+from repro.artifact.errors import (
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactVersionError,
+)
+
+#: bump when the manifest layout itself changes incompatibly
+MANIFEST_FORMAT_VERSION = 1
+
+MANIFEST_FILENAME = "manifest.json"
+
+
+# -- config serialisation ----------------------------------------------------
+#
+# Every e# config is a (possibly nested) frozen dataclass of scalars,
+# tuples and plain dicts, so a generic walk covers all of them — no
+# per-config codec to keep in sync.
+
+
+def config_fingerprint(config) -> str:
+    """Stable digest of a config tree (nested dataclass ``repr`` is
+    deterministic for scalar/tuple/dict fields)."""
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()
+
+
+def config_to_jsonable(config):
+    """Recursively convert a config dataclass into JSON-safe values."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return {
+            f.name: config_to_jsonable(getattr(config, f.name))
+            for f in dataclasses.fields(config)
+        }
+    if isinstance(config, tuple):
+        return [config_to_jsonable(item) for item in config]
+    if isinstance(config, dict):
+        return {key: config_to_jsonable(value) for key, value in config.items()}
+    return config
+
+
+def config_from_jsonable(cls, data):
+    """Rebuild a config dataclass tree from :func:`config_to_jsonable` output."""
+    hints = typing.get_type_hints(cls)
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        if f.name not in data:
+            continue  # let the dataclass default stand
+        value = data[f.name]
+        hint = hints.get(f.name)
+        origin = typing.get_origin(hint)
+        if dataclasses.is_dataclass(hint) and isinstance(value, dict):
+            value = config_from_jsonable(hint, value)
+        elif origin is tuple or (hint is tuple and isinstance(value, list)):
+            value = tuple(value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
+
+
+# -- manifest records --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """One stage payload file, pinned by codec kind/version and checksum."""
+
+    filename: str
+    kind: str
+    codec_version: int
+    sha256: str
+    size_bytes: int
+
+    def to_jsonable(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "FileEntry":
+        try:
+            return cls(
+                filename=str(data["filename"]),
+                kind=str(data["kind"]),
+                codec_version=int(data["codec_version"]),
+                sha256=str(data["sha256"]),
+                size_bytes=int(data["size_bytes"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactCorruptError(
+                f"malformed file entry in manifest: {data!r}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class StageEntry:
+    """One completed pipeline stage: its files plus its clock report."""
+
+    files: dict[str, FileEntry]
+    #: the stage's Table 9 accounting (None for unclocked stages); replayed
+    #: into the loader's StageClock so a warm start keeps the build's costs
+    report: dict | None = None
+
+    def to_jsonable(self) -> dict:
+        return {
+            "files": {
+                name: entry.to_jsonable() for name, entry in self.files.items()
+            },
+            "report": self.report,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "StageEntry":
+        if not isinstance(data, dict) or not isinstance(
+            data.get("files"), dict
+        ):
+            raise ArtifactCorruptError(
+                f"malformed stage entry in manifest: {data!r}"
+            )
+        return cls(
+            files={
+                str(name): FileEntry.from_jsonable(entry)
+                for name, entry in data["files"].items()
+            },
+            report=data.get("report"),
+        )
+
+
+@dataclass
+class Manifest:
+    """Everything needed to validate and decode an artifact directory."""
+
+    format_version: int
+    config_fingerprint: str
+    seed: int
+    snapshot_version: int
+    complete: bool
+    config: dict
+    stages: dict[str, StageEntry] = field(default_factory=dict)
+
+    def to_jsonable(self) -> dict:
+        return {
+            "format": "repro-artifact",
+            "format_version": self.format_version,
+            "config_fingerprint": self.config_fingerprint,
+            "seed": self.seed,
+            "snapshot_version": self.snapshot_version,
+            "complete": self.complete,
+            "config": self.config,
+            "stages": {
+                name: entry.to_jsonable()
+                for name, entry in self.stages.items()
+            },
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "Manifest":
+        if not isinstance(data, dict) or data.get("format") != "repro-artifact":
+            raise ArtifactCorruptError(
+                "not a repro artifact manifest (missing format marker)"
+            )
+        version = data.get("format_version")
+        if version != MANIFEST_FORMAT_VERSION:
+            raise ArtifactVersionError(
+                f"manifest format version {version!r} is not supported "
+                f"(this build reads version {MANIFEST_FORMAT_VERSION})"
+            )
+        try:
+            return cls(
+                format_version=int(version),
+                config_fingerprint=str(data["config_fingerprint"]),
+                seed=int(data["seed"]),
+                snapshot_version=int(data["snapshot_version"]),
+                complete=bool(data["complete"]),
+                config=dict(data["config"]),
+                stages={
+                    str(name): StageEntry.from_jsonable(entry)
+                    for name, entry in dict(data.get("stages", {})).items()
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactCorruptError(f"malformed manifest: {exc}") from exc
+
+
+def write_manifest(root: pathlib.Path, manifest: Manifest) -> None:
+    """Atomically (write + rename) persist the manifest."""
+    payload = json.dumps(manifest.to_jsonable(), indent=2, sort_keys=True)
+    target = root / MANIFEST_FILENAME
+    scratch = root / (MANIFEST_FILENAME + ".tmp")
+    scratch.write_text(payload + "\n", encoding="utf-8")
+    os.replace(scratch, target)
+
+
+def read_manifest(root: pathlib.Path) -> Manifest:
+    """Load and validate ``manifest.json``; typed errors, never None."""
+    source = pathlib.Path(root) / MANIFEST_FILENAME
+    try:
+        text = source.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise ArtifactError(
+            f"{root} is not an artifact directory (no {MANIFEST_FILENAME})"
+        ) from None
+    except OSError as exc:
+        raise ArtifactCorruptError(f"cannot read {source}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ArtifactCorruptError(f"{source} is not valid JSON: {exc}") from exc
+    return Manifest.from_jsonable(data)

@@ -1,0 +1,438 @@
+"""Artifact directories: staged checkpoint writing and warm-start loading.
+
+An artifact directory is one serving generation on disk::
+
+    out/
+      manifest.json            # root of trust: codecs, checksums, config
+      stage-store.jsonl        # aggregated query log
+      stage-weighted_graph.jsonl
+      stage-multigraph.jsonl
+      stage-partition.jsonl
+      stage-clustering_history.jsonl
+      stage-domain_store.jsonl
+      stage-corpus.jsonl       # microblog users + tweets, ingestion order
+      stage-refresher_*.jsonl  # optional: resumable incremental-join state
+
+:class:`ArtifactBuilder` is the write side, designed for *checkpointed*
+builds: :class:`~repro.core.offline.OfflinePipeline` hands it each
+stage's outputs as the stage completes, the manifest is rewritten after
+every stage (``complete: false``), and a re-run build resumes from the
+longest valid prefix instead of recomputing the world.  Only
+:meth:`ArtifactBuilder.finalize` marks the artifact loadable.
+
+:func:`load_artifact` is the read side: verify the manifest, check the
+config fingerprint, verify every stage checksum, decode — and hand back
+the same :class:`~repro.core.offline.OfflineArtifacts` a fresh build
+would have produced, byte-identically, plus the corpus platform and any
+persisted incremental-refresh state.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+from repro.artifact.codecs import (
+    CODECS,
+    read_stage_records,
+    write_stage_file,
+)
+from repro.artifact.errors import (
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactIncompleteError,
+    ArtifactMismatchError,
+)
+from repro.artifact.manifest import (
+    MANIFEST_FORMAT_VERSION,
+    FileEntry,
+    Manifest,
+    StageEntry,
+    config_fingerprint,
+    config_from_jsonable,
+    config_to_jsonable,
+    read_manifest,
+    write_manifest,
+)
+from repro.core.config import ESharpConfig
+from repro.core.offline import OFFLINE_STAGES, OfflineArtifacts
+from repro.microblog.platform import MicroblogPlatform
+from repro.querylog.store import QueryLogStore
+from repro.utils.timing import StageClock, StageReport
+from repro.worldmodel.builder import build_world
+
+
+def _report_to_jsonable(report: StageReport | None) -> dict | None:
+    if report is None:
+        return None
+    return {
+        "name": report.name,
+        "workers": report.workers,
+        "seconds": report.seconds,
+        "bytes_read": report.bytes_read,
+        "bytes_written": report.bytes_written,
+    }
+
+
+def _report_from_jsonable(data: dict | None) -> StageReport | None:
+    if data is None:
+        return None
+    try:
+        return StageReport(
+            name=str(data["name"]),
+            workers=int(data["workers"]),
+            seconds=float(data["seconds"]),
+            bytes_read=int(data["bytes_read"]),
+            bytes_written=int(data["bytes_written"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactCorruptError(
+            f"malformed stage report in manifest: {data!r}"
+        ) from exc
+
+
+class ArtifactBuilder:
+    """Incremental, resumable writer for one artifact directory.
+
+    Opening a directory that already holds (partial) stages for the
+    *same* config fingerprint resumes it; a fingerprint mismatch raises
+    :class:`ArtifactMismatchError` rather than silently clobbering
+    someone else's artifact — delete the directory or pick another.
+    """
+
+    def __init__(self, root, config: ESharpConfig) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.config = config
+        self.fingerprint = config_fingerprint(config)
+        try:
+            existing = read_manifest(self.root)
+        except ArtifactError:
+            existing = None
+        if existing is not None:
+            if existing.config_fingerprint != self.fingerprint:
+                raise ArtifactMismatchError(
+                    f"{self.root} holds an artifact built from a different "
+                    "config/seed; delete it or choose another directory"
+                )
+            self.manifest = existing
+            # reopened for writing: not loadable until finalised again
+            self.manifest.complete = False
+        else:
+            self.manifest = Manifest(
+                format_version=MANIFEST_FORMAT_VERSION,
+                config_fingerprint=self.fingerprint,
+                seed=config.seed,
+                snapshot_version=0,
+                complete=False,
+                config=config_to_jsonable(config),
+                stages={},
+            )
+        write_manifest(self.root, self.manifest)
+
+    # -- checkpoint protocol (consumed by OfflinePipeline.run) -------------
+
+    def has_stage(self, name: str, outputs: tuple[str, ...]) -> bool:
+        entry = self.manifest.stages.get(name)
+        return entry is not None and all(
+            output in entry.files for output in outputs
+        )
+
+    def load_stage(
+        self, name: str, outputs: tuple[str, ...]
+    ) -> tuple[dict[str, object], StageReport | None]:
+        """Decode one checkpointed stage; raises :class:`ArtifactError`."""
+        entry = self.manifest.stages.get(name)
+        if entry is None:
+            raise ArtifactCorruptError(f"stage {name!r} is not checkpointed")
+        values: dict[str, object] = {}
+        for output in outputs:
+            file_entry = entry.files.get(output)
+            if file_entry is None:
+                raise ArtifactCorruptError(
+                    f"stage {name!r} is missing output {output!r}"
+                )
+            values[output] = _decode_file(self.root, output, file_entry)
+        return values, _report_from_jsonable(entry.report)
+
+    def save_stage(
+        self,
+        name: str,
+        values: dict[str, object],
+        report: StageReport | None = None,
+    ) -> None:
+        """Persist one stage's outputs and re-write the manifest."""
+        files: dict[str, FileEntry] = {}
+        for output, value in values.items():
+            kind, version, encode, _decode = CODECS[output]
+            filename = f"stage-{output}.jsonl"
+            sha256, size = write_stage_file(
+                self.root / filename, kind, version, encode(value)
+            )
+            files[output] = FileEntry(
+                filename=filename,
+                kind=kind,
+                codec_version=version,
+                sha256=sha256,
+                size_bytes=size,
+            )
+        self.manifest.stages[name] = StageEntry(
+            files=files, report=_report_to_jsonable(report)
+        )
+        write_manifest(self.root, self.manifest)
+
+    def drop_stage(self, name: str) -> None:
+        """Remove a stage and its files from a reused directory.
+
+        Writers that re-save into an existing artifact directory must
+        drop the optional stages they are *not* re-saving ('refresher',
+        'engine'): the builder keeps existing stage entries for resume,
+        so a stale entry from an earlier save would otherwise be
+        finalised into the new manifest and silently resurrected at
+        load — e.g. an outdated refresher join state from a different
+        generation than the published artifacts.
+        """
+        entry = self.manifest.stages.pop(name, None)
+        if entry is None:
+            return
+        for file_entry in entry.files.values():
+            (self.root / file_entry.filename).unlink(missing_ok=True)
+        write_manifest(self.root, self.manifest)
+
+    # -- corpus + refresher (the ESharp-level stages) -----------------------
+
+    def load_corpus(self) -> MicroblogPlatform | None:
+        """The checkpointed corpus, or ``None`` when absent/invalid."""
+        if not self.has_stage("corpus", ("corpus",)):
+            return None
+        try:
+            values, _report = self.load_stage("corpus", ("corpus",))
+        except ArtifactError:
+            return None
+        platform = values["corpus"]
+        assert isinstance(platform, MicroblogPlatform)
+        return platform
+
+    def save_corpus(self, platform: MicroblogPlatform) -> None:
+        self.save_stage("corpus", {"corpus": platform})
+
+    def load_engine(self) -> tuple[dict, int] | None:
+        """The checkpointed packed detection index, or ``None``."""
+        if not self.has_stage("engine", ("engine_index",)):
+            return None
+        try:
+            values, _report = self.load_stage("engine", ("engine_index",))
+        except ArtifactError:
+            return None
+        return values["engine_index"]
+
+    def save_engine(self, packed: tuple[dict, int]) -> None:
+        self.save_stage("engine", {"engine_index": packed})
+
+    def save_refresher(
+        self, store: QueryLogStore, edges: dict[tuple[str, str], float]
+    ) -> None:
+        """Persist the incremental refresher's maintained join state."""
+        self.save_stage(
+            "refresher",
+            {"refresher_store": store, "refresher_edges": edges},
+        )
+
+    def finalize(self, snapshot_version: int) -> Manifest:
+        """Stamp the serving version and mark the artifact loadable."""
+        if snapshot_version < 1:
+            raise ValueError(
+                f"snapshot_version must be >= 1, got {snapshot_version}"
+            )
+        self.manifest.snapshot_version = snapshot_version
+        self.manifest.complete = True
+        write_manifest(self.root, self.manifest)
+        return self.manifest
+
+
+def _decode_file(root: pathlib.Path, output: str, entry: FileEntry):
+    kind, version, _encode, decode = CODECS[output]
+    if entry.kind != kind:
+        raise ArtifactCorruptError(
+            f"manifest says {output!r} is a {entry.kind!r} stage, "
+            f"codec expects {kind!r}"
+        )
+    records = read_stage_records(
+        root / entry.filename,
+        kind=kind,
+        version=version,
+        sha256=entry.sha256,
+        size_bytes=entry.size_bytes,
+    )
+    return decode(records)
+
+
+# -- the read side -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RefresherState:
+    """Persisted :class:`~repro.core.incremental.DeltaRefresh` join state."""
+
+    store: QueryLogStore
+    edges: dict[tuple[str, str], float]
+
+
+@dataclass(frozen=True)
+class LoadedArtifact:
+    """Everything a process needs to serve without rebuilding."""
+
+    config: ESharpConfig
+    manifest: Manifest
+    offline: OfflineArtifacts
+    platform: MicroblogPlatform
+    refresher: RefresherState | None
+    #: packed detection index ``(token → TokenCandidates, built_at)``;
+    #: None for artifacts saved without one (the loader rebuilds it)
+    engine: tuple[dict, int] | None = None
+
+
+def save_artifact(
+    root,
+    *,
+    config: ESharpConfig,
+    offline: OfflineArtifacts,
+    platform: MicroblogPlatform,
+    snapshot_version: int,
+    refresher: RefresherState | None = None,
+    engine: tuple[dict, int] | None = None,
+) -> Manifest:
+    """Write a complete artifact for an already-built system in one call."""
+    builder = ArtifactBuilder(root, config)
+    reports = {report.name: report for report in offline.clock.reports}
+    builder.save_stage("log", {"store": offline.store})
+    builder.save_stage(
+        "extract",
+        {
+            "weighted_graph": offline.weighted_graph,
+            "multigraph": offline.multigraph,
+        },
+        reports.get("Extraction"),
+    )
+    builder.save_stage(
+        "cluster",
+        {
+            "partition": offline.partition,
+            "clustering_history": offline.clustering_history,
+        },
+        reports.get("Clustering"),
+    )
+    builder.save_stage("domains", {"domain_store": offline.domain_store})
+    builder.save_corpus(platform)
+    if engine is not None:
+        builder.save_engine(engine)
+    else:
+        builder.drop_stage("engine")
+    if refresher is not None:
+        builder.save_refresher(refresher.store, refresher.edges)
+    else:
+        builder.drop_stage("refresher")
+    return builder.finalize(snapshot_version)
+
+
+def load_artifact(root, expected_config: ESharpConfig | None = None) -> LoadedArtifact:
+    """Load a complete artifact directory, verifying everything.
+
+    Raises :class:`ArtifactError` subclasses on any problem: missing or
+    unfinished manifest, unsupported format versions, checksum failures,
+    malformed stages, or (when ``expected_config`` is given) an artifact
+    built from a different configuration.
+    """
+    root = pathlib.Path(root)
+    manifest = read_manifest(root)
+    if not manifest.complete:
+        raise ArtifactIncompleteError(
+            f"{root} holds an unfinished build; re-run "
+            "`python -m repro build --out` to complete it"
+        )
+    config = config_from_jsonable(ESharpConfig, manifest.config)
+    if config_fingerprint(config) != manifest.config_fingerprint:
+        raise ArtifactCorruptError(
+            f"{root}: embedded config does not match its own fingerprint"
+        )
+    if expected_config is not None and (
+        config_fingerprint(expected_config) != manifest.config_fingerprint
+    ):
+        raise ArtifactMismatchError(
+            f"{root} was built from a different config/seed than requested"
+        )
+
+    values: dict[str, object] = {}
+    clock = StageClock()
+    for spec in OFFLINE_STAGES:
+        if not spec.checkpointable:
+            continue
+        entry = manifest.stages.get(spec.name)
+        if entry is None:
+            raise ArtifactCorruptError(
+                f"{root} is marked complete but stage {spec.name!r} is missing"
+            )
+        for output in spec.outputs:
+            file_entry = entry.files.get(output)
+            if file_entry is None:
+                raise ArtifactCorruptError(
+                    f"{root}: stage {spec.name!r} lacks output {output!r}"
+                )
+            values[output] = _decode_file(root, output, file_entry)
+        report = _report_from_jsonable(entry.report)
+        if report is not None:
+            # replay the build's Table 9 accounting: a warm start did not
+            # re-pay extraction/clustering, but the artifact remembers them
+            clock.record(report)
+
+    corpus_entry = manifest.stages.get("corpus")
+    if corpus_entry is None or "corpus" not in corpus_entry.files:
+        raise ArtifactCorruptError(f"{root}: corpus stage is missing")
+    platform = _decode_file(root, "corpus", corpus_entry.files["corpus"])
+
+    engine = None
+    engine_entry = manifest.stages.get("engine")
+    if engine_entry is not None and "engine_index" in engine_entry.files:
+        engine = _decode_file(
+            root, "engine_index", engine_entry.files["engine_index"]
+        )
+
+    refresher = None
+    refresher_entry = manifest.stages.get("refresher")
+    if refresher_entry is not None:
+        try:
+            store = _decode_file(
+                root,
+                "refresher_store",
+                refresher_entry.files["refresher_store"],
+            )
+            edges = _decode_file(
+                root,
+                "refresher_edges",
+                refresher_entry.files["refresher_edges"],
+            )
+        except KeyError as exc:
+            raise ArtifactCorruptError(
+                f"{root}: refresher stage is missing output {exc}"
+            ) from None
+        refresher = RefresherState(store=store, edges=edges)
+
+    world = build_world(config.world)
+    offline = OfflineArtifacts(
+        world=world,
+        store=values["store"],
+        weighted_graph=values["weighted_graph"],
+        multigraph=values["multigraph"],
+        partition=values["partition"],
+        domain_store=values["domain_store"],
+        clustering_history=values["clustering_history"],
+        clock=clock,
+    )
+    return LoadedArtifact(
+        config=config,
+        manifest=manifest,
+        offline=offline,
+        platform=platform,
+        refresher=refresher,
+        engine=engine,
+    )

@@ -2,23 +2,42 @@
 
 ::
 
-    python -m repro build      [--scale small|standard] [--seed N] [--save-domains PATH]
-    python -m repro query Q    [--scale ...] [--seed N] [--baseline] [--min-zscore X]
-    python -m repro serve      [--queries N] [--concurrency K] [--scale ...] [--json PATH]
+    python -m repro build      [--scale small|standard] [--seed N]
+                               [--out DIR] [--save-domains PATH] [--json PATH]
+    python -m repro query Q    [--scale ...] [--seed N] [--from-artifact DIR]
+                               [--baseline] [--min-zscore X] [--json PATH]
+    python -m repro serve      [--queries N] [--concurrency K] [--scale ...]
+                               [--from-artifact DIR] [--json PATH]
     python -m repro experiment {fig5,fig6,fig7,table8,fig8,fig9,table9} [--scale ...]
     python -m repro sql "SELECT ..." --table name=path.tsv [--table ...]
 
-``build``/``query`` construct the full system from scratch (the small
-scale takes ~15 s); ``serve`` replays a Zipf query workload through the
-concurrent serving engine and reports throughput + tail latencies;
-``experiment`` runs one §6 driver and prints the rendered artifact;
-``sql`` executes ad-hoc statements on TSV tables with the bundled
-engine.
+The build/serve split of the paper's two-tier architecture:
+
+* ``build --out DIR`` runs the offline pipeline and persists **every
+  stage** as a versioned, checksummed artifact (manifest + stage files;
+  see :mod:`repro.artifact`).  A re-run with the same config resumes
+  from the last completed stage instead of recomputing the world.
+* ``query``/``serve --from-artifact DIR`` **warm-start** from that
+  directory in milliseconds-to-seconds instead of rebuilding from
+  scratch; answers are byte-identical to an in-process build, and the
+  serving snapshot version is stamped from the manifest so result-cache
+  keys agree across replicas loading the same artifact.
+* Without ``--from-artifact``, ``query``/``serve`` still construct the
+  full system from scratch; ``--save-domains`` keeps writing the legacy
+  domain-collection TSV (which :meth:`DomainStore.load` validates and
+  canonicalises on the way back in).
+
+``--json PATH`` on ``build``/``query``/``serve`` additionally writes a
+machine-readable report, so scripts parse stable JSON instead of the
+human renderings.  ``experiment`` runs one §6 driver and prints the
+rendered artifact; ``sql`` executes ad-hoc statements on TSV tables
+with the bundled engine.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -36,12 +55,32 @@ def _config(scale: str, seed: int) -> ESharpConfig:
 
 
 def _build_system(args: argparse.Namespace) -> ESharp:
+    if getattr(args, "from_artifact", None):
+        print(f"warm-starting from artifact {args.from_artifact}...",
+              file=sys.stderr)
+        return ESharp.from_artifact(args.from_artifact)
     print(f"building e# ({args.scale}, seed={args.seed})...", file=sys.stderr)
     return ESharp(_config(args.scale, args.seed)).build()
 
 
+def _write_json(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"json report written to {path}")
+
+
+def _source_of(args: argparse.Namespace) -> dict:
+    if getattr(args, "from_artifact", None):
+        return {"artifact": args.from_artifact}
+    return {"scale": args.scale, "seed": args.seed}
+
+
 def cmd_build(args: argparse.Namespace) -> int:
-    system = _build_system(args)
+    print(f"building e# ({args.scale}, seed={args.seed})...", file=sys.stderr)
+    system = ESharp(_config(args.scale, args.seed)).build(
+        artifact_dir=args.out
+    )
     offline = system.offline
     print(f"world:    {len(offline.world.topics)} topics, "
           f"{len(offline.world.vocabulary())} keywords")
@@ -57,11 +96,65 @@ def cmd_build(args: argparse.Namespace) -> int:
         name, workers, runtime, read, write = report.as_row()
         print(f"stage:    {name:<11} workers={workers:<3} time={runtime:<9} "
               f"read={read:<8} write={write}")
+    if args.out:
+        print(f"artifact written to {args.out} "
+              f"(snapshot version {system.snapshots.version})")
     if args.save_domains:
         written = offline.domain_store.save(args.save_domains)
         print(f"domains written to {args.save_domains} "
               f"({format_bytes(written)})")
+    if args.json:
+        _write_json(args.json, {
+            "command": "build",
+            "scale": args.scale,
+            "seed": args.seed,
+            "snapshot_version": system.snapshots.version,
+            "artifact": args.out,
+            "world": {
+                "topics": len(offline.world.topics),
+                "keywords": len(offline.world.vocabulary()),
+            },
+            "log": {
+                "impressions": offline.store.impressions,
+                "raw_bytes": offline.store.raw_bytes,
+            },
+            "graph": {
+                "vertices": offline.multigraph.vertex_count,
+                "distinct_edges": offline.multigraph.distinct_edge_count,
+                "total_edges": offline.multigraph.total_edges,
+            },
+            "domains": {
+                "count": offline.domain_store.domain_count,
+                "keywords": offline.domain_store.keyword_count,
+                "bytes": offline.domain_store.storage_bytes(),
+            },
+            "corpus": {
+                "tweets": system.platform.tweet_count,
+                "users": system.platform.user_count,
+            },
+            "stages": [
+                {
+                    "name": report.name,
+                    "workers": report.workers,
+                    "seconds": report.seconds,
+                    "bytes_read": report.bytes_read,
+                    "bytes_written": report.bytes_written,
+                }
+                for report in offline.clock.reports
+            ],
+        })
     return 0
+
+
+def _expert_payload(expert) -> dict:
+    return {
+        "user_id": expert.user_id,
+        "screen_name": expert.screen_name,
+        "description": expert.description,
+        "verified": expert.verified,
+        "followers": expert.followers,
+        "score": expert.score,
+    }
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -82,6 +175,17 @@ def cmd_query(args: argparse.Namespace) -> int:
         print(f"  {expert}")
     if not experts:
         print("  (none above the threshold)")
+    if args.json:
+        _write_json(args.json, {
+            "command": "query",
+            "query": query,
+            "mode": "baseline" if args.baseline else "esharp",
+            "min_zscore": args.min_zscore,
+            "snapshot_version": system.snapshots.version,
+            "source": _source_of(args),
+            "terms": terms,
+            "experts": [_expert_payload(expert) for expert in experts],
+        })
     return 0
 
 
@@ -133,6 +237,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     system = _build_system(args)
     return run_serve_command(system, args)
+
+
+def _main_with_artifact_errors(handler, args: argparse.Namespace) -> int:
+    """Run a handler, rendering artifact failures as clean CLI errors."""
+    from repro.artifact import ArtifactError
+
+    try:
+        return handler(args)
+    except ArtifactError as exc:
+        print(f"artifact error: {exc}", file=sys.stderr)
+        return 2
 
 
 _EXPERIMENTS = ("fig5", "fig6", "fig7", "table8", "fig8", "fig9", "table9")
@@ -236,22 +351,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_build = sub.add_parser("build", help="run the full pipeline, print stats")
     add_scale(p_build)
+    p_build.add_argument("--out", metavar="DIR",
+                         help="persist every stage as a versioned artifact "
+                              "(re-running resumes from the last completed "
+                              "stage)")
     p_build.add_argument("--save-domains", metavar="PATH",
                          help="write the domain collection as TSV")
+    p_build.add_argument("--json", metavar="PATH",
+                         help="also write the build report as JSON")
     p_build.set_defaults(handler=cmd_build)
 
     p_query = sub.add_parser("query", help="find experts for a query")
     add_scale(p_query)
     p_query.add_argument("query", nargs="+", help="the query keywords")
+    p_query.add_argument("--from-artifact", metavar="DIR",
+                         help="warm-start from a build --out artifact "
+                              "instead of rebuilding (ignores --scale/--seed)")
     p_query.add_argument("--baseline", action="store_true",
                          help="run Pal & Counts without expansion")
     p_query.add_argument("--min-zscore", type=float, default=None)
+    p_query.add_argument("--json", metavar="PATH",
+                         help="also write the answer as JSON")
     p_query.set_defaults(handler=cmd_query)
 
     p_serve = sub.add_parser(
         "serve", help="replay a query workload through the serving engine"
     )
     add_scale(p_serve)
+    p_serve.add_argument("--from-artifact", metavar="DIR",
+                         help="warm-start from a build --out artifact "
+                              "instead of rebuilding (ignores --scale/--seed)")
     p_serve.add_argument("--queries", type=int, default=200,
                          help="requests to replay (default 200)")
     p_serve.add_argument("--concurrency", type=int, default=8,
@@ -286,7 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    return _main_with_artifact_errors(args.handler, args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -59,26 +59,155 @@ class ESharp:
 
     # -- lifecycle --------------------------------------------------------------
 
-    def build(self) -> "ESharp":
-        """Run the offline stage and materialise the microblog corpus."""
+    def build(self, artifact_dir=None) -> "ESharp":
+        """Run the offline stage and materialise the microblog corpus.
+
+        ``artifact_dir`` checkpoints the build: every completed stage is
+        persisted there as a versioned artifact, a re-run resumes from
+        the last completed stage, and the finished directory is loadable
+        with :meth:`from_artifact` (warm start — no rebuild).
+        """
+        builder = None
         with self._swap_lock:
-            offline = OfflinePipeline(self.config).run()
-            platform = generate_platform(offline.world, self.config.microblog)
+            if artifact_dir is None:
+                offline = OfflinePipeline(self.config).run()
+                platform = generate_platform(
+                    offline.world, self.config.microblog
+                )
+            else:
+                from repro.artifact import ArtifactBuilder
+
+                builder = ArtifactBuilder(artifact_dir, self.config)
+                offline = OfflinePipeline(self.config).run(checkpoint=builder)
+                platform = builder.load_corpus()
+                if platform is None:
+                    platform = generate_platform(
+                        offline.world, self.config.microblog
+                    )
+                    builder.save_corpus(platform)
             detector = PalCountsDetector(
                 platform,
                 ranking=self.config.ranking,
                 normalization=self.config.normalization,
             )
             # aggregate the columnar candidate index now, as part of the
-            # offline stage, so the first query never pays the build
+            # offline stage, so the first query never pays the build;
+            # a checkpointed index (same platform mutation count) is
+            # restored instead of re-aggregated
             if detector.engine is not None:
-                detector.engine.refresh()
+                restored = False
+                if builder is not None:
+                    packed = builder.load_engine()
+                    if packed is not None:
+                        restored = detector.engine.restore_packed(*packed)
+                if not restored:
+                    detector.engine.refresh()
+                    if builder is not None:
+                        builder.save_engine(detector.engine.export_packed())
             self._platform = platform
             self._detector = detector
             self.snapshots.publish(
                 offline, OnlinePipeline(offline.domain_store, detector)
             )
+            if builder is not None:
+                # a fresh build has no incremental-refresh state: drop any
+                # stale stage a previous save left in the reused directory
+                builder.drop_stage("refresher")
+                if detector.engine is None:
+                    builder.drop_stage("engine")
+                builder.finalize(snapshot_version=self.snapshots.version)
         return self
+
+    @classmethod
+    def from_artifact(
+        cls, path, expected_config: ESharpConfig | None = None
+    ) -> "ESharp":
+        """Warm-start a system from an artifact directory (no rebuild).
+
+        The offline artifacts, microblog corpus and (when present) the
+        incremental refresher's join state are loaded byte-identically
+        to the build that saved them; only the deterministic world model
+        and the detector's derived candidate index are recomputed.  The
+        snapshot is published at the version stamped in the manifest, so
+        every replica loading the same artifact serves — and cache-keys
+        — the same generation.  ``expected_config`` guards against
+        loading an artifact built from a different config/seed
+        (:class:`~repro.artifact.ArtifactMismatchError`).
+        """
+        from repro.artifact import load_artifact
+        from repro.core.incremental import DeltaRefresh
+
+        loaded = load_artifact(path, expected_config)
+        system = cls(loaded.config)
+        with system._swap_lock:
+            detector = PalCountsDetector(
+                loaded.platform,
+                ranking=loaded.config.ranking,
+                normalization=loaded.config.normalization,
+            )
+            if detector.engine is not None:
+                restored = False
+                if loaded.engine is not None:
+                    restored = detector.engine.restore_packed(*loaded.engine)
+                if not restored:
+                    detector.engine.refresh()
+            system._platform = loaded.platform
+            system._detector = detector
+            snapshot = system.snapshots.publish(
+                loaded.offline,
+                OnlinePipeline(loaded.offline.domain_store, detector),
+                version=loaded.manifest.snapshot_version,
+            )
+            if loaded.refresher is not None:
+                system._delta_refresher = DeltaRefresh(
+                    loaded.config,
+                    loaded.offline,
+                    maintained_store=loaded.refresher.store,
+                    maintained_edges=loaded.refresher.edges,
+                )
+                system._delta_refresher_version = snapshot.version
+        return system
+
+    def save_artifact(self, path):
+        """Persist the current serving generation as an artifact directory.
+
+        Includes the incremental refresher's maintained join state when
+        it is synced to the published snapshot, so
+        :meth:`refresh_domains_delta` resumes across processes — the
+        missing half of in-process incremental refresh.  Returns the
+        written :class:`~repro.artifact.Manifest`.
+        """
+        from repro.artifact import RefresherState, save_artifact
+
+        with self._swap_lock:
+            snapshot = self._require_snapshot()
+            if self._platform is None:
+                raise NotBuiltError("platform exists only after build()")
+            refresher = self._delta_refresher
+            state = None
+            if (
+                refresher is not None
+                and self._delta_refresher_version == snapshot.version
+            ):
+                state = RefresherState(
+                    store=refresher.maintained_store,
+                    edges=refresher.maintained_edges,
+                )
+            engine = None
+            detector = self._detector
+            if detector is not None and detector.engine is not None:
+                packed_index, built_at = detector.engine.export_packed()
+                if built_at == self._platform.mutation_count:
+                    engine = (packed_index, built_at)
+            return save_artifact(
+                path,
+                config=self.config,
+                offline=snapshot.offline,
+                platform=self._platform,
+                snapshot_version=snapshot.version,
+                refresher=state,
+                engine=engine,
+            )
 
     @property
     def is_built(self) -> bool:

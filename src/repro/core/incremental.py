@@ -130,6 +130,9 @@ class DeltaRefresh:
         config: ESharpConfig,
         artifacts: OfflineArtifacts,
         delta_config: DeltaRefreshConfig | None = None,
+        *,
+        maintained_store: QueryLogStore | None = None,
+        maintained_edges: dict[tuple[str, str], float] | None = None,
     ) -> None:
         from dataclasses import replace as dc_replace
 
@@ -147,16 +150,37 @@ class DeltaRefresh:
         self._clusterer = IncrementalClusterer(
             clustering, self.delta_config.incremental
         )
-        # private working state, seeded from the artifacts
-        self._store = artifacts.store.copy()
+        # private working state, seeded from the artifacts — or, on a
+        # cross-process resume, from the persisted maintained state (the
+        # maintained log can run ahead of the published artifacts when
+        # serving-invisible deltas were folded in without a publish)
+        self._store = (
+            maintained_store.copy()
+            if maintained_store is not None
+            else artifacts.store.copy()
+        )
+        if maintained_edges is not None:
+            edges = dict(maintained_edges)
+        else:
+            edges = {(u, v): w for u, v, w in artifacts.weighted_graph.edges()}
         self._join = JoinState(
-            build_click_vectors(self._store),
-            {(u, v): w for u, v, w in artifacts.weighted_graph.edges()},
-            config.similarity,
+            build_click_vectors(self._store), edges, config.similarity
         )
         self._graph = artifacts.multigraph
         self._partition = artifacts.partition
         self._domain_store = artifacts.domain_store
+
+    # -- persistence surface (repro.artifact saves/loads this pair) --------
+
+    @property
+    def maintained_store(self) -> QueryLogStore:
+        """The maintained log window (read-only; includes unpublished ingest)."""
+        return self._store
+
+    @property
+    def maintained_edges(self) -> dict[tuple[str, str], float]:
+        """The resumable join's live edge dict (read-only)."""
+        return self._join.edges
 
     # -- the one entry point ----------------------------------------------
 

@@ -187,6 +187,35 @@ class IndexedDetectionEngine:
         self._built_at = platform.mutation_count
         self._builds += 1
 
+    # -- persistence (the artifact warm-start path) ------------------------
+
+    def export_packed(self) -> tuple[dict[str, TokenCandidates], int]:
+        """The packed index plus the mutation count it was built at.
+
+        The artifact layer persists this instead of re-aggregating the
+        corpus on every warm start; the arrays are shared, not copied —
+        treat them as immutable (every reader already does).
+        """
+        with self._lock:
+            return self._index, self._built_at
+
+    def restore_packed(
+        self, index: dict[str, TokenCandidates], built_at_mutation: int
+    ) -> bool:
+        """Install a previously exported index, skipping the rebuild.
+
+        Returns ``False`` (and leaves the engine unbuilt) when the index
+        was built at a different platform mutation count than the one
+        this engine's platform is at — a defensive check; the next
+        :meth:`refresh` then rebuilds from the corpus as usual.
+        """
+        with self._lock:
+            if built_at_mutation != self.platform.mutation_count:
+                return False
+            self._index = index
+            self._built_at = built_at_mutation
+            return True
+
     # -- query -------------------------------------------------------------
 
     def token_candidates(self, token: str) -> TokenCandidates | None:

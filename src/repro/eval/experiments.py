@@ -42,8 +42,12 @@ class ExperimentContext:
         config: ESharpConfig | None = None,
         queryset_config: QuerySetConfig | None = None,
         study_config: StudyConfig | None = None,
+        system: ESharp | None = None,
     ) -> "ExperimentContext":
-        system = ESharp(config or ESharpConfig.standard()).build()
+        """Build the shared context; ``system`` injects an already-built
+        (e.g. artifact-warm-started) system instead of a cold build."""
+        if system is None:
+            system = ESharp(config or ESharpConfig.standard()).build()
         offline = system.offline
         query_sets = build_query_sets(
             offline.world, offline.store, queryset_config

@@ -154,19 +154,44 @@ class DomainStore:
 
     @classmethod
     def load(cls, path) -> "DomainStore":
-        """Load a collection previously written by :meth:`save`."""
+        """Load a collection previously written by :meth:`save`.
+
+        Loaded domains are **validated and canonicalised**: every
+        pipeline-built store names each domain after its smallest member
+        keyword (see :meth:`from_partition`), and :meth:`rebuilt`'s
+        instance-reuse looks domains up by that canonical id — so a
+        hand-edited or legacy TSV whose ids drifted (``c42``-style
+        clustering labels, renamed domains) must not bypass the
+        invariant.  Duplicate keywords within a domain are collapsed; a
+        keyword claimed by two different domains is a hard error (the
+        clustering emits a hard partition, so such a file is corrupt,
+        and silently letting one domain steal the keyword would make
+        load order semantically load-bearing).
+        """
         from repro.relational.io import load_table
 
         table = load_table(path)
         members: dict[str, list[str]] = {}
         for domain_id, keyword in table.rows:
             members.setdefault(domain_id, []).append(keyword)
-        return cls(
-            [
-                ExpertiseDomain(domain_id, tuple(keywords))
-                for domain_id, keywords in sorted(members.items())
-            ]
-        )
+        claimed: dict[str, str] = {}
+        domains: list[ExpertiseDomain] = []
+        for legacy_id, keywords in sorted(members.items()):
+            ordered = tuple(sorted(set(keywords)))
+            for keyword in ordered:
+                key = phrase_key(keyword)
+                other = claimed.setdefault(key, legacy_id)
+                if other != legacy_id:
+                    raise ValueError(
+                        f"keyword {keyword!r} appears in two domains "
+                        f"({other!r} and {legacy_id!r}); a domain "
+                        "collection is a hard partition"
+                    )
+            domains.append(
+                ExpertiseDomain(domain_id=ordered[0], keywords=ordered)
+            )
+        domains.sort(key=lambda domain: domain.domain_id)
+        return cls(domains)
 
     def __repr__(self) -> str:
         return (

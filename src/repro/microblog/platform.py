@@ -25,6 +25,7 @@ staleness with a single integer comparison.
 
 from __future__ import annotations
 
+import threading
 from array import array
 from bisect import bisect_left
 from dataclasses import dataclass
@@ -84,6 +85,27 @@ class ColumnarLedger:
         return sum(len(column) * column.itemsize for column in columns)
 
 
+@dataclass
+class _DeferredTweets:
+    """Columnar tweet payload not yet materialised into Tweet objects.
+
+    An artifact warm start restores the platform's *indexes* (postings,
+    totals, columnar ledgers) directly, but holds the per-tweet record
+    data in this columnar form until something actually asks for a
+    :class:`Tweet` object — the serving hot path (the columnar detection
+    engine) never does, so a loaded replica skips materialising 150k
+    Python objects it may never touch.
+    """
+
+    #: row → tweet text
+    texts: list[str]
+    #: row → raw ``retweet_of`` (NO_AUTHOR when not a retweet); distinct
+    #: from the *resolved* retweet-author column the ledger carries
+    retweet_of: array
+    #: row → ground-truth topic id (NO_AUTHOR when None)
+    topic_ids: array
+
+
 class MicroblogPlatform:
     """Append-only store with query-time matching."""
 
@@ -110,6 +132,165 @@ class MicroblogPlatform:
         #: user id → mentions received before registration
         self._pending_mentions: dict[int, int] = {}
         self._mutations = 0
+        #: columnar tweet payload awaiting hydration (warm start only)
+        self._deferred: _DeferredTweets | None = None
+        #: serialises hydration: the serving tier shards per-term work
+        #: across threads, and two of them may race to the first
+        #: Tweet-object access on a freshly loaded replica
+        self._hydrate_lock = threading.Lock()
+
+    # -- bulk restore (the artifact warm-start path) -----------------------
+
+    @classmethod
+    def restore(
+        cls,
+        *,
+        users: list[UserProfile],
+        totals: list[tuple[int, int, int]],
+        texts: list[str],
+        tweet_ids: array,
+        authors: array,
+        retweet_of: array,
+        retweet_authors: array,
+        topic_ids: array,
+        mention_offsets: array,
+        mention_ids: array,
+        postings: dict[str, array],
+        by_author: dict[int, list[int]],
+        pending_retweets: dict[int, list[int]],
+        pending_mentions: dict[int, int],
+        mutations: int,
+    ) -> "MicroblogPlatform":
+        """Rebuild a platform from its exported state, byte-exactly.
+
+        The inverse of :meth:`export_state`.  Indexes are installed
+        directly (the caller owns the passed containers afterwards —
+        they are *not* copied) and per-tweet records stay columnar until
+        first use; :meth:`_ensure_tweets` hydration produces the same
+        ``_tweets``/``_row_of`` maps an ``add_tweet`` replay would, which
+        the artifact round-trip property tests assert.
+        """
+        if not (
+            len(texts)
+            == len(tweet_ids)
+            == len(authors)
+            == len(retweet_of)
+            == len(retweet_authors)
+            == len(topic_ids)
+            == len(mention_offsets) - 1
+        ):
+            raise ValueError("tweet columns disagree on the row count")
+        if len(users) != len(totals):
+            raise ValueError("user/totals rows disagree on the user count")
+        platform = cls()
+        for user, (tweets, mentions, retweets) in zip(users, totals):
+            if user.user_id in platform._users:
+                raise ValueError(f"duplicate user_id {user.user_id}")
+            platform._users[user.user_id] = user
+            platform._totals[user.user_id] = UserTotals(
+                tweets=tweets,
+                mentions_received=mentions,
+                retweets_received=retweets,
+            )
+            platform._by_screen_name.setdefault(
+                user.screen_name, user.user_id
+            )
+        platform._col_tweet_ids = tweet_ids
+        platform._col_authors = authors
+        platform._col_retweet_authors = retweet_authors
+        platform._mention_offsets = mention_offsets
+        platform._mention_ids = mention_ids
+        platform._postings = postings
+        platform._by_author = by_author
+        platform._pending_retweets = pending_retweets
+        platform._pending_mentions = pending_mentions
+        platform._mutations = mutations
+        platform._deferred = _DeferredTweets(
+            texts=texts, retweet_of=retweet_of, topic_ids=topic_ids
+        )
+        return platform
+
+    def export_state(self) -> dict:
+        """The platform's complete state as plain containers.
+
+        The artifact codec serialises exactly this dict; a deferred
+        (never-hydrated) platform exports straight from its columnar
+        payload, so a load → save round-trip never materialises tweets.
+        """
+        deferred = self._deferred
+        if deferred is not None:
+            texts = deferred.texts
+            retweet_of = deferred.retweet_of
+            topic_ids = deferred.topic_ids
+        else:
+            texts = []
+            retweet_of = array("q")
+            topic_ids = array("q")
+            for tweet_id in self._col_tweet_ids:
+                tweet = self._tweets[tweet_id]
+                texts.append(tweet.text)
+                retweet_of.append(
+                    NO_AUTHOR if tweet.retweet_of is None else tweet.retweet_of
+                )
+                topic_ids.append(
+                    NO_AUTHOR if tweet.topic_id is None else tweet.topic_id
+                )
+        return {
+            "users": list(self._users.values()),
+            "totals": [
+                (t.tweets, t.mentions_received, t.retweets_received)
+                for t in self._totals.values()
+            ],
+            "texts": texts,
+            "tweet_ids": self._col_tweet_ids,
+            "authors": self._col_authors,
+            "retweet_of": retweet_of,
+            "retweet_authors": self._col_retweet_authors,
+            "topic_ids": topic_ids,
+            "mention_offsets": self._mention_offsets,
+            "mention_ids": self._mention_ids,
+            "postings": self._postings,
+            "by_author": self._by_author,
+            "pending_retweets": self._pending_retweets,
+            "pending_mentions": self._pending_mentions,
+            "mutations": self._mutations,
+        }
+
+    def _ensure_tweets(self) -> None:
+        """Hydrate Tweet objects from the deferred columnar payload.
+
+        Thread-safe: hydration serialises on a lock and ``_deferred`` is
+        cleared only *after* the maps are fully populated, so the
+        lock-free fast path (the common case) can never observe a
+        half-hydrated platform.
+        """
+        if self._deferred is None:
+            return
+        with self._hydrate_lock:
+            deferred = self._deferred
+            if deferred is None:
+                return  # another thread finished while we waited
+            offsets = self._mention_offsets
+            mention_ids = self._mention_ids
+            tweets = self._tweets
+            row_of = self._row_of
+            for row, tweet_id in enumerate(self._col_tweet_ids):
+                raw_retweet = deferred.retweet_of[row]
+                raw_topic = deferred.topic_ids[row]
+                tweets[tweet_id] = Tweet(
+                    tweet_id=tweet_id,
+                    author_id=self._col_authors[row],
+                    text=deferred.texts[row],
+                    mentions=tuple(
+                        mention_ids[offsets[row] : offsets[row + 1]]
+                    ),
+                    retweet_of=(
+                        None if raw_retweet == NO_AUTHOR else raw_retweet
+                    ),
+                    topic_id=None if raw_topic == NO_AUTHOR else raw_topic,
+                )
+                row_of[tweet_id] = row
+            self._deferred = None
 
     # -- ingestion ---------------------------------------------------------
 
@@ -127,6 +308,7 @@ class MicroblogPlatform:
         self._mutations += 1
 
     def add_tweet(self, tweet: Tweet) -> None:
+        self._ensure_tweets()  # dup check + retweet resolution need objects
         if tweet.tweet_id in self._tweets:
             raise ValueError(f"duplicate tweet_id {tweet.tweet_id}")
         if tweet.author_id not in self._users:
@@ -189,6 +371,7 @@ class MicroblogPlatform:
         return user_id in self._users
 
     def tweet(self, tweet_id: int) -> Tweet:
+        self._ensure_tweets()
         try:
             return self._tweets[tweet_id]
         except KeyError:
@@ -204,6 +387,7 @@ class MicroblogPlatform:
         return iter(self._users.values())
 
     def tweets(self) -> Iterator[Tweet]:
+        self._ensure_tweets()
         return iter(self._tweets.values())
 
     def user_by_screen_name(self, screen_name: str) -> UserProfile:
@@ -218,7 +402,7 @@ class MicroblogPlatform:
 
     @property
     def tweet_count(self) -> int:
-        return len(self._tweets)
+        return len(self._col_tweet_ids)
 
     @property
     def mutation_count(self) -> int:
@@ -284,16 +468,19 @@ class MicroblogPlatform:
         return intersect_sorted(postings)
 
     def matching_tweets(self, query: str) -> list[Tweet]:
+        self._ensure_tweets()
         return [self._tweets[tid] for tid in self.matching_tweet_ids(query)]
 
     def estimated_bytes(self) -> int:
         """Approximate corpus size (text only), for resource reporting."""
+        if self._deferred is not None:
+            return sum(len(text) + 16 for text in self._deferred.texts)
         return sum(len(tweet.text) + 16 for tweet in self._tweets.values())
 
     def __repr__(self) -> str:
         return (
             f"MicroblogPlatform(users={len(self._users)}, "
-            f"tweets={len(self._tweets)})"
+            f"tweets={self.tweet_count})"
         )
 
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.utils.text import tokenize
 
@@ -14,6 +14,13 @@ class Tweet:
     ``topic_id`` is ground truth from the generator (what the author was
     writing about); the detector never sees it — matching is purely
     textual, per §3.
+
+    ``tokens`` is a pure function of ``text`` and is derived **lazily**
+    (cached on first access): the columnar detection engine and the
+    platform's posting lists never touch per-tweet token sets at query
+    time, and deferring the tokenisation is what lets an artifact warm
+    start rehydrate 150k tweets without paying 150k ``frozenset`` builds
+    it may never need.
     """
 
     tweet_id: int
@@ -25,11 +32,15 @@ class Tweet:
     retweet_of: int | None = None
     #: ground-truth topic (None for noise/chatter)
     topic_id: int | None = None
-    tokens: frozenset[str] = field(default=frozenset())
 
-    def __post_init__(self) -> None:
-        if not self.tokens:
-            object.__setattr__(self, "tokens", frozenset(tokenize(self.text)))
+    @property
+    def tokens(self) -> frozenset[str]:
+        """Lower-cased token set of ``text`` (computed once, then cached)."""
+        cached = self.__dict__.get("_tokens")
+        if cached is None:
+            cached = frozenset(tokenize(self.text))
+            object.__setattr__(self, "_tokens", cached)
+        return cached
 
     @property
     def is_retweet(self) -> bool:

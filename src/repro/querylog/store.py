@@ -106,6 +106,55 @@ class QueryLogStore:
                 vectors.setdefault(query, {})[url] = clicks
         return vectors
 
+    # -- persistence hooks (the artifact codec's exact state surface) ------
+
+    def iter_query_counts(self) -> Iterator[tuple[str, int]]:
+        """``(query, impressions)`` pairs in insertion order."""
+        return iter(self._query_counts.items())
+
+    def iter_clicks(self) -> Iterator[tuple[tuple[str, str], int]]:
+        """``((query, url), clicks)`` pairs in insertion order.
+
+        Order matters: per-query URL order feeds the float summation of
+        :class:`~repro.simgraph.vectors.SparseVector` norms, so an exact
+        round-trip must replay pairs in the order this store holds them.
+        """
+        return iter(self._clicks.items())
+
+    @classmethod
+    def restore(
+        cls,
+        *,
+        min_support: int,
+        impressions: int,
+        raw_bytes: int,
+        query_counts: Iterable[tuple[str, int]],
+        clicks: Iterable[tuple[str, str, int]],
+    ) -> "QueryLogStore":
+        """Rebuild a store from persisted aggregates, byte-exactly.
+
+        The inverse of :meth:`iter_query_counts`/:meth:`iter_clicks`:
+        counters are replayed in the given order so the restored store's
+        iteration order — and everything derived from it — matches the
+        original.
+        """
+        if impressions < 0 or raw_bytes < 0:
+            raise ValueError("impressions/raw_bytes must be non-negative")
+        store = cls(min_support=min_support)
+        for query, count in query_counts:
+            if count <= 0:
+                raise ValueError(f"count for {query!r} must be positive")
+            store._query_counts[query] = count
+        for query, url, count in clicks:
+            if count <= 0:
+                raise ValueError(
+                    f"clicks for ({query!r}, {url!r}) must be positive"
+                )
+            store._clicks[(query, url)] = count
+        store._impressions = impressions
+        store._raw_bytes = raw_bytes
+        return store
+
     # -- composition ---------------------------------------------------------
 
     def copy(self) -> "QueryLogStore":

@@ -80,6 +80,7 @@ class SnapshotHolder:
         offline: OfflineArtifacts,
         pipeline: OnlinePipeline,
         expected_version: int | None = None,
+        version: int | None = None,
     ) -> ServiceSnapshot:
         """Atomically install a new generation; returns it.
 
@@ -88,6 +89,15 @@ class SnapshotHolder:
         one (the delta-refresh path): if another writer published in
         between, installing the derived state would silently drop that
         generation's changes, so the publish fails loudly instead.
+
+        ``version`` installs the generation at an explicit version
+        instead of ``current + 1``.  This is the artifact warm-start
+        path: a loaded artifact carries the version it was *saved* at in
+        its manifest, and every replica loading the same artifact must
+        serve (and cache-key) it under that same version — otherwise two
+        replicas could hand out identical answers stamped with different
+        generations.  Versions stay strictly monotonic: publishing at or
+        below the current version raises :class:`StaleSnapshotError`.
         """
         with self._lock:
             if (
@@ -98,8 +108,16 @@ class SnapshotHolder:
                     f"snapshot moved to version {self.version} while a "
                     f"derived generation expected {expected_version}"
                 )
+            if version is None:
+                version = self.version + 1
+            elif version <= self.version:
+                raise StaleSnapshotError(
+                    f"cannot publish version {version}: the holder is "
+                    f"already at version {self.version} (versions are "
+                    "strictly monotonic)"
+                )
             snapshot = ServiceSnapshot(
-                version=self.version + 1,
+                version=version,
                 offline=offline,
                 pipeline=pipeline,
             )

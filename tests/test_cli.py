@@ -114,3 +114,73 @@ class TestEndToEndCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "expansion" in out
+
+
+class TestArtifactCommands:
+    """build --out / query --from-artifact / --json, on the tiniest config."""
+
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory, system):
+        """One artifact saved from the session system (no extra build)."""
+        root = tmp_path_factory.mktemp("cli-artifact") / "art"
+        system.save_artifact(root)
+        return root
+
+    def test_query_from_artifact_matches_in_process(
+        self, artifact, system, tmp_path, capsys
+    ):
+        world = system.offline.world
+        topic = max(
+            (t for t in world.topics if t.microblog_affinity > 0.5),
+            key=lambda t: t.popularity,
+        )
+        report = tmp_path / "answer.json"
+        rc = main(
+            ["query", "--from-artifact", str(artifact),
+             "--json", str(report), *topic.canonical.text.split()]
+        )
+        assert rc == 0
+        assert "expansion" in capsys.readouterr().out
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["source"] == {"artifact": str(artifact)}
+        assert payload["snapshot_version"] == system.snapshots.version
+        query = " ".join(topic.canonical.text.split())
+        expected = [
+            expert.screen_name for expert in system.find_experts(query)
+        ]
+        assert [e["screen_name"] for e in payload["experts"]] == expected
+        scores = {e.screen_name: e.score for e in system.find_experts(query)}
+        for row in payload["experts"]:
+            assert row["score"] == scores[row["screen_name"]]
+
+    def test_build_json_report(self, tmp_path, capsys):
+        report = tmp_path / "build.json"
+        rc = main(
+            ["build", "--scale", "small", "--seed", "1234",
+             "--json", str(report)]
+        )
+        assert rc == 0
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["command"] == "build"
+        assert payload["graph"]["vertices"] > 0
+        assert payload["domains"]["count"] > 10
+        assert {s["name"] for s in payload["stages"]} == {
+            "Extraction", "Clustering",
+        }
+
+    def test_from_artifact_error_is_clean(self, tmp_path, capsys):
+        rc = main(
+            ["query", "--from-artifact", str(tmp_path / "absent"), "x"]
+        )
+        assert rc == 2
+        assert "artifact error" in capsys.readouterr().err
+
+    def test_serve_accepts_from_artifact_flag(self):
+        args = build_parser().parse_args(
+            ["serve", "--from-artifact", "somewhere"]
+        )
+        assert args.from_artifact == "somewhere"

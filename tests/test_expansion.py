@@ -130,3 +130,63 @@ class TestQueryExpander:
     def test_threshold_override(self, expander):
         result = expander.detect("49ers", min_zscore=1e9)
         assert result.experts == []
+
+
+class TestLoadCanonicalisation:
+    """Satellite regression: a hand-edited or legacy TSV with
+    non-canonical domain ids must not bypass the canonical-id invariant
+    that :meth:`DomainStore.rebuilt` instance-reuse depends on."""
+
+    def _legacy_tsv(self, tmp_path, rows):
+        from repro.relational.io import save_table
+        from repro.relational.schema import Schema
+        from repro.relational.table import Table
+
+        path = tmp_path / "legacy.tsv"
+        save_table(Table(Schema.of("domain_id", "keyword"), rows), path)
+        return path
+
+    def test_legacy_ids_are_canonicalised(self, tmp_path):
+        path = self._legacy_tsv(
+            tmp_path,
+            [("c17", "niners"), ("c17", "49ers"), ("c99", "nasdaq")],
+        )
+        loaded = DomainStore.load(path)
+        assert [d.domain_id for d in loaded.domains()] == ["49ers", "nasdaq"]
+        assert loaded.lookup("niners").domain_id == "49ers"
+
+    def test_rebuilt_reuses_canonicalised_domains(self, tmp_path):
+        """The invariant the canonicalisation exists for: after a reload,
+        an unchanged partition reuses the loaded ExpertiseDomain
+        instances instead of rebuilding every domain."""
+        path = self._legacy_tsv(
+            tmp_path,
+            [("legacy-a", "aa"), ("legacy-a", "bb"), ("legacy-b", "cc")],
+        )
+        loaded = DomainStore.load(path)
+        partition = Partition({"aa": "x", "bb": "x", "cc": "y"})
+        rebuilt = DomainStore.rebuilt(partition, loaded)
+        assert rebuilt.lookup("aa") is loaded.lookup("aa")
+        assert rebuilt.lookup("cc") is loaded.lookup("cc")
+
+    def test_duplicate_keyword_within_a_domain_is_collapsed(self, tmp_path):
+        path = self._legacy_tsv(
+            tmp_path, [("d", "aa"), ("d", "aa"), ("d", "bb")]
+        )
+        loaded = DomainStore.load(path)
+        assert loaded.lookup("aa").keywords == ("aa", "bb")
+
+    def test_keyword_in_two_domains_is_rejected(self, tmp_path):
+        path = self._legacy_tsv(
+            tmp_path, [("d1", "aa"), ("d1", "bb"), ("d2", "bb")]
+        )
+        with pytest.raises(ValueError, match="hard partition"):
+            DomainStore.load(path)
+
+    def test_save_load_is_stable_for_canonical_stores(self, tmp_path):
+        store = DomainStore.from_partition(
+            Partition({"aa": "x", "bb": "x", "cc": "y"})
+        )
+        path = tmp_path / "canonical.tsv"
+        store.save(path)
+        assert DomainStore.load(path).domains() == store.domains()

@@ -94,4 +94,8 @@ class TestDomainStorePersistence:
         loaded = DomainStore.load(path)
         assert loaded.domain_count == 2
         assert set(loaded.expand("49ers")) == {"49ers", "niners"}
-        assert loaded.lookup("nasdaq").domain_id == "d2"
+        # legacy ids are canonicalised on load: each domain is renamed to
+        # its smallest member keyword, the id every pipeline-built store
+        # uses (DomainStore.rebuilt reuse depends on it)
+        assert loaded.lookup("nasdaq").domain_id == "nasdaq"
+        assert loaded.lookup("niners").domain_id == "49ers"
