@@ -1,0 +1,348 @@
+"""FLT1 — fleet scatter-gather: exactness and aggregate-QPS scaling.
+
+The paper's production deployment serves its online tier as a fleet; this
+bench measures the reproduction's :class:`~repro.fleet.FleetRouter` on
+the two axes that matter:
+
+**Exactness first.**  A router over N replicas (consistent-hash term
+sharding, so multi-term expansions genuinely scatter) must answer every
+candidate query **byte-identically** to one
+:class:`~repro.serving.service.ExpertService` — same experts, same
+order, same scores, same snapshot version — verified by comparing the
+JSON wire encoding of both answers under ``PYTHONHASHSEED=0``.
+
+**Then capacity scaling.**  Every replica holds the full corpus, so the
+fleet's headline win on a fixed machine is *cache capacity*, not CPU:
+domain-partition sharding routes each query to one owning replica, so N
+replicas partition the working set across N result caches.  The bench
+fixes a per-replica cache smaller than the distinct working set and
+cycles the standard workload through fleets of 1..N replicas: one
+replica thrashes (cyclic LRU over W > C distinct queries hits 0%), while
+the fleet's shards each own a slice that fits, and aggregate QPS jumps.
+The acceptance bar is **>= 2.5x aggregate QPS at 4 replicas vs 1**.  A
+pure-cold scenario (all caches off) is reported alongside with the host
+CPU count stamped, so the CPU-bound floor on this machine is visible
+rather than implied.
+
+Writes ``BENCH_fleet.json`` at the repo root.  CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py --smoke \
+        --output /tmp/BENCH_fleet.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import tempfile
+import time
+
+from repro.core.config import ESharpConfig
+from repro.core.esharp import ESharp
+from repro.fleet import FleetConfig, FleetRouter, InProcessReplica
+from repro.fleet.wire import answer_to_wire
+from repro.serving.loadgen import LoadGenerator, candidate_queries
+from repro.serving.service import ExpertService, ServiceConfig
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+MIN_SPEEDUP_AT_4 = 2.5
+
+
+def answer_bytes(answer) -> str:
+    """Canonical JSON of an answer's *content* (timings stripped)."""
+    wire = answer_to_wire(answer)
+    for volatile in (
+        "expansion_seconds",
+        "detection_seconds",
+        "total_seconds",
+        "cache_hit",
+        "coalesced",
+    ):
+        wire.pop(volatile, None)
+    return json.dumps(wire, sort_keys=True, separators=(",", ":"))
+
+
+def make_fleet(
+    artifact: pathlib.Path,
+    replicas: int,
+    *,
+    sharding: str,
+    cache_capacity: int | None = None,
+    score_memo: bool = True,
+    hedging: bool = True,
+):
+    """N warm-started in-process replicas behind a router."""
+    handles = []
+    for index in range(replicas):
+        system = ESharp.from_artifact(artifact)
+        if not score_memo:
+            system.detector.configure_score_cache(cache_scores=False)
+        service_config = (
+            ServiceConfig(detection_workers=1)
+            if cache_capacity is None
+            else ServiceConfig(
+                detection_workers=1, cache_capacity=cache_capacity
+            )
+        )
+        handles.append(
+            InProcessReplica(f"replica-{index}", system, service_config)
+        )
+    return FleetRouter.from_artifact(
+        artifact,
+        handles,
+        sharding=sharding,
+        config=FleetConfig(hedging=hedging),
+    )
+
+
+def check_equivalence(
+    system: ESharp, artifact: pathlib.Path, fleet_sizes: list[int]
+) -> dict:
+    """Router over N replicas ≡ one service, byte-for-byte, both policies."""
+    queries = candidate_queries(system, 48) + [
+        "no such phrase at all",
+        "treasury yields",
+    ]
+    with ExpertService(system) as single:
+        reference = {q: answer_bytes(single.query(q)) for q in queries}
+    checked = {}
+    for size in fleet_sizes:
+        for policy in ("hash", "domain"):
+            router = make_fleet(artifact, size, sharding=policy)
+            try:
+                scattered = 0
+                for query in queries:
+                    answer = router.query(query)
+                    scattered += answer.mode == "scatter-gather"
+                    got = answer_bytes(answer)
+                    if got != reference[query]:
+                        raise AssertionError(
+                            f"{policy} sharding, {size} replicas: answer "
+                            f"for {query!r} diverged from single-replica"
+                        )
+                checked[f"{policy}-{size}"] = {
+                    "queries": len(queries),
+                    "scattered": scattered,
+                }
+            finally:
+                router.close()
+    return {"byte_identical": True, "fleets": checked}
+
+
+def run_replay(
+    artifact: pathlib.Path,
+    replicas: int,
+    workload: list[str],
+    *,
+    sharding: str,
+    cache_capacity: int | None,
+    score_memo: bool,
+    concurrency: int,
+) -> dict:
+    router = make_fleet(
+        artifact,
+        replicas,
+        sharding=sharding,
+        cache_capacity=cache_capacity,
+        score_memo=score_memo,
+        hedging=False,  # measure routing + caches, not backup traffic
+    )
+    try:
+        report = LoadGenerator(
+            router, workload, concurrency=concurrency
+        ).run()
+        if report.errors:
+            raise AssertionError(
+                f"{report.errors} errors at {replicas} replicas"
+            )
+        stats = router.stats()
+        return {
+            "replicas": replicas,
+            "requests": report.requests,
+            "wall_seconds": report.wall_seconds,
+            "qps": report.qps,
+            "p95_ms": report.p95_ms,
+            "cache_hit_rate": report.cache_hit_rate,
+            "single_shard": stats.single_shard,
+            "scattered": stats.scattered,
+            "per_replica_requests": {
+                name: health.requests
+                for name, health in stats.replica_health
+            },
+        }
+    finally:
+        router.close()
+
+
+def run_fleet_bench(
+    config: ESharpConfig,
+    *,
+    fleet_sizes: list[int],
+    working_set: int,
+    rounds: int,
+    concurrency: int,
+    smoke: bool,
+) -> dict:
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="bench-fleet-"))
+    try:
+        artifact = tmp / "artifact"
+        t0 = time.perf_counter()
+        system = ESharp(config).build(artifact_dir=artifact)
+        build_seconds = time.perf_counter() - t0
+
+        equivalence = check_equivalence(
+            system, artifact, fleet_sizes[1:] or fleet_sizes
+        )
+
+        head = candidate_queries(system, working_set)
+        if len(head) < 8:
+            raise AssertionError(
+                f"workload head too small ({len(head)} queries)"
+            )
+        # per-replica cache deliberately smaller than the working set:
+        # one replica cycles (0% hits); a fleet's shards each fit
+        capacity = max(4, int(len(head) * 0.7))
+        workload = head * rounds
+
+        capacity_runs = [
+            run_replay(
+                artifact,
+                size,
+                workload,
+                sharding="domain",
+                cache_capacity=capacity,
+                score_memo=False,
+                concurrency=concurrency,
+            )
+            for size in fleet_sizes
+        ]
+        base_qps = capacity_runs[0]["qps"]
+        for run in capacity_runs:
+            run["speedup_vs_1"] = run["qps"] / base_qps if base_qps else 0.0
+
+        # pure-cold floor: every cache off, so this is raw compute
+        # scatter — flat on a 1-CPU host, and stamped as such
+        cold_runs = [
+            run_replay(
+                artifact,
+                size,
+                head,
+                sharding="domain",
+                cache_capacity=0,
+                score_memo=False,
+                concurrency=concurrency,
+            )
+            for size in fleet_sizes
+        ]
+        cold_base = cold_runs[0]["qps"]
+        for run in cold_runs:
+            run["speedup_vs_1"] = run["qps"] / cold_base if cold_base else 0.0
+
+        payload = {
+            "bench": "fleet",
+            "mode": "smoke" if smoke else "full",
+            "scale": "small" if smoke else "standard",
+            "host_cpus": os.cpu_count(),
+            "build_seconds": build_seconds,
+            "fleet_sizes": fleet_sizes,
+            "working_set": len(head),
+            "per_replica_cache_capacity": capacity,
+            "rounds": rounds,
+            "equivalence": equivalence,
+            "aggregate_qps": capacity_runs,
+            "pure_cold_qps": cold_runs,
+            "speedup_at_max": capacity_runs[-1]["speedup_vs_1"],
+        }
+        if not smoke:
+            at4 = next(
+                (r for r in capacity_runs if r["replicas"] == 4), None
+            )
+            if at4 is None:
+                raise AssertionError("full mode must include 4 replicas")
+            payload["speedup_at_4"] = at4["speedup_vs_1"]
+            if at4["speedup_vs_1"] < MIN_SPEEDUP_AT_4:
+                raise AssertionError(
+                    f"aggregate QPS at 4 replicas only "
+                    f"{at4['speedup_vs_1']:.2f}x vs 1 "
+                    f"(bar: {MIN_SPEEDUP_AT_4}x)"
+                )
+        return payload
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def render(payload: dict) -> str:
+    lines = [
+        f"fleet bench ({payload['mode']}, {payload['scale']} scale, "
+        f"{payload['host_cpus']} host cpus)",
+        f"  equivalence:  byte-identical over "
+        f"{sum(f['queries'] for f in payload['equivalence']['fleets'].values())}"
+        f" answers ({', '.join(sorted(payload['equivalence']['fleets']))})",
+        f"  working set:  {payload['working_set']} distinct queries, "
+        f"{payload['per_replica_cache_capacity']} cache entries/replica, "
+        f"{payload['rounds']} rounds",
+    ]
+    for run in payload["aggregate_qps"]:
+        lines.append(
+            f"  {run['replicas']} replica(s): {run['qps']:8.1f} qps "
+            f"({run['speedup_vs_1']:.2f}x, "
+            f"hit rate {run['cache_hit_rate']:.1%})"
+        )
+    lines.append("  pure cold (all caches off):")
+    for run in payload["pure_cold_qps"]:
+        lines.append(
+            f"    {run['replicas']} replica(s): {run['qps']:8.1f} qps "
+            f"({run['speedup_vs_1']:.2f}x)"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small scale, 1->2 replicas, equivalence-focused (CI)",
+    )
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--output", metavar="PATH", default=None)
+    parser.add_argument("--rounds", type=int, default=4)
+    parser.add_argument("--concurrency", type=int, default=4)
+    args = parser.parse_args()
+
+    if args.smoke:
+        config = ESharpConfig.small(seed=args.seed)
+        fleet_sizes = [1, 2]
+        working_set = 48
+    else:
+        config = ESharpConfig.standard(seed=args.seed)
+        fleet_sizes = [1, 2, 4]
+        working_set = 256
+
+    payload = run_fleet_bench(
+        config,
+        fleet_sizes=fleet_sizes,
+        working_set=working_set,
+        rounds=args.rounds,
+        concurrency=args.concurrency,
+        smoke=args.smoke,
+    )
+    print(render(payload))
+    output = (
+        pathlib.Path(args.output)
+        if args.output
+        else REPO_ROOT / "BENCH_fleet.json"
+    )
+    output.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"[json written to {output}]")
+
+
+if __name__ == "__main__":
+    main()

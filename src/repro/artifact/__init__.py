@@ -34,8 +34,10 @@ from repro.artifact.manifest import (
 from repro.artifact.store import (
     ArtifactBuilder,
     LoadedArtifact,
+    PartialArtifact,
     RefresherState,
     load_artifact,
+    load_artifact_stages,
     save_artifact,
 )
 
@@ -48,9 +50,11 @@ __all__ = [
     "ArtifactVersionError",
     "LoadedArtifact",
     "Manifest",
+    "PartialArtifact",
     "RefresherState",
     "config_fingerprint",
     "load_artifact",
+    "load_artifact_stages",
     "read_manifest",
     "save_artifact",
 ]

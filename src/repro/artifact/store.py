@@ -335,15 +335,10 @@ def save_artifact(
     return builder.finalize(snapshot_version)
 
 
-def load_artifact(root, expected_config: ESharpConfig | None = None) -> LoadedArtifact:
-    """Load a complete artifact directory, verifying everything.
-
-    Raises :class:`ArtifactError` subclasses on any problem: missing or
-    unfinished manifest, unsupported format versions, checksum failures,
-    malformed stages, or (when ``expected_config`` is given) an artifact
-    built from a different configuration.
-    """
-    root = pathlib.Path(root)
+def _verified_manifest(
+    root: pathlib.Path, expected_config: ESharpConfig | None
+) -> tuple[Manifest, ESharpConfig]:
+    """Read + verify a manifest: completeness, fingerprint, expectation."""
     manifest = read_manifest(root)
     if not manifest.complete:
         raise ArtifactIncompleteError(
@@ -361,6 +356,68 @@ def load_artifact(root, expected_config: ESharpConfig | None = None) -> LoadedAr
         raise ArtifactMismatchError(
             f"{root} was built from a different config/seed than requested"
         )
+    return manifest, config
+
+
+@dataclass(frozen=True)
+class PartialArtifact:
+    """A verified subset of one artifact's stage outputs.
+
+    The scoped counterpart of :class:`LoadedArtifact`: the manifest is
+    fully verified (completeness, fingerprint, per-file checksums of the
+    requested stages) but only the named outputs are decoded.  A fleet
+    router warm-starts its routing state this way — the domain store is
+    a few percent of the directory, so the front-end comes up in
+    milliseconds while replicas pay the full corpus load.
+    """
+
+    config: ESharpConfig
+    manifest: Manifest
+    #: output name → decoded value, exactly the outputs requested
+    values: dict[str, object]
+
+
+def load_artifact_stages(
+    root,
+    outputs: tuple[str, ...],
+    expected_config: ESharpConfig | None = None,
+) -> PartialArtifact:
+    """Decode only the named stage ``outputs`` of a complete artifact.
+
+    ``outputs`` uses the same names the codecs register (for example
+    ``("domain_store",)`` or ``("store", "domain_store")``).  Every
+    requested output is located across the manifest's stages, its file
+    checksum-verified, and decoded with the stage codec; an output the
+    manifest does not carry raises :class:`ArtifactCorruptError` (the
+    manifest is complete, so absence means the artifact genuinely lacks
+    that stage).
+    """
+    root = pathlib.Path(root)
+    manifest, config = _verified_manifest(root, expected_config)
+    by_output: dict[str, FileEntry] = {}
+    for entry in manifest.stages.values():
+        by_output.update(entry.files)
+    values: dict[str, object] = {}
+    for output in outputs:
+        file_entry = by_output.get(output)
+        if file_entry is None:
+            raise ArtifactCorruptError(
+                f"{root}: no stage provides output {output!r}"
+            )
+        values[output] = _decode_file(root, output, file_entry)
+    return PartialArtifact(config=config, manifest=manifest, values=values)
+
+
+def load_artifact(root, expected_config: ESharpConfig | None = None) -> LoadedArtifact:
+    """Load a complete artifact directory, verifying everything.
+
+    Raises :class:`ArtifactError` subclasses on any problem: missing or
+    unfinished manifest, unsupported format versions, checksum failures,
+    malformed stages, or (when ``expected_config`` is given) an artifact
+    built from a different configuration.
+    """
+    root = pathlib.Path(root)
+    manifest, config = _verified_manifest(root, expected_config)
 
     values: dict[str, object] = {}
     clock = StageClock()

@@ -239,6 +239,116 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return run_serve_command(system, args)
 
 
+def run_fleet_command(args: argparse.Namespace, replicas=None) -> int:
+    """Drive a replica fleet from an artifact (split out for tests).
+
+    ``replicas`` lets tests inject prebuilt replica handles; the CLI
+    path warm-starts ``--replicas`` workers from the artifact — threads
+    in this process by default, ``fleet-worker`` subprocesses with
+    ``--process``.
+    """
+    from repro.artifact import load_artifact_stages
+    from repro.fleet import FleetRouter, InProcessReplica, SubprocessReplica
+    from repro.serving.loadgen import (
+        LoadGenerator,
+        WorkloadConfig,
+        build_workload_from,
+    )
+    from repro.serving.service import ServiceConfig
+
+    partial = load_artifact_stages(
+        args.from_artifact, ("store", "domain_store")
+    )
+    workload = build_workload_from(
+        partial.values["store"],
+        partial.values["domain_store"],
+        WorkloadConfig(
+            requests=args.queries,
+            max_unique=args.unique,
+            zipf_exponent=args.zipf_exponent,
+            seed=args.seed,
+        ),
+    )
+    owned = replicas is not None
+    if replicas is None:
+        replicas = []
+        for index in range(args.replicas):
+            name = f"replica-{index}"
+            print(f"starting {name} ({'process' if args.process else 'thread'})"
+                  f" from {args.from_artifact}...", file=sys.stderr)
+            if args.process:
+                replicas.append(
+                    SubprocessReplica(
+                        name,
+                        args.from_artifact,
+                        detection_workers=args.workers,
+                    )
+                )
+            else:
+                replicas.append(
+                    InProcessReplica(
+                        name,
+                        ESharp.from_artifact(args.from_artifact),
+                        ServiceConfig(detection_workers=args.workers),
+                    )
+                )
+    router = FleetRouter.from_artifact(
+        args.from_artifact, replicas, sharding=args.sharding
+    )
+    try:
+        report = LoadGenerator(
+            router,
+            workload,
+            concurrency=args.concurrency,
+            min_zscore=args.min_zscore,
+        ).run()
+        stats = router.stats()
+        print(report.render(
+            f"fleet replay — {stats.replicas} replicas, "
+            f"{stats.policy} sharding"
+        ))
+        print(f"  routing:       {stats.single_shard} single-shard, "
+              f"{stats.scattered} scattered ({stats.scatter_legs} legs)")
+        print(f"  hedging:       {stats.hedges_fired} fired, "
+              f"{stats.hedge_wins} won, {stats.failovers} failovers")
+        versions = {
+            name: h.snapshot_version for name, h in stats.replica_health
+        }
+        print(f"  replicas:      versions {versions}")
+        if args.json:
+            _write_json(args.json, {
+                "command": "fleet",
+                "artifact": args.from_artifact,
+                "transport": "process" if args.process else "thread",
+                "report": report.to_dict(),
+                "fleet": stats.to_dict(),
+            })
+        return 0 if report.errors == 0 else 1
+    finally:
+        if not owned:
+            router.close()
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    for name in ("replicas", "queries", "concurrency", "unique", "workers"):
+        value = getattr(args, name)
+        if value < 1:
+            print(f"--{name} must be >= 1, got {value}", file=sys.stderr)
+            return 2
+    return run_fleet_command(args)
+
+
+def cmd_fleet_worker(args: argparse.Namespace) -> int:
+    from repro.fleet.worker import serve_worker
+
+    return serve_worker(
+        args.from_artifact,
+        detection_workers=args.detection_workers,
+        cache_capacity=args.cache_capacity,
+        score_cache_capacity=args.score_cache_capacity,
+    )
+
+
 def _main_with_artifact_errors(handler, args: argparse.Namespace) -> int:
     """Run a handler, rendering artifact failures as clean CLI errors."""
     from repro.artifact import ArtifactError
@@ -397,6 +507,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--json", metavar="PATH",
                          help="also write the report as JSON")
     p_serve.set_defaults(handler=cmd_serve)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="serve a workload through a shard-aware multi-replica fleet",
+    )
+    p_fleet.add_argument("--from-artifact", metavar="DIR", required=True,
+                         help="artifact every replica warm-starts from "
+                              "(build --out)")
+    p_fleet.add_argument("--replicas", type=int, default=2,
+                         help="replica count == shard count (default 2)")
+    p_fleet.add_argument("--process", action="store_true",
+                         help="run replicas as fleet-worker subprocesses "
+                              "instead of in-process threads")
+    p_fleet.add_argument("--sharding", choices=("domain", "hash"),
+                         default="domain",
+                         help="domain: whole domains stay on one shard; "
+                              "hash: terms spread over a consistent ring")
+    p_fleet.add_argument("--queries", type=int, default=200,
+                         help="requests to replay (default 200)")
+    p_fleet.add_argument("--concurrency", type=int, default=8,
+                         help="client threads (default 8)")
+    p_fleet.add_argument("--unique", type=int, default=64,
+                         help="distinct queries in the workload head")
+    p_fleet.add_argument("--zipf-exponent", type=float, default=1.1,
+                         help="workload skew (>1 = heavier head)")
+    p_fleet.add_argument("--seed", type=int, default=2016,
+                         help="workload sampling seed")
+    p_fleet.add_argument("--workers", type=int, default=2,
+                         help="detection worker threads per replica")
+    p_fleet.add_argument("--min-zscore", type=float, default=None)
+    p_fleet.add_argument("--json", metavar="PATH",
+                         help="also write the report as JSON")
+    p_fleet.set_defaults(handler=cmd_fleet)
+
+    p_worker = sub.add_parser(
+        "fleet-worker",
+        help="(internal) one fleet replica speaking JSON-lines on stdio",
+    )
+    p_worker.add_argument("--from-artifact", metavar="DIR", required=True)
+    p_worker.add_argument("--detection-workers", type=int, default=2)
+    p_worker.add_argument("--cache-capacity", type=int, default=None,
+                          help="override the replica's result-cache size")
+    p_worker.add_argument("--score-cache-capacity", type=int, default=None,
+                          help="override the detector's per-term memo size")
+    p_worker.set_defaults(handler=cmd_fleet_worker)
 
     p_exp = sub.add_parser("experiment", help="run one §6 driver")
     add_scale(p_exp)

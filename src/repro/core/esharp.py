@@ -20,6 +20,7 @@ versa).  ``serve()`` wraps the built system in the concurrent
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.config import ESharpConfig
@@ -32,7 +33,29 @@ from repro.microblog.platform import MicroblogPlatform
 from repro.serving.snapshot import ServiceSnapshot, SnapshotHolder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.expansion.domainstore import DomainStore
     from repro.serving.service import ExpertService, ServiceConfig
+
+
+@dataclass(frozen=True)
+class StagedGeneration:
+    """A fully-loaded serving generation that has NOT been published.
+
+    The prepare half of two-phase promotion: :meth:`ESharp.stage_artifact`
+    pays the whole load (artifact decode, corpus restore, candidate-index
+    rebuild) without touching the published snapshot, and
+    :meth:`ESharp.promote_staged` later flips it in with one CAS.  A
+    fleet coordinator stages on every replica first and promotes only
+    when all of them succeeded, so readers never observe a mixed-version
+    fleet because one replica's disk was slow or its artifact corrupt.
+    """
+
+    version: int
+    config: ESharpConfig
+    offline: OfflineArtifacts
+    pipeline: OnlinePipeline
+    platform: MicroblogPlatform
+    detector: PalCountsDetector
 
 
 class NotBuiltError(RuntimeError):
@@ -167,6 +190,94 @@ class ESharp:
                 )
                 system._delta_refresher_version = snapshot.version
         return system
+
+    def stage_artifact(
+        self, path, expected_config: ESharpConfig | None = None
+    ) -> StagedGeneration:
+        """Load an artifact into memory WITHOUT publishing it (phase one).
+
+        Does everything :meth:`from_artifact` does — decode, corpus
+        restore, candidate-index restore-or-rebuild — but returns the
+        generation as a :class:`StagedGeneration` instead of swapping it
+        in, so the expensive load happens while the current snapshot
+        keeps serving.  By default the artifact must match *this*
+        system's config (the staged generation will share result-cache
+        keyspace and ranking semantics with the running one); pass
+        ``expected_config`` to override the expectation.
+        """
+        from repro.artifact import load_artifact
+
+        if expected_config is None:
+            expected_config = self.config
+        loaded = load_artifact(path, expected_config)
+        detector = PalCountsDetector(
+            loaded.platform,
+            ranking=loaded.config.ranking,
+            normalization=loaded.config.normalization,
+        )
+        if detector.engine is not None:
+            restored = False
+            if loaded.engine is not None:
+                restored = detector.engine.restore_packed(*loaded.engine)
+            if not restored:
+                detector.engine.refresh()
+        return StagedGeneration(
+            version=loaded.manifest.snapshot_version,
+            config=loaded.config,
+            offline=loaded.offline,
+            pipeline=OnlinePipeline(loaded.offline.domain_store, detector),
+            platform=loaded.platform,
+            detector=detector,
+        )
+
+    def promote_staged(
+        self, staged: StagedGeneration, expected_version: int | None = None
+    ) -> ServiceSnapshot:
+        """Atomically flip a staged generation into serving (phase two).
+
+        One CAS under the swap lock: with ``expected_version`` given,
+        the flip succeeds only if the published snapshot is still at
+        that version (:class:`~repro.serving.snapshot.StaleSnapshotError`
+        otherwise), and the staged manifest version must move the
+        snapshot version strictly forward.  Queries in flight keep their
+        pinned snapshot; new queries see the staged generation.  Any
+        maintained incremental-refresh state is dropped — it followed
+        the previous generation.
+        """
+        with self._swap_lock:
+            snapshot = self.snapshots.publish(
+                staged.offline,
+                staged.pipeline,
+                expected_version=expected_version,
+                version=staged.version,
+            )
+            self.config = staged.config
+            self._platform = staged.platform
+            self._detector = staged.detector
+            self._delta_refresher = None
+            self._delta_refresher_version = 0
+        return snapshot
+
+    def export_domain_shard(self, policy, shard: int) -> "DomainStore":
+        """The subset of the domain collection a fleet shard owns.
+
+        ``policy`` is a sharding policy with ``shard_of_domain(domain_id)``
+        (see :mod:`repro.fleet.sharding`); the result is a standalone
+        :class:`~repro.expansion.domainstore.DomainStore` containing
+        exactly the domains routed to ``shard``, suitable for a
+        shard-local expansion tier.  Keyword→domain ownership is
+        preserved because every keyword of a domain maps to the same
+        shard under both built-in policies.
+        """
+        from repro.expansion.domainstore import DomainStore
+
+        store = self._require_snapshot().offline.domain_store
+        owned = [
+            domain
+            for domain in store.domains()
+            if policy.shard_of_domain(domain.domain_id) == shard
+        ]
+        return DomainStore(owned)
 
     def save_artifact(self, path):
         """Persist the current serving generation as an artifact directory.

@@ -53,6 +53,19 @@ class ScoreMemoMixin:
     def _score_uncached(self, query: str) -> list[RankedExpert]:
         raise NotImplementedError
 
+    def configure_score_cache(
+        self, cache_scores: bool = True, cache_capacity: int | None = None
+    ) -> None:
+        """Replace the memo with a fresh one of the given shape.
+
+        Drops every cached pool.  Fleet workers use this to cap (or
+        disable) the per-term memo after an artifact warm start — the
+        detector is constructed inside :meth:`ESharp.from_artifact`
+        with the default capacity, and a cold-path benchmark replica
+        must be able to bound it without rebuilding the system.
+        """
+        self._init_score_cache(cache_scores, cache_capacity)
+
     def cache_info(self) -> CacheInfo:
         """Counters of the per-term memo (hits/misses/evictions/size)."""
         return self._cache.cache_info()

@@ -1,0 +1,68 @@
+"""repro.fleet — shard-aware multi-replica serving (scatter-gather).
+
+The paper's production system runs its online tier as a fleet behind a
+front-end; this package is the reproduction's version of that tier on
+top of the existing single-replica :class:`~repro.serving.service.ExpertService`:
+
+* :class:`FleetRouter` — the front-end: deterministic shard routing,
+  scatter-gather with exact single-replica merge semantics, hedged
+  requests with per-replica latency deadlines, two-phase coordinated
+  snapshot promotion.
+* :class:`InProcessReplica` / :class:`SubprocessReplica` — the two
+  replica transports (threads in-process, or ``python -m repro
+  fleet-worker`` children warm-started from an artifact).
+* :mod:`~repro.fleet.sharding` — domain-partition and consistent-hash
+  term ownership, ``PYTHONHASHSEED``-independent.
+* :func:`~repro.fleet.merge.merge_partials` — the gather step, provably
+  byte-identical to a single replica's union ranking.
+
+See ``README.md`` ("Fleet serving") for topology and semantics.
+"""
+
+from repro.fleet.errors import (
+    FleetError,
+    FleetVersionSkewError,
+    NoHealthyReplicaError,
+    PromotionError,
+    RemoteReplicaError,
+    WorkerProtocolError,
+)
+from repro.fleet.health import ReplicaTracker, ReplicaVitals
+from repro.fleet.merge import merge_partials
+from repro.fleet.replica import InProcessReplica, SubprocessReplica
+from repro.fleet.router import (
+    FleetAnswer,
+    FleetConfig,
+    FleetRouter,
+    FleetStats,
+)
+from repro.fleet.sharding import (
+    ConsistentHashRing,
+    DomainPartitionSharding,
+    ShardingPolicy,
+    TokenHashSharding,
+    stable_hash,
+)
+
+__all__ = [
+    "ConsistentHashRing",
+    "DomainPartitionSharding",
+    "FleetAnswer",
+    "FleetConfig",
+    "FleetError",
+    "FleetRouter",
+    "FleetStats",
+    "FleetVersionSkewError",
+    "InProcessReplica",
+    "NoHealthyReplicaError",
+    "PromotionError",
+    "RemoteReplicaError",
+    "ReplicaTracker",
+    "ReplicaVitals",
+    "ShardingPolicy",
+    "SubprocessReplica",
+    "TokenHashSharding",
+    "WorkerProtocolError",
+    "merge_partials",
+    "stable_hash",
+]

@@ -1,0 +1,62 @@
+"""Typed failure modes of the fleet tier.
+
+Everything a :class:`~repro.fleet.router.FleetRouter` can surface derives
+from :class:`FleetError`, which itself derives from the serving tier's
+:class:`~repro.serving.errors.ServingError` — a client already handling
+serving failures handles fleet failures for free, and can still tell a
+single-replica overload apart from a fleet-wide routing problem.
+"""
+
+from __future__ import annotations
+
+from repro.serving.errors import ServingError
+
+
+class FleetError(ServingError):
+    """Base class for every fleet-tier failure."""
+
+
+class NoHealthyReplicaError(FleetError):
+    """Every candidate replica for a request failed or was unreachable."""
+
+
+class FleetVersionSkewError(FleetError):
+    """Scatter legs answered from different snapshot versions.
+
+    The merge refuses to combine pools from mixed generations — a merged
+    ranking spanning two domain collections would be an answer no single
+    replica could ever have produced.  The router retries the whole
+    query (bounded), which re-scatters against the settled generation.
+    """
+
+
+class PromotionError(FleetError):
+    """Two-phase snapshot promotion failed.
+
+    Carries per-replica outcomes so the operator can see exactly which
+    replica failed which phase.  After a phase-one (preload) failure
+    nothing was flipped anywhere; after a phase-two CAS failure the
+    offending replica kept its generation and the error says which
+    replicas were already flipped.
+    """
+
+    def __init__(self, message: str, outcomes: dict[str, str] | None = None):
+        super().__init__(message)
+        #: replica name → human-readable phase outcome
+        self.outcomes = dict(outcomes or {})
+
+
+class WorkerProtocolError(FleetError):
+    """A subprocess worker broke the wire protocol or died mid-request."""
+
+
+class RemoteReplicaError(FleetError):
+    """A worker-side failure that has no typed local counterpart.
+
+    The original exception type survives as :attr:`remote_type` so
+    health tracking and logs keep the real failure mode.
+    """
+
+    def __init__(self, remote_type: str, message: str):
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type

@@ -1,0 +1,143 @@
+"""Per-replica health tracking and hedging deadlines.
+
+The router records every replica call's latency (bounded window) and
+failure streak here, and asks two questions back:
+
+* *when should a hedge fire?* — :meth:`ReplicaTracker.hedge_deadline`
+  returns the replica's recent latency percentile, so backups fire only
+  when a call is slow **for that replica**, not on a fleet-wide constant;
+* *who should serve it?* — :meth:`ReplicaTracker.ranked` orders
+  replicas healthiest-first (shortest failure streak, then fastest
+  median, then name), deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.utils.stats import percentile
+
+
+@dataclass(frozen=True)
+class ReplicaVitals:
+    """Read-only view of one replica's tracked health."""
+
+    name: str
+    samples: int
+    consecutive_failures: int
+    total_failures: int
+    p50_seconds: float
+    p95_seconds: float
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "samples": self.samples,
+            "consecutive_failures": self.consecutive_failures,
+            "total_failures": self.total_failures,
+            "p50_ms": self.p50_seconds * 1000,
+            "p95_ms": self.p95_seconds * 1000,
+        }
+
+
+class ReplicaTracker:
+    """Thread-safe latency/failure accounting for a fixed replica set."""
+
+    def __init__(
+        self,
+        names: Iterable[str],
+        *,
+        window: int = 128,
+        hedge_percentile: float = 0.95,
+        min_samples: int = 8,
+        default_deadline_seconds: float = 0.05,
+        min_deadline_seconds: float = 0.001,
+    ) -> None:
+        names = list(names)
+        if not names:
+            raise ValueError("tracker needs at least one replica")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate replica names: {names}")
+        if not 0.0 < hedge_percentile <= 1.0:
+            raise ValueError("hedge_percentile must be in (0, 1]")
+        self._window = window
+        self._hedge_percentile = hedge_percentile
+        self._min_samples = min_samples
+        self._default_deadline = default_deadline_seconds
+        self._min_deadline = min_deadline_seconds
+        self._lock = threading.Lock()
+        self._latencies: Dict[str, deque] = {
+            name: deque(maxlen=window) for name in names
+        }
+        self._streak: Dict[str, int] = {name: 0 for name in names}
+        self._failures: Dict[str, int] = {name: 0 for name in names}
+        self._order: Tuple[str, ...] = tuple(names)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self._order
+
+    def record_success(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self._latencies[name].append(seconds)
+            self._streak[name] = 0
+
+    def record_failure(self, name: str) -> None:
+        with self._lock:
+            self._streak[name] += 1
+            self._failures[name] += 1
+
+    def hedge_deadline(self, name: str) -> float:
+        """How long to wait on ``name`` before firing a backup.
+
+        The replica's recent latency percentile — until enough samples
+        accumulate, a conservative default so a cold fleet doesn't hedge
+        every first request.
+        """
+        with self._lock:
+            samples = list(self._latencies[name])
+        if len(samples) < self._min_samples:
+            return self._default_deadline
+        return max(
+            percentile(samples, self._hedge_percentile), self._min_deadline
+        )
+
+    def ranked(self, exclude: Iterable[str] = ()) -> List[str]:
+        """Replica names healthiest-first (deterministic tie-break)."""
+        skip = set(exclude)
+        with self._lock:
+            def sort_key(name: str):
+                samples = self._latencies[name]
+                median = (
+                    percentile(list(samples), 0.50) if samples else 0.0
+                )
+                return (self._streak[name], median, name)
+
+            return sorted(
+                (name for name in self._order if name not in skip),
+                key=sort_key,
+            )
+
+    def vitals(self) -> List[ReplicaVitals]:
+        with self._lock:
+            out = []
+            for name in self._order:
+                samples = list(self._latencies[name])
+                out.append(
+                    ReplicaVitals(
+                        name=name,
+                        samples=len(samples),
+                        consecutive_failures=self._streak[name],
+                        total_failures=self._failures[name],
+                        p50_seconds=(
+                            percentile(samples, 0.50) if samples else 0.0
+                        ),
+                        p95_seconds=(
+                            percentile(samples, 0.95) if samples else 0.0
+                        ),
+                    )
+                )
+            return out

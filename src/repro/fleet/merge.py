@@ -1,0 +1,70 @@
+"""Gather: merge shard partial pools into the exact single-replica answer.
+
+The single-replica union (:meth:`QueryExpander.score_terms`) iterates
+term pools **in term order** and keeps, per user, the first pool entry
+achieving the maximum score — so on a score tie the *earliest term's*
+:class:`~repro.detector.ranking.RankedExpert` wins (its per-term
+``features``/``zscores`` ride along).  Each scatter leg reduces its
+slice under that rule and tags survivors with their **global term
+index** (:class:`~repro.serving.service.PartialPool`); this merge
+applies the identical rule across legs:
+
+    highest score wins; equal scores go to the lowest global index.
+
+Then the exact final steps of the serving path: sort by
+``(-score, user_id)``, threshold with ``>=``, cap at ``max_results``.
+Because every comparison is on values computed identically on every
+replica (same artifact generation ⇒ bit-equal floats), the merged
+ranking is byte-identical to what one replica scoring every term would
+have returned — the property test in ``tests/test_fleet.py`` proves it
+for arbitrary queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.detector.ranking import RankedExpert
+from repro.fleet.errors import FleetVersionSkewError
+from repro.serving.service import PartialPool
+
+
+def merge_partials(
+    pools: Iterable[PartialPool],
+    *,
+    threshold: float,
+    max_results: int,
+) -> Tuple[Tuple[RankedExpert, ...], int]:
+    """Merge scatter legs; returns ``(experts, snapshot_version)``.
+
+    Raises :class:`FleetVersionSkewError` when the legs answered from
+    different snapshot versions (a promotion raced the scatter) — the
+    router retries rather than serve a cross-generation ranking.
+    """
+    pools = list(pools)
+    if not pools:
+        raise ValueError("merge_partials needs at least one partial pool")
+    versions = sorted({pool.snapshot_version for pool in pools})
+    if len(versions) > 1:
+        raise FleetVersionSkewError(
+            f"scatter legs answered from mixed snapshot versions {versions}"
+        )
+    best: Dict[int, Tuple[int, RankedExpert]] = {}
+    for pool in pools:
+        for index, expert in pool.entries:
+            incumbent = best.get(expert.user_id)
+            if (
+                incumbent is None
+                or expert.score > incumbent[1].score
+                or (
+                    expert.score == incumbent[1].score
+                    and index < incumbent[0]
+                )
+            ):
+                best[expert.user_id] = (index, expert)
+    ranked: List[RankedExpert] = sorted(
+        (entry[1] for entry in best.values()),
+        key=lambda e: (-e.score, e.user_id),
+    )
+    kept = [expert for expert in ranked if expert.score >= threshold]
+    return tuple(kept[:max_results]), versions[0]

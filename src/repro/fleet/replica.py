@@ -1,0 +1,305 @@
+"""Replica handles: the router's uniform view of a serving worker.
+
+Two transports behind one duck type:
+
+* :class:`InProcessReplica` — an :class:`~repro.serving.service.ExpertService`
+  over its own (or a shared, read-only) :class:`~repro.core.esharp.ESharp`
+  in this process; calls are plain method calls.
+* :class:`SubprocessReplica` — a ``python -m repro fleet-worker`` child
+  warm-started from an artifact directory, spoken to over the JSON-lines
+  protocol of :mod:`repro.fleet.wire`; a reader thread resolves pending
+  futures by request id, so many requests overlap on one worker.
+
+Both expose the same surface: ``query`` / ``score_partial`` (the scatter
+unit) / ``health`` / ``preload`` + ``promote`` (the two promotion
+phases) / ``close``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+import threading
+from concurrent.futures import Future
+from typing import Iterable, Optional, Tuple
+
+from repro.fleet.errors import PromotionError, WorkerProtocolError
+from repro.fleet.wire import (
+    answer_from_wire,
+    error_from_wire,
+    health_from_wire,
+    parse_message,
+    partial_from_wire,
+    write_message,
+)
+from repro.serving.service import (
+    PartialPool,
+    ReplicaHealthReport,
+    ServedAnswer,
+)
+
+
+class InProcessReplica:
+    """A replica living in the router's process (one thread pool each)."""
+
+    kind = "thread"
+
+    def __init__(self, name: str, system, service_config=None) -> None:
+        from repro.serving.service import ExpertService
+
+        self.name = name
+        self.system = system
+        self.service = ExpertService(system, service_config)
+        self._staged = None
+
+    def query(
+        self, query: str, min_zscore: Optional[float] = None
+    ) -> ServedAnswer:
+        return self.service.query(query, min_zscore)
+
+    def score_partial(
+        self, query: str, indexed_terms: Iterable[Tuple[int, str]]
+    ) -> PartialPool:
+        return self.service.score_partial(query, indexed_terms)
+
+    def health(self) -> ReplicaHealthReport:
+        return self.service.health()
+
+    @property
+    def snapshot_version(self) -> int:
+        return self.system.snapshots.version
+
+    def preload(self, artifact_dir) -> int:
+        """Phase one: load the artifact fully, publish nothing."""
+        self._staged = self.system.stage_artifact(artifact_dir)
+        return self._staged.version
+
+    def promote(self, expected_version: Optional[int] = None) -> int:
+        """Phase two: CAS-flip the preloaded generation into serving."""
+        staged = self._staged
+        if staged is None:
+            raise PromotionError(
+                f"replica {self.name}: promote() before preload()"
+            )
+        snapshot = self.system.promote_staged(
+            staged, expected_version=expected_version
+        )
+        self._staged = None
+        return snapshot.version
+
+    def close(self) -> None:
+        self.service.close()
+
+
+class SubprocessReplica:
+    """A replica in its own process, warm-started from an artifact."""
+
+    kind = "process"
+
+    def __init__(
+        self,
+        name: str,
+        artifact_dir,
+        *,
+        detection_workers: int = 2,
+        cache_capacity: Optional[int] = None,
+        startup_timeout_seconds: float = 300.0,
+        request_timeout_seconds: float = 300.0,
+        python: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self._timeout = request_timeout_seconds
+        command = [
+            python or sys.executable,
+            "-m",
+            "repro",
+            "fleet-worker",
+            "--from-artifact",
+            str(artifact_dir),
+            "--detection-workers",
+            str(detection_workers),
+        ]
+        if cache_capacity is not None:
+            command += ["--cache-capacity", str(cache_capacity)]
+        env = dict(os.environ)
+        src_root = str(pathlib.Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        self._process = subprocess.Popen(
+            command,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            # stderr inherits: a crashing worker should say why
+            text=True,
+            encoding="utf-8",
+            env=env,
+        )
+        self._write_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, Future] = {}
+        self._next_id = 0
+        self._ready: Future = Future()
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"fleet-{name}-reader", daemon=True
+        )
+        self._reader.start()
+        try:
+            ready = self._ready.result(timeout=startup_timeout_seconds)
+        except Exception:
+            self.close()
+            raise
+        self.snapshot_version = int(ready.get("version", 0))
+
+    # -- the uniform replica surface -----------------------------------------
+
+    def query(
+        self, query: str, min_zscore: Optional[float] = None
+    ) -> ServedAnswer:
+        raw = self._call("query", {"query": query, "min_zscore": min_zscore})
+        return answer_from_wire(raw)
+
+    def score_partial(
+        self, query: str, indexed_terms: Iterable[Tuple[int, str]]
+    ) -> PartialPool:
+        raw = self._call(
+            "partial",
+            {
+                "query": query,
+                "terms": [[int(i), str(t)] for i, t in indexed_terms],
+            },
+        )
+        return partial_from_wire(raw)
+
+    def health(self) -> ReplicaHealthReport:
+        report = health_from_wire(self._call("health", {}))
+        self.snapshot_version = report.snapshot_version
+        return report
+
+    def ping(self) -> bool:
+        return self._call("ping", {}) == "pong"
+
+    def preload(self, artifact_dir) -> int:
+        return int(self._call("preload", {"path": str(artifact_dir)}))
+
+    def promote(self, expected_version: Optional[int] = None) -> int:
+        version = int(
+            self._call("promote", {"expected_version": expected_version})
+        )
+        self.snapshot_version = version
+        return version
+
+    def cancel(self, request_id: int) -> None:
+        """Best-effort: a not-yet-started request on the worker is dropped."""
+        try:
+            self._send({"op": "cancel", "target": request_id})
+        except WorkerProtocolError:
+            pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        process = self._process
+        if process.poll() is None:
+            try:
+                self._send({"op": "shutdown", "id": -1})
+            except WorkerProtocolError:
+                pass
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+        self._fail_pending(WorkerProtocolError("worker closed"))
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _send(self, message: dict) -> None:
+        stdin = self._process.stdin
+        if stdin is None or self._process.poll() is not None:
+            raise WorkerProtocolError(
+                f"replica {self.name}: worker process is gone"
+            )
+        try:
+            with self._write_lock:
+                write_message(stdin, message)
+        except (BrokenPipeError, ValueError) as exc:
+            raise WorkerProtocolError(
+                f"replica {self.name}: worker pipe broke"
+            ) from exc
+
+    def submit(self, op: str, payload: dict) -> Tuple[int, Future]:
+        """Send one request; returns ``(request id, future of raw payload)``."""
+        with self._pending_lock:
+            if self._closed:
+                raise WorkerProtocolError(
+                    f"replica {self.name}: already closed"
+                )
+            self._next_id += 1
+            request_id = self._next_id
+            future: Future = Future()
+            self._pending[request_id] = future
+        message = {"op": op, "id": request_id}
+        message.update(payload)
+        try:
+            self._send(message)
+        except WorkerProtocolError:
+            with self._pending_lock:
+                self._pending.pop(request_id, None)
+            raise
+        return request_id, future
+
+    def _call(self, op: str, payload: dict):
+        _, future = self.submit(op, payload)
+        return future.result(timeout=self._timeout)
+
+    def _read_loop(self) -> None:
+        stdout = self._process.stdout
+        assert stdout is not None
+        try:
+            for line in stdout:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    message = parse_message(line)
+                except WorkerProtocolError as exc:
+                    self._fail_pending(exc)
+                    return
+                if message.get("op") == "ready":
+                    if not self._ready.done():
+                        self._ready.set_result(message)
+                    continue
+                self._resolve(message)
+        finally:
+            died = WorkerProtocolError(
+                f"replica {self.name}: worker exited "
+                f"(code {self._process.poll()})"
+            )
+            if not self._ready.done():
+                self._ready.set_exception(died)
+            self._fail_pending(died)
+
+    def _resolve(self, message: dict) -> None:
+        request_id = message.get("id")
+        with self._pending_lock:
+            future = self._pending.pop(request_id, None)
+        if future is None:  # late reply to a cancelled/abandoned request
+            return
+        if "error" in message:
+            future.set_exception(error_from_wire(message["error"]))
+        else:
+            future.set_result(message.get("ok"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(exc)

@@ -1,0 +1,671 @@
+"""The fleet front-end: shard-aware scatter-gather over replica workers.
+
+:class:`FleetRouter` owns a fixed set of replicas (in-process services
+or ``fleet-worker`` subprocesses — one shard each), a deterministic
+:mod:`sharding <repro.fleet.sharding>` policy, and a per-replica
+:mod:`health <repro.fleet.health>` tracker.  The serving path:
+
+1. **Expand** the query against the router's own (shard-independent)
+   domain store — the exact expansion every replica would compute.
+2. **Route.** If every expansion term lands on one shard (always true
+   for matched queries under domain-partition sharding, and for any
+   single-term query), the whole query goes to that shard's replica —
+   its result cache serves repeats.  Otherwise the terms **scatter** as
+   ``score_partial`` legs to their owning shards and the partial pools
+   **gather** through :func:`~repro.fleet.merge.merge_partials`, which
+   reproduces the single-replica ranking exactly.
+3. **Hedge.** Every replica call races a latency-percentile deadline
+   (per replica, from the tracker); past it, a backup fires on the
+   next-healthiest replica — any replica can serve any leg because all
+   hold the full corpus — and the first answer wins.  The loser is
+   cancelled best-effort (unstarted work is dropped; started work runs
+   out and warms that replica's cache).  A replica that *fails* fails
+   over the same way immediately.
+
+Promotion is two-phase (:meth:`FleetRouter.promote`): preload the
+artifact on **every** replica first — any failure aborts with nothing
+flipped anywhere — then CAS-flip each replica via
+``SnapshotHolder.publish(expected_version=...)``.  A replica whose
+version moved underneath loses the CAS loudly instead of silently
+serving a mixed fleet, and the merge independently refuses
+cross-version gathers (:class:`FleetVersionSkewError`) with a bounded
+router-level retry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.detector.ranking import RankedExpert, RankingConfig
+from repro.expansion.domainstore import DomainStore
+from repro.fleet.errors import (
+    FleetVersionSkewError,
+    NoHealthyReplicaError,
+    PromotionError,
+)
+from repro.fleet.health import ReplicaTracker, ReplicaVitals
+from repro.fleet.merge import merge_partials
+from repro.fleet.sharding import (
+    DomainPartitionSharding,
+    ShardingPolicy,
+    TokenHashSharding,
+)
+from repro.serving.errors import ServiceClosedError
+from repro.serving.service import ReplicaHealthReport
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Router knobs (hedging, retries, pool sizing)."""
+
+    #: fire backup requests past the per-replica latency deadline
+    hedging: bool = True
+    #: latency percentile a call must beat before a backup fires
+    hedge_percentile: float = 0.95
+    #: per-replica samples required before percentile deadlines apply
+    hedge_min_samples: int = 8
+    #: deadline used until a replica has enough samples
+    hedge_default_deadline_seconds: float = 0.05
+    #: sliding latency window per replica
+    latency_window: int = 128
+    #: how long a gather waits for its slowest leg before giving up
+    gather_timeout_seconds: float = 300.0
+    #: re-scatters allowed when a promotion races a gather
+    skew_retries: int = 2
+    #: threads executing replica calls (None: 4 per replica, min 8)
+    executor_threads: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hedge_percentile <= 1.0:
+            raise ValueError("hedge_percentile must be in (0, 1]")
+        if self.skew_retries < 0:
+            raise ValueError("skew_retries must be >= 0")
+
+
+@dataclass(frozen=True)
+class FleetAnswer:
+    """One answered query, stamped with fleet routing provenance.
+
+    Field-compatible with the single-replica
+    :class:`~repro.serving.service.ServedAnswer` surface the load
+    generator reads, plus the routing story (mode, shards touched,
+    hedges fired).
+    """
+
+    query: str
+    experts: Tuple[RankedExpert, ...]
+    terms: Tuple[str, ...]
+    matched_domain: Optional[str]
+    snapshot_version: int
+    cache_hit: bool
+    coalesced: bool
+    expansion_seconds: float
+    detection_seconds: float
+    total_seconds: float
+    #: "single-shard" (whole query on one replica) or "scatter-gather"
+    mode: str = "single-shard"
+    #: shards that served this answer
+    shards: Tuple[int, ...] = ()
+    #: backup requests fired for this answer
+    hedges: int = 0
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Aggregated router counters plus per-replica vitals."""
+
+    replicas: int
+    shards: int
+    policy: str
+    requests: int
+    single_shard: int
+    scattered: int
+    scatter_legs: int
+    hedges_fired: int
+    hedge_wins: int
+    failovers: int
+    skew_retries: int
+    promotions: int
+    replica_vitals: Tuple[ReplicaVitals, ...] = ()
+    replica_health: Tuple[Tuple[str, ReplicaHealthReport], ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "replicas": self.replicas,
+            "shards": self.shards,
+            "policy": self.policy,
+            "requests": self.requests,
+            "single_shard": self.single_shard,
+            "scattered": self.scattered,
+            "scatter_legs": self.scatter_legs,
+            "hedges_fired": self.hedges_fired,
+            "hedge_wins": self.hedge_wins,
+            "failovers": self.failovers,
+            "skew_retries": self.skew_retries,
+            "promotions": self.promotions,
+            "replica_vitals": [v.to_dict() for v in self.replica_vitals],
+            "replica_health": {
+                name: report.to_dict()
+                for name, report in self.replica_health
+            },
+        }
+
+
+@dataclass
+class _HedgedOutcome:
+    value: object
+    hedges: int = 0
+    backup_won: bool = False
+    failovers: int = 0
+
+
+class FleetRouter:
+    """Scatter-gather front-end over a fixed replica fleet."""
+
+    def __init__(
+        self,
+        replicas: Sequence,
+        *,
+        domain_store: DomainStore,
+        ranking: RankingConfig,
+        sharding: Optional[ShardingPolicy] = None,
+        expansion_policy=None,
+        graph=None,
+        config: Optional[FleetConfig] = None,
+    ) -> None:
+        from repro.expansion.policies import FullCommunityPolicy
+
+        if not replicas:
+            raise ValueError("a fleet needs at least one replica")
+        names = [replica.name for replica in replicas]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate replica names: {names}")
+        self.replicas = list(replicas)
+        self.config = config or FleetConfig()
+        self.sharding = sharding or DomainPartitionSharding.from_store(
+            len(replicas), domain_store
+        )
+        if self.sharding.num_shards != len(self.replicas):
+            raise ValueError(
+                f"sharding covers {self.sharding.num_shards} shards but the "
+                f"fleet has {len(self.replicas)} replicas"
+            )
+        self._store = domain_store
+        self._ranking = ranking
+        self._policy = expansion_policy or FullCommunityPolicy()
+        self._graph = graph
+        self._by_name = {replica.name: replica for replica in replicas}
+        self._tracker = ReplicaTracker(
+            names,
+            window=self.config.latency_window,
+            hedge_percentile=self.config.hedge_percentile,
+            min_samples=self.config.hedge_min_samples,
+            default_deadline_seconds=(
+                self.config.hedge_default_deadline_seconds
+            ),
+        )
+        threads = self.config.executor_threads
+        if threads is None:
+            threads = max(8, 4 * len(self.replicas))
+        #: runs ONLY leaf replica calls — nothing submitted here ever
+        #: submits here again, so the pool cannot deadlock on itself
+        self._executor = ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix="repro-fleet"
+        )
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._single = 0
+        self._scattered = 0
+        self._legs = 0
+        self._hedges = 0
+        self._hedge_wins = 0
+        self._failovers = 0
+        self._skew_retries = 0
+        self._promotions = 0
+        self._closed = False
+
+    @classmethod
+    def from_artifact(
+        cls,
+        path,
+        replicas: Sequence,
+        *,
+        sharding: str = "domain",
+        expected_config=None,
+        config: Optional[FleetConfig] = None,
+    ) -> "FleetRouter":
+        """Build a router whose routing state warm-starts from an artifact.
+
+        Loads **only** the domain-store stage
+        (:func:`~repro.artifact.load_artifact_stages`) — the front-end
+        needs the keyword → domain map for expansion/routing, not the
+        corpus — plus the manifest config for ranking semantics.
+        """
+        from repro.artifact import load_artifact_stages
+
+        partial = load_artifact_stages(
+            path, ("domain_store",), expected_config
+        )
+        domain_store = partial.values["domain_store"]
+        if sharding == "domain":
+            policy: ShardingPolicy = DomainPartitionSharding.from_store(
+                len(replicas), domain_store
+            )
+        elif sharding == "hash":
+            policy = TokenHashSharding(len(replicas))
+        else:
+            raise ValueError(f"unknown sharding policy {sharding!r}")
+        return cls(
+            replicas,
+            domain_store=domain_store,
+            ranking=partial.config.ranking,
+            sharding=policy,
+            config=config,
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every replica and release the call pool (idempotent)."""
+        self._closed = True
+        for replica in self.replicas:
+            try:
+                replica.close()
+            except Exception:  # noqa: BLE001 - keep closing the rest
+                pass
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "FleetRouter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- the serving path --------------------------------------------------------
+
+    def query(
+        self, query: str, min_zscore: Optional[float] = None
+    ) -> FleetAnswer:
+        """Route one query through the fleet.
+
+        Exactly the single-replica answer (same experts, same order,
+        same snapshot version), produced by one replica or merged from
+        several — the caller cannot tell which, except through the
+        provenance fields.
+        """
+        if self._closed:
+            raise ServiceClosedError("fleet router is closed")
+        started = time.perf_counter()
+        with self._lock:
+            self._requests += 1
+        attempts = self.config.skew_retries + 1
+        for attempt in range(attempts):
+            try:
+                return self._route(query, min_zscore, started)
+            except FleetVersionSkewError:
+                if attempt + 1 == attempts:
+                    raise
+                with self._lock:
+                    self._skew_retries += 1
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _route(
+        self,
+        query: str,
+        min_zscore: Optional[float],
+        started: float,
+    ) -> FleetAnswer:
+        expansion_started = time.perf_counter()
+        terms, domain_id = self._expand(query)
+        expansion_seconds = time.perf_counter() - expansion_started
+        legs = self.sharding.plan(terms)
+
+        if len(legs) == 1:
+            (shard,) = legs
+            outcome = self._call_hedged(
+                shard, lambda replica: replica.query(query, min_zscore)
+            )
+            answer = outcome.value
+            self._account(
+                single=1,
+                hedges=outcome.hedges,
+                hedge_wins=int(outcome.backup_won),
+                failovers=outcome.failovers,
+            )
+            return FleetAnswer(
+                query=answer.query,
+                experts=answer.experts,
+                terms=answer.terms,
+                matched_domain=answer.matched_domain,
+                snapshot_version=answer.snapshot_version,
+                cache_hit=answer.cache_hit,
+                coalesced=answer.coalesced,
+                expansion_seconds=expansion_seconds,
+                detection_seconds=answer.detection_seconds,
+                total_seconds=time.perf_counter() - started,
+                mode="single-shard",
+                shards=(shard,),
+                hedges=outcome.hedges,
+            )
+
+        threshold = (
+            min_zscore if min_zscore is not None else self._ranking.min_zscore
+        )
+        detection_started = time.perf_counter()
+        outcomes = self._scatter(query, legs)
+        pools = [outcome.value for outcome in outcomes]
+        experts, version = merge_partials(
+            pools,
+            threshold=threshold,
+            max_results=self._ranking.max_results,
+        )
+        detection_seconds = time.perf_counter() - detection_started
+        hedges = sum(outcome.hedges for outcome in outcomes)
+        self._account(
+            scattered=1,
+            legs=len(legs),
+            hedges=hedges,
+            hedge_wins=sum(int(o.backup_won) for o in outcomes),
+            failovers=sum(o.failovers for o in outcomes),
+        )
+        return FleetAnswer(
+            query=query,
+            experts=experts,
+            terms=tuple(terms),
+            matched_domain=domain_id,
+            snapshot_version=version,
+            cache_hit=False,
+            coalesced=False,
+            expansion_seconds=expansion_seconds,
+            detection_seconds=detection_seconds,
+            total_seconds=time.perf_counter() - started,
+            mode="scatter-gather",
+            shards=tuple(sorted(legs)),
+            hedges=hedges,
+        )
+
+    def _expand(self, query: str) -> Tuple[List[str], Optional[str]]:
+        """The exact expansion every replica would compute (§5)."""
+        domain = self._store.lookup(query)
+        if domain is None:
+            return [query], None
+        return (
+            self._policy.terms(query, domain, self._graph),
+            domain.domain_id,
+        )
+
+    def _scatter(
+        self, query: str, legs: Dict[int, List[Tuple[int, str]]]
+    ) -> List[_HedgedOutcome]:
+        """Run every leg's hedged call concurrently; gather in shard order.
+
+        Coordinator threads are plain daemons (one per extra leg; the
+        first leg coordinates on the calling thread) because a hedged
+        call *waits* on executor futures — coordinating on the executor
+        itself could deadlock a saturated pool.
+        """
+        ordered = sorted(legs.items())
+        results: List[Optional[_HedgedOutcome]] = [None] * len(ordered)
+        errors: List[Optional[BaseException]] = [None] * len(ordered)
+
+        def coordinate(position: int, shard: int, indexed) -> None:
+            try:
+                results[position] = self._call_hedged(
+                    shard,
+                    lambda replica: replica.score_partial(query, indexed),
+                )
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors[position] = exc
+
+        threads = [
+            threading.Thread(
+                target=coordinate,
+                args=(position, shard, indexed),
+                name=f"repro-fleet-leg-{shard}",
+                daemon=True,
+            )
+            for position, (shard, indexed) in enumerate(ordered)
+            if position > 0
+        ]
+        for thread in threads:
+            thread.start()
+        coordinate(0, *ordered[0])
+        deadline = time.monotonic() + self.config.gather_timeout_seconds
+        for thread in threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                raise NoHealthyReplicaError(
+                    f"gather timed out after "
+                    f"{self.config.gather_timeout_seconds}s waiting for "
+                    f"{thread.name}"
+                )
+        for exc in errors:
+            if exc is not None:
+                raise exc
+        return [outcome for outcome in results if outcome is not None]
+
+    def _call_hedged(
+        self, shard: int, call: Callable
+    ) -> _HedgedOutcome:
+        """Call the shard's replica with hedging + failover.
+
+        The primary runs on the executor so this thread can race it
+        against the tracker's deadline; past the deadline (or on primary
+        failure) the next-healthiest *other* replica gets a backup and
+        the first success wins.  The loser future is cancelled —
+        unstarted work is dropped; started work completes and its
+        latency still feeds the tracker.
+        """
+        primary = self.replicas[shard]
+        tried = {primary.name}
+        flights: Dict[Future, str] = {self._spawn(primary, call): primary.name}
+        hedges = 0
+        failovers = 0
+        hedged = False
+        use_deadline = self.config.hedging and len(self.replicas) > 1
+        first_error: Optional[BaseException] = None
+        while flights:
+            timeout = (
+                self._tracker.hedge_deadline(primary.name)
+                if use_deadline and not hedged
+                else None
+            )
+            done, _ = wait(
+                set(flights), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # deadline expired: fire ONE backup, then first answer wins
+                hedged = True
+                backup = self._next_backup(tried)
+                if backup is not None:
+                    tried.add(backup.name)
+                    hedges += 1
+                    flights[self._spawn(backup, call)] = backup.name
+                continue
+            for future in done:
+                name = flights.pop(future)
+                try:
+                    value = future.result()
+                except BaseException as exc:  # noqa: BLE001 - failover
+                    if not isinstance(exc, ServiceClosedError):
+                        self._tracker.record_failure(name)
+                    if first_error is None:
+                        first_error = exc
+                    if not flights:
+                        backup = self._next_backup(tried)
+                        if backup is not None:
+                            tried.add(backup.name)
+                            failovers += 1
+                            flights[self._spawn(backup, call)] = backup.name
+                    continue
+                for loser in flights:
+                    loser.cancel()
+                return _HedgedOutcome(
+                    value=value,
+                    hedges=hedges,
+                    backup_won=(name != primary.name),
+                    failovers=failovers,
+                )
+        if first_error is not None:
+            raise first_error
+        raise NoHealthyReplicaError("no replica answered")
+
+    def _next_backup(self, tried: set):
+        for name in self._tracker.ranked(exclude=tried):
+            return self._by_name[name]
+        return None
+
+    def _spawn(self, replica, call: Callable) -> Future:
+        """Run one replica call on the leaf executor, feeding the tracker."""
+
+        def run():
+            call_started = time.perf_counter()
+            value = call(replica)
+            self._tracker.record_success(
+                replica.name, time.perf_counter() - call_started
+            )
+            return value
+
+        return self._executor.submit(run)
+
+    def _account(
+        self,
+        *,
+        single: int = 0,
+        scattered: int = 0,
+        legs: int = 0,
+        hedges: int = 0,
+        hedge_wins: int = 0,
+        failovers: int = 0,
+    ) -> None:
+        with self._lock:
+            self._single += single
+            self._scattered += scattered
+            self._legs += legs
+            self._hedges += hedges
+            self._hedge_wins += hedge_wins
+            self._failovers += failovers
+
+    # -- two-phase snapshot promotion --------------------------------------------
+
+    def promote(self, artifact_dir) -> int:
+        """Roll the whole fleet to an artifact generation, two-phase.
+
+        **Phase one (preload):** every replica loads the artifact fully —
+        decode, corpus, candidate index — while still serving its current
+        generation.  Any failure aborts the promotion with *nothing
+        flipped anywhere* (:class:`PromotionError` lists per-replica
+        outcomes).  All replicas must stage the same manifest version.
+
+        **Phase two (flip):** each replica CAS-publishes the staged
+        generation (``publish(expected_version=<its current version>,
+        version=<staged>)``).  A replica whose version moved in between
+        fails the CAS loudly; the error reports which replicas flipped.
+        The flip itself is one reference swap per replica, and the
+        gather path refuses mixed-version merges in the window, so a
+        client can never observe a blended ranking.
+
+        Returns the fleet-wide version after a fully successful roll.
+        """
+        if self._closed:
+            raise ServiceClosedError("fleet router is closed")
+        outcomes: Dict[str, str] = {}
+        current: Dict[str, int] = {
+            replica.name: replica.health().snapshot_version
+            for replica in self.replicas
+        }
+
+        preload_futures = [
+            (
+                replica,
+                self._executor.submit(replica.preload, artifact_dir),
+            )
+            for replica in self.replicas
+        ]
+        staged_versions: Dict[str, int] = {}
+        failed = False
+        for replica, future in preload_futures:
+            try:
+                staged_versions[replica.name] = future.result(
+                    timeout=self.config.gather_timeout_seconds
+                )
+                outcomes[replica.name] = (
+                    f"preloaded v{staged_versions[replica.name]}"
+                )
+            except Exception as exc:  # noqa: BLE001 - aggregated below
+                outcomes[replica.name] = f"preload failed: {exc}"
+                failed = True
+        if failed:
+            raise PromotionError(
+                "phase one (preload) failed; nothing was flipped", outcomes
+            )
+        versions = sorted(set(staged_versions.values()))
+        if len(versions) > 1:
+            raise PromotionError(
+                f"replicas staged different versions {versions}; "
+                "nothing was flipped",
+                outcomes,
+            )
+        target = versions[0]
+
+        flipped = 0
+        for replica in self.replicas:
+            try:
+                flipped_to = replica.promote(
+                    expected_version=current[replica.name]
+                )
+                outcomes[replica.name] = f"flipped to v{flipped_to}"
+                flipped += 1
+            except Exception as exc:  # noqa: BLE001 - aggregated below
+                outcomes[replica.name] = f"flip failed: {exc}"
+                raise PromotionError(
+                    f"phase two (flip) failed on {replica.name} after "
+                    f"{flipped} of {len(self.replicas)} replicas flipped",
+                    outcomes,
+                ) from exc
+        with self._lock:
+            self._promotions += 1
+        return target
+
+    # -- observability -----------------------------------------------------------
+
+    def health(self) -> Dict[str, ReplicaHealthReport]:
+        """Poll every replica's vitals (version skew shows up here)."""
+        return {
+            replica.name: replica.health() for replica in self.replicas
+        }
+
+    def stats(self) -> FleetStats:
+        with self._lock:
+            requests = self._requests
+            single = self._single
+            scattered = self._scattered
+            legs = self._legs
+            hedges = self._hedges
+            hedge_wins = self._hedge_wins
+            failovers = self._failovers
+            skew_retries = self._skew_retries
+            promotions = self._promotions
+        return FleetStats(
+            replicas=len(self.replicas),
+            shards=self.sharding.num_shards,
+            policy=self.sharding.name,
+            requests=requests,
+            single_shard=single,
+            scattered=scattered,
+            scatter_legs=legs,
+            hedges_fired=hedges,
+            hedge_wins=hedge_wins,
+            failovers=failovers,
+            skew_retries=skew_retries,
+            promotions=promotions,
+            replica_vitals=tuple(self._tracker.vitals()),
+            replica_health=tuple(
+                (replica.name, replica.health())
+                for replica in self.replicas
+            ),
+        )

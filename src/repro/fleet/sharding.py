@@ -1,0 +1,182 @@
+"""Deterministic shard ownership for scatter-gather serving.
+
+Every replica in the fleet holds the **full** corpus; a shard is a unit
+of *routing ownership*, not of storage.  The routing unit is the
+expansion term: each term of an expanded query is owned by exactly one
+shard, the owning replica scores it (and caches the scored slice), and
+the router merges the per-shard partial pools back into the exact
+single-replica ranking.  Two policies:
+
+* :class:`DomainPartitionSharding` — every keyword of an expertise
+  domain maps to its domain's shard, so a *matched* expansion (whose
+  terms are by construction one domain's keywords) always collapses to
+  a single shard and is served by one replica's whole-answer cache.
+* :class:`TokenHashSharding` — terms spread individually over a
+  consistent-hash ring, so multi-term expansions scatter and each
+  replica's caches hold only its slice of the term space.
+
+All hashing is SHA-1 based and therefore independent of
+``PYTHONHASHSEED`` and stable across processes, platforms and runs —
+two routers built from the same artifact agree on every owner.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+from repro.utils.text import phrase_key
+
+#: ring points per shard; enough that domain ownership spreads evenly
+#: over small fleets without making ring construction noticeable
+DEFAULT_VIRTUAL_NODES = 64
+
+
+def stable_hash(text: str) -> int:
+    """A process-stable 64-bit hash (SHA-1 prefix, not ``hash()``)."""
+    digest = hashlib.sha1(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """Classic consistent hashing: shards own arcs of a hash circle.
+
+    Adding or removing one shard moves only the keys on the arcs it
+    owned — the property that makes resizing a fleet cheap — and every
+    lookup is one bisect over a precomputed point list.
+    """
+
+    def __init__(
+        self, num_shards: int, virtual_nodes: int = DEFAULT_VIRTUAL_NODES
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if virtual_nodes < 1:
+            raise ValueError(
+                f"virtual_nodes must be >= 1, got {virtual_nodes}"
+            )
+        self.num_shards = num_shards
+        points: List[Tuple[int, int]] = []
+        for shard in range(num_shards):
+            for node in range(virtual_nodes):
+                points.append((stable_hash(f"shard:{shard}:vnode:{node}"), shard))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def owner(self, key: str) -> int:
+        """The shard owning ``key`` (first ring point at or after it)."""
+        index = bisect.bisect_left(self._hashes, stable_hash(key))
+        if index == len(self._hashes):
+            index = 0
+        return self._owners[index]
+
+
+class ShardingPolicy:
+    """Base policy: deterministic term → shard and domain → shard maps."""
+
+    name = "base"
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+
+    def shard_of_term(self, term: str) -> int:
+        raise NotImplementedError
+
+    def shard_of_domain(self, domain_id: str) -> int:
+        raise NotImplementedError
+
+    def plan(
+        self, terms: Iterable[str]
+    ) -> Dict[int, List[Tuple[int, str]]]:
+        """Group an expansion's terms by owning shard.
+
+        Each leg keeps its terms as ``(global index, term)`` pairs in
+        ascending index order — the order the per-replica partial
+        reduction relies on for its first-term-wins tie-break.
+        """
+        legs: Dict[int, List[Tuple[int, str]]] = {}
+        for index, term in enumerate(terms):
+            legs.setdefault(self.shard_of_term(term), []).append(
+                (index, term)
+            )
+        return legs
+
+
+class TokenHashSharding(ShardingPolicy):
+    """Consistent-hash each (normalised) term onto the ring."""
+
+    name = "hash"
+
+    def __init__(
+        self, num_shards: int, virtual_nodes: int = DEFAULT_VIRTUAL_NODES
+    ) -> None:
+        super().__init__(num_shards)
+        self._ring = ConsistentHashRing(num_shards, virtual_nodes)
+
+    def shard_of_term(self, term: str) -> int:
+        return self._ring.owner(phrase_key(term))
+
+    def shard_of_domain(self, domain_id: str) -> int:
+        # a domain is addressed by its canonical id, exactly like a term
+        return self._ring.owner(phrase_key(domain_id))
+
+
+class DomainPartitionSharding(ShardingPolicy):
+    """Route whole expertise domains: a domain's keywords share a shard.
+
+    Domain ids are consistent-hashed onto the ring and every member
+    keyword inherits the domain's owner, so a matched expansion — the
+    query's domain's keyword list — is always a single leg.  Terms
+    outside any domain (unmatched queries) fall back to term hashing,
+    which keeps them deterministically spread.
+    """
+
+    name = "domain"
+
+    def __init__(
+        self,
+        num_shards: int,
+        keyword_owners: Dict[str, int],
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+    ) -> None:
+        super().__init__(num_shards)
+        self._ring = ConsistentHashRing(num_shards, virtual_nodes)
+        self._keyword_owners = dict(keyword_owners)
+
+    @classmethod
+    def from_store(
+        cls,
+        num_shards: int,
+        domain_store,
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+    ) -> "DomainPartitionSharding":
+        """Build the keyword → shard map from a domain store."""
+        ring = ConsistentHashRing(num_shards, virtual_nodes)
+        owners: Dict[str, int] = {}
+        for domain in domain_store.domains():
+            shard = ring.owner(phrase_key(domain.domain_id))
+            for keyword in domain.keywords:
+                # setdefault mirrors DomainStore: a later domain never
+                # steals an earlier domain's keyword
+                owners.setdefault(phrase_key(keyword), shard)
+        return cls(num_shards, owners, virtual_nodes)
+
+    def shard_of_term(self, term: str) -> int:
+        key = phrase_key(term)
+        owner = self._keyword_owners.get(key)
+        if owner is not None:
+            return owner
+        return self._ring.owner(key)
+
+    def shard_of_domain(self, domain_id: str) -> int:
+        return self._ring.owner(phrase_key(domain_id))
+
+
+POLICIES = {
+    TokenHashSharding.name: TokenHashSharding,
+    DomainPartitionSharding.name: DomainPartitionSharding,
+}

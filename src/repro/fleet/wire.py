@@ -1,0 +1,169 @@
+"""JSON-lines wire format between the router and subprocess workers.
+
+One request or response per line, UTF-8 JSON.  Requests carry a
+monotonically increasing ``id``; responses echo it with either ``ok``
+(the payload) or ``error`` (``{"type", "message"}``).  The worker's
+very first line is an unsolicited ``{"op": "ready", "version": V}``
+handshake so the parent knows the artifact finished loading.
+
+Floats cross the wire through ``json`` (repr-based), which round-trips
+every finite IEEE-754 double **exactly** — a score computed on a worker
+compares bit-equal after decoding, so the merge's tie-breaking (and the
+byte-identity property) survives process boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.detector.features import FeatureVector
+from repro.detector.normalize import NormalizedFeatures
+from repro.detector.ranking import RankedExpert
+from repro.fleet.errors import RemoteReplicaError, WorkerProtocolError
+from repro.serving.errors import ServiceClosedError, ServiceOverloadedError
+from repro.serving.service import PartialPool, ReplicaHealthReport, ServedAnswer
+from repro.serving.snapshot import StaleSnapshotError
+
+PROTOCOL_VERSION = 1
+
+
+# -- records ------------------------------------------------------------------
+
+
+def expert_to_wire(expert: RankedExpert) -> list:
+    return [
+        expert.user_id,
+        expert.screen_name,
+        expert.description,
+        expert.verified,
+        expert.followers,
+        expert.score,
+        list(expert.features),
+        list(expert.zscores),
+    ]
+
+
+def expert_from_wire(raw: list) -> RankedExpert:
+    return RankedExpert(
+        user_id=raw[0],
+        screen_name=raw[1],
+        description=raw[2],
+        verified=raw[3],
+        followers=raw[4],
+        score=raw[5],
+        features=FeatureVector(*raw[6]),
+        zscores=NormalizedFeatures(*raw[7]),
+    )
+
+
+def answer_to_wire(answer: ServedAnswer) -> dict:
+    return {
+        "query": answer.query,
+        "experts": [expert_to_wire(e) for e in answer.experts],
+        "terms": list(answer.terms),
+        "matched_domain": answer.matched_domain,
+        "snapshot_version": answer.snapshot_version,
+        "cache_hit": answer.cache_hit,
+        "coalesced": answer.coalesced,
+        "expansion_seconds": answer.expansion_seconds,
+        "detection_seconds": answer.detection_seconds,
+        "total_seconds": answer.total_seconds,
+    }
+
+
+def answer_from_wire(raw: dict) -> ServedAnswer:
+    return ServedAnswer(
+        query=raw["query"],
+        experts=tuple(expert_from_wire(e) for e in raw["experts"]),
+        terms=tuple(raw["terms"]),
+        matched_domain=raw["matched_domain"],
+        snapshot_version=raw["snapshot_version"],
+        cache_hit=raw["cache_hit"],
+        coalesced=raw["coalesced"],
+        expansion_seconds=raw["expansion_seconds"],
+        detection_seconds=raw["detection_seconds"],
+        total_seconds=raw["total_seconds"],
+    )
+
+
+def partial_to_wire(pool: PartialPool) -> dict:
+    return {
+        "query": pool.query,
+        "snapshot_version": pool.snapshot_version,
+        "entries": [
+            [index, expert_to_wire(expert)] for index, expert in pool.entries
+        ],
+    }
+
+
+def partial_from_wire(raw: dict) -> PartialPool:
+    return PartialPool(
+        query=raw["query"],
+        snapshot_version=raw["snapshot_version"],
+        entries=tuple(
+            (index, expert_from_wire(expert))
+            for index, expert in raw["entries"]
+        ),
+    )
+
+
+def health_from_wire(raw: dict) -> ReplicaHealthReport:
+    return ReplicaHealthReport(
+        snapshot_version=raw["snapshot_version"],
+        cache_hit_ratio=raw["cache_hit_ratio"],
+        requests=raw["requests"],
+        partial_requests=raw["partial_requests"],
+        in_flight=raw["in_flight"],
+        waiting=raw["waiting"],
+    )
+
+
+# -- errors -------------------------------------------------------------------
+
+#: worker-side exception types re-raised as their typed local selves
+_TYPED_ERRORS = {
+    "ServiceClosedError": ServiceClosedError,
+    "StaleSnapshotError": StaleSnapshotError,
+}
+
+
+def error_to_wire(exc: BaseException) -> dict:
+    return {"type": type(exc).__name__, "message": str(exc)}
+
+
+def error_from_wire(raw: dict) -> Exception:
+    kind = raw.get("type", "Exception")
+    message = raw.get("message", "")
+    if kind == "ServiceOverloadedError":
+        # the structured fields are already rendered into the message;
+        # reconstruct with the message as the reason so isinstance-based
+        # backoff in the router keeps working
+        return ServiceOverloadedError(message)
+    factory = _TYPED_ERRORS.get(kind)
+    if factory is not None:
+        return factory(message)
+    return RemoteReplicaError(kind, message)
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def write_message(stream: IO[str], message: dict) -> None:
+    """One JSON object per line, flushed (the peer is blocked on it)."""
+    stream.write(json.dumps(message, separators=(",", ":")) + "\n")
+    stream.flush()
+
+
+def parse_message(line: str) -> dict:
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise WorkerProtocolError(
+            f"undecodable wire line: {line[:120]!r}"
+        ) from exc
+    if not isinstance(message, dict):
+        raise WorkerProtocolError(
+            f"wire message must be an object, got {type(message).__name__}"
+        )
+    return message

@@ -1,0 +1,173 @@
+"""The ``python -m repro fleet-worker`` main loop.
+
+A worker is one warm-started replica speaking the JSON-lines protocol of
+:mod:`repro.fleet.wire` on stdio: load the artifact, announce
+``{"op": "ready", "version": V}``, then serve requests until
+``shutdown``.  Requests run on a small thread pool so a health probe (or
+a hedged duplicate) is answered while a slow query is still scoring;
+``cancel`` marks a request id so a not-yet-started request is dropped
+instead of computed.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import IO, Optional
+
+from repro.core.esharp import ESharp
+from repro.fleet.wire import (
+    answer_to_wire,
+    error_to_wire,
+    parse_message,
+    partial_to_wire,
+    write_message,
+)
+from repro.serving.service import ExpertService, ServiceConfig
+
+#: request threads per worker — enough for overlapping scatter legs plus
+#: a health probe; the service's own admission control bounds real work
+WORKER_THREADS = 4
+
+
+class FleetWorker:
+    """One replica process: an :class:`ExpertService` behind a wire loop."""
+
+    def __init__(
+        self,
+        artifact_dir: str,
+        *,
+        detection_workers: int = 2,
+        cache_capacity: Optional[int] = None,
+        score_cache_capacity: Optional[int] = None,
+        reader: Optional[IO[str]] = None,
+        writer: Optional[IO[str]] = None,
+    ) -> None:
+        self._reader = reader if reader is not None else sys.stdin
+        self._writer = writer if writer is not None else sys.stdout
+        self._write_lock = threading.Lock()
+        self.system = ESharp.from_artifact(artifact_dir)
+        if score_cache_capacity is not None:
+            self.system.detector.configure_score_cache(
+                cache_capacity=score_cache_capacity
+            )
+        config = ServiceConfig(detection_workers=detection_workers)
+        if cache_capacity is not None:
+            from dataclasses import replace
+
+            config = replace(config, cache_capacity=cache_capacity)
+        self.service = ExpertService(self.system, config)
+        self._cancelled: set = set()
+        self._cancel_lock = threading.Lock()
+
+    # -- wire I/O ---------------------------------------------------------------
+
+    def _write(self, message: dict) -> None:
+        with self._write_lock:
+            write_message(self._writer, message)
+
+    def _reply_ok(self, request_id, payload) -> None:
+        self._write({"id": request_id, "ok": payload})
+
+    def _reply_error(self, request_id, exc: BaseException) -> None:
+        self._write({"id": request_id, "error": error_to_wire(exc)})
+
+    # -- request handling -------------------------------------------------------
+
+    def _handle(self, message: dict) -> None:
+        request_id = message.get("id")
+        with self._cancel_lock:
+            if request_id in self._cancelled:
+                self._cancelled.discard(request_id)
+                self._reply_error(
+                    request_id, RuntimeError("cancelled before start")
+                )
+                return
+        try:
+            payload = self._dispatch(message)
+        except BaseException as exc:  # noqa: BLE001 - typed over the wire
+            self._reply_error(request_id, exc)
+            return
+        self._reply_ok(request_id, payload)
+
+    def _dispatch(self, message: dict):
+        op = message.get("op")
+        if op == "ping":
+            return "pong"
+        if op == "query":
+            answer = self.service.query(
+                message["query"], message.get("min_zscore")
+            )
+            return answer_to_wire(answer)
+        if op == "partial":
+            pool = self.service.score_partial(
+                message["query"],
+                [(index, term) for index, term in message["terms"]],
+            )
+            return partial_to_wire(pool)
+        if op == "health":
+            return self.service.health().to_dict()
+        if op == "preload":
+            self._staged = self.system.stage_artifact(message["path"])
+            return self._staged.version
+        if op == "promote":
+            staged = getattr(self, "_staged", None)
+            if staged is None:
+                raise RuntimeError("promote before preload")
+            snapshot = self.system.promote_staged(
+                staged, expected_version=message.get("expected_version")
+            )
+            self._staged = None
+            return snapshot.version
+        raise ValueError(f"unknown op {op!r}")
+
+    # -- the main loop ----------------------------------------------------------
+
+    def run(self) -> int:
+        executor = ThreadPoolExecutor(
+            max_workers=WORKER_THREADS, thread_name_prefix="fleet-worker"
+        )
+        self._write(
+            {"op": "ready", "version": self.system.snapshots.version}
+        )
+        try:
+            for line in self._reader:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    message = parse_message(line)
+                except Exception as exc:  # noqa: BLE001 - report and go on
+                    self._write({"id": None, "error": error_to_wire(exc)})
+                    continue
+                op = message.get("op")
+                if op == "shutdown":
+                    self._reply_ok(message.get("id"), "bye")
+                    break
+                if op == "cancel":
+                    with self._cancel_lock:
+                        self._cancelled.add(message.get("target"))
+                    continue
+                executor.submit(self._handle, message)
+        finally:
+            executor.shutdown(wait=True)
+            self.service.close()
+        return 0
+
+
+def serve_worker(
+    artifact_dir: str,
+    *,
+    detection_workers: int = 2,
+    cache_capacity: Optional[int] = None,
+    score_cache_capacity: Optional[int] = None,
+) -> int:
+    """CLI entry point for ``python -m repro fleet-worker``."""
+    worker = FleetWorker(
+        artifact_dir,
+        detection_workers=detection_workers,
+        cache_capacity=cache_capacity,
+        score_cache_capacity=score_cache_capacity,
+    )
+    return worker.run()

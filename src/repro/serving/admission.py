@@ -135,28 +135,28 @@ class AdmissionController:
             # close) or keeps waiting out its own deadline
             self._condition.notify_all()
 
-    def drain(self, timeout_seconds: float | None = None) -> bool:
+    def drain(self, timeout: float | None = None) -> int:
         """Block until no request is executing or waiting (or timeout).
 
         The serving tier's graceful shutdown: the caller first stops
         admitting new work (:meth:`close`), then drains, then tears down
-        the pools the in-flight requests are still using.  Returns
-        ``True`` when the controller went idle, ``False`` on timeout.
+        the pools the in-flight requests are still using.  Returns the
+        number of requests still admitted or queued when the call gave
+        up — ``0`` means the controller went fully idle, a positive
+        count means the timeout expired with that many stragglers (a
+        stuck worker therefore bounds shutdown instead of blocking it
+        forever, and the caller knows exactly how much work it orphaned).
         """
-        deadline = (
-            None
-            if timeout_seconds is None
-            else time.monotonic() + timeout_seconds
-        )
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._idle:
             while self._in_flight > 0 or self._waiting > 0:
                 remaining = None
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
-                        return False
+                        return self._in_flight + self._waiting
                 self._idle.wait(remaining)
-            return True
+            return 0
 
     def _notify_if_idle(self) -> None:
         """Caller must hold the lock."""

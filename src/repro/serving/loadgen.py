@@ -48,28 +48,42 @@ class WorkloadConfig:
             raise ValueError(f"max_unique must be >= 1, got {self.max_unique}")
 
 
-def candidate_queries(system: "ESharp", limit: int) -> List[str]:
-    """The ``limit`` most popular supported queries of the simulated log.
+def candidate_queries_from(store, domain_store, limit: int) -> List[str]:
+    """The ``limit`` most popular supported queries of a query log.
 
     Falls back to domain-store keywords when the log yields nothing
-    (tiny worlds), so the generator always has material.
+    (tiny worlds), so the generator always has material.  Split from
+    :func:`candidate_queries` so callers holding raw artifact stages (a
+    fleet router warm-starts from the stage files, never building an
+    :class:`ESharp`) can reuse the exact workload definition.
     """
-    store = system.offline.store
     frequency = {
         query: store.query_count(query) for query in store.supported_queries()
     }
     ranked = sorted(frequency, key=lambda q: (-frequency[q], q))
     if not ranked:
-        ranked = sorted(system.offline.domain_store.known_keywords())[:limit]
+        ranked = sorted(domain_store.known_keywords())[:limit]
     return ranked[:limit]
 
 
-def build_workload(
-    system: "ESharp", config: WorkloadConfig | None = None
+def candidate_queries(system: "ESharp", limit: int) -> List[str]:
+    """The ``limit`` most popular supported queries of the simulated log."""
+    return candidate_queries_from(
+        system.offline.store, system.offline.domain_store, limit
+    )
+
+
+def build_workload_from(
+    store, domain_store, config: WorkloadConfig | None = None
 ) -> List[str]:
-    """Sample a duplicate-heavy request stream over the popular head."""
+    """Sample a duplicate-heavy request stream from raw artifact stages.
+
+    The stage-level twin of :func:`build_workload`, for callers (the
+    fleet CLI, fleet benches) that hold a query log + domain store
+    without a built :class:`ESharp` system.
+    """
     config = config or WorkloadConfig()
-    head = candidate_queries(system, config.max_unique)
+    head = candidate_queries_from(store, domain_store, config.max_unique)
     if not head:
         raise ValueError("no candidate queries available for the workload")
     sampler = ZipfSampler(
@@ -78,6 +92,15 @@ def build_workload(
         rng=random.Random(config.seed),
     )
     return [head[sampler.sample()] for _ in range(config.requests)]
+
+
+def build_workload(
+    system: "ESharp", config: WorkloadConfig | None = None
+) -> List[str]:
+    """Sample a duplicate-heavy request stream over the popular head."""
+    return build_workload_from(
+        system.offline.store, system.offline.domain_store, config
+    )
 
 
 @dataclass(frozen=True)
@@ -271,6 +294,17 @@ class ServeOutcome:
             "snapshot_version": self.stats.snapshot_version,
             "refresh_seconds": self.refresh_seconds,
             "delta_refresh_seconds": self.delta_refresh_seconds,
+            # the service's own vitals (vs the replay-side cache_hit_rate
+            # above): the result cache's lifetime hit ratio and the
+            # generation served — what a fleet router reads per replica
+            "service": {
+                "snapshot_version": self.stats.snapshot_version,
+                "cache_hit_ratio": self.stats.cache_hit_ratio,
+                "cache_hits": self.stats.cache.hits,
+                "cache_lookups": self.stats.cache.lookups,
+                "requests": self.stats.requests,
+                "partial_requests": self.stats.partial_requests,
+            },
         }
 
     def render(self) -> str:
@@ -280,6 +314,10 @@ class ServeOutcome:
                 self.baseline.render("baseline — concurrency 1, no cache")
             )
         blocks.append(self.report.render("serving engine — warm"))
+        blocks.append(
+            f"  service:       snapshot v{self.stats.snapshot_version}, "
+            f"result-cache hit ratio {self.stats.cache_hit_ratio:.1%}"
+        )
         if self.speedup is not None:
             blocks.append(f"  speedup:       {self.speedup:.1f}x over serial uncached")
         if self.refresh_seconds is not None:

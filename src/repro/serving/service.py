@@ -93,6 +93,55 @@ class ServedAnswer:
 
 
 @dataclass(frozen=True)
+class PartialPool:
+    """A shard-scoped partial answer: best-per-user over a subset of terms.
+
+    The fleet router scatters an expanded query's terms across replica
+    shards; each shard reduces its terms to one ``(term index, expert)``
+    entry per candidate user — the entry with the highest score, ties
+    broken towards the **lowest global term index** (the same
+    first-term-wins rule the single-replica union applies).  Merging
+    shard pools under the identical rule therefore reproduces the
+    single-replica ranking exactly.
+    """
+
+    query: str
+    snapshot_version: int
+    #: ``(global term index, expert)`` per candidate user, user-id order
+    entries: Tuple[Tuple[int, RankedExpert], ...]
+
+
+@dataclass(frozen=True)
+class ReplicaHealthReport:
+    """The routing-relevant vitals of one serving replica.
+
+    A fleet front-end makes health and routing decisions from exactly
+    these fields: the snapshot version proves which generation the
+    replica serves (a promotion in flight shows up as skew), the result
+    cache's hit ratio signals how warm this replica is for its shard,
+    and the admission gauges expose instantaneous load.
+    """
+
+    snapshot_version: int
+    #: lifetime hit ratio of the result cache (0.0 when never used)
+    cache_hit_ratio: float
+    requests: int
+    partial_requests: int
+    in_flight: int
+    waiting: int
+
+    def to_dict(self) -> dict:
+        return {
+            "snapshot_version": self.snapshot_version,
+            "cache_hit_ratio": self.cache_hit_ratio,
+            "requests": self.requests,
+            "partial_requests": self.partial_requests,
+            "in_flight": self.in_flight,
+            "waiting": self.waiting,
+        }
+
+
+@dataclass(frozen=True)
 class ServiceStats:
     """Aggregated serving counters (the ops surface)."""
 
@@ -115,9 +164,16 @@ class ServiceStats:
     last_delta_refresh_seconds: float | None = None
     #: accounting of the most recent delta refresh (None before the first)
     last_delta_refresh: "DeltaRefreshStats | None" = None
+    #: shard-scoped partial-scoring requests served (the fleet path)
+    partial_requests: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Alias of :attr:`cache_hit_rate` (the fleet router's name)."""
         return self.cache.hit_rate
 
 
@@ -164,6 +220,7 @@ class ExpertService:
         #: must advance one generation at a time
         self._refresh_lock = threading.Lock()
         self._requests = 0
+        self._partials = 0
         self._refreshes = 0
         self._last_refresh_seconds: float | None = None
         self._delta_refreshes = 0
@@ -191,11 +248,11 @@ class ExpertService:
         """
         self._closed = True
         self._admission.close()
-        drained = self._admission.drain(self.config.drain_timeout_seconds)
+        remaining = self._admission.drain(self.config.drain_timeout_seconds)
         self._batcher.close()
         self._batch_pool.shutdown()
         self._detect_pool.shutdown()
-        return drained
+        return remaining == 0
 
     def __enter__(self) -> "ExpertService":
         return self
@@ -249,6 +306,80 @@ class ExpertService:
                 coalesced=not leader,
                 total_seconds=time.perf_counter() - started,
             )
+
+    # -- the shard-scoped partial path (the fleet's scatter unit) ----------------
+
+    def score_partial(
+        self, query: str, indexed_terms: "Iterable[Tuple[int, str]]"
+    ) -> PartialPool:
+        """Score a subset of an expanded query's terms on this replica.
+
+        ``indexed_terms`` carries each term's **global** position in the
+        full expansion, so the per-user reduction can apply the exact
+        tie-break of the single-replica union (highest score wins, equal
+        scores go to the earliest term) even though this replica sees
+        only its shard's slice.  The fleet router merges shard pools
+        under the same rule and gets a byte-identical ranking.
+
+        Passes through admission control like :meth:`query` (a scatter
+        leg is real detection work), pins one snapshot, shards per-term
+        scoring across the detection pool, and caches the reduced pool
+        under ``(version, 'partial', terms)`` — hedged duplicates of the
+        same scatter leg coalesce via single-flight exactly like whole
+        queries do.
+
+        Raises :class:`ServiceOverloadedError` under backpressure and
+        :class:`ServiceClosedError` after :meth:`close`.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        indexed = tuple(
+            (int(index), str(term)) for index, term in indexed_terms
+        )
+        with self._admission.slot():
+            snapshot = self._require_snapshot()
+            key = (snapshot.version, "partial", indexed)
+            with self._counter_lock:
+                self._partials += 1
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+
+            def compute() -> PartialPool:
+                return self._compute_partial(snapshot, query, indexed)
+
+            if self._flight is not None:
+                pool, leader = self._flight.do(key, compute)
+            else:
+                pool, leader = compute(), True
+            if leader:
+                self._cache.put(key, pool)
+            return pool
+
+    def _compute_partial(
+        self,
+        snapshot: ServiceSnapshot,
+        query: str,
+        indexed: Tuple[Tuple[int, str], ...],
+    ) -> PartialPool:
+        pools = self._term_scorer(snapshot)([term for _, term in indexed])
+        best: dict[int, Tuple[int, RankedExpert]] = {}
+        for (index, _term), pool in zip(indexed, pools):
+            for expert in pool:
+                incumbent = best.get(expert.user_id)
+                # strictly-greater keeps the earliest term on equal
+                # scores because ``indexed`` arrives in ascending global
+                # order — the same first-term-wins rule as score_terms
+                if incumbent is None or expert.score > incumbent[1].score:
+                    best[expert.user_id] = (index, expert)
+        entries = tuple(
+            sorted(best.values(), key=lambda entry: entry[1].user_id)
+        )
+        return PartialPool(
+            query=query,
+            snapshot_version=snapshot.version,
+            entries=entries,
+        )
 
     # -- the asynchronous, micro-batched path ------------------------------------
 
@@ -353,9 +484,31 @@ class ExpertService:
     def cache_info(self) -> CacheInfo:
         return self._cache.cache_info()
 
+    def health(self) -> ReplicaHealthReport:
+        """The routing-relevant vitals (what a fleet router polls).
+
+        Surfaces the result-cache hit ratio and the current snapshot
+        version alongside the admission gauges — the fields a front-end
+        needs to pick replicas and to detect version skew during a
+        promotion.
+        """
+        with self._counter_lock:
+            requests = self._requests
+            partials = self._partials
+        admission = self._admission.stats()
+        return ReplicaHealthReport(
+            snapshot_version=self._snapshots.version,
+            cache_hit_ratio=self._cache.cache_info().hit_rate,
+            requests=requests,
+            partial_requests=partials,
+            in_flight=admission.in_flight,
+            waiting=admission.waiting,
+        )
+
     def stats(self) -> ServiceStats:
         with self._counter_lock:
             requests = self._requests
+            partials = self._partials
             refreshes = self._refreshes
             last_refresh_seconds = self._last_refresh_seconds
             delta_refreshes = self._delta_refreshes
@@ -364,6 +517,7 @@ class ExpertService:
         flight = self._flight
         return ServiceStats(
             requests=requests,
+            partial_requests=partials,
             refreshes=refreshes,
             last_refresh_seconds=last_refresh_seconds,
             delta_refreshes=delta_refreshes,

@@ -242,9 +242,9 @@ class TestAdmissionController:
         deadline = time.monotonic() + 5
         while control.waiting < 1 and time.monotonic() < deadline:
             time.sleep(0.001)
-        assert not control.drain(timeout_seconds=0.05)  # still busy
+        assert control.drain(timeout=0.05) > 0  # still busy
         control.release()
-        assert control.drain(timeout_seconds=5.0)
+        assert control.drain(timeout=5.0) == 0
         thread.join(timeout=5)
         assert admitted.is_set()
         assert control.in_flight == 0 and control.waiting == 0
