@@ -1,0 +1,39 @@
+"""Project-specific static analysis and runtime sanitizers.
+
+Six PRs of concurrent serving code rest on hand-maintained invariants:
+artifacts are never unpickled, numpy fast paths stay behind exactness
+bounds, published snapshots are immutable, and the serving/fleet tier
+holds a growing web of locks.  This package turns those invariants into
+machine-checked rules:
+
+* :mod:`repro.analysis.engine` — an AST pass (stdlib :mod:`ast`, no new
+  dependencies) running the project rule set over ``src/repro`` with a
+  checked-in baseline, surfaced as ``python -m repro analyze`` and a CI
+  gate.  See :mod:`repro.analysis.rules` for the rule catalogue.
+* :mod:`repro.analysis.lockwatch` — an opt-in instrumented
+  ``Lock``/``RLock`` wrapper (``REPRO_LOCKWATCH=1``) that records the
+  *runtime* lock-order graph while the concurrency tests run and fails
+  on ordering cycles, self-deadlocks, and over-long holds — the dynamic
+  complement of the static lock-discipline rules.
+"""
+
+from repro.analysis.baseline import Baseline, write_baseline
+from repro.analysis.engine import AnalysisReport, analyze_paths, default_root
+from repro.analysis.errors import (
+    AnalysisError,
+    BaselineFormatError,
+    LockOrderError,
+)
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "Baseline",
+    "BaselineFormatError",
+    "Finding",
+    "LockOrderError",
+    "analyze_paths",
+    "default_root",
+    "write_baseline",
+]

@@ -1,0 +1,151 @@
+"""The checked-in baseline: known findings the gate accepts, justified.
+
+A baseline entry is a *decision record*: either a violation that is
+intentional (with a one-line justification saying why) or debt accepted
+when a rule was introduced.  The gate fails on any finding whose
+fingerprint is not in the baseline, so the file can only shrink silently
+— growing it is a reviewed diff.
+
+Format (JSON, sorted by fingerprint for stable diffs)::
+
+    {
+      "schema_version": 1,
+      "suppressions": [
+        {"fingerprint": "...", "rule": "...", "path": "...",
+         "symbol": "...", "justification": "one line"},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.analysis.errors import BaselineFormatError
+from repro.analysis.findings import SCHEMA_VERSION, Finding
+
+_PLACEHOLDER = "TODO: justify or fix"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    symbol: str
+    justification: str
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "symbol": self.symbol,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """Fingerprint -> entry lookup over one baseline file."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: Dict[str, BaselineEntry] = {
+            entry.fingerprint: entry for entry in entries
+        }
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def unused(self, findings: Iterable[Finding]) -> List[BaselineEntry]:
+        """Entries no current finding matches (candidates for removal)."""
+        seen = {finding.fingerprint for finding in findings}
+        return [
+            entry
+            for fingerprint, entry in sorted(self.entries.items())
+            if fingerprint not in seen
+        ]
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        path = pathlib.Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            raise BaselineFormatError(
+                f"baseline {path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise BaselineFormatError(f"baseline {path} must be an object")
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise BaselineFormatError(
+                f"baseline {path} has schema_version {version!r}; this "
+                f"analyzer speaks {SCHEMA_VERSION}"
+            )
+        raw = payload.get("suppressions")
+        if not isinstance(raw, list):
+            raise BaselineFormatError(
+                f"baseline {path} needs a 'suppressions' list"
+            )
+        entries = []
+        for item in raw:
+            if not isinstance(item, dict) or "fingerprint" not in item:
+                raise BaselineFormatError(
+                    f"baseline {path}: every suppression needs a fingerprint"
+                )
+            entries.append(
+                BaselineEntry(
+                    fingerprint=str(item["fingerprint"]),
+                    rule=str(item.get("rule", "")),
+                    path=str(item.get("path", "")),
+                    symbol=str(item.get("symbol", "")),
+                    justification=str(item.get("justification", "")),
+                )
+            )
+        return cls(entries)
+
+
+def write_baseline(
+    path, findings: Iterable[Finding], existing: Baseline | None = None
+) -> int:
+    """Write a baseline accepting ``findings``; keeps old justifications.
+
+    Returns the number of entries written.  New entries get a placeholder
+    justification that a reviewer is expected to replace.
+    """
+    existing = existing or Baseline()
+    by_fingerprint: Dict[str, BaselineEntry] = {}
+    for finding in findings:
+        kept = existing.entries.get(finding.fingerprint)
+        justification = (
+            kept.justification
+            if kept is not None and kept.justification
+            else _PLACEHOLDER
+        )
+        by_fingerprint[finding.fingerprint] = BaselineEntry(
+            fingerprint=finding.fingerprint,
+            rule=finding.rule,
+            path=finding.path,
+            symbol=finding.symbol,
+            justification=justification,
+        )
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "suppressions": [
+            by_fingerprint[fp].to_dict() for fp in sorted(by_fingerprint)
+        ],
+    }
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    return len(by_fingerprint)

@@ -1,0 +1,150 @@
+"""Analysis driver: parse sources, run the rule catalogue, apply the
+baseline and inline suppressions, and render the report.
+
+Exit-code contract of the CLI built on this: 0 when every finding is
+baselined or suppressed, 1 when any *new* finding exists (regardless of
+severity — a new warning is still an unreviewed regression), 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.errors import AnalysisUsageError
+from repro.analysis.findings import SCHEMA_VERSION, Finding
+from repro.analysis.model import ModuleModel
+from repro.analysis.rules import Rule, all_rules
+
+
+def default_root() -> pathlib.Path:
+    """The ``repro`` package directory — what CI analyzes."""
+    import repro
+
+    return pathlib.Path(repro.__file__).resolve().parent
+
+
+def default_baseline_path() -> pathlib.Path:
+    """``analysis-baseline.json`` at the repository root."""
+    return default_root().parents[1] / "analysis-baseline.json"
+
+
+@dataclass
+class AnalysisReport:
+    root: str
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    rules: List[Rule] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "root": self.root,
+            "counts": {
+                "new": len(self.findings),
+                "baselined": len(self.baselined),
+                "suppressed": self.suppressed,
+            },
+            "rules": [rule.describe() for rule in self.rules],
+            "findings": [finding.to_dict() for finding in self.findings],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+        }
+
+    def render_text(self) -> str:
+        lines = []
+        for finding in self.findings:
+            lines.append(finding.render())
+        lines.append(
+            f"analysis: {len(self.findings)} new, "
+            f"{len(self.baselined)} baselined, "
+            f"{self.suppressed} suppressed"
+        )
+        return "\n".join(lines)
+
+
+def iter_sources(root: pathlib.Path) -> List[pathlib.Path]:
+    if root.is_file():
+        return [root]
+    return sorted(root.rglob("*.py"))
+
+
+def analyze_paths(
+    paths: Optional[Sequence] = None,
+    baseline: Optional[Baseline] = None,
+    root: Optional[pathlib.Path] = None,
+    rules: Optional[Iterable[Rule]] = None,
+) -> AnalysisReport:
+    """Run the catalogue over ``paths`` (default: the whole package).
+
+    ``root`` anchors the relative paths used in findings and
+    fingerprints; it defaults to the package directory so fingerprints
+    are identical across checkouts.
+    """
+    root = pathlib.Path(root) if root is not None else default_root()
+    root = root.resolve()
+    if paths:
+        targets: List[pathlib.Path] = []
+        for path in paths:
+            path = pathlib.Path(path).resolve()
+            if not path.exists():
+                raise AnalysisUsageError(f"no such path: {path}")
+            targets.extend(iter_sources(path))
+    else:
+        targets = iter_sources(root)
+
+    active = list(rules) if rules is not None else all_rules()
+    baseline = baseline if baseline is not None else Baseline()
+
+    new: List[Finding] = []
+    known: List[Finding] = []
+    suppressed = 0
+    for target in targets:
+        try:
+            rel = target.relative_to(root).as_posix()
+        except ValueError:
+            rel = target.name
+        try:
+            source = target.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise AnalysisUsageError(f"cannot read {target}: {exc}") from exc
+        try:
+            module = ModuleModel(str(target), rel, source)
+        except SyntaxError as exc:
+            raise AnalysisUsageError(
+                f"cannot parse {target}: {exc}"
+            ) from exc
+        for rule in active:
+            for finding in rule.check(module):
+                waived = module.suppressed_rules(finding.line)
+                if waived is not None and (
+                    not waived or finding.rule in waived
+                ):
+                    suppressed += 1
+                elif finding.fingerprint in baseline:
+                    known.append(finding)
+                else:
+                    new.append(finding)
+
+    order = lambda f: (f.path, f.line, f.column, f.rule)  # noqa: E731
+    return AnalysisReport(
+        root=str(root),
+        findings=sorted(new, key=order),
+        baselined=sorted(known, key=order),
+        suppressed=suppressed,
+        rules=active,
+    )
+
+
+def write_json_report(report: AnalysisReport, path) -> None:
+    pathlib.Path(path).write_text(
+        json.dumps(report.to_json(), indent=2) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,46 @@
+"""Typed failure modes of the analysis tier.
+
+Mirrors the serving/fleet/artifact convention (and is itself checked by
+rule ``RAISE001``): everything this package raises derives from
+:class:`AnalysisError`, so callers — the CLI gate, the pytest fixtures —
+can catch one type and still tell a malformed baseline apart from a
+runtime lock-order violation.
+"""
+
+from __future__ import annotations
+
+
+class AnalysisError(RuntimeError):
+    """Base class for every analysis-tier failure."""
+
+
+class AnalysisUsageError(AnalysisError):
+    """The analyzer was invoked on paths/options it cannot work with."""
+
+
+class BaselineFormatError(AnalysisError):
+    """The baseline/suppression file is malformed or wrong-versioned."""
+
+
+class LockOrderError(AnalysisError):
+    """The runtime sanitizer observed a lock-order violation.
+
+    Raised immediately when a thread blocking-acquires a non-reentrant
+    lock it already holds (a guaranteed self-deadlock the wrapper can
+    refuse instead of hanging the suite), and by
+    :meth:`~repro.analysis.lockwatch.LockWatch.check` when the recorded
+    acquisition graph contains an ordering cycle.
+    """
+
+
+class LockHoldError(AnalysisError):
+    """A watched lock was held longer than the configured budget."""
+
+
+class LockProtocolError(AnalysisError):
+    """A watched lock was misused (e.g. released by a non-owner).
+
+    Subclasses :class:`RuntimeError` via :class:`AnalysisError`, so code
+    written against the stdlib's ``RuntimeError`` on bad release keeps
+    working under the sanitizer.
+    """

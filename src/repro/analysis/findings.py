@@ -1,0 +1,85 @@
+"""The finding record and its stable JSON schema.
+
+``python -m repro analyze --json PATH`` writes::
+
+    {
+      "schema_version": 1,
+      "root": "<analyzed root, absolute>",
+      "counts": {"new": N, "baselined": N, "suppressed": N},
+      "rules": [{"id", "category", "severity", "description"}, ...],
+      "findings":  [<finding>, ...],   # unbaselined -> exit code 1
+      "baselined": [<finding>, ...]    # matched the checked-in baseline
+    }
+
+where each ``<finding>`` is::
+
+    {
+      "rule": "LOCK002",          # stable rule id
+      "severity": "error"|"warning",
+      "path": "serving/service.py",   # POSIX, relative to root
+      "line": 123, "column": 8,       # 1-based line, 0-based column
+      "symbol": "ExpertService.query",
+      "message": "human-readable description",
+      "fingerprint": "f3a9..."        # see below
+    }
+
+The **fingerprint** is ``sha1(rule|path|symbol|subject)[:16]`` where
+``subject`` is the rule-specific stable token (the attribute for
+``GUARD001``, the exception name for ``RAISE001``, the callee for
+``LOCK002``, ...).  Line numbers are deliberately excluded so baselines
+survive unrelated edits to the same file; CI annotations and future
+tooling key on the fingerprint, never on positions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+SCHEMA_VERSION = 1
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+def fingerprint_of(rule: str, path: str, symbol: str, subject: str) -> str:
+    """The line-number-free identity a baseline entry matches on."""
+    raw = "|".join((rule, path, symbol, subject))
+    return hashlib.sha1(raw.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one site (see the module docstring schema)."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    column: int
+    symbol: str
+    message: str
+    #: rule-specific stable token folded into the fingerprint
+    subject: str = field(default="", repr=False)
+
+    @property
+    def fingerprint(self) -> str:
+        return fingerprint_of(self.rule, self.path, self.symbol, self.subject)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: {self.rule} [{self.severity}] "
+            f"({self.symbol}) {self.message}"
+        )

@@ -1,0 +1,456 @@
+"""Runtime lock-order sanitizer: instrumented Lock/RLock wrappers.
+
+The static rules see the acquisition graph the *source* admits; this
+module records the graph the *tests actually execute*.  Opt in with
+``REPRO_LOCKWATCH=1`` (the pytest hooks in ``tests/conftest.py`` install
+it for the whole session) or programmatically::
+
+    watch = LockWatch()
+    lock_a = watch.make_lock("a")
+    lock_b = watch.make_lock("b")
+    ...
+    watch.check()   # raises LockOrderError on an ordering cycle
+
+What it catches:
+
+* **Ordering cycles** — every acquisition records ``held-site ->
+  new-site`` edges keyed by the locks' creation sites; a cycle means two
+  threads can deadlock under the observed interleavings even if no run
+  deadlocked yet.
+* **Self-deadlock** — a *blocking* acquire of a non-reentrant lock the
+  thread already holds raises :class:`LockOrderError` immediately
+  instead of hanging the suite.  Non-blocking probes keep returning
+  ``False`` (``Condition`` uses one to test ownership).
+* **Over-long holds** — holding a watched lock longer than
+  ``REPRO_LOCKWATCH_MAX_HOLD_MS`` (default 1000) records a violation,
+  drained per-test by the fixture.  Build/rebuild locks are held for
+  seconds by design, so creation sites matching
+  ``REPRO_LOCKWATCH_EXEMPT`` (default: the build-path modules) skip the
+  hold budget but still feed the ordering graph.
+
+``install()`` monkeypatches ``threading.Lock``/``threading.RLock`` so
+project code is instrumented without edits; locks created outside the
+``repro`` package get the real primitives (pytest, logging, and stdlib
+internals stay untouched).  ``threading.Condition()`` built after
+install picks up the patched ``RLock``, and the wrappers implement the
+``_release_save``/``_acquire_restore``/``_is_owned`` protocol with full
+bookkeeping so ``Condition.wait`` cannot bypass the watch.
+"""
+
+from __future__ import annotations
+
+import _thread
+import os
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.errors import LockOrderError, LockProtocolError
+
+ENV_ENABLE = "REPRO_LOCKWATCH"
+ENV_MAX_HOLD_MS = "REPRO_LOCKWATCH_MAX_HOLD_MS"
+ENV_EXEMPT = "REPRO_LOCKWATCH_EXEMPT"
+
+DEFAULT_MAX_HOLD_MS = 1000.0
+#: creation-site filenames whose locks are exempt from the hold budget
+#: (build/refresh paths hold their serialisation locks for seconds)
+DEFAULT_EXEMPT = ("esharp.py", "service.py", "engine.py", "platform.py", "offline.py")
+
+
+class HoldViolation:
+    """One over-budget hold, recorded at release time."""
+
+    __slots__ = ("label", "held_ms", "budget_ms", "thread_name")
+
+    def __init__(self, label, held_ms, budget_ms, thread_name):
+        self.label = label
+        self.held_ms = held_ms
+        self.budget_ms = budget_ms
+        self.thread_name = thread_name
+
+    def __repr__(self):
+        return (
+            f"HoldViolation({self.label}: {self.held_ms:.1f}ms > "
+            f"{self.budget_ms:.0f}ms in {self.thread_name})"
+        )
+
+
+class LockWatch:
+    """Shared state for a set of watched locks."""
+
+    def __init__(
+        self,
+        max_hold_ms: float = DEFAULT_MAX_HOLD_MS,
+        exempt: Tuple[str, ...] = DEFAULT_EXEMPT,
+    ) -> None:
+        # raw lock, never itself watched: guards every mutable field
+        self._mutex = _thread.allocate_lock()
+        self.max_hold_ms = float(max_hold_ms)
+        self.exempt = tuple(exempt)
+        #: edge -> example (thread name, held label, new label)
+        self.edges: Dict[Tuple[str, str], str] = {}
+        self.hold_violations: List[HoldViolation] = []
+        self._held: Dict[int, List["_WatchedBase"]] = {}
+        self._reported: Set[frozenset] = set()
+        self.acquisitions = 0
+
+    # -- factories -------------------------------------------------------------
+
+    def make_lock(self, label: Optional[str] = None) -> "WatchedLock":
+        return WatchedLock(self, label or _caller_site())
+
+    def make_rlock(self, label: Optional[str] = None) -> "WatchedRLock":
+        return WatchedRLock(self, label or _caller_site())
+
+    # -- bookkeeping (called by the wrappers) ----------------------------------
+
+    def _thread_held(self) -> List["_WatchedBase"]:
+        ident = _thread.get_ident()
+        held = self._held.get(ident)
+        if held is None:
+            held = self._held[ident] = []
+        return held
+
+    def note_acquired(self, lock: "_WatchedBase") -> None:
+        held = self._thread_held()
+        with self._mutex:
+            self.acquisitions += 1
+            for prior in held:
+                if prior.label != lock.label:
+                    self.edges.setdefault(
+                        (prior.label, lock.label),
+                        threading.current_thread().name,
+                    )
+        held.append(lock)
+
+    def note_released(self, lock: "_WatchedBase", held_ms: float) -> None:
+        held = self._thread_held()
+        for at in range(len(held) - 1, -1, -1):
+            if held[at] is lock:
+                del held[at]
+                break
+        if held_ms > self.max_hold_ms and not self._is_exempt(lock.label):
+            violation = HoldViolation(
+                label=lock.label,
+                held_ms=held_ms,
+                budget_ms=self.max_hold_ms,
+                thread_name=threading.current_thread().name,
+            )
+            with self._mutex:
+                self.hold_violations.append(violation)
+
+    def owns_nonreentrant(self, lock: "_WatchedBase") -> bool:
+        return any(entry is lock for entry in self._thread_held())
+
+    def _is_exempt(self, label: str) -> bool:
+        filename = label.rsplit(":", 1)[0]
+        base = os.path.basename(filename)
+        return any(pattern in base or pattern in label for pattern in self.exempt)
+
+    # -- reporting -------------------------------------------------------------
+
+    def snapshot_edges(self) -> Dict[Tuple[str, str], str]:
+        with self._mutex:
+            return dict(self.edges)
+
+    def cycles(self) -> List[List[str]]:
+        """Every ordering cycle in the recorded graph, reported or not."""
+        graph: Dict[str, Set[str]] = {}
+        for (src, dst) in self.snapshot_edges():
+            graph.setdefault(src, set()).add(dst)
+            graph.setdefault(dst, set())
+        out = []
+        for component in _sccs(graph):
+            if len(component) > 1:
+                out.append(sorted(component))
+        return out
+
+    def new_cycles(self) -> List[List[str]]:
+        """Cycles not returned by a previous call (per-test draining)."""
+        fresh = []
+        for cycle in self.cycles():
+            key = frozenset(cycle)
+            if key not in self._reported:
+                self._reported.add(key)
+                fresh.append(cycle)
+        return fresh
+
+    def drain_hold_violations(self) -> List[HoldViolation]:
+        with self._mutex:
+            drained, self.hold_violations = self.hold_violations, []
+        return drained
+
+    def check(self) -> None:
+        """Raise :class:`LockOrderError` if the graph has any new cycle."""
+        fresh = self.new_cycles()
+        if fresh:
+            rendered = "; ".join(" <-> ".join(cycle) for cycle in fresh)
+            raise LockOrderError(
+                f"runtime lock-order cycle observed: {rendered}"
+            )
+
+
+class _WatchedBase:
+    """Common acquire/release bookkeeping over a real primitive."""
+
+    def __init__(self, watch: LockWatch, label: str) -> None:
+        self._watch = watch
+        self.label = label
+        self._acquired_at = 0.0
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.label}>"
+
+
+class WatchedLock(_WatchedBase):
+    """Instrumented non-reentrant lock."""
+
+    def __init__(self, watch: LockWatch, label: str) -> None:
+        super().__init__(watch, label)
+        self._inner = _thread.allocate_lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if blocking and self._watch.owns_nonreentrant(self):
+            raise LockOrderError(
+                f"self-deadlock: blocking re-acquire of non-reentrant "
+                f"lock {self.label} by {threading.current_thread().name}"
+            )
+        if blocking and timeout != -1:
+            got = self._inner.acquire(True, timeout)
+        elif blocking:
+            got = self._inner.acquire()
+        else:
+            got = self._inner.acquire(False)
+        if got:
+            self._acquired_at = time.monotonic()
+            self._watch.note_acquired(self)
+        return got
+
+    def release(self) -> None:
+        held_ms = (time.monotonic() - self._acquired_at) * 1000.0
+        self._inner.release()
+        self._watch.note_released(self, held_ms)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+
+class WatchedRLock(_WatchedBase):
+    """Instrumented reentrant lock, Condition-compatible.
+
+    The ``_release_save``/``_acquire_restore``/``_is_owned`` protocol is
+    implemented *with bookkeeping* — there is deliberately no
+    ``__getattr__`` delegation to the inner lock, which would let
+    ``Condition.wait`` release the mutex behind the watch's back.
+    """
+
+    def __init__(self, watch: LockWatch, label: str) -> None:
+        super().__init__(watch, label)
+        self._inner = _thread.allocate_lock()
+        self._owner: Optional[int] = None
+        self._depth = 0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ident = _thread.get_ident()
+        if self._owner == ident:
+            self._depth += 1
+            return True
+        if blocking and timeout != -1:
+            got = self._inner.acquire(True, timeout)
+        elif blocking:
+            got = self._inner.acquire()
+        else:
+            got = self._inner.acquire(False)
+        if got:
+            self._owner = ident
+            self._depth = 1
+            self._acquired_at = time.monotonic()
+            self._watch.note_acquired(self)
+        return got
+
+    def release(self) -> None:
+        if self._owner != _thread.get_ident():
+            raise LockProtocolError("cannot release un-acquired lock")
+        self._depth -= 1
+        if self._depth:
+            return
+        held_ms = (time.monotonic() - self._acquired_at) * 1000.0
+        self._owner = None
+        self._inner.release()
+        self._watch.note_released(self, held_ms)
+
+    # Condition protocol ------------------------------------------------------
+
+    def _release_save(self):
+        if self._owner != _thread.get_ident():
+            raise LockProtocolError("cannot release un-acquired lock")
+        depth = self._depth
+        held_ms = (time.monotonic() - self._acquired_at) * 1000.0
+        self._depth = 0
+        self._owner = None
+        self._inner.release()
+        self._watch.note_released(self, held_ms)
+        return depth
+
+    def _acquire_restore(self, depth) -> None:
+        self._inner.acquire()
+        self._owner = _thread.get_ident()
+        self._depth = depth
+        self._acquired_at = time.monotonic()
+        self._watch.note_acquired(self)
+
+    def _is_owned(self) -> bool:
+        return self._owner == _thread.get_ident()
+
+
+# -- process-wide installation --------------------------------------------------
+
+_ACTIVE: Optional[LockWatch] = None
+_ORIGINALS: Optional[Tuple] = None
+_DEPTH = 0
+
+
+def active_watch() -> Optional[LockWatch]:
+    return _ACTIVE
+
+
+def _caller_site(skip_self: bool = True) -> str:
+    """``file.py:line`` of the nearest frame outside threading/lockwatch."""
+    frame = sys._getframe(1)
+    own = __file__
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename != own and "threading" not in os.path.basename(filename):
+            return f"{os.path.basename(filename)}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+def _caller_is_project() -> bool:
+    frame = sys._getframe(1)
+    own = __file__
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename != own and "threading" not in os.path.basename(filename):
+            return "repro" in filename.replace(os.sep, "/").split("/")
+        frame = frame.f_back
+    return False
+
+
+def install(watch: Optional[LockWatch] = None) -> LockWatch:
+    """Monkeypatch ``threading.Lock``/``RLock`` to produce watched locks.
+
+    Only locks created from inside the ``repro`` package are watched —
+    everything else (pytest, logging, stdlib machinery) gets the real
+    primitive, so the ordering graph stays about project code.
+
+    Reentrant: calling ``install`` while a watch is active returns the
+    active watch and increments a depth counter, so a test-local
+    install/uninstall pair cannot tear down a session-level watch
+    (``REPRO_LOCKWATCH=1``) out from under the rest of the suite.
+    """
+    global _ACTIVE, _ORIGINALS, _DEPTH
+    if _ACTIVE is not None:
+        _DEPTH += 1
+        return _ACTIVE
+    watch = watch or LockWatch()
+    real_lock, real_rlock = threading.Lock, threading.RLock
+
+    def lock_factory():
+        if _caller_is_project():
+            return WatchedLock(watch, _caller_site())
+        return real_lock()
+
+    def rlock_factory():
+        if _caller_is_project():
+            return WatchedRLock(watch, _caller_site())
+        return real_rlock()
+
+    _ORIGINALS = (real_lock, real_rlock)
+    threading.Lock = lock_factory
+    threading.RLock = rlock_factory
+    _ACTIVE = watch
+    _DEPTH = 1
+    return watch
+
+
+def uninstall() -> None:
+    """Undo one :func:`install`; only the outermost call unpatches."""
+    global _ACTIVE, _ORIGINALS, _DEPTH
+    if _DEPTH > 1:
+        _DEPTH -= 1
+        return
+    if _ORIGINALS is not None:
+        threading.Lock, threading.RLock = _ORIGINALS
+    _ACTIVE = None
+    _ORIGINALS = None
+    _DEPTH = 0
+
+
+def install_from_env() -> Optional[LockWatch]:
+    """Install iff ``REPRO_LOCKWATCH=1``; honours the tuning env vars."""
+    if os.environ.get(ENV_ENABLE, "") not in ("1", "true", "yes"):
+        return None
+    max_hold = float(os.environ.get(ENV_MAX_HOLD_MS, DEFAULT_MAX_HOLD_MS))
+    exempt = DEFAULT_EXEMPT
+    raw = os.environ.get(ENV_EXEMPT)
+    if raw:
+        exempt = tuple(p.strip() for p in raw.split(",") if p.strip())
+    return install(LockWatch(max_hold_ms=max_hold, exempt=exempt))
+
+
+def _sccs(graph: Dict[str, Set[str]]) -> List[Set[str]]:
+    """Iterative Tarjan over an adjacency-set graph."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    out: List[Set[str]] = []
+    counter = [0]
+    for root in graph:
+        if root in index:
+            continue
+        work = [(root, iter(sorted(graph[root])))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, neighbours = work[-1]
+            advanced = False
+            for nxt in neighbours:
+                if nxt not in index:
+                    index[nxt] = lowlink[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(graph[nxt]))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                out.append(component)
+    return out

@@ -1,0 +1,495 @@
+"""Shared AST model the rules analyze: locks, guards, and held-lock flow.
+
+One parse per file, one flow walk per function; every rule consumes the
+same extracted facts:
+
+* **Lock declarations** — ``self._x = threading.Lock()/RLock()`` (and
+  ``Condition(...)``) inside methods, plus bare ``name = threading.Lock()``
+  at module/function scope (fixture support).  A ``Condition`` built over
+  a declared lock *aliases* it: ``threading.Condition(self._lock)`` and
+  ``self._lock`` are the same mutex, and the model canonicalises every
+  acquisition to the alias root so two condition views of one lock can
+  never produce a phantom ordering edge — and nesting them *is* flagged
+  as a self-deadlock.
+
+* **Guard declarations** — a ``# guarded-by: _lock`` comment on an
+  attribute assignment declares that attribute lock-guarded; rule
+  ``GUARD001`` then requires every other access to hold that lock.  A
+  ``# holds: _lock`` comment on a ``def`` line declares the convention
+  "caller must hold the lock" for helper methods.
+
+* **Flow facts** — for every function: each lock acquisition (with the
+  locks already held), every ``self.<attr>`` access and every call with
+  the held-lock set at that point, and calls to sibling methods (used to
+  propagate acquisitions one call level for ordering edges).  ``with``
+  blocks and linear ``.acquire()``/``.release()`` pairs are tracked;
+  functions defined *inside* a ``with lock:`` block are treated as
+  running under that lock (they are invariably sort keys / callbacks
+  invoked before the block exits).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+GUARDED_BY_RE = re.compile(r"guarded-by:\s*([A-Za-z_]\w*)")
+HOLDS_RE = re.compile(r"#\s*holds:\s*([A-Za-z_][\w,\s]*)")
+IGNORE_RE = re.compile(r"#\s*analysis:\s*ignore(?:\[([A-Z0-9_,\s]+)\])?")
+PRAGMA_EXACT_PATH = "# analysis: exact-path"
+
+#: threading factory name -> lock kind
+_LOCK_FACTORIES = {
+    "Lock": "lock",
+    "RLock": "rlock",
+    "Condition": "condition",
+}
+
+
+@dataclass(frozen=True)
+class LockDecl:
+    """One declared lock attribute/name."""
+
+    name: str
+    kind: str  # "lock" | "rlock" | "condition"
+    alias_of: Optional[str]  # Condition over another declared lock
+    line: int
+
+
+@dataclass(frozen=True)
+class GuardDecl:
+    """``attr`` must only be accessed while ``lock`` is held."""
+
+    attr: str
+    lock: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Acquire:
+    lock: str  # canonical lock id
+    kind: str  # kind of the alias root
+    line: int
+    column: int
+    held: Tuple[str, ...]  # canonical ids held at acquisition, outer first
+
+
+@dataclass(frozen=True)
+class Access:
+    attr: str
+    line: int
+    column: int
+    held: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    node: ast.Call
+    line: int
+    column: int
+    held: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SelfCall:
+    method: str
+    line: int
+    held: Tuple[str, ...]
+
+
+@dataclass
+class FunctionFacts:
+    qualname: str
+    name: str
+    node: ast.AST
+    acquires: List[Acquire] = field(default_factory=list)
+    accesses: List[Access] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    self_calls: List[SelfCall] = field(default_factory=list)
+
+
+@dataclass
+class ClassModel:
+    name: str
+    node: ast.ClassDef
+    locks: Dict[str, LockDecl] = field(default_factory=dict)
+    guards: Dict[str, GuardDecl] = field(default_factory=dict)
+
+    def root_of(self, lock_name: str) -> Optional[LockDecl]:
+        """Follow Condition aliases to the underlying mutex declaration."""
+        decl = self.locks.get(lock_name)
+        seen = set()
+        while decl is not None and decl.alias_of and decl.alias_of not in seen:
+            seen.add(decl.name)
+            parent = self.locks.get(decl.alias_of)
+            if parent is None:
+                break
+            decl = parent
+        return decl
+
+
+class ModuleModel:
+    """Everything the rules need from one parsed source file."""
+
+    def __init__(self, path: str, rel_path: str, source: str) -> None:
+        self.path = path
+        self.rel_path = rel_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.exact_path = PRAGMA_EXACT_PATH in source
+        self.classes: Dict[str, ClassModel] = {}
+        self.module_locks: Dict[str, LockDecl] = {}
+        self.functions: List[Tuple[Optional[ClassModel], ast.AST]] = []
+        self._collect()
+
+    # -- source helpers --------------------------------------------------------
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def suppressed_rules(self, line: int) -> Optional[set]:
+        """Rules an inline ``# analysis: ignore[...]`` waives on ``line``.
+
+        Returns ``None`` when there is no pragma, the empty set for a
+        bare ``ignore`` (waives every rule), else the listed rule ids.
+        """
+        match = IGNORE_RE.search(self.line_text(line))
+        if match is None:
+            return None
+        if match.group(1) is None:
+            return set()
+        return {rule.strip() for rule in match.group(1).split(",")}
+
+    # -- declaration collection -------------------------------------------------
+
+    def _collect(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, ast.ClassDef):
+                model = ClassModel(name=node.name, node=node)
+                self.classes[node.name] = model
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        self._collect_method_decls(model, item)
+                        self.functions.append((model, item))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions.append((None, node))
+            else:
+                self._collect_lock_assign(node, None)
+
+    def _collect_method_decls(
+        self, model: ClassModel, func: ast.AST
+    ) -> None:
+        for stmt in ast.walk(func):
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                self._collect_lock_assign(stmt, model)
+                self._collect_guard_decl(stmt, model)
+
+    def _assign_targets(self, stmt: ast.AST) -> List[ast.expr]:
+        if isinstance(stmt, ast.Assign):
+            return stmt.targets
+        if isinstance(stmt, ast.AnnAssign):
+            return [stmt.target]
+        return []
+
+    def _collect_lock_assign(
+        self, stmt: ast.AST, model: Optional[ClassModel]
+    ) -> None:
+        value = getattr(stmt, "value", None)
+        factory = _lock_factory(value)
+        if factory is None:
+            return
+        kind, alias = factory
+        for target in self._assign_targets(stmt):
+            if (
+                model is not None
+                and isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                model.locks[target.attr] = LockDecl(
+                    name=target.attr,
+                    kind=kind,
+                    alias_of=alias,
+                    line=stmt.lineno,
+                )
+            elif isinstance(target, ast.Name):
+                self.module_locks[target.id] = LockDecl(
+                    name=target.id, kind=kind, alias_of=alias, line=stmt.lineno
+                )
+
+    def _collect_guard_decl(
+        self, stmt: ast.AST, model: ClassModel
+    ) -> None:
+        for target in self._assign_targets(stmt):
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            match = GUARDED_BY_RE.search(self.line_text(stmt.lineno))
+            if match is None:
+                continue
+            model.guards[target.attr] = GuardDecl(
+                attr=target.attr, lock=match.group(1), line=stmt.lineno
+            )
+
+    # -- lock id resolution ------------------------------------------------------
+
+    def resolve_lock(
+        self, expr: ast.expr, model: Optional[ClassModel]
+    ) -> Optional[Tuple[str, str]]:
+        """``(canonical lock id, root kind)`` for a lock expression."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and model is not None
+            and expr.attr in model.locks
+        ):
+            root = model.root_of(expr.attr)
+            assert root is not None
+            return f"{self.rel_path}::{model.name}.{root.name}", root.kind
+        if isinstance(expr, ast.Name) and expr.id in self.module_locks:
+            decl = self.module_locks[expr.id]
+            return f"{self.rel_path}::{decl.name}", decl.kind
+        return None
+
+    def declared_holds(
+        self, func: ast.AST, model: Optional[ClassModel]
+    ) -> Tuple[str, ...]:
+        """Canonical ids a ``# holds: _lock`` def-line pragma seeds."""
+        match = HOLDS_RE.search(self.line_text(func.lineno))
+        if match is None:
+            return ()
+        held = []
+        for name in match.group(1).split(","):
+            name = name.strip()
+            if not name:
+                continue
+            fake = ast.Attribute(
+                value=ast.Name(id="self", ctx=ast.Load()),
+                attr=name,
+                ctx=ast.Load(),
+            )
+            resolved = self.resolve_lock(fake, model)
+            if resolved is None and name in self.module_locks:
+                resolved = self.resolve_lock(
+                    ast.Name(id=name, ctx=ast.Load()), model
+                )
+            if resolved is not None:
+                held.append(resolved[0])
+        return tuple(held)
+
+    def guard_lock_id(
+        self, model: ClassModel, guard: GuardDecl
+    ) -> Optional[str]:
+        root = model.root_of(guard.lock)
+        if root is None:
+            return None
+        return f"{self.rel_path}::{model.name}.{root.name}"
+
+    # -- flow extraction ---------------------------------------------------------
+
+    def function_facts(
+        self, model: Optional[ClassModel], func: ast.AST
+    ) -> FunctionFacts:
+        qualname = (
+            f"{model.name}.{func.name}" if model is not None else func.name
+        )
+        facts = FunctionFacts(qualname=qualname, name=func.name, node=func)
+        seeded = self.declared_holds(func, model)
+        _FlowWalker(self, model, facts).walk(func.body, list(seeded))
+        return facts
+
+    def all_function_facts(self) -> List[Tuple[Optional[ClassModel], FunctionFacts]]:
+        return [
+            (model, self.function_facts(model, func))
+            for model, func in self.functions
+        ]
+
+
+def _lock_factory(
+    value: Optional[ast.expr],
+) -> Optional[Tuple[str, Optional[str]]]:
+    """``(kind, alias_of)`` when ``value`` constructs a threading lock."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id != "threading":
+            return None
+        name = func.attr
+    elif isinstance(func, ast.Name):
+        name = func.id
+    else:
+        return None
+    kind = _LOCK_FACTORIES.get(name)
+    if kind is None:
+        return None
+    alias = None
+    if kind == "condition" and value.args:
+        arg = value.args[0]
+        if (
+            isinstance(arg, ast.Attribute)
+            and isinstance(arg.value, ast.Name)
+            and arg.value.id == "self"
+        ):
+            alias = arg.attr
+    return kind, alias
+
+
+class _FlowWalker:
+    """Statement walker tracking the held-lock set through a function."""
+
+    def __init__(
+        self,
+        module: ModuleModel,
+        model: Optional[ClassModel],
+        facts: FunctionFacts,
+    ) -> None:
+        self.module = module
+        self.model = model
+        self.facts = facts
+
+    def walk(self, stmts: List[ast.stmt], held: List[str]) -> None:
+        held = list(held)
+        for stmt in stmts:
+            self._statement(stmt, held)
+
+    def _statement(self, stmt: ast.stmt, held: List[str]) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = list(held)
+            for item in stmt.items:
+                resolved = self.module.resolve_lock(
+                    item.context_expr, self.model
+                )
+                if resolved is not None:
+                    lock_id, kind = resolved
+                    self.facts.acquires.append(
+                        Acquire(
+                            lock=lock_id,
+                            kind=kind,
+                            line=item.context_expr.lineno,
+                            column=item.context_expr.col_offset,
+                            held=tuple(inner),
+                        )
+                    )
+                    inner.append(lock_id)
+                else:
+                    self._expression(item.context_expr, held)
+                if item.optional_vars is not None:
+                    self._expression(item.optional_vars, held)
+            self.walk(stmt.body, inner)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # closure heuristic: a def inside a with-lock block runs
+            # under that lock (sort keys, callbacks invoked in-block)
+            self.walk(stmt.body, held)
+        elif isinstance(stmt, ast.ClassDef):
+            pass
+        elif isinstance(stmt, ast.If):
+            self._expression(stmt.test, held)
+            self.walk(stmt.body, held)
+            self.walk(stmt.orelse, held)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expression(stmt.iter, held)
+            self._expression(stmt.target, held)
+            self.walk(stmt.body, held)
+            self.walk(stmt.orelse, held)
+        elif isinstance(stmt, ast.While):
+            self._expression(stmt.test, held)
+            self.walk(stmt.body, held)
+            self.walk(stmt.orelse, held)
+        elif isinstance(stmt, ast.Try):
+            self.walk(stmt.body, held)
+            for handler in stmt.handlers:
+                self.walk(handler.body, held)
+            self.walk(stmt.orelse, held)
+            self.walk(stmt.finalbody, held)
+        else:
+            # linear statement: scan expressions, then apply any
+            # top-level acquire()/release() effect to what follows
+            for expr in ast.iter_child_nodes(stmt):
+                if isinstance(expr, ast.expr):
+                    self._expression(expr, held)
+            effect = self._acquire_release_effect(stmt)
+            if effect is not None:
+                verb, lock_id, kind, line, column = effect
+                if verb == "acquire":
+                    self.facts.acquires.append(
+                        Acquire(
+                            lock=lock_id,
+                            kind=kind,
+                            line=line,
+                            column=column,
+                            held=tuple(held),
+                        )
+                    )
+                    held.append(lock_id)
+                elif lock_id in held:
+                    # remove the innermost matching hold
+                    for at in range(len(held) - 1, -1, -1):
+                        if held[at] == lock_id:
+                            del held[at]
+                            break
+
+    def _acquire_release_effect(self, stmt: ast.stmt):
+        value = getattr(stmt, "value", None)
+        if not (isinstance(stmt, ast.Expr) and isinstance(value, ast.Call)):
+            return None
+        func = value.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr not in ("acquire", "release"):
+            return None
+        resolved = self.module.resolve_lock(func.value, self.model)
+        if resolved is None:
+            return None
+        lock_id, kind = resolved
+        verb = "acquire" if func.attr == "acquire" else "release"
+        return verb, lock_id, kind, value.lineno, value.col_offset
+
+    def _expression(self, expr: ast.expr, held: List[str]) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self.facts.calls.append(
+                    CallSite(
+                        node=node,
+                        line=node.lineno,
+                        column=node.col_offset,
+                        held=tuple(held),
+                    )
+                )
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                ):
+                    self.facts.self_calls.append(
+                        SelfCall(
+                            method=func.attr,
+                            line=node.lineno,
+                            held=tuple(held),
+                        )
+                    )
+            elif (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                self.facts.accesses.append(
+                    Access(
+                        attr=node.attr,
+                        line=node.lineno,
+                        column=node.col_offset,
+                        held=tuple(held),
+                    )
+                )

@@ -1,0 +1,40 @@
+"""The rule catalogue.  Ids are stable forever; retired rules leave a gap."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules.exactness import ExactnessRule
+from repro.analysis.rules.guarded import GuardedStateRule
+from repro.analysis.rules.locks import (
+    BlockingUnderLockRule,
+    LockOrderRule,
+    NestedLockRule,
+)
+from repro.analysis.rules.nopickle import NoPickleRule
+from repro.analysis.rules.raises import TypedRaiseRule
+
+__all__ = [
+    "Rule",
+    "all_rules",
+    "BlockingUnderLockRule",
+    "ExactnessRule",
+    "GuardedStateRule",
+    "LockOrderRule",
+    "NestedLockRule",
+    "NoPickleRule",
+    "TypedRaiseRule",
+]
+
+
+def all_rules() -> List[Rule]:
+    return [
+        LockOrderRule(),
+        BlockingUnderLockRule(),
+        NestedLockRule(),
+        GuardedStateRule(),
+        NoPickleRule(),
+        ExactnessRule(),
+        TypedRaiseRule(),
+    ]

@@ -1,0 +1,32 @@
+"""Rule interface: one class per rule id, stateless over a ModuleModel."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import ModuleModel
+
+
+class Rule:
+    """One invariant with a stable id, checked per module."""
+
+    #: stable rule id, e.g. ``LOCK001`` — never renumber
+    id: str = ""
+    #: short category slug for the JSON report
+    category: str = ""
+    #: default severity of this rule's findings
+    severity: str = "error"
+    #: one-line description for ``--json`` and the README table
+    description: str = ""
+
+    def check(self, module: ModuleModel) -> List[Finding]:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {
+            "id": self.id,
+            "category": self.category,
+            "severity": self.severity,
+            "description": self.description,
+        }

@@ -1,0 +1,124 @@
+"""EXACT001 — numpy fast paths in exact-result modules stay guarded.
+
+Modules carrying the ``# analysis: exact-path`` pragma promise bit-exact
+results: their numpy code is only valid below proven overflow/precision
+bounds, with a pure-python bigint fallback above them (PR 3's
+``bincount_safe`` / ``_FLOAT64_EXACT`` pattern).  The rule enforces the
+shape of that promise: every function touching numpy must either be
+*guard-bearing* — it names a bound check (any identifier matching
+``safe``/``exact``/``bound``) — or be reachable only from guard-bearing
+functions in the same module, so a new unguarded fast path cannot slip
+in next to the guarded one.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Set
+
+from repro.analysis.findings import SEVERITY_ERROR, Finding
+from repro.analysis.model import ModuleModel
+from repro.analysis.rules.base import Rule
+
+_GUARD_RE = re.compile(r"(?i)safe|exact|bound")
+
+
+class ExactnessRule(Rule):
+    id = "EXACT001"
+    category = "exactness"
+    severity = SEVERITY_ERROR
+    description = (
+        "in '# analysis: exact-path' modules, numpy-using functions must "
+        "carry a bound check or be called only from functions that do"
+    )
+
+    def check(self, module: ModuleModel) -> List[Finding]:
+        if not module.exact_path:
+            return []
+        numpy_names = _numpy_aliases(module.tree)
+        if not numpy_names:
+            return []
+
+        funcs = {}
+        for _model, node in module.functions:
+            funcs.setdefault(node.name, node)
+
+        uses_numpy: Set[str] = set()
+        guard_bearing: Set[str] = set()
+        callers: Dict[str, Set[str]] = {name: set() for name in funcs}
+
+        for name, node in funcs.items():
+            idents = _identifiers(node)
+            if idents & numpy_names:
+                uses_numpy.add(name)
+            if any(_GUARD_RE.search(ident) for ident in idents):
+                guard_bearing.add(name)
+            # any bare reference to another module function counts as a
+            # call edge (covers pool.map(_worker, ...) dispatch)
+            for other in funcs:
+                if other != name and other in idents:
+                    callers[other].add(name)
+
+        compliant = set(guard_bearing)
+        changed = True
+        while changed:
+            changed = False
+            for name in funcs:
+                if name in compliant:
+                    continue
+                if callers[name] and callers[name] <= compliant:
+                    compliant.add(name)
+                    changed = True
+
+        findings = []
+        for name in sorted(uses_numpy - compliant):
+            node = funcs[name]
+            findings.append(
+                Finding(
+                    rule=self.id,
+                    severity=self.severity,
+                    path=module.rel_path,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    symbol=name,
+                    message=(
+                        f"{name}() uses numpy in an exact-path module but "
+                        f"neither checks a bound (safe/exact/bound "
+                        f"identifier) nor is reached only via functions "
+                        f"that do"
+                    ),
+                    subject=name,
+                )
+            )
+        return findings
+
+
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".", 1)[0] == "numpy":
+                    names.add(alias.asname or alias.name.split(".", 1)[0])
+        elif isinstance(node, ast.ImportFrom):
+            if (node.module or "").split(".", 1)[0] == "numpy":
+                for alias in node.names:
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+def _identifiers(func: ast.AST) -> Set[str]:
+    idents: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name):
+            idents.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            idents.add(node.attr)
+        elif isinstance(node, ast.arg):
+            idents.add(node.arg)
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            idents.add(node.name)
+    return idents

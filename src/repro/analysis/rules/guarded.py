@@ -1,0 +1,90 @@
+"""GUARD001 — declared lock-guarded attributes are only touched under
+their lock.
+
+The convention is opt-in per attribute: a ``# guarded-by: _lock`` comment
+on the attribute's assignment (anywhere in the class, normally
+``__init__``) declares the invariant, and from then on every
+``self.<attr>`` access in the class must run while the named lock — or a
+``Condition`` built over it — is held.  ``__init__``/``__post_init__``
+are exempt (no concurrent access before the constructor returns), and a
+``# holds: _lock`` pragma on a helper's ``def`` line records the
+"caller must hold" contract so locked helpers pass without noise.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.findings import SEVERITY_ERROR, Finding
+from repro.analysis.model import ModuleModel
+from repro.analysis.rules.base import Rule
+
+_EXEMPT_METHODS = {"__init__", "__post_init__"}
+
+
+class GuardedStateRule(Rule):
+    id = "GUARD001"
+    category = "guarded-state"
+    severity = SEVERITY_ERROR
+    description = (
+        "attributes declared '# guarded-by: <lock>' are only accessed "
+        "while that lock is held"
+    )
+
+    def check(self, module: ModuleModel) -> List[Finding]:
+        findings = []
+        for model, facts in module.all_function_facts():
+            if model is None or not model.guards:
+                continue
+            if facts.name in _EXEMPT_METHODS:
+                continue
+            for access in facts.accesses:
+                guard = model.guards.get(access.attr)
+                if guard is None:
+                    continue
+                lock_id = module.guard_lock_id(model, guard)
+                if lock_id is None:
+                    findings.append(
+                        Finding(
+                            rule=self.id,
+                            severity=self.severity,
+                            path=module.rel_path,
+                            line=guard.line,
+                            column=0,
+                            symbol=f"{model.name}.{guard.attr}",
+                            message=(
+                                f"guarded-by names unknown lock "
+                                f"{guard.lock!r} (no matching declaration)"
+                            ),
+                            subject=f"{guard.attr}:unknown-lock",
+                        )
+                    )
+                    continue
+                if lock_id in access.held:
+                    continue
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        severity=self.severity,
+                        path=module.rel_path,
+                        line=access.line,
+                        column=access.column,
+                        symbol=facts.qualname,
+                        message=(
+                            f"self.{access.attr} is guarded by "
+                            f"{guard.lock} but accessed without holding it"
+                        ),
+                        subject=access.attr,
+                    )
+                )
+        return _dedupe(findings)
+
+
+def _dedupe(findings: List[Finding]) -> List[Finding]:
+    """One finding per (symbol, attr): the first offending line."""
+    seen = {}
+    for finding in findings:
+        key = (finding.symbol, finding.subject)
+        if key not in seen or finding.line < seen[key].line:
+            seen[key] = finding
+    return sorted(seen.values(), key=lambda f: (f.line, f.column))

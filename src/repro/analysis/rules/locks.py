@@ -1,0 +1,332 @@
+"""Lock-discipline rules: ordering (LOCK001), blocking work under a lock
+(LOCK002), and nested re-acquisition of a non-reentrant lock (LOCK003).
+
+The acquisition graph is built from the per-function flow facts: every
+acquisition made while other locks are held contributes ``held -> new``
+edges, and calls to sibling methods propagate the callee's acquisitions
+into the caller's held context (one fixpoint over the class, so helper
+indirection does not hide an ordering edge).  A cycle in that graph is a
+potential deadlock whichever thread interleaving you pick — LOCK001.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+)
+from repro.analysis.model import ModuleModel
+from repro.analysis.rules.base import Rule
+
+#: project functions that do file/pipe I/O — calling them under a lock
+#: serialises unrelated requests behind the disk
+PROJECT_IO_FUNCS = {
+    "open",
+    "write_message",
+    "read_message",
+    "save_artifact",
+    "load_artifact",
+    "write_manifest",
+    "read_manifest",
+    "write_stage",
+    "read_stage_records",
+}
+
+#: method names that block the calling thread regardless of receiver
+_BLOCKING_METHODS = {
+    "sleep",
+    "result",
+    "communicate",
+    "check_call",
+    "check_output",
+    "shutdown",
+}
+
+_SUBPROCESS_CALLS = {"run", "call", "check_call", "check_output", "Popen"}
+
+_JOIN_RECEIVER_RE = re.compile(r"(?i)thread|proc|work|dispatch|read|writ")
+
+
+def _call_name(func: ast.expr) -> str:
+    """Dotted-ish printable name of a call target."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return f"{_call_name(func.value)}.{func.attr}"
+    return "<expr>"
+
+
+def _receiver_tail(expr: ast.expr) -> str:
+    """Last identifier of a call receiver (``self._queue`` -> ``_queue``)."""
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return ""
+
+
+class LockOrderRule(Rule):
+    id = "LOCK001"
+    category = "lock-discipline"
+    severity = SEVERITY_ERROR
+    description = (
+        "lock-acquisition graph (including acquisitions reached through "
+        "sibling-method calls) must be cycle-free"
+    )
+
+    def check(self, module: ModuleModel) -> List[Finding]:
+        edges: Dict[Tuple[str, str], Tuple[int, int, str]] = {}
+        per_class: Dict[int, List] = {}
+        for model, facts in module.all_function_facts():
+            per_class.setdefault(id(model), []).append((model, facts))
+
+        for group in per_class.values():
+            # fixpoint: the full set of locks each method may acquire,
+            # following self-calls
+            acquires: Dict[str, Set[str]] = {}
+            callees: Dict[str, Set[str]] = {}
+            for _model, facts in group:
+                acquires.setdefault(facts.name, set()).update(
+                    acq.lock for acq in facts.acquires
+                )
+                callees.setdefault(facts.name, set()).update(
+                    call.method for call in facts.self_calls
+                )
+            changed = True
+            while changed:
+                changed = False
+                for name, called in callees.items():
+                    for callee in called:
+                        extra = acquires.get(callee, set()) - acquires[name]
+                        if extra:
+                            acquires[name].update(extra)
+                            changed = True
+
+            for _model, facts in group:
+                for acq in facts.acquires:
+                    for held in acq.held:
+                        if held != acq.lock:
+                            edges.setdefault(
+                                (held, acq.lock),
+                                (acq.line, acq.column, facts.qualname),
+                            )
+                for call in facts.self_calls:
+                    if not call.held:
+                        continue
+                    for lock in acquires.get(call.method, set()):
+                        for held in call.held:
+                            if held != lock:
+                                edges.setdefault(
+                                    (held, lock),
+                                    (call.line, 0, facts.qualname),
+                                )
+
+        return self._cycles(module, edges)
+
+    def _cycles(
+        self,
+        module: ModuleModel,
+        edges: Dict[Tuple[str, str], Tuple[int, int, str]],
+    ) -> List[Finding]:
+        graph: Dict[str, Set[str]] = {}
+        for src, dst in edges:
+            graph.setdefault(src, set()).add(dst)
+            graph.setdefault(dst, set())
+
+        sccs = _tarjan(graph)
+        findings = []
+        for component in sccs:
+            if len(component) < 2:
+                continue
+            members = sorted(component)
+            in_cycle = [
+                (edge, site)
+                for edge, site in edges.items()
+                if edge[0] in component and edge[1] in component
+            ]
+            line, column, symbol = min(site for _edge, site in in_cycle)
+            pretty = " <-> ".join(m.rsplit("::", 1)[-1] for m in members)
+            findings.append(
+                Finding(
+                    rule=self.id,
+                    severity=self.severity,
+                    path=module.rel_path,
+                    line=line,
+                    column=column,
+                    symbol=symbol,
+                    message=(
+                        f"lock-order inversion: {pretty} are acquired in "
+                        f"conflicting orders (potential deadlock)"
+                    ),
+                    subject="|".join(members),
+                )
+            )
+        return findings
+
+
+class BlockingUnderLockRule(Rule):
+    id = "LOCK002"
+    category = "lock-discipline"
+    severity = SEVERITY_WARNING
+    description = (
+        "no blocking work (file/pipe I/O, sleeps, joins, future waits) "
+        "while holding a lock"
+    )
+
+    def check(self, module: ModuleModel) -> List[Finding]:
+        findings = []
+        for _model, facts in module.all_function_facts():
+            for site in facts.calls:
+                if not site.held:
+                    continue
+                reason = self._blocking_reason(module, _model, site)
+                if reason is None:
+                    continue
+                callee = _call_name(site.node.func)
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        severity=self.severity,
+                        path=module.rel_path,
+                        line=site.line,
+                        column=site.column,
+                        symbol=facts.qualname,
+                        message=(
+                            f"{reason} while holding "
+                            f"{', '.join(h.rsplit('::', 1)[-1] for h in site.held)}"
+                        ),
+                        subject=callee,
+                    )
+                )
+        return findings
+
+    def _blocking_reason(self, module, model, site) -> Optional[str]:
+        func = site.node.func
+        if isinstance(func, ast.Name):
+            if func.id in PROJECT_IO_FUNCS:
+                return f"blocking call {func.id}() (I/O)"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        name = func.attr
+        receiver = func.value
+
+        if name in ("wait", "wait_for"):
+            resolved = module.resolve_lock(receiver, model)
+            if resolved is not None and resolved[0] in site.held:
+                return None  # condition wait releases the held lock
+            return f"blocking call .{name}()"
+        if (
+            isinstance(receiver, ast.Name)
+            and receiver.id == "subprocess"
+            and name in _SUBPROCESS_CALLS
+        ):
+            return f"blocking call subprocess.{name}()"
+        if name in _BLOCKING_METHODS:
+            return f"blocking call .{name}()"
+        if name in PROJECT_IO_FUNCS:
+            return f"blocking call .{name}() (I/O)"
+        if name == "join" and _JOIN_RECEIVER_RE.search(
+            _receiver_tail(receiver)
+        ):
+            return "blocking call .join()"
+        if (
+            name == "get"
+            and "queue" in _receiver_tail(receiver).lower()
+            and not any(kw.arg == "timeout" for kw in site.node.keywords)
+        ):
+            return "blocking call .get() with no timeout"
+        return None
+
+
+class NestedLockRule(Rule):
+    id = "LOCK003"
+    category = "lock-discipline"
+    severity = SEVERITY_ERROR
+    description = (
+        "a non-reentrant lock must not be re-acquired while already held "
+        "(guaranteed self-deadlock)"
+    )
+
+    def check(self, module: ModuleModel) -> List[Finding]:
+        findings = []
+        for _model, facts in module.all_function_facts():
+            for acq in facts.acquires:
+                if acq.lock not in acq.held:
+                    continue
+                if acq.kind == "rlock":
+                    continue
+                # a bare Condition() wraps its own RLock — reentrant
+                if acq.kind == "condition":
+                    continue
+                short = acq.lock.rsplit("::", 1)[-1]
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        severity=self.severity,
+                        path=module.rel_path,
+                        line=acq.line,
+                        column=acq.column,
+                        symbol=facts.qualname,
+                        message=(
+                            f"non-reentrant lock {short} re-acquired while "
+                            f"already held — this deadlocks"
+                        ),
+                        subject=acq.lock,
+                    )
+                )
+        return findings
+
+
+def _tarjan(graph: Dict[str, Set[str]]) -> List[Set[str]]:
+    """Strongly connected components, iterative Tarjan."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[Set[str]] = []
+    counter = [0]
+
+    for root in graph:
+        if root in index:
+            continue
+        work = [(root, iter(sorted(graph[root])))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, neighbours = work[-1]
+            advanced = False
+            for nxt in neighbours:
+                if nxt not in index:
+                    index[nxt] = lowlink[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(graph[nxt]))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs

@@ -1,0 +1,82 @@
+"""PICKLE001 — no pickle-family deserialization, no dynamic code eval.
+
+The artifact tier's core guarantee (PR 5) is that nothing loaded from
+disk ever goes through ``pickle`` — artifacts are JSON/ndjson with
+explicit codecs, so a corrupted or attacker-supplied artifact can fail
+checksum validation but never execute code.  This rule keeps that true
+by construction: importing any pickle-family module or calling
+``eval``/``exec`` on anything anywhere under ``src/repro`` is an error.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.findings import SEVERITY_ERROR, Finding
+from repro.analysis.model import ModuleModel
+from repro.analysis.rules.base import Rule
+
+_BANNED_MODULES = {"pickle", "cPickle", "_pickle", "marshal", "shelve", "dill"}
+_BANNED_CALLS = {"eval", "exec"}
+
+
+class NoPickleRule(Rule):
+    id = "PICKLE001"
+    category = "safe-decode"
+    severity = SEVERITY_ERROR
+    description = (
+        "pickle/marshal/shelve/dill imports and eval/exec calls are banned "
+        "(artifacts must stay safe to decode)"
+    )
+
+    def check(self, module: ModuleModel) -> List[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".", 1)[0]
+                    if root in _BANNED_MODULES:
+                        findings.append(
+                            self._finding(
+                                module,
+                                node,
+                                f"import of banned module {alias.name!r}",
+                                subject=f"import:{root}",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".", 1)[0]
+                if root in _BANNED_MODULES:
+                    findings.append(
+                        self._finding(
+                            module,
+                            node,
+                            f"import from banned module {node.module!r}",
+                            subject=f"import:{root}",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id in _BANNED_CALLS:
+                    findings.append(
+                        self._finding(
+                            module,
+                            node,
+                            f"call to {func.id}() — dynamic code execution",
+                            subject=f"call:{func.id}",
+                        )
+                    )
+        return findings
+
+    def _finding(self, module, node, message, subject) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=module.rel_path,
+            line=node.lineno,
+            column=node.col_offset,
+            symbol=module.rel_path,
+            message=message,
+            subject=subject,
+        )

@@ -1,0 +1,95 @@
+"""RAISE001 — serving/fleet/artifact/analysis raise their typed errors.
+
+The wire protocol (PR 6) maps exceptions by type name, the router keys
+failover decisions on the error hierarchy, and callers are documented to
+catch ``ServingError``/``FleetError``/``ArtifactError``.  A bare
+``RuntimeError`` in those tiers silently falls out of all three
+contracts, so raising a builtin exception type there is flagged.
+
+Constructor exemption: ``__init__``/``__post_init__`` argument
+validation raising ``ValueError``/``TypeError`` is the stdlib-wide
+convention (misuse at the call site, not a runtime failure of the tier)
+and stays allowed.  ``AssertionError`` and ``NotImplementedError`` are
+never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.findings import SEVERITY_WARNING, Finding
+from repro.analysis.model import ModuleModel
+from repro.analysis.rules.base import Rule
+
+#: path segments (under the package root) where typed errors are required
+TYPED_PACKAGES = {"serving", "fleet", "artifact", "analysis"}
+
+_BANNED = {
+    "ValueError",
+    "RuntimeError",
+    "TypeError",
+    "KeyError",
+    "IndexError",
+    "Exception",
+    "BaseException",
+    "OSError",
+    "IOError",
+    "LookupError",
+    "ArithmeticError",
+    "StopIteration",
+}
+
+_EXEMPT_FUNCS = {"__init__", "__post_init__"}
+
+
+class TypedRaiseRule(Rule):
+    id = "RAISE001"
+    category = "typed-errors"
+    severity = SEVERITY_WARNING
+    description = (
+        "serving/fleet/artifact/analysis code raises package error types, "
+        "not builtin exceptions (constructor validation exempt)"
+    )
+
+    def check(self, module: ModuleModel) -> List[Finding]:
+        segments = set(module.rel_path.split("/")[:-1])
+        if not segments & TYPED_PACKAGES:
+            return []
+        findings = []
+        for _model, func in module.functions:
+            if func.name in _EXEMPT_FUNCS:
+                continue
+            qualname = (
+                f"{_model.name}.{func.name}" if _model else func.name
+            )
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                exc = node.exc
+                name = None
+                if isinstance(exc, ast.Call) and isinstance(
+                    exc.func, ast.Name
+                ):
+                    name = exc.func.id
+                elif isinstance(exc, ast.Name):
+                    name = exc.id
+                if name not in _BANNED:
+                    continue
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        severity=self.severity,
+                        path=module.rel_path,
+                        line=node.lineno,
+                        column=node.col_offset,
+                        symbol=qualname,
+                        message=(
+                            f"raise {name} in a typed-error tier — use the "
+                            f"package error hierarchy so wire mapping and "
+                            f"failover keep working"
+                        ),
+                        subject=name,
+                    )
+                )
+        return findings

@@ -42,6 +42,7 @@ from repro.artifact.errors import (
     ArtifactError,
     ArtifactIncompleteError,
     ArtifactMismatchError,
+    ArtifactVersionError,
 )
 from repro.artifact.manifest import (
     MANIFEST_FORMAT_VERSION,
@@ -241,7 +242,7 @@ class ArtifactBuilder:
     def finalize(self, snapshot_version: int) -> Manifest:
         """Stamp the serving version and mark the artifact loadable."""
         if snapshot_version < 1:
-            raise ValueError(
+            raise ArtifactVersionError(
                 f"snapshot_version must be >= 1, got {snapshot_version}"
             )
         self.manifest.snapshot_version = snapshot_version

@@ -10,6 +10,8 @@
                                [--from-artifact DIR] [--json PATH]
     python -m repro experiment {fig5,fig6,fig7,table8,fig8,fig9,table9} [--scale ...]
     python -m repro sql "SELECT ..." --table name=path.tsv [--table ...]
+    python -m repro analyze    [PATHS ...] [--json PATH] [--baseline PATH]
+                               [--write-baseline]
 
 The build/serve split of the paper's two-tier architecture:
 
@@ -32,6 +34,12 @@ machine-readable report, so scripts parse stable JSON instead of the
 human renderings.  ``experiment`` runs one §6 driver and prints the
 rendered artifact; ``sql`` executes ad-hoc statements on TSV tables
 with the bundled engine.
+
+``analyze`` runs the project invariant linter (:mod:`repro.analysis`)
+over the package (or explicit PATHS) against the checked-in
+``analysis-baseline.json``: exit 0 when clean, 1 on any unbaselined
+finding, 2 on usage errors.  ``--write-baseline`` regenerates the
+baseline accepting all current findings (justifications preserved).
 """
 
 from __future__ import annotations
@@ -430,6 +438,47 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.baseline import Baseline, write_baseline
+    from repro.analysis.engine import (
+        analyze_paths,
+        default_baseline_path,
+        write_json_report,
+    )
+    from repro.analysis.errors import AnalysisError
+
+    baseline_path = args.baseline or default_baseline_path()
+    try:
+        baseline = Baseline.load(baseline_path)
+        report = analyze_paths(
+            paths=args.paths or None, baseline=baseline, root=args.root
+        )
+    except AnalysisError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_baseline(
+            baseline_path,
+            report.findings + report.baselined,
+            existing=baseline,
+        )
+        print(f"baseline written to {baseline_path} ({count} entries)")
+        return 0
+
+    if args.json:
+        write_json_report(report, args.json)
+        print(f"json report written to {args.json}", file=sys.stderr)
+    print(report.render_text())
+    stale = baseline.unused(report.findings + report.baselined)
+    if stale and not args.paths:
+        for entry in stale:
+            print(f"note: baseline entry {entry.fingerprint} "
+                  f"({entry.rule} {entry.path}) no longer matches — "
+                  f"remove it", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_sql(args: argparse.Namespace) -> int:
     from repro.relational.io import load_table
     from repro.relational.sql import SqlSession
@@ -557,6 +606,27 @@ def build_parser() -> argparse.ArgumentParser:
     add_scale(p_exp)
     p_exp.add_argument("name", choices=_EXPERIMENTS)
     p_exp.set_defaults(handler=cmd_experiment)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="run the project invariant linter against the baseline",
+    )
+    p_analyze.add_argument("paths", nargs="*", metavar="PATH",
+                           help="files/directories to analyze "
+                                "(default: the whole repro package)")
+    p_analyze.add_argument("--baseline", metavar="PATH",
+                           help="baseline file (default: "
+                                "analysis-baseline.json at the repo root)")
+    p_analyze.add_argument("--root", metavar="DIR",
+                           help="directory findings/fingerprints are "
+                                "relative to (default: the repro package "
+                                "directory)")
+    p_analyze.add_argument("--json", metavar="PATH",
+                           help="also write the findings report as JSON")
+    p_analyze.add_argument("--write-baseline", action="store_true",
+                           help="accept all current findings into the "
+                                "baseline (existing justifications kept)")
+    p_analyze.set_defaults(handler=cmd_analyze)
 
     p_sql = sub.add_parser("sql", help="run SQL over TSV tables")
     p_sql.add_argument("statement", help="the SQL text")

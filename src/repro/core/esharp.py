@@ -290,10 +290,16 @@ class ESharp:
         """
         from repro.artifact import RefresherState, save_artifact
 
+        # Collect one consistent generation's references under the swap
+        # lock, then write it outside: the captured objects (snapshot,
+        # refresher state, exported index) are immutable once referenced,
+        # so the serialization — seconds of disk I/O — must not stall
+        # every concurrent refresh/promote behind it.
         with self._swap_lock:
             snapshot = self._require_snapshot()
             if self._platform is None:
                 raise NotBuiltError("platform exists only after build()")
+            platform = self._platform
             refresher = self._delta_refresher
             state = None
             if (
@@ -308,17 +314,17 @@ class ESharp:
             detector = self._detector
             if detector is not None and detector.engine is not None:
                 packed_index, built_at = detector.engine.export_packed()
-                if built_at == self._platform.mutation_count:
+                if built_at == platform.mutation_count:
                     engine = (packed_index, built_at)
-            return save_artifact(
-                path,
-                config=self.config,
-                offline=snapshot.offline,
-                platform=self._platform,
-                snapshot_version=snapshot.version,
-                refresher=state,
-                engine=engine,
-            )
+        return save_artifact(
+            path,
+            config=self.config,
+            offline=snapshot.offline,
+            platform=platform,
+            snapshot_version=snapshot.version,
+            refresher=state,
+            engine=engine,
+        )
 
     @property
     def is_built(self) -> bool:

@@ -69,11 +69,11 @@ class ReplicaTracker:
         self._default_deadline = default_deadline_seconds
         self._min_deadline = min_deadline_seconds
         self._lock = threading.Lock()
-        self._latencies: Dict[str, deque] = {
+        self._latencies: Dict[str, deque] = {  # guarded-by: _lock
             name: deque(maxlen=window) for name in names
         }
-        self._streak: Dict[str, int] = {name: 0 for name in names}
-        self._failures: Dict[str, int] = {name: 0 for name in names}
+        self._streak: Dict[str, int] = {name: 0 for name in names}  # guarded-by: _lock
+        self._failures: Dict[str, int] = {name: 0 for name in names}  # guarded-by: _lock
         self._order: Tuple[str, ...] = tuple(names)
 
     @property

@@ -25,8 +25,10 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Tuple
 
 from repro.detector.ranking import RankedExpert
-from repro.fleet.errors import FleetVersionSkewError
+from repro.fleet.errors import FleetError, FleetVersionSkewError
 from repro.serving.service import PartialPool
+
+# analysis: exact-path
 
 
 def merge_partials(
@@ -43,7 +45,7 @@ def merge_partials(
     """
     pools = list(pools)
     if not pools:
-        raise ValueError("merge_partials needs at least one partial pool")
+        raise FleetError("merge_partials needs at least one partial pool")
     versions = sorted({pool.snapshot_version for pool in pools})
     if len(versions) > 1:
         raise FleetVersionSkewError(

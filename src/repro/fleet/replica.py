@@ -140,8 +140,8 @@ class SubprocessReplica:
         )
         self._write_lock = threading.Lock()
         self._pending_lock = threading.Lock()
-        self._pending: dict[int, Future] = {}
-        self._next_id = 0
+        self._pending: dict[int, Future] = {}  # guarded-by: _pending_lock
+        self._next_id = 0  # guarded-by: _pending_lock
         self._ready: Future = Future()
         self._closed = False
         self._reader = threading.Thread(

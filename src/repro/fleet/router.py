@@ -217,15 +217,15 @@ class FleetRouter:
             max_workers=threads, thread_name_prefix="repro-fleet"
         )
         self._lock = threading.Lock()
-        self._requests = 0
-        self._single = 0
-        self._scattered = 0
-        self._legs = 0
-        self._hedges = 0
-        self._hedge_wins = 0
-        self._failovers = 0
-        self._skew_retries = 0
-        self._promotions = 0
+        self._requests = 0  # guarded-by: _lock
+        self._single = 0  # guarded-by: _lock
+        self._scattered = 0  # guarded-by: _lock
+        self._legs = 0  # guarded-by: _lock
+        self._hedges = 0  # guarded-by: _lock
+        self._hedge_wins = 0  # guarded-by: _lock
+        self._failovers = 0  # guarded-by: _lock
+        self._skew_retries = 0  # guarded-by: _lock
+        self._promotions = 0  # guarded-by: _lock
         self._closed = False
 
     @classmethod

@@ -17,6 +17,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import IO, Optional
 
 from repro.core.esharp import ESharp
+from repro.fleet.errors import PromotionError, WorkerProtocolError
 from repro.fleet.wire import (
     answer_to_wire,
     error_to_wire,
@@ -58,8 +59,8 @@ class FleetWorker:
 
             config = replace(config, cache_capacity=cache_capacity)
         self.service = ExpertService(self.system, config)
-        self._cancelled: set = set()
         self._cancel_lock = threading.Lock()
+        self._cancelled: set = set()  # guarded-by: _cancel_lock
 
     # -- wire I/O ---------------------------------------------------------------
 
@@ -114,13 +115,13 @@ class FleetWorker:
         if op == "promote":
             staged = getattr(self, "_staged", None)
             if staged is None:
-                raise RuntimeError("promote before preload")
+                raise PromotionError("promote before preload")
             snapshot = self.system.promote_staged(
                 staged, expected_version=message.get("expected_version")
             )
             self._staged = None
             return snapshot.version
-        raise ValueError(f"unknown op {op!r}")
+        raise WorkerProtocolError(f"unknown op {op!r}")
 
     # -- the main loop ----------------------------------------------------------
 

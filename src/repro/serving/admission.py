@@ -18,7 +18,11 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.serving.errors import ServiceClosedError, ServiceOverloadedError
+from repro.serving.errors import (
+    AdmissionProtocolError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
 
 
 @dataclass(frozen=True)
@@ -62,12 +66,12 @@ class AdmissionController:
         self._condition = threading.Condition(self._lock)
         #: signalled whenever the controller goes fully idle (drain())
         self._idle = threading.Condition(self._lock)
-        self._in_flight = 0
-        self._waiting = 0
-        self._admitted = 0
-        self._rejected_queue_full = 0
-        self._rejected_timeout = 0
-        self._closed = False
+        self._in_flight = 0  # guarded-by: _condition
+        self._waiting = 0  # guarded-by: _condition
+        self._admitted = 0  # guarded-by: _condition
+        self._rejected_queue_full = 0  # guarded-by: _condition
+        self._rejected_timeout = 0  # guarded-by: _condition
+        self._closed = False  # guarded-by: _condition
 
     @contextmanager
     def slot(self) -> Iterator[None]:
@@ -121,7 +125,9 @@ class AdmissionController:
     def release(self) -> None:
         with self._condition:
             if self._in_flight <= 0:
-                raise RuntimeError("release() without a matching acquire()")
+                raise AdmissionProtocolError(
+                    "release() without a matching acquire()"
+                )
             self._in_flight -= 1
             self._condition.notify()
             self._notify_if_idle()
@@ -158,7 +164,7 @@ class AdmissionController:
                 self._idle.wait(remaining)
             return 0
 
-    def _notify_if_idle(self) -> None:
+    def _notify_if_idle(self) -> None:  # holds: _condition
         """Caller must hold the lock."""
         if self._in_flight == 0 and self._waiting == 0:
             self._idle.notify_all()

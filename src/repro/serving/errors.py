@@ -17,6 +17,10 @@ class ServiceClosedError(ServingError):
     """The service was shut down; no further queries are accepted."""
 
 
+class AdmissionProtocolError(ServingError):
+    """The admission gate was misused (release without matching acquire)."""
+
+
 class ServiceOverloadedError(ServingError):
     """Admission control rejected the request (queue full or wait too long).
 

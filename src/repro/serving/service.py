@@ -219,13 +219,15 @@ class ExpertService:
         #: the staler build last, and the incremental refresher's state
         #: must advance one generation at a time
         self._refresh_lock = threading.Lock()
-        self._requests = 0
-        self._partials = 0
-        self._refreshes = 0
-        self._last_refresh_seconds: float | None = None
-        self._delta_refreshes = 0
-        self._last_delta_refresh_seconds: float | None = None
-        self._last_delta_refresh: "DeltaRefreshStats | None" = None
+        self._requests = 0  # guarded-by: _counter_lock
+        self._partials = 0  # guarded-by: _counter_lock
+        self._refreshes = 0  # guarded-by: _counter_lock
+        self._last_refresh_seconds: float | None = None  # guarded-by: _counter_lock
+        self._delta_refreshes = 0  # guarded-by: _counter_lock
+        self._last_delta_refresh_seconds: float | None = None  # guarded-by: _counter_lock
+        self._last_delta_refresh: "DeltaRefreshStats | None" = None  # guarded-by: _counter_lock
+        # deliberately lock-free: a close() flag read racily on the hot
+        # path, re-checked by admission under its own condition
         self._closed = False
 
     # -- lifecycle -------------------------------------------------------------

@@ -24,9 +24,9 @@ class SingleFlight(Generic[K, V]):
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._flights: Dict[K, "Future[V]"] = {}
-        self._leaders = 0
-        self._coalesced = 0
+        self._flights: Dict[K, "Future[V]"] = {}  # guarded-by: _lock
+        self._leaders = 0  # guarded-by: _lock
+        self._coalesced = 0  # guarded-by: _lock
 
     def do(
         self,
@@ -74,9 +74,11 @@ class SingleFlight(Generic[K, V]):
     @property
     def leaders(self) -> int:
         """How many calls actually executed their function."""
-        return self._leaders
+        with self._lock:
+            return self._leaders
 
     @property
     def coalesced(self) -> int:
         """How many calls were served by someone else's execution."""
-        return self._coalesced
+        with self._lock:
+            return self._coalesced

@@ -19,6 +19,7 @@ from repro.core.offline import OfflineArtifacts
 from repro.core.online import OnlinePipeline
 from repro.detector.palcounts import PalCountsDetector
 from repro.expansion.domainstore import DomainStore
+from repro.serving.errors import ServingError
 
 
 @dataclass(frozen=True)
@@ -125,5 +126,11 @@ class SnapshotHolder:
         return snapshot
 
 
-class StaleSnapshotError(RuntimeError):
-    """A derived generation lost the publish race (CAS mismatch)."""
+class StaleSnapshotError(ServingError):
+    """A derived generation lost the publish race (CAS mismatch).
+
+    Lives in the :class:`~repro.serving.errors.ServingError` hierarchy
+    (which itself subclasses ``RuntimeError``, so pre-existing handlers
+    keep catching it) — the fleet's wire layer maps it by name and the
+    router keys version-skew retries on it.
+    """

@@ -54,10 +54,10 @@ class WorkerPool:
             max_workers=max_workers, thread_name_prefix=name
         )
         self._lock = threading.Lock()
-        self._submitted = 0
-        self._completed = 0
-        self._failed = 0
-        self._closed = False
+        self._submitted = 0  # guarded-by: _lock
+        self._completed = 0  # guarded-by: _lock
+        self._failed = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
     def submit(self, fn: Callable[..., V], *args, **kwargs) -> "Future[V]":
         with self._lock:
@@ -151,10 +151,10 @@ class MicroBatchScheduler(Generic[K, V]):
         self.max_batch = max_batch
         self._condition = threading.Condition()
         #: key -> (fn to run once, futures awaiting the result)
-        self._pending: Dict[K, Tuple[Callable[[], V], List["Future[V]"]]] = {}
-        self._closed = False
-        self._batches_dispatched = 0
-        self._coalesced = 0
+        self._pending: Dict[K, Tuple[Callable[[], V], List["Future[V]"]]] = {}  # guarded-by: _condition
+        self._closed = False  # guarded-by: _condition
+        self._batches_dispatched = 0  # guarded-by: _condition
+        self._coalesced = 0  # guarded-by: _condition
         self._dispatcher = threading.Thread(
             target=self._run, name="repro-serving-batcher", daemon=True
         )
@@ -181,7 +181,7 @@ class MicroBatchScheduler(Generic[K, V]):
             batch = self._take_batch_locked()
         self._dispatch(batch)
 
-    def _take_batch_locked(
+    def _take_batch_locked(  # holds: _condition
         self,
     ) -> Dict[K, Tuple[Callable[[], V], List["Future[V]"]]]:
         batch = self._pending
@@ -236,12 +236,14 @@ class MicroBatchScheduler(Generic[K, V]):
 
     @property
     def batches_dispatched(self) -> int:
-        return self._batches_dispatched
+        with self._condition:
+            return self._batches_dispatched
 
     @property
     def coalesced(self) -> int:
         """Submissions that piggybacked on another submission's execution."""
-        return self._coalesced
+        with self._condition:
+            return self._coalesced
 
     def close(self) -> None:
         with self._condition:

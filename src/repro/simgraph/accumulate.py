@@ -44,6 +44,8 @@ from dataclasses import dataclass
 from repro.simgraph.similarity import SimilarityConfig
 from repro.simgraph.vectors import SparseVector
 
+# analysis: exact-path
+
 try:  # numpy is optional — the pure-python backend is always available
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised via backend="python"

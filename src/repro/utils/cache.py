@@ -78,11 +78,11 @@ class LRUCache(Generic[K, V]):
         self._clock = clock
         self._lock = threading.Lock()
         #: key -> (value, stored_at)
-        self._entries: "OrderedDict[K, Tuple[V, float]]" = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._expirations = 0
+        self._entries: "OrderedDict[K, Tuple[V, float]]" = OrderedDict()  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._expirations = 0  # guarded-by: _lock
 
     # -- core mapping protocol -------------------------------------------------
 

@@ -3,6 +3,12 @@
 Expensive artifacts (world, log, graph, platform, built system) are
 session-scoped at a deliberately small scale so the whole suite stays
 fast while every integration path is still exercised on real data.
+
+Set ``REPRO_LOCKWATCH=1`` to run the whole suite on instrumented locks
+(:mod:`repro.analysis.lockwatch`): every lock created by project code
+feeds a runtime lock-order graph, and each test fails if it introduced
+an ordering cycle or held a watched lock past the budget.  CI runs the
+concurrency-heavy test files under this flag.
 """
 
 from __future__ import annotations
@@ -19,6 +25,39 @@ from repro.worldmodel.builder import build_world
 
 
 TEST_SEED = 1234
+
+
+def pytest_configure(config):
+    from repro.analysis import lockwatch
+
+    # before any session fixture builds a system, so those locks are
+    # watched too
+    lockwatch.install_from_env()
+
+
+def pytest_unconfigure(config):
+    from repro.analysis import lockwatch
+
+    if lockwatch.active_watch() is not None:
+        lockwatch.uninstall()
+
+
+@pytest.fixture(autouse=True)
+def _lockwatch_check():
+    """Per-test sanitizer gate (no-op unless REPRO_LOCKWATCH=1)."""
+    from repro.analysis import lockwatch
+
+    yield
+    watch = lockwatch.active_watch()
+    if watch is None:
+        return
+    watch.check()  # raises LockOrderError on a newly observed cycle
+    violations = watch.drain_hold_violations()
+    if violations:
+        pytest.fail(
+            "lock hold budget exceeded: "
+            + ", ".join(repr(v) for v in violations)
+        )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,183 @@
+"""``python -m repro analyze``: exit codes, JSON schema, baseline flow."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.findings import SCHEMA_VERSION
+from repro.cli import main
+
+DIRTY = """
+    def handle(op):
+        raise ValueError(f"unknown op {op!r}")
+    """
+
+CLEAN = """
+    class TierError(RuntimeError):
+        pass
+
+    def handle(op):
+        raise TierError(f"unknown op {op!r}")
+    """
+
+
+@pytest.fixture
+def tree(tmp_path):
+    def write(source, name="serving/mod.py"):
+        target = tmp_path / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+        return target
+
+    return tmp_path, write
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tree):
+        root, write = tree
+        target = write(CLEAN)
+        assert main(["analyze", str(target), "--root", str(root),
+                     "--baseline", str(root / "baseline.json")]) == 0
+
+    def test_each_rule_category_fails_the_gate(self, tree):
+        """One dirty fixture per rule category must exit non-zero."""
+        root, write = tree
+        fixtures = {
+            # lock discipline (ordering cycle)
+            "lock": """
+                import threading
+
+                class Engine:
+                    def __init__(self):
+                        self._a = threading.Lock()
+                        self._b = threading.Lock()
+
+                    def one(self):
+                        with self._a:
+                            with self._b:
+                                pass
+
+                    def two(self):
+                        with self._b:
+                            with self._a:
+                                pass
+                """,
+            # guarded state
+            "guard": """
+                import threading
+
+                class Counter:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._n = 0  # guarded-by: _lock
+
+                    def peek(self):
+                        return self._n
+                """,
+            # safe decode
+            "pickle": "import pickle\n",
+            # exactness gating
+            "exact": """
+                # analysis: exact-path
+                import numpy as np
+
+                def fast(values):
+                    return float(np.sum(np.asarray(values)))
+                """,
+            # typed errors
+            "raise": DIRTY,
+        }
+        for slug, source in fixtures.items():
+            target = write(source, name=f"serving/{slug}_mod.py")
+            code = main(["analyze", str(target), "--root", str(root),
+                         "--baseline", str(root / "baseline.json")])
+            assert code == 1, f"fixture {slug!r} should fail the gate"
+
+    def test_malformed_baseline_is_a_usage_error(self, tree, capsys):
+        root, write = tree
+        target = write(CLEAN)
+        bad = root / "baseline.json"
+        bad.write_text('{"schema_version": 99, "suppressions": []}')
+        assert main(["analyze", str(target), "--root", str(root),
+                     "--baseline", str(bad)]) == 2
+        assert "schema_version" in capsys.readouterr().err
+
+
+class TestJsonSchema:
+    def test_report_shape_is_stable(self, tree):
+        root, write = tree
+        target = write(DIRTY)
+        out = root / "report.json"
+        code = main(["analyze", str(target), "--root", str(root),
+                     "--json", str(out),
+                     "--baseline", str(root / "baseline.json")])
+        assert code == 1
+        payload = json.loads(out.read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert set(payload["counts"]) == {"new", "baselined", "suppressed"}
+        assert payload["counts"]["new"] == 1
+        rule_ids = {rule["id"] for rule in payload["rules"]}
+        assert {"LOCK001", "LOCK002", "LOCK003", "GUARD001",
+                "PICKLE001", "EXACT001", "RAISE001"} <= rule_ids
+        [finding] = payload["findings"]
+        assert set(finding) == {"rule", "severity", "path", "line",
+                                "column", "symbol", "message", "fingerprint"}
+        assert finding["rule"] == "RAISE001"
+        assert finding["severity"] == "warning"
+        assert finding["line"] > 0
+
+    def test_fingerprints_are_stable_across_line_shifts(self, tree):
+        root, write = tree
+        out = root / "report.json"
+        base = ["analyze", "--root", str(root), "--json", str(out),
+                "--baseline", str(root / "baseline.json")]
+        target = write(DIRTY)
+        main(base + [str(target)])
+        first = json.loads(out.read_text())["findings"][0]["fingerprint"]
+        target = write("\n\n\n" + textwrap.dedent(DIRTY))
+        main(base + [str(target)])
+        second = json.loads(out.read_text())["findings"][0]["fingerprint"]
+        assert first == second
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_gate_goes_green(self, tree):
+        root, write = tree
+        target = write(DIRTY)
+        baseline = root / "baseline.json"
+        args = ["analyze", str(target), "--root", str(root),
+                "--baseline", str(baseline)]
+        assert main(args) == 1
+        assert main(args + ["--write-baseline"]) == 0
+        payload = json.loads(baseline.read_text())
+        [entry] = payload["suppressions"]
+        assert entry["rule"] == "RAISE001"
+        assert entry["justification"]  # placeholder, never empty
+        assert main(args) == 0
+
+    def test_justifications_survive_rewrite(self, tree):
+        root, write = tree
+        target = write(DIRTY)
+        baseline = root / "baseline.json"
+        args = ["analyze", str(target), "--root", str(root),
+                "--baseline", str(baseline)]
+        main(args + ["--write-baseline"])
+        payload = json.loads(baseline.read_text())
+        payload["suppressions"][0]["justification"] = "reviewed: wire-only"
+        baseline.write_text(json.dumps(payload))
+        main(args + ["--write-baseline"])
+        payload = json.loads(baseline.read_text())
+        assert payload["suppressions"][0]["justification"] == (
+            "reviewed: wire-only"
+        )
+
+    def test_parser_wires_analyze_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["analyze"])
+        assert args.paths == []
+        assert args.baseline is None
+        assert not args.write_baseline

@@ -1,0 +1,219 @@
+"""The runtime lock-order sanitizer, exercised directly.
+
+The deliberate inversion here is the dynamic twin of the static
+``LOCK001`` fixture: two threads take two locks in opposite orders, the
+watch records both edge directions, and ``check()`` must refuse.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.errors import LockOrderError, LockProtocolError
+from repro.analysis.lockwatch import (
+    LockWatch,
+    WatchedLock,
+    WatchedRLock,
+    active_watch,
+    install,
+    uninstall,
+)
+
+
+class TestOrderingGraph:
+    def test_inverted_two_lock_ordering_is_a_cycle(self):
+        watch = LockWatch()
+        lock_a = watch.make_lock("a")
+        lock_b = watch.make_lock("b")
+
+        def forward():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        def backward():
+            with lock_b:
+                with lock_a:
+                    pass
+
+        # run the two orders in separate threads (sequentially — the
+        # graph is about ordering, not about an actual collision)
+        for target in (forward, backward):
+            thread = threading.Thread(target=target)
+            thread.start()
+            thread.join()
+
+        assert ("a", "b") in watch.snapshot_edges()
+        assert ("b", "a") in watch.snapshot_edges()
+        with pytest.raises(LockOrderError, match="cycle"):
+            watch.check()
+
+    def test_consistent_ordering_passes(self):
+        watch = LockWatch()
+        lock_a = watch.make_lock("a")
+        lock_b = watch.make_lock("b")
+        for _ in range(3):
+            with lock_a:
+                with lock_b:
+                    pass
+        watch.check()  # no cycle, no raise
+
+    def test_new_cycles_drain_once(self):
+        watch = LockWatch()
+        lock_a = watch.make_lock("a")
+        lock_b = watch.make_lock("b")
+        with lock_a:
+            with lock_b:
+                pass
+        with lock_b:
+            with lock_a:
+                pass
+        assert watch.new_cycles() == [["a", "b"]]
+        # already reported: a second check must not re-raise forever
+        assert watch.new_cycles() == []
+        watch.check()
+
+
+class TestSelfDeadlock:
+    def test_blocking_reacquire_raises_instead_of_hanging(self):
+        watch = LockWatch()
+        lock = watch.make_lock("solo")
+        with lock:
+            with pytest.raises(LockOrderError, match="self-deadlock"):
+                lock.acquire()
+
+    def test_nonblocking_probe_returns_false(self):
+        """Condition._is_owned probes with acquire(False) — never raise."""
+        watch = LockWatch()
+        lock = watch.make_lock("solo")
+        with lock:
+            assert lock.acquire(False) is False
+        assert lock.acquire(False) is True
+        lock.release()
+
+    def test_rlock_reenters_fine(self):
+        watch = LockWatch()
+        lock = watch.make_rlock("re")
+        with lock:
+            with lock:
+                assert lock._is_owned()
+        assert not lock._is_owned()
+
+
+class TestHoldBudget:
+    def test_overlong_hold_recorded(self):
+        watch = LockWatch(max_hold_ms=0.0)
+        lock = watch.make_lock("slow")
+        with lock:
+            pass
+        violations = watch.drain_hold_violations()
+        assert len(violations) == 1
+        assert violations[0].label == "slow"
+        assert watch.drain_hold_violations() == []  # drained
+
+    def test_exempt_site_skips_budget(self):
+        watch = LockWatch(max_hold_ms=0.0, exempt=("slow",))
+        lock = watch.make_lock("slow")
+        with lock:
+            pass
+        assert watch.drain_hold_violations() == []
+
+    def test_fast_hold_clean(self):
+        watch = LockWatch(max_hold_ms=5000.0)
+        lock = watch.make_lock("fast")
+        with lock:
+            pass
+        assert watch.drain_hold_violations() == []
+
+
+class TestConditionInterop:
+    def test_condition_wait_notify_through_watched_rlock(self):
+        """Condition.wait must release/reacquire via the wrapper's
+        bookkeeping, not behind its back."""
+        watch = LockWatch()
+        lock = watch.make_rlock("cv")
+        condition = threading.Condition(lock)
+        state = {"ready": False, "observed": False}
+
+        def waiter():
+            with condition:
+                while not state["ready"]:
+                    condition.wait(timeout=5.0)
+                state["observed"] = True
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        with condition:
+            state["ready"] = True
+            condition.notify()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert state["observed"]
+        # wait() fully released the wrapper: no thread still owns it
+        assert not lock._is_owned()
+
+    def test_release_by_non_owner_is_typed(self):
+        watch = LockWatch()
+        lock = watch.make_rlock("owned")
+        with pytest.raises(LockProtocolError):
+            lock.release()
+
+
+class TestInstall:
+    def test_install_patches_project_lock_creation(self):
+        previous = active_watch()  # a session watch may already be live
+        watch = install(LockWatch())
+        try:
+            assert active_watch() is watch
+            # created from repro code: watched
+            from repro.serving.singleflight import SingleFlight
+
+            flight = SingleFlight()
+            assert isinstance(flight._lock, WatchedLock)
+            # created from test code (not under a repro package dir):
+            # the real primitive
+            foreign = threading.Lock()
+            assert not isinstance(foreign, (WatchedLock, WatchedRLock))
+        finally:
+            uninstall()
+        assert active_watch() is previous
+
+    def test_install_nests_without_tearing_down_the_outer_watch(self):
+        outer = install(LockWatch())
+        try:
+            inner = install(LockWatch())
+            assert inner is outer  # reuses the active watch
+            uninstall()  # inner uninstall: outer watch must survive
+            assert active_watch() is outer
+        finally:
+            uninstall()
+
+    def test_install_from_env_respects_flag(self, monkeypatch):
+        from repro.analysis import lockwatch
+
+        monkeypatch.delenv(lockwatch.ENV_ENABLE, raising=False)
+        assert lockwatch.install_from_env() is None
+
+    def test_watched_primitives_serve_queries(self, system):
+        """The serving engine works end-to-end on watched locks."""
+        from repro.serving.service import ExpertService, ServiceConfig
+
+        watch = install(LockWatch())
+        try:
+            service = ExpertService(
+                system, ServiceConfig(detection_workers=2)
+            )
+            try:
+                answer = service.query("latex")
+                assert answer.snapshot_version >= 1
+                assert isinstance(
+                    service._counter_lock, (WatchedLock, WatchedRLock)
+                )
+            finally:
+                service.close()
+            watch.check()
+            assert watch.acquisitions > 0
+        finally:
+            uninstall()

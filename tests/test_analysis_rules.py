@@ -1,0 +1,464 @@
+"""Positive and negative fixtures for every static-analysis rule.
+
+Each rule gets at least one snippet that must trigger it and one that
+must stay clean, so a rule regression (either direction) fails here
+before it floods — or silently stops guarding — the real codebase.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import analyze_paths
+from repro.analysis.errors import AnalysisUsageError
+from repro.analysis.findings import fingerprint_of
+
+
+def run_rules(tmp_path, source, filename="serving/mod.py"):
+    target = tmp_path / filename
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    report = analyze_paths(paths=[target], root=tmp_path)
+    return report.findings
+
+
+def rule_ids(findings):
+    return sorted({finding.rule for finding in findings})
+
+
+class TestLockOrderRule:
+    def test_inverted_order_is_a_cycle(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            import threading
+
+            class Engine:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def backward(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """)
+        assert "LOCK001" in rule_ids(findings)
+        [finding] = [f for f in findings if f.rule == "LOCK001"]
+        assert "_a" in finding.message and "_b" in finding.message
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            import threading
+
+            class Engine:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def two(self):
+                    with self._a:
+                        with self._b:
+                            pass
+            """)
+        assert "LOCK001" not in rule_ids(findings)
+
+    def test_cycle_through_helper_call_is_found(self, tmp_path):
+        """An ordering edge hidden behind a sibling-method call."""
+        findings = run_rules(tmp_path, """
+            import threading
+
+            class Engine:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        self._grab_b()
+
+                def _grab_b(self):
+                    with self._b:
+                        pass
+
+                def backward(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """)
+        assert "LOCK001" in rule_ids(findings)
+
+    def test_condition_over_lock_is_the_same_lock(self, tmp_path):
+        """Two condition views of one mutex must not fake an inversion."""
+        findings = run_rules(tmp_path, """
+            import threading
+
+            class Gate:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._ready = threading.Condition(self._lock)
+                    self._idle = threading.Condition(self._lock)
+
+                def one(self):
+                    with self._ready:
+                        pass
+
+                def two(self):
+                    with self._idle:
+                        pass
+            """)
+        assert findings == []
+
+
+class TestBlockingUnderLockRule:
+    def test_open_under_lock_flagged(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def dump(self, path):
+                    with self._lock:
+                        with open(path, "w") as handle:
+                            handle.write("x")
+            """)
+        assert "LOCK002" in rule_ids(findings)
+
+    def test_sleep_under_lock_flagged(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            import threading
+            import time
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def spin(self):
+                    with self._lock:
+                        time.sleep(0.1)
+            """)
+        assert "LOCK002" in rule_ids(findings)
+
+    def test_condition_wait_on_held_lock_is_exempt(self, tmp_path):
+        """``wait()`` releases the lock it waits on — not a blocking hold."""
+        findings = run_rules(tmp_path, """
+            import threading
+
+            class Gate:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition(self._lock)
+
+                def park(self):
+                    with self._cond:
+                        self._cond.wait()
+            """)
+        assert "LOCK002" not in rule_ids(findings)
+
+    def test_io_outside_lock_is_clean(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._payload = ""
+
+                def dump(self, path):
+                    with self._lock:
+                        payload = self._payload
+                    with open(path, "w") as handle:
+                        handle.write(payload)
+            """)
+        assert "LOCK002" not in rule_ids(findings)
+
+
+class TestNestedLockRule:
+    def test_nested_plain_lock_is_a_deadlock(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            import threading
+
+            class Broken:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def oops(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """)
+        assert "LOCK003" in rule_ids(findings)
+
+    def test_nested_rlock_is_fine(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            import threading
+
+            class Reentrant:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def fine(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """)
+        assert "LOCK003" not in rule_ids(findings)
+
+
+class TestGuardedStateRule:
+    GUARDED = """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0  # guarded-by: _lock
+
+            def bump(self):
+                with self._lock:
+                    self._count += 1
+
+            def peek(self):
+                return self._count
+        """
+
+    def test_unlocked_access_flagged(self, tmp_path):
+        findings = run_rules(tmp_path, self.GUARDED)
+        guard = [f for f in findings if f.rule == "GUARD001"]
+        assert len(guard) == 1
+        assert guard[0].symbol == "Counter.peek"
+        assert guard[0].subject == "_count"
+
+    def test_locked_access_and_init_are_clean(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0  # guarded-by: _lock
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+            """)
+        assert "GUARD001" not in rule_ids(findings)
+
+    def test_holds_pragma_covers_locked_helpers(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0  # guarded-by: _lock
+
+                def bump(self):
+                    with self._lock:
+                        self._bump_locked()
+
+                def _bump_locked(self):  # holds: _lock
+                    self._count += 1
+            """)
+        assert "GUARD001" not in rule_ids(findings)
+
+    def test_condition_alias_satisfies_guard(self, tmp_path):
+        """Holding a Condition over the lock *is* holding the lock."""
+        findings = run_rules(tmp_path, """
+            import threading
+
+            class Gate:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition(self._lock)
+                    self._waiters = 0  # guarded-by: _lock
+
+                def join(self):
+                    with self._cond:
+                        self._waiters += 1
+            """)
+        assert "GUARD001" not in rule_ids(findings)
+
+    def test_inline_ignore_suppresses(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0  # guarded-by: _lock
+
+                def peek(self):
+                    return self._count  # analysis: ignore[GUARD001]
+            """)
+        assert "GUARD001" not in rule_ids(findings)
+
+
+class TestNoPickleRule:
+    @pytest.mark.parametrize("line", [
+        "import pickle",
+        "import marshal",
+        "from pickle import loads",
+        "import dill",
+    ])
+    def test_banned_imports(self, tmp_path, line):
+        findings = run_rules(tmp_path, f"{line}\n", filename="artifact/m.py")
+        assert "PICKLE001" in rule_ids(findings)
+
+    def test_eval_flagged(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "def f(payload):\n    return eval(payload)\n",
+            filename="artifact/m.py",
+        )
+        assert "PICKLE001" in rule_ids(findings)
+
+    def test_json_decode_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "import json\n\ndef f(s):\n    return json.loads(s)\n",
+            filename="artifact/m.py",
+        )
+        assert "PICKLE001" not in rule_ids(findings)
+
+
+class TestExactnessRule:
+    def test_unguarded_numpy_in_exact_module_flagged(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            # analysis: exact-path
+            import numpy as np
+
+            def fast_sum(values):
+                return float(np.sum(np.asarray(values)))
+            """, filename="simgraph/m.py")
+        assert "EXACT001" in rule_ids(findings)
+
+    def test_guard_bearing_function_clean(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            # analysis: exact-path
+            import numpy as np
+
+            _FLOAT64_EXACT = 2**53
+
+            def fast_sum(values, bound):
+                if bound >= _FLOAT64_EXACT:
+                    return sum(values)
+                return float(np.sum(np.asarray(values)))
+            """, filename="simgraph/m.py")
+        assert "EXACT001" not in rule_ids(findings)
+
+    def test_helper_reached_only_via_guard_is_clean(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            # analysis: exact-path
+            import numpy as np
+
+            _FLOAT64_EXACT = 2**53
+
+            def _kernel(arr):
+                return np.sum(arr)
+
+            def join_safe(values, bound):
+                if bound >= _FLOAT64_EXACT:
+                    return sum(values)
+                return float(_kernel(np.asarray(values)))
+            """, filename="simgraph/m.py")
+        assert "EXACT001" not in rule_ids(findings)
+
+    def test_module_without_pragma_is_out_of_scope(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            import numpy as np
+
+            def fast_sum(values):
+                return float(np.sum(np.asarray(values)))
+            """, filename="simgraph/m.py")
+        assert "EXACT001" not in rule_ids(findings)
+
+
+class TestTypedRaiseRule:
+    def test_builtin_raise_in_serving_flagged(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            def handle(op):
+                raise ValueError(f"unknown op {op!r}")
+            """)
+        raises = [f for f in findings if f.rule == "RAISE001"]
+        assert len(raises) == 1
+        assert raises[0].subject == "ValueError"
+
+    def test_typed_raise_clean(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            class ServingError(RuntimeError):
+                pass
+
+            def handle(op):
+                raise ServingError(f"unknown op {op!r}")
+            """)
+        assert "RAISE001" not in rule_ids(findings)
+
+    def test_constructor_validation_exempt(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            class Gate:
+                def __init__(self, size):
+                    if size < 1:
+                        raise ValueError("size must be >= 1")
+            """)
+        assert "RAISE001" not in rule_ids(findings)
+
+    def test_out_of_scope_package_not_flagged(self, tmp_path):
+        findings = run_rules(tmp_path, """
+            def handle(op):
+                raise ValueError(f"unknown op {op!r}")
+            """, filename="worldmodel/m.py")
+        assert "RAISE001" not in rule_ids(findings)
+
+
+class TestEngineBehavior:
+    def test_baseline_matches_on_fingerprint_not_line(self, tmp_path):
+        source = """
+            def handle(op):
+                raise ValueError("bad")
+            """
+        [finding] = run_rules(tmp_path, source)
+        fp = fingerprint_of(
+            finding.rule, finding.path, finding.symbol, finding.subject
+        )
+        assert fp == finding.fingerprint
+
+        # same violation, different line: still baselined
+        shifted = "\n\n\n" + textwrap.dedent(source)
+        target = tmp_path / "serving" / "mod.py"
+        target.write_text(shifted, encoding="utf-8")
+        from repro.analysis.baseline import BaselineEntry
+
+        baseline = Baseline([BaselineEntry(fp, finding.rule, finding.path,
+                                           finding.symbol, "known")])
+        report = analyze_paths(
+            paths=[target], root=tmp_path, baseline=baseline
+        )
+        assert report.findings == []
+        assert len(report.baselined) == 1
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        with pytest.raises(AnalysisUsageError):
+            analyze_paths(paths=[tmp_path / "nope.py"], root=tmp_path)
+
+    def test_real_tree_is_green_under_checked_in_baseline(self):
+        from repro.analysis.engine import default_baseline_path
+
+        baseline = Baseline.load(default_baseline_path())
+        report = analyze_paths(baseline=baseline)
+        assert report.ok, report.render_text()
+        # and the checked-in baseline carries no stale entries
+        assert baseline.unused(report.findings + report.baselined) == []
