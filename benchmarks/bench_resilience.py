@@ -1,0 +1,363 @@
+"""RES1 — fleet resilience: availability, recovery time, and the cost
+of chaos.
+
+Three scenarios against a warm-started fleet, all under the contract
+that the router **never returns a wrong answer** — every full-coverage
+answer must be byte-identical to the single-replica reference, and
+anything less must be explicitly marked ``coverage < 1.0``:
+
+* **Availability under a crash.**  A subprocess fleet (supervised) loses
+  one replica to SIGKILL mid-workload; the bench reports the fraction of
+  queries answered in full, answered degraded, and failed — before the
+  kill, during the outage, and after the supervisor restores the slot —
+  plus the wall-clock recovery time (kill → fresh replica answering).
+* **Deadline-bounded latency spikes.**  A seeded chaos plan injects
+  latency at the replica-call site with fixed probability; the bench
+  reports the added p99 versus the fault-free baseline on the same
+  in-process fleet.
+* **Exactness throughout.**  Any byte-divergent full-coverage answer
+  fails the bench outright.
+
+Writes ``BENCH_resilience.json`` at the repo root.  CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py --smoke \
+        --output /tmp/BENCH_resilience.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import signal
+import tempfile
+import time
+
+from repro.chaos import FaultPlan, FaultSpec, inject
+from repro.core.config import ESharpConfig
+from repro.core.esharp import ESharp
+from repro.fleet import (
+    FleetConfig,
+    FleetRouter,
+    InProcessReplica,
+    ReplicaSupervisor,
+    SubprocessReplica,
+    SupervisorConfig,
+)
+from repro.fleet.wire import answer_to_wire
+from repro.serving.loadgen import candidate_queries
+from repro.serving.service import ExpertService, ServiceConfig
+from repro.utils.stats import percentile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: probability / sleep of the injected latency spike (per replica call)
+SPIKE_PROBABILITY = 0.25
+SPIKE_SECONDS = 0.05
+
+
+def answer_bytes(answer) -> str:
+    """Canonical JSON of an answer's *content* (timings stripped)."""
+    wire = answer_to_wire(answer)
+    for volatile in (
+        "expansion_seconds",
+        "detection_seconds",
+        "total_seconds",
+        "cache_hit",
+        "coalesced",
+    ):
+        wire.pop(volatile, None)
+    return json.dumps(wire, sort_keys=True, separators=(",", ":"))
+
+
+def make_inprocess_fleet(artifact: pathlib.Path, replicas: int):
+    handles = [
+        InProcessReplica(
+            f"replica-{index}",
+            ESharp.from_artifact(artifact),
+            ServiceConfig(detection_workers=1),
+        )
+        for index in range(replicas)
+    ]
+    return FleetRouter.from_artifact(
+        artifact,
+        handles,
+        sharding="hash",
+        config=FleetConfig(hedging=False),
+    )
+
+
+def make_subprocess_fleet(artifact: pathlib.Path, replicas: int):
+    handles = [
+        SubprocessReplica(
+            f"replica-{index}",
+            artifact,
+            detection_workers=1,
+            request_timeout_seconds=30.0,
+        )
+        for index in range(replicas)
+    ]
+    router = FleetRouter.from_artifact(
+        artifact,
+        handles,
+        sharding="hash",
+        config=FleetConfig(hedging=False, allow_degraded=True),
+    )
+    factories = {
+        handle.name: (
+            lambda name=handle.name: SubprocessReplica(
+                name,
+                artifact,
+                detection_workers=1,
+                request_timeout_seconds=30.0,
+            )
+        )
+        for handle in handles
+    }
+    supervisor = ReplicaSupervisor(
+        router,
+        factories,
+        SupervisorConfig(
+            poll_interval_seconds=0.1,
+            probe_timeout_seconds=2.0,
+            backoff_initial_seconds=0.05,
+            restart_budget=10,
+        ),
+    )
+    return router, supervisor
+
+
+def run_lap(router, queries, reference) -> dict:
+    """One pass over the workload: availability + latency percentiles."""
+    latencies = []
+    ok_full = ok_degraded = errors = mismatches = 0
+    started = time.perf_counter()
+    for query in queries:
+        t0 = time.perf_counter()
+        try:
+            answer = router.query(query)
+        except Exception:  # noqa: BLE001 - counted, not fatal
+            errors += 1
+            continue
+        latencies.append(time.perf_counter() - t0)
+        if answer.coverage < 1.0:
+            ok_degraded += 1
+        elif answer_bytes(answer) != reference[query]:
+            mismatches += 1
+        else:
+            ok_full += 1
+    wall = time.perf_counter() - started
+    answered = ok_full + ok_degraded
+    return {
+        "requests": len(queries),
+        "ok_full": ok_full,
+        "ok_degraded": ok_degraded,
+        "errors": errors,
+        "mismatches": mismatches,
+        "availability": answered / len(queries) if queries else 0.0,
+        "full_availability": ok_full / len(queries) if queries else 0.0,
+        "p50_ms": (percentile(latencies, 0.50) * 1000) if latencies else 0.0,
+        "p99_ms": (percentile(latencies, 0.99) * 1000) if latencies else 0.0,
+        "qps": (len(queries) - errors) / wall if wall else 0.0,
+    }
+
+
+def crash_scenario(
+    artifact: pathlib.Path, replicas: int, queries, reference
+) -> dict:
+    router, supervisor = make_subprocess_fleet(artifact, replicas)
+    try:
+        supervisor.start()
+        before = run_lap(router, queries, reference)
+
+        victim = router.replica("replica-0")
+        os.kill(victim.pid, signal.SIGKILL)
+        killed_at = time.monotonic()
+        during = run_lap(router, queries, reference)
+
+        def restored() -> bool:
+            fresh = router.replica("replica-0")
+            return (
+                fresh is not victim
+                and fresh.is_alive()
+                and fresh.ping(timeout=2.0)
+            )
+
+        deadline = time.monotonic() + 300.0
+        while not restored() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        if not restored():
+            raise AssertionError(
+                "supervisor failed to restore the killed replica"
+            )
+        recovery_seconds = time.monotonic() - killed_at
+        after = run_lap(router, queries, reference)
+        stats = supervisor.stats()
+        return {
+            "replicas": replicas,
+            "before_kill": before,
+            "during_outage": during,
+            "after_recovery": after,
+            "recovery_seconds": recovery_seconds,
+            "supervisor": {
+                "restarts": stats.restarts,
+                "failed_restarts": stats.failed_restarts,
+                "gave_up": stats.gave_up,
+            },
+        }
+    finally:
+        supervisor.close()
+        router.close()
+
+
+def latency_spike_scenario(
+    artifact: pathlib.Path, replicas: int, queries, reference, seed: int
+) -> dict:
+    plan = FaultPlan(
+        seed=seed,
+        faults=(
+            FaultSpec(
+                site="replica.call",
+                kind="latency",
+                seconds=SPIKE_SECONDS,
+                probability=SPIKE_PROBABILITY,
+                times=0,
+            ),
+        ),
+    )
+    router = make_inprocess_fleet(artifact, replicas)
+    try:
+        baseline = run_lap(router, queries, reference)
+        with inject.installed(plan):
+            spiked = run_lap(router, queries, reference)
+        return {
+            "replicas": replicas,
+            "spike_probability": SPIKE_PROBABILITY,
+            "spike_seconds": SPIKE_SECONDS,
+            "baseline": baseline,
+            "spiked": spiked,
+            "added_p99_ms": spiked["p99_ms"] - baseline["p99_ms"],
+        }
+    finally:
+        router.close()
+
+
+def run_resilience_bench(
+    config: ESharpConfig, *, replicas: int, working_set: int, smoke: bool
+) -> dict:
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="bench-resilience-"))
+    try:
+        artifact = tmp / "artifact"
+        t0 = time.perf_counter()
+        system = ESharp(config).build(artifact_dir=artifact)
+        build_seconds = time.perf_counter() - t0
+
+        queries = candidate_queries(system, working_set) + [
+            "no such phrase at all"
+        ]
+        with ExpertService(system) as single:
+            reference = {q: answer_bytes(single.query(q)) for q in queries}
+
+        spike = latency_spike_scenario(
+            artifact, replicas, queries, reference, config.seed
+        )
+        crash = crash_scenario(artifact, replicas, queries, reference)
+
+        mismatches = (
+            spike["baseline"]["mismatches"]
+            + spike["spiked"]["mismatches"]
+            + crash["before_kill"]["mismatches"]
+            + crash["during_outage"]["mismatches"]
+            + crash["after_recovery"]["mismatches"]
+        )
+        if mismatches:
+            raise AssertionError(
+                f"{mismatches} full-coverage answers diverged from the "
+                "single-replica reference — the fleet served a wrong answer"
+            )
+        if crash["after_recovery"]["full_availability"] < 1.0:
+            raise AssertionError(
+                "full coverage did not resume after supervised recovery"
+            )
+        return {
+            "bench": "resilience",
+            "mode": "smoke" if smoke else "full",
+            "scale": "small",
+            "host_cpus": os.cpu_count(),
+            "build_seconds": build_seconds,
+            "replicas": replicas,
+            "working_set": len(queries),
+            "never_wrong": True,
+            "latency_spike": spike,
+            "crash_recovery": crash,
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def render(payload: dict) -> str:
+    spike = payload["latency_spike"]
+    crash = payload["crash_recovery"]
+    return "\n".join(
+        [
+            f"resilience bench ({payload['mode']}, {payload['replicas']} "
+            f"replicas, {payload['host_cpus']} host cpus)",
+            f"  exactness:    never wrong over "
+            f"{payload['working_set']} queries x 5 laps",
+            f"  latency:      p99 {spike['baseline']['p99_ms']:.1f}ms -> "
+            f"{spike['spiked']['p99_ms']:.1f}ms under "
+            f"{spike['spike_probability']:.0%} x "
+            f"{spike['spike_seconds'] * 1000:.0f}ms spikes "
+            f"(+{spike['added_p99_ms']:.1f}ms)",
+            f"  crash:        availability "
+            f"{crash['before_kill']['availability']:.1%} -> "
+            f"{crash['during_outage']['availability']:.1%} during outage -> "
+            f"{crash['after_recovery']['availability']:.1%} recovered",
+            f"  recovery:     {crash['recovery_seconds']:.2f}s from SIGKILL "
+            f"to a warm replica answering "
+            f"({crash['supervisor']['restarts']} restart(s))",
+        ]
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small scale, 2 replicas, short workload (CI)",
+    )
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--output", metavar="PATH", default=None)
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help="fleet size (default: 2 smoke, 4 full)",
+    )
+    args = parser.parse_args()
+
+    config = ESharpConfig.small(seed=args.seed)
+    replicas = args.replicas or (2 if args.smoke else 4)
+    working_set = 16 if args.smoke else 48
+
+    payload = run_resilience_bench(
+        config, replicas=replicas, working_set=working_set, smoke=args.smoke
+    )
+    print(render(payload))
+    output = (
+        pathlib.Path(args.output)
+        if args.output
+        else REPO_ROOT / "BENCH_resilience.json"
+    )
+    output.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"[json written to {output}]")
+
+
+if __name__ == "__main__":
+    main()

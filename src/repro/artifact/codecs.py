@@ -43,6 +43,7 @@ from repro.artifact.errors import (
     ArtifactError,
     ArtifactVersionError,
 )
+from repro.chaos.inject import fire
 from repro.community.parallel import IterationTrace
 from repro.community.partition import Partition
 from repro.expansion.domainstore import DomainStore, ExpertiseDomain
@@ -87,6 +88,7 @@ def read_stage_records(
     parsed — a corrupted artifact can never produce a half-decoded
     object.
     """
+    fire("artifact.read", path=str(path))
     try:
         payload = pathlib.Path(path).read_bytes()
     except FileNotFoundError:

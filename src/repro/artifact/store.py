@@ -29,7 +29,9 @@ persisted incremental-refresh state.
 
 from __future__ import annotations
 
+import os
 import pathlib
+import shutil
 from dataclasses import dataclass
 
 from repro.artifact.codecs import (
@@ -55,6 +57,7 @@ from repro.artifact.manifest import (
     read_manifest,
     write_manifest,
 )
+from repro.chaos.inject import fire
 from repro.core.config import ESharpConfig
 from repro.core.offline import OFFLINE_STAGES, OfflineArtifacts
 from repro.microblog.platform import MicroblogPlatform
@@ -163,6 +166,7 @@ class ArtifactBuilder:
         report: StageReport | None = None,
     ) -> None:
         """Persist one stage's outputs and re-write the manifest."""
+        fire("artifact.save_stage", stage=name)
         files: dict[str, FileEntry] = {}
         for output, value in values.items():
             kind, version, encode, _decode = CODECS[output]
@@ -241,6 +245,7 @@ class ArtifactBuilder:
 
     def finalize(self, snapshot_version: int) -> Manifest:
         """Stamp the serving version and mark the artifact loadable."""
+        fire("artifact.finalize")
         if snapshot_version < 1:
             raise ArtifactVersionError(
                 f"snapshot_version must be >= 1, got {snapshot_version}"
@@ -293,6 +298,32 @@ class LoadedArtifact:
     engine: tuple[dict, int] | None = None
 
 
+def _publish_directory(scratch: pathlib.Path, root: pathlib.Path) -> None:
+    """Swap a finished scratch directory into place, crash-atomically.
+
+    ``os.replace`` is atomic for a rename onto a free name, so either
+    the new generation is fully published or the previous one is still
+    there — never a half-written root.  When ``root`` already exists it
+    is moved aside first (a directory rename cannot clobber a non-empty
+    directory), and moved *back* if publishing the scratch fails, so the
+    previous generation survives every failure mode short of losing the
+    filesystem.
+    """
+    if not root.exists():
+        os.replace(scratch, root)
+        return
+    previous = root.parent / f"{root.name}.previous.{os.getpid()}"
+    if previous.exists():
+        shutil.rmtree(previous)
+    os.replace(root, previous)
+    try:
+        os.replace(scratch, root)
+    except OSError:
+        os.replace(previous, root)  # roll the old generation back in
+        raise
+    shutil.rmtree(previous, ignore_errors=True)
+
+
 def save_artifact(
     root,
     *,
@@ -303,37 +334,65 @@ def save_artifact(
     refresher: RefresherState | None = None,
     engine: tuple[dict, int] | None = None,
 ) -> Manifest:
-    """Write a complete artifact for an already-built system in one call."""
-    builder = ArtifactBuilder(root, config)
-    reports = {report.name: report for report in offline.clock.reports}
-    builder.save_stage("log", {"store": offline.store})
-    builder.save_stage(
-        "extract",
-        {
-            "weighted_graph": offline.weighted_graph,
-            "multigraph": offline.multigraph,
-        },
-        reports.get("Extraction"),
-    )
-    builder.save_stage(
-        "cluster",
-        {
-            "partition": offline.partition,
-            "clustering_history": offline.clustering_history,
-        },
-        reports.get("Clustering"),
-    )
-    builder.save_stage("domains", {"domain_store": offline.domain_store})
-    builder.save_corpus(platform)
-    if engine is not None:
-        builder.save_engine(engine)
-    else:
-        builder.drop_stage("engine")
-    if refresher is not None:
-        builder.save_refresher(refresher.store, refresher.edges)
-    else:
-        builder.drop_stage("refresher")
-    return builder.finalize(snapshot_version)
+    """Write a complete artifact for an already-built system in one call.
+
+    Crash-atomic: every stage file and the manifest are written into a
+    temporary sibling directory and swapped into ``root`` only after
+    :meth:`ArtifactBuilder.finalize` succeeds.  A crash mid-save (torn
+    write, injected fault, power loss) leaves either the previous
+    complete generation or nothing — never a directory that
+    half-validates.  (The checkpointed-resume path used by
+    ``ESharp.build(artifact_dir=...)`` intentionally still writes in
+    place — partial stages are its whole point, and an unfinished
+    manifest is not loadable.)
+    """
+    root = pathlib.Path(root)
+    try:
+        existing = read_manifest(root)
+    except ArtifactError:
+        existing = None
+    if existing is not None and (
+        existing.config_fingerprint != config_fingerprint(config)
+    ):
+        raise ArtifactMismatchError(
+            f"{root} holds an artifact built from a different "
+            "config/seed; delete it or choose another directory"
+        )
+    root.parent.mkdir(parents=True, exist_ok=True)
+    scratch = root.parent / f"{root.name}.saving.{os.getpid()}"
+    if scratch.exists():
+        shutil.rmtree(scratch)
+    try:
+        builder = ArtifactBuilder(scratch, config)
+        reports = {report.name: report for report in offline.clock.reports}
+        builder.save_stage("log", {"store": offline.store})
+        builder.save_stage(
+            "extract",
+            {
+                "weighted_graph": offline.weighted_graph,
+                "multigraph": offline.multigraph,
+            },
+            reports.get("Extraction"),
+        )
+        builder.save_stage(
+            "cluster",
+            {
+                "partition": offline.partition,
+                "clustering_history": offline.clustering_history,
+            },
+            reports.get("Clustering"),
+        )
+        builder.save_stage("domains", {"domain_store": offline.domain_store})
+        builder.save_corpus(platform)
+        if engine is not None:
+            builder.save_engine(engine)
+        if refresher is not None:
+            builder.save_refresher(refresher.store, refresher.edges)
+        manifest = builder.finalize(snapshot_version)
+        _publish_directory(scratch, root)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return manifest
 
 
 def _verified_manifest(

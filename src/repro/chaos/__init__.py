@@ -1,0 +1,47 @@
+"""repro.chaos — deterministic, seeded fault injection.
+
+The resilience counterpart of :mod:`repro.analysis`: where the linter
+proves invariants statically, chaos proves them under fire.  A
+:class:`FaultPlan` schedules worker crashes, latency spikes, mangled
+wire frames, and artifact read errors at named *sites* the production
+code exposes through :func:`~repro.chaos.inject.fire` /
+:func:`~repro.chaos.inject.filter_frame` — near-free no-ops unless a
+plan is installed (in-process or via the ``REPRO_CHAOS_PLAN``
+environment variable for subprocess workers).
+
+See ``README.md`` ("Resilience & chaos testing") for the plan format
+and the self-healing machinery it validates.
+"""
+
+from repro.chaos.errors import ChaosCrashError, ChaosError, FaultPlanError
+from repro.chaos.inject import (
+    ENV_PLAN,
+    FaultInjector,
+    active,
+    filter_frame,
+    fire,
+    install,
+    install_from_env,
+    installed,
+    uninstall,
+)
+from repro.chaos.plan import FAULT_KINDS, FRAME_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "ChaosCrashError",
+    "ChaosError",
+    "ENV_PLAN",
+    "FAULT_KINDS",
+    "FRAME_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "active",
+    "filter_frame",
+    "fire",
+    "install",
+    "install_from_env",
+    "installed",
+    "uninstall",
+]

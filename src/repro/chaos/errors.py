@@ -1,0 +1,21 @@
+"""Typed failure modes of the chaos tier.
+
+:class:`ChaosCrashError` is the *injected* fault — production code never
+raises it on its own, so a test that sees one knows the injection fired
+(and resilience machinery that survives one survived a genuine crash
+path, not a benign no-op).
+"""
+
+from __future__ import annotations
+
+
+class ChaosError(RuntimeError):
+    """Base class for every chaos-framework failure."""
+
+
+class FaultPlanError(ChaosError):
+    """A fault plan is malformed (unknown kind, bad field, bad JSON)."""
+
+
+class ChaosCrashError(ChaosError):
+    """An injected crash: the fault a ``crash`` spec raises at its site."""

@@ -1,0 +1,212 @@
+"""The injector: fault plans meeting the production code's chaos sites.
+
+Production code calls :func:`fire` at named sites (and routes wire
+frames through :func:`filter_frame`); both are near-free no-ops unless a
+plan is installed.  Install one with :func:`install` /
+:func:`installed`, or export ``REPRO_CHAOS_PLAN`` (JSON) so a subprocess
+worker installs it at startup via :func:`install_from_env`.
+
+Decision and execution are split: :meth:`FaultInjector.decide` runs
+under the injector lock (counters, RNG draws) and returns the spec to
+perform; :meth:`FaultInjector.perform` sleeps / raises / exits *outside*
+the lock, so a latency fault never serialises other sites behind it.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.chaos.errors import ChaosCrashError, FaultPlanError
+from repro.chaos.plan import FRAME_KINDS, FaultPlan, FaultSpec
+
+#: environment variable a subprocess worker reads its plan from
+ENV_PLAN = "REPRO_CHAOS_PLAN"
+
+#: marker spliced into the middle of a corrupted wire frame
+CORRUPTION = "\x00!CHAOS!\x00"
+
+
+def _error_registry() -> Dict[str, type]:
+    """Typed errors an ``error`` fault can raise on production's behalf.
+
+    Lazy so importing :mod:`repro.chaos` never drags in the artifact or
+    fleet packages.
+    """
+    from repro.artifact.errors import ArtifactCorruptError
+    from repro.fleet.errors import WorkerProtocolError
+    from repro.serving.errors import ServiceOverloadedError
+
+    return {
+        "artifact-corrupt": ArtifactCorruptError,
+        "worker-protocol": WorkerProtocolError,
+        "service-overloaded": ServiceOverloadedError,
+        "os-error": OSError,
+    }
+
+
+class FaultInjector:
+    """One installed plan's runtime state: call counters and RNGs."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._calls: Dict[str, int] = {}  # guarded-by: _lock
+        self._matched: Dict[int, int] = {}  # guarded-by: _lock
+        self._fired: Dict[int, int] = {}  # guarded-by: _lock
+        self._events: List[Tuple[str, str]] = []  # guarded-by: _lock
+        # one RNG per spec, seeded from the plan seed and the spec's
+        # position — a plan replays the same decisions every run
+        self._rngs = [
+            random.Random(plan.seed ^ (0x9E3779B9 * (index + 1)))
+            for index in range(len(plan.faults))
+        ]
+
+    def decide(self, site: str, context: dict) -> Optional[FaultSpec]:
+        """Pick the spec (if any) that fires for this call.
+
+        Pure bookkeeping under the lock; the caller performs the fault
+        afterwards so blocking faults never run locked.
+        """
+        with self._lock:
+            self._calls[site] = self._calls.get(site, 0) + 1
+            for index, spec in enumerate(self.plan.faults):
+                if spec.site != site or not spec.matches(context):
+                    continue
+                seen = self._matched.get(index, 0)
+                self._matched[index] = seen + 1
+                if seen < spec.after_calls:
+                    continue
+                fired = self._fired.get(index, 0)
+                if spec.times and fired >= spec.times:
+                    continue
+                if (
+                    spec.probability < 1.0
+                    and self._rngs[index].random() >= spec.probability
+                ):
+                    continue
+                self._fired[index] = fired + 1
+                self._events.append((site, spec.kind))
+                return spec
+        return None
+
+    def perform(self, spec: FaultSpec, site: str) -> Optional[FaultSpec]:
+        """Execute a decided fault (outside the injector lock).
+
+        Frame-mangling kinds return the spec for the wire layer to
+        apply; everything else sleeps, raises, or exits right here.
+        """
+        if spec.kind in FRAME_KINDS:
+            return spec
+        if spec.kind == "latency":
+            time.sleep(spec.seconds)
+            return None
+        if spec.kind == "crash":
+            raise ChaosCrashError(f"injected crash at {site}")
+        if spec.kind == "exit":
+            os._exit(spec.exit_code)
+        if spec.kind == "error":
+            factory = _error_registry().get(spec.error)
+            if factory is None:
+                raise FaultPlanError(
+                    f"error fault names unknown key {spec.error!r}"
+                )
+            raise factory(f"injected {spec.error} at {site}")
+        raise FaultPlanError(
+            f"unperformable fault kind {spec.kind!r}"
+        )  # pragma: no cover - plan validation rejects these
+
+    def events(self) -> List[Tuple[str, str]]:
+        """Every ``(site, kind)`` injection performed so far, in order."""
+        with self._lock:
+            return list(self._events)
+
+    def call_count(self, site: str) -> int:
+        with self._lock:
+            return self._calls.get(site, 0)
+
+
+# the single process-wide injector; swapped atomically by install/uninstall
+_injector: Optional[FaultInjector] = None
+
+
+def install(plan: FaultPlan) -> FaultInjector:
+    """Install ``plan`` process-wide; replaces any previous plan."""
+    global _injector
+    injector = FaultInjector(plan)
+    _injector = injector
+    return injector
+
+
+def uninstall() -> None:
+    global _injector
+    _injector = None
+
+
+def active() -> Optional[FaultInjector]:
+    return _injector
+
+
+def install_from_env(environ=None) -> Optional[FaultInjector]:
+    """Install the plan in ``REPRO_CHAOS_PLAN``, if any (workers call this)."""
+    raw = (environ if environ is not None else os.environ).get(ENV_PLAN)
+    if not raw:
+        return None
+    return install(FaultPlan.from_json(raw))
+
+
+class installed:
+    """``with installed(plan):`` — scoped install for tests."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.injector: Optional[FaultInjector] = None
+
+    def __enter__(self) -> FaultInjector:
+        self.injector = install(self.plan)
+        return self.injector
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        uninstall()
+
+
+def fire(site: str, **context) -> None:
+    """The chaos site hook: no-op unless an installed spec fires here.
+
+    Raises / sleeps / exits according to the plan.  Frame faults decided
+    here are ignored — only :func:`filter_frame` sites can mangle frames.
+    """
+    injector = _injector
+    if injector is None:
+        return
+    spec = injector.decide(site, context)
+    if spec is not None:
+        injector.perform(spec, site)
+
+
+def filter_frame(site: str, line: str, **context) -> Optional[str]:
+    """Route one outgoing wire frame through the plan.
+
+    Returns the (possibly mangled) frame, or ``None`` when a
+    ``drop_frame`` fault swallows it.  Non-frame faults decided at a
+    frame site (latency, crash, ...) are performed as usual first.
+    """
+    injector = _injector
+    if injector is None:
+        return line
+    spec = injector.decide(site, context)
+    if spec is None:
+        return line
+    spec = injector.perform(spec, site)
+    if spec is None:
+        return line
+    if spec.kind == "drop_frame":
+        return None
+    if spec.kind == "truncate_frame":
+        return line[: max(1, len(line) // 2)]
+    # corrupt_frame: splice garbage into the middle of the payload
+    middle = max(1, len(line) // 2)
+    return line[:middle] + CORRUPTION + line[middle:]

@@ -1,0 +1,180 @@
+"""Fault plans: the declarative, seeded schedule of what breaks when.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries plus a
+seed.  Each spec names an injection *site* (a string the production code
+passes to :func:`repro.chaos.inject.fire` — ``"wire.worker.write"``,
+``"artifact.read"``, ...), a fault *kind*, and a trigger schedule:
+
+* ``after_calls`` — skip this many matching calls first;
+* ``times`` — fire at most this many times (``0`` = unlimited);
+* ``probability`` — fire with this probability per eligible call, from
+  a per-spec RNG seeded by ``plan.seed`` (so a probabilistic plan is
+  reproducible run-to-run up to thread interleaving, and a
+  ``probability=1.0`` plan is fully deterministic);
+* ``match`` — ``(key, value)`` context filters, e.g. only frames whose
+  ``op`` is ``"query"`` or only the worker named ``"replica-2"``.
+
+Plans round-trip through JSON so a parent process can hand one to a
+subprocess worker in the ``REPRO_CHAOS_PLAN`` environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.chaos.errors import FaultPlanError
+
+#: every fault kind a spec may request
+FAULT_KINDS = frozenset(
+    {
+        "crash",  # raise ChaosCrashError at the site
+        "exit",  # os._exit(exit_code) — a hard worker kill
+        "latency",  # sleep `seconds` before the site proceeds
+        "drop_frame",  # swallow one wire frame entirely
+        "truncate_frame",  # send only the first half of a frame
+        "corrupt_frame",  # flip bytes in the middle of a frame
+        "error",  # raise a registry-named typed error
+    }
+)
+
+#: kinds that mangle a wire frame instead of raising/sleeping
+FRAME_KINDS = frozenset({"drop_frame", "truncate_frame", "corrupt_frame"})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled injection at one site."""
+
+    site: str
+    kind: str
+    #: matching calls to let through before the spec becomes eligible
+    after_calls: int = 0
+    #: firings allowed (0 = unlimited)
+    times: int = 1
+    #: chance each eligible call fires, from the spec's seeded RNG
+    probability: float = 1.0
+    #: sleep length for ``latency`` faults
+    seconds: float = 0.0
+    #: registry key for ``error`` faults (see inject._error_registry)
+    error: str = ""
+    #: exit status for ``exit`` faults
+    exit_code: int = 70
+    #: context filters: every (key, value) must equal str(context[key])
+    match: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise FaultPlanError("fault spec needs a non-empty site")
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {sorted(FAULT_KINDS)}"
+            )
+        if self.after_calls < 0:
+            raise FaultPlanError("after_calls must be >= 0")
+        if self.times < 0:
+            raise FaultPlanError("times must be >= 0 (0 = unlimited)")
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultPlanError("probability must be in [0, 1]")
+        if self.seconds < 0:
+            raise FaultPlanError("seconds must be >= 0")
+        if self.kind == "latency" and self.seconds == 0:
+            raise FaultPlanError("latency faults need seconds > 0")
+        if self.kind == "error" and not self.error:
+            raise FaultPlanError("error faults need an error registry key")
+
+    def matches(self, context: dict) -> bool:
+        """Do this call's context values satisfy every ``match`` filter?"""
+        for key, value in self.match:
+            if key not in context or str(context[key]) != value:
+                return False
+        return True
+
+    def to_jsonable(self) -> dict:
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "after_calls": self.after_calls,
+            "times": self.times,
+            "probability": self.probability,
+            "seconds": self.seconds,
+            "error": self.error,
+            "exit_code": self.exit_code,
+            "match": [[key, value] for key, value in self.match],
+        }
+
+    @classmethod
+    def from_jsonable(cls, raw: object) -> "FaultSpec":
+        if not isinstance(raw, dict):
+            raise FaultPlanError(
+                f"fault spec must be an object, got {type(raw).__name__}"
+            )
+        try:
+            return cls(
+                site=str(raw["site"]),
+                kind=str(raw["kind"]),
+                after_calls=int(raw.get("after_calls", 0)),
+                times=int(raw.get("times", 1)),
+                probability=float(raw.get("probability", 1.0)),
+                seconds=float(raw.get("seconds", 0.0)),
+                error=str(raw.get("error", "")),
+                exit_code=int(raw.get("exit_code", 70)),
+                match=tuple(
+                    (str(key), str(value))
+                    for key, value in raw.get("match", [])
+                ),
+            )
+        except FaultPlanError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultPlanError(f"malformed fault spec {raw!r}") from exc
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of fault injections."""
+
+    seed: int = 2016
+    faults: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "faults": [spec.to_jsonable() for spec in self.faults],
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_jsonable(cls, raw: object) -> "FaultPlan":
+        if not isinstance(raw, dict):
+            raise FaultPlanError(
+                f"fault plan must be an object, got {type(raw).__name__}"
+            )
+        try:
+            seed = int(raw.get("seed", 2016))
+        except (TypeError, ValueError) as exc:
+            raise FaultPlanError(f"bad plan seed {raw.get('seed')!r}") from exc
+        faults = raw.get("faults", [])
+        if not isinstance(faults, list):
+            raise FaultPlanError("plan 'faults' must be a list")
+        return cls(
+            seed=seed,
+            faults=tuple(FaultSpec.from_jsonable(spec) for spec in faults),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            raw = json.loads(text)
+        except ValueError as exc:
+            raise FaultPlanError(
+                f"fault plan is not valid JSON: {text[:120]!r}"
+            ) from exc
+        return cls.from_jsonable(raw)

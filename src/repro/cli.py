@@ -255,14 +255,33 @@ def run_fleet_command(args: argparse.Namespace, replicas=None) -> int:
     in this process by default, ``fleet-worker`` subprocesses with
     ``--process``.
     """
+    import os
+
     from repro.artifact import load_artifact_stages
-    from repro.fleet import FleetRouter, InProcessReplica, SubprocessReplica
+    from repro.chaos import FaultPlan, inject
+    from repro.fleet import (
+        FleetConfig,
+        FleetRouter,
+        InProcessReplica,
+        ReplicaSupervisor,
+        SubprocessReplica,
+    )
     from repro.serving.loadgen import (
         LoadGenerator,
         WorkloadConfig,
         build_workload_from,
     )
     from repro.serving.service import ServiceConfig
+
+    chaos_plan_path = getattr(args, "chaos_plan", None)
+    extra_env = None
+    if chaos_plan_path:
+        with open(chaos_plan_path, "r", encoding="utf-8") as handle:
+            plan_text = handle.read()
+        inject.install(FaultPlan.from_json(plan_text))
+        # subprocess workers pick the plan up via the environment
+        os.environ[inject.ENV_PLAN] = plan_text
+        extra_env = {inject.ENV_PLAN: plan_text}
 
     partial = load_artifact_stages(
         args.from_artifact, ("store", "domain_store")
@@ -277,6 +296,20 @@ def run_fleet_command(args: argparse.Namespace, replicas=None) -> int:
             seed=args.seed,
         ),
     )
+    def _make_replica(name: str):
+        if args.process:
+            return SubprocessReplica(
+                name,
+                args.from_artifact,
+                detection_workers=args.workers,
+                extra_env=extra_env,
+            )
+        return InProcessReplica(
+            name,
+            ESharp.from_artifact(args.from_artifact),
+            ServiceConfig(detection_workers=args.workers),
+        )
+
     owned = replicas is not None
     if replicas is None:
         replicas = []
@@ -284,25 +317,22 @@ def run_fleet_command(args: argparse.Namespace, replicas=None) -> int:
             name = f"replica-{index}"
             print(f"starting {name} ({'process' if args.process else 'thread'})"
                   f" from {args.from_artifact}...", file=sys.stderr)
-            if args.process:
-                replicas.append(
-                    SubprocessReplica(
-                        name,
-                        args.from_artifact,
-                        detection_workers=args.workers,
-                    )
-                )
-            else:
-                replicas.append(
-                    InProcessReplica(
-                        name,
-                        ESharp.from_artifact(args.from_artifact),
-                        ServiceConfig(detection_workers=args.workers),
-                    )
-                )
-    router = FleetRouter.from_artifact(
-        args.from_artifact, replicas, sharding=args.sharding
+            replicas.append(_make_replica(name))
+    config = FleetConfig(
+        deadline_seconds=getattr(args, "deadline", None),
+        allow_degraded=getattr(args, "allow_degraded", False),
     )
+    router = FleetRouter.from_artifact(
+        args.from_artifact, replicas, sharding=args.sharding, config=config
+    )
+    supervisor = None
+    if getattr(args, "supervise", False) and not owned:
+        factories = {
+            replica.name: (lambda name=replica.name: _make_replica(name))
+            for replica in replicas
+        }
+        supervisor = ReplicaSupervisor(router, factories)
+        supervisor.start()
     try:
         report = LoadGenerator(
             router,
@@ -319,22 +349,39 @@ def run_fleet_command(args: argparse.Namespace, replicas=None) -> int:
               f"{stats.scattered} scattered ({stats.scatter_legs} legs)")
         print(f"  hedging:       {stats.hedges_fired} fired, "
               f"{stats.hedge_wins} won, {stats.failovers} failovers")
+        print(f"  resilience:    {stats.degraded_answers} degraded, "
+              f"{stats.deadline_exceeded} deadline-exceeded, "
+              f"{stats.breaker_rejections} breaker-rejected")
+        if supervisor is not None:
+            sup = supervisor.stats()
+            print(f"  supervisor:    {sup.restarts} restarts "
+                  f"({sup.failed_restarts} failed, {sup.gave_up} gave up)")
         versions = {
             name: h.snapshot_version for name, h in stats.replica_health
         }
         print(f"  replicas:      versions {versions}")
         if args.json:
-            _write_json(args.json, {
+            payload = {
                 "command": "fleet",
                 "artifact": args.from_artifact,
                 "transport": "process" if args.process else "thread",
                 "report": report.to_dict(),
                 "fleet": stats.to_dict(),
-            })
+            }
+            if supervisor is not None:
+                payload["supervisor"] = supervisor.stats().to_dict()
+            if chaos_plan_path:
+                payload["chaos_plan"] = chaos_plan_path
+            _write_json(args.json, payload)
         return 0 if report.errors == 0 else 1
     finally:
+        if supervisor is not None:
+            supervisor.close()
         if not owned:
             router.close()
+        if chaos_plan_path:
+            inject.uninstall()
+            os.environ.pop(inject.ENV_PLAN, None)
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
@@ -354,6 +401,7 @@ def cmd_fleet_worker(args: argparse.Namespace) -> int:
         detection_workers=args.detection_workers,
         cache_capacity=args.cache_capacity,
         score_cache_capacity=args.score_cache_capacity,
+        name=getattr(args, "name", "worker"),
     )
 
 
@@ -586,6 +634,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--workers", type=int, default=2,
                          help="detection worker threads per replica")
     p_fleet.add_argument("--min-zscore", type=float, default=None)
+    p_fleet.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="end-to-end deadline budget per query")
+    p_fleet.add_argument("--allow-degraded", action="store_true",
+                         help="serve coverage<1.0 partials when a shard "
+                              "is down instead of failing the query")
+    p_fleet.add_argument("--supervise", action="store_true",
+                         help="run a ReplicaSupervisor that restarts dead "
+                              "replicas warm from the artifact")
+    p_fleet.add_argument("--chaos-plan", metavar="PATH", default=None,
+                         help="JSON FaultPlan injected into the router and "
+                              "every worker (REPRO_CHAOS_PLAN)")
     p_fleet.add_argument("--json", metavar="PATH",
                          help="also write the report as JSON")
     p_fleet.set_defaults(handler=cmd_fleet)
@@ -600,6 +660,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="override the replica's result-cache size")
     p_worker.add_argument("--score-cache-capacity", type=int, default=None,
                           help="override the detector's per-term memo size")
+    p_worker.add_argument("--name", default="worker",
+                          help="replica name (diagnostics + chaos matching)")
     p_worker.set_defaults(handler=cmd_fleet_worker)
 
     p_exp = sub.add_parser("experiment", help="run one §6 driver")

@@ -20,14 +20,21 @@ See ``README.md`` ("Fleet serving") for topology and semantics.
 """
 
 from repro.fleet.errors import (
+    CircuitOpenError,
     FleetError,
     FleetVersionSkewError,
     NoHealthyReplicaError,
     PromotionError,
     RemoteReplicaError,
+    ReplicaStartupError,
     WorkerProtocolError,
 )
-from repro.fleet.health import ReplicaTracker, ReplicaVitals
+from repro.fleet.health import (
+    BreakerConfig,
+    CircuitBreaker,
+    ReplicaTracker,
+    ReplicaVitals,
+)
 from repro.fleet.merge import merge_partials
 from repro.fleet.replica import InProcessReplica, SubprocessReplica
 from repro.fleet.router import (
@@ -43,8 +50,18 @@ from repro.fleet.sharding import (
     TokenHashSharding,
     stable_hash,
 )
+from repro.fleet.supervisor import (
+    ReplicaRestart,
+    ReplicaSupervisor,
+    SlotReport,
+    SupervisorConfig,
+    SupervisorStats,
+)
 
 __all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ConsistentHashRing",
     "DomainPartitionSharding",
     "FleetAnswer",
@@ -57,10 +74,16 @@ __all__ = [
     "NoHealthyReplicaError",
     "PromotionError",
     "RemoteReplicaError",
+    "ReplicaRestart",
+    "ReplicaStartupError",
+    "ReplicaSupervisor",
     "ReplicaTracker",
     "ReplicaVitals",
     "ShardingPolicy",
+    "SlotReport",
     "SubprocessReplica",
+    "SupervisorConfig",
+    "SupervisorStats",
     "TokenHashSharding",
     "WorkerProtocolError",
     "merge_partials",

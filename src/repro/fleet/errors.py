@@ -50,6 +50,37 @@ class WorkerProtocolError(FleetError):
     """A subprocess worker broke the wire protocol or died mid-request."""
 
 
+class ReplicaStartupError(FleetError):
+    """A subprocess replica failed (or timed out) its ready handshake.
+
+    Carries the worker's captured stderr tail and exit code so a crash
+    during warm start reports *why* instead of a bare timeout.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stderr_tail: tuple[str, ...] = (),
+        exit_code: int | None = None,
+    ) -> None:
+        tail = "\n".join(stderr_tail).strip()
+        if tail:
+            message = f"{message}\n--- worker stderr tail ---\n{tail}"
+        super().__init__(message)
+        self.stderr_tail = tuple(stderr_tail)
+        self.exit_code = exit_code
+
+
+class CircuitOpenError(FleetError):
+    """Every candidate replica's circuit breaker is open.
+
+    The fleet is failing fast instead of queueing onto replicas that
+    just demonstrated they cannot answer; breakers half-open after their
+    cooldown and probe traffic re-closes them.
+    """
+
+
 class RemoteReplicaError(FleetError):
     """A worker-side failure that has no typed local counterpart.
 

@@ -1,24 +1,119 @@
-"""Per-replica health tracking and hedging deadlines.
+"""Per-replica health tracking, hedging deadlines, and circuit breakers.
 
 The router records every replica call's latency (bounded window) and
-failure streak here, and asks two questions back:
+failure streak here, and asks three questions back:
 
 * *when should a hedge fire?* — :meth:`ReplicaTracker.hedge_deadline`
   returns the replica's recent latency percentile, so backups fire only
   when a call is slow **for that replica**, not on a fleet-wide constant;
 * *who should serve it?* — :meth:`ReplicaTracker.ranked` orders
   replicas healthiest-first (shortest failure streak, then fastest
-  median, then name), deterministically.
+  median, then name), deterministically;
+* *may it serve at all?* — each replica carries a
+  :class:`CircuitBreaker` (closed → open → half-open): a replica that
+  just failed ``failure_threshold`` calls in a row is skipped outright
+  until its cooldown elapses, then a single half-open probe decides
+  whether it re-closes.  :meth:`ReplicaTracker.admit` /
+  :meth:`ReplicaTracker.select` are the consuming gates the router uses.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.utils.stats import percentile
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Circuit-breaker knobs (per replica)."""
+
+    enabled: bool = True
+    #: consecutive failures that trip the breaker open
+    failure_threshold: int = 5
+    #: how long an open breaker rejects before half-opening one probe
+    cooldown_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be >= 0")
+
+
+class CircuitBreaker:
+    """One replica's closed → open → half-open state machine.
+
+    **Not** internally locked: the owning :class:`ReplicaTracker`
+    mutates it only while holding its own lock.  The clock is injectable
+    so tests drive the cooldown deterministically.
+    """
+
+    def __init__(
+        self,
+        config: BreakerConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._config = config
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"``."""
+        if self._opened_at is None:
+            return "closed"
+        if self._probing or self._cooled():
+            return "half-open"
+        return "open"
+
+    def _cooled(self) -> bool:
+        return (
+            self._opened_at is not None
+            and self._clock() - self._opened_at
+            >= self._config.cooldown_seconds
+        )
+
+    def available(self) -> bool:
+        """Would :meth:`admit` let a call through right now? (read-only)"""
+        if not self._config.enabled or self._opened_at is None:
+            return True
+        return self._cooled() and not self._probing
+
+    def admit(self) -> bool:
+        """Gate one call; a half-open breaker admits a single probe."""
+        if not self._config.enabled or self._opened_at is None:
+            return True
+        if self._probing or not self._cooled():
+            return False
+        self._probing = True
+        return True
+
+    def on_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def on_failure(self) -> None:
+        self._failures += 1
+        if self._probing:
+            # the half-open probe failed: reopen and restart the cooldown
+            self._probing = False
+            self._opened_at = self._clock()
+        elif (
+            self._opened_at is None
+            and self._failures >= self._config.failure_threshold
+        ):
+            self._opened_at = self._clock()
+
+    def reset(self) -> None:
+        self.on_success()
 
 
 @dataclass(frozen=True)
@@ -31,6 +126,7 @@ class ReplicaVitals:
     total_failures: int
     p50_seconds: float
     p95_seconds: float
+    breaker_state: str = "closed"
 
     def to_dict(self) -> dict:
         return {
@@ -40,11 +136,12 @@ class ReplicaVitals:
             "total_failures": self.total_failures,
             "p50_ms": self.p50_seconds * 1000,
             "p95_ms": self.p95_seconds * 1000,
+            "breaker_state": self.breaker_state,
         }
 
 
 class ReplicaTracker:
-    """Thread-safe latency/failure accounting for a fixed replica set."""
+    """Thread-safe latency/failure/breaker accounting for a fixed fleet."""
 
     def __init__(
         self,
@@ -55,6 +152,8 @@ class ReplicaTracker:
         min_samples: int = 8,
         default_deadline_seconds: float = 0.05,
         min_deadline_seconds: float = 0.001,
+        breaker: Optional[BreakerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         names = list(names)
         if not names:
@@ -68,12 +167,18 @@ class ReplicaTracker:
         self._min_samples = min_samples
         self._default_deadline = default_deadline_seconds
         self._min_deadline = min_deadline_seconds
+        self._breaker_config = breaker or BreakerConfig()
+        self._clock = clock
         self._lock = threading.Lock()
         self._latencies: Dict[str, deque] = {  # guarded-by: _lock
             name: deque(maxlen=window) for name in names
         }
         self._streak: Dict[str, int] = {name: 0 for name in names}  # guarded-by: _lock
         self._failures: Dict[str, int] = {name: 0 for name in names}  # guarded-by: _lock
+        self._breakers: Dict[str, CircuitBreaker] = {  # guarded-by: _lock
+            name: CircuitBreaker(self._breaker_config, clock)
+            for name in names
+        }
         self._order: Tuple[str, ...] = tuple(names)
 
     @property
@@ -84,11 +189,45 @@ class ReplicaTracker:
         with self._lock:
             self._latencies[name].append(seconds)
             self._streak[name] = 0
+            self._breakers[name].on_success()
 
     def record_failure(self, name: str) -> None:
         with self._lock:
             self._streak[name] += 1
             self._failures[name] += 1
+            self._breakers[name].on_failure()
+
+    def reset(self, name: str) -> None:
+        """Forget a replica's history (a supervisor just restarted it)."""
+        with self._lock:
+            self._latencies[name].clear()
+            self._streak[name] = 0
+            self._breakers[name].reset()
+
+    # -- circuit-breaker gates ------------------------------------------------
+
+    def admit(self, name: str) -> bool:
+        """May ``name`` take a call right now? (consumes half-open probes)"""
+        with self._lock:
+            return self._breakers[name].admit()
+
+    def available(self, name: str) -> bool:
+        """Read-only :meth:`admit` — no probe token is consumed."""
+        with self._lock:
+            return self._breakers[name].available()
+
+    def breaker_state(self, name: str) -> str:
+        with self._lock:
+            return self._breakers[name].state
+
+    def select(self, exclude: Iterable[str] = ()) -> Optional[str]:
+        """The healthiest replica whose breaker admits a call, or None."""
+        skip = set(exclude)
+        with self._lock:
+            for name in self._ranked_locked(skip):
+                if self._breakers[name].admit():
+                    return name
+        return None
 
     def hedge_deadline(self, name: str) -> float:
         """How long to wait on ``name`` before firing a backup.
@@ -105,21 +244,22 @@ class ReplicaTracker:
             percentile(samples, self._hedge_percentile), self._min_deadline
         )
 
+    def _ranked_locked(self, skip: set) -> List[str]:  # holds: _lock
+        def sort_key(name: str):
+            samples = self._latencies[name]
+            median = percentile(list(samples), 0.50) if samples else 0.0
+            return (self._streak[name], median, name)
+
+        return sorted(
+            (name for name in self._order if name not in skip),
+            key=sort_key,
+        )
+
     def ranked(self, exclude: Iterable[str] = ()) -> List[str]:
         """Replica names healthiest-first (deterministic tie-break)."""
         skip = set(exclude)
         with self._lock:
-            def sort_key(name: str):
-                samples = self._latencies[name]
-                median = (
-                    percentile(list(samples), 0.50) if samples else 0.0
-                )
-                return (self._streak[name], median, name)
-
-            return sorted(
-                (name for name in self._order if name not in skip),
-                key=sort_key,
-            )
+            return self._ranked_locked(skip)
 
     def vitals(self) -> List[ReplicaVitals]:
         with self._lock:
@@ -138,6 +278,7 @@ class ReplicaTracker:
                         p95_seconds=(
                             percentile(samples, 0.95) if samples else 0.0
                         ),
+                        breaker_state=self._breakers[name].state,
                     )
                 )
             return out

@@ -12,7 +12,11 @@ Two transports behind one duck type:
 
 Both expose the same surface: ``query`` / ``score_partial`` (the scatter
 unit) / ``health`` / ``preload`` + ``promote`` (the two promotion
-phases) / ``close``.
+phases) / ``close``, plus the resilience hooks the supervisor leans on:
+``is_alive`` (cheap liveness), ``ping(timeout=...)`` (bounded
+responsiveness probe), and ``supports_budget`` (the router only passes
+``budget_seconds`` to replicas that declare it, so simpler duck-typed
+test doubles keep working).
 """
 
 from __future__ import annotations
@@ -22,10 +26,17 @@ import pathlib
 import subprocess
 import sys
 import threading
+from collections import deque
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeout
 from typing import Iterable, Optional, Tuple
 
-from repro.fleet.errors import PromotionError, WorkerProtocolError
+from repro.chaos.inject import fire
+from repro.fleet.errors import (
+    PromotionError,
+    ReplicaStartupError,
+    WorkerProtocolError,
+)
 from repro.fleet.wire import (
     answer_from_wire,
     error_from_wire,
@@ -34,17 +45,25 @@ from repro.fleet.wire import (
     partial_from_wire,
     write_message,
 )
+from repro.serving.errors import DeadlineExceededError
 from repro.serving.service import (
     PartialPool,
     ReplicaHealthReport,
     ServedAnswer,
 )
 
+#: stderr lines a subprocess replica retains for startup diagnostics
+STDERR_TAIL_LINES = 50
+
+#: slack past a request's budget before the client gives up on the reply
+BUDGET_GRACE_SECONDS = 0.25
+
 
 class InProcessReplica:
     """A replica living in the router's process (one thread pool each)."""
 
     kind = "thread"
+    supports_budget = True
 
     def __init__(self, name: str, system, service_config=None) -> None:
         from repro.serving.service import ExpertService
@@ -53,19 +72,40 @@ class InProcessReplica:
         self.system = system
         self.service = ExpertService(system, service_config)
         self._staged = None
+        self._closed = False
 
     def query(
-        self, query: str, min_zscore: Optional[float] = None
+        self,
+        query: str,
+        min_zscore: Optional[float] = None,
+        *,
+        budget_seconds: Optional[float] = None,
     ) -> ServedAnswer:
-        return self.service.query(query, min_zscore)
+        fire("replica.call", replica=self.name, op="query")
+        return self.service.query(
+            query, min_zscore, budget_seconds=budget_seconds
+        )
 
     def score_partial(
-        self, query: str, indexed_terms: Iterable[Tuple[int, str]]
+        self,
+        query: str,
+        indexed_terms: Iterable[Tuple[int, str]],
+        *,
+        budget_seconds: Optional[float] = None,
     ) -> PartialPool:
-        return self.service.score_partial(query, indexed_terms)
+        fire("replica.call", replica=self.name, op="partial")
+        return self.service.score_partial(
+            query, indexed_terms, budget_seconds=budget_seconds
+        )
 
     def health(self) -> ReplicaHealthReport:
         return self.service.health()
+
+    def is_alive(self) -> bool:
+        return not self._closed
+
+    def ping(self, timeout: Optional[float] = None) -> bool:
+        return not self._closed
 
     @property
     def snapshot_version(self) -> int:
@@ -90,6 +130,7 @@ class InProcessReplica:
         return snapshot.version
 
     def close(self) -> None:
+        self._closed = True
         self.service.close()
 
 
@@ -97,6 +138,7 @@ class SubprocessReplica:
     """A replica in its own process, warm-started from an artifact."""
 
     kind = "process"
+    supports_budget = True
 
     def __init__(
         self,
@@ -105,9 +147,10 @@ class SubprocessReplica:
         *,
         detection_workers: int = 2,
         cache_capacity: Optional[int] = None,
-        startup_timeout_seconds: float = 300.0,
+        startup_timeout_seconds: float = 60.0,
         request_timeout_seconds: float = 300.0,
         python: Optional[str] = None,
+        extra_env: Optional[dict] = None,
     ) -> None:
         self.name = name
         self._timeout = request_timeout_seconds
@@ -120,6 +163,8 @@ class SubprocessReplica:
             str(artifact_dir),
             "--detection-workers",
             str(detection_workers),
+            "--name",
+            name,
         ]
         if cache_capacity is not None:
             command += ["--cache-capacity", str(cache_capacity)]
@@ -129,11 +174,16 @@ class SubprocessReplica:
         env["PYTHONPATH"] = (
             src_root if not existing else src_root + os.pathsep + existing
         )
+        if extra_env:
+            # e.g. REPRO_CHAOS_PLAN: a fault plan scoped to this worker
+            env.update({str(k): str(v) for k, v in extra_env.items()})
         self._process = subprocess.Popen(
             command,
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
-            # stderr inherits: a crashing worker should say why
+            # captured so a warm-start crash reports *why* (stderr tail
+            # rides on ReplicaStartupError) instead of scrolling away
+            stderr=subprocess.PIPE,
             text=True,
             encoding="utf-8",
             env=env,
@@ -142,15 +192,40 @@ class SubprocessReplica:
         self._pending_lock = threading.Lock()
         self._pending: dict[int, Future] = {}  # guarded-by: _pending_lock
         self._next_id = 0  # guarded-by: _pending_lock
+        self._stderr_lock = threading.Lock()
+        self._stderr_tail: deque = deque(  # guarded-by: _stderr_lock
+            maxlen=STDERR_TAIL_LINES
+        )
         self._ready: Future = Future()
         self._closed = False
         self._reader = threading.Thread(
             target=self._read_loop, name=f"fleet-{name}-reader", daemon=True
         )
         self._reader.start()
+        self._stderr_reader = threading.Thread(
+            target=self._drain_stderr,
+            name=f"fleet-{name}-stderr",
+            daemon=True,
+        )
+        self._stderr_reader.start()
         try:
             ready = self._ready.result(timeout=startup_timeout_seconds)
-        except Exception:
+        except FuturesTimeout:
+            self.close()
+            raise ReplicaStartupError(
+                f"replica {name}: worker not ready within "
+                f"{startup_timeout_seconds}s",
+                stderr_tail=self.stderr_tail(),
+                exit_code=self._process.poll(),
+            ) from None
+        except WorkerProtocolError as exc:
+            self.close()
+            raise ReplicaStartupError(
+                f"replica {name}: worker died during warm start: {exc}",
+                stderr_tail=self.stderr_tail(),
+                exit_code=self._process.poll(),
+            ) from exc
+        except BaseException:
             self.close()
             raise
         self.snapshot_version = int(ready.get("version", 0))
@@ -158,21 +233,32 @@ class SubprocessReplica:
     # -- the uniform replica surface -----------------------------------------
 
     def query(
-        self, query: str, min_zscore: Optional[float] = None
+        self,
+        query: str,
+        min_zscore: Optional[float] = None,
+        *,
+        budget_seconds: Optional[float] = None,
     ) -> ServedAnswer:
-        raw = self._call("query", {"query": query, "min_zscore": min_zscore})
+        payload = {"query": query, "min_zscore": min_zscore}
+        if budget_seconds is not None:
+            payload["budget"] = budget_seconds
+        raw = self._call("query", payload, budget=budget_seconds)
         return answer_from_wire(raw)
 
     def score_partial(
-        self, query: str, indexed_terms: Iterable[Tuple[int, str]]
+        self,
+        query: str,
+        indexed_terms: Iterable[Tuple[int, str]],
+        *,
+        budget_seconds: Optional[float] = None,
     ) -> PartialPool:
-        raw = self._call(
-            "partial",
-            {
-                "query": query,
-                "terms": [[int(i), str(t)] for i, t in indexed_terms],
-            },
-        )
+        payload = {
+            "query": query,
+            "terms": [[int(i), str(t)] for i, t in indexed_terms],
+        }
+        if budget_seconds is not None:
+            payload["budget"] = budget_seconds
+        raw = self._call("partial", payload, budget=budget_seconds)
         return partial_from_wire(raw)
 
     def health(self) -> ReplicaHealthReport:
@@ -180,8 +266,28 @@ class SubprocessReplica:
         self.snapshot_version = report.snapshot_version
         return report
 
-    def ping(self) -> bool:
-        return self._call("ping", {}) == "pong"
+    @property
+    def pid(self) -> int:
+        return self._process.pid
+
+    def is_alive(self) -> bool:
+        """Cheap liveness: the child process exists and we still own it."""
+        return not self._closed and self._process.poll() is None
+
+    def ping(self, timeout: Optional[float] = None) -> bool:
+        """Bounded responsiveness probe; never raises."""
+        if not self.is_alive():
+            return False
+        try:
+            _, future = self.submit("ping", {})
+            return (
+                future.result(
+                    timeout=self._timeout if timeout is None else timeout
+                )
+                == "pong"
+            )
+        except Exception:  # noqa: BLE001 - a probe reports, never raises
+            return False
 
     def preload(self, artifact_dir) -> int:
         return int(self._call("preload", {"path": str(artifact_dir)}))
@@ -199,6 +305,11 @@ class SubprocessReplica:
             self._send({"op": "cancel", "target": request_id})
         except WorkerProtocolError:
             pass
+
+    def stderr_tail(self) -> Tuple[str, ...]:
+        """The worker's most recent stderr lines (crash diagnostics)."""
+        with self._stderr_lock:
+            return tuple(self._stderr_tail)
 
     def close(self) -> None:
         if self._closed:
@@ -227,7 +338,15 @@ class SubprocessReplica:
             )
         try:
             with self._write_lock:
-                write_message(stdin, message)
+                write_message(
+                    stdin,
+                    message,
+                    chaos_site="wire.client.write",
+                    chaos_context={
+                        "replica": self.name,
+                        "op": message.get("op", ""),
+                    },
+                )
         except (BrokenPipeError, ValueError) as exc:
             raise WorkerProtocolError(
                 f"replica {self.name}: worker pipe broke"
@@ -254,9 +373,28 @@ class SubprocessReplica:
             raise
         return request_id, future
 
-    def _call(self, op: str, payload: dict):
-        _, future = self.submit(op, payload)
-        return future.result(timeout=self._timeout)
+    def _call(self, op: str, payload: dict, budget: Optional[float] = None):
+        """One round trip, bounded: the reply must land within the request
+        timeout — or, when the call carries a deadline budget, within the
+        budget plus a small grace (the worker's own typed deadline reply
+        normally arrives first; the bound covers lost frames)."""
+        timeout = self._timeout
+        if budget is not None:
+            timeout = min(timeout, max(0.0, budget) + BUDGET_GRACE_SECONDS)
+        request_id, future = self.submit(op, payload)
+        try:
+            return future.result(timeout=timeout)
+        except FuturesTimeout:
+            self.cancel(request_id)
+            if budget is not None and timeout < self._timeout:
+                raise DeadlineExceededError(
+                    f"replica {self.name}: no reply to {op!r} within the "
+                    f"{budget:.3f}s budget",
+                    budget_seconds=budget,
+                ) from None
+            raise WorkerProtocolError(
+                f"replica {self.name}: no reply to {op!r} within {timeout}s"
+            ) from None
 
     def _read_loop(self) -> None:
         stdout = self._process.stdout
@@ -284,6 +422,14 @@ class SubprocessReplica:
             if not self._ready.done():
                 self._ready.set_exception(died)
             self._fail_pending(died)
+
+    def _drain_stderr(self) -> None:
+        stderr = self._process.stderr
+        if stderr is None:  # pragma: no cover - always piped
+            return
+        for line in stderr:
+            with self._stderr_lock:
+                self._stderr_tail.append(line.rstrip("\n"))
 
     def _resolve(self, message: dict) -> None:
         request_id = message.get("id")

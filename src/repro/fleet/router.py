@@ -17,10 +17,30 @@ or ``fleet-worker`` subprocesses — one shard each), a deterministic
 3. **Hedge.** Every replica call races a latency-percentile deadline
    (per replica, from the tracker); past it, a backup fires on the
    next-healthiest replica — any replica can serve any leg because all
-   hold the full corpus — and the first answer wins.  The loser is
-   cancelled best-effort (unstarted work is dropped; started work runs
-   out and warms that replica's cache).  A replica that *fails* fails
-   over the same way immediately.
+   hold the full corpus — and the first answer wins.  A replica that
+   *fails* fails over the same way immediately, bounded by
+   ``FleetConfig.leg_retries`` per leg.
+
+Resilience discipline (PR 8) layers onto that path without changing its
+answers:
+
+* **Circuit breakers.** Each replica's breaker
+  (:class:`~repro.fleet.health.CircuitBreaker`) must admit a call before
+  it is spawned; a tripped replica is skipped outright (fast, typed)
+  until its cooldown half-opens a probe.  When *no* admitting replica
+  remains the router raises :class:`CircuitOpenError` immediately.
+* **Deadline budgets.** ``query(..., deadline_seconds=...)`` (or the
+  config-wide default) starts an end-to-end budget that bounds every
+  wait and propagates to budget-aware replicas as ``budget_seconds`` —
+  a worker whose queue already ate the budget fails typed
+  (:class:`~repro.serving.errors.DeadlineExceededError`) instead of
+  computing an answer nobody is waiting for.  Deadline misses are
+  terminal: the budget is gone, so no failover fires.
+* **Degraded answers.** With ``FleetConfig.allow_degraded``, a scatter
+  whose leg fails outright (every candidate replica for it exhausted)
+  merges the surviving shard pools and marks the answer
+  ``coverage < 1.0`` — explicitly partial, never silently wrong.  The
+  default remains fail-loud.
 
 Promotion is two-phase (:meth:`FleetRouter.promote`): preload the
 artifact on **every** replica first — any failure aborts with nothing
@@ -43,24 +63,26 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.detector.ranking import RankedExpert, RankingConfig
 from repro.expansion.domainstore import DomainStore
 from repro.fleet.errors import (
+    CircuitOpenError,
+    FleetError,
     FleetVersionSkewError,
     NoHealthyReplicaError,
     PromotionError,
 )
-from repro.fleet.health import ReplicaTracker, ReplicaVitals
+from repro.fleet.health import BreakerConfig, ReplicaTracker, ReplicaVitals
 from repro.fleet.merge import merge_partials
 from repro.fleet.sharding import (
     DomainPartitionSharding,
     ShardingPolicy,
     TokenHashSharding,
 )
-from repro.serving.errors import ServiceClosedError
+from repro.serving.errors import DeadlineExceededError, ServiceClosedError
 from repro.serving.service import ReplicaHealthReport
 
 
 @dataclass(frozen=True)
 class FleetConfig:
-    """Router knobs (hedging, retries, pool sizing)."""
+    """Router knobs (hedging, retries, deadlines, degradation)."""
 
     #: fire backup requests past the per-replica latency deadline
     hedging: bool = True
@@ -76,6 +98,15 @@ class FleetConfig:
     gather_timeout_seconds: float = 300.0
     #: re-scatters allowed when a promotion races a gather
     skew_retries: int = 2
+    #: failovers allowed per hedged leg before its first error surfaces
+    leg_retries: int = 2
+    #: end-to-end budget applied to every query (None: only per-call)
+    deadline_seconds: Optional[float] = None
+    #: merge surviving shards into a coverage<1.0 answer when a scatter
+    #: leg fails outright, instead of failing the whole query
+    allow_degraded: bool = False
+    #: per-replica circuit-breaker knobs (None: BreakerConfig defaults)
+    breaker: Optional[BreakerConfig] = None
     #: threads executing replica calls (None: 4 per replica, min 8)
     executor_threads: Optional[int] = None
 
@@ -84,6 +115,40 @@ class FleetConfig:
             raise ValueError("hedge_percentile must be in (0, 1]")
         if self.skew_retries < 0:
             raise ValueError("skew_retries must be >= 0")
+        if self.leg_retries < 0:
+            raise ValueError("leg_retries must be >= 0")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be > 0")
+
+
+class _Deadline:
+    """A monotonic end-to-end budget (inert when ``budget`` is None)."""
+
+    __slots__ = ("budget", "_expires")
+
+    def __init__(self, budget: Optional[float]) -> None:
+        self.budget = budget
+        self._expires = (
+            None if budget is None else time.monotonic() + budget
+        )
+
+    def remaining(self) -> Optional[float]:
+        if self._expires is None:
+            return None
+        return self._expires - time.monotonic()
+
+    def expired(self) -> bool:
+        return (
+            self._expires is not None and time.monotonic() >= self._expires
+        )
+
+    def clamp(self, timeout: Optional[float]) -> Optional[float]:
+        """Bound a wait by the remaining budget."""
+        remaining = self.remaining()
+        if remaining is None:
+            return timeout
+        remaining = max(0.0, remaining)
+        return remaining if timeout is None else min(timeout, remaining)
 
 
 @dataclass(frozen=True)
@@ -93,7 +158,10 @@ class FleetAnswer:
     Field-compatible with the single-replica
     :class:`~repro.serving.service.ServedAnswer` surface the load
     generator reads, plus the routing story (mode, shards touched,
-    hedges fired).
+    hedges fired) and the coverage contract: ``coverage == 1.0`` is the
+    exact single-replica answer; ``coverage < 1.0`` is an explicitly
+    degraded partial (only produced under ``FleetConfig.allow_degraded``
+    when a shard was down), never a silently wrong ranking.
     """
 
     query: str
@@ -112,6 +180,8 @@ class FleetAnswer:
     shards: Tuple[int, ...] = ()
     #: backup requests fired for this answer
     hedges: int = 0
+    #: fraction of expansion terms the answer covers (1.0 = exact)
+    coverage: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -130,6 +200,9 @@ class FleetStats:
     failovers: int
     skew_retries: int
     promotions: int
+    degraded_answers: int = 0
+    deadline_exceeded: int = 0
+    breaker_rejections: int = 0
     replica_vitals: Tuple[ReplicaVitals, ...] = ()
     replica_health: Tuple[Tuple[str, ReplicaHealthReport], ...] = ()
 
@@ -147,6 +220,9 @@ class FleetStats:
             "failovers": self.failovers,
             "skew_retries": self.skew_retries,
             "promotions": self.promotions,
+            "degraded_answers": self.degraded_answers,
+            "deadline_exceeded": self.deadline_exceeded,
+            "breaker_rejections": self.breaker_rejections,
             "replica_vitals": [v.to_dict() for v in self.replica_vitals],
             "replica_health": {
                 name: report.to_dict()
@@ -207,6 +283,7 @@ class FleetRouter:
             default_deadline_seconds=(
                 self.config.hedge_default_deadline_seconds
             ),
+            breaker=self.config.breaker,
         )
         threads = self.config.executor_threads
         if threads is None:
@@ -226,6 +303,9 @@ class FleetRouter:
         self._failovers = 0  # guarded-by: _lock
         self._skew_retries = 0  # guarded-by: _lock
         self._promotions = 0  # guarded-by: _lock
+        self._degraded = 0  # guarded-by: _lock
+        self._deadline_exceeded = 0  # guarded-by: _lock
+        self._breaker_rejections = 0  # guarded-by: _lock
         self._closed = False
 
     @classmethod
@@ -285,27 +365,74 @@ class FleetRouter:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
+    # -- replica management (the supervisor's hooks) -----------------------------
+
+    def replica(self, name: str):
+        """The live replica handle currently serving ``name``'s slot."""
+        replica = self._by_name.get(name)
+        if replica is None:
+            raise FleetError(f"unknown replica {name!r}")
+        return replica
+
+    def replace_replica(self, name: str, replica) -> None:
+        """Swap a (restarted) replica into an existing slot.
+
+        The new handle must carry the same name; the tracker's history
+        and breaker for the slot are reset so the fresh process starts
+        with a clean record instead of inheriting its predecessor's
+        failure streak.
+        """
+        if replica.name != name:
+            raise FleetError(
+                f"replacement is named {replica.name!r}, slot is {name!r}"
+            )
+        with self._lock:
+            if name not in self._by_name:
+                raise FleetError(f"unknown replica {name!r}")
+            for index, current in enumerate(self.replicas):
+                if current.name == name:
+                    self.replicas[index] = replica
+                    break
+            self._by_name[name] = replica
+        self._tracker.reset(name)
+
+    @property
+    def tracker(self) -> ReplicaTracker:
+        return self._tracker
+
     # -- the serving path --------------------------------------------------------
 
     def query(
-        self, query: str, min_zscore: Optional[float] = None
+        self,
+        query: str,
+        min_zscore: Optional[float] = None,
+        *,
+        deadline_seconds: Optional[float] = None,
     ) -> FleetAnswer:
         """Route one query through the fleet.
 
         Exactly the single-replica answer (same experts, same order,
         same snapshot version), produced by one replica or merged from
         several — the caller cannot tell which, except through the
-        provenance fields.
+        provenance fields.  ``deadline_seconds`` (or the config default)
+        bounds the whole call end to end; a degraded partial (only with
+        ``allow_degraded``) is marked by ``coverage < 1.0``.
         """
         if self._closed:
             raise ServiceClosedError("fleet router is closed")
         started = time.perf_counter()
+        budget = (
+            deadline_seconds
+            if deadline_seconds is not None
+            else self.config.deadline_seconds
+        )
         with self._lock:
             self._requests += 1
         attempts = self.config.skew_retries + 1
         for attempt in range(attempts):
+            deadline = _Deadline(budget)
             try:
-                return self._route(query, min_zscore, started)
+                return self._route(query, min_zscore, started, deadline)
             except FleetVersionSkewError:
                 if attempt + 1 == attempts:
                     raise
@@ -318,6 +445,7 @@ class FleetRouter:
         query: str,
         min_zscore: Optional[float],
         started: float,
+        deadline: _Deadline,
     ) -> FleetAnswer:
         expansion_started = time.perf_counter()
         terms, domain_id = self._expand(query)
@@ -327,7 +455,7 @@ class FleetRouter:
         if len(legs) == 1:
             (shard,) = legs
             outcome = self._call_hedged(
-                shard, lambda replica: replica.query(query, min_zscore)
+                shard, self._query_call(query, min_zscore, deadline), deadline
             )
             answer = outcome.value
             self._account(
@@ -356,7 +484,31 @@ class FleetRouter:
             min_zscore if min_zscore is not None else self._ranking.min_zscore
         )
         detection_started = time.perf_counter()
-        outcomes = self._scatter(query, legs)
+        ordered = sorted(legs.items())
+        results, errors = self._scatter(query, ordered, deadline)
+        outcomes = [outcome for outcome in results if outcome is not None]
+        failures = [exc for exc in errors if exc is not None]
+        served_shards = [
+            shard
+            for (shard, _indexed), outcome in zip(ordered, results)
+            if outcome is not None
+        ]
+        coverage = 1.0
+        if failures:
+            if not self.config.allow_degraded or not outcomes:
+                misses = [
+                    exc
+                    for exc in failures
+                    if isinstance(exc, DeadlineExceededError)
+                ]
+                raise misses[0] if misses else failures[0]
+            total_terms = sum(len(indexed) for _, indexed in ordered)
+            served_terms = sum(
+                len(indexed)
+                for (_shard, indexed), outcome in zip(ordered, results)
+                if outcome is not None
+            )
+            coverage = served_terms / total_terms if total_terms else 0.0
         pools = [outcome.value for outcome in outcomes]
         experts, version = merge_partials(
             pools,
@@ -367,10 +519,11 @@ class FleetRouter:
         hedges = sum(outcome.hedges for outcome in outcomes)
         self._account(
             scattered=1,
-            legs=len(legs),
+            legs=len(ordered),
             hedges=hedges,
             hedge_wins=sum(int(o.backup_won) for o in outcomes),
             failovers=sum(o.failovers for o in outcomes),
+            degraded=int(coverage < 1.0),
         )
         return FleetAnswer(
             query=query,
@@ -384,8 +537,9 @@ class FleetRouter:
             detection_seconds=detection_seconds,
             total_seconds=time.perf_counter() - started,
             mode="scatter-gather",
-            shards=tuple(sorted(legs)),
+            shards=tuple(sorted(served_shards)),
             hedges=hedges,
+            coverage=coverage,
         )
 
     def _expand(self, query: str) -> Tuple[List[str], Optional[str]]:
@@ -398,27 +552,66 @@ class FleetRouter:
             domain.domain_id,
         )
 
+    # -- budget-aware replica calls ----------------------------------------------
+
+    def _query_call(
+        self, query: str, min_zscore: Optional[float], deadline: _Deadline
+    ) -> Callable:
+        def call(replica):
+            budget = deadline.remaining()
+            if budget is not None and getattr(
+                replica, "supports_budget", False
+            ):
+                return replica.query(
+                    query, min_zscore, budget_seconds=max(0.0, budget)
+                )
+            return replica.query(query, min_zscore)
+
+        return call
+
+    def _partial_call(
+        self, query: str, indexed, deadline: _Deadline
+    ) -> Callable:
+        def call(replica):
+            budget = deadline.remaining()
+            if budget is not None and getattr(
+                replica, "supports_budget", False
+            ):
+                return replica.score_partial(
+                    query, indexed, budget_seconds=max(0.0, budget)
+                )
+            return replica.score_partial(query, indexed)
+
+        return call
+
     def _scatter(
-        self, query: str, legs: Dict[int, List[Tuple[int, str]]]
-    ) -> List[_HedgedOutcome]:
+        self,
+        query: str,
+        ordered: List[Tuple[int, List[Tuple[int, str]]]],
+        deadline: _Deadline,
+    ) -> Tuple[
+        List[Optional[_HedgedOutcome]], List[Optional[BaseException]]
+    ]:
         """Run every leg's hedged call concurrently; gather in shard order.
 
         Coordinator threads are plain daemons (one per extra leg; the
         first leg coordinates on the calling thread) because a hedged
         call *waits* on executor futures — coordinating on the executor
-        itself could deadlock a saturated pool.
+        itself could deadlock a saturated pool.  Returns per-leg results
+        and errors aligned with ``ordered``; a leg whose coordinator is
+        still running at the gather deadline counts as failed (the
+        daemon thread is abandoned, its late result discarded).
         """
-        ordered = sorted(legs.items())
         results: List[Optional[_HedgedOutcome]] = [None] * len(ordered)
         errors: List[Optional[BaseException]] = [None] * len(ordered)
 
         def coordinate(position: int, shard: int, indexed) -> None:
             try:
                 results[position] = self._call_hedged(
-                    shard,
-                    lambda replica: replica.score_partial(query, indexed),
+                    shard, self._partial_call(query, indexed, deadline),
+                    deadline,
                 )
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
                 errors[position] = exc
 
         threads = [
@@ -434,33 +627,54 @@ class FleetRouter:
         for thread in threads:
             thread.start()
         coordinate(0, *ordered[0])
-        deadline = time.monotonic() + self.config.gather_timeout_seconds
-        for thread in threads:
-            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        gather_budget = deadline.clamp(self.config.gather_timeout_seconds)
+        expires = time.monotonic() + gather_budget
+        for position, thread in enumerate(threads, start=1):
+            thread.join(timeout=max(0.0, expires - time.monotonic()))
             if thread.is_alive():
-                raise NoHealthyReplicaError(
-                    f"gather timed out after "
-                    f"{self.config.gather_timeout_seconds}s waiting for "
-                    f"{thread.name}"
+                # abandon the leg: discard any result that lands later
+                results[position] = None
+                errors[position] = (
+                    DeadlineExceededError(
+                        f"leg {thread.name} missed the "
+                        f"{deadline.budget}s deadline",
+                        budget_seconds=deadline.budget,
+                    )
+                    if deadline.expired()
+                    else NoHealthyReplicaError(
+                        f"gather timed out after "
+                        f"{self.config.gather_timeout_seconds}s waiting for "
+                        f"{thread.name}"
+                    )
                 )
-        for exc in errors:
-            if exc is not None:
-                raise exc
-        return [outcome for outcome in results if outcome is not None]
+        return results, errors
 
     def _call_hedged(
-        self, shard: int, call: Callable
+        self, shard: int, call: Callable, deadline: _Deadline
     ) -> _HedgedOutcome:
-        """Call the shard's replica with hedging + failover.
+        """Call the shard's replica with hedging + bounded failover.
 
         The primary runs on the executor so this thread can race it
         against the tracker's deadline; past the deadline (or on primary
-        failure) the next-healthiest *other* replica gets a backup and
-        the first success wins.  The loser future is cancelled —
+        failure) the next-healthiest *admitting* replica gets a backup
+        and the first success wins.  The loser future is cancelled —
         unstarted work is dropped; started work completes and its
-        latency still feeds the tracker.
+        latency still feeds the tracker.  Failovers stop after
+        ``leg_retries``; deadline misses are terminal (no failover); a
+        primary whose breaker rejects falls through to the healthiest
+        admitting replica, or :class:`CircuitOpenError` when none is
+        left.
         """
         primary = self.replicas[shard]
+        if not self._tracker.admit(primary.name):
+            self._account(breaker_rejections=1)
+            fallback = self._next_backup({primary.name})
+            if fallback is None:
+                raise CircuitOpenError(
+                    f"shard {shard}: no replica's circuit breaker admits "
+                    "the call"
+                )
+            primary = fallback
         tried = {primary.name}
         flights: Dict[Future, str] = {self._spawn(primary, call): primary.name}
         hedges = 0
@@ -469,16 +683,30 @@ class FleetRouter:
         use_deadline = self.config.hedging and len(self.replicas) > 1
         first_error: Optional[BaseException] = None
         while flights:
+            remaining = deadline.remaining()
+            if remaining is not None and remaining <= 0:
+                for loser in flights:
+                    loser.cancel()
+                self._account(deadline_exceeded=1)
+                raise DeadlineExceededError(
+                    f"deadline budget of {deadline.budget}s exhausted "
+                    f"waiting on shard {shard}",
+                    budget_seconds=deadline.budget,
+                )
             timeout = (
                 self._tracker.hedge_deadline(primary.name)
                 if use_deadline and not hedged
                 else None
             )
+            timeout = deadline.clamp(timeout)
             done, _ = wait(
                 set(flights), timeout=timeout, return_when=FIRST_COMPLETED
             )
             if not done:
-                # deadline expired: fire ONE backup, then first answer wins
+                if deadline.expired():
+                    continue  # the loop top raises the typed miss
+                # hedge deadline expired: fire ONE backup, then first
+                # answer wins
                 hedged = True
                 backup = self._next_backup(tried)
                 if backup is not None:
@@ -491,11 +719,18 @@ class FleetRouter:
                 try:
                     value = future.result()
                 except BaseException as exc:  # noqa: BLE001 - failover
+                    if isinstance(exc, DeadlineExceededError):
+                        # the budget is spent fleet-wide: retrying
+                        # elsewhere cannot beat it
+                        for loser in flights:
+                            loser.cancel()
+                        self._account(deadline_exceeded=1)
+                        raise exc
                     if not isinstance(exc, ServiceClosedError):
                         self._tracker.record_failure(name)
                     if first_error is None:
                         first_error = exc
-                    if not flights:
+                    if not flights and failovers < self.config.leg_retries:
                         backup = self._next_backup(tried)
                         if backup is not None:
                             tried.add(backup.name)
@@ -515,9 +750,11 @@ class FleetRouter:
         raise NoHealthyReplicaError("no replica answered")
 
     def _next_backup(self, tried: set):
-        for name in self._tracker.ranked(exclude=tried):
-            return self._by_name[name]
-        return None
+        """The healthiest untried replica whose breaker admits a call."""
+        name = self._tracker.select(exclude=tried)
+        if name is None:
+            return None
+        return self._by_name[name]
 
     def _spawn(self, replica, call: Callable) -> Future:
         """Run one replica call on the leaf executor, feeding the tracker."""
@@ -541,6 +778,9 @@ class FleetRouter:
         hedges: int = 0,
         hedge_wins: int = 0,
         failovers: int = 0,
+        degraded: int = 0,
+        deadline_exceeded: int = 0,
+        breaker_rejections: int = 0,
     ) -> None:
         with self._lock:
             self._single += single
@@ -549,6 +789,9 @@ class FleetRouter:
             self._hedges += hedges
             self._hedge_wins += hedge_wins
             self._failovers += failovers
+            self._degraded += degraded
+            self._deadline_exceeded += deadline_exceeded
+            self._breaker_rejections += breaker_rejections
 
     # -- two-phase snapshot promotion --------------------------------------------
 
@@ -634,10 +877,17 @@ class FleetRouter:
     # -- observability -----------------------------------------------------------
 
     def health(self) -> Dict[str, ReplicaHealthReport]:
-        """Poll every replica's vitals (version skew shows up here)."""
-        return {
-            replica.name: replica.health() for replica in self.replicas
-        }
+        """Poll every reachable replica's vitals (version skew shows up
+        here).  A replica that cannot answer — killed, hung, mid-restart
+        — is omitted rather than turning an observability call into a
+        crash; its absence *is* the signal."""
+        reports: Dict[str, ReplicaHealthReport] = {}
+        for replica in self.replicas:
+            try:
+                reports[replica.name] = replica.health()
+            except Exception:  # noqa: BLE001 - dead replica: omitted
+                continue
+        return reports
 
     def stats(self) -> FleetStats:
         with self._lock:
@@ -650,6 +900,9 @@ class FleetRouter:
             failovers = self._failovers
             skew_retries = self._skew_retries
             promotions = self._promotions
+            degraded = self._degraded
+            deadline_exceeded = self._deadline_exceeded
+            breaker_rejections = self._breaker_rejections
         return FleetStats(
             replicas=len(self.replicas),
             shards=self.sharding.num_shards,
@@ -663,9 +916,9 @@ class FleetRouter:
             failovers=failovers,
             skew_retries=skew_retries,
             promotions=promotions,
+            degraded_answers=degraded,
+            deadline_exceeded=deadline_exceeded,
+            breaker_rejections=breaker_rejections,
             replica_vitals=tuple(self._tracker.vitals()),
-            replica_health=tuple(
-                (replica.name, replica.health())
-                for replica in self.replicas
-            ),
+            replica_health=tuple(self.health().items()),
         )

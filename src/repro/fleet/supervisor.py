@@ -1,0 +1,378 @@
+"""Self-healing: detect dead replicas and restart them warm from artifact.
+
+:class:`ReplicaSupervisor` watches a :class:`~repro.fleet.router.FleetRouter`'s
+replicas (a background poll loop, or synchronous :meth:`check_now` calls
+for deterministic tests).  A replica that fails its liveness probe —
+process gone, or a bounded ``ping`` unanswered — is restarted through a
+caller-supplied factory (normally a fresh
+:class:`~repro.fleet.replica.SubprocessReplica` warm-started from the
+same artifact) and swapped into the router's slot, which resets the
+slot's latency history and circuit breaker.
+
+Restart discipline:
+
+* **Exponential backoff with jitter.** Consecutive failed restarts wait
+  ``initial · multiplier^n`` (capped), scaled by a deterministic
+  per-slot jitter so a mass failure doesn't restart in lockstep.  The
+  jitter RNG is seeded from the supervisor seed and the slot name —
+  reproducible run to run.
+* **Restart budget.** At most ``restart_budget`` restart attempts per
+  sliding ``budget_window_seconds`` window; past it the slot is marked
+  ``gave_up`` (a crash-looping artifact should page an operator, not
+  burn CPU forever).  A slot that comes back healthy by other means
+  clears the flag.
+
+Restarts run *outside* the supervisor lock — warm starts take seconds,
+and the lock only guards bookkeeping.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Supervision knobs."""
+
+    #: background poll cadence (start()/close() mode)
+    poll_interval_seconds: float = 0.5
+    #: how long a liveness ping may take before the replica counts dead
+    probe_timeout_seconds: float = 5.0
+    #: first backoff after a failed restart
+    backoff_initial_seconds: float = 0.2
+    backoff_multiplier: float = 2.0
+    backoff_max_seconds: float = 10.0
+    #: +/- fraction of the backoff added as deterministic jitter
+    jitter_fraction: float = 0.1
+    #: restart attempts allowed per sliding window before giving up
+    restart_budget: int = 5
+    budget_window_seconds: float = 60.0
+    #: seeds the per-slot jitter RNGs
+    seed: int = 2016
+
+    def __post_init__(self) -> None:
+        if self.poll_interval_seconds <= 0:
+            raise ValueError("poll_interval_seconds must be > 0")
+        if self.backoff_initial_seconds < 0:
+            raise ValueError("backoff_initial_seconds must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+        if self.restart_budget < 1:
+            raise ValueError("restart_budget must be >= 1")
+
+
+@dataclass(frozen=True)
+class ReplicaRestart:
+    """One restart attempt's outcome."""
+
+    replica: str
+    ok: bool
+    seconds: float
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class SlotReport:
+    """Read-only view of one supervised slot."""
+
+    name: str
+    state: str  # "healthy" | "down" | "gave-up"
+    consecutive_failures: int
+    restarts: int
+    failed_restarts: int
+    gave_up: bool
+    last_error: str
+    last_recovery_seconds: Optional[float]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "restarts": self.restarts,
+            "failed_restarts": self.failed_restarts,
+            "gave_up": self.gave_up,
+            "last_error": self.last_error,
+            "last_recovery_seconds": self.last_recovery_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class SupervisorStats:
+    """Aggregated supervision counters plus per-slot reports."""
+
+    checks: int
+    restarts: int
+    failed_restarts: int
+    gave_up: int
+    slots: Tuple[SlotReport, ...] = ()
+    restart_log: Tuple[ReplicaRestart, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "checks": self.checks,
+            "restarts": self.restarts,
+            "failed_restarts": self.failed_restarts,
+            "gave_up": self.gave_up,
+            "slots": [slot.to_dict() for slot in self.slots],
+            "restart_log": [
+                {
+                    "replica": entry.replica,
+                    "ok": entry.ok,
+                    "seconds": entry.seconds,
+                    "error": entry.error,
+                }
+                for entry in self.restart_log
+            ],
+        }
+
+
+@dataclass
+class _Slot:
+    """Mutable per-replica bookkeeping (mutated under the supervisor lock)."""
+
+    name: str
+    rng: random.Random
+    consecutive_failures: int = 0
+    restarts: int = 0
+    failed_restarts: int = 0
+    next_attempt_at: float = 0.0
+    gave_up: bool = False
+    down_since: Optional[float] = None
+    last_error: str = ""
+    last_recovery_seconds: Optional[float] = None
+    restart_times: deque = field(default_factory=deque)
+
+
+class ReplicaSupervisor:
+    """Watch a router's replicas; restart the dead ones, bounded."""
+
+    def __init__(
+        self,
+        router,
+        factories: Dict[str, Callable[[], object]],
+        config: Optional[SupervisorConfig] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not factories:
+            raise ValueError("supervisor needs at least one replica factory")
+        for name in factories:
+            router.replica(name)  # raises FleetError on an unknown slot
+        self._router = router
+        self._factories = dict(factories)
+        self.config = config or SupervisorConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._slots: Dict[str, _Slot] = {  # guarded-by: _lock
+            name: _Slot(
+                name=name,
+                rng=random.Random(f"{self.config.seed}:{name}"),
+            )
+            for name in sorted(factories)
+        }
+        self._checks = 0  # guarded-by: _lock
+        self._restarts = 0  # guarded-by: _lock
+        self._failed_restarts = 0  # guarded-by: _lock
+        self._gave_up = 0  # guarded-by: _lock
+        self._log: List[ReplicaRestart] = []  # guarded-by: _lock
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the background poll loop (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-fleet-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop the poll loop (does not close the replicas)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> "ReplicaSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.config.poll_interval_seconds):
+            try:
+                self.check_now()
+            except Exception:  # noqa: BLE001 - supervision must outlive bugs
+                pass
+
+    # -- one supervision sweep ---------------------------------------------------
+
+    def check_now(self) -> List[ReplicaRestart]:
+        """Probe every slot once; restart what's restartable right now.
+
+        Synchronous and deterministic given a fake clock — the unit the
+        tests drive directly.  Returns the restart attempts performed.
+        """
+        with self._lock:
+            self._checks += 1
+            names = list(self._slots)
+        outcomes = []
+        for name in names:
+            outcome = self._check_slot(name)
+            if outcome is not None:
+                outcomes.append(outcome)
+        return outcomes
+
+    def _check_slot(self, name: str) -> Optional[ReplicaRestart]:
+        replica = self._router.replica(name)
+        healthy = self._probe(replica)
+        now = self._clock()
+        with self._lock:
+            slot = self._slots[name]
+            if healthy:
+                slot.consecutive_failures = 0
+                slot.down_since = None
+                slot.next_attempt_at = 0.0
+                slot.gave_up = False
+                return None
+            if slot.down_since is None:
+                slot.down_since = now
+            if slot.gave_up or now < slot.next_attempt_at:
+                return None
+            while slot.restart_times and (
+                now - slot.restart_times[0]
+                > self.config.budget_window_seconds
+            ):
+                slot.restart_times.popleft()
+            if len(slot.restart_times) >= self.config.restart_budget:
+                slot.gave_up = True
+                self._gave_up += 1
+                return None
+            slot.restart_times.append(now)
+        return self._restart(name, replica)
+
+    def _probe(self, replica) -> bool:
+        """Is the replica alive *and* answering, within the probe timeout?"""
+        is_alive = getattr(replica, "is_alive", None)
+        if is_alive is not None:
+            try:
+                if not is_alive():
+                    return False
+            except Exception:  # noqa: BLE001 - a probe reports, not raises
+                return False
+        ping = getattr(replica, "ping", None)
+        if ping is None:
+            return True
+        try:
+            return bool(
+                ping(timeout=self.config.probe_timeout_seconds)
+            )
+        except Exception:  # noqa: BLE001 - a probe reports, not raises
+            return False
+
+    def _restart(self, name: str, old_replica) -> ReplicaRestart:
+        """One restart attempt, outside the lock (warm starts are slow)."""
+        started = self._clock()
+        try:
+            try:
+                old_replica.close()
+            except Exception:  # noqa: BLE001 - it's already dead
+                pass
+            fresh = self._factories[name]()
+            self._router.replace_replica(name, fresh)
+        except Exception as exc:  # noqa: BLE001 - typed into the report
+            now = self._clock()
+            outcome = ReplicaRestart(
+                replica=name,
+                ok=False,
+                seconds=now - started,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            with self._lock:
+                slot = self._slots[name]
+                slot.consecutive_failures += 1
+                slot.failed_restarts += 1
+                slot.last_error = outcome.error
+                slot.next_attempt_at = now + self._backoff(slot)
+                self._failed_restarts += 1
+                self._log.append(outcome)
+            return outcome
+        now = self._clock()
+        outcome = ReplicaRestart(
+            replica=name, ok=True, seconds=now - started
+        )
+        with self._lock:
+            slot = self._slots[name]
+            if slot.down_since is not None:
+                slot.last_recovery_seconds = now - slot.down_since
+            slot.consecutive_failures = 0
+            slot.restarts += 1
+            slot.down_since = None
+            slot.next_attempt_at = 0.0
+            slot.last_error = ""
+            self._restarts += 1
+            self._log.append(outcome)
+        return outcome
+
+    def _backoff(self, slot: _Slot) -> float:  # holds: _lock
+        """Deterministically jittered exponential backoff for one slot."""
+        exponent = max(0, slot.consecutive_failures - 1)
+        base = min(
+            self.config.backoff_max_seconds,
+            self.config.backoff_initial_seconds
+            * (self.config.backoff_multiplier ** exponent),
+        )
+        jitter = 1.0 + self.config.jitter_fraction * (
+            2.0 * slot.rng.random() - 1.0
+        )
+        return base * jitter
+
+    # -- observability -----------------------------------------------------------
+
+    def stats(self) -> SupervisorStats:
+        with self._lock:
+            slots = []
+            for name in sorted(self._slots):
+                slot = self._slots[name]
+                if slot.gave_up:
+                    state = "gave-up"
+                elif slot.down_since is not None:
+                    state = "down"
+                else:
+                    state = "healthy"
+                slots.append(
+                    SlotReport(
+                        name=name,
+                        state=state,
+                        consecutive_failures=slot.consecutive_failures,
+                        restarts=slot.restarts,
+                        failed_restarts=slot.failed_restarts,
+                        gave_up=slot.gave_up,
+                        last_error=slot.last_error,
+                        last_recovery_seconds=slot.last_recovery_seconds,
+                    )
+                )
+            return SupervisorStats(
+                checks=self._checks,
+                restarts=self._restarts,
+                failed_restarts=self._failed_restarts,
+                gave_up=self._gave_up,
+                slots=tuple(slots),
+                restart_log=tuple(self._log),
+            )

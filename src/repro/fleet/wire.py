@@ -15,13 +15,18 @@ byte-identity property) survives process boundaries.
 from __future__ import annotations
 
 import json
-from typing import IO
+from typing import IO, Optional
 
+from repro.chaos.inject import filter_frame
 from repro.detector.features import FeatureVector
 from repro.detector.normalize import NormalizedFeatures
 from repro.detector.ranking import RankedExpert
 from repro.fleet.errors import RemoteReplicaError, WorkerProtocolError
-from repro.serving.errors import ServiceClosedError, ServiceOverloadedError
+from repro.serving.errors import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
 from repro.serving.service import PartialPool, ReplicaHealthReport, ServedAnswer
 from repro.serving.snapshot import StaleSnapshotError
 
@@ -125,6 +130,7 @@ def health_from_wire(raw: dict) -> ReplicaHealthReport:
 _TYPED_ERRORS = {
     "ServiceClosedError": ServiceClosedError,
     "StaleSnapshotError": StaleSnapshotError,
+    "DeadlineExceededError": DeadlineExceededError,
 }
 
 
@@ -149,9 +155,30 @@ def error_from_wire(raw: dict) -> Exception:
 # -- framing ------------------------------------------------------------------
 
 
-def write_message(stream: IO[str], message: dict) -> None:
-    """One JSON object per line, flushed (the peer is blocked on it)."""
-    stream.write(json.dumps(message, separators=(",", ":")) + "\n")
+def write_message(
+    stream: IO[str],
+    message: dict,
+    *,
+    chaos_site: Optional[str] = None,
+    chaos_context: Optional[dict] = None,
+) -> None:
+    """One JSON object per line, flushed (the peer is blocked on it).
+
+    ``chaos_site`` routes the frame through the fault injector (a no-op
+    unless a plan is installed): a fault there can drop, truncate, or
+    corrupt this frame before it reaches the peer — which must then
+    detect the mangling through parse failures, timeouts, or failover,
+    never by serving a wrong answer.
+    """
+    line = json.dumps(message, separators=(",", ":"))
+    if chaos_site is not None:
+        mangled = filter_frame(
+            chaos_site, line, **(chaos_context or {})
+        )
+        if mangled is None:  # drop_frame: the peer never sees it
+            return
+        line = mangled
+    stream.write(line + "\n")
     stream.flush()
 
 

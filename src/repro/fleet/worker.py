@@ -7,15 +7,25 @@ A worker is one warm-started replica speaking the JSON-lines protocol of
 a hedged duplicate) is answered while a slow query is still scoring;
 ``cancel`` marks a request id so a not-yet-started request is dropped
 instead of computed.
+
+Resilience hooks: a request carrying ``budget`` (seconds, stamped when
+the frame is read off stdin) has its queue time subtracted before the
+service runs — a request that waited out its budget fails typed
+(:class:`~repro.serving.errors.DeadlineExceededError`) over the wire.
+:func:`serve_worker` installs any ``REPRO_CHAOS_PLAN`` fault plan
+*before* loading the artifact, so injected faults cover warm start
+(artifact reads) as well as serving (dispatch, reply frames).
 """
 
 from __future__ import annotations
 
 import sys
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import IO, Optional
 
+from repro.chaos.inject import fire
 from repro.core.esharp import ESharp
 from repro.fleet.errors import PromotionError, WorkerProtocolError
 from repro.fleet.wire import (
@@ -25,6 +35,7 @@ from repro.fleet.wire import (
     partial_to_wire,
     write_message,
 )
+from repro.serving.errors import DeadlineExceededError
 from repro.serving.service import ExpertService, ServiceConfig
 
 #: request threads per worker — enough for overlapping scatter legs plus
@@ -44,7 +55,9 @@ class FleetWorker:
         score_cache_capacity: Optional[int] = None,
         reader: Optional[IO[str]] = None,
         writer: Optional[IO[str]] = None,
+        name: str = "worker",
     ) -> None:
+        self.name = name
         self._reader = reader if reader is not None else sys.stdin
         self._writer = writer if writer is not None else sys.stdout
         self._write_lock = threading.Lock()
@@ -66,7 +79,12 @@ class FleetWorker:
 
     def _write(self, message: dict) -> None:
         with self._write_lock:
-            write_message(self._writer, message)
+            write_message(
+                self._writer,
+                message,
+                chaos_site="wire.worker.write",
+                chaos_context={"worker": self.name},
+            )
 
     def _reply_ok(self, request_id, payload) -> None:
         self._write({"id": request_id, "ok": payload})
@@ -76,7 +94,7 @@ class FleetWorker:
 
     # -- request handling -------------------------------------------------------
 
-    def _handle(self, message: dict) -> None:
+    def _handle(self, message: dict, received_at: float) -> None:
         request_id = message.get("id")
         with self._cancel_lock:
             if request_id in self._cancelled:
@@ -86,25 +104,53 @@ class FleetWorker:
                 )
                 return
         try:
-            payload = self._dispatch(message)
+            payload = self._dispatch(message, received_at)
         except BaseException as exc:  # noqa: BLE001 - typed over the wire
             self._reply_error(request_id, exc)
             return
         self._reply_ok(request_id, payload)
 
-    def _dispatch(self, message: dict):
+    def _budget_remaining(
+        self, message: dict, received_at: Optional[float]
+    ) -> Optional[float]:
+        """The request's surviving budget after its queue wait, typed-fatal
+        when the wait already spent it."""
+        budget = message.get("budget")
+        if budget is None:
+            return None
+        budget = float(budget)
+        queued = (
+            0.0
+            if received_at is None
+            else time.perf_counter() - received_at
+        )
+        remaining = budget - queued
+        if remaining <= 0:
+            raise DeadlineExceededError(
+                f"worker {self.name}: budget {budget:.3f}s spent in queue "
+                f"({queued:.3f}s) before dispatch",
+                budget_seconds=budget,
+                elapsed_seconds=queued,
+            )
+        return remaining
+
+    def _dispatch(self, message: dict, received_at: Optional[float] = None):
         op = message.get("op")
+        fire("worker.dispatch", op=op or "", worker=getattr(self, "name", ""))
         if op == "ping":
             return "pong"
         if op == "query":
             answer = self.service.query(
-                message["query"], message.get("min_zscore")
+                message["query"],
+                message.get("min_zscore"),
+                budget_seconds=self._budget_remaining(message, received_at),
             )
             return answer_to_wire(answer)
         if op == "partial":
             pool = self.service.score_partial(
                 message["query"],
                 [(index, term) for index, term in message["terms"]],
+                budget_seconds=self._budget_remaining(message, received_at),
             )
             return partial_to_wire(pool)
         if op == "health":
@@ -137,6 +183,7 @@ class FleetWorker:
                 line = line.strip()
                 if not line:
                     continue
+                received_at = time.perf_counter()
                 try:
                     message = parse_message(line)
                 except Exception as exc:  # noqa: BLE001 - report and go on
@@ -150,7 +197,7 @@ class FleetWorker:
                     with self._cancel_lock:
                         self._cancelled.add(message.get("target"))
                     continue
-                executor.submit(self._handle, message)
+                executor.submit(self._handle, message, received_at)
         finally:
             executor.shutdown(wait=True)
             self.service.close()
@@ -163,12 +210,18 @@ def serve_worker(
     detection_workers: int = 2,
     cache_capacity: Optional[int] = None,
     score_cache_capacity: Optional[int] = None,
+    name: str = "worker",
 ) -> int:
     """CLI entry point for ``python -m repro fleet-worker``."""
+    from repro.chaos import inject
+
+    # before the artifact loads, so a plan can fault warm start too
+    inject.install_from_env()
     worker = FleetWorker(
         artifact_dir,
         detection_workers=detection_workers,
         cache_capacity=cache_capacity,
         score_cache_capacity=score_cache_capacity,
+        name=name,
     )
     return worker.run()

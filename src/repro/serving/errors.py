@@ -21,6 +21,26 @@ class AdmissionProtocolError(ServingError):
     """The admission gate was misused (release without matching acquire)."""
 
 
+class DeadlineExceededError(ServingError):
+    """The request's end-to-end deadline budget ran out.
+
+    Terminal by design: the router does **not** fail a deadline miss
+    over to another replica (the budget is already gone) — it surfaces
+    the miss so the caller's own timeout machinery stays honest.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget_seconds: float | None = None,
+        elapsed_seconds: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.budget_seconds = budget_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+
 class ServiceOverloadedError(ServingError):
     """Admission control rejected the request (queue full or wait too long).
 

@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, List, Tuple
 from repro.detector.ranking import RankedExpert
 from repro.serving.admission import AdmissionController, AdmissionStats
 from repro.serving.cache import CacheInfo, LRUCache
-from repro.serving.errors import ServiceClosedError
+from repro.serving.errors import DeadlineExceededError, ServiceClosedError
 from repro.serving.singleflight import SingleFlight
 from repro.serving.snapshot import ServiceSnapshot, SnapshotHolder
 from repro.serving.workers import MicroBatchScheduler, PoolStats, WorkerPool
@@ -265,17 +265,26 @@ class ExpertService:
     # -- the synchronous serving path -------------------------------------------
 
     def query(
-        self, query: str, min_zscore: float | None = None
+        self,
+        query: str,
+        min_zscore: float | None = None,
+        *,
+        budget_seconds: float | None = None,
     ) -> ServedAnswer:
         """Answer one query against the current snapshot.
 
         Raises :class:`ServiceOverloadedError` under backpressure and
-        :class:`ServiceClosedError` after :meth:`close`.
+        :class:`ServiceClosedError` after :meth:`close`.  With
+        ``budget_seconds``, a request whose admission wait already spent
+        the deadline fails typed (:class:`DeadlineExceededError`) before
+        any detection work runs — nobody is waiting for the answer.
         """
         started = time.perf_counter()
         if self._closed:
             raise ServiceClosedError("service is closed")
+        self._check_budget(budget_seconds, started)
         with self._admission.slot():
+            self._check_budget(budget_seconds, started)
             snapshot = self._require_snapshot()
             threshold = (
                 min_zscore
@@ -312,7 +321,11 @@ class ExpertService:
     # -- the shard-scoped partial path (the fleet's scatter unit) ----------------
 
     def score_partial(
-        self, query: str, indexed_terms: "Iterable[Tuple[int, str]]"
+        self,
+        query: str,
+        indexed_terms: "Iterable[Tuple[int, str]]",
+        *,
+        budget_seconds: float | None = None,
     ) -> PartialPool:
         """Score a subset of an expanded query's terms on this replica.
 
@@ -335,10 +348,13 @@ class ExpertService:
         """
         if self._closed:
             raise ServiceClosedError("service is closed")
+        started = time.perf_counter()
+        self._check_budget(budget_seconds, started)
         indexed = tuple(
             (int(index), str(term)) for index, term in indexed_terms
         )
         with self._admission.slot():
+            self._check_budget(budget_seconds, started)
             snapshot = self._require_snapshot()
             key = (snapshot.version, "partial", indexed)
             with self._counter_lock:
@@ -542,6 +558,27 @@ class ExpertService:
         if snapshot is None:  # pragma: no cover - guarded by constructor
             raise ServiceClosedError("no snapshot published")
         return snapshot
+
+    @staticmethod
+    def _check_budget(
+        budget_seconds: float | None, started: float
+    ) -> None:
+        """Fail typed once a request's end-to-end budget is spent.
+
+        Checked on entry and again after the admission wait — queue time
+        counts against the deadline, so a request that waited out its
+        budget is refused before it costs any detection work.
+        """
+        if budget_seconds is None:
+            return
+        elapsed = time.perf_counter() - started
+        if elapsed >= budget_seconds:
+            raise DeadlineExceededError(
+                f"deadline budget of {budget_seconds:.3f}s spent "
+                f"({elapsed:.3f}s elapsed) before detection started",
+                budget_seconds=budget_seconds,
+                elapsed_seconds=elapsed,
+            )
 
     def _compute(
         self, snapshot: ServiceSnapshot, query: str, threshold: float

@@ -1,0 +1,323 @@
+"""Deterministic fault injection: plans, the injector's trigger
+schedule, wire-frame mangling, and the crash-atomic artifact publish.
+
+The load-bearing property is *determinism*: a seeded
+:class:`~repro.chaos.FaultPlan` makes the same decisions every run, so a
+failure a chaos test finds is a failure a human can replay.  The second
+property is the torn-write regression at the bottom: a crash injected
+mid-``save_artifact`` must leave the previous complete generation
+loadable, never a half-written directory.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+import pytest
+
+from repro.chaos import (
+    ChaosCrashError,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    inject,
+)
+from repro.chaos.inject import CORRUPTION
+from repro.core.esharp import ESharp
+from repro.fleet import WorkerProtocolError, wire
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """Every test leaves the process chaos-free."""
+    yield
+    inject.uninstall()
+
+
+def crash_spec(site: str, **kwargs) -> FaultSpec:
+    return FaultSpec(site=site, kind="crash", **kwargs)
+
+
+# -- the plan ----------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_round_trips_through_json(self):
+        plan = FaultPlan(
+            seed=7,
+            faults=(
+                FaultSpec(
+                    site="wire.worker.write",
+                    kind="corrupt_frame",
+                    after_calls=2,
+                    times=3,
+                    probability=0.5,
+                    match=(("worker", "replica-1"),),
+                ),
+                FaultSpec(site="worker.dispatch", kind="exit", exit_code=9),
+                FaultSpec(
+                    site="replica.call", kind="latency", seconds=0.25
+                ),
+            ),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultSpec(site="s", kind="meteor")
+
+    def test_schedule_fields_are_validated(self):
+        with pytest.raises(FaultPlanError, match="non-empty site"):
+            crash_spec("")
+        with pytest.raises(FaultPlanError, match="after_calls"):
+            crash_spec("s", after_calls=-1)
+        with pytest.raises(FaultPlanError, match="times"):
+            crash_spec("s", times=-1)
+        with pytest.raises(FaultPlanError, match="probability"):
+            crash_spec("s", probability=1.5)
+        with pytest.raises(FaultPlanError, match="seconds > 0"):
+            FaultSpec(site="s", kind="latency")
+        with pytest.raises(FaultPlanError, match="registry key"):
+            FaultSpec(site="s", kind="error")
+
+    def test_malformed_json_is_typed(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+        with pytest.raises(FaultPlanError, match="must be an object"):
+            FaultPlan.from_json("[1]")
+        with pytest.raises(FaultPlanError, match="must be a list"):
+            FaultPlan.from_json('{"faults": 3}')
+        with pytest.raises(FaultPlanError, match="malformed fault spec"):
+            FaultPlan.from_json('{"faults": [{"kind": "crash"}]}')
+
+
+# -- the injector's trigger schedule ------------------------------------------
+
+
+class TestInjectorSchedule:
+    def test_after_calls_then_times_bounds_firing(self):
+        injector = FaultInjector(
+            FaultPlan(faults=(crash_spec("s", after_calls=2, times=1),))
+        )
+        decisions = [injector.decide("s", {}) for _ in range(5)]
+        assert [d is not None for d in decisions] == [
+            False, False, True, False, False,
+        ]
+        assert injector.call_count("s") == 5
+        assert injector.events() == [("s", "crash")]
+
+    def test_times_zero_means_unlimited(self):
+        injector = FaultInjector(
+            FaultPlan(faults=(crash_spec("s", times=0),))
+        )
+        assert all(
+            injector.decide("s", {}) is not None for _ in range(10)
+        )
+
+    def test_match_filters_compare_as_strings(self):
+        spec = crash_spec("s", times=0, match=(("op", "query"),))
+        injector = FaultInjector(FaultPlan(faults=(spec,)))
+        assert injector.decide("s", {"op": "health"}) is None
+        assert injector.decide("s", {}) is None
+        assert injector.decide("s", {"op": "query"}) is spec
+        # non-string context values match through str()
+        numbered = crash_spec("n", times=0, match=(("shard", "2"),))
+        injector2 = FaultInjector(FaultPlan(faults=(numbered,)))
+        assert injector2.decide("n", {"shard": 2}) is numbered
+
+    def test_unmatched_calls_do_not_consume_the_schedule(self):
+        spec = crash_spec("s", after_calls=1, match=(("op", "query"),))
+        injector = FaultInjector(FaultPlan(faults=(spec,)))
+        # a flood of non-matching traffic leaves after_calls untouched
+        for _ in range(5):
+            assert injector.decide("s", {"op": "health"}) is None
+        assert injector.decide("s", {"op": "query"}) is None  # skipped
+        assert injector.decide("s", {"op": "query"}) is spec
+
+    def test_probabilistic_specs_replay_identically(self):
+        plan = FaultPlan(
+            seed=99, faults=(crash_spec("s", times=0, probability=0.4),)
+        )
+        pattern_a = [
+            FaultInjector(plan).decide("s", {}) is not None
+            for _ in range(1)
+        ]
+        runs = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            runs.append(
+                [injector.decide("s", {}) is not None for _ in range(64)]
+            )
+        assert runs[0] == runs[1]  # seeded: same decisions every run
+        assert any(runs[0]) and not all(runs[0])
+        del pattern_a
+
+
+# -- module hooks: fire / install / env ---------------------------------------
+
+
+class TestModuleHooks:
+    def test_fire_is_a_noop_without_a_plan(self):
+        assert inject.active() is None
+        inject.fire("anything.at.all", op="query")  # must not raise
+
+    def test_installed_scopes_the_plan(self):
+        plan = FaultPlan(faults=(crash_spec("site"),))
+        with inject.installed(plan):
+            with pytest.raises(ChaosCrashError, match="injected crash"):
+                inject.fire("site")
+        assert inject.active() is None
+        inject.fire("site")  # uninstalled: back to a no-op
+
+    def test_error_faults_raise_the_registry_type(self):
+        from repro.artifact.errors import ArtifactCorruptError
+
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(site="s", kind="error", error="artifact-corrupt"),
+            )
+        )
+        with inject.installed(plan):
+            with pytest.raises(ArtifactCorruptError, match="injected"):
+                inject.fire("s")
+
+    def test_latency_faults_sleep(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(site="s", kind="latency", seconds=0.05),
+            )
+        )
+        with inject.installed(plan):
+            started = time.perf_counter()
+            inject.fire("s")
+            assert time.perf_counter() - started >= 0.04
+
+    def test_install_from_env(self):
+        plan = FaultPlan(seed=5, faults=(crash_spec("s"),))
+        assert inject.install_from_env(environ={}) is None
+        injector = inject.install_from_env(
+            environ={inject.ENV_PLAN: plan.to_json()}
+        )
+        assert injector is not None
+        assert injector.plan == plan
+        assert inject.active() is injector
+
+
+# -- wire-frame mangling -------------------------------------------------------
+
+
+class TestFilterFrame:
+    def frame_plan(self, kind: str) -> FaultPlan:
+        return FaultPlan(
+            faults=(FaultSpec(site="wire.client.write", kind=kind),)
+        )
+
+    def test_passthrough_without_a_plan(self):
+        assert inject.filter_frame("wire.client.write", "hello") == "hello"
+
+    def test_drop_truncate_corrupt(self):
+        line = '{"op":"query","id":7}'
+        with inject.installed(self.frame_plan("drop_frame")):
+            assert inject.filter_frame("wire.client.write", line) is None
+        with inject.installed(self.frame_plan("truncate_frame")):
+            half = inject.filter_frame("wire.client.write", line)
+            assert half == line[: len(line) // 2]
+        with inject.installed(self.frame_plan("corrupt_frame")):
+            mangled = inject.filter_frame("wire.client.write", line)
+            assert CORRUPTION in mangled
+            assert mangled.startswith(line[: len(line) // 2])
+
+    def test_write_message_drops_the_frame_entirely(self):
+        stream = io.StringIO()
+        with inject.installed(self.frame_plan("drop_frame")):
+            wire.write_message(
+                stream, {"op": "query"}, chaos_site="wire.client.write"
+            )
+        assert stream.getvalue() == ""  # the peer never sees the frame
+
+    def test_write_message_corruption_breaks_the_parse(self):
+        stream = io.StringIO()
+        with inject.installed(self.frame_plan("corrupt_frame")):
+            wire.write_message(
+                stream, {"op": "query"}, chaos_site="wire.client.write"
+            )
+        line = stream.getvalue().splitlines()[0]
+        with pytest.raises(WorkerProtocolError, match="undecodable"):
+            wire.parse_message(line)
+
+    def test_unrelated_site_leaves_frames_alone(self):
+        stream = io.StringIO()
+        with inject.installed(self.frame_plan("drop_frame")):
+            wire.write_message(
+                stream, {"op": "query"}, chaos_site="wire.worker.write"
+            )
+        assert wire.parse_message(stream.getvalue()) == {"op": "query"}
+
+
+# -- the torn-write regression -------------------------------------------------
+
+
+class TestCrashAtomicArtifactPublish:
+    """A crash anywhere inside save_artifact must not tear the artifact."""
+
+    def reference_answer(self, artifact_dir):
+        system = ESharp.from_artifact(artifact_dir)
+        version = system.snapshots.version
+        return version
+
+    # save_stage: crash midway through the stage sequence (a torn
+    # multi-file write); finalize: crash after every stage landed but
+    # before the manifest — the classic missing-commit-record tear
+    @pytest.mark.parametrize(
+        "site,after",
+        [("artifact.save_stage", 1), ("artifact.finalize", 0)],
+    )
+    def test_crash_mid_save_preserves_previous_generation(
+        self, system, tmp_path, site, after
+    ):
+        target = tmp_path / "artifact"
+        system.save_artifact(target)
+        before = self.reference_answer(target)
+        plan = FaultPlan(faults=(crash_spec(site, after_calls=after),))
+        with inject.installed(plan):
+            with pytest.raises(ChaosCrashError):
+                system.save_artifact(target)
+        # the previous complete generation still loads and serves
+        assert self.reference_answer(target) == before
+        # and the torn scratch directory was cleaned up
+        leftovers = [
+            p.name
+            for p in target.parent.iterdir()
+            if ".saving." in p.name or ".previous." in p.name
+        ]
+        assert leftovers == []
+
+    def test_crash_on_first_save_leaves_no_directory(
+        self, system, tmp_path
+    ):
+        target = tmp_path / "artifact"
+        plan = FaultPlan(faults=(crash_spec("artifact.finalize"),))
+        with inject.installed(plan):
+            with pytest.raises(ChaosCrashError):
+                system.save_artifact(target)
+        assert not target.exists()
+
+    def test_injected_read_error_surfaces_typed(self, system, tmp_path):
+        from repro.artifact.errors import ArtifactCorruptError
+
+        target = tmp_path / "artifact"
+        system.save_artifact(target)
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="artifact.read",
+                    kind="error",
+                    error="artifact-corrupt",
+                ),
+            )
+        )
+        with inject.installed(plan):
+            with pytest.raises(ArtifactCorruptError):
+                ESharp.from_artifact(target)
