@@ -1,0 +1,404 @@
+"""TEN1 — multi-tenant serving: isolation, aggregate QPS, and fairness.
+
+One :class:`~repro.serving.tenancy.MultiTenantService` serves N corpora
+from a single process — one shared result cache, single-flight table,
+micro-batcher, and fair admission controller.  This bench measures the
+three properties that make that consolidation safe:
+
+**Isolation first.**  Every tenant is mapped onto one of two genuinely
+different base corpora (different seeds).  Each tenant's answers under
+concurrent mixed traffic are compared byte-for-byte against the classic
+single-tenant :class:`~repro.serving.service.ExpertService` over that
+tenant's own corpus; **any** divergence is a cross-tenant leak and the
+bench fails.  The acceptance bar is 0 leaks at every fleet size
+(1/4/8 tenants; 1/4 in smoke mode).
+
+**Then aggregate capacity.**  Per-tenant workloads replay concurrently
+through one process; the payload records aggregate QPS and per-tenant
+p99 at each tenant count, so the cost of consolidation is visible
+rather than implied.
+
+**Then fairness.**  A heavy tenant floods past its
+:class:`~repro.serving.quotas.TenantQuota` (every rejection must be the
+tenant-typed :class:`~repro.serving.errors.TenantOverloadedError`)
+while a light tenant runs its normal workload; the light tenant must
+finish error-free with p99 under ``FAIRNESS_P99_BOUND_MS``.
+
+Writes ``BENCH_tenancy.json`` at the repo root.  CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_tenancy.py --smoke \
+        --output /tmp/BENCH_tenancy.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import tempfile
+import threading
+import time
+
+from repro.core.config import ESharpConfig
+from repro.core.esharp import ESharp
+from repro.fleet.wire import answer_to_wire
+from repro.serving.errors import TenantOverloadedError
+from repro.serving.loadgen import LoadGenerator, candidate_queries
+from repro.serving.quotas import TenantQuota
+from repro.serving.service import ExpertService, ServiceConfig
+from repro.serving.tenancy import MultiTenantService, TenantClient, TenantSpec
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: the fairness acceptance bar: light-tenant p99 while a heavy tenant
+#: saturates its quota (generous enough for a loaded CI box)
+FAIRNESS_P99_BOUND_MS = 1500.0
+
+
+def answer_bytes(answer) -> str:
+    """Canonical JSON of an answer's *content* (timings, provenance and
+    the tenant stamp stripped — content must match the single-tenant
+    reference exactly)."""
+    wire = answer_to_wire(answer)
+    for volatile in (
+        "expansion_seconds",
+        "detection_seconds",
+        "total_seconds",
+        "cache_hit",
+        "coalesced",
+        "tenant",
+    ):
+        wire.pop(volatile, None)
+    return json.dumps(wire, sort_keys=True, separators=(",", ":"))
+
+
+def build_corpora(tmp: pathlib.Path, seed: int, smoke: bool):
+    """Two genuinely different base corpora; tenants alternate between
+    them, so neighbouring tenants never share data."""
+    corpora = []
+    for offset in (0, 1):
+        config = (
+            ESharpConfig.small(seed=seed + offset)
+            if smoke
+            else ESharpConfig.standard(seed=seed + offset)
+        )
+        artifact = tmp / f"corpus-{offset}"
+        system = ESharp(config).build(artifact_dir=artifact)
+        corpora.append(
+            {
+                "artifact": artifact,
+                "system": system,
+                "queries": candidate_queries(system, 24),
+            }
+        )
+    return corpora
+
+
+def reference_answers(corpora) -> list[dict]:
+    """Per-corpus single-tenant reference: query -> canonical bytes."""
+    references = []
+    for corpus in corpora:
+        with ExpertService(
+            corpus["system"], ServiceConfig(detection_workers=1)
+        ) as single:
+            references.append(
+                {
+                    query: answer_bytes(single.query(query))
+                    for query in corpus["queries"]
+                }
+            )
+    return references
+
+
+def make_specs(corpora, tenant_count: int) -> list[TenantSpec]:
+    return [
+        TenantSpec(
+            f"t{index}", str(corpora[index % len(corpora)]["artifact"])
+        )
+        for index in range(tenant_count)
+    ]
+
+
+def run_tenant_fleet(
+    corpora,
+    references,
+    tenant_count: int,
+    *,
+    rounds: int,
+    concurrency: int,
+) -> dict:
+    """Replay every tenant's workload concurrently through one process;
+    returns aggregate QPS, per-tenant p99, and the leak count."""
+    specs = make_specs(corpora, tenant_count)
+    reports: dict[str, object] = {}
+    failures: list[str] = []
+    leaks = 0
+    with MultiTenantService(
+        specs, ServiceConfig(detection_workers=2)
+    ) as service:
+        clients = {
+            spec.name: TenantClient(service, spec.name) for spec in specs
+        }
+
+        def replay(spec: TenantSpec) -> None:
+            corpus_index = int(spec.name[1:]) % len(corpora)
+            workload = corpora[corpus_index]["queries"] * rounds
+            try:
+                reports[spec.name] = LoadGenerator(
+                    clients[spec.name], workload, concurrency=concurrency
+                ).run()
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(f"{spec.name}: {exc!r}")
+
+        wall_start = time.perf_counter()
+        threads = [
+            threading.Thread(target=replay, args=(spec,), daemon=True)
+            for spec in specs
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_seconds = time.perf_counter() - wall_start
+        if failures:
+            raise AssertionError(
+                f"tenant replay failed: {'; '.join(failures)}"
+            )
+
+        # the isolation sweep: every tenant's answers, fresh after the
+        # concurrent storm, must equal its own corpus's reference
+        for spec in specs:
+            corpus_index = int(spec.name[1:]) % len(corpora)
+            for query in corpora[corpus_index]["queries"]:
+                answer = service.query(spec.name, query)
+                if answer.tenant != spec.name:
+                    leaks += 1
+                elif answer_bytes(answer) != references[corpus_index][query]:
+                    leaks += 1
+        service_stats = service.stats()
+
+    total_requests = sum(r.requests for r in reports.values())
+    total_errors = sum(r.errors for r in reports.values())
+    if total_errors:
+        raise AssertionError(
+            f"{total_errors} errors replaying {tenant_count} tenants"
+        )
+    if leaks:
+        raise AssertionError(
+            f"{leaks} cross-tenant leaks at {tenant_count} tenants"
+        )
+    return {
+        "tenants": tenant_count,
+        "requests": total_requests,
+        "wall_seconds": wall_seconds,
+        "aggregate_qps": (
+            total_requests / wall_seconds if wall_seconds else 0.0
+        ),
+        "cache_hit_rate": service_stats.cache.hit_rate,
+        "leaks": leaks,
+        "per_tenant_p99_ms": {
+            name: report.p99_ms for name, report in sorted(reports.items())
+        },
+        "per_tenant_qps": {
+            name: report.qps for name, report in sorted(reports.items())
+        },
+    }
+
+
+def run_fairness(corpora, *, rounds: int) -> dict:
+    """A quota-capped heavy tenant floods; the light tenant must keep
+    its latency and lose no request."""
+    specs = [
+        TenantSpec(
+            "heavy",
+            str(corpora[0]["artifact"]),
+            quota=TenantQuota(max_in_flight=2, max_queue_depth=0),
+        ),
+        TenantSpec(
+            "light",
+            str(corpora[1]["artifact"]),
+            quota=TenantQuota(max_in_flight=4, max_queue_depth=8),
+        ),
+    ]
+    config = ServiceConfig(
+        detection_workers=2,
+        max_in_flight=8,
+        cache_capacity=0,  # every request does real work
+        single_flight=False,
+    )
+    rejections: list[int] = []
+    mistyped: list[str] = []
+    heavy_served: list[int] = []
+    stop = threading.Event()
+    with MultiTenantService(specs, config) as service:
+        service.query("heavy", corpora[0]["queries"][0])  # warm start
+        service.query("light", corpora[1]["queries"][0])
+
+        def hammer() -> None:
+            index = 0
+            while not stop.is_set():
+                query = corpora[0]["queries"][index % 8]
+                index += 1
+                try:
+                    service.query("heavy", query)
+                    heavy_served.append(1)
+                except TenantOverloadedError:
+                    rejections.append(1)
+                except Exception as exc:  # noqa: BLE001 - contract broke
+                    mistyped.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=hammer, daemon=True) for _ in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            light = LoadGenerator(
+                TenantClient(service, "light"),
+                corpora[1]["queries"] * rounds,
+                concurrency=2,
+            ).run()
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+
+    if light.errors:
+        raise AssertionError(
+            f"light tenant lost {light.errors} requests under flood"
+        )
+    if mistyped:
+        raise AssertionError(
+            f"{len(mistyped)} heavy-tenant rejections were not the typed "
+            f"TenantOverloadedError (first: {mistyped[0]})"
+        )
+    if not rejections:
+        raise AssertionError("the heavy tenant never hit its quota")
+    if light.p99_ms >= FAIRNESS_P99_BOUND_MS:
+        raise AssertionError(
+            f"light-tenant p99 {light.p99_ms:.1f}ms breaches the "
+            f"{FAIRNESS_P99_BOUND_MS:.0f}ms fairness bound"
+        )
+    return {
+        "light_p99_ms": light.p99_ms,
+        "light_qps": light.qps,
+        "light_errors": light.errors,
+        "heavy_served": len(heavy_served),
+        "heavy_typed_rejections": len(rejections),
+        "p99_bound_ms": FAIRNESS_P99_BOUND_MS,
+        "bound_met": True,
+    }
+
+
+def run_tenancy_bench(
+    *,
+    seed: int,
+    tenant_counts: list[int],
+    rounds: int,
+    concurrency: int,
+    smoke: bool,
+) -> dict:
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="bench-tenancy-"))
+    try:
+        t0 = time.perf_counter()
+        corpora = build_corpora(tmp, seed, smoke)
+        build_seconds = time.perf_counter() - t0
+        references = reference_answers(corpora)
+
+        runs = [
+            run_tenant_fleet(
+                corpora,
+                references,
+                count,
+                rounds=rounds,
+                concurrency=concurrency,
+            )
+            for count in tenant_counts
+        ]
+        fairness = run_fairness(corpora, rounds=rounds)
+
+        return {
+            "bench": "tenancy",
+            "mode": "smoke" if smoke else "full",
+            "scale": "small" if smoke else "standard",
+            "host_cpus": os.cpu_count(),
+            "build_seconds": build_seconds,
+            "base_corpora": len(corpora),
+            "tenant_counts": tenant_counts,
+            "rounds": rounds,
+            "isolation": {
+                "leaks": sum(run["leaks"] for run in runs),
+                "checked_answers": sum(
+                    run["tenants"] * len(corpora[0]["queries"])
+                    for run in runs
+                ),
+            },
+            "aggregate": runs,
+            "fairness": fairness,
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def render(payload: dict) -> str:
+    lines = [
+        f"tenancy bench ({payload['mode']}, {payload['scale']} scale, "
+        f"{payload['host_cpus']} host cpus)",
+        f"  isolation:  {payload['isolation']['leaks']} leaks over "
+        f"{payload['isolation']['checked_answers']} cross-checked answers",
+    ]
+    for run in payload["aggregate"]:
+        worst_p99 = max(run["per_tenant_p99_ms"].values())
+        lines.append(
+            f"  {run['tenants']} tenant(s): {run['aggregate_qps']:8.1f} "
+            f"aggregate qps, worst p99 {worst_p99:7.1f}ms, "
+            f"hit rate {run['cache_hit_rate']:.1%}"
+        )
+    fairness = payload["fairness"]
+    lines.append(
+        f"  fairness:   light p99 {fairness['light_p99_ms']:.1f}ms "
+        f"(bound {fairness['p99_bound_ms']:.0f}ms), "
+        f"{fairness['heavy_typed_rejections']} typed rejections of the "
+        "flooding tenant"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small scale, 1/4 tenants, isolation-focused (CI)",
+    )
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--output", metavar="PATH", default=None)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--concurrency", type=int, default=2)
+    args = parser.parse_args()
+
+    tenant_counts = [1, 4] if args.smoke else [1, 4, 8]
+    payload = run_tenancy_bench(
+        seed=args.seed,
+        tenant_counts=tenant_counts,
+        rounds=args.rounds,
+        concurrency=args.concurrency,
+        smoke=args.smoke,
+    )
+    print(render(payload))
+    output = (
+        pathlib.Path(args.output)
+        if args.output
+        else REPO_ROOT / "BENCH_tenancy.json"
+    )
+    output.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"[json written to {output}]")
+
+
+if __name__ == "__main__":
+    main()

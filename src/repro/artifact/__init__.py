@@ -40,6 +40,11 @@ from repro.artifact.store import (
     load_artifact_stages,
     save_artifact,
 )
+from repro.artifact.tenants import (
+    TenantLayoutError,
+    discover_tenants,
+    parse_tenant_specs,
+)
 
 __all__ = [
     "ArtifactBuilder",
@@ -52,9 +57,12 @@ __all__ = [
     "Manifest",
     "PartialArtifact",
     "RefresherState",
+    "TenantLayoutError",
     "config_fingerprint",
+    "discover_tenants",
     "load_artifact",
     "load_artifact_stages",
+    "parse_tenant_specs",
     "read_manifest",
     "save_artifact",
 ]

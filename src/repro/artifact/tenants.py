@@ -1,0 +1,96 @@
+"""Tenant artifact layouts: naming corpora on disk.
+
+A multi-tenant deployment is, on disk, just several artifact
+directories — one complete, self-describing artifact per tenant.  This
+module supplies the two ways the CLI and fleet name them:
+
+* **Explicit flags** — repeated ``--tenant NAME=DIR`` arguments, parsed
+  by :func:`parse_tenant_specs` into validated ``(name, dir)`` pairs.
+* **Layout discovery** — a root directory whose immediate subdirectories
+  are tenant artifacts (each recognisable by its ``manifest.json``),
+  scanned by :func:`discover_tenants`.
+
+Both validate tenant names against the serving tier's pattern and
+reject duplicates, surfacing every problem as a typed
+:class:`TenantLayoutError` (an :class:`~repro.artifact.errors.ArtifactError`),
+never a bare ``ValueError``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Iterable, Union
+
+from repro.artifact.errors import ArtifactError
+from repro.artifact.manifest import MANIFEST_FILENAME
+
+
+class TenantLayoutError(ArtifactError):
+    """A tenant flag or on-disk tenant layout is malformed."""
+
+
+def _validated_name(name: str) -> str:
+    # deferred: repro.serving.tenancy pulls in the service stack, which
+    # a CLI parse error path should not pay for on the happy import
+    from repro.serving.tenancy import TENANT_NAME_PATTERN
+
+    if not TENANT_NAME_PATTERN.match(name):
+        raise TenantLayoutError(
+            f"invalid tenant name {name!r}: must match "
+            f"{TENANT_NAME_PATTERN.pattern}"
+        )
+    return name
+
+
+def parse_tenant_specs(
+    flags: Iterable[str],
+) -> Dict[str, pathlib.Path]:
+    """Parse repeated ``NAME=DIR`` flags into ``{name: artifact_dir}``.
+
+    The flag order is preserved for error reporting but the result is
+    name-keyed; a repeated name is an error (silently keeping the last
+    occurrence would hide an operator typo).
+    """
+    specs: Dict[str, pathlib.Path] = {}
+    for flag in flags:
+        name, separator, raw_dir = flag.partition("=")
+        if not separator or not name or not raw_dir:
+            raise TenantLayoutError(
+                f"malformed tenant flag {flag!r}: expected NAME=DIR"
+            )
+        name = _validated_name(name)
+        if name in specs:
+            raise TenantLayoutError(
+                f"tenant {name!r} given more than once"
+            )
+        specs[name] = pathlib.Path(raw_dir)
+    if not specs:
+        raise TenantLayoutError("no tenants given")
+    return specs
+
+
+def discover_tenants(
+    root: Union[str, pathlib.Path],
+) -> Dict[str, pathlib.Path]:
+    """Scan ``root`` for tenant artifacts: one subdirectory per tenant.
+
+    A subdirectory counts as a tenant artifact iff it holds a manifest
+    file; anything else under the root is ignored (scratch dirs, logs).
+    The tenant name is the directory name, validated like a flag.
+    """
+    root = pathlib.Path(root)
+    if not root.is_dir():
+        raise TenantLayoutError(
+            f"tenant root {str(root)!r} is not a directory"
+        )
+    specs: Dict[str, pathlib.Path] = {}
+    for child in sorted(root.iterdir()):
+        if not child.is_dir() or not (child / MANIFEST_FILENAME).is_file():
+            continue
+        specs[_validated_name(child.name)] = child
+    if not specs:
+        raise TenantLayoutError(
+            f"tenant root {str(root)!r} holds no artifact subdirectories "
+            f"(none has a {MANIFEST_FILENAME})"
+        )
+    return specs

@@ -12,7 +12,12 @@ passes to :func:`repro.chaos.inject.fire` — ``"wire.worker.write"``,
   reproducible run-to-run up to thread interleaving, and a
   ``probability=1.0`` plan is fully deterministic);
 * ``match`` — ``(key, value)`` context filters, e.g. only frames whose
-  ``op`` is ``"query"`` or only the worker named ``"replica-2"``.
+  ``op`` is ``"query"``, only the worker named ``"replica-2"``, or only
+  calls for one ``tenant`` (replica calls, worker dispatch, and request
+  frames all carry the tenant in their context, so a fault plan can
+  break exactly one corpus's traffic).  A call whose context does
+  *not* match never consumes the spec's ``after_calls``/``times``
+  budget — the schedule counts matching calls only.
 
 Plans round-trip through JSON so a parent process can hand one to a
 subprocess worker in the ``REPRO_CHAOS_PLAN`` environment variable.

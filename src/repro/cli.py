@@ -7,7 +7,12 @@
     python -m repro query Q    [--scale ...] [--seed N] [--from-artifact DIR]
                                [--baseline] [--min-zscore X] [--json PATH]
     python -m repro serve      [--queries N] [--concurrency K] [--scale ...]
-                               [--from-artifact DIR] [--json PATH]
+                               [--from-artifact DIR | --tenant NAME=DIR ...]
+                               [--json PATH]
+    python -m repro fleet      [--from-artifact DIR | --tenant NAME=DIR ...]
+                               [--replicas N] [--process] [--json PATH]
+    python -m repro tenants    [--tenant NAME=DIR ... | --root DIR]
+                               [--json PATH]
     python -m repro experiment {fig5,fig6,fig7,table8,fig8,fig9,table9} [--scale ...]
     python -m repro sql "SELECT ..." --table name=path.tsv [--table ...]
     python -m repro analyze    [PATHS ...] [--json PATH] [--baseline PATH]
@@ -232,6 +237,147 @@ def run_serve_command(system, args: argparse.Namespace) -> int:
     return 0 if clean else 1
 
 
+def _replay_tenants(make_client, specs, args):
+    """One workload replay per tenant, all tenants in parallel.
+
+    ``make_client(tenant)`` returns a ``.query(query, min_zscore)``
+    target (a :class:`~repro.serving.tenancy.TenantClient`, or a router
+    adapter).  The request and thread budgets are split evenly across
+    tenants so total offered load matches the single-tenant flags.
+    Returns ``(reports, failures)`` keyed by tenant.
+    """
+    import threading
+
+    from repro.artifact import load_artifact_stages
+    from repro.serving.loadgen import (
+        LoadGenerator,
+        WorkloadConfig,
+        build_workload_from,
+    )
+
+    count = len(specs)
+    requests = max(1, args.queries // count)
+    concurrency = max(1, args.concurrency // count)
+    reports: dict = {}
+    failures: dict = {}
+    lock = threading.Lock()
+
+    def replay(tenant: str, artifact_dir) -> None:
+        try:
+            partial = load_artifact_stages(
+                artifact_dir, ("store", "domain_store")
+            )
+            workload = build_workload_from(
+                partial.values["store"],
+                partial.values["domain_store"],
+                WorkloadConfig(
+                    requests=requests,
+                    max_unique=args.unique,
+                    zipf_exponent=args.zipf_exponent,
+                    seed=args.seed,
+                ),
+            )
+            report = LoadGenerator(
+                make_client(tenant),
+                workload,
+                concurrency=concurrency,
+                min_zscore=args.min_zscore,
+            ).run()
+        except Exception as exc:  # noqa: BLE001 - reported per tenant
+            with lock:
+                failures[tenant] = f"{type(exc).__name__}: {exc}"
+            return
+        with lock:
+            reports[tenant] = report
+
+    threads = [
+        threading.Thread(
+            target=replay,
+            args=(tenant, artifact_dir),
+            name=f"tenant-replay-{tenant}",
+        )
+        for tenant, artifact_dir in sorted(specs.items())
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return reports, failures
+
+
+def run_serve_tenants(args: argparse.Namespace) -> int:
+    """Replay per-tenant workloads through one shared multi-tenant service."""
+    from repro.artifact import parse_tenant_specs
+    from repro.serving.service import ServiceConfig
+    from repro.serving.tenancy import (
+        MultiTenantService,
+        TenantClient,
+        TenantSpec,
+    )
+
+    specs = parse_tenant_specs(args.tenant)
+    print(
+        f"serving {len(specs)} tenants from one process: "
+        f"{', '.join(sorted(specs))}...",
+        file=sys.stderr,
+    )
+    service = MultiTenantService(
+        tuple(
+            TenantSpec(name, specs[name]) for name in sorted(specs)
+        ),
+        ServiceConfig(detection_workers=args.workers),
+    )
+    try:
+        reports, failures = _replay_tenants(
+            lambda tenant: TenantClient(service, tenant), specs, args
+        )
+        health = service.health()
+        by_tenant = {entry.tenant: entry for entry in health.tenants}
+        for tenant in sorted(specs):
+            if tenant in failures:
+                print(f"tenant {tenant}: FAILED — {failures[tenant]}")
+                continue
+            print(reports[tenant].render(f"tenant {tenant} replay"))
+            entry = by_tenant.get(tenant)
+            if entry is not None:
+                print(
+                    f"  tenant:        snapshot v{entry.snapshot_version}, "
+                    f"hit ratio {entry.cache_hit_ratio:.1%}"
+                )
+        if args.json:
+            _write_json(args.json, {
+                "command": "serve",
+                "tenants": {
+                    tenant: {
+                        "artifact": str(specs[tenant]),
+                        "report": reports[tenant].to_dict()
+                        if tenant in reports else None,
+                        "error": failures.get(tenant),
+                        "snapshot_version": (
+                            by_tenant[tenant].snapshot_version
+                            if tenant in by_tenant else None
+                        ),
+                        "cache_hit_ratio": (
+                            by_tenant[tenant].cache_hit_ratio
+                            if tenant in by_tenant else None
+                        ),
+                    }
+                    for tenant in sorted(specs)
+                },
+                "service": {
+                    "requests": health.requests,
+                    "in_flight": health.in_flight,
+                    "waiting": health.waiting,
+                },
+            })
+        clean = not failures and all(
+            report.errors == 0 for report in reports.values()
+        )
+        return 0 if clean else 1
+    finally:
+        service.close()
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     # validate before paying for a build
     for name in ("queries", "concurrency", "unique", "workers"):
@@ -243,6 +389,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"--zipf-exponent must be non-negative, got "
               f"{args.zipf_exponent}", file=sys.stderr)
         return 2
+    if getattr(args, "tenant", None):
+        if args.from_artifact:
+            print("--tenant and --from-artifact are mutually exclusive; "
+                  "name every corpus with --tenant NAME=DIR",
+                  file=sys.stderr)
+            return 2
+        return run_serve_tenants(args)
     system = _build_system(args)
     return run_serve_command(system, args)
 
@@ -384,25 +537,203 @@ def run_fleet_command(args: argparse.Namespace, replicas=None) -> int:
             os.environ.pop(inject.ENV_PLAN, None)
 
 
+def run_fleet_tenants(args: argparse.Namespace, replicas=None) -> int:
+    """Drive a multi-tenant fleet: every replica serves every tenant."""
+    from repro.artifact import parse_tenant_specs
+    from repro.fleet import (
+        FleetConfig,
+        FleetRouter,
+        InProcessReplica,
+        SubprocessReplica,
+    )
+    from repro.serving.service import ServiceConfig
+    from repro.serving.tenancy import TenantSpec
+
+    specs = parse_tenant_specs(args.tenant)
+    tenant_specs = tuple(
+        TenantSpec(name, specs[name]) for name in sorted(specs)
+    )
+
+    def _make_replica(name: str):
+        if args.process:
+            return SubprocessReplica(
+                name,
+                tenants={
+                    tenant: str(path) for tenant, path in specs.items()
+                },
+                detection_workers=args.workers,
+            )
+        return InProcessReplica(
+            name,
+            tenant_specs=tenant_specs,
+            service_config=ServiceConfig(detection_workers=args.workers),
+        )
+
+    owned = replicas is not None
+    if replicas is None:
+        replicas = []
+        for index in range(args.replicas):
+            name = f"replica-{index}"
+            print(
+                f"starting {name} "
+                f"({'process' if args.process else 'thread'}) serving "
+                f"{len(specs)} tenants...",
+                file=sys.stderr,
+            )
+            replicas.append(_make_replica(name))
+    config = FleetConfig(
+        deadline_seconds=getattr(args, "deadline", None),
+        allow_degraded=getattr(args, "allow_degraded", False),
+    )
+    router = FleetRouter.from_tenant_artifacts(
+        dict(specs), replicas, sharding=args.sharding, config=config
+    )
+
+    class _RouterTenantClient:
+        """Duck-types the LoadGenerator's service for one tenant."""
+
+        def __init__(self, tenant: str) -> None:
+            self.tenant = tenant
+
+        def query(self, query, min_zscore=None):
+            return router.query(query, min_zscore, tenant=self.tenant)
+
+    try:
+        reports, failures = _replay_tenants(
+            _RouterTenantClient, specs, args
+        )
+        stats = router.stats()
+        for tenant in sorted(specs):
+            if tenant in failures:
+                print(f"tenant {tenant}: FAILED — {failures[tenant]}")
+                continue
+            print(reports[tenant].render(
+                f"tenant {tenant} fleet replay — {stats.replicas} replicas, "
+                f"{stats.policy} sharding"
+            ))
+        print(f"  routing:       {stats.single_shard} single-shard, "
+              f"{stats.scattered} scattered ({stats.scatter_legs} legs)")
+        versions = {
+            name: {
+                entry.tenant: entry.snapshot_version
+                for entry in health.tenants
+            }
+            for name, health in stats.replica_health
+        }
+        print(f"  replicas:      per-tenant versions {versions}")
+        if args.json:
+            _write_json(args.json, {
+                "command": "fleet",
+                "transport": "process" if args.process else "thread",
+                "tenants": {
+                    tenant: {
+                        "artifact": str(specs[tenant]),
+                        "report": reports[tenant].to_dict()
+                        if tenant in reports else None,
+                        "error": failures.get(tenant),
+                    }
+                    for tenant in sorted(specs)
+                },
+                "fleet": stats.to_dict(),
+            })
+        clean = not failures and all(
+            report.errors == 0 for report in reports.values()
+        )
+        return 0 if clean else 1
+    finally:
+        if not owned:
+            router.close()
+
+
 def cmd_fleet(args: argparse.Namespace) -> int:
     for name in ("replicas", "queries", "concurrency", "unique", "workers"):
         value = getattr(args, name)
         if value < 1:
             print(f"--{name} must be >= 1, got {value}", file=sys.stderr)
             return 2
+    if getattr(args, "tenant", None):
+        if args.from_artifact:
+            print("--tenant and --from-artifact are mutually exclusive; "
+                  "name every corpus with --tenant NAME=DIR",
+                  file=sys.stderr)
+            return 2
+        return run_fleet_tenants(args)
+    if not args.from_artifact:
+        print("fleet needs --from-artifact DIR (or --tenant NAME=DIR "
+              "flags)", file=sys.stderr)
+        return 2
     return run_fleet_command(args)
 
 
 def cmd_fleet_worker(args: argparse.Namespace) -> int:
     from repro.fleet.worker import serve_worker
 
+    tenants = None
+    if getattr(args, "tenant", None):
+        from repro.artifact import parse_tenant_specs
+
+        if args.from_artifact:
+            print("--tenant and --from-artifact are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        tenants = {
+            name: str(path)
+            for name, path in parse_tenant_specs(args.tenant).items()
+        }
+    elif not args.from_artifact:
+        print("fleet-worker needs --from-artifact DIR or --tenant "
+              "NAME=DIR flags", file=sys.stderr)
+        return 2
     return serve_worker(
         args.from_artifact,
+        tenants=tenants,
         detection_workers=args.detection_workers,
         cache_capacity=args.cache_capacity,
         score_cache_capacity=args.score_cache_capacity,
         name=getattr(args, "name", "worker"),
     )
+
+
+def cmd_tenants(args: argparse.Namespace) -> int:
+    """Introspect tenant artifact layouts without loading any corpus."""
+    from repro.artifact import (
+        discover_tenants,
+        parse_tenant_specs,
+        read_manifest,
+    )
+
+    if args.tenant and args.root:
+        print("--tenant and --root are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.tenant:
+        specs = parse_tenant_specs(args.tenant)
+    elif args.root:
+        specs = discover_tenants(args.root)
+    else:
+        print("tenants needs --tenant NAME=DIR flags or --root DIR",
+              file=sys.stderr)
+        return 2
+    rows = []
+    for name in sorted(specs):
+        manifest = read_manifest(specs[name])
+        rows.append({
+            "tenant": name,
+            "artifact": str(specs[name]),
+            "snapshot_version": manifest.snapshot_version,
+            "seed": manifest.seed,
+            "complete": manifest.complete,
+            "stages": sorted(manifest.stages),
+            "config_fingerprint": manifest.config_fingerprint,
+        })
+    print(f"{len(rows)} tenants:")
+    for row in rows:
+        print(f"  {row['tenant']:<16} v{row['snapshot_version']} "
+              f"seed={row['seed']} "
+              f"{'complete' if row['complete'] else 'INCOMPLETE'} "
+              f"({len(row['stages'])} stages) {row['artifact']}")
+    if args.json:
+        _write_json(args.json, {"command": "tenants", "tenants": rows})
+    return 0
 
 
 def _main_with_artifact_errors(handler, args: argparse.Namespace) -> int:
@@ -588,6 +919,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--from-artifact", metavar="DIR",
                          help="warm-start from a build --out artifact "
                               "instead of rebuilding (ignores --scale/--seed)")
+    p_serve.add_argument("--tenant", action="append", default=[],
+                         metavar="NAME=DIR",
+                         help="serve this tenant's artifact (repeatable); "
+                              "all tenants share one process, cache, and "
+                              "admission envelope")
     p_serve.add_argument("--queries", type=int, default=200,
                          help="requests to replay (default 200)")
     p_serve.add_argument("--concurrency", type=int, default=8,
@@ -609,9 +945,14 @@ def build_parser() -> argparse.ArgumentParser:
         "fleet",
         help="serve a workload through a shard-aware multi-replica fleet",
     )
-    p_fleet.add_argument("--from-artifact", metavar="DIR", required=True,
+    p_fleet.add_argument("--from-artifact", metavar="DIR",
                          help="artifact every replica warm-starts from "
                               "(build --out)")
+    p_fleet.add_argument("--tenant", action="append", default=[],
+                         metavar="NAME=DIR",
+                         help="serve this tenant's artifact on every "
+                              "replica (repeatable; replaces "
+                              "--from-artifact)")
     p_fleet.add_argument("--replicas", type=int, default=2,
                          help="replica count == shard count (default 2)")
     p_fleet.add_argument("--process", action="store_true",
@@ -654,7 +995,11 @@ def build_parser() -> argparse.ArgumentParser:
         "fleet-worker",
         help="(internal) one fleet replica speaking JSON-lines on stdio",
     )
-    p_worker.add_argument("--from-artifact", metavar="DIR", required=True)
+    p_worker.add_argument("--from-artifact", metavar="DIR")
+    p_worker.add_argument("--tenant", action="append", default=[],
+                          metavar="NAME=DIR",
+                          help="serve this tenant's artifact (repeatable; "
+                               "replaces --from-artifact)")
     p_worker.add_argument("--detection-workers", type=int, default=2)
     p_worker.add_argument("--cache-capacity", type=int, default=None,
                           help="override the replica's result-cache size")
@@ -663,6 +1008,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_worker.add_argument("--name", default="worker",
                           help="replica name (diagnostics + chaos matching)")
     p_worker.set_defaults(handler=cmd_fleet_worker)
+
+    p_tenants = sub.add_parser(
+        "tenants",
+        help="inspect tenant artifact layouts (manifest-only, no load)",
+    )
+    p_tenants.add_argument("--tenant", action="append", default=[],
+                           metavar="NAME=DIR",
+                           help="name a tenant artifact explicitly "
+                                "(repeatable)")
+    p_tenants.add_argument("--root", metavar="DIR", default=None,
+                           help="discover tenants: every subdirectory "
+                                "holding a manifest.json")
+    p_tenants.add_argument("--json", metavar="PATH",
+                           help="also write the listing as JSON")
+    p_tenants.set_defaults(handler=cmd_tenants)
 
     p_exp = sub.add_parser("experiment", help="run one §6 driver")
     add_scale(p_exp)

@@ -22,6 +22,7 @@ See ``README.md`` ("Fleet serving") for topology and semantics.
 from repro.fleet.errors import (
     CircuitOpenError,
     FleetError,
+    FleetTenantMismatchError,
     FleetVersionSkewError,
     NoHealthyReplicaError,
     PromotionError,
@@ -69,6 +70,7 @@ __all__ = [
     "FleetError",
     "FleetRouter",
     "FleetStats",
+    "FleetTenantMismatchError",
     "FleetVersionSkewError",
     "InProcessReplica",
     "NoHealthyReplicaError",

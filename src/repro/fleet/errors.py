@@ -30,6 +30,16 @@ class FleetVersionSkewError(FleetError):
     """
 
 
+class FleetTenantMismatchError(FleetError):
+    """Scatter legs answered for different tenants.
+
+    The merge refuses to combine partial pools across tenants — the
+    result would mix corpora no tenant ever asked for.  Like version
+    skew this indicates a routing bug, not a transient, so it is
+    surfaced rather than retried.
+    """
+
+
 class PromotionError(FleetError):
     """Two-phase snapshot promotion failed.
 

@@ -25,7 +25,11 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Tuple
 
 from repro.detector.ranking import RankedExpert
-from repro.fleet.errors import FleetError, FleetVersionSkewError
+from repro.fleet.errors import (
+    FleetError,
+    FleetTenantMismatchError,
+    FleetVersionSkewError,
+)
 from repro.serving.service import PartialPool
 
 # analysis: exact-path
@@ -46,6 +50,11 @@ def merge_partials(
     pools = list(pools)
     if not pools:
         raise FleetError("merge_partials needs at least one partial pool")
+    tenants = sorted({pool.tenant for pool in pools})
+    if len(tenants) > 1:
+        raise FleetTenantMismatchError(
+            f"scatter legs answered for different tenants {tenants}"
+        )
     versions = sorted({pool.snapshot_version for pool in pools})
     if len(versions) > 1:
         raise FleetVersionSkewError(

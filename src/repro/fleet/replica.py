@@ -17,6 +17,17 @@ phases) / ``close``, plus the resilience hooks the supervisor leans on:
 responsiveness probe), and ``supports_budget`` (the router only passes
 ``budget_seconds`` to replicas that declare it, so simpler duck-typed
 test doubles keep working).
+
+Both transports are tenant-aware (``supports_tenants``): constructed
+with tenant specs they serve many corpora from one replica — an
+in-process replica wraps a
+:class:`~repro.serving.tenancy.MultiTenantService`, a subprocess one
+passes repeated ``--tenant NAME=DIR`` flags to its worker.  ``query``,
+``score_partial``, ``preload``, and ``promote`` all take a ``tenant``
+keyword (defaulting to the classic single-tenant ``"default"``), and
+``tenants`` names what the replica serves — the supervisor records it
+on restart so a healed multi-tenant replica provably recovered every
+corpus.
 """
 
 from __future__ import annotations
@@ -45,8 +56,9 @@ from repro.fleet.wire import (
     partial_from_wire,
     write_message,
 )
-from repro.serving.errors import DeadlineExceededError
+from repro.serving.errors import DeadlineExceededError, UnknownTenantError
 from repro.serving.service import (
+    DEFAULT_TENANT,
     PartialPool,
     ReplicaHealthReport,
     ServedAnswer,
@@ -60,19 +72,54 @@ BUDGET_GRACE_SECONDS = 0.25
 
 
 class InProcessReplica:
-    """A replica living in the router's process (one thread pool each)."""
+    """A replica living in the router's process (one thread pool each).
+
+    Single-tenant by default (``system``); constructed with
+    ``tenant_specs`` instead, it serves many corpora from one shared
+    engine (:class:`~repro.serving.tenancy.MultiTenantService`).
+    """
 
     kind = "thread"
     supports_budget = True
+    supports_tenants = True
 
-    def __init__(self, name: str, system, service_config=None) -> None:
+    def __init__(
+        self,
+        name: str,
+        system=None,
+        service_config=None,
+        *,
+        tenant_specs=None,
+        max_resident: Optional[int] = None,
+    ) -> None:
         from repro.serving.service import ExpertService
 
         self.name = name
         self.system = system
-        self.service = ExpertService(system, service_config)
+        if tenant_specs is not None:
+            if system is not None:
+                raise ValueError(
+                    "pass either a system or tenant_specs, not both"
+                )
+            from repro.serving.tenancy import MultiTenantService
+
+            self.service = MultiTenantService(
+                tenant_specs, service_config, max_resident=max_resident
+            )
+            self.tenants: Tuple[str, ...] = self.service.tenants()
+            self._multi = True
+        else:
+            if system is None:
+                raise ValueError("a single-tenant replica needs a system")
+            self.service = ExpertService(system, service_config)
+            self.tenants = (DEFAULT_TENANT,)
+            self._multi = False
         self._staged = None
         self._closed = False
+
+    def _check_tenant(self, tenant: str) -> None:
+        if not self._multi and tenant != DEFAULT_TENANT:
+            raise UnknownTenantError(tenant, self.tenants)
 
     def query(
         self,
@@ -80,8 +127,14 @@ class InProcessReplica:
         min_zscore: Optional[float] = None,
         *,
         budget_seconds: Optional[float] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> ServedAnswer:
-        fire("replica.call", replica=self.name, op="query")
+        fire("replica.call", replica=self.name, op="query", tenant=tenant)
+        if self._multi:
+            return self.service.query(
+                tenant, query, min_zscore, budget_seconds=budget_seconds
+            )
+        self._check_tenant(tenant)
         return self.service.query(
             query, min_zscore, budget_seconds=budget_seconds
         )
@@ -92,8 +145,14 @@ class InProcessReplica:
         indexed_terms: Iterable[Tuple[int, str]],
         *,
         budget_seconds: Optional[float] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> PartialPool:
-        fire("replica.call", replica=self.name, op="partial")
+        fire("replica.call", replica=self.name, op="partial", tenant=tenant)
+        if self._multi:
+            return self.service.score_partial(
+                tenant, query, indexed_terms, budget_seconds=budget_seconds
+            )
+        self._check_tenant(tenant)
         return self.service.score_partial(
             query, indexed_terms, budget_seconds=budget_seconds
         )
@@ -109,15 +168,34 @@ class InProcessReplica:
 
     @property
     def snapshot_version(self) -> int:
+        if self._multi:
+            if DEFAULT_TENANT in self.tenants:
+                return self.service.tenant_version(DEFAULT_TENANT) or 0
+            return 0
         return self.system.snapshots.version
 
-    def preload(self, artifact_dir) -> int:
+    def preload(
+        self, artifact_dir, *, tenant: str = DEFAULT_TENANT
+    ) -> int:
         """Phase one: load the artifact fully, publish nothing."""
+        if self._multi:
+            return self.service.stage(tenant, artifact_dir)
+        self._check_tenant(tenant)
         self._staged = self.system.stage_artifact(artifact_dir)
         return self._staged.version
 
-    def promote(self, expected_version: Optional[int] = None) -> int:
+    def promote(
+        self,
+        expected_version: Optional[int] = None,
+        *,
+        tenant: str = DEFAULT_TENANT,
+    ) -> int:
         """Phase two: CAS-flip the preloaded generation into serving."""
+        if self._multi:
+            return self.service.promote(
+                tenant, expected_version=expected_version
+            )
+        self._check_tenant(tenant)
         staged = self._staged
         if staged is None:
             raise PromotionError(
@@ -135,16 +213,23 @@ class InProcessReplica:
 
 
 class SubprocessReplica:
-    """A replica in its own process, warm-started from an artifact."""
+    """A replica in its own process, warm-started from an artifact.
+
+    Pass ``tenants={name: artifact_dir}`` instead of ``artifact_dir``
+    to start a multi-tenant worker (repeated ``--tenant NAME=DIR``
+    flags); the ready handshake reports back which tenants it serves.
+    """
 
     kind = "process"
     supports_budget = True
+    supports_tenants = True
 
     def __init__(
         self,
         name: str,
-        artifact_dir,
+        artifact_dir=None,
         *,
+        tenants: Optional[dict] = None,
         detection_workers: int = 2,
         cache_capacity: Optional[int] = None,
         startup_timeout_seconds: float = 60.0,
@@ -152,6 +237,10 @@ class SubprocessReplica:
         python: Optional[str] = None,
         extra_env: Optional[dict] = None,
     ) -> None:
+        if (artifact_dir is None) == (tenants is None):
+            raise ValueError(
+                "pass exactly one of artifact_dir or tenants"
+            )
         self.name = name
         self._timeout = request_timeout_seconds
         command = [
@@ -159,8 +248,16 @@ class SubprocessReplica:
             "-m",
             "repro",
             "fleet-worker",
-            "--from-artifact",
-            str(artifact_dir),
+        ]
+        if tenants is not None:
+            for tenant_name in sorted(tenants):
+                command += [
+                    "--tenant",
+                    f"{tenant_name}={tenants[tenant_name]}",
+                ]
+        else:
+            command += ["--from-artifact", str(artifact_dir)]
+        command += [
             "--detection-workers",
             str(detection_workers),
             "--name",
@@ -229,6 +326,9 @@ class SubprocessReplica:
             self.close()
             raise
         self.snapshot_version = int(ready.get("version", 0))
+        self.tenants: Tuple[str, ...] = tuple(
+            ready.get("tenants") or (DEFAULT_TENANT,)
+        )
 
     # -- the uniform replica surface -----------------------------------------
 
@@ -238,8 +338,9 @@ class SubprocessReplica:
         min_zscore: Optional[float] = None,
         *,
         budget_seconds: Optional[float] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> ServedAnswer:
-        payload = {"query": query, "min_zscore": min_zscore}
+        payload = {"query": query, "min_zscore": min_zscore, "tenant": tenant}
         if budget_seconds is not None:
             payload["budget"] = budget_seconds
         raw = self._call("query", payload, budget=budget_seconds)
@@ -251,10 +352,12 @@ class SubprocessReplica:
         indexed_terms: Iterable[Tuple[int, str]],
         *,
         budget_seconds: Optional[float] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> PartialPool:
         payload = {
             "query": query,
             "terms": [[int(i), str(t)] for i, t in indexed_terms],
+            "tenant": tenant,
         }
         if budget_seconds is not None:
             payload["budget"] = budget_seconds
@@ -289,14 +392,27 @@ class SubprocessReplica:
         except Exception:  # noqa: BLE001 - a probe reports, never raises
             return False
 
-    def preload(self, artifact_dir) -> int:
-        return int(self._call("preload", {"path": str(artifact_dir)}))
-
-    def promote(self, expected_version: Optional[int] = None) -> int:
-        version = int(
-            self._call("promote", {"expected_version": expected_version})
+    def preload(self, artifact_dir, *, tenant: str = DEFAULT_TENANT) -> int:
+        return int(
+            self._call(
+                "preload", {"path": str(artifact_dir), "tenant": tenant}
+            )
         )
-        self.snapshot_version = version
+
+    def promote(
+        self,
+        expected_version: Optional[int] = None,
+        *,
+        tenant: str = DEFAULT_TENANT,
+    ) -> int:
+        version = int(
+            self._call(
+                "promote",
+                {"expected_version": expected_version, "tenant": tenant},
+            )
+        )
+        if tenant == DEFAULT_TENANT:
+            self.snapshot_version = version
         return version
 
     def cancel(self, request_id: int) -> None:
@@ -345,6 +461,7 @@ class SubprocessReplica:
                     chaos_context={
                         "replica": self.name,
                         "op": message.get("op", ""),
+                        "tenant": message.get("tenant", DEFAULT_TENANT),
                     },
                 )
         except (BrokenPipeError, ValueError) as exc:

@@ -76,8 +76,12 @@ from repro.fleet.sharding import (
     ShardingPolicy,
     TokenHashSharding,
 )
-from repro.serving.errors import DeadlineExceededError, ServiceClosedError
-from repro.serving.service import ReplicaHealthReport
+from repro.serving.errors import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    UnknownTenantError,
+)
+from repro.serving.service import DEFAULT_TENANT, ReplicaHealthReport
 
 
 @dataclass(frozen=True)
@@ -239,6 +243,22 @@ class _HedgedOutcome:
     failovers: int = 0
 
 
+@dataclass(frozen=True)
+class _TenantRoute:
+    """One tenant's routing state: its own store, ranking, and sharding.
+
+    The router keeps one of these per tenant so expansion and shard
+    planning always run against the corpus the query is *for* — two
+    tenants with overlapping keywords still route independently.
+    """
+
+    store: DomainStore
+    ranking: RankingConfig
+    sharding: ShardingPolicy
+    policy: object
+    graph: object = None
+
+
 class FleetRouter:
     """Scatter-gather front-end over a fixed replica fleet."""
 
@@ -274,6 +294,17 @@ class FleetRouter:
         self._ranking = ranking
         self._policy = expansion_policy or FullCommunityPolicy()
         self._graph = graph
+        #: tenant → routing state; the classic constructor serves the
+        #: default tenant, ``add_tenant`` grows the table
+        self._routes: Dict[str, _TenantRoute] = {
+            DEFAULT_TENANT: _TenantRoute(
+                store=self._store,
+                ranking=self._ranking,
+                sharding=self.sharding,
+                policy=self._policy,
+                graph=self._graph,
+            )
+        }
         self._by_name = {replica.name: replica for replica in replicas}
         self._tracker = ReplicaTracker(
             names,
@@ -347,6 +378,114 @@ class FleetRouter:
             config=config,
         )
 
+    @classmethod
+    def from_tenant_artifacts(
+        cls,
+        tenant_dirs: Dict[str, object],
+        replicas: Sequence,
+        *,
+        sharding: str = "domain",
+        config: Optional[FleetConfig] = None,
+    ) -> "FleetRouter":
+        """Build a multi-tenant router: one route per tenant artifact.
+
+        ``tenant_dirs`` maps tenant name → artifact directory; each
+        tenant gets its own domain store, ranking config, and sharding
+        plan (loaded front-end-only, like :meth:`from_artifact`).  The
+        replicas must themselves serve those tenants (constructed with
+        matching tenant specs).  The default single-tenant route exists
+        only if ``tenant_dirs`` names the default tenant.
+        """
+        from repro.artifact import load_artifact_stages
+
+        if not tenant_dirs:
+            raise FleetError("from_tenant_artifacts needs at least one tenant")
+        names = sorted(tenant_dirs)
+        first = load_artifact_stages(
+            tenant_dirs[names[0]], ("domain_store",), None
+        )
+        router = cls(
+            replicas,
+            domain_store=first.values["domain_store"],
+            ranking=first.config.ranking,
+            sharding=cls._shard_policy(
+                sharding, len(replicas), first.values["domain_store"]
+            ),
+            config=config,
+        )
+        # the seed route above landed under the default tenant; re-key
+        # the table so only the named tenants route
+        del router._routes[DEFAULT_TENANT]
+        router.add_tenant(
+            names[0],
+            first.values["domain_store"],
+            first.config.ranking,
+            sharding=router.sharding,
+        )
+        for tenant in names[1:]:
+            partial = load_artifact_stages(
+                tenant_dirs[tenant], ("domain_store",), None
+            )
+            store = partial.values["domain_store"]
+            router.add_tenant(
+                tenant,
+                store,
+                partial.config.ranking,
+                sharding=cls._shard_policy(sharding, len(replicas), store),
+            )
+        return router
+
+    @staticmethod
+    def _shard_policy(
+        sharding: str, num_replicas: int, domain_store: DomainStore
+    ) -> ShardingPolicy:
+        if sharding == "domain":
+            return DomainPartitionSharding.from_store(
+                num_replicas, domain_store
+            )
+        if sharding == "hash":
+            return TokenHashSharding(num_replicas)
+        raise FleetError(f"unknown sharding policy {sharding!r}")
+
+    def add_tenant(
+        self,
+        tenant: str,
+        domain_store: DomainStore,
+        ranking: RankingConfig,
+        *,
+        sharding: Optional[ShardingPolicy] = None,
+        expansion_policy=None,
+        graph=None,
+    ) -> None:
+        """Register a tenant's routing state (store + ranking + shards)."""
+        from repro.expansion.policies import FullCommunityPolicy
+
+        policy = sharding or DomainPartitionSharding.from_store(
+            len(self.replicas), domain_store
+        )
+        if policy.num_shards != len(self.replicas):
+            raise FleetError(
+                f"tenant {tenant!r}: sharding covers {policy.num_shards} "
+                f"shards but the fleet has {len(self.replicas)} replicas"
+            )
+        self._routes[tenant] = _TenantRoute(
+            store=domain_store,
+            ranking=ranking,
+            sharding=policy,
+            policy=expansion_policy or FullCommunityPolicy(),
+            graph=graph,
+        )
+
+    def tenants(self) -> Tuple[str, ...]:
+        """The tenants this router can route for, sorted."""
+        return tuple(sorted(self._routes))
+
+    def _route_for(self, tenant: str) -> _TenantRoute:
+        route = self._routes.get(tenant)
+        if route is None:
+            raise UnknownTenantError(tenant, self._routes)
+        return route
+
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
@@ -408,6 +547,7 @@ class FleetRouter:
         min_zscore: Optional[float] = None,
         *,
         deadline_seconds: Optional[float] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> FleetAnswer:
         """Route one query through the fleet.
 
@@ -417,9 +557,12 @@ class FleetRouter:
         provenance fields.  ``deadline_seconds`` (or the config default)
         bounds the whole call end to end; a degraded partial (only with
         ``allow_degraded``) is marked by ``coverage < 1.0``.
+        ``tenant`` picks the corpus (and its route); the default tenant
+        is the classic single-tenant fleet.
         """
         if self._closed:
             raise ServiceClosedError("fleet router is closed")
+        route = self._route_for(tenant)
         started = time.perf_counter()
         budget = (
             deadline_seconds
@@ -432,7 +575,9 @@ class FleetRouter:
         for attempt in range(attempts):
             deadline = _Deadline(budget)
             try:
-                return self._route(query, min_zscore, started, deadline)
+                return self._route(
+                    route, tenant, query, min_zscore, started, deadline
+                )
             except FleetVersionSkewError:
                 if attempt + 1 == attempts:
                     raise
@@ -442,20 +587,24 @@ class FleetRouter:
 
     def _route(
         self,
+        route: _TenantRoute,
+        tenant: str,
         query: str,
         min_zscore: Optional[float],
         started: float,
         deadline: _Deadline,
     ) -> FleetAnswer:
         expansion_started = time.perf_counter()
-        terms, domain_id = self._expand(query)
+        terms, domain_id = self._expand(route, query)
         expansion_seconds = time.perf_counter() - expansion_started
-        legs = self.sharding.plan(terms)
+        legs = route.sharding.plan(terms)
 
         if len(legs) == 1:
             (shard,) = legs
             outcome = self._call_hedged(
-                shard, self._query_call(query, min_zscore, deadline), deadline
+                shard,
+                self._query_call(query, min_zscore, deadline, tenant),
+                deadline,
             )
             answer = outcome.value
             self._account(
@@ -481,11 +630,11 @@ class FleetRouter:
             )
 
         threshold = (
-            min_zscore if min_zscore is not None else self._ranking.min_zscore
+            min_zscore if min_zscore is not None else route.ranking.min_zscore
         )
         detection_started = time.perf_counter()
         ordered = sorted(legs.items())
-        results, errors = self._scatter(query, ordered, deadline)
+        results, errors = self._scatter(query, ordered, deadline, tenant)
         outcomes = [outcome for outcome in results if outcome is not None]
         failures = [exc for exc in errors if exc is not None]
         served_shards = [
@@ -513,7 +662,7 @@ class FleetRouter:
         experts, version = merge_partials(
             pools,
             threshold=threshold,
-            max_results=self._ranking.max_results,
+            max_results=route.ranking.max_results,
         )
         detection_seconds = time.perf_counter() - detection_started
         hedges = sum(outcome.hedges for outcome in outcomes)
@@ -542,45 +691,64 @@ class FleetRouter:
             coverage=coverage,
         )
 
-    def _expand(self, query: str) -> Tuple[List[str], Optional[str]]:
+    def _expand(
+        self, route: _TenantRoute, query: str
+    ) -> Tuple[List[str], Optional[str]]:
         """The exact expansion every replica would compute (§5)."""
-        domain = self._store.lookup(query)
+        domain = route.store.lookup(query)
         if domain is None:
             return [query], None
         return (
-            self._policy.terms(query, domain, self._graph),
+            route.policy.terms(query, domain, route.graph),
             domain.domain_id,
         )
 
     # -- budget-aware replica calls ----------------------------------------------
 
+    @staticmethod
+    def _tenant_kwargs(replica, tenant: str) -> dict:
+        """``{"tenant": ...}`` for tenant-aware replicas; the default
+        tenant rides for free on legacy replicas, any other tenant on a
+        tenant-blind replica is a routing bug surfaced typed."""
+        if getattr(replica, "supports_tenants", False):
+            return {"tenant": tenant}
+        if tenant != DEFAULT_TENANT:
+            raise UnknownTenantError(tenant, (DEFAULT_TENANT,))
+        return {}
+
     def _query_call(
-        self, query: str, min_zscore: Optional[float], deadline: _Deadline
+        self,
+        query: str,
+        min_zscore: Optional[float],
+        deadline: _Deadline,
+        tenant: str = DEFAULT_TENANT,
     ) -> Callable:
         def call(replica):
+            kwargs = self._tenant_kwargs(replica, tenant)
             budget = deadline.remaining()
             if budget is not None and getattr(
                 replica, "supports_budget", False
             ):
-                return replica.query(
-                    query, min_zscore, budget_seconds=max(0.0, budget)
-                )
-            return replica.query(query, min_zscore)
+                kwargs["budget_seconds"] = max(0.0, budget)
+            return replica.query(query, min_zscore, **kwargs)
 
         return call
 
     def _partial_call(
-        self, query: str, indexed, deadline: _Deadline
+        self,
+        query: str,
+        indexed,
+        deadline: _Deadline,
+        tenant: str = DEFAULT_TENANT,
     ) -> Callable:
         def call(replica):
+            kwargs = self._tenant_kwargs(replica, tenant)
             budget = deadline.remaining()
             if budget is not None and getattr(
                 replica, "supports_budget", False
             ):
-                return replica.score_partial(
-                    query, indexed, budget_seconds=max(0.0, budget)
-                )
-            return replica.score_partial(query, indexed)
+                kwargs["budget_seconds"] = max(0.0, budget)
+            return replica.score_partial(query, indexed, **kwargs)
 
         return call
 
@@ -589,6 +757,7 @@ class FleetRouter:
         query: str,
         ordered: List[Tuple[int, List[Tuple[int, str]]]],
         deadline: _Deadline,
+        tenant: str = DEFAULT_TENANT,
     ) -> Tuple[
         List[Optional[_HedgedOutcome]], List[Optional[BaseException]]
     ]:
@@ -608,7 +777,8 @@ class FleetRouter:
         def coordinate(position: int, shard: int, indexed) -> None:
             try:
                 results[position] = self._call_hedged(
-                    shard, self._partial_call(query, indexed, deadline),
+                    shard,
+                    self._partial_call(query, indexed, deadline, tenant),
                     deadline,
                 )
             except BaseException as exc:  # noqa: BLE001 - surfaced below
@@ -795,8 +965,14 @@ class FleetRouter:
 
     # -- two-phase snapshot promotion --------------------------------------------
 
-    def promote(self, artifact_dir) -> int:
+    def promote(
+        self, artifact_dir, *, tenant: str = DEFAULT_TENANT
+    ) -> int:
         """Roll the whole fleet to an artifact generation, two-phase.
+
+        ``tenant`` scopes the roll: only that tenant's generation moves
+        on every replica; every other tenant keeps its version (and its
+        warm caches) untouched.
 
         **Phase one (preload):** every replica loads the artifact fully —
         decode, corpus, candidate index — while still serving its current
@@ -817,16 +993,14 @@ class FleetRouter:
         if self._closed:
             raise ServiceClosedError("fleet router is closed")
         outcomes: Dict[str, str] = {}
-        current: Dict[str, int] = {
-            replica.name: replica.health().snapshot_version
-            for replica in self.replicas
-        }
+
+        def preload(replica):
+            return replica.preload(
+                artifact_dir, **self._tenant_kwargs(replica, tenant)
+            )
 
         preload_futures = [
-            (
-                replica,
-                self._executor.submit(replica.preload, artifact_dir),
-            )
+            (replica, self._executor.submit(preload, replica))
             for replica in self.replicas
         ]
         staged_versions: Dict[str, int] = {}
@@ -855,11 +1029,29 @@ class FleetRouter:
             )
         target = versions[0]
 
+        # current serving versions, read *after* preload so a lazily
+        # loaded tenant is resident by now; the CAS below catches any
+        # promotion racing this one
+        current: Dict[str, int] = {}
+        for replica in self.replicas:
+            version = replica.health().tenant_version(tenant)
+            if version is None:
+                outcomes[replica.name] = (
+                    f"tenant {tenant!r} not served; nothing was flipped"
+                )
+                raise PromotionError(
+                    f"replica {replica.name} does not serve tenant "
+                    f"{tenant!r}; nothing was flipped",
+                    outcomes,
+                )
+            current[replica.name] = version
+
         flipped = 0
         for replica in self.replicas:
             try:
                 flipped_to = replica.promote(
-                    expected_version=current[replica.name]
+                    expected_version=current[replica.name],
+                    **self._tenant_kwargs(replica, tenant),
                 )
                 outcomes[replica.name] = f"flipped to v{flipped_to}"
                 flipped += 1

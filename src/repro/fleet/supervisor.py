@@ -71,12 +71,18 @@ class SupervisorConfig:
 
 @dataclass(frozen=True)
 class ReplicaRestart:
-    """One restart attempt's outcome."""
+    """One restart attempt's outcome.
+
+    ``tenants`` records what the fresh replica serves — for a
+    multi-tenant slot the healed process provably recovered every
+    corpus, not just the default one.
+    """
 
     replica: str
     ok: bool
     seconds: float
     error: str = ""
+    tenants: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -129,6 +135,7 @@ class SupervisorStats:
                     "ok": entry.ok,
                     "seconds": entry.seconds,
                     "error": entry.error,
+                    "tenants": list(entry.tenants),
                 }
                 for entry in self.restart_log
             ],
@@ -315,7 +322,10 @@ class ReplicaSupervisor:
             return outcome
         now = self._clock()
         outcome = ReplicaRestart(
-            replica=name, ok=True, seconds=now - started
+            replica=name,
+            ok=True,
+            seconds=now - started,
+            tenants=tuple(getattr(fresh, "tenants", ()) or ()),
         )
         with self._lock:
             slot = self._slots[name]

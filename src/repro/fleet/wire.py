@@ -26,8 +26,16 @@ from repro.serving.errors import (
     DeadlineExceededError,
     ServiceClosedError,
     ServiceOverloadedError,
+    TenantOverloadedError,
+    UnknownTenantError,
 )
-from repro.serving.service import PartialPool, ReplicaHealthReport, ServedAnswer
+from repro.serving.service import (
+    DEFAULT_TENANT,
+    PartialPool,
+    ReplicaHealthReport,
+    ServedAnswer,
+    TenantHealth,
+)
 from repro.serving.snapshot import StaleSnapshotError
 
 PROTOCOL_VERSION = 1
@@ -74,6 +82,7 @@ def answer_to_wire(answer: ServedAnswer) -> dict:
         "expansion_seconds": answer.expansion_seconds,
         "detection_seconds": answer.detection_seconds,
         "total_seconds": answer.total_seconds,
+        "tenant": answer.tenant,
     }
 
 
@@ -89,6 +98,8 @@ def answer_from_wire(raw: dict) -> ServedAnswer:
         expansion_seconds=raw["expansion_seconds"],
         detection_seconds=raw["detection_seconds"],
         total_seconds=raw["total_seconds"],
+        # absent on frames from pre-tenancy peers: the default tenant
+        tenant=raw.get("tenant", DEFAULT_TENANT),
     )
 
 
@@ -99,6 +110,7 @@ def partial_to_wire(pool: PartialPool) -> dict:
         "entries": [
             [index, expert_to_wire(expert)] for index, expert in pool.entries
         ],
+        "tenant": pool.tenant,
     }
 
 
@@ -110,6 +122,7 @@ def partial_from_wire(raw: dict) -> PartialPool:
             (index, expert_from_wire(expert))
             for index, expert in raw["entries"]
         ),
+        tenant=raw.get("tenant", DEFAULT_TENANT),
     )
 
 
@@ -121,6 +134,10 @@ def health_from_wire(raw: dict) -> ReplicaHealthReport:
         partial_requests=raw["partial_requests"],
         in_flight=raw["in_flight"],
         waiting=raw["waiting"],
+        tenants=tuple(
+            TenantHealth.from_dict(entry)
+            for entry in raw.get("tenants", ())
+        ),
     )
 
 
@@ -135,17 +152,30 @@ _TYPED_ERRORS = {
 
 
 def error_to_wire(exc: BaseException) -> dict:
-    return {"type": type(exc).__name__, "message": str(exc)}
+    frame = {"type": type(exc).__name__, "message": str(exc)}
+    tenant = getattr(exc, "tenant", None)
+    if tenant is not None:
+        frame["tenant"] = tenant
+    return frame
 
 
 def error_from_wire(raw: dict) -> Exception:
     kind = raw.get("type", "Exception")
     message = raw.get("message", "")
+    if kind == "TenantOverloadedError":
+        # keep the tenant typing across the process boundary: the
+        # router must not mistake one tenant's quota rejection for
+        # global overload
+        return TenantOverloadedError(
+            str(raw.get("tenant", DEFAULT_TENANT)), message
+        )
     if kind == "ServiceOverloadedError":
         # the structured fields are already rendered into the message;
         # reconstruct with the message as the reason so isinstance-based
         # backoff in the router keeps working
         return ServiceOverloadedError(message)
+    if kind == "UnknownTenantError":
+        return UnknownTenantError(str(raw.get("tenant", message)))
     factory = _TYPED_ERRORS.get(kind)
     if factory is not None:
         return factory(message)

@@ -15,6 +15,14 @@ service runs — a request that waited out its budget fails typed
 :func:`serve_worker` installs any ``REPRO_CHAOS_PLAN`` fault plan
 *before* loading the artifact, so injected faults cover warm start
 (artifact reads) as well as serving (dispatch, reply frames).
+
+Multi-tenancy: started with ``--tenant NAME=DIR`` flags instead of
+``--from-artifact``, the worker wraps a
+:class:`~repro.serving.tenancy.MultiTenantService` and every request's
+``tenant`` field routes it to the right corpus; the ready handshake
+grows a ``tenants`` list so the parent knows what this worker serves.
+The classic single-artifact path is untouched — frames without a
+``tenant`` field behave exactly as before.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import IO, Optional
+from typing import IO, Mapping, Optional
 
 from repro.chaos.inject import fire
 from repro.core.esharp import ESharp
@@ -35,8 +43,12 @@ from repro.fleet.wire import (
     partial_to_wire,
     write_message,
 )
-from repro.serving.errors import DeadlineExceededError
-from repro.serving.service import ExpertService, ServiceConfig
+from repro.serving.errors import DeadlineExceededError, UnknownTenantError
+from repro.serving.service import (
+    DEFAULT_TENANT,
+    ExpertService,
+    ServiceConfig,
+)
 
 #: request threads per worker — enough for overlapping scatter legs plus
 #: a health probe; the service's own admission control bounds real work
@@ -46,10 +58,15 @@ WORKER_THREADS = 4
 class FleetWorker:
     """One replica process: an :class:`ExpertService` behind a wire loop."""
 
+    # single-tenant unless __init__ saw a tenant map; class default keeps
+    # partially-constructed workers on the legacy dispatch path
+    _multi = False
+
     def __init__(
         self,
-        artifact_dir: str,
+        artifact_dir: Optional[str] = None,
         *,
+        tenants: Optional[Mapping[str, str]] = None,
         detection_workers: int = 2,
         cache_capacity: Optional[int] = None,
         score_cache_capacity: Optional[int] = None,
@@ -57,21 +74,39 @@ class FleetWorker:
         writer: Optional[IO[str]] = None,
         name: str = "worker",
     ) -> None:
+        if (artifact_dir is None) == (tenants is None):
+            raise ValueError(
+                "pass exactly one of artifact_dir or tenants"
+            )
         self.name = name
         self._reader = reader if reader is not None else sys.stdin
         self._writer = writer if writer is not None else sys.stdout
         self._write_lock = threading.Lock()
-        self.system = ESharp.from_artifact(artifact_dir)
-        if score_cache_capacity is not None:
-            self.system.detector.configure_score_cache(
-                cache_capacity=score_cache_capacity
-            )
         config = ServiceConfig(detection_workers=detection_workers)
         if cache_capacity is not None:
             from dataclasses import replace
 
             config = replace(config, cache_capacity=cache_capacity)
-        self.service = ExpertService(self.system, config)
+        if tenants is not None:
+            from repro.serving.tenancy import MultiTenantService, TenantSpec
+
+            specs = tuple(
+                TenantSpec(tenant, tenants[tenant])
+                for tenant in sorted(tenants)
+            )
+            self.system = None
+            self.service = MultiTenantService(specs, config)
+            self.tenants = self.service.tenants()
+            self._multi = True
+        else:
+            self.system = ESharp.from_artifact(artifact_dir)
+            if score_cache_capacity is not None:
+                self.system.detector.configure_score_cache(
+                    cache_capacity=score_cache_capacity
+                )
+            self.service = ExpertService(self.system, config)
+            self.tenants = (DEFAULT_TENANT,)
+            self._multi = False
         self._cancel_lock = threading.Lock()
         self._cancelled: set = set()  # guarded-by: _cancel_lock
 
@@ -134,31 +169,66 @@ class FleetWorker:
             )
         return remaining
 
+    def _check_tenant(self, tenant: str) -> None:
+        if not self._multi and tenant != DEFAULT_TENANT:
+            raise UnknownTenantError(tenant, self.tenants)
+
     def _dispatch(self, message: dict, received_at: Optional[float] = None):
         op = message.get("op")
-        fire("worker.dispatch", op=op or "", worker=getattr(self, "name", ""))
+        tenant = str(message.get("tenant", DEFAULT_TENANT))
+        fire(
+            "worker.dispatch",
+            op=op or "",
+            worker=getattr(self, "name", ""),
+            tenant=tenant,
+        )
         if op == "ping":
             return "pong"
         if op == "query":
-            answer = self.service.query(
-                message["query"],
-                message.get("min_zscore"),
-                budget_seconds=self._budget_remaining(message, received_at),
-            )
+            budget = self._budget_remaining(message, received_at)
+            if self._multi:
+                answer = self.service.query(
+                    tenant,
+                    message["query"],
+                    message.get("min_zscore"),
+                    budget_seconds=budget,
+                )
+            else:
+                self._check_tenant(tenant)
+                answer = self.service.query(
+                    message["query"],
+                    message.get("min_zscore"),
+                    budget_seconds=budget,
+                )
             return answer_to_wire(answer)
         if op == "partial":
-            pool = self.service.score_partial(
-                message["query"],
-                [(index, term) for index, term in message["terms"]],
-                budget_seconds=self._budget_remaining(message, received_at),
-            )
+            budget = self._budget_remaining(message, received_at)
+            terms = [(index, term) for index, term in message["terms"]]
+            if self._multi:
+                pool = self.service.score_partial(
+                    tenant, message["query"], terms, budget_seconds=budget
+                )
+            else:
+                self._check_tenant(tenant)
+                pool = self.service.score_partial(
+                    message["query"], terms, budget_seconds=budget
+                )
             return partial_to_wire(pool)
         if op == "health":
             return self.service.health().to_dict()
         if op == "preload":
+            if self._multi:
+                return self.service.stage(tenant, message["path"])
+            self._check_tenant(tenant)
             self._staged = self.system.stage_artifact(message["path"])
             return self._staged.version
         if op == "promote":
+            if self._multi:
+                return self.service.promote(
+                    tenant,
+                    expected_version=message.get("expected_version"),
+                )
+            self._check_tenant(tenant)
             staged = getattr(self, "_staged", None)
             if staged is None:
                 raise PromotionError("promote before preload")
@@ -175,9 +245,17 @@ class FleetWorker:
         executor = ThreadPoolExecutor(
             max_workers=WORKER_THREADS, thread_name_prefix="fleet-worker"
         )
-        self._write(
-            {"op": "ready", "version": self.system.snapshots.version}
-        )
+        ready = {
+            "op": "ready",
+            "version": (
+                self.system.snapshots.version
+                if self.system is not None
+                else 0
+            ),
+        }
+        if self._multi:
+            ready["tenants"] = list(self.tenants)
+        self._write(ready)
         try:
             for line in self._reader:
                 line = line.strip()
@@ -205,8 +283,9 @@ class FleetWorker:
 
 
 def serve_worker(
-    artifact_dir: str,
+    artifact_dir: Optional[str] = None,
     *,
+    tenants: Optional[Mapping[str, str]] = None,
     detection_workers: int = 2,
     cache_capacity: Optional[int] = None,
     score_cache_capacity: Optional[int] = None,
@@ -219,6 +298,7 @@ def serve_worker(
     inject.install_from_env()
     worker = FleetWorker(
         artifact_dir,
+        tenants=tenants,
         detection_workers=detection_workers,
         cache_capacity=cache_capacity,
         score_cache_capacity=score_cache_capacity,

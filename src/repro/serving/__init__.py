@@ -10,7 +10,9 @@ package supplies the machinery between those two facts:
 * :mod:`repro.serving.singleflight` — duplicate in-flight coalescing
 * :mod:`repro.serving.workers` — worker pool + micro-batch scheduler
 * :mod:`repro.serving.admission` — backpressure / overload rejection
+* :mod:`repro.serving.quotas` — per-tenant quotas, weighted-fair admission
 * :mod:`repro.serving.service` — the :class:`ExpertService` facade
+* :mod:`repro.serving.tenancy` — many corpora behind one shared engine
 * :mod:`repro.serving.loadgen` — Zipf workload replay + latency harness
 
 Exports resolve lazily, so importing one light piece (say, the errors)
@@ -26,13 +28,27 @@ _EXPORTS = {
     "AdmissionStats": "repro.serving.admission",
     "CacheInfo": "repro.serving.cache",
     "LRUCache": "repro.serving.cache",
+    "DEFAULT_TENANT": "repro.serving.service",
     "ExpertService": "repro.serving.service",
+    "PartialPool": "repro.serving.service",
+    "ReplicaHealthReport": "repro.serving.service",
     "ServiceConfig": "repro.serving.service",
     "ServiceStats": "repro.serving.service",
     "ServedAnswer": "repro.serving.service",
+    "TenantHealth": "repro.serving.service",
+    "FairAdmissionController": "repro.serving.quotas",
+    "TenantAdmissionStats": "repro.serving.quotas",
+    "TenantQuota": "repro.serving.quotas",
+    "MultiTenantService": "repro.serving.tenancy",
+    "TenantClient": "repro.serving.tenancy",
+    "TenantRegistry": "repro.serving.tenancy",
+    "TenantSpec": "repro.serving.tenancy",
     "ServiceClosedError": "repro.serving.errors",
     "ServiceOverloadedError": "repro.serving.errors",
     "ServingError": "repro.serving.errors",
+    "TenantOverloadedError": "repro.serving.errors",
+    "TenantStageError": "repro.serving.errors",
+    "UnknownTenantError": "repro.serving.errors",
     "ServiceSnapshot": "repro.serving.snapshot",
     "SnapshotHolder": "repro.serving.snapshot",
     "SingleFlight": "repro.serving.singleflight",

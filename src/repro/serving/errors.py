@@ -61,3 +61,44 @@ class ServiceOverloadedError(ServingError):
         self.reason = reason
         self.in_flight = in_flight
         self.waiting = waiting
+
+
+class TenantOverloadedError(ServiceOverloadedError):
+    """One tenant's admission quota rejected the request.
+
+    Subclasses :class:`ServiceOverloadedError` so existing backoff
+    handling keeps working, but the type distinguishes "this tenant is
+    over *its own* quota" from global saturation — a client of a healthy
+    tenant should never see this for a noisy neighbour's traffic.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        reason: str,
+        *,
+        in_flight: int = 0,
+        waiting: int = 0,
+    ) -> None:
+        super().__init__(
+            f"tenant {tenant!r} {reason}",
+            in_flight=in_flight,
+            waiting=waiting,
+        )
+        self.tenant = tenant
+
+
+class UnknownTenantError(ServingError):
+    """The request names a tenant this process does not serve."""
+
+    def __init__(self, tenant: str, known=()) -> None:
+        known_names = ", ".join(sorted(known)) or "none"
+        super().__init__(
+            f"unknown tenant {tenant!r} (serving: {known_names})"
+        )
+        self.tenant = tenant
+        self.known = tuple(sorted(known))
+
+
+class TenantStageError(ServingError):
+    """A tenant-scoped promote was attempted without a staged generation."""

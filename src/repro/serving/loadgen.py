@@ -304,6 +304,12 @@ class ServeOutcome:
                 "cache_lookups": self.stats.cache.lookups,
                 "requests": self.stats.requests,
                 "partial_requests": self.stats.partial_requests,
+                # per-tenant version + hit-ratio breakdown: a scalar
+                # version would silently alias tenants
+                "tenants": {
+                    tenant.tenant: tenant.to_dict()
+                    for tenant in self.stats.tenants
+                },
             },
         }
 

@@ -7,8 +7,8 @@ many concurrent clients through this facade:
   pipeline) for its whole execution, so a weekly-refresh swap happening
   underneath can never mix generations within an answer;
 * results are cached in a bounded LRU(+TTL) keyed on
-  ``(snapshot version, normalised query, threshold)`` — a swap simply
-  starts a new key space and the old generation ages out;
+  ``(tenant, snapshot version, normalised query, threshold)`` — a swap
+  simply starts a new key space and the old generation ages out;
 * duplicate in-flight queries are coalesced (single-flight), and the
   asynchronous :meth:`submit` path micro-batches duplicates arriving
   within one scheduling window;
@@ -16,6 +16,15 @@ many concurrent clients through this facade:
   pool (each community term scores independently, §5 union semantics);
 * admission control bounds in-flight work and queue depth, rejecting the
   overflow with :class:`~repro.serving.errors.ServiceOverloadedError`.
+
+Tenancy: every service carries a ``tenant`` label (``"default"`` for the
+classic single-tenant deployment) which prefixes every cache,
+single-flight, and micro-batch key — so a
+:class:`~repro.serving.tenancy.MultiTenantService` can share one cache,
+one batcher, and one fair admission controller across many tenants with
+zero cross-tenant key collisions.  The shared components are injectable;
+a standalone service constructs (and owns) its own, keeping the
+single-tenant path exactly as before.
 """
 
 from __future__ import annotations
@@ -40,6 +49,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.incremental import DeltaRefreshStats
     from repro.querylog.records import Impression
     from repro.querylog.store import QueryLogStore
+
+#: the tenant name of every pre-tenancy deployment — a plain
+#: ``ExpertService`` is the trivial one-tenant case of the registry
+DEFAULT_TENANT = "default"
 
 
 @dataclass(frozen=True)
@@ -90,6 +103,8 @@ class ServedAnswer:
     expansion_seconds: float
     detection_seconds: float
     total_seconds: float
+    #: which tenant's corpus answered (``"default"`` pre-tenancy)
+    tenant: str = DEFAULT_TENANT
 
 
 @dataclass(frozen=True)
@@ -109,6 +124,46 @@ class PartialPool:
     snapshot_version: int
     #: ``(global term index, expert)`` per candidate user, user-id order
     entries: Tuple[Tuple[int, RankedExpert], ...]
+    #: which tenant's shard produced this pool — the merge refuses to
+    #: combine pools across tenants
+    tenant: str = DEFAULT_TENANT
+
+
+@dataclass(frozen=True)
+class TenantHealth:
+    """One tenant's slice of a replica's vitals.
+
+    A single scalar ``snapshot_version`` would silently alias tenants
+    (tenant versions are independent monotonic sequences), so health and
+    stats carry this per-tenant breakdown alongside the legacy scalar.
+    """
+
+    tenant: str
+    snapshot_version: int
+    #: hit ratio of *this tenant's* cache traffic (shared caches report
+    #: per-tenant numbers from the service's own counters)
+    cache_hit_ratio: float
+    requests: int
+    partial_requests: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "snapshot_version": self.snapshot_version,
+            "cache_hit_ratio": self.cache_hit_ratio,
+            "requests": self.requests,
+            "partial_requests": self.partial_requests,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "TenantHealth":
+        return cls(
+            tenant=str(raw.get("tenant", DEFAULT_TENANT)),
+            snapshot_version=int(raw.get("snapshot_version", 0)),
+            cache_hit_ratio=float(raw.get("cache_hit_ratio", 0.0)),
+            requests=int(raw.get("requests", 0)),
+            partial_requests=int(raw.get("partial_requests", 0)),
+        )
 
 
 @dataclass(frozen=True)
@@ -129,6 +184,9 @@ class ReplicaHealthReport:
     partial_requests: int
     in_flight: int
     waiting: int
+    #: per-tenant version/hit-ratio breakdown (one entry — ``default``
+    #: — on a single-tenant replica)
+    tenants: Tuple[TenantHealth, ...] = ()
 
     def to_dict(self) -> dict:
         return {
@@ -138,7 +196,17 @@ class ReplicaHealthReport:
             "partial_requests": self.partial_requests,
             "in_flight": self.in_flight,
             "waiting": self.waiting,
+            "tenants": [tenant.to_dict() for tenant in self.tenants],
         }
+
+    def tenant_version(self, tenant: str) -> int | None:
+        """The snapshot version one tenant serves (None when unknown)."""
+        for entry in self.tenants:
+            if entry.tenant == tenant:
+                return entry.snapshot_version
+        if tenant == DEFAULT_TENANT:
+            return self.snapshot_version
+        return None
 
 
 @dataclass(frozen=True)
@@ -166,6 +234,8 @@ class ServiceStats:
     last_delta_refresh: "DeltaRefreshStats | None" = None
     #: shard-scoped partial-scoring requests served (the fleet path)
     partial_requests: int = 0
+    #: per-tenant version + cache-hit-ratio breakdown
+    tenants: Tuple[TenantHealth, ...] = ()
 
     @property
     def cache_hit_rate(self) -> float:
@@ -184,35 +254,86 @@ class ExpertService:
         self,
         system: "ESharp",
         config: ServiceConfig | None = None,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        cache: LRUCache | None = None,
+        flight: SingleFlight | None = None,
+        admission=None,
+        detect_pool: WorkerPool | None = None,
+        batch_pool: WorkerPool | None = None,
+        batcher: MicroBatchScheduler | None = None,
     ) -> None:
+        """Serve one built system, optionally as one tenant of a shared
+        deployment.
+
+        The keyword components (``cache``, ``flight``, ``admission``,
+        the pools and ``batcher``) exist for
+        :class:`~repro.serving.tenancy.MultiTenantService`, which shares
+        one of each across every tenant; when injected, this service
+        keys its entries by its ``tenant`` label and does **not** tear
+        the component down on :meth:`close`.  Omitted (the single-tenant
+        default) the service builds and owns its own, exactly as before
+        tenancy existed.
+        """
         if not system.is_built:
             raise ValueError(
                 "ExpertService requires a built system; call ESharp.build() first"
             )
         self.system = system
         self.config = config or ServiceConfig()
+        self.tenant = tenant
         self._snapshots: SnapshotHolder = system.snapshots
-        self._cache: LRUCache = LRUCache(
-            self.config.cache_capacity, self.config.cache_ttl_seconds
+        self._owns_cache = cache is None
+        self._cache: LRUCache = (
+            cache
+            if cache is not None
+            else LRUCache(
+                self.config.cache_capacity, self.config.cache_ttl_seconds
+            )
         )
-        self._flight: SingleFlight | None = (
-            SingleFlight() if self.config.single_flight else None
+        if flight is not None:
+            self._flight: SingleFlight | None = flight
+        else:
+            self._flight = SingleFlight() if self.config.single_flight else None
+        self._owns_admission = admission is None
+        self._admission = (
+            admission
+            if admission is not None
+            else AdmissionController(
+                max_in_flight=self.config.max_in_flight,
+                max_queue_depth=self.config.max_queue_depth,
+                timeout_seconds=self.config.admission_timeout_seconds,
+            )
         )
-        self._admission = AdmissionController(
-            max_in_flight=self.config.max_in_flight,
-            max_queue_depth=self.config.max_queue_depth,
-            timeout_seconds=self.config.admission_timeout_seconds,
+        #: tenant-aware controllers take the tenant name per call
+        self._admission_per_tenant = getattr(
+            self._admission, "per_tenant", False
         )
-        self._detect_pool = WorkerPool(
-            self.config.detection_workers, name="repro-detect"
+        self._owns_detect_pool = detect_pool is None
+        self._detect_pool = (
+            detect_pool
+            if detect_pool is not None
+            else WorkerPool(self.config.detection_workers, name="repro-detect")
         )
-        self._batch_pool = WorkerPool(
-            self.config.batch_workers, name="repro-batch"
+        self._owns_batch_pool = batch_pool is None and batcher is None
+        self._batch_pool = (
+            batch_pool
+            if batch_pool is not None
+            else (
+                WorkerPool(self.config.batch_workers, name="repro-batch")
+                if batcher is None
+                else None
+            )
         )
-        self._batcher: MicroBatchScheduler = MicroBatchScheduler(
-            self._batch_pool,
-            window_seconds=self.config.batch_window_seconds,
-            max_batch=self.config.max_batch,
+        self._owns_batcher = batcher is None
+        self._batcher: MicroBatchScheduler = (
+            batcher
+            if batcher is not None
+            else MicroBatchScheduler(
+                self._batch_pool,
+                window_seconds=self.config.batch_window_seconds,
+                max_batch=self.config.max_batch,
+            )
         )
         self._counter_lock = threading.Lock()
         #: serialises refreshes: two interleaved rebuilds could publish
@@ -221,6 +342,10 @@ class ExpertService:
         self._refresh_lock = threading.Lock()
         self._requests = 0  # guarded-by: _counter_lock
         self._partials = 0  # guarded-by: _counter_lock
+        # per-tenant cache accounting: a shared cache's global CacheInfo
+        # cannot attribute hits to tenants, so each service counts its own
+        self._cache_lookups = 0  # guarded-by: _counter_lock
+        self._cache_hits = 0  # guarded-by: _counter_lock
         self._refreshes = 0  # guarded-by: _counter_lock
         self._last_refresh_seconds: float | None = None  # guarded-by: _counter_lock
         self._delta_refreshes = 0  # guarded-by: _counter_lock
@@ -242,6 +367,11 @@ class ExpertService:
         and only then are the batcher and pools torn down — an admitted
         request never sees its worker pool vanish mid-computation.
 
+        Shared components (a multi-tenant deployment injected them) are
+        left running: this service drains only *its own tenant's*
+        admitted work and never tears down infrastructure other tenants
+        are still serving on.
+
         Returns ``True`` when every admitted request drained within
         ``drain_timeout_seconds``; ``False`` means the drain timed out
         and stragglers lost their pools (they surface
@@ -249,11 +379,25 @@ class ExpertService:
         shutdown over waiting forever, but the outcome is not silent.
         """
         self._closed = True
-        self._admission.close()
-        remaining = self._admission.drain(self.config.drain_timeout_seconds)
-        self._batcher.close()
-        self._batch_pool.shutdown()
-        self._detect_pool.shutdown()
+        if self._owns_admission:
+            self._admission.close()
+            remaining = self._admission.drain(
+                self.config.drain_timeout_seconds
+            )
+        elif self._admission_per_tenant:
+            remaining = self._admission.drain_tenant(
+                self.tenant, self.config.drain_timeout_seconds
+            )
+        else:
+            remaining = self._admission.drain(
+                self.config.drain_timeout_seconds
+            )
+        if self._owns_batcher:
+            self._batcher.close()
+        if self._owns_batch_pool and self._batch_pool is not None:
+            self._batch_pool.shutdown()
+        if self._owns_detect_pool:
+            self._detect_pool.shutdown()
         return remaining == 0
 
     def __enter__(self) -> "ExpertService":
@@ -261,6 +405,12 @@ class ExpertService:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+    def _slot(self):
+        """One admission slot — scoped to this tenant on shared gates."""
+        if self._admission_per_tenant:
+            return self._admission.slot(self.tenant)
+        return self._admission.slot()
 
     # -- the synchronous serving path -------------------------------------------
 
@@ -283,7 +433,7 @@ class ExpertService:
         if self._closed:
             raise ServiceClosedError("service is closed")
         self._check_budget(budget_seconds, started)
-        with self._admission.slot():
+        with self._slot():
             self._check_budget(budget_seconds, started)
             snapshot = self._require_snapshot()
             threshold = (
@@ -291,10 +441,13 @@ class ExpertService:
                 if min_zscore is not None
                 else snapshot.detector.ranking.min_zscore
             )
-            key = (snapshot.version, phrase_key(query), threshold)
+            key = (self.tenant, snapshot.version, phrase_key(query), threshold)
+            cached = self._cache.get(key)
             with self._counter_lock:
                 self._requests += 1
-            cached = self._cache.get(key)
+                self._cache_lookups += 1
+                if cached is not None:
+                    self._cache_hits += 1
             if cached is not None:
                 return replace(
                     cached,
@@ -339,9 +492,9 @@ class ExpertService:
         Passes through admission control like :meth:`query` (a scatter
         leg is real detection work), pins one snapshot, shards per-term
         scoring across the detection pool, and caches the reduced pool
-        under ``(version, 'partial', terms)`` — hedged duplicates of the
-        same scatter leg coalesce via single-flight exactly like whole
-        queries do.
+        under ``(tenant, version, 'partial', terms)`` — hedged
+        duplicates of the same scatter leg coalesce via single-flight
+        exactly like whole queries do.
 
         Raises :class:`ServiceOverloadedError` under backpressure and
         :class:`ServiceClosedError` after :meth:`close`.
@@ -353,13 +506,16 @@ class ExpertService:
         indexed = tuple(
             (int(index), str(term)) for index, term in indexed_terms
         )
-        with self._admission.slot():
+        with self._slot():
             self._check_budget(budget_seconds, started)
             snapshot = self._require_snapshot()
-            key = (snapshot.version, "partial", indexed)
+            key = (self.tenant, snapshot.version, "partial", indexed)
+            cached = self._cache.get(key)
             with self._counter_lock:
                 self._partials += 1
-            cached = self._cache.get(key)
+                self._cache_lookups += 1
+                if cached is not None:
+                    self._cache_hits += 1
             if cached is not None:
                 return cached
 
@@ -397,6 +553,7 @@ class ExpertService:
             query=query,
             snapshot_version=snapshot.version,
             entries=entries,
+            tenant=self.tenant,
         )
 
     # -- the asynchronous, micro-batched path ------------------------------------
@@ -422,7 +579,7 @@ class ExpertService:
             if min_zscore is not None
             else snapshot.detector.ranking.min_zscore
         )
-        key = (snapshot.version, phrase_key(query), threshold)
+        key = (self.tenant, snapshot.version, phrase_key(query), threshold)
         return self._batcher.submit(key, lambda: self.query(query, threshold))
 
     def query_many(
@@ -510,17 +667,32 @@ class ExpertService:
         needs to pick replicas and to detect version skew during a
         promotion.
         """
-        with self._counter_lock:
-            requests = self._requests
-            partials = self._partials
         admission = self._admission.stats()
+        tenant_health = self.tenant_health()
         return ReplicaHealthReport(
             snapshot_version=self._snapshots.version,
             cache_hit_ratio=self._cache.cache_info().hit_rate,
-            requests=requests,
-            partial_requests=partials,
+            requests=tenant_health.requests,
+            partial_requests=tenant_health.partial_requests,
             in_flight=admission.in_flight,
             waiting=admission.waiting,
+            tenants=(tenant_health,),
+        )
+
+    def tenant_health(self) -> TenantHealth:
+        """This tenant's slice of the vitals, from the service's own
+        counters (valid even when the cache is shared across tenants)."""
+        with self._counter_lock:
+            requests = self._requests
+            partials = self._partials
+            lookups = self._cache_lookups
+            hits = self._cache_hits
+        return TenantHealth(
+            tenant=self.tenant,
+            snapshot_version=self._snapshots.version,
+            cache_hit_ratio=hits / lookups if lookups else 0.0,
+            requests=requests,
+            partial_requests=partials,
         )
 
     def stats(self) -> ServiceStats:
@@ -549,6 +721,7 @@ class ExpertService:
             batches_dispatched=self._batcher.batches_dispatched,
             batch_coalesced=self._batcher.coalesced,
             detection_pool=self._detect_pool.stats(),
+            tenants=(self.tenant_health(),),
         )
 
     # -- internals ---------------------------------------------------------------
@@ -610,6 +783,7 @@ class ExpertService:
             expansion_seconds=expansion_seconds,
             detection_seconds=detection_seconds,
             total_seconds=0.0,
+            tenant=self.tenant,
         )
 
     def _term_scorer(

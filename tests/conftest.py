@@ -95,6 +95,22 @@ def system(small_config) -> ESharp:
     return ESharp(small_config).build()
 
 
+@pytest.fixture(scope="session")
+def system_b() -> ESharp:
+    """A second, genuinely different corpus (different seed) — the
+    other tenant in multi-tenant tests."""
+    return ESharp(ESharpConfig.small(seed=TEST_SEED + 1)).build()
+
+
+@pytest.fixture(scope="session")
+def tenant_artifacts(system, system_b, tmp_path_factory):
+    """Two complete tenant artifact directories: ``{"a": ..., "b": ...}``."""
+    root = tmp_path_factory.mktemp("tenants")
+    system.save_artifact(root / "a")
+    system_b.save_artifact(root / "b")
+    return {"a": root / "a", "b": root / "b"}
+
+
 @pytest.fixture
 def triangle_graph() -> MultiGraph:
     """Two dense triangles joined by one weak edge — the canonical

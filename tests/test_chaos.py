@@ -136,6 +136,24 @@ class TestInjectorSchedule:
         assert injector.decide("s", {"op": "query"}) is None  # skipped
         assert injector.decide("s", {"op": "query"}) is spec
 
+    def test_other_tenants_never_consume_a_tenant_scoped_budget(self):
+        """A plan targeting one tenant's traffic must fire on exactly
+        the scheduled calls *of that tenant*, no matter how much other
+        tenants' traffic interleaves at the same site — otherwise a
+        noisy neighbour would silently burn the spec's
+        ``after_calls``/``times`` schedule."""
+        spec = crash_spec(
+            "replica.call", after_calls=1, times=1, match=(("tenant", "a"),)
+        )
+        injector = FaultInjector(FaultPlan(faults=(spec,)))
+        for _ in range(5):
+            assert injector.decide("replica.call", {"tenant": "b"}) is None
+        assert injector.decide("replica.call", {"tenant": "a"}) is None
+        for _ in range(5):  # more interleaved foreign traffic
+            assert injector.decide("replica.call", {"tenant": "b"}) is None
+        assert injector.decide("replica.call", {"tenant": "a"}) is spec
+        assert injector.decide("replica.call", {"tenant": "a"}) is None
+
     def test_probabilistic_specs_replay_identically(self):
         plan = FaultPlan(
             seed=99, faults=(crash_spec("s", times=0, probability=0.4),)
