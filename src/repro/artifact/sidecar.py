@@ -1,0 +1,285 @@
+"""Binary column sidecars: aligned raw bytes, opened as zero-copy views.
+
+A sidecar holds every *numeric* column of one packed stage in a single
+``stage-<name>.bin`` file next to the stage's JSON metadata.  The layout
+is deliberately dumb::
+
+    [0:8)    magic  b"RPROBIN1"
+    [8:12)   u32 little-endian header length
+    [12:..)  header JSON (kind, codec version, byteorder, column table,
+             SHA-256 over the payload)
+    ...      zero padding to the 64-byte alignment boundary
+    payload  columns back to back, each starting on a 64-byte boundary
+
+Column offsets in the header are relative to the payload start, so the
+header can be serialised in one pass.  The write side is crash-atomic
+(scratch sibling + ``os.replace``, same discipline as the stage files)
+and hashes the payload as it writes.
+
+The read side is where the layout earns its keep:
+:func:`open_sidecar` maps the file with :class:`mmap.mmap` and hands
+columns out as :class:`memoryview` casts over the mapping — **no bytes
+are copied and no pages are touched** until a consumer actually reads a
+column.  Structural integrity (size vs manifest, magic, versions,
+endianness, per-column itemsize and bounds) is verified eagerly, so a
+truncated or mislabelled sidecar raises a typed
+:class:`~repro.artifact.errors.ArtifactError` before any decode; the
+payload hash is verified on save and on demand
+(:meth:`SidecarView.verify_payload`) rather than at open, because
+hashing would fault in the whole file and defeat the zero-copy load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import pathlib
+import struct
+import sys
+from array import array
+from typing import Iterator
+
+from repro.artifact.errors import (
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactVersionError,
+)
+from repro.chaos.inject import fire
+
+__all__ = ["SidecarView", "SidecarWriter", "open_sidecar", "sidecar_filename"]
+
+MAGIC = b"RPROBIN1"
+ALIGN = 64
+_FIXED = struct.Struct("<8sI")  # magic + header length
+
+#: logical typecode for raw byte blobs (string payloads, offsets aside)
+BLOB_TYPECODE = "B"
+
+
+def sidecar_filename(output: str) -> str:
+    """The on-disk name of one stage output's sidecar."""
+    return f"stage-{output}.bin"
+
+
+def _align_up(value: int) -> int:
+    return (value + ALIGN - 1) // ALIGN * ALIGN
+
+
+class SidecarWriter:
+    """Accumulates columns, then writes one sidecar file atomically."""
+
+    def __init__(self, path, kind: str, codec_version: int) -> None:
+        self.path = pathlib.Path(path)
+        self.kind = kind
+        self.codec_version = codec_version
+        #: [name, typecode, itemsize, payload-relative offset, item count]
+        self._table: list[list] = []
+        self._chunks: list[bytes] = []
+        self._cursor = 0
+        self._names: set[str] = set()
+
+    def add_column(self, name: str, column) -> None:
+        """Append one native-typed numeric column.
+
+        Accepts owned :class:`array.array` columns and typed
+        ``memoryview`` columns alike (re-saving an mmap-loaded artifact
+        streams views from one mapping into the next sidecar).
+        """
+        typecode = getattr(column, "typecode", None) or column.format
+        self._add(name, typecode, column.itemsize, column.tobytes())
+
+    def add_blob(self, name: str, data: bytes) -> None:
+        """Append one raw byte blob (string payloads etc.)."""
+        self._add(name, BLOB_TYPECODE, 1, bytes(data))
+
+    def _add(self, name: str, typecode: str, itemsize: int, raw: bytes) -> None:
+        if name in self._names:
+            raise ArtifactError(f"duplicate sidecar column {name!r}")
+        self._names.add(name)
+        offset = _align_up(self._cursor)
+        if offset > self._cursor:
+            self._chunks.append(b"\x00" * (offset - self._cursor))
+        self._chunks.append(raw)
+        self._cursor = offset + len(raw)
+        self._table.append([name, typecode, itemsize, offset, len(raw) // itemsize])
+
+    def finish(self) -> tuple[str, int]:
+        """Write the file crash-atomically; returns ``(sha256, size)``.
+
+        The returned checksum covers the *whole file* (header included),
+        matching what the manifest records for every other stage file.
+        """
+        payload = b"".join(self._chunks)
+        header = {
+            "kind": self.kind,
+            "codec_version": self.codec_version,
+            "byteorder": sys.byteorder,
+            "align": ALIGN,
+            "payload_bytes": len(payload),
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            "columns": self._table,
+        }
+        header_bytes = json.dumps(
+            header, ensure_ascii=True, separators=(",", ":")
+        ).encode("ascii")
+        prefix_len = _FIXED.size + len(header_bytes)
+        padding = b"\x00" * (_align_up(prefix_len) - prefix_len)
+        blob = b"".join(
+            (_FIXED.pack(MAGIC, len(header_bytes)), header_bytes, padding, payload)
+        )
+        scratch = self.path.with_name(self.path.name + ".tmp")
+        scratch.write_bytes(blob)
+        os.replace(scratch, self.path)
+        return hashlib.sha256(blob).hexdigest(), len(blob)
+
+
+class SidecarView:
+    """One mapped sidecar: columns as zero-copy :class:`memoryview` casts.
+
+    The mapping stays alive as long as any exported view does (a
+    ``memoryview`` pins its exporting object), so consumers may hold
+    column views beyond the life of this object.
+    """
+
+    def __init__(
+        self, path: pathlib.Path, mapped: mmap.mmap, header: dict, payload_start: int
+    ) -> None:
+        self.path = path
+        self._mmap = mapped
+        self._header = header
+        self._payload_start = payload_start
+        self._columns: dict[str, tuple[str, int, int, int]] = {}
+        for name, typecode, itemsize, offset, count in header["columns"]:
+            self._columns[name] = (typecode, itemsize, offset, count)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def names(self) -> Iterator[str]:
+        return iter(self._columns)
+
+    def column(self, name: str) -> memoryview:
+        """The named column as a typed, read-only, zero-copy view."""
+        try:
+            typecode, itemsize, offset, count = self._columns[name]
+        except KeyError:
+            raise ArtifactCorruptError(
+                f"{self.path} has no column {name!r}"
+            ) from None
+        start = self._payload_start + offset
+        view = memoryview(self._mmap)[start : start + count * itemsize]
+        if typecode == BLOB_TYPECODE:
+            return view
+        return view.cast(typecode)
+
+    def verify_payload(self) -> None:
+        """Hash the payload against the header (faults in every page)."""
+        start = self._payload_start
+        stop = start + self._header["payload_bytes"]
+        digest = hashlib.sha256(memoryview(self._mmap)[start:stop]).hexdigest()
+        if digest != self._header["payload_sha256"]:
+            raise ArtifactCorruptError(
+                f"{self.path} payload fails its embedded checksum"
+            )
+
+
+def open_sidecar(
+    path,
+    kind: str,
+    codec_version: int,
+    size_bytes: int | None = None,
+) -> SidecarView:
+    """Map one sidecar and validate its structure (never its content).
+
+    ``size_bytes`` is the manifest's recorded size; a mismatch means a
+    torn or clobbered write and is rejected before the header is even
+    parsed.  All structural checks raise typed
+    :class:`~repro.artifact.errors.ArtifactError` subclasses.
+    """
+    path = pathlib.Path(path)
+    fire("artifact.read", path=str(path))
+    try:
+        handle = open(path, "rb")
+    except FileNotFoundError:
+        raise ArtifactCorruptError(f"sidecar missing: {path}") from None
+    except OSError as exc:
+        raise ArtifactCorruptError(f"cannot open {path}: {exc}") from exc
+    with handle:
+        size = os.fstat(handle.fileno()).st_size
+        if size_bytes is not None and size != size_bytes:
+            raise ArtifactCorruptError(
+                f"{path} is {size} bytes, manifest says {size_bytes} "
+                "(truncated or overwritten)"
+            )
+        if size < _FIXED.size:
+            raise ArtifactCorruptError(f"{path} is too short to be a sidecar")
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    magic, header_len = _FIXED.unpack(mapped[: _FIXED.size])
+    if magic != MAGIC:
+        raise ArtifactCorruptError(f"{path} has no {MAGIC!r} magic")
+    prefix_len = _FIXED.size + header_len
+    if prefix_len > size:
+        raise ArtifactCorruptError(f"{path} header overruns the file")
+    try:
+        header = json.loads(mapped[_FIXED.size : prefix_len].decode("ascii"))
+        header_kind = header["kind"]
+        header_version = header["codec_version"]
+        byteorder = header["byteorder"]
+        align = header["align"]
+        payload_bytes = int(header["payload_bytes"])
+        columns = header["columns"]
+    except (KeyError, TypeError, ValueError, UnicodeDecodeError) as exc:
+        raise ArtifactCorruptError(f"{path} has a malformed header: {exc}") from exc
+    if header_kind != kind:
+        raise ArtifactCorruptError(
+            f"{path} holds a {header_kind!r} sidecar, expected {kind!r}"
+        )
+    if header_version != codec_version:
+        raise ArtifactVersionError(
+            f"{path}: codec {kind!r} version {header_version} is not "
+            f"supported (this build reads version {codec_version})"
+        )
+    if byteorder != sys.byteorder:
+        raise ArtifactError(
+            f"sidecar was written on a {byteorder!r}-endian machine, this "
+            f"one is {sys.byteorder!r}-endian; rebuild the artifact here"
+        )
+    if align != ALIGN:
+        raise ArtifactCorruptError(
+            f"{path} uses alignment {align}, this build expects {ALIGN}"
+        )
+    payload_start = _align_up(prefix_len)
+    if payload_start + payload_bytes > size:
+        raise ArtifactCorruptError(f"{path} payload overruns the file")
+    seen: set[str] = set()
+    try:
+        for name, typecode, itemsize, offset, count in columns:
+            if name in seen:
+                raise ArtifactCorruptError(
+                    f"{path} declares column {name!r} twice"
+                )
+            seen.add(name)
+            if typecode != BLOB_TYPECODE:
+                native = array(typecode).itemsize
+                if native != itemsize:
+                    raise ArtifactCorruptError(
+                        f"{path} column {name!r}: typecode {typecode!r} is "
+                        f"{native} bytes on this platform but {itemsize} in "
+                        "the sidecar (cross-platform width mismatch — "
+                        "rebuild the artifact here)"
+                    )
+            elif itemsize != 1:
+                raise ArtifactCorruptError(
+                    f"{path} column {name!r}: blob itemsize must be 1"
+                )
+            if offset < 0 or count < 0 or offset + count * itemsize > payload_bytes:
+                raise ArtifactCorruptError(
+                    f"{path} column {name!r} overruns the payload"
+                )
+    except (TypeError, ValueError) as exc:
+        raise ArtifactCorruptError(
+            f"{path} has a malformed column table: {exc}"
+        ) from exc
+    return SidecarView(path, mapped, header, payload_start)

@@ -36,9 +36,11 @@ from dataclasses import dataclass
 
 from repro.artifact.codecs import (
     CODECS,
+    SIDECAR_CODECS,
     read_stage_records,
     write_stage_file,
 )
+from repro.artifact.sidecar import SidecarWriter, open_sidecar, sidecar_filename
 from repro.artifact.errors import (
     ArtifactCorruptError,
     ArtifactError,
@@ -104,10 +106,15 @@ class ArtifactBuilder:
     someone else's artifact — delete the directory or pick another.
     """
 
-    def __init__(self, root, config: ESharpConfig) -> None:
+    def __init__(
+        self, root, config: ESharpConfig, *, legacy_columns: bool = True
+    ) -> None:
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.config = config
+        #: write base64 (v1) stage files alongside binary sidecars; turned
+        #: off by ``--no-legacy`` once every reader speaks the sidecar
+        self.legacy_columns = legacy_columns
         self.fingerprint = config_fingerprint(config)
         try:
             existing = read_manifest(self.root)
@@ -139,7 +146,7 @@ class ArtifactBuilder:
     def has_stage(self, name: str, outputs: tuple[str, ...]) -> bool:
         entry = self.manifest.stages.get(name)
         return entry is not None and all(
-            output in entry.files for output in outputs
+            _has_output(entry.files, output) for output in outputs
         )
 
     def load_stage(
@@ -151,12 +158,11 @@ class ArtifactBuilder:
             raise ArtifactCorruptError(f"stage {name!r} is not checkpointed")
         values: dict[str, object] = {}
         for output in outputs:
-            file_entry = entry.files.get(output)
-            if file_entry is None:
+            if not _has_output(entry.files, output):
                 raise ArtifactCorruptError(
                     f"stage {name!r} is missing output {output!r}"
                 )
-            values[output] = _decode_file(self.root, output, file_entry)
+            values[output] = _decode_output(self.root, entry.files, output)
         return values, _report_from_jsonable(entry.report)
 
     def save_stage(
@@ -165,10 +171,43 @@ class ArtifactBuilder:
         values: dict[str, object],
         report: StageReport | None = None,
     ) -> None:
-        """Persist one stage's outputs and re-write the manifest."""
+        """Persist one stage's outputs and re-write the manifest.
+
+        Outputs with a registered sidecar codec are written in binary
+        sidecar form (``stage-<output>.bin`` + ``stage-<output>.meta``)
+        and — while :attr:`legacy_columns` holds — in the legacy base64
+        form too, so older readers keep working during the transition.
+        """
         fire("artifact.save_stage", stage=name)
         files: dict[str, FileEntry] = {}
         for output, value in values.items():
+            sidecar = SIDECAR_CODECS.get(output)
+            if sidecar is not None:
+                kind, version, encode_sidecar, _decode = sidecar
+                bin_name = sidecar_filename(output)
+                writer = SidecarWriter(self.root / bin_name, kind, version)
+                meta_records = list(encode_sidecar(value, writer))
+                bin_sha, bin_size = writer.finish()
+                files[f"{output}.bin"] = FileEntry(
+                    filename=bin_name,
+                    kind=kind,
+                    codec_version=version,
+                    sha256=bin_sha,
+                    size_bytes=bin_size,
+                )
+                meta_name = f"stage-{output}.meta.jsonl"
+                meta_sha, meta_size = write_stage_file(
+                    self.root / meta_name, kind, version, meta_records
+                )
+                files[f"{output}.meta"] = FileEntry(
+                    filename=meta_name,
+                    kind=kind,
+                    codec_version=version,
+                    sha256=meta_sha,
+                    size_bytes=meta_size,
+                )
+                if not self.legacy_columns:
+                    continue
             kind, version, encode, _decode = CODECS[output]
             filename = f"stage-{output}.jsonl"
             sha256, size = write_stage_file(
@@ -256,7 +295,67 @@ class ArtifactBuilder:
         return self.manifest
 
 
-def _decode_file(root: pathlib.Path, output: str, entry: FileEntry):
+#: offline outputs handed to OfflineArtifacts as lazy factories — pure
+#: serving never dereferences them, so a warm start skips their decode
+_LAZY_OUTPUTS = frozenset({"store", "weighted_graph", "multigraph"})
+
+
+def _has_output(files: dict[str, FileEntry], output: str) -> bool:
+    """Whether ``files`` satisfies ``output`` in either representation."""
+    return output in files or (
+        f"{output}.meta" in files and f"{output}.bin" in files
+    )
+
+
+def _prepare_output(
+    root: pathlib.Path,
+    files: dict[str, FileEntry],
+    output: str,
+    prefer_sidecar: bool = True,
+):
+    """Verify one output's stage files now; return its decode as a thunk.
+
+    Integrity stays load-time — the checksummed ``.meta`` read and the
+    structural sidecar open (or the checksummed legacy read) happen
+    eagerly, so a corrupted or torn stage raises its typed error from
+    ``load_artifact`` itself.  Only the value construction is deferred,
+    which lets the loader hand rarely-dereferenced outputs (the query
+    log, the similarity graphs) to :class:`OfflineArtifacts` as lazy
+    factories.
+
+    A sidecar-capable output present in both forms loads zero-copy
+    unless ``prefer_sidecar`` is off (the bench uses that to measure the
+    legacy decode side by side); version-gated fallback keeps artifacts
+    written before the sidecar era loading through the v1 codec
+    unchanged.
+    """
+    sidecar = SIDECAR_CODECS.get(output)
+    meta_entry = files.get(f"{output}.meta")
+    bin_entry = files.get(f"{output}.bin")
+    if (
+        sidecar is not None
+        and meta_entry is not None
+        and bin_entry is not None
+        and (prefer_sidecar or output not in files)
+    ):
+        kind, version, _encode, decode = sidecar
+        records = read_stage_records(
+            root / meta_entry.filename,
+            kind=kind,
+            version=version,
+            sha256=meta_entry.sha256,
+            size_bytes=meta_entry.size_bytes,
+        )
+        view = open_sidecar(
+            root / bin_entry.filename,
+            kind=kind,
+            codec_version=version,
+            size_bytes=bin_entry.size_bytes,
+        )
+        return lambda: decode(records, view)
+    entry = files.get(output)
+    if entry is None:
+        raise ArtifactCorruptError(f"no stage file provides output {output!r}")
     kind, version, _encode, decode = CODECS[output]
     if entry.kind != kind:
         raise ArtifactCorruptError(
@@ -270,7 +369,17 @@ def _decode_file(root: pathlib.Path, output: str, entry: FileEntry):
         sha256=entry.sha256,
         size_bytes=entry.size_bytes,
     )
-    return decode(records)
+    return lambda: decode(records)
+
+
+def _decode_output(
+    root: pathlib.Path,
+    files: dict[str, FileEntry],
+    output: str,
+    prefer_sidecar: bool = True,
+):
+    """Decode one output now (see :func:`_prepare_output`)."""
+    return _prepare_output(root, files, output, prefer_sidecar)()
 
 
 # -- the read side -----------------------------------------------------------
@@ -333,6 +442,7 @@ def save_artifact(
     snapshot_version: int,
     refresher: RefresherState | None = None,
     engine: tuple[dict, int] | None = None,
+    legacy_columns: bool = True,
 ) -> Manifest:
     """Write a complete artifact for an already-built system in one call.
 
@@ -363,7 +473,7 @@ def save_artifact(
     if scratch.exists():
         shutil.rmtree(scratch)
     try:
-        builder = ArtifactBuilder(scratch, config)
+        builder = ArtifactBuilder(scratch, config, legacy_columns=legacy_columns)
         reports = {report.name: report for report in offline.clock.reports}
         builder.save_stage("log", {"store": offline.store})
         builder.save_stage(
@@ -459,19 +569,26 @@ def load_artifact_stages(
         by_output.update(entry.files)
     values: dict[str, object] = {}
     for output in outputs:
-        file_entry = by_output.get(output)
-        if file_entry is None:
+        if not _has_output(by_output, output):
             raise ArtifactCorruptError(
                 f"{root}: no stage provides output {output!r}"
             )
-        values[output] = _decode_file(root, output, file_entry)
+        values[output] = _decode_output(root, by_output, output)
     return PartialArtifact(config=config, manifest=manifest, values=values)
 
 
-def load_artifact(root, expected_config: ESharpConfig | None = None) -> LoadedArtifact:
+def load_artifact(
+    root,
+    expected_config: ESharpConfig | None = None,
+    *,
+    prefer_sidecar: bool = True,
+) -> LoadedArtifact:
     """Load a complete artifact directory, verifying everything.
 
-    Raises :class:`ArtifactError` subclasses on any problem: missing or
+    Sidecar-capable stages load zero-copy off their mmap'd ``.bin``
+    files when present (``prefer_sidecar=False`` forces the legacy
+    base64 path — the load bench measures both).  Raises
+    :class:`ArtifactError` subclasses on any problem: missing or
     unfinished manifest, unsupported format versions, checksum failures,
     malformed stages, or (when ``expected_config`` is given) an artifact
     built from a different configuration.
@@ -490,12 +607,20 @@ def load_artifact(root, expected_config: ESharpConfig | None = None) -> LoadedAr
                 f"{root} is marked complete but stage {spec.name!r} is missing"
             )
         for output in spec.outputs:
-            file_entry = entry.files.get(output)
-            if file_entry is None:
+            if not _has_output(entry.files, output):
                 raise ArtifactCorruptError(
                     f"{root}: stage {spec.name!r} lacks output {output!r}"
                 )
-            values[output] = _decode_file(root, output, file_entry)
+            if output in _LAZY_OUTPUTS:
+                # verified now (typed errors at load), decoded on first
+                # dereference — pure serving never touches these
+                values[output] = _prepare_output(
+                    root, entry.files, output, prefer_sidecar
+                )
+            else:
+                values[output] = _decode_output(
+                    root, entry.files, output, prefer_sidecar
+                )
         report = _report_from_jsonable(entry.report)
         if report is not None:
             # replay the build's Table 9 accounting: a warm start did not
@@ -503,43 +628,48 @@ def load_artifact(root, expected_config: ESharpConfig | None = None) -> LoadedAr
             clock.record(report)
 
     corpus_entry = manifest.stages.get("corpus")
-    if corpus_entry is None or "corpus" not in corpus_entry.files:
+    if corpus_entry is None or not _has_output(corpus_entry.files, "corpus"):
         raise ArtifactCorruptError(f"{root}: corpus stage is missing")
-    platform = _decode_file(root, "corpus", corpus_entry.files["corpus"])
+    platform = _decode_output(
+        root, corpus_entry.files, "corpus", prefer_sidecar
+    )
 
     engine = None
     engine_entry = manifest.stages.get("engine")
-    if engine_entry is not None and "engine_index" in engine_entry.files:
-        engine = _decode_file(
-            root, "engine_index", engine_entry.files["engine_index"]
+    if engine_entry is not None and _has_output(
+        engine_entry.files, "engine_index"
+    ):
+        engine = _decode_output(
+            root, engine_entry.files, "engine_index", prefer_sidecar
         )
 
     refresher = None
     refresher_entry = manifest.stages.get("refresher")
     if refresher_entry is not None:
-        try:
-            store = _decode_file(
-                root,
-                "refresher_store",
-                refresher_entry.files["refresher_store"],
-            )
-            edges = _decode_file(
-                root,
-                "refresher_edges",
-                refresher_entry.files["refresher_edges"],
-            )
-        except KeyError as exc:
+        if not (
+            _has_output(refresher_entry.files, "refresher_store")
+            and _has_output(refresher_entry.files, "refresher_edges")
+        ):
             raise ArtifactCorruptError(
-                f"{root}: refresher stage is missing output {exc}"
-            ) from None
+                f"{root}: refresher stage is missing an output"
+            )
+        store = _decode_output(
+            root, refresher_entry.files, "refresher_store", prefer_sidecar
+        )
+        edges = _decode_output(
+            root, refresher_entry.files, "refresher_edges", prefer_sidecar
+        )
         refresher = RefresherState(store=store, edges=edges)
 
-    world = build_world(config.world)
     offline = OfflineArtifacts(
-        world=world,
-        store=values["store"],
-        weighted_graph=values["weighted_graph"],
-        multigraph=values["multigraph"],
+        # deferred: the deterministic world rebuild (~60 ms at standard
+        # scale) and the query-log/graph decodes are paid only if
+        # something dereferences the attribute; their stage files were
+        # already verified above
+        world_factory=lambda: build_world(config.world),
+        store_factory=values["store"],
+        weighted_graph_factory=values["weighted_graph"],
+        multigraph_factory=values["multigraph"],
         partition=values["partition"],
         domain_store=values["domain_store"],
         clustering_history=values["clustering_history"],

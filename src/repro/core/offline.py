@@ -65,18 +65,89 @@ OFFLINE_STAGES: tuple[StageSpec, ...] = (
 )
 
 
-@dataclass
 class OfflineArtifacts:
-    """Everything the offline stage hands to the online stage."""
+    """Everything the offline stage hands to the online stage.
 
-    world: WorldModel
-    store: QueryLogStore
-    weighted_graph: WeightedGraph
-    multigraph: MultiGraph
-    partition: Partition
-    domain_store: DomainStore
-    clustering_history: list[IterationTrace]
-    clock: StageClock
+    ``world``, ``store``, ``weighted_graph`` and ``multigraph`` may each
+    be supplied directly (a fresh build has them in hand) or as a
+    zero-argument ``*_factory`` — the warm-start path passes factories
+    so a load pays a decode only if something actually dereferences the
+    attribute.  Pure serving touches none of them: queries run on the
+    domain store and the detector's corpus, so replicas come up without
+    materialising the query log or the similarity graphs (evaluation,
+    QA generation and delta refresh do dereference, and pay then).
+    """
+
+    def __init__(
+        self,
+        *,
+        partition: Partition,
+        domain_store: DomainStore,
+        clustering_history: list[IterationTrace],
+        clock: StageClock,
+        store: QueryLogStore | None = None,
+        store_factory=None,
+        weighted_graph: WeightedGraph | None = None,
+        weighted_graph_factory=None,
+        multigraph: MultiGraph | None = None,
+        multigraph_factory=None,
+        world: WorldModel | None = None,
+        world_factory=None,
+    ) -> None:
+        for name, value, factory in (
+            ("world", world, world_factory),
+            ("store", store, store_factory),
+            ("weighted_graph", weighted_graph, weighted_graph_factory),
+            ("multigraph", multigraph, multigraph_factory),
+        ):
+            if (value is None) == (factory is None):
+                raise ValueError(
+                    f"provide exactly one of {name} / {name}_factory"
+                )
+        self._world = world
+        self._world_factory = world_factory
+        self._store = store
+        self._store_factory = store_factory
+        self._weighted_graph = weighted_graph
+        self._weighted_graph_factory = weighted_graph_factory
+        self._multigraph = multigraph
+        self._multigraph_factory = multigraph_factory
+        self.partition = partition
+        self.domain_store = domain_store
+        self.clustering_history = clustering_history
+        self.clock = clock
+
+    # benign races below: every factory is deterministic (the world from
+    # config, the others from checksummed artifact records), so two
+    # threads racing a first dereference build equal values
+
+    @property
+    def world(self) -> WorldModel:
+        built = self._world
+        if built is None:
+            built = self._world = self._world_factory()
+        return built
+
+    @property
+    def store(self) -> QueryLogStore:
+        value = self._store
+        if value is None:
+            value = self._store = self._store_factory()
+        return value
+
+    @property
+    def weighted_graph(self) -> WeightedGraph:
+        value = self._weighted_graph
+        if value is None:
+            value = self._weighted_graph = self._weighted_graph_factory()
+        return value
+
+    @property
+    def multigraph(self) -> MultiGraph:
+        value = self._multigraph
+        if value is None:
+            value = self._multigraph = self._multigraph_factory()
+        return value
 
 
 class OfflinePipeline:

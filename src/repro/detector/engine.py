@@ -26,14 +26,28 @@ answer — is unchanged to the byte.
 
 from __future__ import annotations
 
+import math
 import threading
 from array import array
 from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 from repro.microblog.platform import NO_AUTHOR, MicroblogPlatform
 from repro.utils.text import tokenize
 
-__all__ = ["EngineStats", "IndexedDetectionEngine", "TokenCandidates"]
+__all__ = [
+    "PACKED_LOG_EPSILON",
+    "EngineStats",
+    "IndexedDetectionEngine",
+    "PackedEngineIndex",
+    "TokenCandidates",
+]
+
+#: the log-transform floor the packed/persisted log columns are built
+#: with; must equal ``NormalizationConfig().epsilon`` — the vectorized
+#: scoring tail only uses packed logs when the runtime config matches
+PACKED_LOG_EPSILON = 1e-6
+_LOG_FLOOR = math.log(PACKED_LOG_EPSILON)
 
 
 @dataclass(frozen=True)
@@ -70,6 +84,154 @@ class TokenCandidates:
         return sum(len(column) * column.itemsize for column in columns)
 
 
+class PackedEngineIndex:
+    """Lazy ``token → TokenCandidates`` over flat buffer-backed columns.
+
+    The artifact layer builds one of these straight over mmap'd sidecar
+    views: construction touches only the token table; a token's
+    :class:`TokenCandidates` is sliced out of the flat columns on first
+    lookup and memoised.  Read-only — the engine swaps it for a freshly
+    built dict index the moment the platform mutates
+    (``_ensure_current``), so no sealing is needed here.  Duck-compatible
+    with the plain dict index everywhere the engine and the artifact
+    codecs look (``get``/``in``/``len``/iteration/``keys``/``values``/
+    ``items``).
+    """
+
+    __slots__ = (
+        "_position",
+        "_offsets",
+        "_columns",
+        "_logs",
+        "_log_epsilon",
+        "_memo",
+    )
+
+    FIELDS = (
+        "user_ids",
+        "on_topic_tweets",
+        "on_topic_mentions",
+        "on_topic_retweets_received",
+        "topical_signal",
+        "mention_impact",
+        "retweet_impact",
+    )
+    LOG_FIELDS = ("log_topical_signal", "log_mention_impact", "log_retweet_impact")
+
+    def __init__(
+        self,
+        tokens: Sequence[str],
+        offsets,
+        columns: dict,
+        log_columns: dict | None = None,
+        log_epsilon: float = PACKED_LOG_EPSILON,
+    ) -> None:
+        if len(offsets) != len(tokens) + 1:
+            raise ValueError("offsets disagree with the token table")
+        self._position = dict(zip(tokens, range(len(tokens))))
+        if len(self._position) != len(tokens):
+            raise ValueError("duplicate tokens in packed index")
+        self._offsets = offsets
+        self._columns = tuple(columns[name] for name in self.FIELDS)
+        self._logs = (
+            tuple(log_columns[name] for name in self.LOG_FIELDS)
+            if log_columns
+            else None
+        )
+        self._log_epsilon = log_epsilon
+        # benign-race memo: fills are deterministic, setdefault keeps one winner
+        self._memo: dict[str, TokenCandidates] = {}
+
+    def __len__(self) -> int:
+        return len(self._position)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._position
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._position)
+
+    def keys(self):
+        return self._position.keys()
+
+    def get(self, token: str, default=None):
+        found = self._memo.get(token)
+        if found is not None:
+            return found
+        index = self._position.get(token)
+        if index is None:
+            return default
+        start, stop = self._offsets[index], self._offsets[index + 1]
+        packed = TokenCandidates(
+            *(column[start:stop] for column in self._columns)
+        )
+        return self._memo.setdefault(token, packed)
+
+    def __getitem__(self, token: str) -> TokenCandidates:
+        found = self.get(token)
+        if found is None:
+            raise KeyError(token)
+        return found
+
+    def values(self) -> Iterator[TokenCandidates]:
+        for token in self._position:
+            yield self.get(token)
+
+    def items(self) -> Iterator[tuple[str, TokenCandidates]]:
+        for token in self._position:
+            yield token, self.get(token)
+
+    def log_columns(self, token: str, epsilon: float):
+        """Persisted log-feature slices for one token, or ``None`` when
+        the sidecar carried none or was built at a different epsilon."""
+        if self._logs is None or epsilon != self._log_epsilon:
+            return None
+        index = self._position.get(token)
+        if index is None:
+            return None
+        start, stop = self._offsets[index], self._offsets[index + 1]
+        return tuple(column[start:stop] for column in self._logs)
+
+    def candidate_rows(self) -> int:
+        """Total packed rows, straight off the offsets (no materialise)."""
+        return self._offsets[len(self._offsets) - 1]
+
+    def flat_parts(self):
+        """``(tokens, offsets, columns, log_columns, epsilon)`` — the
+        re-encode fast path: re-saving streams the flat buffers straight
+        into the next sidecar instead of re-flattening per-token slices.
+        ``columns``/``log_columns`` are keyed by :data:`FIELDS` /
+        :data:`LOG_FIELDS` names; ``log_columns`` is ``None`` when the
+        source sidecar carried none."""
+        columns = dict(zip(self.FIELDS, self._columns))
+        logs = (
+            dict(zip(self.LOG_FIELDS, self._logs))
+            if self._logs is not None
+            else None
+        )
+        return list(self._position), self._offsets, columns, logs, self._log_epsilon
+
+    def estimated_bytes(self) -> int:
+        total = sum(len(column) * column.itemsize for column in self._columns)
+        if self._logs is not None:
+            total += sum(len(column) * column.itemsize for column in self._logs)
+        return total
+
+
+def _index_candidate_rows(index) -> int:
+    fast = getattr(index, "candidate_rows", None)
+    if fast is not None:
+        return fast()
+    return sum(len(packed) for packed in index.values())
+
+
+def _index_estimated_bytes(index) -> int:
+    fast = getattr(index, "estimated_bytes", None)
+    if fast is not None:
+        return fast()
+    return sum(packed.estimated_bytes() for packed in index.values())
+
+
 @dataclass(frozen=True)
 class EngineStats:
     """Point-in-time counters of one engine (benches and ops read these)."""
@@ -97,9 +259,13 @@ class IndexedDetectionEngine:
         #: counters get their own lock so hot-path bumps never contend
         #: with (or wait behind) a rebuild holding the build lock
         self._counter_lock = threading.Lock()
-        self._index: dict[str, TokenCandidates] = {}  # guarded-by: _lock
+        self._index: dict[str, TokenCandidates] | PackedEngineIndex = {}  # guarded-by: _lock
         self._built_at = -1  # guarded-by: _lock
         self._builds = 0  # guarded-by: _lock
+        #: token → (packed, log columns) pairs; benign-race fill cache —
+        #: entries are validated by packed-identity on every read, so a
+        #: stale entry from a superseded index can never be served
+        self._log_memo: dict[str, tuple] = {}
         self._single_hits = 0  # guarded-by: _counter_lock
         self._multi_queries = 0  # guarded-by: _counter_lock
 
@@ -188,24 +354,31 @@ class IndexedDetectionEngine:
         self._index = index
         self._built_at = platform.mutation_count
         self._builds += 1
+        self._log_memo = {}
 
     # -- persistence (the artifact warm-start path) ------------------------
 
-    def export_packed(self) -> tuple[dict[str, TokenCandidates], int]:
+    def export_packed(self) -> tuple["dict[str, TokenCandidates] | PackedEngineIndex", int]:
         """The packed index plus the mutation count it was built at.
 
         The artifact layer persists this instead of re-aggregating the
         corpus on every warm start; the arrays are shared, not copied —
-        treat them as immutable (every reader already does).
+        treat them as immutable (every reader already does).  A freshly
+        mmap-restored engine hands back its :class:`PackedEngineIndex`
+        unchanged; the codecs consume either shape.
         """
         with self._lock:
             return self._index, self._built_at
 
     def restore_packed(
-        self, index: dict[str, TokenCandidates], built_at_mutation: int
+        self,
+        index: "dict[str, TokenCandidates] | PackedEngineIndex",
+        built_at_mutation: int,
     ) -> bool:
         """Install a previously exported index, skipping the rebuild.
 
+        ``index`` may be an owned dict or a buffer-backed
+        :class:`PackedEngineIndex` straight off an mmap'd sidecar.
         Returns ``False`` (and leaves the engine unbuilt) when the index
         was built at a different platform mutation count than the one
         this engine's platform is at — a defensive check; the next
@@ -216,6 +389,7 @@ class IndexedDetectionEngine:
                 return False
             self._index = index
             self._built_at = built_at_mutation
+            self._log_memo = {}
             return True
 
     # -- query -------------------------------------------------------------
@@ -289,6 +463,57 @@ class IndexedDetectionEngine:
             return []
         return compute_features(self.platform, stats)
 
+    def packed_scoring_columns(self, token: str, epsilon: float):
+        """``(packed, log_columns)`` for one token, mutually consistent.
+
+        The fast entry point of the vectorized scoring tail: returns the
+        token's :class:`TokenCandidates` plus its log-transformed TS/MI/RI
+        columns, or ``None`` when the token is unindexed.  ``log_columns``
+        is ``None`` when ``epsilon`` differs from
+        :data:`PACKED_LOG_EPSILON` and the index carries no persisted
+        columns for it — callers then log-transform scalar-side.
+
+        Exactness contract: every log value is ``math.log(max(v,
+        epsilon))`` — the scalar ``log_transform`` spec — computed with
+        ``math.log``, never ``numpy.log`` (the two differ in the last ulp
+        on this libm).  Memo entries are keyed by token but validated by
+        packed-column identity, so a rebuild can never pair stale logs
+        with fresh counts.
+        """
+        self._ensure_current()
+        index = self._index  # analysis: ignore[GUARD001] lock-free hot-path read
+        packed = index.get(token)
+        if packed is None:
+            return None
+        with self._counter_lock:
+            self._single_hits += 1
+        persisted = getattr(index, "log_columns", None)
+        if persisted is not None:
+            logs = persisted(token, epsilon)
+            if logs is not None:
+                return packed, logs
+        if epsilon != PACKED_LOG_EPSILON:
+            return packed, None
+        entry = self._log_memo.get(token)
+        if entry is not None and entry[0] is packed:
+            return packed, entry[1]
+        logs = tuple(
+            array(
+                "d",
+                [
+                    math.log(value) if value > PACKED_LOG_EPSILON else _LOG_FLOOR
+                    for value in column
+                ],
+            )
+            for column in (
+                packed.topical_signal,
+                packed.mention_impact,
+                packed.retweet_impact,
+            )
+        )
+        self._log_memo[token] = (packed, logs)
+        return packed, logs
+
     def _aggregate_rows(self, rows: list[int]) -> dict[int, "CandidateStats"]:
         from repro.detector.candidates import CandidateStats
 
@@ -323,24 +548,21 @@ class IndexedDetectionEngine:
         build.  Pure observability: never triggers a rebuild (consistent
         with :meth:`stats`)."""
         index = self._index  # analysis: ignore[GUARD001] lock-free observability read
-        return sum(packed.estimated_bytes() for packed in index.values())
+        return _index_estimated_bytes(index)
 
     def stats(self) -> EngineStats:
         with self._lock:
             return EngineStats(
                 tokens=len(self._index),
-                candidate_rows=sum(
-                    len(packed) for packed in self._index.values()
-                ),
+                # duck-typed: a PackedEngineIndex answers straight off its
+                # offsets without materialising a single TokenCandidates
+                candidate_rows=_index_candidate_rows(self._index),
                 builds=self._builds,
                 built_at_mutation=self._built_at,
                 # benign racy int reads; bumps serialise on _counter_lock
                 single_token_lookups=self._single_hits,  # analysis: ignore[GUARD001]
                 multi_token_queries=self._multi_queries,  # analysis: ignore[GUARD001]
-                estimated_bytes=sum(
-                    packed.estimated_bytes()
-                    for packed in self._index.values()
-                ),
+                estimated_bytes=_index_estimated_bytes(self._index),
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -20,6 +20,7 @@ from repro.detector.ranking import (
     score_candidates,
 )
 from repro.detector.memo import DEFAULT_CACHE_CAPACITY, ScoreMemoMixin
+from repro.detector.vectorized import score_engine_query_exact
 from repro.microblog.platform import MicroblogPlatform
 
 __all__ = ["DEFAULT_CACHE_CAPACITY", "PalCountsDetector"]
@@ -63,7 +64,22 @@ class PalCountsDetector(ScoreMemoMixin):
         if self.engine is not None:
             # the indexed path starts at the packed feature columns —
             # candidate aggregation (and, for single tokens, the ratio
-            # computation) already happened at build time
+            # computation) already happened at build time.  With numpy
+            # present the whole normalize → score → rank tail runs as
+            # column operations, bit-identical to the scalar pipeline
+            # (detector/vectorized.py); without numpy it returns None and
+            # the scalar tail below runs unchanged
+            scored = score_engine_query_exact(
+                self.engine,
+                self.platform,
+                query,
+                self.normalization,
+                self.ranking,
+            )
+            if scored is not None:
+                if self.cluster_filter is not None:
+                    scored = self.cluster_filter.apply(scored)
+                return scored
             vectors = self.engine.feature_vectors(query)
         else:
             stats = collect_candidates(self.platform, query)

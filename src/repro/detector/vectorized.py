@@ -1,0 +1,237 @@
+"""Vectorized scoring tail: normalize → score → rank as numpy columns.
+
+# analysis: exact-path
+
+The scalar pipeline (``normalize_features`` → ``score_candidates``) is
+the spec; this module is a drop-in replacement for it that runs the
+per-candidate loops as numpy column operations.  It is **bit-identical**
+to the scalar tail on finite inputs — not approximately, not "within
+tolerance" — which is what lets :class:`PalCountsDetector` route through
+it without perturbing a single ranked answer.  The equivalence is by
+construction, each scalar step mapped to an IEEE-identical column step:
+
+* ``mean``: the scalar ``sum(list)/len`` is a left-to-right float
+  accumulation; ``np.cumsum(col)[-1]`` performs the same sequential
+  adds, and the final division happens in python-float space;
+* ``stddev``: deviations ``col - centre`` broadcast the same subtraction
+  per element; squares are ``d * d`` (the scalar path squares by
+  multiplication too — see ``utils.stats.stddev``); the square sum is
+  again a cumsum tail and the ``sqrt`` is ``math.sqrt`` on a scalar;
+* the constancy guard compares the *identical* spread/centre floats, so
+  both paths take the all-zeros branch together;
+* log transform: ``numpy.log`` and ``math.log`` disagree in the last
+  ulp on this libm, so log columns are **never** computed with numpy —
+  they come packed from the engine (``math.log`` at build/save time) or
+  from the scalar ``log_transform`` itself;
+* score: ``w1*a + w2*b + w3*c`` associates left-to-right in both paths;
+* ordering: ``np.lexsort((user_ids, -scores))`` is exactly the scalar
+  ``sort(key=lambda e: (-e.score, e.user_id))`` — user ids are unique,
+  lexsort's primary key is the last one, and ``-0.0``/``0.0`` compare
+  equal under both orderings so ties fall through to user id identically.
+
+Every float that reaches an output tuple goes through
+``ndarray.tolist()``, which yields the exact IEEE doubles.  numpy is
+optional: when it is missing the detector keeps the scalar tail and
+nothing here is used (``exact_tail_available``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.detector.features import FeatureVector
+from repro.detector.normalize import NormalizationConfig, NormalizedFeatures
+from repro.detector.ranking import RankedExpert, RankingConfig
+from repro.utils.stats import log_transform
+from repro.utils.text import tokenize
+
+try:  # pragma: no cover - import guard
+    import numpy as _np
+except ImportError:  # pragma: no cover - scalar-only deployment
+    _np = None
+
+__all__ = [
+    "exact_tail_available",
+    "score_engine_query_exact",
+    "score_vectors_exact",
+]
+
+
+def exact_tail_available() -> bool:
+    """True when numpy is importable; the tail is exact by construction."""
+    return _np is not None
+
+
+def _zscore_column_exact(column):
+    """z-scores of one float64 column, bit-identical to ``stats.zscores``.
+
+    ``column`` must be non-empty.  Returns a float64 array.
+    """
+    n = column.shape[0]
+    # cumsum's last element is the same left-to-right accumulation the
+    # scalar sum() performs; float() drops to a python double before the
+    # division, exactly like mean()
+    centre = float(_np.cumsum(column)[-1]) / n
+    deviations = column - centre
+    squares = deviations * deviations
+    spread = math.sqrt(float(_np.cumsum(squares)[-1]) / n)
+    if spread <= 1e-12 * max(1.0, abs(centre)):
+        return _np.zeros(n)
+    return deviations / spread
+
+
+def _rank_columns_exact(
+    platform,
+    vectors: Sequence[FeatureVector],
+    z_inputs,
+    ranking: RankingConfig,
+) -> list[RankedExpert]:
+    """The shared tail: z-score three columns, weighted score, exact sort."""
+    z_ts = _zscore_column_exact(z_inputs[0])
+    z_mi = _zscore_column_exact(z_inputs[1])
+    z_ri = _zscore_column_exact(z_inputs[2])
+    # associates (w1*a + w2*b) + w3*c, matching the scalar expression
+    scores = (
+        ranking.weight_topical_signal * z_ts
+        + ranking.weight_mention_impact * z_mi
+        + ranking.weight_retweet_impact * z_ri
+    )
+    user_ids = _np.array([vector[0] for vector in vectors], dtype=_np.int64)
+    # lexsort's primary key is its *last* key: ascending -score, ties
+    # broken by ascending user id — the scalar sort key, exactly
+    order = _np.lexsort((user_ids, -scores))
+    z_ts_list = z_ts.tolist()
+    z_mi_list = z_mi.tolist()
+    z_ri_list = z_ri.tolist()
+    score_list = scores.tolist()
+    user_of = platform.user
+    experts: list[RankedExpert] = []
+    append = experts.append
+    for i in order.tolist():
+        vector = vectors[i]
+        user = user_of(vector.user_id)
+        append(
+            RankedExpert(
+                user.user_id,
+                user.screen_name,
+                user.description,
+                user.verified,
+                user.followers,
+                score_list[i],
+                vector,
+                NormalizedFeatures(
+                    vector.user_id, z_ts_list[i], z_mi_list[i], z_ri_list[i]
+                ),
+            )
+        )
+    return experts
+
+
+def score_vectors_exact(
+    platform,
+    vectors: Sequence[FeatureVector],
+    normalization: NormalizationConfig,
+    ranking: RankingConfig,
+) -> list[RankedExpert] | None:
+    """Vectorized ``normalize_features`` + ``score_candidates`` over
+    prebuilt feature vectors.  Returns ``None`` when numpy is missing
+    (caller falls back to the scalar tail)."""
+    if _np is None:
+        return None
+    if not vectors:
+        return []
+    ts_list = [vector[1] for vector in vectors]
+    mi_list = [vector[2] for vector in vectors]
+    ri_list = [vector[3] for vector in vectors]
+    if normalization.apply_log:
+        # scalar log_transform, never numpy.log — see the module docstring
+        epsilon = normalization.epsilon
+        z_inputs = (
+            _np.array(log_transform(ts_list, epsilon)),
+            _np.array(log_transform(mi_list, epsilon)),
+            _np.array(log_transform(ri_list, epsilon)),
+        )
+    else:
+        z_inputs = (
+            _np.array(ts_list, dtype=_np.float64),
+            _np.array(mi_list, dtype=_np.float64),
+            _np.array(ri_list, dtype=_np.float64),
+        )
+    return _rank_columns_exact(platform, vectors, z_inputs, ranking)
+
+
+def _score_packed_exact(
+    platform,
+    packed,
+    logs,
+    normalization: NormalizationConfig,
+    ranking: RankingConfig,
+) -> list[RankedExpert]:
+    """Score one token straight off its packed columns.
+
+    ``logs`` is the engine's ``(log_ts, log_mi, log_ri)`` triple —
+    persisted in the sidecar or memoised, always ``math.log``-derived —
+    or ``None`` when the runtime epsilon has no packed columns.
+    """
+    if not len(packed):
+        return []
+    uid_list = packed.user_ids.tolist()
+    ts_list = packed.topical_signal.tolist()
+    mi_list = packed.mention_impact.tolist()
+    ri_list = packed.retweet_impact.tolist()
+    vectors = [
+        FeatureVector(user_id, ts, mi, ri)
+        for user_id, ts, mi, ri in zip(uid_list, ts_list, mi_list, ri_list)
+    ]
+    if normalization.apply_log:
+        if logs is not None:
+            # zero-copy over the packed/persisted log columns
+            z_inputs = tuple(
+                _np.frombuffer(column, dtype=_np.float64) for column in logs
+            )
+        else:
+            epsilon = normalization.epsilon
+            z_inputs = (
+                _np.array(log_transform(ts_list, epsilon)),
+                _np.array(log_transform(mi_list, epsilon)),
+                _np.array(log_transform(ri_list, epsilon)),
+            )
+    else:
+        z_inputs = (
+            _np.frombuffer(packed.topical_signal, dtype=_np.float64),
+            _np.frombuffer(packed.mention_impact, dtype=_np.float64),
+            _np.frombuffer(packed.retweet_impact, dtype=_np.float64),
+        )
+    return _rank_columns_exact(platform, vectors, z_inputs, ranking)
+
+
+def score_engine_query_exact(
+    engine,
+    platform,
+    query: str,
+    normalization: NormalizationConfig,
+    ranking: RankingConfig,
+) -> list[RankedExpert] | None:
+    """The engine-backed entry point used by :class:`PalCountsDetector`.
+
+    Single-token queries score straight off the packed per-token columns
+    (log columns included, when the epsilon matches); multi-token queries
+    aggregate through the engine as usual and vectorize only the tail.
+    Returns ``None`` when numpy is missing.
+    """
+    if _np is None:
+        return None
+    terms = set(tokenize(query))
+    if not terms:
+        return []
+    if len(terms) == 1:
+        found = engine.packed_scoring_columns(
+            next(iter(terms)), normalization.epsilon
+        )
+        if found is None:
+            return []
+        packed, logs = found
+        return _score_packed_exact(platform, packed, logs, normalization, ranking)
+    vectors = engine.feature_vectors(query)
+    return score_vectors_exact(platform, vectors, normalization, ranking)

@@ -33,6 +33,7 @@ from typing import Iterable, Iterator
 
 from repro.microblog.tweets import Tweet
 from repro.microblog.users import UserProfile
+from repro.utils.packed import LazyStrings, PackedSliceMap, owned_array
 from repro.utils.text import tokenize
 
 #: sentinel row value for "retweet of a tweet never ingested" (user ids
@@ -97,8 +98,9 @@ class _DeferredTweets:
     Python objects it may never touch.
     """
 
-    #: row → tweet text
-    texts: list[str]
+    #: row → tweet text (a plain list, or a zero-copy
+    #: :class:`~repro.utils.packed.LazyStrings` table on an mmap load)
+    texts: list[str] | LazyStrings
     #: row → raw ``retweet_of`` (NO_AUTHOR when not a retweet); distinct
     #: from the *resolved* retweet-author column the ledger carries
     retweet_of: array
@@ -138,6 +140,12 @@ class MicroblogPlatform:
         #: across threads, and two of them may race to the first
         #: Tweet-object access on a freshly loaded replica
         self._hydrate_lock = threading.Lock()
+        #: serialises the one-shot view→owned conversion of an mmap load
+        self._seal_lock = threading.Lock()
+        #: True while columns/postings/by-author are zero-copy views over
+        #: a mapped sidecar; the first mutation seals them into owned
+        #: containers (see :meth:`_seal_columns`)
+        self._buffer_backed = False  # guarded-by: _seal_lock
 
     # -- bulk restore (the artifact warm-start path) -----------------------
 
@@ -169,6 +177,15 @@ class MicroblogPlatform:
         first use; :meth:`_ensure_tweets` hydration produces the same
         ``_tweets``/``_row_of`` maps an ``add_tweet`` replay would, which
         the artifact round-trip property tests assert.
+
+        Columns may be owned :class:`array.array` objects *or* zero-copy
+        buffer views over a mapped sidecar (``memoryview`` columns,
+        :class:`~repro.utils.packed.PackedSliceMap` postings/by-author,
+        :class:`~repro.utils.packed.LazyStrings` texts).  A buffer-backed
+        platform serves reads straight off the mapping; the first
+        mutation copies everything into owned containers first
+        (:meth:`_seal_columns`), so ingestion after a warm start behaves
+        exactly like ingestion into an owned platform.
         """
         if not (
             len(texts)
@@ -207,6 +224,20 @@ class MicroblogPlatform:
         platform._mutations = mutations
         platform._deferred = _DeferredTweets(
             texts=texts, retweet_of=retweet_of, topic_ids=topic_ids
+        )
+        platform._buffer_backed = any(
+            isinstance(column, memoryview)
+            for column in (
+                tweet_ids,
+                authors,
+                retweet_authors,
+                mention_offsets,
+                mention_ids,
+                retweet_of,
+                topic_ids,
+            )
+        ) or isinstance(postings, PackedSliceMap) or isinstance(
+            by_author, PackedSliceMap
         )
         return platform
 
@@ -292,6 +323,59 @@ class MicroblogPlatform:
                 row_of[tweet_id] = row
             self._deferred = None
 
+    def _seal_columns(self) -> None:
+        """Copy-on-first-mutation: views over a mapped sidecar → owned.
+
+        A buffer-backed platform (restored zero-copy from an mmap'd
+        artifact) cannot append to its columns — the mapping is
+        read-only and its layout is fixed.  The first mutation lands
+        here: every view is copied into an owned container under
+        ``_seal_lock``, and only then does the caller mutate.  Readers
+        are never blocked: they hold references to the *old* views,
+        which stay valid because a ``memoryview`` pins the mapping; a
+        reader racing the seal sees either the old views or the owned
+        copies, which hold identical bytes.  Delta refresh therefore
+        works unchanged on an mmap-backed platform.
+        """
+        if not self._buffer_backed:  # analysis: ignore[GUARD001] lock-free fast path; sealing is one-way
+            return
+        with self._seal_lock:
+            if not self._buffer_backed:
+                return  # another writer sealed while we waited
+            self._col_tweet_ids = owned_array("q", self._col_tweet_ids)
+            self._col_authors = owned_array("q", self._col_authors)
+            self._col_retweet_authors = owned_array(
+                "q", self._col_retweet_authors
+            )
+            self._mention_offsets = owned_array("l", self._mention_offsets)
+            self._mention_ids = owned_array("q", self._mention_ids)
+            postings = self._postings
+            if isinstance(postings, PackedSliceMap):
+                self._postings = postings.materialize_arrays("l")
+            else:
+                self._postings = {
+                    token: owned_array("l", rows)
+                    for token, rows in postings.items()
+                }
+            by_author = self._by_author
+            if isinstance(by_author, PackedSliceMap):
+                self._by_author = by_author.materialize_lists()
+            deferred = self._deferred
+            if deferred is not None:
+                texts = deferred.texts
+                self._deferred = _DeferredTweets(
+                    texts=(
+                        texts.materialize()
+                        if isinstance(texts, LazyStrings)
+                        else texts
+                    ),
+                    retweet_of=owned_array("q", deferred.retweet_of),
+                    topic_ids=owned_array("q", deferred.topic_ids),
+                )
+            # flipped last: readers of the flag either see views (still
+            # valid — the mapping outlives them) or fully owned state
+            self._buffer_backed = False
+
     # -- ingestion ---------------------------------------------------------
 
     def add_user(self, user: UserProfile) -> None:
@@ -308,6 +392,7 @@ class MicroblogPlatform:
         self._mutations += 1
 
     def add_tweet(self, tweet: Tweet) -> None:
+        self._seal_columns()  # mmap views cannot grow; copy-on-first-mutation
         self._ensure_tweets()  # dup check + retweet resolution need objects
         if tweet.tweet_id in self._tweets:
             raise ValueError(f"duplicate tweet_id {tweet.tweet_id}")
@@ -473,8 +558,14 @@ class MicroblogPlatform:
 
     def estimated_bytes(self) -> int:
         """Approximate corpus size (text only), for resource reporting."""
-        if self._deferred is not None:
-            return sum(len(text) + 16 for text in self._deferred.texts)
+        deferred = self._deferred
+        if deferred is not None:
+            texts = deferred.texts
+            if isinstance(texts, LazyStrings):
+                # off the offsets table — never decodes (or pages in) the
+                # text blob just to report a size estimate
+                return texts.estimated_text_bytes() + 16 * len(texts)
+            return sum(len(text) + 16 for text in texts)
         return sum(len(tweet.text) + 16 for tweet in self._tweets.values())
 
     def __repr__(self) -> str:

@@ -77,6 +77,33 @@ class WeightedGraph:
         default=None, repr=False, compare=False
     )
 
+    @classmethod
+    def restore_sorted(
+        cls,
+        vertices: Iterable[str],
+        edges: Iterable[tuple[str, str, float]],
+    ) -> "WeightedGraph":
+        """Bulk-restore from the artifact's sorted columnar form.
+
+        ``vertices`` must cover every endpoint and ``edges`` must yield
+        each undirected edge exactly once as ``(u, v, weight)`` with
+        ``u < v`` — the shape :meth:`edges` produces.  Builds the
+        adjacency dicts directly instead of going through
+        :meth:`add_edge` per edge (the artifact loader's hot path).
+        """
+        graph = cls()
+        adjacency = graph._adjacency
+        for vertex in vertices:
+            adjacency[vertex] = {}
+        for u, v, weight in edges:
+            if not u < v:
+                raise ValueError(f"edges must be ordered, got {u!r}, {v!r}")
+            if not weight > 0:
+                raise ValueError(f"edge weight must be positive, got {weight}")
+            adjacency[u][v] = weight
+            adjacency[v][u] = weight
+        return graph
+
     def add_vertex(self, vertex: str) -> None:
         if vertex not in self._adjacency:
             self._adjacency[vertex] = {}
@@ -162,6 +189,41 @@ class MultiGraph:
         graph = cls()
         for u, v, multiplicity in edges:
             graph.add_edge(u, v, multiplicity)
+        return graph
+
+    @classmethod
+    def restore_sorted(
+        cls,
+        vertices: Iterable[str],
+        edges: Iterable[tuple[str, str, int]],
+    ) -> "MultiGraph":
+        """Bulk-restore from the artifact's sorted columnar form.
+
+        ``vertices`` must cover every endpoint and ``edges`` must yield
+        each distinct edge exactly once as ``(u, v, multiplicity)`` with
+        ``u < v`` — the shape :meth:`sorted_edges` produces.  Fills the
+        multiplicity/degree dicts directly instead of paying
+        :meth:`add_edge`'s cache invalidation per edge.
+        """
+        graph = cls()
+        degree = graph._degree
+        for vertex in vertices:
+            degree[vertex] = 0
+        multiplicity_map = graph._multiplicity
+        total = 0
+        for u, v, multiplicity in edges:
+            if not u < v:
+                raise ValueError(f"edges must be ordered, got {u!r}, {v!r}")
+            if multiplicity <= 0:
+                raise ValueError(
+                    f"multiplicity must be positive, got {multiplicity}"
+                )
+            key = (u, v)
+            multiplicity_map[key] = multiplicity_map.get(key, 0) + multiplicity
+            degree[u] += multiplicity
+            degree[v] += multiplicity
+            total += multiplicity
+        graph._total_edges = total
         return graph
 
     def add_vertex(self, vertex: str) -> None:

@@ -1,0 +1,208 @@
+"""Zero-copy packed containers over buffer-backed columns.
+
+These are the in-memory shapes an mmap-loaded artifact hands to the
+platform and the detection engine: string tables and offset-indexed
+maps that *look like* the owned ``list``/``dict`` structures a fresh
+build produces, but materialise nothing until asked.  Every container
+here is read-only; a consumer that needs to mutate first converts to
+owned structures (see ``MicroblogPlatform._seal_columns``).
+
+Buffer lifetime: a :class:`memoryview` pins its exporting object (the
+``mmap``), so holding any of these containers — or any slice handed out
+by one — keeps the mapping alive without explicit bookkeeping.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, Sequence
+
+
+def owned_array(typecode: str, column) -> array:
+    """``column`` as an owned :class:`array.array` (no-op when it is one)."""
+    if isinstance(column, array):
+        return column
+    out = array(typecode)
+    out.frombytes(
+        column.tobytes() if isinstance(column, memoryview) else bytes(column)
+    )
+    return out
+
+
+# -- string tables -----------------------------------------------------------
+
+
+def pack_strings(strings: Sequence[str]) -> tuple[array, array, bytes]:
+    """Pack strings into ``(byte_offsets, char_offsets, utf8_blob)``.
+
+    Byte offsets index the blob (for lazy per-item decode); char offsets
+    index the decoded text (for the eager bulk path, where one whole-blob
+    decode plus C-level ``str`` slicing beats per-item decodes).
+    """
+    byte_offsets = array("q", [0])
+    char_offsets = array("q", [0])
+    chunks: list[bytes] = []
+    total_bytes = 0
+    total_chars = 0
+    for text in strings:
+        raw = text.encode("utf-8")
+        chunks.append(raw)
+        total_bytes += len(raw)
+        total_chars += len(text)
+        byte_offsets.append(total_bytes)
+        char_offsets.append(total_chars)
+    return byte_offsets, char_offsets, b"".join(chunks)
+
+
+def unpack_strings(char_offsets, blob) -> list[str]:
+    """Eagerly materialise a packed string table (token lists).
+
+    One decode of the whole blob, then one C-level slice per string —
+    the fast path for small-vocabulary tables that are needed as dict
+    keys immediately anyway.
+    """
+    if isinstance(blob, memoryview):
+        blob = blob.tobytes()
+    text = blob.decode("utf-8")
+    return [
+        text[char_offsets[i] : char_offsets[i + 1]]
+        for i in range(len(char_offsets) - 1)
+    ]
+
+
+class LazyStrings(Sequence):
+    """A string table decoded item-at-a-time from a shared byte blob.
+
+    Backs the platform's deferred tweet texts on an mmap load: holding
+    the table touches no pages; indexing decodes exactly one string.
+    """
+
+    __slots__ = ("_byte_offsets", "_blob")
+
+    def __init__(self, byte_offsets, blob) -> None:
+        self._byte_offsets = byte_offsets
+        self._blob = blob
+
+    def __len__(self) -> int:
+        return len(self._byte_offsets) - 1
+
+    def __getitem__(self, index: int) -> str:
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        start = self._byte_offsets[index]
+        stop = self._byte_offsets[index + 1]
+        return bytes(self._blob[start:stop]).decode("utf-8")
+
+    def __iter__(self) -> Iterator[str]:
+        blob = self._blob
+        offsets = self._byte_offsets
+        start = offsets[0]
+        for i in range(len(offsets) - 1):
+            stop = offsets[i + 1]
+            yield bytes(blob[start:stop]).decode("utf-8")
+            start = stop
+
+    def estimated_text_bytes(self) -> int:
+        """Total UTF-8 bytes, straight off the offsets (no decode)."""
+        return self._byte_offsets[len(self._byte_offsets) - 1]
+
+    def materialize(self) -> list[str]:
+        return list(self)
+
+
+# -- offset-indexed maps -----------------------------------------------------
+
+
+class PackedSliceMap:
+    """Read-only ``key → contiguous column slice`` over flat buffers.
+
+    ``keys`` must be unique and in offsets order.  Values are handed out
+    as slices of the flat ``rows`` buffer — zero-copy when ``rows`` is a
+    memoryview, cheap array slices otherwise.  Implements just enough of
+    the ``dict`` surface for the platform's read paths (``get``, ``in``,
+    iteration, ``keys``/``values``/``items``); writers must
+    :meth:`materialize` first.
+    """
+
+    __slots__ = ("_position", "_offsets", "_rows")
+
+    def __init__(self, keys: Sequence, offsets, rows) -> None:
+        if len(offsets) != len(keys) + 1:
+            raise ValueError("offsets disagree with the key list")
+        self._position = dict(zip(keys, range(len(keys))))
+        if len(self._position) != len(keys):
+            raise ValueError("duplicate keys in packed map")
+        self._offsets = offsets
+        self._rows = rows
+
+    def __len__(self) -> int:
+        return len(self._position)
+
+    def __contains__(self, key) -> bool:
+        return key in self._position
+
+    def __iter__(self):
+        return iter(self._position)
+
+    def __getitem__(self, key):
+        index = self._position[key]
+        return self._rows[self._offsets[index] : self._offsets[index + 1]]
+
+    def get(self, key, default=None):
+        index = self._position.get(key)
+        if index is None:
+            return default
+        return self._rows[self._offsets[index] : self._offsets[index + 1]]
+
+    def keys(self):
+        return self._position.keys()
+
+    def values(self):
+        offsets = self._offsets
+        rows = self._rows
+        for index in self._position.values():
+            yield rows[offsets[index] : offsets[index + 1]]
+
+    def items(self):
+        offsets = self._offsets
+        rows = self._rows
+        for key, index in self._position.items():
+            yield key, rows[offsets[index] : offsets[index + 1]]
+
+    def slice_bounds(self, key) -> tuple[int, int] | None:
+        """``(start, stop)`` of one key's slice in the flat buffer."""
+        index = self._position.get(key)
+        if index is None:
+            return None
+        return self._offsets[index], self._offsets[index + 1]
+
+    def flat_rows(self) -> int:
+        return self._offsets[len(self._offsets) - 1]
+
+    def packed_parts(self) -> tuple[list, object, object]:
+        """``(keys, offsets, flat_rows)`` — the re-encode fast path.
+
+        Re-saving an mmap-loaded artifact streams the flat buffers
+        straight into the next sidecar instead of re-flattening slices.
+        """
+        return list(self._position), self._offsets, self._rows
+
+    def materialize_arrays(self, typecode: str) -> dict:
+        """Owned ``dict[key, array]`` (the postings seal path)."""
+        flat = owned_array(typecode, self._rows)
+        offsets = self._offsets
+        return {
+            key: flat[offsets[index] : offsets[index + 1]]
+            for key, index in self._position.items()
+        }
+
+    def materialize_lists(self) -> dict:
+        """Owned ``dict[key, list]`` (the by-author seal path)."""
+        offsets = self._offsets
+        rows = self._rows
+        return {
+            key: list(rows[offsets[index] : offsets[index + 1]])
+            for key, index in self._position.items()
+        }

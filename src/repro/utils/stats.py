@@ -35,8 +35,15 @@ def stddev(values: Sequence[float]) -> float:
         raise ValueError("stddev of empty sequence is undefined")
     centre = mean(values)
     # list comprehension rather than a generator: same left-to-right sum,
-    # measurably faster in the detector's per-term inner loop
-    return math.sqrt(sum([(v - centre) ** 2 for v in values]) / len(values))
+    # measurably faster in the detector's per-term inner loop.  The square
+    # is spelled as a product, not ``** 2``: CPython routes ``**`` through
+    # libm pow(), which disagrees with multiplication in the last ulp on
+    # some inputs (and raises OverflowError near the float max, where the
+    # product overflows cleanly to inf) — the product is what numpy's
+    # elementwise multiply computes, keeping the vectorized scoring tail
+    # bit-identical to this function
+    deviations = [(v - centre) for v in values]
+    return math.sqrt(sum([d * d for d in deviations]) / len(values))
 
 
 def zscores(values: Sequence[float]) -> list[float]:

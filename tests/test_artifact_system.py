@@ -129,16 +129,25 @@ class TestCorruptionHandling:
         return target
 
     def test_truncated_stage_file_is_typed(self, copy):
+        # a torn sidecar write is caught structurally (size vs manifest)
+        # before any column decodes; the legacy form is checksummed
         manifest = read_manifest(copy)
-        entry = manifest.stages["domains"].files["domain_store"]
-        path = copy / entry.filename
-        path.write_bytes(path.read_bytes()[:-20])
+        files = manifest.stages["domains"].files
+        bin_path = copy / files["domain_store.bin"].filename
+        bin_path.write_bytes(bin_path.read_bytes()[:-20])
         with pytest.raises(ArtifactCorruptError):
             load_artifact(copy)
+        legacy_path = copy / files["domain_store"].filename
+        legacy_path.write_bytes(legacy_path.read_bytes()[:-20])
+        with pytest.raises(ArtifactCorruptError):
+            load_artifact(copy, prefer_sidecar=False)
 
     def test_bit_flip_is_typed(self, copy):
+        # the loader prefers the sidecar form, so flip the meta file it
+        # actually reads (a payload flip inside the .bin is detected by
+        # verify_payload, which is on-demand by design — see sidecar.py)
         manifest = read_manifest(copy)
-        entry = manifest.stages["log"].files["store"]
+        entry = manifest.stages["log"].files["store.meta"]
         path = copy / entry.filename
         payload = bytearray(path.read_bytes())
         payload[len(payload) // 2] ^= 0xFF
@@ -146,11 +155,25 @@ class TestCorruptionHandling:
         with pytest.raises(ArtifactCorruptError):
             load_artifact(copy)
 
+    def test_bit_flip_in_legacy_file_is_typed(self, copy):
+        manifest = read_manifest(copy)
+        entry = manifest.stages["log"].files["store"]
+        path = copy / entry.filename
+        payload = bytearray(path.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        path.write_bytes(bytes(payload))
+        with pytest.raises(ArtifactCorruptError):
+            load_artifact(copy, prefer_sidecar=False)
+
     def test_missing_stage_file_is_typed(self, copy):
         manifest = read_manifest(copy)
-        (copy / manifest.stages["corpus"].files["corpus"].filename).unlink()
+        files = manifest.stages["corpus"].files
+        (copy / files["corpus.bin"].filename).unlink()
         with pytest.raises(ArtifactCorruptError):
             load_artifact(copy)
+        (copy / files["corpus"].filename).unlink()
+        with pytest.raises(ArtifactCorruptError):
+            load_artifact(copy, prefer_sidecar=False)
 
     def test_incomplete_build_refuses_to_load(self, copy):
         data = json.loads((copy / "manifest.json").read_text())
@@ -396,4 +419,16 @@ class TestVersionedPublish:
             if not spec.checkpointable:
                 continue
             entry = manifest.stages[spec.name]
-            assert set(entry.files) == set(spec.outputs)
+            # every output is present in legacy form; sidecar-capable
+            # outputs additionally carry paired <output>.bin/.meta files
+            assert set(spec.outputs) <= set(entry.files)
+            extras = set(entry.files) - set(spec.outputs)
+            for key in extras:
+                base, _, suffix = key.rpartition(".")
+                assert suffix in {"bin", "meta"}
+                assert base in spec.outputs
+            assert {k for k in extras if k.endswith(".bin")} == {
+                k[: -len(".meta")] + ".bin"
+                for k in extras
+                if k.endswith(".meta")
+            }

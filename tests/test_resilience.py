@@ -189,8 +189,15 @@ class TestStartupFailures:
     ):
         corrupt = tmp_path / "corrupt-artifact"
         shutil.copytree(artifact_dir, corrupt)
+        # skip legacy files shadowed by a sidecar sibling — the loader
+        # prefers the sidecar form, so only still-read files count
         stage = max(
-            corrupt.glob("stage-*.jsonl"),
+            (
+                p
+                for p in corrupt.glob("stage-*.jsonl")
+                if p.name.endswith(".meta.jsonl")
+                or not (p.parent / f"{p.stem}.meta.jsonl").exists()
+            ),
             key=lambda p: p.stat().st_size,
         )
         payload = bytearray(stage.read_bytes())
